@@ -1,0 +1,30 @@
+"""Shared benchmark plumbing.
+
+``REPRO_BENCH_RUNS`` (default 3) controls the per-configuration sample
+count of the comparison harness; the paper used 50.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "3"))
+
+_rows: list[str] = []
+
+
+def record_row(row: str) -> None:
+    _rows.append(row)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def print_tables_at_end():
+    yield
+    if _rows:
+        print("\n" + "=" * 100)
+        print("Reproduced evaluation tables (see EXPERIMENTS.md for the paper-vs-measured record)")
+        print("=" * 100)
+        for row in _rows:
+            print(row)

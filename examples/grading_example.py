@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""The grading case study, including two attacks SHILL stops.
+
+Grades a class of submissions three ways:
+
+* baseline (no SHILL)            — both attacks succeed;
+* grade.sh in one SHILL sandbox  — the test suite is protected, but one
+  student can still read another's submission;
+* pure-SHILL fine-grained script — both attacks stopped, honest students
+  unaffected.
+
+Run with:  python examples/grading_example.py
+"""
+
+from repro.casestudies.grading import (
+    run_baseline_grading,
+    run_sandboxed_grading,
+    run_shill_grading,
+)
+from repro.world import add_grading_fixture, build_world
+
+STUDENTS, TESTS = 6, 3
+
+
+def show(title: str, grades: dict[str, str]) -> None:
+    print(f"\n== {title} ==")
+    for student in sorted(grades):
+        print("  " + grades[student].strip())
+
+
+def tests_intact(kernel) -> bool:
+    sys = kernel.syscalls(kernel.spawn_process("root", "/"))
+    return sys.read_whole("/home/tester/tests/test0.expected") != b"cheated"
+
+
+def main() -> None:
+    print("student00 tries to READ another student's submission;")
+    print("student01 tries to OVERWRITE the test suite's expected output.")
+
+    kernel = build_world(install_shill=False)
+    add_grading_fixture(kernel, students=STUDENTS, tests=TESTS)
+    grades = run_baseline_grading(kernel)
+    show("baseline (no SHILL)", grades)
+    print("  test suite intact:", tests_intact(kernel))
+
+    kernel = build_world()
+    add_grading_fixture(kernel, students=STUDENTS, tests=TESTS)
+    result = run_sandboxed_grading(kernel)
+    show("grade.sh in a SHILL sandbox", result.grades)
+    print("  test suite intact:", tests_intact(kernel))
+    print("  sandboxes created:", int(result.runtime.profile["sandbox_count"]))
+
+    kernel = build_world()
+    add_grading_fixture(kernel, students=STUDENTS, tests=TESTS)
+    result = run_shill_grading(kernel)
+    show("pure SHILL (fine-grained per-student isolation)", result.grades)
+    print("  test suite intact:", tests_intact(kernel))
+    print("  sandboxes created:", int(result.runtime.profile["sandbox_count"]))
+
+
+if __name__ == "__main__":
+    main()

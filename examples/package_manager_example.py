@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""The Emacs package-management case study.
+
+Downloads (from a simulated GNU mirror), unpacks, configures, builds,
+installs, and uninstalls GNU Emacs — each phase in a sandbox whose
+contract grants only what that phase needs: only download can touch the
+network; only install can write under the prefix (and cannot read or
+remove anything already there); uninstall may remove exactly the listed
+files.
+
+Run with:  python examples/package_manager_example.py
+"""
+
+from repro.casestudies.package_mgmt import PackageManager
+from repro.world import add_emacs_mirror, build_world
+
+
+def main() -> None:
+    kernel = build_world()
+    add_emacs_mirror(kernel)
+    sys = kernel.syscalls(kernel.spawn_process("root", "/"))
+
+    pm = PackageManager(kernel)
+    sys.write_whole("/usr/local/emacs/canary.txt", b"user file, do not touch")
+
+    for phase in ("download", "unpack", "configure", "build", "install", "uninstall"):
+        getattr(pm, phase)()
+        print(f"{phase:10s} ok")
+
+    print("\nafter uninstall:")
+    print("  prefix/bin:", sys.contents("/usr/local/emacs/bin"))
+    print("  prefix/share:", sys.contents("/usr/local/emacs/share"))
+    print("  canary survived:", sys.read_whole("/usr/local/emacs/canary.txt").decode())
+    print("  sandboxes created:", int(pm.runtime.profile["sandbox_count"]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""repro — a reproduction of "SHILL: A Secure Shell Scripting Language"
+(Moore, Dimoulas, King, Chong; OSDI 2014).
+
+Layers (bottom-up):
+
+* :mod:`repro.kernel` — simulated FreeBSD-like kernel (VFS, MAC framework,
+  processes, pipes, sockets) with the paper's new syscalls;
+* :mod:`repro.sandbox` — the SHILL MAC policy module: sessions and
+  privilege maps;
+* :mod:`repro.capability` / :mod:`repro.contracts` — language-level
+  capabilities and the contract system (proxies, blame, polymorphism);
+* :mod:`repro.lang` — the SHILL language: capability-safe and ambient
+  dialects;
+* :mod:`repro.stdlib` — filesys/io/contracts/native-wallet libraries;
+* :mod:`repro.programs` / :mod:`repro.world` — simulated executables and
+  the world image they live in;
+* :mod:`repro.casestudies` / :mod:`repro.bench` — the paper's four case
+  studies and the benchmark harness reproducing Figures 7/9/10/11.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,137 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro demo
+        Boot a world and run the paper's running example end to end.
+
+    python -m repro run AMBIENT.ambient [--cap SCRIPT.cap ...] [--user U]
+        Run an ambient SHILL script from the host filesystem against a
+        freshly booted world image.  Capability-safe scripts it requires
+        are registered from the --cap files (by basename).
+
+    python -m repro shill-run POLICY_FILE -- CMD [ARGS...]
+        The section 3.2.2 debugging tool: run one command in a sandbox
+        configured from a policy file.  Add --debug to auto-grant and
+        report the privileges the command needed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys as _hostsys
+
+from repro.lang.runner import ShillRuntime
+from repro.world import add_grading_fixture, add_jpeg_samples, build_world
+
+
+def cmd_demo(_args: argparse.Namespace) -> int:
+    kernel = build_world()
+    add_jpeg_samples(kernel, owner="alice")
+    runtime = ShillRuntime(kernel, user="alice", cwd="/home/alice")
+    runtime.register_script("find_jpg.cap", _DEMO_FIND_JPG)
+    runtime.run_ambient(_DEMO_AMBIENT, "demo.ambient")
+    print(runtime.tty.text, end="")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    kernel = build_world()
+    if args.fixture == "grading":
+        add_grading_fixture(kernel)
+    elif args.fixture == "jpeg":
+        add_jpeg_samples(kernel, owner=args.user)
+    runtime = ShillRuntime(kernel, user=args.user, cwd=f"/home/{args.user}"
+                           if args.user != "root" else "/root")
+    for cap_path in args.cap:
+        path = pathlib.Path(cap_path)
+        runtime.register_script(path.name, path.read_text())
+    source = pathlib.Path(args.script).read_text()
+    runtime.run_ambient(source, pathlib.Path(args.script).name)
+    print(runtime.tty.text, end="")
+    return 0
+
+
+def cmd_shill_run(args: argparse.Namespace) -> int:
+    from repro.kernel.pipes import make_pipe
+    from repro.sandbox.shilld import run_with_policy
+
+    kernel = build_world()
+    policy_text = pathlib.Path(args.policy).read_text()
+    out_r, out_w = make_pipe()
+    err_r, err_w = make_pipe()
+    result = run_with_policy(
+        kernel, args.user, policy_text, args.cmd_argv,
+        debug=args.debug, stdout=out_w, stderr=err_w,
+    )
+    _hostsys.stdout.write(bytes(out_r.pipe.buffer).decode(errors="replace"))
+    _hostsys.stderr.write(bytes(err_r.pipe.buffer).decode(errors="replace"))
+    if args.debug and result.auto_granted:
+        print("-- privileges auto-granted in debug mode --")
+        for line in result.auto_granted:
+            print("  " + line)
+    elif result.log.denials():
+        print("-- denied operations --")
+        for entry in result.log.denials():
+            print("  " + entry.format())
+    return result.status
+
+
+_DEMO_FIND_JPG = """\
+#lang shill/cap
+provide find_jpg :
+  {cur : dir(+contents, +lookup, +path) \\/ file(+path),
+   out : file(+append)} -> void;
+find_jpg = fun(cur, out) {
+  if is_file(cur) && has_ext(cur, "jpg") then
+    append(out, path(cur) + "\\n");
+  if is_dir(cur) then
+    for name in contents(cur) {
+      child = lookup(cur, name);
+      if !is_syserror(child) then find_jpg(child, out);
+    }
+}
+"""
+
+_DEMO_AMBIENT = """\
+#lang shill/ambient
+require "find_jpg.cap";
+docs = open_dir("~/Documents");
+find_jpg(docs, stdout);
+"""
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="run the paper's running example")
+
+    run_p = sub.add_parser("run", help="run an ambient script from the host FS")
+    run_p.add_argument("script")
+    run_p.add_argument("--cap", action="append", default=[],
+                       help="capability-safe script file(s) to register")
+    run_p.add_argument("--user", default="alice")
+    run_p.add_argument("--fixture", choices=["none", "jpeg", "grading"], default="jpeg")
+
+    sr_p = sub.add_parser("shill-run", help="run one command under a policy file")
+    sr_p.add_argument("policy")
+    sr_p.add_argument("cmd_argv", nargs="+", metavar="command")
+    sr_p.add_argument("--user", default="root")
+    sr_p.add_argument("--debug", action="store_true")
+
+    args = parser.parse_args(argv)
+    if args.command == "demo":
+        return cmd_demo(args)
+    if args.command == "run":
+        return cmd_run(args)
+    if args.command == "shill-run":
+        return cmd_shill_run(args)
+    parser.error("unknown command")
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

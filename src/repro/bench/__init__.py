@@ -1,0 +1,14 @@
+"""Benchmark harness reproducing the paper's evaluation (section 4.2)."""
+
+from repro.bench.configs import FIG9_BENCHMARKS, SCALE, WORKLOADS
+from repro.bench.harness import Sample, format_row, measure, significant_vs_baseline
+
+__all__ = [
+    "WORKLOADS",
+    "FIG9_BENCHMARKS",
+    "SCALE",
+    "Sample",
+    "measure",
+    "format_row",
+    "significant_vs_baseline",
+]

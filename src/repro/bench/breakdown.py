@@ -1,0 +1,90 @@
+"""Figure 10: performance breakdown of the SHILL-side benchmarks.
+
+"We inserted instrumentation to measure the total execution time, Racket
+startup (which includes script compilation, and starting the runtime),
+setup of sandboxes, and sandboxed execution for each benchmark. ...
+Remaining time (i.e., time not spent on Racket startup, sandbox setup, or
+sandboxed execution) is time spent executing SHILL scripts, including
+contract checking."
+
+The accumulators live on :class:`~repro.lang.runner.ShillRuntime`
+(``profile``); this module packages them into the Figure 10 table for the
+four profiled benchmarks: Uninstall, Download, Grading, Find.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.casestudies.findgrep import run_fine
+from repro.casestudies.grading import run_shill_grading
+from repro.casestudies.package_mgmt import PackageManager
+from repro.lang.runner import ShillRuntime
+
+
+@dataclass
+class Breakdown:
+    benchmark: str
+    total: float
+    startup: float
+    sandbox_setup: float
+    sandbox_exec: float
+    sandbox_count: int
+
+    @property
+    def remaining(self) -> float:
+        return max(self.total - self.startup - self.sandbox_setup - self.sandbox_exec, 0.0)
+
+    def row(self) -> str:
+        return (
+            f"{self.benchmark:10s} total={self.total * 1000:9.2f}ms "
+            f"startup={self.startup * 1000:7.2f}ms "
+            f"setup={self.sandbox_setup * 1000:7.2f}ms "
+            f"exec={self.sandbox_exec * 1000:8.2f}ms "
+            f"remaining={self.remaining * 1000:7.2f}ms "
+            f"sandboxes={self.sandbox_count}"
+        )
+
+
+def _from_runtime(benchmark: str, runtime: ShillRuntime, total: float) -> Breakdown:
+    profile = runtime.profile
+    return Breakdown(
+        benchmark=benchmark,
+        total=total,
+        startup=profile["startup"],
+        sandbox_setup=profile["sandbox_setup"],
+        sandbox_exec=profile["sandbox_exec"],
+        sandbox_count=int(profile["sandbox_count"]),
+    )
+
+
+def breakdown_grading(kernel) -> Breakdown:
+    start = time.perf_counter()
+    result = run_shill_grading(kernel)
+    return _from_runtime("Grading", result.runtime, time.perf_counter() - start)
+
+
+def breakdown_find(kernel) -> Breakdown:
+    start = time.perf_counter()
+    result = run_fine(kernel)
+    return _from_runtime("Find", result.runtime, time.perf_counter() - start)
+
+
+def breakdown_download(kernel) -> Breakdown:
+    start = time.perf_counter()
+    pm = PackageManager(kernel)
+    pm.download()
+    return _from_runtime("Download", pm.runtime, time.perf_counter() - start)
+
+
+def breakdown_uninstall(kernel) -> Breakdown:
+    """Requires a kernel prepared through the install phase."""
+    pm = PackageManager(kernel)
+    pm.download(); pm.unpack(); pm.configure(); pm.build(); pm.install()
+    # Reset the accumulators so only the uninstall phase is profiled; a
+    # fresh runtime mirrors invoking a fresh shill process for the task.
+    start = time.perf_counter()
+    pm2 = PackageManager(kernel)
+    pm2.uninstall()
+    return _from_runtime("Uninstall", pm2.runtime, time.perf_counter() - start)

@@ -1,0 +1,87 @@
+"""Timing harness: mean ± 95% CI and significance testing.
+
+Follows the paper's methodology (section 4.2): "We ran each configuration
+of each benchmark 50 times and computed the mean time to completion along
+with a 95% confidence interval. ... We compare performance with
+'Baseline' using a two-sided t-test on the difference in mean run time.
+Statistical significance was determined at the 0.05 level after a
+Bonferroni correction for multiple hypothesis testing within each
+benchmark."  Run counts are scaled down by default so the whole suite
+finishes in minutes; pass ``runs=50`` for the full treatment.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from scipy import stats
+
+
+@dataclass
+class Sample:
+    """Timing samples for one (benchmark, configuration) cell."""
+
+    name: str
+    seconds: list[float] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.seconds) / len(self.seconds)
+
+    @property
+    def ci95(self) -> float:
+        n = len(self.seconds)
+        if n < 2:
+            return 0.0
+        sd = math.sqrt(sum((x - self.mean) ** 2 for x in self.seconds) / (n - 1))
+        t_crit = stats.t.ppf(0.975, df=n - 1)
+        return float(t_crit * sd / math.sqrt(n))
+
+    def ratio_to(self, base: "Sample") -> float:
+        return self.mean / base.mean if base.mean else float("inf")
+
+
+def measure(make_task: Callable[[], Callable[[], None]], runs: int = 5, warmup: int = 1,
+            name: str = "") -> Sample:
+    """Time ``runs`` executions.  ``make_task`` builds a fresh closure per
+    run (workload state is reconstructed outside the timed region)."""
+    for _ in range(warmup):
+        make_task()()
+    sample = Sample(name)
+    for _ in range(runs):
+        task = make_task()
+        start = time.perf_counter()
+        task()
+        sample.seconds.append(time.perf_counter() - start)
+    return sample
+
+
+def significant_vs_baseline(base: Sample, other: Sample, comparisons: int = 1,
+                            alpha: float = 0.05) -> bool:
+    """Two-sided Welch t-test with Bonferroni correction, as in the paper."""
+    if len(base.seconds) < 2 or len(other.seconds) < 2:
+        return False
+    if base.seconds == other.seconds:
+        return False
+    result = stats.ttest_ind(base.seconds, other.seconds, equal_var=False)
+    return bool(result.pvalue < alpha / max(comparisons, 1))
+
+
+def format_row(bench: str, cells: dict[str, Sample], baseline_key: str = "baseline") -> str:
+    """One Figure 9 row: every configuration's mean ± CI, its ratio to
+    baseline, and a '*' when the difference is significant."""
+    base = cells[baseline_key]
+    comparisons = max(len(cells) - 1, 1)
+    parts = [f"{bench:12s}"]
+    for key, sample in cells.items():
+        mark = ""
+        if key != baseline_key and significant_vs_baseline(base, sample, comparisons):
+            mark = "*"
+        parts.append(
+            f"{key}={sample.mean * 1000:8.2f}±{sample.ci95 * 1000:5.2f}ms"
+            f" ({sample.ratio_to(base):4.2f}x{mark})"
+        )
+    return "  ".join(parts)

@@ -1,0 +1,11 @@
+"""Language-level capabilities: unforgeable values conferring privileges."""
+
+from repro.capability.caps import (
+    SYSTEM_BLAME,
+    Capability,
+    FsCap,
+    PipeFactoryCap,
+    SocketFactoryCap,
+)
+
+__all__ = ["Capability", "FsCap", "PipeFactoryCap", "SocketFactoryCap", "SYSTEM_BLAME"]

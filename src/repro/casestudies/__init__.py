@@ -1,0 +1,6 @@
+"""The paper's four case studies (section 4.1), as SHILL scripts plus
+Python drivers."""
+
+from repro.casestudies import apache, findgrep, grading, package_mgmt
+
+__all__ = ["grading", "package_mgmt", "apache", "findgrep"]

@@ -1,0 +1,47 @@
+"""SHILL contracts: declarative, enforceable security interfaces."""
+
+from repro.contracts.blame import Blame, root_blame
+from repro.contracts.capctc import CapContract, PipeFactoryContract, SocketFactoryContract
+from repro.contracts.core import (
+    AndContract,
+    AnyContract,
+    Contract,
+    NamedContract,
+    OrContract,
+    PredicateContract,
+    VoidContract,
+)
+from repro.contracts.functionctc import FunctionContract, GuardedFunction
+from repro.contracts.polyctc import (
+    ContractVar,
+    PolyContract,
+    PolyGuardedFunction,
+    SealContract,
+    SealedCap,
+    instantiate,
+)
+from repro.contracts.walletctc import WalletContract
+
+__all__ = [
+    "Blame",
+    "root_blame",
+    "Contract",
+    "AnyContract",
+    "VoidContract",
+    "PredicateContract",
+    "AndContract",
+    "OrContract",
+    "NamedContract",
+    "CapContract",
+    "PipeFactoryContract",
+    "SocketFactoryContract",
+    "FunctionContract",
+    "GuardedFunction",
+    "PolyContract",
+    "PolyGuardedFunction",
+    "ContractVar",
+    "SealContract",
+    "SealedCap",
+    "instantiate",
+    "WalletContract",
+]

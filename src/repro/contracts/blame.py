@@ -1,0 +1,48 @@
+"""Blame tracking for contracts.
+
+"Each contract establishes an agreement between two parties: the provider
+of the value with the contract and the value's consumer" (section 2.2).
+When the runtime detects a violation it must "indicate[] which part of
+the script failed to meet its obligations" — that is blame assignment, in
+the Findler–Felleisen style the Racket prototype inherits.
+
+``positive`` is the party that *provided* the contracted value (and owes
+the guarantee); ``negative`` is the party *consuming* it (and owes
+correct use).  Function contracts swap the parties for argument
+positions: the caller provides arguments, the function consumes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ContractViolation
+
+
+@dataclass(frozen=True)
+class Blame:
+    """The two parties to a contract, plus the contract's display name."""
+
+    positive: str
+    negative: str
+    contract_name: str = ""
+
+    def swap(self) -> "Blame":
+        """Swap parties when descending into a contravariant (argument)
+        position."""
+        return Blame(self.negative, self.positive, self.contract_name)
+
+    def named(self, contract_name: str) -> "Blame":
+        return Blame(self.positive, self.negative, contract_name)
+
+    def blame_positive(self, detail: str) -> "ContractViolation":
+        return ContractViolation(self.positive, self.contract_name, detail)
+
+    def blame_negative(self, detail: str) -> "ContractViolation":
+        return ContractViolation(self.negative, self.contract_name, detail)
+
+
+def root_blame(provider: str, consumer: str, contract_name: str = "") -> Blame:
+    """Blame for a module boundary: provider = the exporting script,
+    consumer = the importing script or user."""
+    return Blame(provider, consumer, contract_name)

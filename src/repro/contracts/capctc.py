@@ -1,0 +1,100 @@
+"""Capability contracts: kind + privilege set + derive modifiers.
+
+Section 2.2: "For capability contracts, the provider agrees to provide a
+capability of the appropriate kind with at least the specified privileges
+while the consumer promises to use the capability as if it has at most
+the specified privileges."
+
+Both obligations are enforced here:
+
+* at check time the supplied capability must be of the right kind and
+  hold **at least** the contract's privileges, else the *provider* is
+  blamed;
+* the returned value is a proxy attenuated to **exactly** the contract's
+  privileges, whose later misuse blames the *consumer*.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.capability.caps import FsCap, PipeFactoryCap, SocketFactoryCap
+from repro.contracts.blame import Blame
+from repro.contracts.core import Contract
+from repro.sandbox.privileges import PrivSet, SocketPerms
+
+
+class CapContract(Contract):
+    """``file(+read, +path)`` / ``dir(+lookup with {+stat}, ...)``.
+
+    ``kind`` is ``"file"`` (files, pipes, devices), ``"dir"``, or
+    ``"cap"`` (either).
+    """
+
+    def __init__(self, kind: str, privs: PrivSet) -> None:
+        if kind not in ("file", "dir", "cap"):
+            raise ValueError(f"unknown capability kind {kind!r}")
+        self.kind = kind
+        self.privs = privs
+
+    def describe(self) -> str:
+        inner = repr(self.privs)
+        return f"{self.kind}({inner[1:-1]})" if len(self.privs) else self.kind
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return self.describe()
+
+    def check(self, value: Any, blame: Blame) -> Any:
+        blame = blame.named(self.describe())
+        if not isinstance(value, FsCap):
+            raise blame.blame_positive(f"expected a {self.kind} capability, got {type(value).__name__}")
+        if self.kind == "dir" and not value.is_dir_cap:
+            raise blame.blame_positive("expected a directory capability, got a file capability")
+        if self.kind == "file" and not value.is_file_cap:
+            raise blame.blame_positive("expected a file capability, got a directory capability")
+        # Provider obligation: at least the specified privileges must be
+        # *present*.  Modifiers are attenuation instructions for the
+        # consumer side — `+create-dir with full_privs` asks that derived
+        # capabilities keep everything the supplied capability can give,
+        # not that the provider hold literally every privilege.
+        if not self.privs.privs() <= value.privs.privs():
+            missing = sorted(
+                f"+{p.value}" for p in self.privs.privs() - value.privs.privs()
+            )
+            raise blame.blame_positive(
+                f"capability lacks required privileges: {', '.join(missing)}"
+            )
+        # Consumer obligation: at most the specified privileges — enforce
+        # via an attenuating proxy that blames the consumer on misuse.
+        return value.attenuated(self.privs, blame=blame.negative)
+
+
+class PipeFactoryContract(Contract):
+    name = "pipe_factory"
+
+    def check(self, value: Any, blame: Blame) -> Any:
+        if not isinstance(value, PipeFactoryCap):
+            raise blame.named(self.name).blame_positive(
+                f"expected a pipe factory, got {type(value).__name__}"
+            )
+        return value
+
+
+class SocketFactoryContract(Contract):
+    """``socket_factory(...)`` with an optional permission refinement."""
+
+    def __init__(self, perms: SocketPerms | None = None) -> None:
+        self.perms = perms
+
+    name = "socket_factory"
+
+    def check(self, value: Any, blame: Blame) -> Any:
+        blame = blame.named(self.name)
+        if not isinstance(value, SocketFactoryCap):
+            raise blame.blame_positive(f"expected a socket factory, got {type(value).__name__}")
+        if self.perms is None:
+            return value
+        if not self.perms.subset_of(value.perms):
+            raise blame.blame_positive("socket factory lacks required permissions")
+        return SocketFactoryCap(self.perms)

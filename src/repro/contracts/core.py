@@ -1,0 +1,130 @@
+"""The contract protocol, flat contracts, and the and/or combinators.
+
+A contract is a *projection*: ``check(value, blame)`` either returns the
+(possibly proxied) value or raises :class:`ContractViolation` blaming the
+appropriate party.  "SHILL's contract system is rich and expressive ...
+users can define their own contracts by creating contract combinators and
+user-defined predicates written in SHILL itself" (section 2.4.2) —
+:class:`PredicateContract` wraps any callable (including SHILL closures
+via the interpreter's bridge) into a flat contract.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.contracts.blame import Blame
+
+
+class Contract:
+    """Base contract; subclasses override :meth:`check`."""
+
+    name = "contract"
+
+    def check(self, value: Any, blame: Blame) -> Any:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"<contract {self.describe()}>"
+
+
+class AnyContract(Contract):
+    """Accepts anything; the identity projection."""
+
+    name = "any"
+
+    def check(self, value: Any, blame: Blame) -> Any:
+        return value
+
+
+class VoidContract(Contract):
+    """The ``void`` postcondition: "no value is returned"."""
+
+    name = "void"
+
+    def check(self, value: Any, blame: Blame) -> Any:
+        from repro.lang.values import VOID
+
+        if value is not VOID and value is not None:
+            raise blame.named(self.name).blame_positive(
+                f"expected void, got {type(value).__name__}"
+            )
+        return VOID
+
+
+class PredicateContract(Contract):
+    """A flat (first-order) contract from a predicate."""
+
+    def __init__(self, pred: Callable[[Any], bool], name: str) -> None:
+        self._pred = pred
+        self.name = name
+
+    def check(self, value: Any, blame: Blame) -> Any:
+        ok = self._pred(value)
+        if not ok:
+            raise blame.named(self.name).blame_positive(
+                f"predicate {self.name!r} rejected {_brief(value)}"
+            )
+        return value
+
+
+class AndContract(Contract):
+    """Conjunction: the value must pass every conjunct; projections
+    compose left to right (``is_file && readonly``)."""
+
+    def __init__(self, *parts: Contract) -> None:
+        self.parts = parts
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return " && ".join(p.describe() for p in self.parts)
+
+    def check(self, value: Any, blame: Blame) -> Any:
+        for part in self.parts:
+            value = part.check(value, blame)
+        return value
+
+
+class OrContract(Contract):
+    r"""Disjunction (``is_dir \/ is_file``): the first branch that accepts
+    the value wins.  Higher-order branches are attempted in order; a
+    branch "accepts" if its check does not raise."""
+
+    def __init__(self, *parts: Contract) -> None:
+        self.parts = parts
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return " \\/ ".join(p.describe() for p in self.parts)
+
+    def check(self, value: Any, blame: Blame) -> Any:
+        from repro.errors import ContractViolation
+
+        errors: list[str] = []
+        for part in self.parts:
+            try:
+                return part.check(value, blame)
+            except ContractViolation as err:
+                errors.append(err.detail)
+        raise blame.named(self.name).blame_positive(
+            f"no disjunct accepted {_brief(value)}: " + "; ".join(errors)
+        )
+
+
+class NamedContract(Contract):
+    """A contract with a user-facing abbreviation (e.g. ``readonly``)."""
+
+    def __init__(self, name: str, inner: Contract) -> None:
+        self.name = name
+        self.inner = inner
+
+    def check(self, value: Any, blame: Blame) -> Any:
+        return self.inner.check(value, blame.named(self.name))
+
+
+def _brief(value: Any) -> str:
+    text = repr(value)
+    return text if len(text) <= 64 else text[:61] + "..."

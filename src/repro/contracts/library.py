@@ -1,0 +1,135 @@
+"""Named contract abbreviations and base predicates.
+
+Section 3.1.4: "The contracts script provides abbreviated definitions of
+common contracts.  For example, a programmer can specify the contract
+``readonly`` rather than the more verbose ::
+
+    dir(+read-symlink, +contents, +lookup, +stat, +read, +path)
+      \\/ file(+stat, +read, +path)
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.capability.caps import FsCap, PipeFactoryCap, SocketFactoryCap
+from repro.contracts.capctc import CapContract, PipeFactoryContract, SocketFactoryContract
+from repro.contracts.core import (
+    AnyContract,
+    Contract,
+    NamedContract,
+    OrContract,
+    PredicateContract,
+    VoidContract,
+)
+from repro.contracts.walletctc import WalletContract
+from repro.sandbox.privileges import Priv, PrivSet
+
+
+# -- base predicates (shared with the language's builtins) ----------------------------
+
+def is_file_value(v: Any) -> bool:
+    return isinstance(v, FsCap) and v.is_file_cap
+
+
+def is_dir_value(v: Any) -> bool:
+    return isinstance(v, FsCap) and v.is_dir_cap
+
+
+def is_cap_value(v: Any) -> bool:
+    return isinstance(v, FsCap)
+
+
+def is_bool_value(v: Any) -> bool:
+    return isinstance(v, bool)
+
+
+def is_string_value(v: Any) -> bool:
+    return isinstance(v, str)
+
+
+def is_num_value(v: Any) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def is_list_value(v: Any) -> bool:
+    return isinstance(v, (list, tuple))
+
+
+def is_syserror_value(v: Any) -> bool:
+    from repro.lang.values import SysErrorVal
+
+    return isinstance(v, SysErrorVal)
+
+
+def is_void_value(v: Any) -> bool:
+    from repro.lang.values import VOID
+
+    return v is VOID
+
+
+# -- flat contracts ----------------------------------------------------------------
+
+is_file = PredicateContract(is_file_value, "is_file")
+is_dir = PredicateContract(is_dir_value, "is_dir")
+is_cap = PredicateContract(is_cap_value, "is_cap")
+is_bool = PredicateContract(is_bool_value, "is_bool")
+is_string = PredicateContract(is_string_value, "is_string")
+is_num = PredicateContract(is_num_value, "is_num")
+is_list = PredicateContract(is_list_value, "is_list")
+is_syserror = PredicateContract(is_syserror_value, "is_syserror")
+void = VoidContract()
+any_c = AnyContract()
+
+# -- privilege bundles ---------------------------------------------------------------
+
+READONLY_DIR_PRIVS = PrivSet.of(
+    Priv.READ_SYMLINK, Priv.CONTENTS, Priv.LOOKUP, Priv.STAT, Priv.READ, Priv.PATH
+)
+READONLY_FILE_PRIVS = PrivSet.of(Priv.STAT, Priv.READ, Priv.PATH)
+WRITEABLE_FILE_PRIVS = PrivSet.of(Priv.WRITE, Priv.APPEND, Priv.STAT, Priv.PATH)
+EXEC_FILE_PRIVS = PrivSet.of(Priv.EXEC, Priv.READ, Priv.STAT, Priv.PATH)
+
+# -- named contracts -------------------------------------------------------------------
+
+readonly = NamedContract(
+    "readonly",
+    OrContract(
+        CapContract("dir", READONLY_DIR_PRIVS),
+        CapContract("file", READONLY_FILE_PRIVS),
+    ),
+)
+
+writeable = NamedContract("writeable", CapContract("file", WRITEABLE_FILE_PRIVS))
+
+executable = NamedContract("executable", CapContract("file", EXEC_FILE_PRIVS))
+
+full_privs = NamedContract("full_privs", CapContract("cap", PrivSet.full()))
+
+pipe_factory = PipeFactoryContract()
+socket_factory = SocketFactoryContract()
+# A native wallet is only useful once populated: demand the PATH key.
+native_wallet = WalletContract(kind="native", required_keys=("PATH",))
+
+
+#: The contracts script's export table (what ``require shill/contracts``
+#: brings into scope).
+EXPORTS: dict[str, Contract] = {
+    "is_file": is_file,
+    "is_dir": is_dir,
+    "is_cap": is_cap,
+    "is_bool": is_bool,
+    "is_string": is_string,
+    "is_num": is_num,
+    "is_list": is_list,
+    "is_syserror": is_syserror,
+    "void": void,
+    "any": any_c,
+    "readonly": readonly,
+    "writeable": writeable,
+    "executable": executable,
+    "full_privs": full_privs,
+    "pipe_factory": pipe_factory,
+    "socket_factory": socket_factory,
+    "native_wallet": native_wallet,
+}

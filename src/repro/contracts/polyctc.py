@@ -1,0 +1,176 @@
+"""Bounded parametric-polymorphic contracts: ``forall X with {privs} . FC``.
+
+Figure 5's contract for ``find``::
+
+    provide find :
+      forall X with {+lookup, +contents} .
+      {cur : X, filter : X -> is_bool, cmd : X -> void} -> void;
+
+Semantics (section 2.4.2): "the contract of find dynamically seals the
+argument cur as it flows into the body of the function through contract
+X, and unseals it as it flows out to the functions filter and cmd."  The
+bound restricts the *body*: "find can use only the +lookup and +contents
+privileges of the cur argument or derived capabilities, even though
+contract X may specify more privileges."
+
+Implementation: at **each application** a fresh seal key is minted and
+every occurrence of ``X`` becomes a :class:`SealContract` for that key.
+
+* an unsealed capability crossing ``X`` is sealed: the body receives a
+  :class:`SealedCap` restricted to the bound — and capabilities *derived*
+  from it stay sealed with the same key (so the restriction is deep);
+* a sealed capability crossing ``X`` again (into ``filter``/``cmd``,
+  whose argument contracts contain ``X``) is unsealed back to the
+  original, full-privilege capability.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from repro.capability.caps import FsCap
+from repro.contracts.blame import Blame
+from repro.contracts.core import Contract
+from repro.contracts.functionctc import FunctionContract, GuardedFunction
+from repro.sandbox.privileges import Priv, PrivSet
+
+_seal_keys = itertools.count(1)
+
+
+class SealedCap(FsCap):
+    """A capability sealed under a polymorphic contract variable.
+
+    Operations are limited to ``bound ∩ original`` — and capabilities
+    derived via lookup/create are sealed under the same key so the body
+    cannot launder privileges through derivation.
+    """
+
+    def __init__(self, orig: FsCap, bound: PrivSet, key: int, blame: str) -> None:
+        super().__init__(
+            orig._sys,
+            orig.obj,
+            orig.privs.restricted_to(bound),
+            orig.last_known_path,
+            blame=blame,
+        )
+        self.seal_orig = orig
+        self.seal_bound = bound
+        self.seal_key = key
+
+    def _reseal(self, derived_orig: FsCap) -> "SealedCap":
+        return SealedCap(derived_orig, self.seal_bound, self.seal_key, self.blame)
+
+    def lookup(self, name: str) -> FsCap:
+        self._need(Priv.LOOKUP, "lookup")
+        return self._reseal(self.seal_orig.lookup(name))
+
+    def create_file(self, name: str, mode: int = 0o644) -> FsCap:
+        self._need(Priv.CREATE_FILE, "create-file")
+        return self._reseal(self.seal_orig.create_file(name, mode))
+
+    def create_dir(self, name: str, mode: int = 0o755) -> FsCap:
+        self._need(Priv.CREATE_DIR, "create-dir")
+        return self._reseal(self.seal_orig.create_dir(name, mode))
+
+    def describe(self) -> str:
+        return f"<sealed {super().describe()[1:]}"
+
+
+class ContractVar(Contract):
+    """An occurrence of the quantified variable inside the body contract."""
+
+    def __init__(self, var: str) -> None:
+        self.var = var
+        self.name = var
+
+    def check(self, value: Any, blame: Blame) -> Any:
+        raise RuntimeError(
+            f"uninstantiated contract variable {self.var!r} — "
+            "polymorphic contracts must be applied through PolyContract"
+        )
+
+    def instantiate(self, mapping: dict[str, Contract]) -> Contract:
+        return mapping.get(self.var, self)
+
+
+class SealContract(Contract):
+    """The per-application instantiation of a contract variable."""
+
+    def __init__(self, var: str, bound: PrivSet, key: int) -> None:
+        self.var = var
+        self.bound = bound
+        self.key = key
+        self.name = var
+
+    def check(self, value: Any, blame: Blame) -> Any:
+        blame = blame.named(self.var)
+        if isinstance(value, SealedCap) and value.seal_key == self.key:
+            return value.seal_orig  # unseal on the way out to filter/cmd
+        if not isinstance(value, FsCap):
+            raise blame.blame_positive(
+                f"expected a capability for {self.var}, got {type(value).__name__}"
+            )
+        # The bound is a *lower bound on the argument*: the supplied
+        # capability must offer at least the bound's privileges.
+        if not self.bound.subset_of(value.privs):
+            missing = sorted(f"+{p.value}" for p in self.bound.privs() - value.privs.privs())
+            raise blame.blame_positive(
+                f"capability bound to {self.var} lacks {', '.join(missing)}"
+            )
+        return SealedCap(value, self.bound, self.key, blame=blame.negative)
+
+
+def instantiate(contract: Contract, mapping: dict[str, Contract]) -> Contract:
+    """Structurally replace contract variables; pure on shared subtrees."""
+    from repro.contracts.core import AndContract, NamedContract, OrContract
+
+    if isinstance(contract, ContractVar):
+        return contract.instantiate(mapping)
+    if isinstance(contract, AndContract):
+        return AndContract(*[instantiate(p, mapping) for p in contract.parts])
+    if isinstance(contract, OrContract):
+        return OrContract(*[instantiate(p, mapping) for p in contract.parts])
+    if isinstance(contract, NamedContract):
+        return NamedContract(contract.name, instantiate(contract.inner, mapping))
+    if isinstance(contract, FunctionContract):
+        return FunctionContract(
+            [(n, instantiate(c, mapping)) for n, c in contract.params],
+            instantiate(contract.result, mapping),
+            {k: instantiate(c, mapping) for k, c in contract.kwparams.items()},
+        )
+    return contract
+
+
+class PolyContract(Contract):
+    """``forall X with {bound} . {…} -> …``"""
+
+    def __init__(self, var: str, bound: PrivSet, body: FunctionContract) -> None:
+        self.var = var
+        self.bound = bound
+        self.body = body
+
+    def describe(self) -> str:
+        return f"forall {self.var} with {self.bound!r} . {self.body.describe()}"
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return self.describe()
+
+    def check(self, value: Any, blame: Blame) -> Any:
+        return PolyGuardedFunction(value, self, blame.named(self.describe()))
+
+
+class PolyGuardedFunction(GuardedFunction):
+    """Guard that instantiates the quantifier freshly at each application."""
+
+    def __init__(self, target: Any, poly: PolyContract, blame: Blame) -> None:
+        super().__init__(target, poly.body, blame)
+        self.poly = poly
+
+    def _instantiated(self) -> FunctionContract:
+        key = next(_seal_keys)
+        seal = SealContract(self.poly.var, self.poly.bound, key)
+        contract = instantiate(self.poly.body, {self.poly.var: seal})
+        assert isinstance(contract, FunctionContract)
+        return contract

@@ -1,0 +1,69 @@
+"""Wallet contracts.
+
+Section 2.4.1: "SHILL provides wallet contracts, which describe contracts
+for the capabilities associated with individual keys or groups of keys."
+A wallet contract checks the wallet's kind, that required keys are
+populated, and projects each key's capabilities through a per-key
+contract.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.contracts.blame import Blame
+from repro.contracts.core import Contract
+from repro.stdlib.wallet import Wallet
+
+
+class WalletContract(Contract):
+    """``native_wallet``-style contracts.
+
+    Parameters
+    ----------
+    kind:
+        Required wallet kind ("native", "ocaml", ...) or "" for any.
+    key_contracts:
+        Per-key contracts applied to each capability stored under the key.
+    required_keys:
+        Keys that must be present and non-empty.
+    """
+
+    def __init__(
+        self,
+        kind: str = "",
+        key_contracts: Mapping[str, Contract] | None = None,
+        required_keys: tuple[str, ...] = (),
+    ) -> None:
+        self.kind = kind
+        self.key_contracts = dict(key_contracts or {})
+        self.required_keys = tuple(required_keys)
+
+    def describe(self) -> str:
+        return f"{self.kind or 'any'}_wallet"
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return self.describe()
+
+    def check(self, value: Any, blame: Blame) -> Any:
+        blame = blame.named(self.describe())
+        if not isinstance(value, Wallet):
+            raise blame.blame_positive(f"expected a wallet, got {type(value).__name__}")
+        if self.kind and value.kind != self.kind:
+            raise blame.blame_positive(
+                f"expected a {self.kind!r} wallet, got kind {value.kind!r}"
+            )
+        for key in self.required_keys:
+            if not value.has(key):
+                raise blame.blame_positive(f"wallet is missing required key {key!r}")
+        if not self.key_contracts:
+            return value
+        projected = Wallet(value.kind)
+        for key in value.keys():
+            contract = self.key_contracts.get(key)
+            entries = value.get(key)
+            if contract is not None:
+                entries = [contract.check(entry, blame) for entry in entries]
+            projected.put(key, entries)
+        return projected

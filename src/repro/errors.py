@@ -1,0 +1,79 @@
+"""Shared exception hierarchy for the SHILL reproduction.
+
+Three layers of the system report failures in distinct ways and the
+distinction is load-bearing for the paper's semantics:
+
+* the simulated kernel fails with :class:`SysError` carrying an errno,
+  exactly like a failed system call (a sandboxed process that trips a MAC
+  check receives ``EACCES`` and *keeps running*, per section 3.2.2);
+* the contract system fails with :class:`ContractViolation` carrying blame,
+  which *aborts* script execution (section 2.2);
+* the language frontend fails with :class:`ShillSyntaxError` /
+  :class:`ShillRuntimeError` for parse and evaluation problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class SysError(ReproError):
+    """A failed system call in the simulated kernel.
+
+    Attributes
+    ----------
+    errno:
+        Numeric errno constant from :mod:`repro.kernel.errno_`.
+    name:
+        Symbolic errno name (``"EACCES"``), resolved lazily for messages.
+    """
+
+    def __init__(self, errno: int, msg: str = ""):
+        from repro.kernel import errno_
+
+        self.errno = errno
+        self.name = errno_.errorcode.get(errno, str(errno))
+        super().__init__(f"[{self.name}] {msg}" if msg else f"[{self.name}]")
+
+
+class ContractViolation(ReproError):
+    """A contract was violated; execution of the script aborts.
+
+    ``blame`` names the guilty party (provider or consumer of the
+    contracted value) so that, as the paper puts it, the runtime
+    "indicates which part of the script failed to meet its obligations."
+    """
+
+    def __init__(self, blame: str, contract: str, detail: str):
+        self.blame = blame
+        self.contract = contract
+        self.detail = detail
+        super().__init__(f"contract violation: blaming {blame}: {detail} (contract: {contract})")
+
+
+class ShillSyntaxError(ReproError):
+    """A parse error in a SHILL script, with source location."""
+
+    def __init__(self, msg: str, line: int = 0, col: int = 0, filename: str = "<script>"):
+        self.line = line
+        self.col = col
+        self.filename = filename
+        super().__init__(f"{filename}:{line}:{col}: {msg}")
+
+
+class ShillRuntimeError(ReproError):
+    """A runtime error in a SHILL script (unbound variable, bad arity, ...)."""
+
+
+class CapabilitySafetyError(ReproError):
+    """An operation that would break capability safety was attempted.
+
+    Raised, e.g., when a capability-safe script tries to import an ambient
+    script, mint a capability from a path, or serialize a capability.
+    """
+
+
+class SandboxError(ReproError):
+    """Misuse of the sandbox/session API (grant after enter, etc.)."""

@@ -1,0 +1,46 @@
+"""The simulated kernel substrate.
+
+See :mod:`repro.kernel.kernel` for the façade.  The package mirrors the
+FreeBSD pieces the SHILL paper builds on: VFS + name cache, the
+TrustedBSD MAC framework, processes, pipes, sockets, sysctl, IPC, and the
+syscall layer including the paper's new ``flinkat``/``funlinkat``/
+``frenameat``/``path`` system calls.
+"""
+
+from repro.kernel.kernel import Kernel, KernelStats
+from repro.kernel.syscalls import (
+    O_APPEND,
+    O_CREAT,
+    O_DIRECTORY,
+    O_EXCL,
+    O_EXEC,
+    O_NOFOLLOW,
+    O_RDONLY,
+    O_RDWR,
+    O_TRUNC,
+    O_WRONLY,
+    Stat,
+    SyscallInterface,
+)
+from repro.kernel.vfs import VFS, Label, Vnode, VType
+
+__all__ = [
+    "Kernel",
+    "KernelStats",
+    "SyscallInterface",
+    "Stat",
+    "VFS",
+    "Vnode",
+    "VType",
+    "Label",
+    "O_RDONLY",
+    "O_WRONLY",
+    "O_RDWR",
+    "O_APPEND",
+    "O_CREAT",
+    "O_TRUNC",
+    "O_EXCL",
+    "O_DIRECTORY",
+    "O_EXEC",
+    "O_NOFOLLOW",
+]

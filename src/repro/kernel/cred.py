@@ -1,0 +1,98 @@
+"""Credentials and discretionary access control (DAC).
+
+SHILL's sandbox enforces its capability-based MAC policy *in addition to*
+the operating system's DAC (section 2.3): "an operation on a resource by a
+sandboxed execution is permitted only if it passes the checks performed by
+the operating system based on the user's ambient authority and is also
+permitted by the capabilities possessed by the sandbox."
+
+This module supplies the first half of that conjunction: classic Unix
+owner/group/other mode-bit checks against a process credential.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# Permission "accmode" bits, matching the classic octal digits.
+R_OK = 4
+W_OK = 2
+X_OK = 1
+
+ROOT_UID = 0
+
+
+@dataclass(frozen=True)
+class Credential:
+    """An immutable process credential (uid, gid, supplementary groups)."""
+
+    uid: int
+    gid: int
+    groups: frozenset[int] = field(default_factory=frozenset)
+    username: str = ""
+
+    @property
+    def is_root(self) -> bool:
+        return self.uid == ROOT_UID
+
+    def in_group(self, gid: int) -> bool:
+        return gid == self.gid or gid in self.groups
+
+
+def dac_check(cred: Credential, *, mode: int, uid: int, gid: int, want: int) -> bool:
+    """Return True if ``cred`` may perform ``want`` (R_OK|W_OK|X_OK bits)
+    on an object with the given ``mode``/``uid``/``gid``.
+
+    Mirrors ``vaccess(9)``: root passes every check except execute on a
+    file with no execute bit at all (matching FreeBSD's behaviour, which
+    requires at least one x bit even for root).
+    """
+    if cred.is_root:
+        if want & X_OK and not mode & 0o111:
+            return False
+        return True
+    if cred.uid == uid:
+        granted = (mode >> 6) & 0o7
+    elif cred.in_group(gid):
+        granted = (mode >> 3) & 0o7
+    else:
+        granted = mode & 0o7
+    return (granted & want) == want
+
+
+class UserDB:
+    """A tiny ``/etc/passwd``-style user registry for the simulated system.
+
+    The world-image builder registers users here; ambient scripts run with
+    the credential of one of these users.
+    """
+
+    def __init__(self) -> None:
+        self._by_name: dict[str, Credential] = {}
+        self._by_uid: dict[int, Credential] = {}
+        self.add_user("root", ROOT_UID, 0)
+
+    def add_user(self, name: str, uid: int, gid: int, groups: frozenset[int] = frozenset()) -> Credential:
+        if name in self._by_name:
+            raise ValueError(f"duplicate user {name!r}")
+        if uid in self._by_uid:
+            raise ValueError(f"duplicate uid {uid}")
+        cred = Credential(uid=uid, gid=gid, groups=groups, username=name)
+        self._by_name[name] = cred
+        self._by_uid[uid] = cred
+        return cred
+
+    def lookup(self, name: str) -> Credential:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no such user: {name}") from None
+
+    def lookup_uid(self, uid: int) -> Credential:
+        try:
+            return self._by_uid[uid]
+        except KeyError:
+            raise KeyError(f"no such uid: {uid}") from None
+
+    def users(self) -> list[Credential]:
+        return list(self._by_name.values())

@@ -1,0 +1,80 @@
+"""Character devices.
+
+Section 3.2.3 of the paper documents a real limitation that this module
+deliberately reproduces: "The MAC framework does not interpose on read or
+write operations on character devices.  Thus, while the SHILL language
+exposes stdin, stdout, and stderr as file capabilities and enforces
+restrictions on how they can be used, sandboxed processes can bypass
+these restrictions if one of these capabilities abstracts a
+pseudo-terminal or other device."
+
+The syscall layer therefore skips the vnode read/write MAC hooks whenever
+the target vnode is a character device; a test in
+``tests/sandbox/test_limitations.py`` demonstrates the documented bypass.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class CharDevice:
+    """A character device with read/write handlers.
+
+    ``read_fn(size) -> bytes`` and ``write_fn(data) -> int``; either may be
+    ``None`` for a device that does not support the operation.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        read_fn: Callable[[int], bytes] | None = None,
+        write_fn: Callable[[bytes], int] | None = None,
+    ) -> None:
+        self.name = name
+        self._read_fn = read_fn
+        self._write_fn = write_fn
+
+    def read(self, size: int) -> bytes:
+        if self._read_fn is None:
+            return b""
+        return self._read_fn(size)
+
+    def write(self, data: bytes) -> int:
+        if self._write_fn is None:
+            return len(data)
+        return self._write_fn(data)
+
+
+class TtyDevice(CharDevice):
+    """A pseudo-terminal capturing output (and optionally scripted input).
+
+    Ambient scripts' ``stdout`` capability abstracts one of these; its
+    captured ``output`` is what tests and examples assert against.
+    """
+
+    def __init__(self, name: str = "ttyv0", input_data: bytes = b"") -> None:
+        self.output = bytearray()
+        self._input = bytearray(input_data)
+        super().__init__(name, read_fn=self._do_read, write_fn=self._do_write)
+
+    def _do_read(self, size: int) -> bytes:
+        out = bytes(self._input[:size])
+        del self._input[:size]
+        return out
+
+    def _do_write(self, data: bytes) -> int:
+        self.output.extend(data)
+        return len(data)
+
+    @property
+    def text(self) -> str:
+        return self.output.decode(errors="replace")
+
+
+def null_device() -> CharDevice:
+    return CharDevice("null", read_fn=lambda size: b"", write_fn=len)
+
+
+def zero_device() -> CharDevice:
+    return CharDevice("zero", read_fn=lambda size: b"\x00" * size, write_fn=len)

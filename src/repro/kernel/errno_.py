@@ -1,0 +1,61 @@
+"""Errno constants for the simulated kernel.
+
+Values follow FreeBSD's ``sys/errno.h`` so that logs read like the real
+system. Only the constants the simulated syscall layer actually raises are
+defined; ``errorcode`` maps numbers back to names for error messages.
+"""
+
+from __future__ import annotations
+
+EPERM = 1  # Operation not permitted
+ENOENT = 2  # No such file or directory
+ESRCH = 3  # No such process
+EINTR = 4  # Interrupted system call
+EIO = 5  # Input/output error
+ENXIO = 6  # Device not configured
+E2BIG = 7  # Argument list too long
+ENOEXEC = 8  # Exec format error
+EBADF = 9  # Bad file descriptor
+ECHILD = 10  # No child processes
+EDEADLK = 11  # Resource deadlock avoided
+ENOMEM = 12  # Cannot allocate memory
+EACCES = 13  # Permission denied
+EFAULT = 14  # Bad address
+ENOTBLK = 15  # Block device required
+EBUSY = 16  # Device busy
+EEXIST = 17  # File exists
+EXDEV = 18  # Cross-device link
+ENODEV = 19  # Operation not supported by device
+ENOTDIR = 20  # Not a directory
+EISDIR = 21  # Is a directory
+EINVAL = 22  # Invalid argument
+ENFILE = 23  # Too many open files in system
+EMFILE = 24  # Too many open files
+ENOTTY = 25  # Inappropriate ioctl for device
+ETXTBSY = 26  # Text file busy
+EFBIG = 27  # File too large
+ENOSPC = 28  # No space left on device
+ESPIPE = 29  # Illegal seek
+EROFS = 30  # Read-only filesystem
+EMLINK = 31  # Too many links
+EPIPE = 32  # Broken pipe
+EAGAIN = 35  # Resource temporarily unavailable
+EADDRINUSE = 48  # Address already in use
+EADDRNOTAVAIL = 49  # Can't assign requested address
+ENETUNREACH = 51  # Network is unreachable
+ECONNRESET = 54  # Connection reset by peer
+ENOBUFS = 55  # No buffer space available
+EISCONN = 56  # Socket is already connected
+ENOTCONN = 57  # Socket is not connected
+ECONNREFUSED = 61  # Connection refused
+ELOOP = 62  # Too many levels of symbolic links
+ENAMETOOLONG = 63  # File name too long
+ENOTEMPTY = 66  # Directory not empty
+ENOSYS = 78  # Function not implemented
+ENOTCAPABLE = 93  # Capabilities insufficient (Capsicum's errno, reused for MAC denials)
+
+errorcode: dict[int, str] = {
+    value: name
+    for name, value in list(globals().items())
+    if name.startswith("E") and isinstance(value, int)
+}

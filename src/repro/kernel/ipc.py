@@ -1,0 +1,64 @@
+"""POSIX and System V IPC.
+
+Figure 7: both IPC families are **denied** in the SHILL language and in
+capability-based sandboxes.  The registries below exist so that the
+denial is observable behaviour (an unsandboxed process can use them; a
+sandboxed one gets ``EACCES`` from the SHILL policy's ``ipc_check`` hook)
+rather than a missing feature.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import SysError
+from repro.kernel import errno_
+
+if TYPE_CHECKING:
+    from repro.kernel.mac import MacFramework
+    from repro.kernel.proc import Process
+
+
+class IpcRegistry:
+    """Named shared-memory segments (POSIX) and message queues (System V)."""
+
+    def __init__(self, mac: "MacFramework") -> None:
+        self._mac = mac
+        self._shm: dict[str, bytearray] = {}
+        self._msgq: dict[int, list[bytes]] = {}
+
+    # -- POSIX shared memory --------------------------------------------------
+
+    def shm_open(self, proc: "Process", name: str, create: bool) -> bytearray:
+        self._mac.check("ipc_check", proc, "posixshm", "open", name)
+        if name not in self._shm:
+            if not create:
+                raise SysError(errno_.ENOENT, f"shm {name!r}")
+            self._shm[name] = bytearray()
+        return self._shm[name]
+
+    def shm_unlink(self, proc: "Process", name: str) -> None:
+        self._mac.check("ipc_check", proc, "posixshm", "unlink", name)
+        if name not in self._shm:
+            raise SysError(errno_.ENOENT, f"shm {name!r}")
+        del self._shm[name]
+
+    # -- System V message queues -------------------------------------------------
+
+    def msgget(self, proc: "Process", key: int) -> int:
+        self._mac.check("ipc_check", proc, "sysvmsg", "get", str(key))
+        self._msgq.setdefault(key, [])
+        return key
+
+    def msgsnd(self, proc: "Process", key: int, data: bytes) -> None:
+        self._mac.check("ipc_check", proc, "sysvmsg", "send", str(key))
+        if key not in self._msgq:
+            raise SysError(errno_.EINVAL, f"msgq {key}")
+        self._msgq[key].append(data)
+
+    def msgrcv(self, proc: "Process", key: int) -> bytes:
+        self._mac.check("ipc_check", proc, "sysvmsg", "recv", str(key))
+        queue = self._msgq.get(key)
+        if not queue:
+            raise SysError(errno_.EAGAIN, f"msgq {key} empty")
+        return queue.pop(0)

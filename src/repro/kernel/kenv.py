@@ -1,0 +1,57 @@
+"""Kernel environment and kernel module (kld) management.
+
+Figure 7: the kernel environment and kernel modules are denied both in
+the SHILL language and in sandboxes.  The paper's security argument
+depends on the latter: "no sandboxed executable has a capability to
+unload kernel modules, including the module that enforces the MAC
+policy" (section 2.3) — a test asserts exactly this.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import SysError
+from repro.kernel import errno_
+
+if TYPE_CHECKING:
+    from repro.kernel.mac import MacFramework, MacPolicy
+    from repro.kernel.proc import Process
+
+
+class KernelEnv:
+    def __init__(self, mac: "MacFramework") -> None:
+        self._mac = mac
+        self._env: dict[str, str] = {"kernelname": "/boot/kernel/kernel"}
+
+    def get(self, proc: "Process", name: str) -> str:
+        self._mac.check("kenv_check", proc, "get", name)
+        try:
+            return self._env[name]
+        except KeyError:
+            raise SysError(errno_.ENOENT, f"kenv {name!r}") from None
+
+    def set(self, proc: "Process", name: str, value: str) -> None:
+        self._mac.check("kenv_check", proc, "set", name)
+        self._env[name] = value
+
+
+class KldManager:
+    """kldload/kldunload: loading/unloading kernel modules (MAC policies)."""
+
+    def __init__(self, mac: "MacFramework") -> None:
+        self._mac = mac
+
+    def kldload(self, proc: "Process", name: str, policy: "MacPolicy") -> None:
+        self._mac.check("kld_check_load", proc, name)
+        if not proc.cred.is_root:
+            raise SysError(errno_.EPERM, "kldload requires root")
+        self._mac.register(policy)
+
+    def kldunload(self, proc: "Process", name: str) -> None:
+        self._mac.check("kld_check_unload", proc, name)
+        if not proc.cred.is_root:
+            raise SysError(errno_.EPERM, "kldunload requires root")
+        if self._mac.find(name) is None:
+            raise SysError(errno_.ENOENT, f"module {name!r} not loaded")
+        self._mac.unregister(name)

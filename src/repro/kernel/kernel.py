@@ -1,0 +1,280 @@
+"""The Kernel façade: wires VFS, MAC, processes, network, and programs.
+
+A :class:`Kernel` is one booted machine.  Tests and benchmarks construct
+fresh kernels; the world-image builder (:mod:`repro.world.image`)
+populates the filesystem and registers users and simulated binaries.
+
+Program execution follows the dynamic-linking story that makes the
+paper's *wallets* necessary: an executable vnode names a registered
+:class:`~repro.programs.base.Program` and lists ``NEEDED`` shared
+libraries; at exec time the loader opens the runtime linker and every
+needed library **through ordinary path resolution in the executing
+process's context**.  Inside a sandbox those opens are subject to the
+session's privileges — which is exactly why "executing cat in a sandbox
+requires providing eight capabilities to libraries and configuration
+files in addition to capabilities for the executable itself" (§2.4.1).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from typing import TYPE_CHECKING
+
+from repro.errors import SysError
+from repro.kernel import errno_
+from repro.kernel.cred import Credential, UserDB
+from repro.kernel.ipc import IpcRegistry
+from repro.kernel.kenv import KernelEnv, KldManager
+from repro.kernel.mac import MacFramework
+from repro.kernel.proc import Process, ProcessTable
+from repro.kernel.sockets import Network
+from repro.kernel.syscalls import O_RDONLY, SyscallInterface
+from repro.kernel.sysctl import SysctlTree
+from repro.kernel.vfs import VFS, Vnode
+
+if TYPE_CHECKING:
+    from repro.programs.base import Program
+    from repro.sandbox.policy import ShillPolicy
+
+RTLD_PATH = "/libexec/ld-elf.so.1"
+DEFAULT_LIB_PATH = "/lib:/usr/lib:/usr/local/lib"
+DEFAULT_ENV = {
+    "PATH": "/bin:/usr/bin:/usr/local/bin",
+    "LD_LIBRARY_PATH": DEFAULT_LIB_PATH,
+}
+
+
+class KernelStats:
+    """Cheap deterministic counters used by the benchmark harness."""
+
+    def __init__(self) -> None:
+        self.syscalls: Counter[str] = Counter()
+        self.mac_checks = 0
+        self.mac_denials = 0
+        self.sandboxes_created = 0
+        self.execs = 0
+
+    def count_syscall(self, name: str) -> None:
+        self.syscalls[name] += 1
+
+    @property
+    def total_syscalls(self) -> int:
+        return sum(self.syscalls.values())
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "total_syscalls": self.total_syscalls,
+            "mac_checks": self.mac_checks,
+            "mac_denials": self.mac_denials,
+            "sandboxes_created": self.sandboxes_created,
+            "execs": self.execs,
+        }
+
+
+class Kernel:
+    """One booted simulated machine."""
+
+    def __init__(self) -> None:
+        self.vfs = VFS()
+        self.mac = MacFramework()
+        self.procs = ProcessTable()
+        self.network = Network()
+        self.users = UserDB()
+        self.sysctl = SysctlTree(self.mac)
+        self.ipc = IpcRegistry(self.mac)
+        self.kenv = KernelEnv(self.mac)
+        self.kld = KldManager(self.mac)
+        self.programs: dict[str, "Program"] = {}
+        self.stats = KernelStats()
+        self.mac.stats = self.stats
+        # Extension (off by default, reproducing the paper's §3.2.3
+        # limitation): when True, the MAC framework gains entry points
+        # around character-device read/write, closing the stdio bypass.
+        self.interpose_devices = False
+        self.boot_time = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # policy management
+    # ------------------------------------------------------------------
+
+    def install_shill_module(self) -> "ShillPolicy":
+        """Load the SHILL kernel module (the MAC policy).  Idempotent."""
+        from repro.sandbox.policy import ShillPolicy
+
+        existing = self.mac.find("shill")
+        if existing is not None:
+            assert isinstance(existing, ShillPolicy)
+            return existing
+        policy = ShillPolicy(self)
+        self.mac.register(policy)
+        return policy
+
+    def shill_policy(self) -> "ShillPolicy":
+        policy = self.mac.find("shill")
+        if policy is None:
+            raise SysError(errno_.ENOSYS, "shill kernel module not loaded")
+        from repro.sandbox.policy import ShillPolicy
+
+        assert isinstance(policy, ShillPolicy)
+        return policy
+
+    @property
+    def shill_installed(self) -> bool:
+        return self.mac.find("shill") is not None
+
+    # ------------------------------------------------------------------
+    # processes and syscalls
+    # ------------------------------------------------------------------
+
+    def spawn_process(self, user: str | Credential = "root", cwd: str = "/") -> Process:
+        cred = self.users.lookup(user) if isinstance(user, str) else user
+        cwd_vp = self._resolve_boot_path(cwd)
+        return self.procs.spawn(cred, cwd_vp)
+
+    def syscalls(self, proc: Process) -> SyscallInterface:
+        return SyscallInterface(self, proc)
+
+    def _resolve_boot_path(self, path: str) -> Vnode:
+        """Resolve a path with no subject (used only for kernel-side setup)."""
+        node = self.vfs.root
+        for comp in [p for p in path.split("/") if p]:
+            node = self.vfs.lookup(node, comp)
+        if not node.is_dir:
+            raise SysError(errno_.ENOTDIR, path)
+        return node
+
+    # ------------------------------------------------------------------
+    # program registry and exec
+    # ------------------------------------------------------------------
+
+    def register_program(self, program: "Program") -> None:
+        if program.name in self.programs:
+            raise ValueError(f"program {program.name!r} already registered")
+        self.programs[program.name] = program
+
+    def exec_file(
+        self,
+        proc: Process,
+        vp: Vnode,
+        argv: list[str],
+        env: dict[str, str] | None = None,
+    ) -> int:
+        """Execute the program image ``vp`` in process ``proc`` and run it
+        to completion; returns the exit status and reaps the process.
+
+        Loader errors and uncaught syscall errors are reported on the
+        process's stderr (fd 2) when present, mirroring how a shell user
+        experiences them, and yield conventional statuses: 126 for "found
+        but cannot execute / crashed", 127 for "missing program image".
+        """
+        sys = self.syscalls(proc)
+        environ = dict(DEFAULT_ENV)
+        if env:
+            environ.update(env)
+        self.stats.execs += 1
+        try:
+            self._exec_checks(sys, vp)
+            self._hydrate_image(vp)
+            vp, argv = self._maybe_shebang(sys, vp, list(argv))
+            program = self.programs.get(vp.program or "")
+            if program is None:
+                raise SysError(errno_.ENOEXEC, "not a registered program image")
+            self._load_dynamic(sys, vp, environ)
+            proc.argv = list(argv)
+            status = program.main(sys, list(argv), environ)
+            proc.exit_status = int(status or 0)
+        except SysError as err:
+            self._report_exec_error(sys, argv, err)
+            proc.exit_status = 127 if err.errno == errno_.ENOENT else 126
+        finally:
+            self.procs.reap(proc)
+        return proc.exit_status
+
+    def _exec_checks(self, sys: SyscallInterface, vp: Vnode) -> None:
+        from repro.kernel.cred import X_OK, dac_check
+
+        if not vp.is_reg:
+            raise SysError(errno_.EACCES, "exec of non-file")
+        if not dac_check(sys.proc.cred, mode=vp.mode, uid=vp.uid, gid=vp.gid, want=X_OK):
+            raise SysError(errno_.EACCES, "dac: exec")
+        self.mac.check("vnode_check_exec", sys.proc, vp)
+
+    def _hydrate_image(self, vp: Vnode) -> None:
+        """Derive (program, needed) from a pseudo-ELF header in the file
+        data when the vnode carries no metadata — this is how executables
+        extracted from tarballs (e.g. emacs's configure) become runnable.
+        """
+        if vp.program or not vp.is_reg or not vp.data:
+            return
+        if not bytes(vp.data[:5]) == b"#!ELF":
+            return
+        from repro.programs.base import parse_elf
+
+        program, needed = parse_elf(bytes(vp.data))
+        vp.program = program
+        vp.needed = needed
+
+    def _maybe_shebang(
+        self, sys: SyscallInterface, vp: Vnode, argv: list[str]
+    ) -> tuple[Vnode, list[str]]:
+        """Interpreter scripts: a ``#!/path`` first line re-invokes the
+        interpreter with the script path prepended to argv.  The
+        interpreter binary is resolved and checked *in the executing
+        process's context*, so a sandbox needs it granted (wallets'
+        PATH capabilities cover this)."""
+        if vp.program or not vp.is_reg or not vp.data:
+            return vp, argv
+        data = bytes(vp.data[:64])
+        if not data.startswith(b"#!") or data.startswith(b"#!ELF"):
+            return vp, argv
+        first_line = data.split(b"\n", 1)[0][2:].decode(errors="replace").strip()
+        interp_path = first_line.split()[0] if first_line else ""
+        if not interp_path:
+            raise SysError(errno_.ENOEXEC, "empty shebang")
+        try:
+            script_path = self.vfs.path_of(vp)
+        except SysError:
+            script_path = argv[0] if argv else "?"
+        _, _, ivp = sys._resolve(interp_path)
+        if ivp is None:
+            raise SysError(errno_.ENOENT, f"interpreter {interp_path!r}")
+        self._exec_checks(sys, ivp)
+        self._hydrate_image(ivp)
+        return ivp, [interp_path, script_path] + argv[1:]
+
+    def _load_dynamic(self, sys: SyscallInterface, vp: Vnode, env: dict[str, str]) -> None:
+        """Simulate the runtime linker: open rtld and every NEEDED library
+        via normal path resolution (MAC-mediated in the caller's session).
+        """
+        if not vp.needed:
+            return  # static binary
+        sys.close(sys.open(RTLD_PATH, O_RDONLY))
+        libpath = env.get("LD_LIBRARY_PATH", DEFAULT_LIB_PATH).split(":")
+        for lib in vp.needed:
+            self._open_library(sys, lib, libpath)
+
+    def _open_library(self, sys: SyscallInterface, lib: str, libpath: list[str]) -> None:
+        last_error: SysError | None = None
+        for directory in libpath:
+            if not directory:
+                continue
+            candidate = directory.rstrip("/") + "/" + lib
+            try:
+                sys.close(sys.open(candidate, O_RDONLY))
+                return
+            except SysError as err:
+                last_error = err
+        detail = f"shared library {lib!r} not found in {':'.join(libpath)}"
+        if last_error is not None and last_error.errno != errno_.ENOENT:
+            raise SysError(last_error.errno, detail)
+        raise SysError(errno_.ENOENT, detail)
+
+    @staticmethod
+    def _report_exec_error(sys: SyscallInterface, argv: list[str], err: SysError) -> None:
+        name = argv[0] if argv else "?"
+        try:
+            if 2 in sys.proc.fdtable:
+                sys.write(2, f"{name}: {err}\n".encode())
+        except SysError:
+            pass

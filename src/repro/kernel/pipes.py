@@ -1,0 +1,68 @@
+"""Pipes: unidirectional byte channels between processes.
+
+A :class:`Pipe` is the labelled kernel object (SHILL attaches privilege
+maps to it); its two :class:`PipeEnd` halves are what file descriptors
+reference.  The language-level *pipe factory* capability (section 3.1.1)
+"has a create operation that returns a pair of pipe ends"; each end is a
+file capability.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SysError
+from repro.kernel import errno_
+from repro.kernel.vfs import Label
+
+
+class Pipe:
+    """The kernel pipe object: a bounded FIFO byte buffer plus MAC label."""
+
+    BUFSIZE = 64 * 1024
+
+    def __init__(self) -> None:
+        self.buffer = bytearray()
+        self.read_open = True
+        self.write_open = True
+        self.label = Label()
+
+    def write(self, data: bytes) -> int:
+        if not self.write_open:
+            raise SysError(errno_.EBADF, "write end closed")
+        if not self.read_open:
+            raise SysError(errno_.EPIPE, "reader gone")
+        self.buffer.extend(data)
+        return len(data)
+
+    def read(self, size: int) -> bytes:
+        if not self.read_open:
+            raise SysError(errno_.EBADF, "read end closed")
+        out = bytes(self.buffer[:size])
+        del self.buffer[:size]
+        return out
+
+
+class PipeEnd:
+    """One half of a pipe; referenced by an :class:`OpenFile`."""
+
+    __slots__ = ("pipe", "writable")
+
+    def __init__(self, pipe: Pipe, writable: bool) -> None:
+        self.pipe = pipe
+        self.writable = writable
+
+    @property
+    def label(self) -> Label:
+        # Both ends share the pipe's label: privileges are per-pipe.
+        return self.pipe.label
+
+    def on_last_close(self) -> None:
+        if self.writable:
+            self.pipe.write_open = False
+        else:
+            self.pipe.read_open = False
+
+
+def make_pipe() -> tuple[PipeEnd, PipeEnd]:
+    """Create a pipe; returns ``(read_end, write_end)``."""
+    pipe = Pipe()
+    return PipeEnd(pipe, writable=False), PipeEnd(pipe, writable=True)

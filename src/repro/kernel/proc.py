@@ -1,0 +1,138 @@
+"""Processes: creation, exec, wait, signals, and resource limits.
+
+Execution in the simulated kernel is synchronous and cooperative —
+``exec`` runs the target program to completion on the caller's stack —
+which keeps every security decision deterministic while exercising the
+same mediation points a preemptive kernel would.
+
+Two properties from the paper are modelled here:
+
+* **Session confinement of process interaction** (section 3.2.2):
+  "processes in a session can only interact with processes in the same
+  session or a descendent session.  A process in a sandbox cannot debug,
+  send signals to, or wait for a process outside of its session."  The
+  checks themselves live in the SHILL MAC policy; this module routes
+  ``kill``/``wait``/``ptrace`` through the MAC hooks.
+* **ulimits** (Figure 7, note ‡): "SHILL allows calls to the exec function
+  to specify ulimit parameters for the child process."
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import SysError
+from repro.kernel import errno_
+from repro.kernel.cred import Credential
+from repro.kernel.fdesc import FDTable
+
+if TYPE_CHECKING:
+    from repro.kernel.vfs import Vnode
+    from repro.sandbox.session import Session
+
+SIGKILL = 9
+SIGTERM = 15
+SIGUSR1 = 30
+
+
+@dataclass
+class Ulimits:
+    """Per-process resource limits (the subset exec can set)."""
+
+    cpu_seconds: Optional[int] = None
+    file_size: Optional[int] = None
+    open_files: Optional[int] = None
+    processes: Optional[int] = None
+
+    def merged_with(self, overrides: dict[str, int] | None) -> "Ulimits":
+        if not overrides:
+            return self
+        known = {"cpu_seconds", "file_size", "open_files", "processes"}
+        bad = set(overrides) - known
+        if bad:
+            raise SysError(errno_.EINVAL, f"unknown ulimit(s): {sorted(bad)}")
+        merged = Ulimits(self.cpu_seconds, self.file_size, self.open_files, self.processes)
+        for key, value in overrides.items():
+            setattr(merged, key, value)
+        return merged
+
+
+@dataclass
+class Process:
+    """A simulated process."""
+
+    pid: int
+    ppid: int
+    cred: Credential
+    cwd: "Vnode"
+    fdtable: FDTable = field(default_factory=FDTable)
+    session: Optional["Session"] = None
+    ulimits: Ulimits = field(default_factory=Ulimits)
+    exited: bool = False
+    exit_status: int = 0
+    killed_by: int | None = None
+    pending_signals: list[int] = field(default_factory=list)
+    children: list["Process"] = field(default_factory=list)
+    argv: list[str] = field(default_factory=list)
+
+    def deliver(self, signum: int) -> None:
+        if signum == SIGKILL:
+            self.exited = True
+            self.killed_by = signum
+            self.exit_status = 128 + signum
+        else:
+            self.pending_signals.append(signum)
+
+
+class ProcessTable:
+    """All live (and zombie) processes, keyed by pid."""
+
+    def __init__(self) -> None:
+        self._procs: dict[int, Process] = {}
+        self._pids = itertools.count(1)
+
+    def spawn(self, cred: Credential, cwd: "Vnode", ppid: int = 0) -> Process:
+        proc = Process(pid=next(self._pids), ppid=ppid, cred=cred, cwd=cwd)
+        self._procs[proc.pid] = proc
+        return proc
+
+    def fork(self, parent: Process) -> Process:
+        """Create a child: same credential and cwd, *shared* open files
+        (each descriptor is duplicated into the child's table), inherited
+        session (per the paper: "Processes spawned by a process in a
+        session are by default placed in the same session").
+        """
+        child = Process(
+            pid=next(self._pids),
+            ppid=parent.pid,
+            cred=parent.cred,
+            cwd=parent.cwd,
+            session=parent.session,
+            ulimits=parent.ulimits,
+        )
+        for fd in parent.fdtable.fds():
+            parent.fdtable.dup_into(child.fdtable, fd, fd)
+        self._procs[child.pid] = child
+        parent.children.append(child)
+        if parent.session is not None:
+            parent.session.attach(child)
+        return child
+
+    def get(self, pid: int) -> Process:
+        try:
+            return self._procs[pid]
+        except KeyError:
+            raise SysError(errno_.ESRCH, f"pid {pid}") from None
+
+    def reap(self, proc: Process) -> None:
+        """Tear down an exited process: close fds, detach from session."""
+        proc.exited = True
+        proc.fdtable.close_all()
+        if proc.session is not None:
+            proc.session.detach(proc)
+            proc.session = None
+
+    def live_processes(self) -> list[Process]:
+        return [p for p in self._procs.values() if not p.exited]

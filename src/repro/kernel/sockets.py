@@ -1,0 +1,151 @@
+"""Sockets and a loopback network.
+
+The simulated network supports the two domains SHILL's sandbox controls
+with capabilities (Figure 7: "Sockets (IP, Unix): Capabilities"; all other
+socket families are denied outright).  Delivery is synchronous loopback:
+``connect`` pairs the client socket with a server-side socket queued on a
+listener, and ``send``/``recv`` move bytes between paired buffers.
+
+Network *services* (e.g. the origin server the Download benchmark's
+``curl`` talks to) are Python callables registered on the
+:class:`Network`; when a client connects to a service address the service
+is run immediately against the server-side socket.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+from repro.errors import SysError
+from repro.kernel import errno_
+from repro.kernel.vfs import Label
+
+
+class AddressFamily(enum.IntEnum):
+    AF_UNIX = 1
+    AF_INET = 2
+    # A representative "other" family, denied everywhere (Figure 7).
+    AF_NETGRAPH = 32
+
+
+class SocketType(enum.IntEnum):
+    SOCK_STREAM = 1
+    SOCK_DGRAM = 2
+
+
+class Socket:
+    """A kernel socket object with MAC label."""
+
+    def __init__(self, domain: AddressFamily, stype: SocketType) -> None:
+        self.domain = domain
+        self.stype = stype
+        self.label = Label()
+        self.bound_addr: tuple | None = None
+        self.listening = False
+        self.backlog: list[Socket] = []
+        self.peer: Socket | None = None
+        self.recv_buffer = bytearray()
+        self.closed = False
+        self.network: "Network | None" = None
+
+    def on_last_close(self) -> None:
+        self.closed = True
+        if self.peer is not None:
+            self.peer.peer = None
+        if self.network is not None and self.listening:
+            self.network.unlisten(self)
+
+
+Service = Callable[[Socket], None]
+
+
+class Network:
+    """The loopback network: listener registry plus in-kernel services."""
+
+    def __init__(self) -> None:
+        self._listeners: dict[tuple, Socket] = {}
+        self._services: dict[tuple, Service] = {}
+        self._listen_hooks: dict[tuple, Callable[[Socket], None]] = {}
+
+    # -- service registration (world/benchmark plumbing, not a syscall) ------
+
+    def register_service(self, addr: tuple, service: Service) -> None:
+        """Register a host-side service reachable at ``addr``.
+
+        Used to simulate remote servers (e.g. the GNU mirror that the
+        Emacs Download benchmark fetches from).
+        """
+        self._services[addr] = service
+
+    def register_listen_hook(self, addr: tuple, hook: Callable[[Socket], None]) -> None:
+        """Run ``hook(listener)`` the moment a socket starts listening on
+        ``addr``.  Benchmark drivers use this to enqueue client
+        connections for a synchronous server (e.g. the Apache Benchmark
+        tool flooding httpd with requests)."""
+        self._listen_hooks[addr] = hook
+
+    # -- socket operations called by the syscall layer ------------------------
+
+    def bind(self, sock: Socket, addr: tuple) -> None:
+        if sock.bound_addr is not None:
+            raise SysError(errno_.EINVAL, "already bound")
+        if addr in self._listeners or addr in self._services:
+            raise SysError(errno_.EADDRINUSE, str(addr))
+        sock.bound_addr = addr
+        sock.network = self
+
+    def listen(self, sock: Socket) -> None:
+        if sock.bound_addr is None:
+            raise SysError(errno_.EINVAL, "not bound")
+        sock.listening = True
+        self._listeners[sock.bound_addr] = sock
+        hook = self._listen_hooks.get(sock.bound_addr)
+        if hook is not None:
+            hook(sock)
+
+    def connect(self, sock: Socket, addr: tuple) -> None:
+        if sock.peer is not None:
+            raise SysError(errno_.EISCONN, "already connected")
+        service = self._services.get(addr)
+        if service is not None:
+            server_side = Socket(sock.domain, sock.stype)
+            self._pair(sock, server_side)
+            service(server_side)
+            return
+        listener = self._listeners.get(addr)
+        if listener is None or not listener.listening:
+            raise SysError(errno_.ECONNREFUSED, str(addr))
+        server_side = Socket(listener.domain, listener.stype)
+        self._pair(sock, server_side)
+        listener.backlog.append(server_side)
+
+    def accept(self, sock: Socket) -> Socket:
+        if not sock.listening:
+            raise SysError(errno_.EINVAL, "not listening")
+        if not sock.backlog:
+            raise SysError(errno_.EAGAIN, "no pending connections")
+        return sock.backlog.pop(0)
+
+    def send(self, sock: Socket, data: bytes) -> int:
+        if sock.peer is None:
+            raise SysError(errno_.ENOTCONN, "not connected")
+        sock.peer.recv_buffer.extend(data)
+        return len(data)
+
+    def recv(self, sock: Socket, size: int) -> bytes:
+        if sock.peer is None and not sock.recv_buffer:
+            raise SysError(errno_.ENOTCONN, "not connected")
+        out = bytes(sock.recv_buffer[:size])
+        del sock.recv_buffer[:size]
+        return out
+
+    def unlisten(self, sock: Socket) -> None:
+        if sock.bound_addr in self._listeners and self._listeners[sock.bound_addr] is sock:
+            del self._listeners[sock.bound_addr]
+        sock.listening = False
+
+    @staticmethod
+    def _pair(a: Socket, b: Socket) -> None:
+        a.peer = b
+        b.peer = a

@@ -1,0 +1,49 @@
+"""The sysctl tree.
+
+Per Figure 7 of the paper, sysctl access from the SHILL *language* is
+denied entirely, while inside capability-based *sandboxes* it is
+read-only.  The enforcement lives in the SHILL MAC policy
+(``system_check_sysctl``); this module is just the dotted-name key/value
+store with MAC mediation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import SysError
+from repro.kernel import errno_
+
+if TYPE_CHECKING:
+    from repro.kernel.mac import MacFramework
+    from repro.kernel.proc import Process
+
+DEFAULT_SYSCTLS: dict[str, object] = {
+    "kern.ostype": "FreeBSD",
+    "kern.osrelease": "9.2-RELEASE",
+    "kern.hostname": "shill-repro",
+    "hw.ncpu": 6,
+    "hw.physmem": 6 * 1024**3,
+    "kern.maxfiles": 65536,
+    "security.mac.shill.enabled": 1,
+}
+
+
+class SysctlTree:
+    def __init__(self, mac: "MacFramework") -> None:
+        self._mac = mac
+        self._values: dict[str, object] = dict(DEFAULT_SYSCTLS)
+
+    def get(self, proc: "Process", name: str) -> object:
+        self._mac.check("system_check_sysctl", proc, name, False)
+        try:
+            return self._values[name]
+        except KeyError:
+            raise SysError(errno_.ENOENT, f"sysctl {name!r}") from None
+
+    def set(self, proc: "Process", name: str, value: object) -> None:
+        self._mac.check("system_check_sysctl", proc, name, True)
+        self._values[name] = value
+
+    def names(self) -> list[str]:
+        return sorted(self._values)

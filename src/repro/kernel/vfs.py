@@ -1,0 +1,400 @@
+"""The virtual filesystem: vnodes, directory entries, and the name cache.
+
+This is the substrate the SHILL sandbox protects.  It is an in-memory
+tree of :class:`Vnode` objects mirroring the parts of FreeBSD's VFS that
+SHILL's paper depends on:
+
+* vnodes carry type, DAC attributes, and a MAC **label** slot where the
+  framework stores per-policy state (SHILL stores privilege maps there);
+* directories map names to child vnodes, and support hard links (regular
+  files may appear under several names);
+* a **name cache** remembers the last (parent, name) under which each
+  vnode was reached, backing the paper's new ``path`` system call ("attempts
+  to retrieve an accessible path for a file descriptor from the
+  filesystem's lookup cache", section 3.1.3);
+* executables are vnodes tagged with a registered program name plus the
+  list of ``NEEDED`` shared libraries, which the loader opens at exec time
+  (so sandboxes must be granted library capabilities, as in the paper's
+  ``cat`` example that needs eight extra capabilities).
+
+Path *resolution* (walking components, symlinks, MAC lookup hooks) lives
+in :mod:`repro.kernel.syscalls`; this module only provides the mechanical
+tree operations and raises :class:`SysError` for structural errors.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import SysError
+from repro.kernel import errno_
+
+if TYPE_CHECKING:
+    from repro.kernel.devices import CharDevice
+
+NAME_MAX = 255
+
+
+class VType(enum.Enum):
+    """Vnode types (a subset of FreeBSD's ``vtype``)."""
+
+    VREG = "regular"
+    VDIR = "directory"
+    VLNK = "symlink"
+    VCHR = "chardev"
+    VFIFO = "fifo"
+    VSOCK = "socket"
+
+
+class Label:
+    """A MAC label: per-policy storage attached to a kernel object.
+
+    The MAC framework provides "a policy-agnostic mechanism for attaching
+    security labels to kernel objects" (section 3.2).  Policies index into
+    the label by their registered name; SHILL stores its privilege map
+    under ``"shill"``.
+    """
+
+    __slots__ = ("_slots",)
+
+    def __init__(self) -> None:
+        self._slots: dict[str, object] = {}
+
+    def get(self, policy: str) -> object | None:
+        return self._slots.get(policy)
+
+    def set(self, policy: str, value: object) -> None:
+        self._slots[policy] = value
+
+    def clear(self, policy: str) -> None:
+        self._slots.pop(policy, None)
+
+
+_vid_counter = itertools.count(1)
+
+
+class Vnode:
+    """A single filesystem object.
+
+    Regular files store bytes in ``data``; directories store a name→vnode
+    map in ``entries``; symlinks store their target path in ``linktarget``;
+    character devices reference a :class:`~repro.kernel.devices.CharDevice`.
+    Executable regular files additionally carry ``program`` (the registered
+    simulated-binary name) and ``needed`` (shared-library basenames reported
+    by ``ldd``).
+    """
+
+    __slots__ = (
+        "vid",
+        "vtype",
+        "mode",
+        "uid",
+        "gid",
+        "flags",
+        "nlink",
+        "data",
+        "entries",
+        "linktarget",
+        "device",
+        "program",
+        "needed",
+        "label",
+        "nc_parent",
+        "nc_name",
+        "mtime",
+    )
+
+    def __init__(
+        self,
+        vtype: VType,
+        mode: int,
+        uid: int,
+        gid: int,
+    ) -> None:
+        self.vid: int = next(_vid_counter)
+        self.vtype = vtype
+        self.mode = mode
+        self.uid = uid
+        self.gid = gid
+        self.flags = 0
+        self.nlink = 1
+        self.data = bytearray() if vtype is VType.VREG else None
+        self.entries: dict[str, Vnode] | None = {} if vtype is VType.VDIR else None
+        self.linktarget: str | None = None
+        self.device: Optional["CharDevice"] = None
+        self.program: str | None = None
+        self.needed: list[str] = []
+        self.label = Label()
+        # Name-cache backpointer: last (parent vnode, name) this vnode was
+        # reachable at.  Supports the `path` syscall; invalidated on unlink.
+        self.nc_parent: Vnode | None = None
+        self.nc_name: str | None = None
+        self.mtime: int = 0
+
+    # -- convenience predicates -------------------------------------------------
+
+    @property
+    def is_dir(self) -> bool:
+        return self.vtype is VType.VDIR
+
+    @property
+    def is_reg(self) -> bool:
+        return self.vtype is VType.VREG
+
+    @property
+    def is_symlink(self) -> bool:
+        return self.vtype is VType.VLNK
+
+    @property
+    def is_chardev(self) -> bool:
+        return self.vtype is VType.VCHR
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Vnode {self.vid} {self.vtype.value} {self.nc_name or '?'}>"
+
+
+class VFS:
+    """The filesystem tree and its mechanical operations.
+
+    All methods operate on already-resolved directory vnodes with a single
+    name component — multi-component resolution, symlink following, and
+    security checks are the syscall layer's job.  This split mirrors the
+    kernel, where ``namei`` drives per-component VOP_LOOKUPs.
+    """
+
+    def __init__(self) -> None:
+        self.root = Vnode(VType.VDIR, 0o755, 0, 0)
+        self.root.nc_name = "/"
+        self._generation = 0
+
+    # -- lookup -----------------------------------------------------------------
+
+    def lookup(self, dvp: Vnode, name: str) -> Vnode:
+        """Look up ``name`` in directory ``dvp``. Handles ``.`` and ``..``.
+
+        ``..`` is resolved through the name cache backpointer, as the real
+        kernel resolves it through the directory entry; at the root, ``..``
+        is the root itself.
+        """
+        self._check_component(name)
+        if not dvp.is_dir:
+            raise SysError(errno_.ENOTDIR, f"lookup {name!r} in non-directory")
+        if name == ".":
+            return dvp
+        if name == "..":
+            return dvp.nc_parent if dvp.nc_parent is not None else self.root
+        assert dvp.entries is not None
+        try:
+            vp = dvp.entries[name]
+        except KeyError:
+            raise SysError(errno_.ENOENT, f"no entry {name!r}") from None
+        # Refresh the name cache on every successful lookup.
+        vp.nc_parent = dvp
+        vp.nc_name = name
+        return vp
+
+    def exists(self, dvp: Vnode, name: str) -> bool:
+        return bool(dvp.is_dir and dvp.entries is not None and name in dvp.entries)
+
+    def contents(self, dvp: Vnode) -> list[str]:
+        if not dvp.is_dir:
+            raise SysError(errno_.ENOTDIR, "contents of non-directory")
+        assert dvp.entries is not None
+        return sorted(dvp.entries)
+
+    # -- creation ---------------------------------------------------------------
+
+    def create(self, dvp: Vnode, name: str, vtype: VType, mode: int, uid: int, gid: int) -> Vnode:
+        """Create a new vnode of ``vtype`` named ``name`` inside ``dvp``."""
+        self._check_component(name)
+        if name in (".", ".."):
+            raise SysError(errno_.EEXIST, name)
+        if not dvp.is_dir:
+            raise SysError(errno_.ENOTDIR, "create in non-directory")
+        if dvp.nlink <= 0:
+            raise SysError(errno_.ENOENT, "directory has been removed")
+        assert dvp.entries is not None
+        if name in dvp.entries:
+            raise SysError(errno_.EEXIST, f"entry {name!r} exists")
+        vp = Vnode(vtype, mode, uid, gid)
+        dvp.entries[name] = vp
+        vp.nc_parent = dvp
+        vp.nc_name = name
+        self._generation += 1
+        return vp
+
+    def symlink(self, dvp: Vnode, name: str, target: str, uid: int, gid: int) -> Vnode:
+        vp = self.create(dvp, name, VType.VLNK, 0o777, uid, gid)
+        vp.linktarget = target
+        return vp
+
+    # -- link / unlink / rename ---------------------------------------------------
+
+    def link(self, file_vp: Vnode, dvp: Vnode, name: str) -> None:
+        """Install a hard link to ``file_vp`` at ``dvp``/``name``.
+
+        This is the mechanism behind the paper's ``flinkat`` system call,
+        which "installs a link to a file in a directory given file
+        descriptors for both the file and the directory" — no path ever
+        designates the source, so there is no TOCTTOU window.
+        """
+        self._check_component(name)
+        if file_vp.is_dir:
+            raise SysError(errno_.EPERM, "hard link to directory")
+        if not dvp.is_dir:
+            raise SysError(errno_.ENOTDIR, "link target not a directory")
+        if dvp.nlink <= 0:
+            raise SysError(errno_.ENOENT, "directory has been removed")
+        assert dvp.entries is not None
+        if name in dvp.entries:
+            raise SysError(errno_.EEXIST, f"entry {name!r} exists")
+        dvp.entries[name] = file_vp
+        file_vp.nlink += 1
+        self._generation += 1
+
+    def unlink(self, dvp: Vnode, name: str, expect: Vnode | None = None) -> Vnode:
+        """Remove entry ``name`` from ``dvp``; returns the unlinked vnode.
+
+        With ``expect`` set this is ``funlinkat``: the entry is removed only
+        if it still refers to that exact vnode, otherwise ``EDEADLK`` — the
+        fd-based race-free unlink from section 3.1.3.
+        """
+        self._check_component(name)
+        if name in (".", ".."):
+            raise SysError(errno_.EINVAL, name)
+        if not dvp.is_dir:
+            raise SysError(errno_.ENOTDIR, "unlink in non-directory")
+        assert dvp.entries is not None
+        try:
+            vp = dvp.entries[name]
+        except KeyError:
+            raise SysError(errno_.ENOENT, f"no entry {name!r}") from None
+        if expect is not None and vp is not expect:
+            raise SysError(errno_.EDEADLK, f"entry {name!r} no longer refers to the expected file")
+        if vp.is_dir:
+            assert vp.entries is not None
+            if vp.entries:
+                raise SysError(errno_.ENOTEMPTY, f"directory {name!r} not empty")
+        del dvp.entries[name]
+        vp.nlink -= 1
+        if vp.nc_parent is dvp and vp.nc_name == name:
+            vp.nc_parent = None
+            vp.nc_name = None
+        self._generation += 1
+        return vp
+
+    def rename(self, src_dvp: Vnode, src_name: str, dst_dvp: Vnode, dst_name: str) -> Vnode:
+        """Move ``src_dvp``/``src_name`` to ``dst_dvp``/``dst_name``."""
+        self._check_component(src_name)
+        self._check_component(dst_name)
+        vp = self.lookup(src_dvp, src_name)
+        if vp.is_dir and self._in_subtree(vp, dst_dvp):
+            # Moving a directory into itself/its own subtree would orphan
+            # a cycle; the real kernel refuses with EINVAL.
+            raise SysError(errno_.EINVAL, "rename would move a directory into itself")
+        if self.exists(dst_dvp, dst_name):
+            existing = self.lookup(dst_dvp, dst_name)
+            if existing is vp:
+                return vp
+            if existing.is_dir:
+                raise SysError(errno_.EISDIR, f"rename target {dst_name!r} is a directory")
+            self.unlink(dst_dvp, dst_name)
+        if dst_dvp.nlink <= 0:
+            raise SysError(errno_.ENOENT, "target directory has been removed")
+        assert src_dvp.entries is not None and dst_dvp.entries is not None
+        del src_dvp.entries[src_name]
+        dst_dvp.entries[dst_name] = vp
+        vp.nc_parent = dst_dvp
+        vp.nc_name = dst_name
+        self._generation += 1
+        return vp
+
+    @staticmethod
+    def _in_subtree(root: Vnode, candidate: Vnode) -> bool:
+        """Is ``candidate`` inside (or equal to) the tree rooted at ``root``?"""
+        stack = [root]
+        seen: set[int] = set()
+        while stack:
+            node = stack.pop()
+            if node is candidate:
+                return True
+            if node.vid in seen or node.entries is None:
+                continue
+            seen.add(node.vid)
+            stack.extend(child for child in node.entries.values() if child.is_dir)
+        return False
+
+    # -- the name cache / `path` -----------------------------------------------
+
+    def path_of(self, vp: Vnode) -> str:
+        """Reconstruct an accessible path for ``vp`` from the name cache.
+
+        Raises ``ENOENT`` when the chain is broken (e.g. the file was
+        unlinked), matching the paper's note that "if the path system call
+        fails, SHILL uses the last known path at which the file was
+        accessible" — that fallback lives in the capability layer.
+        """
+        if vp is self.root:
+            return "/"
+        parts: list[str] = []
+        node = vp
+        seen: set[int] = set()
+        while node is not self.root:
+            if node.vid in seen or node.nc_parent is None or node.nc_name is None:
+                raise SysError(errno_.ENOENT, "name cache cannot resolve a path")
+            # Verify the cached entry is still live.
+            parent = node.nc_parent
+            if not parent.is_dir or parent.entries is None or parent.entries.get(node.nc_name) is not node:
+                raise SysError(errno_.ENOENT, "stale name cache entry")
+            seen.add(node.vid)
+            parts.append(node.nc_name)
+            node = parent
+        return "/" + "/".join(reversed(parts))
+
+    # -- data I/O ----------------------------------------------------------------
+
+    def read_file(self, vp: Vnode, offset: int, size: int) -> bytes:
+        if not vp.is_reg:
+            raise SysError(errno_.EINVAL, "read from non-regular file")
+        assert vp.data is not None
+        if offset < 0:
+            raise SysError(errno_.EINVAL, "negative offset")
+        return bytes(vp.data[offset : offset + size])
+
+    def write_file(self, vp: Vnode, offset: int, data: bytes) -> int:
+        if not vp.is_reg:
+            raise SysError(errno_.EINVAL, "write to non-regular file")
+        assert vp.data is not None
+        if offset < 0:
+            raise SysError(errno_.EINVAL, "negative offset")
+        end = offset + len(data)
+        if len(vp.data) < offset:
+            vp.data.extend(b"\x00" * (offset - len(vp.data)))
+        vp.data[offset:end] = data
+        self._generation += 1
+        return len(data)
+
+    def truncate_file(self, vp: Vnode, length: int) -> None:
+        if not vp.is_reg:
+            raise SysError(errno_.EINVAL, "truncate non-regular file")
+        assert vp.data is not None
+        if length < 0:
+            raise SysError(errno_.EINVAL, "negative length")
+        if length <= len(vp.data):
+            del vp.data[length:]
+        else:
+            vp.data.extend(b"\x00" * (length - len(vp.data)))
+        self._generation += 1
+
+    # -- internals ---------------------------------------------------------------
+
+    @staticmethod
+    def _check_component(name: str) -> None:
+        if not name:
+            raise SysError(errno_.EINVAL, "empty name component")
+        if "/" in name:
+            raise SysError(errno_.EINVAL, f"component {name!r} contains '/'")
+        if len(name) > NAME_MAX:
+            raise SysError(errno_.ENAMETOOLONG, name[:32] + "...")

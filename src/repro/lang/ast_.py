@@ -1,0 +1,188 @@
+"""Abstract syntax for SHILL scripts (both dialects) and contract syntax."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+# ---------------------------------------------------------------------------
+# expressions and statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Node:
+    pass
+
+
+@dataclass(frozen=True)
+class Lit(Node):
+    value: object  # str | int | float | bool
+
+
+@dataclass(frozen=True)
+class Var(Node):
+    name: str
+
+
+@dataclass(frozen=True)
+class ListLit(Node):
+    items: tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class Call(Node):
+    fn: "Expr"
+    args: tuple["Expr", ...]
+    kwargs: tuple[tuple[str, "Expr"], ...] = ()
+
+
+@dataclass(frozen=True)
+class UnOp(Node):
+    op: str  # "!" | "-"
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class BinOp(Node):
+    op: str  # && || == != < > <= >= + - * / %
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class If(Node):
+    cond: "Expr"
+    then: "Stmt"
+    otherwise: Optional["Stmt"] = None
+
+
+@dataclass(frozen=True)
+class For(Node):
+    var: str
+    iterable: "Expr"
+    body: "Block"
+
+
+@dataclass(frozen=True)
+class Fun(Node):
+    params: tuple[str, ...]
+    body: "Block"
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class Block(Node):
+    stmts: tuple["Stmt", ...]
+
+
+@dataclass(frozen=True)
+class Def(Node):
+    name: str
+    expr: "Expr"
+
+
+@dataclass(frozen=True)
+class ExprStmt(Node):
+    expr: "Expr"
+
+
+Expr = Union[Lit, Var, ListLit, Call, UnOp, BinOp, Fun, If, Block]
+Stmt = Union[Def, ExprStmt, If, For, Block]
+
+# ---------------------------------------------------------------------------
+# contract syntax
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CtcNode(Node):
+    pass
+
+
+@dataclass(frozen=True)
+class CtcName(CtcNode):
+    """A contract referenced by name: a predicate (is_file), a named
+    abbreviation (readonly), a wallet kind (native_wallet), or a
+    polymorphic variable in scope."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class CtcPrivItem(CtcNode):
+    """``+priv`` with an optional ``with { ... }`` modifier; the modifier
+    may also be the identifier ``full_privs`` ("with full privileges")."""
+
+    priv: str
+    modifier: Optional[tuple[str, ...]] = None
+    modifier_full: bool = False
+
+
+@dataclass(frozen=True)
+class CtcCap(CtcNode):
+    """``file(+a, +b)`` / ``dir(...)`` / ``pipe(...)`` / ``cap(...)``."""
+
+    kind: str
+    items: tuple[CtcPrivItem, ...]
+
+
+@dataclass(frozen=True)
+class CtcOr(CtcNode):
+    parts: tuple["Ctc", ...]
+
+
+@dataclass(frozen=True)
+class CtcAnd(CtcNode):
+    parts: tuple["Ctc", ...]
+
+
+@dataclass(frozen=True)
+class CtcFun(CtcNode):
+    """``{x : C, ...} -> R`` or anonymous ``C -> R``."""
+
+    params: tuple[tuple[str, "Ctc"], ...]
+    result: "Ctc"
+
+
+@dataclass(frozen=True)
+class CtcForall(CtcNode):
+    var: str
+    bound: tuple[str, ...]
+    body: CtcFun
+
+
+Ctc = Union[CtcName, CtcCap, CtcOr, CtcAnd, CtcFun, CtcForall]
+
+# ---------------------------------------------------------------------------
+# module structure
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Require(Node):
+    """``require shill/native;`` or ``require "script.cap";``"""
+
+    target: str
+    is_path: bool  # True for quoted file targets
+
+
+@dataclass(frozen=True)
+class Provide(Node):
+    """``provide name : contract;``"""
+
+    name: str
+    contract: Ctc
+
+
+@dataclass(frozen=True)
+class Module(Node):
+    lang: str  # "shill/cap" | "shill/ambient"
+    requires: tuple[Require, ...] = ()
+    provides: tuple[Provide, ...] = ()
+    body: tuple[Stmt, ...] = ()
+    filename: str = "<script>"
+
+    @property
+    def is_ambient(self) -> bool:
+        return self.lang == "shill/ambient"

@@ -1,0 +1,200 @@
+"""The capability-safe evaluator.
+
+A small strict evaluator with no mutable variables and no ambient
+authority: every resource the script touches arrives as a capability
+argument or is derived from one.  The evaluator also owns **value
+application** — closures, builtins, and contract-guarded functions all
+funnel through :meth:`Interp.apply`, which is where function contracts
+interpose.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.errors import ShillRuntimeError
+from repro.contracts.functionctc import GuardedFunction
+from repro.lang import ast_ as A
+from repro.lang.env import Env
+from repro.lang.values import VOID, BuiltinFunction, Closure, truthy
+
+_PENDING = object()
+
+
+class Interp:
+    """Evaluator shared by both dialects (the ambient dialect is the same
+    machine over a restricted AST plus ambient builtins)."""
+
+    def __init__(self, runtime=None) -> None:
+        self.runtime = runtime
+
+    # ------------------------------------------------------------------
+    # application
+    # ------------------------------------------------------------------
+
+    def apply(self, fn: Any, args: Sequence[Any], kwargs: Mapping[str, Any] | None = None) -> Any:
+        kwargs = kwargs or {}
+        if isinstance(fn, GuardedFunction):
+            return fn.invoke(self._apply_raw, args, kwargs)
+        return self._apply_raw(fn, args, kwargs)
+
+    def _apply_raw(self, fn: Any, args: Sequence[Any], kwargs: Mapping[str, Any]) -> Any:
+        if isinstance(fn, GuardedFunction):
+            # A guarded function reached through another contract layer.
+            return fn.invoke(self._apply_raw, args, kwargs)
+        if isinstance(fn, Closure):
+            if kwargs:
+                raise ShillRuntimeError(
+                    f"{fn.display_name} does not accept keyword arguments"
+                )
+            if len(args) != len(fn.params):
+                raise ShillRuntimeError(
+                    f"{fn.display_name} expects {len(fn.params)} argument(s), got {len(args)}"
+                )
+            env = fn.env.child()
+            for name, value in zip(fn.params, args):
+                env.define(name, value)
+            return self.exec_block(fn.body, env)
+        if isinstance(fn, BuiltinFunction):
+            return fn.fn(*args, **kwargs)
+        if callable(fn):
+            return fn(*args, **kwargs)
+        raise ShillRuntimeError(f"not a function: {fn!r}")
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def exec_stmts(self, stmts: Sequence[A.Stmt], env: Env) -> Any:
+        result: Any = VOID
+        for stmt in stmts:
+            result = self.exec_stmt(stmt, env)
+        return result
+
+    def exec_stmt(self, stmt: A.Stmt, env: Env) -> Any:
+        if isinstance(stmt, A.Def):
+            env.define(stmt.name, _PENDING)
+            value = self.eval(stmt.expr, env)
+            if isinstance(value, Closure) and not value.name:
+                value.name = stmt.name
+            env.complete_definition(stmt.name, value)
+            return VOID
+        if isinstance(stmt, A.ExprStmt):
+            return self.eval(stmt.expr, env)
+        if isinstance(stmt, A.If):
+            if truthy(self.eval(stmt.cond, env)):
+                return self.exec_stmt(stmt.then, env)
+            if stmt.otherwise is not None:
+                return self.exec_stmt(stmt.otherwise, env)
+            return VOID
+        if isinstance(stmt, A.For):
+            iterable = self.eval(stmt.iterable, env)
+            if not isinstance(iterable, (list, tuple)):
+                raise ShillRuntimeError(f"for expects a list, got {iterable!r}")
+            for item in iterable:
+                body_env = env.child()
+                body_env.define(stmt.var, item)
+                self.exec_stmts(stmt.body.stmts, body_env)
+            return VOID
+        if isinstance(stmt, A.Block):
+            return self.exec_block(stmt, env)
+        raise ShillRuntimeError(f"unknown statement {stmt!r}")
+
+    def exec_block(self, block: A.Block, env: Env) -> Any:
+        return self.exec_stmts(block.stmts, env.child())
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    def eval(self, expr: A.Expr, env: Env) -> Any:
+        if isinstance(expr, A.Lit):
+            return expr.value
+        if isinstance(expr, A.Var):
+            value = env.lookup(expr.name)
+            if value is _PENDING:
+                raise ShillRuntimeError(
+                    f"variable {expr.name!r} used before its definition completed"
+                )
+            return value
+        if isinstance(expr, A.ListLit):
+            return [self.eval(item, env) for item in expr.items]
+        if isinstance(expr, A.Fun):
+            return Closure(expr.name, list(expr.params), expr.body, env)
+        if isinstance(expr, A.Call):
+            fn = self.eval(expr.fn, env)
+            args = [self.eval(arg, env) for arg in expr.args]
+            kwargs = {key: self.eval(val, env) for key, val in expr.kwargs}
+            return self.apply(fn, args, kwargs)
+        if isinstance(expr, A.UnOp):
+            return self._unop(expr, env)
+        if isinstance(expr, A.BinOp):
+            return self._binop(expr, env)
+        if isinstance(expr, A.If):
+            if truthy(self.eval(expr.cond, env)):
+                return self.exec_stmt(expr.then, env)
+            if expr.otherwise is not None:
+                return self.exec_stmt(expr.otherwise, env)
+            return VOID
+        if isinstance(expr, A.Block):
+            return self.exec_block(expr, env)
+        raise ShillRuntimeError(f"unknown expression {expr!r}")
+
+    def _unop(self, expr: A.UnOp, env: Env) -> Any:
+        value = self.eval(expr.operand, env)
+        if expr.op == "!":
+            return not truthy(value)
+        if expr.op == "-":
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ShillRuntimeError(f"unary - on non-number {value!r}")
+            return -value
+        raise ShillRuntimeError(f"unknown unary operator {expr.op!r}")
+
+    def _binop(self, expr: A.BinOp, env: Env) -> Any:
+        op = expr.op
+        if op == "&&":
+            return truthy(self.eval(expr.left, env)) and truthy(self.eval(expr.right, env))
+        if op == "||":
+            return truthy(self.eval(expr.left, env)) or truthy(self.eval(expr.right, env))
+        left = self.eval(expr.left, env)
+        right = self.eval(expr.right, env)
+        if op == "==":
+            return left == right
+        if op == "!=":
+            return left != right
+        if op == "+":
+            if isinstance(left, str) and isinstance(right, str):
+                return left + right
+            return self._arith(op, left, right)
+        if op in ("-", "*", "/", "%"):
+            return self._arith(op, left, right)
+        if op in ("<", ">", "<=", ">="):
+            self._require_num(left, op)
+            self._require_num(right, op)
+            return {"<": left < right, ">": left > right, "<=": left <= right, ">=": left >= right}[op]
+        raise ShillRuntimeError(f"unknown operator {op!r}")
+
+    def _arith(self, op: str, left: Any, right: Any) -> Any:
+        self._require_num(left, op)
+        self._require_num(right, op)
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise ShillRuntimeError("division by zero")
+            result = left / right
+            return int(result) if isinstance(left, int) and isinstance(right, int) and left % right == 0 else result
+        if op == "%":
+            if right == 0:
+                raise ShillRuntimeError("modulo by zero")
+            return left % right
+        raise AssertionError(op)
+
+    @staticmethod
+    def _require_num(value: Any, op: str) -> None:
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ShillRuntimeError(f"operator {op!r} expects numbers, got {value!r}")

@@ -1,0 +1,456 @@
+"""Recursive-descent parser for SHILL scripts and their contracts.
+
+Handles both dialects (the ``#lang`` line is stripped by the module
+reader and passed in as ``lang``).  The ambient dialect's restrictions
+("straight line code", no functions/conditionals/loops) are enforced
+post-parse by :func:`check_ambient_restrictions` so the error messages
+can be precise.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ShillSyntaxError
+from repro.lang import ast_ as A
+from repro.lang.lexer import lex
+from repro.lang.tokens import T, Token
+
+_CAP_KINDS = {"file", "dir", "cap", "pipe"}
+
+
+class Parser:
+    def __init__(self, tokens: list[Token], filename: str) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.filename = filename
+
+    # -- token plumbing -----------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def at(self, ttype: T, value: str | None = None) -> bool:
+        tok = self.peek()
+        return tok.type is ttype and (value is None or tok.value == value)
+
+    def at_keyword(self, word: str) -> bool:
+        return self.at(T.IDENT, word)
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.type is not T.EOF:
+            self.pos += 1
+        return tok
+
+    def expect(self, ttype: T, value: str | None = None) -> Token:
+        tok = self.peek()
+        if tok.type is not ttype or (value is not None and tok.value != value):
+            want = value or ttype.value
+            raise self.error(f"expected {want!r}, found {tok.value!r}", tok)
+        return self.advance()
+
+    def error(self, msg: str, tok: Token | None = None) -> ShillSyntaxError:
+        tok = tok or self.peek()
+        return ShillSyntaxError(msg, tok.line, tok.col, self.filename)
+
+    # -- module -------------------------------------------------------------------
+
+    def parse_module(self, lang: str) -> A.Module:
+        requires: list[A.Require] = []
+        provides: list[A.Provide] = []
+        body: list[A.Stmt] = []
+        while not self.at(T.EOF):
+            if self.at_keyword("require"):
+                requires.append(self.parse_require())
+            elif self.at_keyword("provide"):
+                provides.append(self.parse_provide())
+            else:
+                body.append(self.parse_stmt())
+        return A.Module(
+            lang=lang,
+            requires=tuple(requires),
+            provides=tuple(provides),
+            body=tuple(body),
+            filename=self.filename,
+        )
+
+    def parse_require(self) -> A.Require:
+        self.expect(T.IDENT, "require")
+        if self.at(T.STRING):
+            target = self.advance().value
+            self.expect(T.SEMI)
+            return A.Require(target, is_path=True)
+        parts = [self.expect(T.IDENT).value]
+        while self.at(T.SLASH):
+            self.advance()
+            parts.append(self.expect(T.IDENT).value)
+        self.expect(T.SEMI)
+        return A.Require("/".join(parts), is_path=False)
+
+    def parse_provide(self) -> A.Provide:
+        self.expect(T.IDENT, "provide")
+        name = self.expect(T.IDENT).value
+        self.expect(T.COLON)
+        contract = self.parse_contract()
+        self.expect(T.SEMI)
+        return A.Provide(name, contract)
+
+    # -- statements ------------------------------------------------------------------
+
+    def parse_stmt(self) -> A.Stmt:
+        if self.at_keyword("if"):
+            return self.parse_if()
+        if self.at_keyword("for"):
+            return self.parse_for()
+        if self.at(T.LBRACE):
+            return self.parse_block()
+        # definition: IDENT '=' ... (but not '==')
+        if self.at(T.IDENT) and not self.peek().is_keyword and self.peek(1).type is T.ASSIGN:
+            name = self.advance().value
+            self.advance()  # '='
+            expr = self.parse_expr()
+            self._end_stmt(expr)
+            return A.Def(name, expr)
+        expr = self.parse_expr()
+        self._end_stmt(expr)
+        return A.ExprStmt(expr)
+
+    def _end_stmt(self, expr: A.Expr) -> None:
+        """Statements end with ';' — optional after a brace-closed form
+        (function literals), matching the paper's listings."""
+        if self.at(T.SEMI):
+            self.advance()
+        elif not isinstance(expr, A.Fun):
+            self.expect(T.SEMI)
+
+    def parse_if(self) -> A.If:
+        self.expect(T.IDENT, "if")
+        cond = self.parse_expr()
+        self.expect(T.IDENT, "then")
+        then = self._parse_branch()
+        otherwise = None
+        if self.at_keyword("else"):
+            self.advance()
+            otherwise = self._parse_branch()
+        return A.If(cond, then, otherwise)
+
+    def _parse_branch(self) -> A.Stmt:
+        """An if/else branch: a nested if/for/block, or a bare expression.
+        A trailing ';' is consumed when present, but is not required before
+        'else' (``if n <= 1 then 1 else n * fact(n - 1);``)."""
+        if self.at_keyword("if"):
+            return self.parse_if()
+        if self.at_keyword("for"):
+            return self.parse_for()
+        if self.at(T.LBRACE):
+            return self.parse_block()
+        expr = self.parse_expr()
+        if self.at(T.SEMI):
+            self.advance()
+        return A.ExprStmt(expr)
+
+    def parse_for(self) -> A.For:
+        self.expect(T.IDENT, "for")
+        var = self.expect(T.IDENT).value
+        self.expect(T.IDENT, "in")
+        iterable = self.parse_expr()
+        body = self.parse_block()
+        return A.For(var, iterable, body)
+
+    def parse_block(self) -> A.Block:
+        self.expect(T.LBRACE)
+        stmts: list[A.Stmt] = []
+        while not self.at(T.RBRACE):
+            if self.at(T.EOF):
+                raise self.error("unterminated block")
+            stmts.append(self.parse_stmt())
+        self.expect(T.RBRACE)
+        return A.Block(tuple(stmts))
+
+    # -- expressions -------------------------------------------------------------------
+
+    def parse_expr(self) -> A.Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> A.Expr:
+        left = self.parse_and()
+        while self.at(T.OR):
+            self.advance()
+            left = A.BinOp("||", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> A.Expr:
+        left = self.parse_cmp()
+        while self.at(T.AND):
+            self.advance()
+            left = A.BinOp("&&", left, self.parse_cmp())
+        return left
+
+    _CMP = {T.EQ: "==", T.NE: "!=", T.LT: "<", T.GT: ">", T.LE: "<=", T.GE: ">="}
+
+    def parse_cmp(self) -> A.Expr:
+        left = self.parse_add()
+        if self.peek().type in self._CMP:
+            op = self._CMP[self.advance().type]
+            return A.BinOp(op, left, self.parse_add())
+        return left
+
+    def parse_add(self) -> A.Expr:
+        left = self.parse_mul()
+        while self.peek().type in (T.PLUS, T.MINUS):
+            op = "+" if self.advance().type is T.PLUS else "-"
+            left = A.BinOp(op, left, self.parse_mul())
+        return left
+
+    def parse_mul(self) -> A.Expr:
+        left = self.parse_unary()
+        while self.peek().type in (T.STAR, T.SLASH, T.PERCENT):
+            tok = self.advance()
+            op = {"*": "*", "/": "/", "%": "%"}[tok.value]
+            left = A.BinOp(op, left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> A.Expr:
+        if self.at(T.NOT):
+            self.advance()
+            return A.UnOp("!", self.parse_unary())
+        if self.at(T.MINUS):
+            self.advance()
+            return A.UnOp("-", self.parse_unary())
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> A.Expr:
+        expr = self.parse_primary()
+        while self.at(T.LPAREN):
+            args, kwargs = self.parse_call_args()
+            expr = A.Call(expr, tuple(args), tuple(kwargs))
+        return expr
+
+    def parse_call_args(self) -> tuple[list[A.Expr], list[tuple[str, A.Expr]]]:
+        self.expect(T.LPAREN)
+        args: list[A.Expr] = []
+        kwargs: list[tuple[str, A.Expr]] = []
+        while not self.at(T.RPAREN):
+            # keyword argument: IDENT '=' expr
+            if self.at(T.IDENT) and not self.peek().is_keyword and self.peek(1).type is T.ASSIGN:
+                key = self.advance().value
+                self.advance()
+                kwargs.append((key, self.parse_expr()))
+            else:
+                if kwargs:
+                    raise self.error("positional argument after keyword argument")
+                args.append(self.parse_expr())
+            if not self.at(T.RPAREN):
+                self.expect(T.COMMA)
+        self.expect(T.RPAREN)
+        return args, kwargs
+
+    def parse_primary(self) -> A.Expr:
+        tok = self.peek()
+        if tok.type is T.NUMBER:
+            self.advance()
+            value: object = float(tok.value) if "." in tok.value else int(tok.value)
+            return A.Lit(value)
+        if tok.type is T.STRING:
+            self.advance()
+            return A.Lit(tok.value)
+        if self.at_keyword("true"):
+            self.advance()
+            return A.Lit(True)
+        if self.at_keyword("false"):
+            self.advance()
+            return A.Lit(False)
+        if self.at_keyword("fun"):
+            return self.parse_fun()
+        if tok.type is T.IDENT:
+            if tok.is_keyword:
+                raise self.error(f"unexpected keyword {tok.value!r}")
+            self.advance()
+            return A.Var(tok.value)
+        if tok.type is T.LBRACKET:
+            return self.parse_list()
+        if tok.type is T.LBRACE:
+            # A block expression: its value is the last statement's value.
+            return self.parse_block()
+        if tok.type is T.LPAREN:
+            self.advance()
+            expr = self.parse_expr()
+            self.expect(T.RPAREN)
+            return expr
+        raise self.error(f"unexpected token {tok.value!r}")
+
+    def parse_fun(self) -> A.Fun:
+        self.expect(T.IDENT, "fun")
+        self.expect(T.LPAREN)
+        params: list[str] = []
+        while not self.at(T.RPAREN):
+            params.append(self.expect(T.IDENT).value)
+            if not self.at(T.RPAREN):
+                self.expect(T.COMMA)
+        self.expect(T.RPAREN)
+        body = self.parse_block()
+        return A.Fun(tuple(params), body)
+
+    def parse_list(self) -> A.ListLit:
+        self.expect(T.LBRACKET)
+        items: list[A.Expr] = []
+        while not self.at(T.RBRACKET):
+            items.append(self.parse_expr())
+            if not self.at(T.RBRACKET):
+                self.expect(T.COMMA)
+        self.expect(T.RBRACKET)
+        return A.ListLit(tuple(items))
+
+    # -- contracts ------------------------------------------------------------------------
+
+    def parse_contract(self) -> A.Ctc:
+        if self.at_keyword("forall"):
+            return self.parse_forall()
+        return self.parse_ctc_arrow()
+
+    def parse_forall(self) -> A.CtcForall:
+        self.expect(T.IDENT, "forall")
+        var = self.expect(T.IDENT).value
+        self.expect(T.IDENT, "with")
+        self.expect(T.LBRACE)
+        bound: list[str] = []
+        while not self.at(T.RBRACE):
+            bound.append(self.expect(T.PRIV).value)
+            if not self.at(T.RBRACE):
+                self.expect(T.COMMA)
+        self.expect(T.RBRACE)
+        self.expect(T.DOT)
+        body = self.parse_ctc_arrow()
+        if not isinstance(body, A.CtcFun):
+            raise self.error("forall body must be a function contract")
+        return A.CtcForall(var, tuple(bound), body)
+
+    def parse_ctc_arrow(self) -> A.Ctc:
+        """Either a named-parameter function contract, or ``C [-> R]``."""
+        if self.at(T.LBRACE):
+            return self.parse_ctc_fun_named()
+        left = self.parse_ctc_or()
+        if self.at(T.ARROW):
+            self.advance()
+            result = self.parse_ctc_arrow()
+            return A.CtcFun((("arg", left),), result)
+        return left
+
+    def parse_ctc_fun_named(self) -> A.CtcFun:
+        self.expect(T.LBRACE)
+        params: list[tuple[str, A.Ctc]] = []
+        while not self.at(T.RBRACE):
+            name = self.expect(T.IDENT).value
+            self.expect(T.COLON)
+            params.append((name, self.parse_contract()))
+            if not self.at(T.RBRACE):
+                self.expect(T.COMMA)
+        self.expect(T.RBRACE)
+        self.expect(T.ARROW)
+        result = self.parse_ctc_arrow()
+        return A.CtcFun(tuple(params), result)
+
+    def parse_ctc_or(self) -> A.Ctc:
+        parts = [self.parse_ctc_and()]
+        while self.at(T.OR_CTC) or self.at(T.OR):
+            self.advance()
+            parts.append(self.parse_ctc_and())
+        return parts[0] if len(parts) == 1 else A.CtcOr(tuple(parts))
+
+    def parse_ctc_and(self) -> A.Ctc:
+        parts = [self.parse_ctc_atom()]
+        while self.at(T.AND_CTC) or self.at(T.AND):
+            self.advance()
+            parts.append(self.parse_ctc_atom())
+        return parts[0] if len(parts) == 1 else A.CtcAnd(tuple(parts))
+
+    def parse_ctc_atom(self) -> A.Ctc:
+        if self.at(T.LPAREN):
+            self.advance()
+            inner = self.parse_contract()
+            self.expect(T.RPAREN)
+            return inner
+        if self.at(T.LBRACE):
+            return self.parse_ctc_fun_named()
+        tok = self.expect(T.IDENT)
+        name = tok.value
+        if self.at(T.LPAREN) and (name in _CAP_KINDS or name == "socket_factory"):
+            return self.parse_ctc_cap(name)
+        return A.CtcName(name)
+
+    def parse_ctc_cap(self, kind: str) -> A.CtcCap:
+        self.expect(T.LPAREN)
+        items: list[A.CtcPrivItem] = []
+        while not self.at(T.RPAREN):
+            priv = self.expect(T.PRIV).value
+            modifier: tuple[str, ...] | None = None
+            modifier_full = False
+            if self.at_keyword("with"):
+                self.advance()
+                if self.at(T.LBRACE):
+                    self.advance()
+                    mods: list[str] = []
+                    while not self.at(T.RBRACE):
+                        mods.append(self.expect(T.PRIV).value)
+                        if not self.at(T.RBRACE):
+                            self.expect(T.COMMA)
+                    self.expect(T.RBRACE)
+                    modifier = tuple(mods)
+                else:
+                    word = self.expect(T.IDENT).value
+                    if word not in ("full_privs", "full_priv"):
+                        raise self.error(f"expected privilege set or full_privs, got {word!r}")
+                    modifier_full = True
+            items.append(A.CtcPrivItem(priv, modifier, modifier_full))
+            if not self.at(T.RPAREN):
+                self.expect(T.COMMA)
+        self.expect(T.RPAREN)
+        return A.CtcCap(kind, tuple(items))
+
+
+def parse_source(source: str, lang: str, filename: str = "<script>") -> A.Module:
+    tokens = lex(source, filename)
+    return Parser(tokens, filename).parse_module(lang)
+
+
+def check_ambient_restrictions(module: A.Module) -> None:
+    """Enforce section 2.5: "ambient scripts contain straight line code
+    that can import capability-safe scripts, create capabilities ... and
+    call functions exported by capability-safe scripts."  No function
+    definitions, conditionals, or loops."""
+    for stmt in module.body:
+        _check_ambient_stmt(stmt, module.filename)
+    if module.provides:
+        raise ShillSyntaxError(
+            "ambient scripts cannot provide functions", filename=module.filename
+        )
+
+
+def _check_ambient_stmt(stmt: A.Stmt, filename: str) -> None:
+    if isinstance(stmt, (A.If, A.For, A.Block)):
+        raise ShillSyntaxError(
+            "ambient scripts are straight-line: no if/for/blocks", filename=filename
+        )
+    expr = stmt.expr if isinstance(stmt, (A.Def, A.ExprStmt)) else None
+    if expr is not None:
+        _check_ambient_expr(expr, filename)
+
+
+def _check_ambient_expr(expr: A.Expr, filename: str) -> None:
+    if isinstance(expr, A.Fun):
+        raise ShillSyntaxError(
+            "ambient scripts cannot define functions", filename=filename
+        )
+    for child in getattr(expr, "args", ()) or ():
+        _check_ambient_expr(child, filename)
+    for _, child in getattr(expr, "kwargs", ()) or ():
+        _check_ambient_expr(child, filename)
+    if isinstance(expr, A.Call):
+        _check_ambient_expr(expr.fn, filename)
+    if isinstance(expr, A.ListLit):
+        for child in expr.items:
+            _check_ambient_expr(child, filename)
+    if isinstance(expr, A.BinOp):
+        _check_ambient_expr(expr.left, filename)
+        _check_ambient_expr(expr.right, filename)
+    if isinstance(expr, A.UnOp):
+        _check_ambient_expr(expr.operand, filename)

@@ -1,0 +1,110 @@
+"""Pretty-printer for SHILL ASTs.
+
+Used for diagnostics (showing the contract or expression a violation
+points at) and by the parser round-trip property tests: for any AST,
+``parse(pprint(ast))`` re-produces the AST.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast_ as A
+
+
+def pprint_expr(expr: A.Expr) -> str:
+    if isinstance(expr, A.Lit):
+        value = expr.value
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        if isinstance(value, str):
+            escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+            escaped = escaped.replace("\n", "\\n").replace("\t", "\\t")
+            return f'"{escaped}"'
+        return repr(value)
+    if isinstance(expr, A.Var):
+        return expr.name
+    if isinstance(expr, A.ListLit):
+        return "[" + ", ".join(pprint_expr(item) for item in expr.items) + "]"
+    if isinstance(expr, A.Call):
+        args = [pprint_expr(a) for a in expr.args]
+        args += [f"{key} = {pprint_expr(val)}" for key, val in expr.kwargs]
+        return f"{pprint_expr(expr.fn)}({', '.join(args)})"
+    if isinstance(expr, A.UnOp):
+        return f"{expr.op}({pprint_expr(expr.operand)})"
+    if isinstance(expr, A.BinOp):
+        return f"({pprint_expr(expr.left)} {expr.op} {pprint_expr(expr.right)})"
+    if isinstance(expr, A.Fun):
+        return f"fun({', '.join(expr.params)}) {pprint_block(expr.body)}"
+    if isinstance(expr, A.If):
+        return pprint_stmt(expr).rstrip()
+    if isinstance(expr, A.Block):
+        return pprint_block(expr)
+    raise TypeError(f"cannot print {expr!r}")
+
+
+def pprint_stmt(stmt: A.Stmt) -> str:
+    if isinstance(stmt, A.Def):
+        body = pprint_expr(stmt.expr)
+        suffix = "" if isinstance(stmt.expr, A.Fun) else ";"
+        return f"{stmt.name} = {body}{suffix}\n"
+    if isinstance(stmt, A.ExprStmt):
+        return f"{pprint_expr(stmt.expr)};\n"
+    if isinstance(stmt, A.If):
+        out = f"if {pprint_expr(stmt.cond)} then {pprint_stmt(stmt.then).rstrip()}"
+        if stmt.otherwise is not None:
+            out += f" else {pprint_stmt(stmt.otherwise).rstrip()}"
+        return out + "\n"
+    if isinstance(stmt, A.For):
+        return f"for {stmt.var} in {pprint_expr(stmt.iterable)} {pprint_block(stmt.body)}\n"
+    if isinstance(stmt, A.Block):
+        return pprint_block(stmt) + "\n"
+    raise TypeError(f"cannot print {stmt!r}")
+
+
+def pprint_block(block: A.Block) -> str:
+    inner = "".join("  " + pprint_stmt(s) for s in block.stmts)
+    return "{\n" + inner + "}"
+
+
+def pprint_ctc(ctc: A.Ctc) -> str:
+    if isinstance(ctc, A.CtcName):
+        return ctc.name
+    if isinstance(ctc, A.CtcCap):
+        items = []
+        for item in ctc.items:
+            text = f"+{item.priv}"
+            if item.modifier_full:
+                text += " with full_privs"
+            elif item.modifier is not None:
+                text += " with {" + ", ".join(f"+{m}" for m in item.modifier) + "}"
+            items.append(text)
+        return f"{ctc.kind}({', '.join(items)})"
+    if isinstance(ctc, A.CtcOr):
+        return " \\/ ".join(_ctc_atom(p) for p in ctc.parts)
+    if isinstance(ctc, A.CtcAnd):
+        return " && ".join(_ctc_atom(p) for p in ctc.parts)
+    if isinstance(ctc, A.CtcFun):
+        params = ", ".join(f"{name} : {pprint_ctc(c)}" for name, c in ctc.params)
+        return f"{{{params}}} -> {pprint_ctc(ctc.result)}"
+    if isinstance(ctc, A.CtcForall):
+        bound = ", ".join(f"+{p}" for p in ctc.bound)
+        return f"forall {ctc.var} with {{{bound}}} . {pprint_ctc(ctc.body)}"
+    raise TypeError(f"cannot print {ctc!r}")
+
+
+def _ctc_atom(ctc: A.Ctc) -> str:
+    text = pprint_ctc(ctc)
+    if isinstance(ctc, (A.CtcOr, A.CtcAnd, A.CtcFun, A.CtcForall)):
+        return f"({text})"
+    return text
+
+
+def pprint_module(module: A.Module) -> str:
+    parts = [f"#lang {module.lang}\n"]
+    for req in module.requires:
+        target = f'"{req.target}"' if req.is_path else req.target
+        parts.append(f"require {target};\n")
+    for prov in module.provides:
+        parts.append(f"provide {prov.name} : {pprint_ctc(prov.contract)};\n")
+    for stmt in module.body:
+        parts.append(pprint_stmt(stmt))
+    return "".join(parts)

@@ -1,0 +1,76 @@
+"""Token definitions for the SHILL concrete syntax."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class T(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    PRIV = "priv"  # +read, +create-file, ...
+
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    SEMI = ";"
+    COLON = ":"
+    DOT = "."
+    ASSIGN = "="
+
+    ARROW = "->"
+    OR_CTC = "\\/"  # contract disjunction
+    AND_CTC = "/\\"  # contract conjunction
+    AND = "&&"
+    OR = "||"
+    EQ = "=="
+    NE = "!="
+    LE = "<="
+    GE = ">="
+    LT = "<"
+    GT = ">"
+    NOT = "!"
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "fun",
+    "if",
+    "then",
+    "else",
+    "for",
+    "in",
+    "provide",
+    "require",
+    "forall",
+    "with",
+    "true",
+    "false",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    type: T
+    value: str
+    line: int
+    col: int
+
+    @property
+    def is_keyword(self) -> bool:
+        return self.type is T.IDENT and self.value in KEYWORDS
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.name}, {self.value!r}, {self.line}:{self.col})"

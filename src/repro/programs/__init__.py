@@ -1,0 +1,6 @@
+"""Simulated native executables (programs run inside the simulated kernel)."""
+
+from repro.programs.base import Program, elf_image, parse_elf
+from repro.programs.registry import ALL_PROGRAMS, INSTALL_LOCATIONS, register_all
+
+__all__ = ["Program", "elf_image", "parse_elf", "ALL_PROGRAMS", "INSTALL_LOCATIONS", "register_all"]

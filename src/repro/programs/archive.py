@@ -1,0 +1,166 @@
+"""Archiving: tar and gzip (simulated formats).
+
+The archive format is deliberately simple but real enough that the Untar
+benchmark exercises genuine filesystem churn: every member becomes a
+create+write inside the sandbox.
+
+tar format::
+
+    SIMTAR1\n
+    <path> <size>\n<bytes><path> <size>\n<bytes>...
+
+gzip "compression" frames the payload (``SIMGZ1`` + length); it exists so
+``tar xzf`` has a decompression step and the emacs tarball is a .tar.gz.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SysError
+from repro.programs.base import Program
+
+TAR_MAGIC = b"SIMTAR1\n"
+GZ_MAGIC = b"SIMGZ1\n"
+
+
+def tar_create(members: list[tuple[str, bytes]]) -> bytes:
+    """Build an archive (used by world fixtures and the tar program)."""
+    out = bytearray(TAR_MAGIC)
+    for path, data in members:
+        out.extend(f"{path} {len(data)}\n".encode())
+        out.extend(data)
+    return bytes(out)
+
+
+def tar_extract_members(data: bytes) -> list[tuple[str, bytes]]:
+    if not data.startswith(TAR_MAGIC):
+        raise ValueError("not a SIMTAR archive")
+    members: list[tuple[str, bytes]] = []
+    i = len(TAR_MAGIC)
+    while i < len(data):
+        nl = data.index(b"\n", i)
+        header = data[i:nl].decode()
+        path, size_s = header.rsplit(" ", 1)
+        size = int(size_s)
+        start = nl + 1
+        members.append((path, bytes(data[start : start + size])))
+        i = start + size
+    return members
+
+
+def gzip_compress(data: bytes) -> bytes:
+    return GZ_MAGIC + str(len(data)).encode() + b"\n" + data
+
+
+def gzip_decompress(data: bytes) -> bytes:
+    if not data.startswith(GZ_MAGIC):
+        raise ValueError("not a SIMGZ stream")
+    rest = data[len(GZ_MAGIC):]
+    nl = rest.index(b"\n")
+    size = int(rest[:nl])
+    return bytes(rest[nl + 1 : nl + 1 + size])
+
+
+class Tar(Program):
+    """``tar cf out.tar paths...`` / ``tar xf archive [-C dir]`` with an
+    optional ``z`` mode letter for gzip framing."""
+
+    name = "tar"
+    needed = ["libc.so.7", "libz.so.6"]
+
+    def main(self, sys, argv, env):
+        if len(argv) < 3:
+            self.err(sys, "usage: tar c|x[z]f archive [paths|-C dir]\n")
+            return 64
+        mode = argv[1].lstrip("-")
+        archive = argv[2]
+        rest = argv[3:]
+        use_gzip = "z" in mode
+        try:
+            if "c" in mode:
+                return self._create(sys, archive, rest, use_gzip)
+            if "x" in mode:
+                dest = "."
+                if "-C" in rest:
+                    dest = rest[rest.index("-C") + 1]
+                return self._extract(sys, archive, dest, use_gzip)
+            if "t" in mode:
+                return self._list(sys, archive, use_gzip)
+        except (SysError, ValueError) as err:
+            self.err(sys, f"tar: {err}\n")
+            return 1
+        self.err(sys, f"tar: unknown mode {mode!r}\n")
+        return 64
+
+    def _create(self, sys, archive: str, paths: list[str], use_gzip: bool) -> int:
+        members: list[tuple[str, bytes]] = []
+
+        def collect(path: str, rel: str) -> None:
+            st = sys.stat(path)
+            if st.is_dir:
+                for entry in sys.contents(path):
+                    collect(f"{path}/{entry}", f"{rel}/{entry}" if rel else entry)
+            else:
+                members.append((rel or path.rsplit("/", 1)[-1], sys.read_whole(path)))
+
+        for path in paths:
+            collect(path, path.rsplit("/", 1)[-1])
+        blob = tar_create(members)
+        if use_gzip:
+            blob = gzip_compress(blob)
+        sys.write_whole(archive, blob)
+        return 0
+
+    def _extract(self, sys, archive: str, dest: str, use_gzip: bool) -> int:
+        blob = sys.read_whole(archive)
+        if use_gzip or blob.startswith(GZ_MAGIC):
+            blob = gzip_decompress(blob)
+        for path, data in tar_extract_members(blob):
+            target = dest.rstrip("/") + "/" + path
+            self._mkdirs(sys, target.rsplit("/", 1)[0])
+            # Preserve the execute bit for program images (stand-in for
+            # the mode field a real tar header carries).
+            mode = 0o755 if data.startswith(b"#!ELF") else 0o644
+            sys.write_whole(target, data, mode=mode)
+        return 0
+
+    def _list(self, sys, archive: str, use_gzip: bool) -> int:
+        blob = sys.read_whole(archive)
+        if use_gzip or blob.startswith(GZ_MAGIC):
+            blob = gzip_decompress(blob)
+        for path, _ in tar_extract_members(blob):
+            self.out(sys, path + "\n")
+        return 0
+
+    @staticmethod
+    def _mkdirs(sys, path: str) -> None:
+        parts = [p for p in path.split("/") if p]
+        prefix = "/" if path.startswith("/") else ""
+        for part in parts:
+            prefix = prefix.rstrip("/") + "/" + part if prefix else part
+            try:
+                sys.mkdir(prefix)
+            except SysError as err:
+                if err.name != "EEXIST":
+                    raise
+
+
+class Gzip(Program):
+    name = "gzip"
+    needed = ["libc.so.7", "libz.so.6"]
+
+    def main(self, sys, argv, env):
+        decompress = "-d" in argv
+        paths = [a for a in argv[1:] if not a.startswith("-")]
+        try:
+            for path in paths:
+                data = sys.read_whole(path)
+                if decompress:
+                    out_path = path[:-3] if path.endswith(".gz") else path + ".out"
+                    sys.write_whole(out_path, gzip_decompress(data))
+                else:
+                    sys.write_whole(path + ".gz", gzip_compress(data))
+                sys.unlink(path)
+            return 0
+        except (SysError, ValueError) as err:
+            self.err(sys, f"gzip: {err}\n")
+            return 1

@@ -1,0 +1,105 @@
+"""The simulated-executable ABI.
+
+A :class:`Program` is a "native binary": a Python callable that runs
+entirely through the syscall interface of the process executing it.  From
+the sandbox's point of view it is indistinguishable from a real binary —
+every file, pipe, socket, and process operation crosses the MAC boundary.
+
+Executable *files* in the world image carry a pseudo-ELF header in their
+data::
+
+    #!ELF
+    PROGRAM:cat
+    NEEDED:libc.so.7
+
+The kernel's loader uses the vnode metadata (``program``/``needed``), and
+the ``ldd`` program parses the same header from the file *contents* —
+which is why running ldd in a sandbox needs read access to the binary,
+just like the real one.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import SysError
+from repro.kernel import errno_
+
+if TYPE_CHECKING:
+    from repro.kernel.syscalls import SyscallInterface
+
+
+class Program:
+    """Base class for simulated executables."""
+
+    name: str = "program"
+    #: Shared libraries (basenames) the dynamic loader opens at exec time.
+    needed: list[str] = []
+
+    def main(self, sys: "SyscallInterface", argv: list[str], env: dict[str, str]) -> int:
+        raise NotImplementedError
+
+    # -- stdio helpers (fail softly when a descriptor is absent) ---------------
+
+    @staticmethod
+    def out(sys: "SyscallInterface", text: str) -> None:
+        try:
+            sys.write(1, text.encode())
+        except SysError:
+            pass
+
+    @staticmethod
+    def err(sys: "SyscallInterface", text: str) -> None:
+        try:
+            sys.write(2, text.encode())
+        except SysError:
+            pass
+
+    @staticmethod
+    def read_stdin(sys: "SyscallInterface") -> bytes:
+        chunks: list[bytes] = []
+        try:
+            while True:
+                chunk = sys.read(0, 1 << 16)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        except SysError:
+            pass
+        return b"".join(chunks)
+
+
+def elf_image(program: str, needed: list[str]) -> bytes:
+    """The pseudo-ELF file contents for an executable."""
+    lines = ["#!ELF", f"PROGRAM:{program}"]
+    lines.extend(f"NEEDED:{lib}" for lib in needed)
+    return ("\n".join(lines) + "\n").encode()
+
+
+def parse_elf(data: bytes) -> tuple[str, list[str]]:
+    """Parse a pseudo-ELF image; raises ENOEXEC on anything else."""
+    text = data.decode(errors="replace")
+    if not text.startswith("#!ELF"):
+        raise SysError(errno_.ENOEXEC, "not an ELF image")
+    program = ""
+    needed: list[str] = []
+    for line in text.splitlines()[1:]:
+        if line.startswith("PROGRAM:"):
+            program = line[len("PROGRAM:"):]
+        elif line.startswith("NEEDED:"):
+            needed.append(line[len("NEEDED:"):])
+    return program, needed
+
+
+def resolve_in_path(sys: "SyscallInterface", name: str, env: dict[str, str]) -> str:
+    """$PATH resolution for programs that run other programs (gmake)."""
+    if "/" in name:
+        return name
+    for directory in env.get("PATH", "/bin:/usr/bin").split(":"):
+        candidate = directory.rstrip("/") + "/" + name
+        try:
+            sys.stat(candidate)
+            return candidate
+        except SysError:
+            continue
+    raise SysError(errno_.ENOENT, f"{name}: command not found")

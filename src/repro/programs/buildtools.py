@@ -1,0 +1,348 @@
+"""Build tools: gmake, cc, configure, and the OCaml toolchain.
+
+The OCaml programs reproduce the exact friction the paper's grading case
+study hit (section 4.1): ``ocamlc`` "searches for libraries in
+/usr/local/lib/ocaml" (a sandbox without that capability fails the same
+way), and ``ocamlyacc`` "could not write to /tmp".
+
+``ocamlrun`` interprets a tiny directive bytecode so that *student
+submissions are real programs running inside the sandbox* — including
+malicious ones that try to read other students' files:
+
+    print <text>           write text + newline to stdout
+    solve                  sum the integers on each stdin line
+    readfile <path>        print the contents of <path> (escape attempt!)
+    writefile <path> <t>   write <t> to <path> (tamper attempt!)
+    exit <n>               exit with status n
+"""
+
+from __future__ import annotations
+
+from repro.errors import SysError
+from repro.programs.base import Program, elf_image, resolve_in_path
+
+OCAML_LIB = "/usr/local/lib/ocaml"
+BYTECODE_MAGIC = "#!OCAMLBC\n"
+
+
+class Gmake(Program):
+    """A small ``make``: ``VAR = value`` assignments, ``target: deps``
+    rules with tab-indented command lines, ``$(VAR)`` substitution, and
+    ``-C dir`` / ``-f makefile`` flags.  Commands run via fork+exec in the
+    caller's session — so every compiler the build invokes is confined by
+    the same sandbox."""
+
+    name = "gmake"
+    needed = ["libc.so.7"]
+
+    def main(self, sys, argv, env):
+        directory = "."
+        makefile = "Makefile"
+        goals: list[str] = []
+        args = iter(argv[1:])
+        for arg in args:
+            if arg == "-C":
+                directory = next(args, ".")
+            elif arg == "-f":
+                makefile = next(args, "Makefile")
+            else:
+                goals.append(arg)
+        try:
+            if directory != ".":
+                sys.chdir(directory)
+            text = sys.read_whole(makefile).decode()
+        except SysError as err:
+            self.err(sys, f"gmake: {err.name}\n")
+            return 2
+        variables, rules, order = self._parse(text)
+        if not goals:
+            goals = [order[0]] if order else []
+        built: set[str] = set()
+        for goal in goals:
+            status = self._build(sys, goal, variables, rules, built, env)
+            if status != 0:
+                self.err(sys, f"gmake: *** [{goal}] Error {status}\n")
+                return status
+        return 0
+
+    @staticmethod
+    def _parse(text: str):
+        variables: dict[str, str] = {}
+        rules: dict[str, tuple[list[str], list[str]]] = {}
+        order: list[str] = []
+        current: str | None = None
+        for line in text.splitlines():
+            if not line.strip() or line.lstrip().startswith("#"):
+                continue
+            if line.startswith("\t"):
+                if current is not None:
+                    rules[current][1].append(line[1:])
+                continue
+            if "=" in line and ":" not in line.split("=", 1)[0]:
+                key, _, value = line.partition("=")
+                variables[key.strip()] = value.strip()
+                continue
+            if ":" in line:
+                target, _, deps = line.partition(":")
+                current = target.strip()
+                rules[current] = (deps.split(), [])
+                order.append(current)
+        return variables, rules, order
+
+    def _build(self, sys, goal: str, variables, rules, built: set[str], env) -> int:
+        if goal in built:
+            return 0
+        built.add(goal)
+        rule = rules.get(goal)
+        if rule is None:
+            # Not a rule: fine if the file exists (a source prerequisite).
+            try:
+                sys.stat(goal)
+                return 0
+            except SysError:
+                self.err(sys, f"gmake: no rule to make target {goal!r}\n")
+                return 2
+        deps, commands = rule
+        for dep in deps:
+            status = self._build(sys, dep, variables, rules, built, env)
+            if status != 0:
+                return status
+        for command in commands:
+            line = self._substitute(command, variables)
+            words = line.split()
+            if not words:
+                continue
+            try:
+                prog = resolve_in_path(sys, words[0], env)
+                status = sys.spawn(prog, words, env)
+            except SysError as err:
+                self.err(sys, f"gmake: {words[0]}: {err.name}\n")
+                return 2
+            if status != 0:
+                return status
+        return 0
+
+    @staticmethod
+    def _substitute(line: str, variables: dict[str, str]) -> str:
+        for key, value in variables.items():
+            line = line.replace(f"$({key})", value)
+        return line
+
+
+class Cc(Program):
+    """The C "compiler": reads every source file plus the headers they
+    include (from /usr/include) and the C runtime stub, then writes a
+    pseudo-ELF whose program is ``compiled-binary``."""
+
+    name = "cc"
+    needed = ["libc.so.7"]
+
+    def main(self, sys, argv, env):
+        output = "a.out"
+        sources: list[str] = []
+        args = iter(argv[1:])
+        for arg in args:
+            if arg == "-o":
+                output = next(args, "a.out")
+            elif not arg.startswith("-"):
+                sources.append(arg)
+        if not sources:
+            self.err(sys, "cc: no input files\n")
+            return 1
+        blob_parts: list[str] = []
+        try:
+            sys.read_whole("/usr/lib/crt1.o")
+            for source in sources:
+                text = sys.read_whole(source).decode(errors="replace")
+                blob_parts.append(text)
+                for line in text.splitlines():
+                    line = line.strip()
+                    if line.startswith("#include <") and line.endswith(">"):
+                        header = line[len("#include <"):-1]
+                        sys.read_whole(f"/usr/include/{header}")
+            image = elf_image("compiled-binary", ["libc.so.7"]) + "".join(blob_parts).encode()
+            sys.write_whole(output, image, mode=0o755)
+            return 0
+        except SysError as err:
+            self.err(sys, f"cc: {err.name}\n")
+            return 1
+
+
+class CompiledBinary(Program):
+    """What cc's output runs as (it does nothing observable)."""
+
+    name = "compiled-binary"
+    needed = ["libc.so.7"]
+
+    def main(self, sys, argv, env):
+        return 0
+
+
+class EmacsConfigure(Program):
+    """The emacs tarball's ./configure: probes /usr/include and writes the
+    Makefile that make/install/uninstall run against."""
+
+    name = "emacs-configure"
+    needed = ["libc.so.7"]
+
+    PREFIX = "/usr/local/emacs"
+
+    def main(self, sys, argv, env):
+        prefix = self.PREFIX
+        for arg in argv[1:]:
+            if arg.startswith("--prefix="):
+                prefix = arg[len("--prefix="):]
+        try:
+            # Probe the toolchain (reads are confined by the sandbox).
+            sys.read_whole("/usr/include/stdio.h")
+            sources = sorted(
+                f"src/{name}" for name in sys.contents("src") if name.endswith(".c")
+            )
+            makefile = self._makefile(prefix, sources)
+            sys.write_whole("Makefile", makefile.encode())
+            sys.write_whole("config.status", b"configured\n")
+            self.out(sys, "configure: creating Makefile\n")
+            return 0
+        except SysError as err:
+            self.err(sys, f"configure: {err.name}\n")
+            return 1
+
+    @staticmethod
+    def _makefile(prefix: str, sources: list[str]) -> str:
+        src_list = " ".join(sources)
+        return (
+            f"PREFIX = {prefix}\n"
+            "all: emacs\n"
+            "emacs:\n"
+            f"\tcc -o emacs {src_list}\n"
+            "install: all\n"
+            "\tmkdir -p $(PREFIX)/bin\n"
+            "\tmkdir -p $(PREFIX)/share\n"
+            "\tcp emacs $(PREFIX)/bin/emacs\n"
+            "\tcp etc/DOC $(PREFIX)/share/DOC\n"
+            "\tcp etc/COPYING $(PREFIX)/share/COPYING\n"
+            "uninstall:\n"
+            "\trm -f $(PREFIX)/bin/emacs\n"
+            "\trm -f $(PREFIX)/share/DOC\n"
+            "\trm -f $(PREFIX)/share/COPYING\n"
+        )
+
+
+class OcamlC(Program):
+    """ocamlc -o OUT SRC.ml — reads the OCaml standard library directory
+    (the dependency the paper discovered by its contract failure)."""
+
+    name = "ocamlc"
+    needed = ["libc.so.7", "libocaml.so.1"]
+
+    def main(self, sys, argv, env):
+        output = "a.byte"
+        sources: list[str] = []
+        args = iter(argv[1:])
+        for arg in args:
+            if arg == "-o":
+                output = next(args, "a.byte")
+            elif not arg.startswith("-"):
+                sources.append(arg)
+        if not sources:
+            self.err(sys, "ocamlc: no input files\n")
+            return 2
+        try:
+            # The stdlib lookup that fails without the wallet dependency:
+            sys.read_whole(f"{OCAML_LIB}/stdlib.cma")
+            body: list[str] = []
+            for source in sources:
+                text = sys.read_whole(source).decode(errors="replace")
+                if "syntax-error" in text:
+                    self.err(sys, f"ocamlc: {source}: syntax error\n")
+                    return 2
+                body.append(text)
+            sys.write_whole(output, (BYTECODE_MAGIC + "\n".join(body)).encode())
+            return 0
+        except SysError as err:
+            self.err(sys, f"ocamlc: unable to read a file: {err.name}\n")
+            return 2
+
+
+class OcamlYacc(Program):
+    """ocamlyacc SRC.mly — needs scratch space in /tmp, exactly the
+    second issue the paper's grading study hit."""
+
+    name = "ocamlyacc"
+    needed = ["libc.so.7", "libocaml.so.1"]
+
+    def main(self, sys, argv, env):
+        sources = [a for a in argv[1:] if not a.startswith("-")]
+        if not sources:
+            self.err(sys, "ocamlyacc: no input\n")
+            return 2
+        try:
+            scratch = f"/tmp/ocamlyacc.{sys.proc.pid}"
+            sys.write_whole(scratch, b"scratch\n")
+            for source in sources:
+                text = sys.read_whole(source).decode(errors="replace")
+                out_path = source[:-4] + ".ml" if source.endswith(".mly") else source + ".ml"
+                sys.write_whole(out_path, f"(* generated *)\n{text}".encode())
+            sys.unlink(scratch)
+            return 0
+        except SysError as err:
+            self.err(sys, f"ocamlyacc: {err.name}\n")
+            return 2
+
+
+class OcamlRun(Program):
+    """ocamlrun BYTECODE — interprets the directive bytecode documented in
+    the module docstring.  This is how student-submitted code *actually
+    executes* inside the sandbox."""
+
+    name = "ocamlrun"
+    needed = ["libc.so.7", "libocaml.so.1"]
+
+    def main(self, sys, argv, env):
+        targets = [a for a in argv[1:] if not a.startswith("-")]
+        if not targets:
+            self.err(sys, "ocamlrun: no bytecode\n")
+            return 2
+        try:
+            sys.read_whole(f"{OCAML_LIB}/stdlib.cma")
+            blob = sys.read_whole(targets[0]).decode(errors="replace")
+        except SysError as err:
+            self.err(sys, f"ocamlrun: {err.name}\n")
+            return 2
+        if not blob.startswith(BYTECODE_MAGIC):
+            self.err(sys, "ocamlrun: not a bytecode file\n")
+            return 2
+        return self._interpret(sys, blob[len(BYTECODE_MAGIC):])
+
+    def _interpret(self, sys, program: str) -> int:
+        for raw in program.splitlines():
+            line = raw.strip()
+            if not line or line.startswith("(*"):
+                continue
+            op, _, rest = line.partition(" ")
+            if op == "print":
+                self.out(sys, rest + "\n")
+            elif op == "solve":
+                for input_line in self.read_stdin(sys).decode().splitlines():
+                    numbers = [int(tok) for tok in input_line.split() if tok.lstrip("-").isdigit()]
+                    self.out(sys, f"{sum(numbers)}\n")
+            elif op == "readfile":
+                try:
+                    data = sys.read_whole(rest)
+                    self.out(sys, data.decode(errors="replace"))
+                except SysError as err:
+                    self.err(sys, f"readfile {rest}: {err.name}\n")
+                    return 3
+            elif op == "writefile":
+                path, _, text = rest.partition(" ")
+                try:
+                    sys.write_whole(path, text.encode())
+                except SysError as err:
+                    self.err(sys, f"writefile {path}: {err.name}\n")
+                    return 3
+            elif op == "exit":
+                return int(rest or "0")
+            else:
+                self.err(sys, f"ocamlrun: unknown directive {op!r}\n")
+                return 2
+        return 0

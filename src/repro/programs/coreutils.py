@@ -1,0 +1,231 @@
+"""Core utilities: cat, cp, ls, rm, mkdir, mv, echo, touch.
+
+Every one of these issues ordinary syscalls from the executing process,
+so inside a SHILL sandbox they are confined exactly as the paper's case
+studies confine the real FreeBSD binaries.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SysError
+from repro.kernel.syscalls import O_CREAT, O_RDONLY, O_TRUNC, O_WRONLY
+from repro.programs.base import Program
+
+
+class Cat(Program):
+    name = "cat"
+    needed = ["libc.so.7"]
+
+    def main(self, sys, argv, env):
+        status = 0
+        files = argv[1:]
+        if not files:
+            self.out(sys, self.read_stdin(sys).decode(errors="replace"))
+            return 0
+        for path in files:
+            try:
+                data = sys.read_whole(path)
+            except SysError as err:
+                self.err(sys, f"cat: {path}: {err.name}\n")
+                status = 1
+                continue
+            self.out(sys, data.decode(errors="replace"))
+        return status
+
+
+class Cp(Program):
+    name = "cp"
+    needed = ["libc.so.7"]
+
+    def main(self, sys, argv, env):
+        recursive = "-r" in argv or "-R" in argv
+        paths = [a for a in argv[1:] if not a.startswith("-")]
+        if len(paths) != 2:
+            self.err(sys, "usage: cp [-r] src dst\n")
+            return 64
+        src, dst = paths
+        try:
+            return self._copy(sys, src, dst, recursive)
+        except SysError as err:
+            self.err(sys, f"cp: {err.name}\n")
+            return 1
+
+    def _copy(self, sys, src: str, dst: str, recursive: bool) -> int:
+        st = sys.stat(src)
+        if st.is_dir:
+            if not recursive:
+                self.err(sys, f"cp: {src} is a directory (not copied)\n")
+                return 1
+            try:
+                sys.mkdir(dst)
+            except SysError as err:
+                if err.name != "EEXIST":
+                    raise
+            for entry in sys.contents(src):
+                self._copy(sys, f"{src}/{entry}", f"{dst}/{entry}", recursive)
+            return 0
+        # Copying into an existing directory target.
+        try:
+            if sys.stat(dst).is_dir:
+                dst = dst.rstrip("/") + "/" + src.rsplit("/", 1)[-1]
+        except SysError:
+            pass
+        sys.write_whole(dst, sys.read_whole(src))
+        return 0
+
+
+class Ls(Program):
+    name = "ls"
+    needed = ["libc.so.7"]
+
+    def main(self, sys, argv, env):
+        paths = [a for a in argv[1:] if not a.startswith("-")] or ["."]
+        status = 0
+        for path in paths:
+            try:
+                st = sys.stat(path)
+                if st.is_dir:
+                    for entry in sys.contents(path):
+                        self.out(sys, entry + "\n")
+                else:
+                    self.out(sys, path + "\n")
+            except SysError as err:
+                self.err(sys, f"ls: {path}: {err.name}\n")
+                status = 1
+        return status
+
+
+class Rm(Program):
+    name = "rm"
+    needed = ["libc.so.7"]
+
+    def main(self, sys, argv, env):
+        recursive = "-r" in argv or "-rf" in argv or "-fr" in argv
+        force = any(a in ("-f", "-rf", "-fr") for a in argv)
+        status = 0
+        for path in (a for a in argv[1:] if not a.startswith("-")):
+            try:
+                self._remove(sys, path, recursive)
+            except SysError as err:
+                if not force:
+                    self.err(sys, f"rm: {path}: {err.name}\n")
+                    status = 1
+        return status
+
+    def _remove(self, sys, path: str, recursive: bool) -> None:
+        st = sys.lstat(path)
+        if st.is_dir and recursive:
+            for entry in sys.contents(path):
+                self._remove(sys, f"{path}/{entry}", recursive)
+        sys.unlink(path)
+
+
+class Mkdir(Program):
+    name = "mkdir"
+    needed = ["libc.so.7"]
+
+    def main(self, sys, argv, env):
+        make_parents = "-p" in argv
+        status = 0
+        for path in (a for a in argv[1:] if not a.startswith("-")):
+            try:
+                if make_parents:
+                    self._mkdir_p(sys, path)
+                else:
+                    sys.mkdir(path)
+            except SysError as err:
+                self.err(sys, f"mkdir: {path}: {err.name}\n")
+                status = 1
+        return status
+
+    @staticmethod
+    def _mkdir_p(sys, path: str) -> None:
+        parts = [p for p in path.split("/") if p]
+        prefix = "/" if path.startswith("/") else ""
+        for part in parts:
+            prefix = prefix.rstrip("/") + "/" + part if prefix else part
+            try:
+                sys.mkdir(prefix)
+            except SysError as err:
+                if err.name != "EEXIST":
+                    raise
+
+
+class Mv(Program):
+    name = "mv"
+    needed = ["libc.so.7"]
+
+    def main(self, sys, argv, env):
+        paths = [a for a in argv[1:] if not a.startswith("-")]
+        if len(paths) != 2:
+            self.err(sys, "usage: mv src dst\n")
+            return 64
+        try:
+            sys.rename(paths[0], paths[1])
+            return 0
+        except SysError as err:
+            self.err(sys, f"mv: {err.name}\n")
+            return 1
+
+
+class Echo(Program):
+    name = "echo"
+    needed = []
+
+    def main(self, sys, argv, env):
+        self.out(sys, " ".join(argv[1:]) + "\n")
+        return 0
+
+
+class Basename(Program):
+    name = "basename"
+    needed = ["libc.so.7"]
+
+    def main(self, sys, argv, env):
+        if len(argv) < 2:
+            self.err(sys, "usage: basename path [suffix]\n")
+            return 1
+        base = argv[1].rstrip("/").rsplit("/", 1)[-1]
+        if len(argv) > 2 and base.endswith(argv[2]) and base != argv[2]:
+            base = base[: -len(argv[2])]
+        self.out(sys, base + "\n")
+        return 0
+
+
+class Expr(Program):
+    """Integer arithmetic for shell scripts: ``expr A OP B``."""
+
+    name = "expr"
+    needed = ["libc.so.7"]
+
+    def main(self, sys, argv, env):
+        if len(argv) != 4:
+            self.err(sys, "usage: expr a op b\n")
+            return 2
+        try:
+            a, op, b = int(argv[1]), argv[2], int(argv[3])
+            ops = {"+": a + b, "-": a - b, "*": a * b}
+            if op == "/":
+                ops["/"] = a // b
+            result = ops[op]
+        except (ValueError, KeyError, ZeroDivisionError):
+            self.err(sys, "expr: bad expression\n")
+            return 2
+        self.out(sys, f"{result}\n")
+        return 0 if result != 0 else 1
+
+
+class Touch(Program):
+    name = "touch"
+    needed = ["libc.so.7"]
+
+    def main(self, sys, argv, env):
+        status = 0
+        for path in argv[1:]:
+            try:
+                fd = sys.open(path, O_WRONLY | O_CREAT)
+                sys.close(fd)
+            except SysError as err:
+                self.err(sys, f"touch: {path}: {err.name}\n")
+                status = 1
+        return status

@@ -1,0 +1,148 @@
+"""Miscellaneous programs: jpeginfo, ldd, and the grading shell script."""
+
+from __future__ import annotations
+
+from repro.errors import SysError
+from repro.programs.base import Program, parse_elf, resolve_in_path
+
+
+class JpegInfo(Program):
+    """The running example of sections 2.3–2.5."""
+
+    name = "jpeginfo"
+    needed = ["libc.so.7", "libjpeg.so.11"]
+
+    def main(self, sys, argv, env):
+        show_info = "-i" in argv
+        paths = [a for a in argv[1:] if not a.startswith("-")]
+        if not paths:
+            self.err(sys, "usage: jpeginfo [-i] files...\n")
+            return 1
+        status = 0
+        for path in paths:
+            try:
+                data = sys.read_whole(path)
+            except SysError as err:
+                self.err(sys, f"jpeginfo: {path}: {err.name}\n")
+                status = 1
+                continue
+            if data.startswith(b"JPEG"):
+                detail = f" {len(data)} bytes, simulated baseline" if show_info else ""
+                self.out(sys, f"{path}: OK{detail}\n")
+            else:
+                self.out(sys, f"{path}: not a JPEG\n")
+                status = 1
+        return status
+
+
+class Ldd(Program):
+    """Prints the NEEDED entries of an executable — by *reading the file*,
+    so a sandboxed ldd needs a capability for the binary (this is the
+    sandbox pkg_native creates)."""
+
+    name = "ldd"
+    needed = ["libc.so.7"]
+
+    def main(self, sys, argv, env):
+        paths = argv[1:]
+        if not paths:
+            self.err(sys, "usage: ldd file...\n")
+            return 1
+        status = 0
+        for path in paths:
+            try:
+                data = sys.read_whole(path)
+                _, needed = parse_elf(data)
+            except SysError as err:
+                self.err(sys, f"ldd: {path}: {err.name}\n")
+                status = 1
+                continue
+            if len(paths) > 1:
+                self.out(sys, f"{path}:\n")
+            for lib in needed:
+                self.out(sys, f"\t{lib}\n")
+        return status
+
+
+class GradeSh(Program):
+    """The baseline "61-line Bash script" from the grading case study,
+    reproduced as a native program: for every student submission, compile
+    with ocamlc, run each test with ocamlrun, diff against the expected
+    output, and record the score in the grading directory (one file per
+    student).
+
+    Usage: grade.sh SUBMISSIONS_DIR TESTS_DIR WORKING_DIR GRADES_DIR
+    """
+
+    name = "grade.sh"
+    needed = ["libc.so.7"]
+
+    def main(self, sys, argv, env):
+        if len(argv) != 5:
+            self.err(sys, "usage: grade.sh submissions tests working grades\n")
+            return 64
+        submissions, tests, working, grades = argv[1:]
+        try:
+            students = sorted(sys.contents(submissions))
+            test_names = sorted(
+                name[:-3] for name in sys.contents(tests) if name.endswith(".in")
+            )
+        except SysError as err:
+            self.err(sys, f"grade.sh: {err.name}\n")
+            return 1
+        for student in students:
+            score = self._grade_one(
+                sys, env, f"{submissions}/{student}", tests, test_names,
+                f"{working}/{student}",
+            )
+            try:
+                sys.write_whole(f"{grades}/{student}", f"{student}: {score}/{len(test_names)}\n".encode(), append=True)
+            except SysError as err:
+                self.err(sys, f"grade.sh: cannot record grade for {student}: {err.name}\n")
+                return 1
+        return 0
+
+    def _grade_one(self, sys, env, subdir: str, tests: str, test_names: list[str], workdir: str) -> int:
+        try:
+            sys.mkdir(workdir)
+        except SysError as err:
+            if err.name != "EEXIST":
+                self.err(sys, f"grade.sh: mkdir {workdir}: {err.name}\n")
+                return 0
+        bytecode = f"{workdir}/main.byte"
+        try:
+            ocamlc = resolve_in_path(sys, "ocamlc", env)
+            status = sys.spawn(ocamlc, ["ocamlc", "-o", bytecode, f"{subdir}/main.ml"], env)
+        except SysError:
+            return 0
+        if status != 0:
+            return 0
+        score = 0
+        for test in test_names:
+            if self._run_test(sys, env, bytecode, tests, test, workdir):
+                score += 1
+        return score
+
+    def _run_test(self, sys, env, bytecode: str, tests: str, test: str, workdir: str) -> bool:
+        from repro.kernel.fdesc import OpenFile
+        from repro.kernel.syscalls import O_CREAT, O_RDONLY, O_TRUNC, O_WRONLY
+
+        out_path = f"{workdir}/{test}.out"
+        try:
+            ocamlrun = resolve_in_path(sys, "ocamlrun", env)
+            _, _, input_vp = sys._resolve(f"{tests}/{test}.in")
+            out_fd = sys.open(out_path, O_WRONLY | O_CREAT | O_TRUNC)
+            out_vp = sys.proc.fdtable.get(out_fd).obj
+            child = sys.fork()
+            child.fdtable.install(0, OpenFile(input_vp, O_RDONLY))
+            child.fdtable.install(1, OpenFile(out_vp, O_WRONLY))
+            _, _, run_vp = sys._resolve(ocamlrun)
+            status = sys.kernel.exec_file(child, run_vp, ["ocamlrun", bytecode], env)
+            sys.close(out_fd)
+            if status != 0:
+                return False
+            actual = sys.read_whole(out_path)
+            expected = sys.read_whole(f"{tests}/{test}.expected")
+            return actual == expected
+        except SysError:
+            return False

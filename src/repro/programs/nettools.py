@@ -1,0 +1,169 @@
+"""Network tools: curl and httpd (Apache).
+
+``curl`` drives the Download benchmark: it opens a TCP connection to the
+simulated GNU mirror and streams the emacs tarball — entirely through
+socket syscalls, so a sandbox without a socket factory cannot download
+anything.
+
+``httpd`` is the Apache case study's server.  Connections arrive through
+the network's listen hook (the "Apache Benchmark tool" enqueues them the
+moment httpd starts listening); httpd then accepts and serves each one,
+reading content from its DocumentRoot and appending to its access log —
+the reads/writes the paper's contract confines to "read-only access to
+configuration files and web content directories ... and write-only access
+to log files."
+"""
+
+from __future__ import annotations
+
+from repro.errors import SysError
+from repro.kernel import errno_
+from repro.kernel.sockets import AddressFamily, SocketType
+from repro.programs.base import Program
+
+HTTP_OK = "HTTP/1.0 200 OK\n\n"
+HTTP_NOT_FOUND = "HTTP/1.0 404 Not Found\n\n"
+
+
+def parse_url(url: str) -> tuple[str, int, str]:
+    if url.startswith("http://"):
+        url = url[len("http://"):]
+    host, _, path = url.partition("/")
+    port = 80
+    if ":" in host:
+        host, _, port_s = host.partition(":")
+        port = int(port_s)
+    return host, port, "/" + path
+
+
+class Curl(Program):
+    name = "curl"
+    needed = ["libc.so.7", "libcurl.so.4", "libssl.so.8"]
+
+    def main(self, sys, argv, env):
+        output: str | None = None
+        url: str | None = None
+        args = iter(argv[1:])
+        for arg in args:
+            if arg == "-o":
+                output = next(args, None)
+            elif arg == "-s":
+                continue
+            else:
+                url = arg
+        if url is None:
+            self.err(sys, "curl: no URL\n")
+            return 2
+        host, port, path = parse_url(url)
+        try:
+            # Name "resolution" reads /etc/resolv.conf; TLS trust anchors
+            # come from the cert bundle — both real sandbox dependencies.
+            sys.read_whole("/etc/resolv.conf")
+            fd = sys.socket(AddressFamily.AF_INET, SocketType.SOCK_STREAM)
+            sys.connect(fd, (host, port))
+            sys.send(fd, f"GET {path}\n".encode())
+            chunks: list[bytes] = []
+            while True:
+                chunk = sys.recv(fd, 1 << 16)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+            sys.close(fd)
+        except SysError as err:
+            self.err(sys, f"curl: ({err.name}) {url}\n")
+            return 7
+        response = b"".join(chunks)
+        header, _, body = response.partition(b"\n\n")
+        if not header.startswith(b"HTTP/1.0 200"):
+            self.err(sys, f"curl: server returned {header.decode(errors='replace')}\n")
+            return 22
+        try:
+            if output is None:
+                sys.write(1, body)
+            else:
+                sys.write_whole(output, body)
+        except SysError as err:
+            self.err(sys, f"curl: write failed: {err.name}\n")
+            return 23
+        return 0
+
+
+class Httpd(Program):
+    """``httpd -f CONFIG``: serve every queued connection, then exit."""
+
+    name = "httpd"
+    needed = ["libc.so.7", "libapr.so.1", "libssl.so.8"]
+
+    def main(self, sys, argv, env):
+        config_path = "/etc/apache/httpd.conf"
+        args = iter(argv[1:])
+        for arg in args:
+            if arg == "-f":
+                config_path = next(args, config_path)
+        try:
+            config = self._parse_config(sys.read_whole(config_path).decode())
+        except SysError as err:
+            self.err(sys, f"httpd: cannot read config: {err.name}\n")
+            return 1
+        docroot = config.get("DocumentRoot", "/var/www")
+        port = int(config.get("Listen", "8080"))
+        log_path = config.get("AccessLog", "/var/log/httpd-access.log")
+        try:
+            listener = sys.socket(AddressFamily.AF_INET, SocketType.SOCK_STREAM)
+            sys.bind(listener, ("0.0.0.0", port))
+            sys.listen(listener)  # the benchmark's clients connect here
+        except SysError as err:
+            self.err(sys, f"httpd: cannot listen: {err.name}\n")
+            return 1
+        served = 0
+        while True:
+            try:
+                conn = sys.accept(listener)
+            except SysError as err:
+                if err.errno == errno_.EAGAIN:
+                    break  # backlog drained
+                self.err(sys, f"httpd: accept: {err.name}\n")
+                return 1
+            served += self._serve_one(sys, conn, docroot, log_path)
+            sys.close(conn)
+        self.out(sys, f"httpd: served {served} request(s)\n")
+        return 0
+
+    def _serve_one(self, sys, conn: int, docroot: str, log_path: str) -> int:
+        try:
+            request = sys.recv(conn, 4096).decode(errors="replace")
+        except SysError:
+            return 0
+        path = "/"
+        for line in request.splitlines():
+            if line.startswith("GET "):
+                path = line.split()[1]
+                break
+        target = docroot.rstrip("/") + path
+        try:
+            body = sys.read_whole(target)
+            sys.send(conn, HTTP_OK.encode() + body)
+            status = 200
+        except SysError:
+            sys.send(conn, HTTP_NOT_FOUND.encode())
+            status = 404
+        try:
+            from repro.kernel.syscalls import O_APPEND, O_CREAT, O_WRONLY
+
+            fd = sys.open(log_path, O_WRONLY | O_APPEND | O_CREAT)
+            sys.write(fd, f"GET {path} {status}\n".encode())
+            sys.close(fd)
+        except SysError:
+            pass  # log write denied: request still served
+        return 1 if status == 200 else 0
+
+    @staticmethod
+    def _parse_config(text: str) -> dict[str, str]:
+        config: dict[str, str] = {}
+        for line in text.splitlines():
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            key, _, value = line.partition(" ")
+            config[key] = value.strip()
+        return config

@@ -1,0 +1,72 @@
+"""Program registry: every simulated executable in one place."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.programs.archive import Gzip, Tar
+from repro.programs.base import Program
+from repro.programs.buildtools import (
+    Cc,
+    CompiledBinary,
+    EmacsConfigure,
+    Gmake,
+    OcamlC,
+    OcamlRun,
+    OcamlYacc,
+)
+from repro.programs.coreutils import Basename, Cat, Cp, Echo, Expr, Ls, Mkdir, Mv, Rm, Touch
+from repro.programs.shell import Sh
+from repro.programs.misc import GradeSh, JpegInfo, Ldd
+from repro.programs.nettools import Curl, Httpd
+from repro.programs.textutils import Diff, Find, Grep, Head, Wc
+
+if TYPE_CHECKING:
+    from repro.kernel.kernel import Kernel
+
+ALL_PROGRAMS: list[type[Program]] = [
+    Cat, Cp, Ls, Rm, Mkdir, Mv, Echo, Touch, Basename, Expr, Sh,
+    Grep, Find, Diff, Wc, Head,
+    Tar, Gzip,
+    Gmake, Cc, CompiledBinary, EmacsConfigure, OcamlC, OcamlRun, OcamlYacc,
+    Curl, Httpd,
+    JpegInfo, Ldd, GradeSh,
+]
+
+
+def register_all(kernel: "Kernel") -> None:
+    for cls in ALL_PROGRAMS:
+        kernel.register_program(cls())
+
+
+#: Where each binary is installed by the world image, keyed by program name.
+INSTALL_LOCATIONS: dict[str, str] = {
+    "sh": "/bin/sh",
+    "basename": "/usr/bin/basename",
+    "expr": "/bin/expr",
+    "cat": "/bin/cat",
+    "cp": "/bin/cp",
+    "ls": "/bin/ls",
+    "rm": "/bin/rm",
+    "mkdir": "/bin/mkdir",
+    "mv": "/bin/mv",
+    "echo": "/bin/echo",
+    "touch": "/bin/touch",
+    "grep": "/usr/bin/grep",
+    "find": "/usr/bin/find",
+    "diff": "/usr/bin/diff",
+    "wc": "/usr/bin/wc",
+    "head": "/usr/bin/head",
+    "tar": "/usr/bin/tar",
+    "gzip": "/usr/bin/gzip",
+    "gmake": "/usr/local/bin/gmake",
+    "cc": "/usr/bin/cc",
+    "ocamlc": "/usr/local/bin/ocamlc",
+    "ocamlrun": "/usr/local/bin/ocamlrun",
+    "ocamlyacc": "/usr/local/bin/ocamlyacc",
+    "curl": "/usr/local/bin/curl",
+    "httpd": "/usr/local/bin/httpd",
+    "jpeginfo": "/usr/local/bin/jpeginfo",
+    "ldd": "/usr/bin/ldd",
+    "grade.sh": "/usr/local/bin/grade.sh",
+}

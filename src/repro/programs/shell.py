@@ -1,0 +1,410 @@
+"""A small POSIX-flavoured shell.
+
+Enough ``sh`` to express the paper's grading script as an actual shell
+script running (sandboxed) in the simulated world:
+
+* simple commands resolved via ``$PATH``, run with fork+exec;
+* variables (``VAR=value``, ``$VAR``, ``${VAR}``), positional parameters
+  (``$1``..``$9``, ``$#``), and ``$?``;
+* command substitution ``$(cmd)`` (output captured, trailing newline
+  stripped);
+* redirections ``< file``, ``> file``, ``>> file`` and ``2> file``;
+* ``for VAR in words...; do ... done`` and ``if cmd; then ... [else ...] fi``
+  (multi-line, as produced by ordinary scripts);
+* builtins: ``exit``, ``set`` (no-op), ``true``/``false``, ``echo`` falls
+  through to the real echo binary.
+
+Scripts start with ``#!/bin/sh``; the kernel's exec recognizes the
+shebang and re-invokes this program with the script path prepended.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import SysError
+from repro.kernel.fdesc import OpenFile
+from repro.kernel.syscalls import O_APPEND, O_CREAT, O_RDONLY, O_TRUNC, O_WRONLY
+from repro.programs.base import Program, resolve_in_path
+
+_VAR_RE = re.compile(r"\$\{(\w+)\}|\$(\w+)|\$(\?)|\$(#)")
+
+
+class ShellExit(Exception):
+    def __init__(self, status: int) -> None:
+        self.status = status
+
+
+class Sh(Program):
+    name = "sh"
+    needed = ["libc.so.7"]
+
+    def main(self, sys, argv, env):
+        args = argv[1:]
+        if args and args[0] == "-c":
+            script = args[1] if len(args) > 1 else ""
+            positional = args[2:]
+        elif args:
+            try:
+                script = sys.read_whole(args[0]).decode(errors="replace")
+            except SysError as err:
+                self.err(sys, f"sh: {args[0]}: {err.name}\n")
+                return 127
+            positional = args[1:]
+        else:
+            script = self.read_stdin(sys).decode(errors="replace")
+            positional = []
+        state = {
+            "vars": dict(env),
+            "positional": positional,
+            "status": 0,
+        }
+        lines = self._strip_script(script)
+        try:
+            self._run_lines(sys, lines, state, env)
+        except ShellExit as exit_:
+            return exit_.status
+        except SysError as err:
+            self.err(sys, f"sh: {err.name}\n")
+            return 2
+        return state["status"]
+
+    # ------------------------------------------------------------------
+    # parsing / execution
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _strip_script(script: str) -> list[str]:
+        lines: list[str] = []
+        for raw in script.splitlines():
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            # allow `cmd; done` style by splitting trailing keywords off
+            lines.append(line)
+        return lines
+
+    def _run_lines(self, sys, lines: list[str], state: dict, env: dict) -> None:
+        i = 0
+        while i < len(lines):
+            line = lines[i]
+            if line.startswith("for "):
+                i = self._run_for(sys, lines, i, state, env)
+            elif line.startswith("if "):
+                i = self._run_if(sys, lines, i, state, env)
+            else:
+                for part in self._split_semis(line):
+                    self._run_simple(sys, part, state, env)
+                i += 1
+
+    @staticmethod
+    def _split_semis(line: str) -> list[str]:
+        parts: list[str] = []
+        depth = 0
+        current: list[str] = []
+        for ch in line:
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+            if ch == ";" and depth == 0:
+                parts.append("".join(current).strip())
+                current = []
+            else:
+                current.append(ch)
+        parts.append("".join(current).strip())
+        return [p for p in parts if p]
+
+    def _find_block_end(self, lines: list[str], start: int, opener: str, closer: str,
+                        middle: tuple[str, ...] = ()) -> int:
+        depth = 0
+        for j in range(start, len(lines)):
+            head = lines[j].split()[0] if lines[j].split() else ""
+            if head in ("for", "if"):
+                depth += 1
+            elif head in ("done", "fi"):
+                depth -= 1
+                if depth == 0:
+                    return j
+        raise SysError(2, f"sh: missing {closer}")
+
+    @staticmethod
+    def _glob(sys, words: list[str]) -> list[str]:
+        """Pathname expansion for `*` in the final component."""
+        import fnmatch
+
+        out: list[str] = []
+        for word in words:
+            if "*" not in word:
+                out.append(word)
+                continue
+            directory, _, pattern = word.rpartition("/")
+            try:
+                entries = sys.contents(directory or ".")
+            except SysError:
+                out.append(word)  # no matches: the literal word survives
+                continue
+            matches = [
+                (directory + "/" if directory else "") + entry
+                for entry in entries
+                if fnmatch.fnmatchcase(entry, pattern)
+            ]
+            out.extend(matches if matches else [word])
+        return out
+
+    def _run_for(self, sys, lines: list[str], i: int, state: dict, env: dict) -> int:
+        # for VAR in words...; do
+        header = lines[i]
+        match = re.match(r"for\s+(\w+)\s+in\s+(.*?);?\s*(do)?$", header)
+        if match is None:
+            raise SysError(2, "sh: bad for")
+        var, words_text = match.group(1), match.group(2)
+        body_start = i + 1
+        if match.group(3) is None:
+            if lines[body_start].strip() != "do":
+                raise SysError(2, "sh: expected do")
+            body_start += 1
+        end = self._find_block_end(lines, i, "for", "done")
+        body = lines[body_start:end]
+        for word in self._glob(sys, self._expand(words_text, state, sys, env).split()):
+            state["vars"][var] = word
+            self._run_lines(sys, list(body), state, env)
+        return end + 1
+
+    def _run_if(self, sys, lines: list[str], i: int, state: dict, env: dict) -> int:
+        # if CMD; then  ...  [else ...]  fi
+        header = lines[i]
+        match = re.match(r"if\s+(.*?);?\s*(then)?$", header)
+        if match is None:
+            raise SysError(2, "sh: bad if")
+        cond = match.group(1)
+        body_start = i + 1
+        if match.group(2) is None:
+            if lines[body_start].strip() != "then":
+                raise SysError(2, "sh: expected then")
+            body_start += 1
+        end = self._find_block_end(lines, i, "if", "fi")
+        # locate a top-level `else`
+        else_at = None
+        depth = 0
+        for j in range(body_start, end):
+            head = lines[j].split()[0] if lines[j].split() else ""
+            if head in ("for", "if"):
+                depth += 1
+            elif head == "done" or head == "fi":
+                depth -= 1
+            elif head == "else" and depth == 0:
+                else_at = j
+                break
+        self._run_simple(sys, cond, state, env)
+        if state["status"] == 0:
+            body = lines[body_start:(else_at if else_at is not None else end)]
+        else:
+            body = lines[else_at + 1 : end] if else_at is not None else []
+        state["status"] = 0
+        self._run_lines(sys, list(body), state, env)
+        return end + 1
+
+    # ------------------------------------------------------------------
+    # simple commands
+    # ------------------------------------------------------------------
+
+    def _run_simple(self, sys, text: str, state: dict, env: dict) -> None:
+        text = text.strip()
+        if not text:
+            return
+        if "|" in text:
+            segments = [seg.strip() for seg in text.split("|")]
+            if all(segments):
+                self._run_pipeline(sys, segments, state, env)
+                return
+        # variable assignment
+        match = re.match(r"^(\w+)=(.*)$", text)
+        if match and " " not in match.group(1):
+            state["vars"][match.group(1)] = self._expand(match.group(2), state, sys, env)
+            state["status"] = 0
+            return
+        expanded = self._expand(text, state, sys, env)
+        words = self._glob(sys, expanded.split())
+        if not words:
+            return
+        if words[0] == "exit":
+            raise ShellExit(int(words[1]) if len(words) > 1 else state["status"])
+        if words[0] == "true":
+            state["status"] = 0
+            return
+        if words[0] == "false":
+            state["status"] = 1
+            return
+        if words[0] == "set":
+            state["status"] = 0
+            return
+        words, redirs = self._extract_redirections(words)
+        state["status"] = self._spawn(sys, words, redirs, state, env)
+
+    def _run_pipeline(self, sys, segments: list[str], state: dict, env: dict) -> None:
+        """``cmd1 | cmd2 | ...``: each stage's output feeds the next via a
+        real pipe; the pipeline's status is the last stage's (sequential
+        execution — the synchronous analogue of a shell pipeline)."""
+        prev_read: int | None = None
+        status = 0
+        for index, segment in enumerate(segments):
+            expanded = self._expand(segment, state, sys, env)
+            words = self._glob(sys, expanded.split())
+            if not words:
+                status = 2
+                break
+            words, redirs = self._extract_redirections(words)
+            last = index == len(segments) - 1
+            write_fd: int | None = None
+            read_for_next: int | None = None
+            if not last:
+                try:
+                    read_for_next, write_fd = sys.pipe()
+                except SysError as err:
+                    self.err(sys, f"sh: pipe: {err.name}\n")
+                    status = 2
+                    break
+            try:
+                prog = resolve_in_path(sys, words[0], env)
+                _, _, vp = sys._resolve(prog)
+                child = sys.fork()
+                if prev_read is not None:
+                    child.fdtable.install(0, sys.proc.fdtable.get(prev_read))
+                if write_fd is not None:
+                    child.fdtable.install(1, sys.proc.fdtable.get(write_fd))
+                self._wire(sys, child, redirs)
+                status = sys.kernel.exec_file(child, vp, words, env)
+            except SysError as err:
+                self.err(sys, f"sh: {words[0]}: {err.name}\n")
+                status = 127
+            if prev_read is not None:
+                sys.close(prev_read)
+            if write_fd is not None:
+                sys.close(write_fd)  # EOF for the next stage
+            prev_read = read_for_next
+        if prev_read is not None:
+            try:
+                sys.close(prev_read)
+            except SysError:
+                pass
+        state["status"] = status
+
+    @staticmethod
+    def _extract_redirections(words: list[str]) -> tuple[list[str], dict[str, str]]:
+        out: list[str] = []
+        redirs: dict[str, str] = {}
+        i = 0
+        while i < len(words):
+            word = words[i]
+            if word in ("<", ">", ">>", "2>") and i + 1 < len(words):
+                redirs[word] = words[i + 1]
+                i += 2
+            else:
+                out.append(word)
+                i += 1
+        return out, redirs
+
+    def _spawn(self, sys, words: list[str], redirs: dict[str, str], state: dict, env: dict) -> int:
+        try:
+            prog = resolve_in_path(sys, words[0], env)
+            _, _, vp = sys._resolve(prog)
+            if vp is None:
+                raise SysError(2, words[0])
+            child = sys.fork()
+            self._wire(sys, child, redirs)
+            merged_env = dict(env)
+            merged_env.update(
+                {k: v for k, v in state["vars"].items() if isinstance(v, str)}
+            )
+            return sys.kernel.exec_file(child, vp, words, merged_env)
+        except SysError as err:
+            self.err(sys, f"sh: {words[0]}: {err.name}\n")
+            return 127
+
+    @staticmethod
+    def _wire(sys, child, redirs: dict[str, str]) -> None:
+        def open_into(fd: int, path: str, flags) -> None:
+            host_fd = sys.open(path, flags)
+            child.fdtable.install(fd, sys.proc.fdtable.get(host_fd))
+            sys.close(host_fd)
+
+        if "<" in redirs:
+            open_into(0, redirs["<"], O_RDONLY)
+        if ">" in redirs:
+            open_into(1, redirs[">"], O_WRONLY | O_CREAT | O_TRUNC)
+        if ">>" in redirs:
+            open_into(1, redirs[">>"], O_WRONLY | O_CREAT | O_APPEND)
+        if "2>" in redirs:
+            open_into(2, redirs["2>"], O_WRONLY | O_CREAT | O_TRUNC)
+
+    # ------------------------------------------------------------------
+    # expansion
+    # ------------------------------------------------------------------
+
+    def _expand(self, text: str, state: dict, sys, env: dict) -> str:
+        # command substitution first (no nesting)
+        while True:
+            start = text.find("$(")
+            if start == -1:
+                break
+            depth = 0
+            for end in range(start + 1, len(text)):
+                if text[end] == "(":
+                    depth += 1
+                elif text[end] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+            else:
+                raise SysError(2, "sh: unterminated $(")
+            inner = text[start + 2 : end]
+            text = text[:start] + self._capture(sys, inner, state, env) + text[end + 1 :]
+
+        def sub(match: re.Match) -> str:
+            name = match.group(1) or match.group(2)
+            if match.group(3) == "?":
+                return str(state["status"])
+            if match.group(4) == "#":
+                return str(len(state["positional"]))
+            if name and name.isdigit():
+                index = int(name) - 1
+                pos = state["positional"]
+                return pos[index] if 0 <= index < len(pos) else ""
+            return str(state["vars"].get(name, ""))
+
+        return _VAR_RE.sub(sub, text)
+
+    def _capture(self, sys, command: str, state: dict, env: dict) -> str:
+        """$(cmd): capture output through a *real* pipe syscall, so the
+        sandbox's pipe-factory policy mediates it."""
+        expanded = self._expand(command, state, sys, env)
+        words = expanded.split()
+        if not words:
+            return ""
+        try:
+            rfd, wfd = sys.pipe()
+        except SysError as err:
+            self.err(sys, f"sh: pipe: {err.name}\n")
+            return ""
+        try:
+            prog = resolve_in_path(sys, words[0], env)
+            _, _, vp = sys._resolve(prog)
+            child = sys.fork()
+            child.fdtable.install(1, sys.proc.fdtable.get(wfd))
+            sys.kernel.exec_file(child, vp, words, env)
+            sys.close(wfd)
+            chunks: list[bytes] = []
+            while True:
+                chunk = sys.read(rfd, 1 << 16)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+            return b"".join(chunks).decode(errors="replace").rstrip("\n")
+        except SysError:
+            return ""
+        finally:
+            try:
+                sys.close(rfd)
+            except SysError:
+                pass

@@ -1,0 +1,219 @@
+"""Text utilities: grep, find, diff, wc, head.
+
+``grep`` and ``find`` are the stars of the paper's Find case study:
+"find all files with extension .c in the BSD source tree that contain the
+string 'mac_'" — either one sandbox around ``find -exec grep`` or one
+sandbox per ``grep`` invocation.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import SysError
+from repro.programs.base import Program, resolve_in_path
+
+
+class Grep(Program):
+    name = "grep"
+    needed = ["libc.so.7", "libpcre.so.1"]
+
+    def main(self, sys, argv, env):
+        args = argv[1:]
+        print_names = False
+        names_only = False
+        positional: list[str] = []
+        for arg in args:
+            if arg == "-H":
+                print_names = True
+            elif arg == "-l":
+                names_only = True
+            elif arg.startswith("-"):
+                self.err(sys, f"grep: unknown option {arg}\n")
+                return 2
+            else:
+                positional.append(arg)
+        if not positional:
+            self.err(sys, "usage: grep [-H|-l] pattern [files...]\n")
+            return 2
+        pattern, files = positional[0], positional[1:]
+        try:
+            regex = re.compile(pattern)
+        except re.error:
+            regex = re.compile(re.escape(pattern))
+
+        matched_any = False
+        status = 0
+        if not files:
+            text = self.read_stdin(sys).decode(errors="replace")
+            for line in text.splitlines():
+                if regex.search(line):
+                    matched_any = True
+                    self.out(sys, line + "\n")
+            return 0 if matched_any else 1
+
+        for path in files:
+            try:
+                text = sys.read_whole(path).decode(errors="replace")
+            except SysError as err:
+                self.err(sys, f"grep: {path}: {err.name}\n")
+                status = 2
+                continue
+            file_matched = False
+            for line in text.splitlines():
+                if regex.search(line):
+                    matched_any = True
+                    file_matched = True
+                    if names_only:
+                        break
+                    prefix = f"{path}:" if (print_names or len(files) > 1) else ""
+                    self.out(sys, prefix + line + "\n")
+            if names_only and file_matched:
+                self.out(sys, path + "\n")
+        if status:
+            return status
+        return 0 if matched_any else 1
+
+
+class Find(Program):
+    """``find PATH [-name PAT] [-exec CMD {} ;]`` — recursive walker that
+    spawns the -exec command *in the same session* (the whole point of the
+    coarse-grained Find case study)."""
+
+    name = "find"
+    needed = ["libc.so.7"]
+
+    def main(self, sys, argv, env):
+        args = argv[1:]
+        if not args:
+            self.err(sys, "usage: find path [-name pat] [-exec cmd {} ;]\n")
+            return 64
+        root = args[0]
+        name_pat: str | None = None
+        exec_cmd: list[str] | None = None
+        i = 1
+        while i < len(args):
+            if args[i] == "-name" and i + 1 < len(args):
+                name_pat = args[i + 1]
+                i += 2
+            elif args[i] == "-exec":
+                j = i + 1
+                cmd: list[str] = []
+                while j < len(args) and args[j] not in (";", "\\;"):
+                    cmd.append(args[j])
+                    j += 1
+                exec_cmd = cmd
+                i = j + 1
+            else:
+                i += 1
+        regex = self._glob_to_regex(name_pat) if name_pat else None
+        status = 0
+        try:
+            status = self._walk(sys, root, regex, exec_cmd, env)
+        except SysError as err:
+            self.err(sys, f"find: {root}: {err.name}\n")
+            return 1
+        return status
+
+    @staticmethod
+    def _glob_to_regex(pat: str) -> "re.Pattern[str]":
+        return re.compile("^" + re.escape(pat).replace(r"\*", ".*").replace(r"\?", ".") + "$")
+
+    def _walk(self, sys, path: str, regex, exec_cmd, env) -> int:
+        status = 0
+        st = sys.stat(path)
+        basename = path.rsplit("/", 1)[-1]
+        if regex is None or regex.match(basename):
+            if exec_cmd is None:
+                self.out(sys, path + "\n")
+            elif not st.is_dir:
+                cmd = [path if part == "{}" else part for part in exec_cmd]
+                try:
+                    prog = resolve_in_path(sys, cmd[0], env)
+                    sys.spawn(prog, cmd, env)
+                except SysError as err:
+                    self.err(sys, f"find: {cmd[0]}: {err.name}\n")
+                    status = 1
+        if st.is_dir:
+            for entry in sys.contents(path):
+                try:
+                    status |= self._walk(sys, f"{path}/{entry}", regex, exec_cmd, env)
+                except SysError:
+                    status = 1
+        return status
+
+
+class Diff(Program):
+    name = "diff"
+    needed = ["libc.so.7"]
+
+    def main(self, sys, argv, env):
+        paths = [a for a in argv[1:] if not a.startswith("-")]
+        if len(paths) != 2:
+            self.err(sys, "usage: diff a b\n")
+            return 2
+        try:
+            a = sys.read_whole(paths[0]).decode(errors="replace").splitlines()
+            b = sys.read_whole(paths[1]).decode(errors="replace").splitlines()
+        except SysError as err:
+            self.err(sys, f"diff: {err.name}\n")
+            return 2
+        if a == b:
+            return 0
+        for i, (la, lb) in enumerate(zip(a, b)):
+            if la != lb:
+                self.out(sys, f"{i + 1}c{i + 1}\n< {la}\n---\n> {lb}\n")
+        for i in range(len(b), len(a)):
+            self.out(sys, f"{i + 1}d{len(b)}\n< {a[i]}\n")
+        for i in range(len(a), len(b)):
+            self.out(sys, f"{len(a)}a{i + 1}\n> {b[i]}\n")
+        return 1
+
+
+class Wc(Program):
+    name = "wc"
+    needed = ["libc.so.7"]
+
+    def main(self, sys, argv, env):
+        paths = [a for a in argv[1:] if not a.startswith("-")]
+        status = 0
+        if not paths:
+            data = self.read_stdin(sys)
+            self._report(sys, data, "")
+            return 0
+        for path in paths:
+            try:
+                data = sys.read_whole(path)
+            except SysError as err:
+                self.err(sys, f"wc: {path}: {err.name}\n")
+                status = 1
+                continue
+            self._report(sys, data, " " + path)
+        return status
+
+    def _report(self, sys, data: bytes, suffix: str) -> None:
+        text = data.decode(errors="replace")
+        self.out(sys, f"{len(text.splitlines())} {len(text.split())} {len(data)}{suffix}\n")
+
+
+class Head(Program):
+    name = "head"
+    needed = ["libc.so.7"]
+
+    def main(self, sys, argv, env):
+        count = 10
+        paths: list[str] = []
+        args = iter(argv[1:])
+        for arg in args:
+            if arg == "-n":
+                count = int(next(args, "10"))
+            else:
+                paths.append(arg)
+        for path in paths:
+            try:
+                text = sys.read_whole(path).decode(errors="replace")
+            except SysError as err:
+                self.err(sys, f"head: {path}: {err.name}\n")
+                return 1
+            self.out(sys, "\n".join(text.splitlines()[:count]) + "\n")
+        return 0

@@ -1,0 +1,60 @@
+"""Audit logging for sandbox sessions.
+
+Section 3.2.2 (Debugging): "for all SHILL sandboxes, logging can be
+enabled and viewed by privileged users.  The log records all of the
+capabilities and privileges granted during a session in addition to all
+operations that were denied because of insufficient privileges."
+
+Debug mode ("a session can be created in debugging mode, which
+automatically grants the necessary privileges if an operation would
+fail") is implemented in the policy; it records the auto-grants here so
+"running programs in a debugging sandbox and then viewing the logs" is "a
+useful starting point for identifying necessary capabilities."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.sandbox.privileges import Priv, PrivSet
+
+
+@dataclass(frozen=True)
+class AuditEntry:
+    sid: int
+    kind: str  # "grant" | "deny" | "auto-grant"
+    operation: str
+    target: str
+    detail: str
+
+    def format(self) -> str:
+        return f"[session {self.sid}] {self.kind:10s} {self.operation:24s} {self.target} {self.detail}"
+
+
+class AuditLog:
+    """An append-only per-session log."""
+
+    def __init__(self) -> None:
+        self.entries: list[AuditEntry] = []
+
+    def grant(self, sid: int, target: str, privs: "PrivSet") -> None:
+        self.entries.append(AuditEntry(sid, "grant", "grant", target, repr(privs)))
+
+    def deny(self, sid: int, operation: str, target: str, priv: "Priv | str") -> None:
+        name = priv if isinstance(priv, str) else f"+{priv.value}"
+        self.entries.append(AuditEntry(sid, "deny", operation, target, f"missing {name}"))
+
+    def auto_grant(self, sid: int, operation: str, target: str, priv: "Priv | str") -> None:
+        name = priv if isinstance(priv, str) else f"+{priv.value}"
+        self.entries.append(AuditEntry(sid, "auto-grant", operation, target, f"granted {name}"))
+
+    def denials(self) -> list[AuditEntry]:
+        return [e for e in self.entries if e.kind == "deny"]
+
+    def auto_grants(self) -> list[AuditEntry]:
+        return [e for e in self.entries if e.kind == "auto-grant"]
+
+    def format(self) -> str:
+        return "\n".join(entry.format() for entry in self.entries)

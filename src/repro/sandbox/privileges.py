@@ -1,0 +1,332 @@
+"""Privileges: the atoms of SHILL authority.
+
+The paper (section 3.1.1): "In total, SHILL has twenty-four different
+privileges for filesystem capabilities and seven different privileges for
+sockets.  Socket privileges are further refined by connection type."
+Privileges "align closely with the operations that our capability-based
+sandbox can interpose on, so that we can ensure that giving a capability
+to a sandbox conveys the same authority as giving that capability to a
+SHILL script."
+
+A :class:`PrivSet` is an immutable set of filesystem privileges where the
+*deriving* privileges (``+lookup`` and the three ``+create-*``) may carry
+a **modifier**: either ``None`` ("derived capabilities have the same
+privileges as the parent") or an explicit privilege set (``+lookup with
+{+stat, +path}``).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Iterator, Mapping, Optional
+
+
+class Priv(enum.Enum):
+    """The 24 filesystem privileges."""
+
+    # data access
+    READ = "read"
+    WRITE = "write"
+    APPEND = "append"
+    TRUNCATE = "truncate"
+    IOCTL = "ioctl"
+    # metadata
+    STAT = "stat"
+    PATH = "path"
+    CHMOD = "chmod"
+    CHOWN = "chown"
+    CHFLAGS = "chflags"
+    UTIMES = "utimes"
+    # execution and traversal
+    EXEC = "exec"
+    CHDIR = "chdir"
+    LOOKUP = "lookup"
+    CONTENTS = "contents"
+    READ_SYMLINK = "read-symlink"
+    # namespace modification
+    CREATE_FILE = "create-file"
+    CREATE_DIR = "create-dir"
+    CREATE_PIPE = "create-pipe"
+    CREATE_SYMLINK = "create-symlink"
+    UNLINK_FILE = "unlink-file"
+    UNLINK_DIR = "unlink-dir"
+    RENAME = "rename"
+    LINK = "link"
+
+    def __repr__(self) -> str:
+        return f"+{self.value}"
+
+
+#: Privileges whose exercise mints capabilities for *other* objects; only
+#: these may carry ``with {...}`` modifiers.
+DERIVING_PRIVS = frozenset(
+    {Priv.LOOKUP, Priv.CREATE_FILE, Priv.CREATE_DIR, Priv.CREATE_PIPE}
+)
+
+ALL_PRIVS = frozenset(Priv)
+
+_BY_NAME = {p.value: p for p in Priv}
+
+
+def priv_from_name(name: str) -> Priv:
+    """Parse ``"read"`` or ``"+read"`` into a :class:`Priv`."""
+    key = name.lstrip("+")
+    try:
+        return _BY_NAME[key]
+    except KeyError:
+        raise ValueError(f"unknown privilege {name!r}") from None
+
+
+Modifier = Optional[frozenset[Priv]]
+
+
+class PrivSet(Mapping[Priv, Modifier]):
+    """An immutable privilege set with per-privilege derive modifiers.
+
+    Mapping semantics: keys are held privileges; the value is the modifier
+    (``None`` = derived objects inherit this whole set; a frozenset =
+    derived objects get exactly those privileges).  Modifiers on
+    non-deriving privileges are rejected.
+    """
+
+    __slots__ = ("_privs",)
+
+    def __init__(self, privs: Mapping[Priv, Modifier] | Iterable[tuple[Priv, Modifier]] = ()):
+        items = dict(privs)
+        for priv, modifier in items.items():
+            if not isinstance(priv, Priv):
+                raise TypeError(f"not a privilege: {priv!r}")
+            if modifier is not None:
+                if priv not in DERIVING_PRIVS:
+                    raise ValueError(f"modifier on non-deriving privilege {priv!r}")
+                items[priv] = frozenset(modifier)
+        self._privs: dict[Priv, Modifier] = items
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def of(cls, *privs: Priv) -> "PrivSet":
+        """A set of privileges, all with the inherit modifier."""
+        return cls({p: None for p in privs})
+
+    @classmethod
+    def full(cls) -> "PrivSet":
+        """All 24 privileges; deriving privileges inherit the full set."""
+        return cls({p: None for p in Priv})
+
+    @classmethod
+    def empty(cls) -> "PrivSet":
+        return cls({})
+
+    def with_modifier(self, priv: Priv, mods: Iterable[Priv]) -> "PrivSet":
+        """Return a copy where ``priv`` carries ``with {mods}``."""
+        items = dict(self._privs)
+        items[priv] = frozenset(mods)
+        return PrivSet(items)
+
+    def adding(self, *privs: Priv) -> "PrivSet":
+        items = dict(self._privs)
+        for p in privs:
+            items.setdefault(p, None)
+        return PrivSet(items)
+
+    def removing(self, *privs: Priv) -> "PrivSet":
+        items = {p: m for p, m in self._privs.items() if p not in privs}
+        return PrivSet(items)
+
+    # -- queries ---------------------------------------------------------------
+
+    def has(self, priv: Priv) -> bool:
+        return priv in self._privs
+
+    def modifier(self, priv: Priv) -> Modifier:
+        return self._privs[priv]
+
+    def privs(self) -> frozenset[Priv]:
+        return frozenset(self._privs)
+
+    def effective_modifier(self, priv: Priv) -> frozenset[Priv]:
+        """The modifier with ``None`` (inherit) resolved to this set's own
+        privileges — the set a capability derived via ``priv`` would hold.
+        """
+        modifier = self._privs[priv]
+        return self.privs() if modifier is None else modifier
+
+    def derived_set(self, priv: Priv) -> "PrivSet":
+        """The :class:`PrivSet` for a capability derived via ``priv``.
+
+        Inherit modifier: the derived capability "has the same privileges
+        as its parent capability" — the whole set including modifiers.
+        Explicit modifier: exactly those privileges (inheriting onward).
+        """
+        modifier = self._privs[priv]
+        if modifier is None:
+            return self
+        return PrivSet.of(*modifier)
+
+    def subset_of(self, other: "PrivSet") -> bool:
+        """Is every privilege (and every derivable consequence) of ``self``
+        also available via ``other``?  Used for contract checks and for
+        the parent-session bound when granting to child sessions.
+        """
+        for priv in self._privs:
+            if priv not in other._privs:
+                return False
+            if priv in DERIVING_PRIVS:
+                if not self.effective_modifier(priv) <= other.effective_modifier(priv):
+                    return False
+        return True
+
+    def restricted_to(self, allowed: "PrivSet") -> "PrivSet":
+        """Intersection used when a capability passes through a contract:
+        keep only privileges present in ``allowed``, taking the *narrower*
+        modifier on deriving privileges.
+        """
+        items: dict[Priv, Modifier] = {}
+        for priv, modifier in self._privs.items():
+            if priv not in allowed._privs:
+                continue
+            if priv in DERIVING_PRIVS:
+                mine = self.effective_modifier(priv)
+                theirs = allowed.effective_modifier(priv)
+                narrowed = mine & theirs
+                items[priv] = frozenset(narrowed)
+            else:
+                items[priv] = None
+        return PrivSet(items)
+
+    # -- Mapping protocol ---------------------------------------------------------
+
+    def __getitem__(self, priv: Priv) -> Modifier:
+        return self._privs[priv]
+
+    def __iter__(self) -> Iterator[Priv]:
+        return iter(self._privs)
+
+    def __len__(self) -> int:
+        return len(self._privs)
+
+    def _canonical(self) -> frozenset:
+        """Equality compares *effective* modifiers: an inherit modifier and
+        an explicit modifier naming the same privileges are the same
+        authority (their derivation chains coincide)."""
+        return frozenset(
+            (p, self.effective_modifier(p) if p in DERIVING_PRIVS else None)
+            for p in self._privs
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PrivSet):
+            return NotImplemented
+        return self._canonical() == other._canonical()
+
+    def __hash__(self) -> int:
+        return hash(self._canonical())
+
+    def __repr__(self) -> str:
+        parts = []
+        for priv in sorted(self._privs, key=lambda p: p.value):
+            modifier = self._privs[priv]
+            if modifier is None:
+                parts.append(f"+{priv.value}")
+            else:
+                inner = ",".join(sorted(f"+{m.value}" for m in modifier))
+                parts.append(f"+{priv.value} with {{{inner}}}")
+        return "{" + ", ".join(parts) + "}"
+
+
+class SockPriv(enum.Enum):
+    """The 7 socket privileges."""
+
+    CREATE = "create"
+    BIND = "bind"
+    CONNECT = "connect"
+    LISTEN = "listen"
+    ACCEPT = "accept"
+    SEND = "send"
+    RECEIVE = "receive"
+
+    def __repr__(self) -> str:
+        return f"+{self.value}"
+
+
+ALL_SOCK_PRIVS = frozenset(SockPriv)
+
+_SOCK_BY_NAME = {p.value: p for p in SockPriv}
+
+
+def sock_priv_from_name(name: str) -> SockPriv:
+    key = name.lstrip("+")
+    try:
+        return _SOCK_BY_NAME[key]
+    except KeyError:
+        raise ValueError(f"unknown socket privilege {name!r}") from None
+
+
+class ConnType:
+    """A connection-type refinement: (address family, socket type).
+
+    "Socket privileges are further refined by connection type" — a socket
+    factory may, e.g., allow only ``inet/stream``.  ``None`` components
+    are wildcards.
+    """
+
+    __slots__ = ("domain", "stype")
+
+    def __init__(self, domain: int | None = None, stype: int | None = None) -> None:
+        self.domain = domain
+        self.stype = stype
+
+    def allows(self, domain: int, stype: int) -> bool:
+        return (self.domain is None or self.domain == domain) and (
+            self.stype is None or self.stype == stype
+        )
+
+    def __repr__(self) -> str:
+        return f"ConnType(domain={self.domain}, stype={self.stype})"
+
+
+class SocketPerms:
+    """Socket privileges plus their connection-type refinement.
+
+    Attached to a session when it is granted a *socket factory*
+    capability; without one, a sandbox "must possess a socket factory
+    capability to be allowed to create and use sockets" (section 3.1.1).
+    """
+
+    __slots__ = ("privs", "conn_types")
+
+    def __init__(self, privs: Iterable[SockPriv], conn_types: Iterable[ConnType] = ()) -> None:
+        self.privs = frozenset(privs)
+        self.conn_types = tuple(conn_types) or (ConnType(),)
+
+    @classmethod
+    def full(cls) -> "SocketPerms":
+        return cls(ALL_SOCK_PRIVS)
+
+    def has(self, priv: SockPriv) -> bool:
+        return priv in self.privs
+
+    def allows_conn(self, domain: int, stype: int) -> bool:
+        return any(ct.allows(domain, stype) for ct in self.conn_types)
+
+    def subset_of(self, other: "SocketPerms") -> bool:
+        if not self.privs <= other.privs:
+            return False
+        # Every connection type we allow must be allowed by `other`; with
+        # wildcard components this is conservative: require each of our
+        # conn types to be matched by an equal-or-wider one of theirs.
+        for mine in self.conn_types:
+            if not any(_conn_wider(theirs, mine) for theirs in other.conn_types):
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        names = ",".join(sorted(f"+{p.value}" for p in self.privs))
+        return f"SocketPerms({{{names}}}, {list(self.conn_types)!r})"
+
+
+def _conn_wider(wider: ConnType, narrower: ConnType) -> bool:
+    dom_ok = wider.domain is None or wider.domain == narrower.domain
+    typ_ok = wider.stype is None or wider.stype == narrower.stype
+    return dom_ok and typ_ok

@@ -1,0 +1,131 @@
+"""Privilege maps: the sandbox's per-object security state.
+
+Section 3.2.2: "SHILL labels these kernel objects with a privilege map: a
+map from sessions to sets of privileges.  A privilege map records the
+privileges that each session has for the given kernel object."
+
+Privilege maps live in the MAC label slot ``"shill"`` of vnodes, pipes,
+and sockets.  The merge rule implements the paper's conservative
+no-amplification policy: "SHILL requires that a session is never granted
+conflicting privileges to the same object ... we would not merge these
+privileges."
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.sandbox.privileges import DERIVING_PRIVS, Priv, PrivSet
+
+if TYPE_CHECKING:
+    from repro.kernel.vfs import Label
+
+POLICY_SLOT = "shill"
+
+
+class MergeConflict:
+    """Record of a refused merge (conflicting modifiers), for audit logs."""
+
+    __slots__ = ("sid", "priv", "existing", "incoming")
+
+    def __init__(self, sid: int, priv: Priv, existing: frozenset, incoming: frozenset) -> None:
+        self.sid = sid
+        self.priv = priv
+        self.existing = existing
+        self.incoming = incoming
+
+    def __repr__(self) -> str:
+        return (
+            f"MergeConflict(sid={self.sid}, priv=+{self.priv.value}, "
+            f"kept={sorted(p.value for p in self.existing)}, "
+            f"refused={sorted(p.value for p in self.incoming)})"
+        )
+
+
+class PrivMap:
+    """Map from session id to :class:`PrivSet` for one kernel object."""
+
+    __slots__ = ("_grants",)
+
+    def __init__(self) -> None:
+        self._grants: dict[int, PrivSet] = {}
+
+    def privs_for(self, sid: int) -> PrivSet:
+        return self._grants.get(sid, PrivSet.empty())
+
+    def sessions(self) -> list[int]:
+        return sorted(self._grants)
+
+    def set_initial(self, sid: int, privs: PrivSet) -> None:
+        """Explicit grant at sandbox-setup time (before ``shill_enter``).
+
+        Multiple capabilities to the same object union their plain
+        privileges but conflicting deriving-modifiers follow the
+        no-amplification rule, same as propagation.
+        """
+        self.merge(sid, privs)
+
+    def merge(self, sid: int, incoming: PrivSet) -> list[MergeConflict]:
+        """Merge ``incoming`` privileges for ``sid``; returns refused merges.
+
+        * new privilege → added with its modifier;
+        * present with an identical modifier → no-op;
+        * present with a *different* modifier (deriving privs only) →
+          **kept as-is**: merging could amplify privilege, so the sandbox
+          refuses and records the conflict.
+        """
+        existing = self._grants.get(sid)
+        if existing is None:
+            self._grants[sid] = incoming
+            return []
+        conflicts: list[MergeConflict] = []
+        items = {p: existing.modifier(p) for p in existing}
+        for priv in incoming:
+            new_mod = incoming.modifier(priv)
+            if priv not in items:
+                items[priv] = new_mod
+                continue
+            if priv in DERIVING_PRIVS:
+                old_eff = existing.effective_modifier(priv)
+                new_eff = incoming.effective_modifier(priv)
+                if old_eff != new_eff:
+                    conflicts.append(MergeConflict(sid, priv, old_eff, new_eff))
+                    continue  # keep the existing entry; no merge
+            # plain privilege already present (or identical modifier): no-op
+        self._grants[sid] = PrivSet(items)
+        return conflicts
+
+    def drop_session(self, sid: int) -> None:
+        self._grants.pop(sid, None)
+
+    def __repr__(self) -> str:
+        return f"PrivMap({self._grants!r})"
+
+
+def privmap_of(obj) -> PrivMap | None:
+    """Return the object's privilege map, or None if it has never been
+    labelled by the SHILL policy."""
+    label: "Label" = obj.label
+    pm = label.get(POLICY_SLOT)
+    return pm  # type: ignore[return-value]
+
+
+def ensure_privmap(obj) -> PrivMap:
+    label: "Label" = obj.label
+    pm = label.get(POLICY_SLOT)
+    if pm is None:
+        pm = PrivMap()
+        label.set(POLICY_SLOT, pm)
+    assert isinstance(pm, PrivMap)
+    return pm
+
+
+def drop_session_everywhere(sid: int, objects: Iterable) -> None:
+    """Asynchronous-cleanup stand-in: remove a dead session's grants from
+    the objects it was granted (the kernel's "asynchronous cleanup of
+    expired SHILL sandbox sessions" that the Find benchmark contends with).
+    """
+    for obj in objects:
+        pm = privmap_of(obj)
+        if pm is not None:
+            pm.drop_session(sid)

@@ -1,0 +1,205 @@
+"""Hierarchical sandbox sessions and their lifecycle.
+
+Section 3.2.1: "Each process executing in a SHILL sandbox is associated
+with a session.  Processes in the same session share the same set of
+capabilities and can communicate via signals. ... sessions are
+hierarchical: a sandboxed process inside session S1 can spawn a process
+inside a new session S2, which has fewer capabilities than S1."
+
+Lifecycle: ``shill_init`` creates the session and associates it with the
+calling process; capability grants are allowed **only until**
+``shill_enter``; after entering, "the session allows only operations
+permitted by capabilities it was granted explicitly."
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import SandboxError
+from repro.sandbox.audit import AuditLog
+from repro.sandbox.privileges import PrivSet, SocketPerms
+from repro.sandbox.privmap import MergeConflict, ensure_privmap, privmap_of
+
+if TYPE_CHECKING:
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.proc import Process
+
+
+class Session:
+    """One sandbox session."""
+
+    def __init__(
+        self,
+        sid: int,
+        parent: Optional["Session"],
+        manager: "SessionManager",
+        debug: bool = False,
+    ) -> None:
+        self.sid = sid
+        self.parent = parent
+        self.manager = manager
+        self.children: list[Session] = []
+        self.entered = False
+        self.dead = False
+        self.procs: set[int] = set()
+        self.pipe_factory = False
+        self.socket_perms: SocketPerms | None = None
+        self.debug = debug
+        self.log = AuditLog()
+        # Objects this session holds grants on, for end-of-life cleanup.
+        self.granted_objects: list[object] = []
+        self.merge_conflicts: list[MergeConflict] = []
+
+    def attach(self, proc: "Process") -> None:
+        """Add a process to this session (fork inherits the session)."""
+        self.manager.attach(self, proc)
+
+    def detach(self, proc: "Process") -> None:
+        """Remove an exiting process; may trigger session teardown."""
+        self.manager.detach(self, proc)
+
+    def is_descendant_of(self, other: "Session") -> bool:
+        node: Session | None = self
+        while node is not None:
+            if node is other:
+                return True
+            node = node.parent
+        return False
+
+    def __repr__(self) -> str:
+        state = "entered" if self.entered else "setup"
+        return f"<Session {self.sid} {state} procs={sorted(self.procs)}>"
+
+
+class SessionManager:
+    """Creates, tracks, and tears down sessions for the SHILL policy."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+        self._sessions: dict[int, Session] = {}
+        self._sids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # lifecycle syscalls
+    # ------------------------------------------------------------------
+
+    def shill_init(self, proc: "Process", debug: bool = False) -> Session:
+        """Create a new session and associate the calling process with it.
+
+        If the process is already sandboxed, the new session becomes a
+        *child* of its current session — the paper's mechanism for
+        SHILL-aware executables to "further attenuate their privileges".
+        """
+        parent = proc.session
+        session = Session(next(self._sids), parent, self, debug=debug)
+        self._sessions[session.sid] = session
+        if parent is not None:
+            parent.children.append(session)
+            parent.procs.discard(proc.pid)
+        proc.session = session
+        session.procs.add(proc.pid)
+        self.kernel.stats.sandboxes_created += 1
+        return session
+
+    def shill_enter(self, proc: "Process") -> None:
+        session = proc.session
+        if session is None:
+            raise SandboxError("shill_enter: process has no session")
+        if session.entered:
+            raise SandboxError("shill_enter: session already entered")
+        session.entered = True
+
+    # ------------------------------------------------------------------
+    # grants (setup phase only)
+    # ------------------------------------------------------------------
+
+    def grant(self, session: Session, obj: object, privs: PrivSet) -> None:
+        """Grant ``privs`` on kernel object ``obj`` to ``session``.
+
+        Only legal before ``shill_enter``.  When the granting context is a
+        *parent session* (nested sandboxes), the grant must not exceed the
+        parent's own privileges on the object — "which has fewer
+        capabilities than S1".  Top-level grants (from the SHILL runtime,
+        which holds the user's ambient authority) are unrestricted.
+        """
+        if session.entered:
+            raise SandboxError("cannot grant capabilities after shill_enter")
+        if session.dead:
+            raise SandboxError("cannot grant to a dead session")
+        parent = session.parent
+        if parent is not None:
+            pm = privmap_of(obj)
+            parent_privs = pm.privs_for(parent.sid) if pm is not None else PrivSet.empty()
+            if not privs.subset_of(parent_privs):
+                raise SandboxError(
+                    f"grant exceeds parent session's privileges: {privs!r} not within {parent_privs!r}"
+                )
+        pm = ensure_privmap(obj)
+        conflicts = pm.merge(session.sid, privs)
+        session.merge_conflicts.extend(conflicts)
+        session.granted_objects.append(obj)
+        session.log.grant(session.sid, _describe(self.kernel, obj), privs)
+
+    def grant_pipe_factory(self, session: Session) -> None:
+        if session.entered:
+            raise SandboxError("cannot grant capabilities after shill_enter")
+        if session.parent is not None and not session.parent.pipe_factory:
+            raise SandboxError("parent session holds no pipe factory")
+        session.pipe_factory = True
+
+    def grant_socket_factory(self, session: Session, perms: SocketPerms) -> None:
+        if session.entered:
+            raise SandboxError("cannot grant capabilities after shill_enter")
+        parent = session.parent
+        if parent is not None:
+            if parent.socket_perms is None or not perms.subset_of(parent.socket_perms):
+                raise SandboxError("socket factory grant exceeds parent session's")
+        session.socket_perms = perms
+
+    # ------------------------------------------------------------------
+    # membership and teardown
+    # ------------------------------------------------------------------
+
+    def get(self, sid: int) -> Session | None:
+        return self._sessions.get(sid)
+
+    def attach(self, session: Session, proc: "Process") -> None:
+        session.procs.add(proc.pid)
+
+    def detach(self, session: Session, proc: "Process") -> None:
+        session.procs.discard(proc.pid)
+        self._maybe_cleanup(session)
+
+    def _maybe_cleanup(self, session: Session) -> None:
+        """Tear a session down once it has no processes and no live
+        children (the kernel's asynchronous session cleanup, run eagerly
+        here for determinism)."""
+        if session.procs or session.dead:
+            return
+        if any(not child.dead for child in session.children):
+            return
+        session.dead = True
+        for obj in session.granted_objects:
+            pm = privmap_of(obj)
+            if pm is not None:
+                pm.drop_session(session.sid)
+        self._sessions.pop(session.sid, None)
+        if session.parent is not None:
+            self._maybe_cleanup(session.parent)
+
+    def live_sessions(self) -> list[Session]:
+        return [s for s in self._sessions.values() if not s.dead]
+
+
+def _describe(kernel: "Kernel", obj: object) -> str:
+    """Best-effort human-readable name for an object, for audit logs."""
+    from repro.kernel.vfs import Vnode
+
+    if isinstance(obj, Vnode):
+        try:
+            return kernel.vfs.path_of(obj)
+        except Exception:
+            return f"<vnode {obj.vid}>"
+    return f"<{type(obj).__name__.lower()}>"

@@ -1,0 +1,231 @@
+"""`shill-run`: the command-line debugging tool from section 3.2.2.
+
+"There is a command-line tool for running a single shell command with
+capabilities specified in a policy file" and "a session can be created in
+debugging mode, which automatically grants the necessary privileges if an
+operation would fail."
+
+Policy file grammar (one declaration per line; ``#`` comments)::
+
+    /usr/src : +lookup, +read, +contents, +stat, +path
+    /tmp     : +lookup, +create-file with {+read, +write, +append, +unlink-file}
+    pipe-factory
+    socket-factory : inet stream
+    ulimit open_files 64
+
+Paths are resolved with the *invoking user's* ambient authority; the
+named privileges are granted on the resolved object to a fresh session,
+and the command runs inside it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SysError
+from repro.kernel import errno_
+from repro.kernel.kernel import Kernel
+from repro.kernel.proc import Process
+from repro.kernel.sockets import AddressFamily, SocketType
+from repro.sandbox.audit import AuditLog
+from repro.sandbox.privileges import (
+    ConnType,
+    Priv,
+    PrivSet,
+    SocketPerms,
+    priv_from_name,
+)
+
+_DOMAINS = {"inet": AddressFamily.AF_INET, "unix": AddressFamily.AF_UNIX}
+_STYPES = {"stream": SocketType.SOCK_STREAM, "dgram": SocketType.SOCK_DGRAM}
+
+
+@dataclass
+class ParsedPolicy:
+    grants: list[tuple[str, PrivSet]] = field(default_factory=list)
+    pipe_factory: bool = False
+    socket_perms: SocketPerms | None = None
+    ulimits: dict[str, int] = field(default_factory=dict)
+
+
+def parse_policy(text: str) -> ParsedPolicy:
+    """Parse the policy-file grammar documented in the module docstring."""
+    policy = ParsedPolicy()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line == "pipe-factory":
+            policy.pipe_factory = True
+            continue
+        if line.startswith("socket-factory"):
+            policy.socket_perms = _parse_socket_factory(line, lineno)
+            continue
+        if line.startswith("ulimit"):
+            parts = line.split()
+            if len(parts) != 3:
+                raise ValueError(f"policy line {lineno}: expected 'ulimit <name> <value>'")
+            policy.ulimits[parts[1]] = int(parts[2])
+            continue
+        if ":" not in line:
+            raise ValueError(f"policy line {lineno}: expected 'path : privileges'")
+        path, _, privspec = line.partition(":")
+        policy.grants.append((path.strip(), parse_privspec(privspec.strip(), lineno)))
+    return policy
+
+
+def _parse_socket_factory(line: str, lineno: int) -> SocketPerms:
+    _, _, spec = line.partition(":")
+    spec = spec.strip()
+    if not spec:
+        return SocketPerms.full()
+    words = spec.split()
+    domain = stype = None
+    for word in words:
+        if word in _DOMAINS:
+            domain = int(_DOMAINS[word])
+        elif word in _STYPES:
+            stype = int(_STYPES[word])
+        else:
+            raise ValueError(f"policy line {lineno}: unknown socket spec {word!r}")
+    from repro.sandbox.privileges import ALL_SOCK_PRIVS
+
+    return SocketPerms(ALL_SOCK_PRIVS, (ConnType(domain, stype),))
+
+
+def parse_privspec(spec: str, lineno: int = 0) -> PrivSet:
+    """Parse ``+a, +b with {+c, +d}, +e`` into a :class:`PrivSet`."""
+    items: dict[Priv, frozenset[Priv] | None] = {}
+    for chunk in _split_top_level(spec):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        if " with " in chunk:
+            head, _, modspec = chunk.partition(" with ")
+            priv = priv_from_name(head.strip())
+            modspec = modspec.strip()
+            if not (modspec.startswith("{") and modspec.endswith("}")):
+                raise ValueError(f"policy line {lineno}: bad modifier {modspec!r}")
+            mods = frozenset(
+                priv_from_name(m.strip()) for m in modspec[1:-1].split(",") if m.strip()
+            )
+            items[priv] = mods
+        elif chunk == "full":
+            for priv in Priv:
+                items.setdefault(priv, None)
+        else:
+            items[priv_from_name(chunk)] = None
+    return PrivSet(items)
+
+
+def _split_top_level(spec: str) -> list[str]:
+    """Split on commas not inside ``{...}``."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in spec:
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    parts.append("".join(current))
+    return parts
+
+
+@dataclass
+class RunResult:
+    status: int
+    log: AuditLog
+    auto_granted: list[str]
+
+
+def run_with_policy(
+    kernel: Kernel,
+    user: str,
+    policy_text: str,
+    argv: list[str],
+    *,
+    debug: bool = False,
+    stdin=None,
+    stdout=None,
+    stderr=None,
+    cwd: str = "/",
+) -> RunResult:
+    """Run ``argv`` in a sandbox configured from ``policy_text``.
+
+    ``stdin``/``stdout``/``stderr`` are optional kernel objects (vnodes or
+    pipe ends) wired to descriptors 0/1/2.  Returns the exit status, the
+    session's audit log, and — in debug mode — the privileges that had to
+    be auto-granted (the starting point for writing a tighter policy).
+    """
+    if not argv:
+        raise ValueError("argv must name a program")
+    policy = parse_policy(policy_text)
+    shill = kernel.install_shill_module()
+
+    launcher = kernel.spawn_process(user, cwd)
+    sys = kernel.syscalls(launcher)
+
+    # Resolve every policy path with ambient authority.
+    resolved: list[tuple[object, PrivSet]] = []
+    for path, privs in policy.grants:
+        _, _, vp = sys._resolve(path)
+        if vp is None:
+            raise SysError(errno_.ENOENT, path)
+        resolved.append((vp, privs))
+
+    # Resolve the executable through $PATH-free absolute/relative lookup.
+    _, _, execvp = sys._resolve(argv[0])
+    if execvp is None:
+        raise SysError(errno_.ENOENT, argv[0])
+
+    child = kernel.procs.fork(launcher)
+    _wire_stdio(kernel, child, stdin, stdout, stderr)
+    session = shill.sessions.shill_init(child, debug=debug)
+    for obj, privs in resolved:
+        shill.sessions.grant(session, obj, privs)
+    # The tool always authorizes the command image itself (exec + the
+    # traversal chain to reach it) and the provided stdio objects — the
+    # policy file describes the command's *resource* authority.
+    shill.sessions.grant(
+        session, execvp, PrivSet.of(Priv.EXEC, Priv.READ, Priv.STAT, Priv.PATH)
+    )
+    traverse = PrivSet.of(Priv.LOOKUP).with_modifier(Priv.LOOKUP, ())
+    node = execvp.nc_parent
+    while node is not None:
+        shill.sessions.grant(session, node, traverse)
+        node = node.nc_parent
+    rw = PrivSet.of(Priv.READ, Priv.WRITE, Priv.APPEND, Priv.STAT, Priv.PATH)
+    for std_obj in (stdin, stdout, stderr):
+        if std_obj is not None:
+            target = std_obj.pipe if hasattr(std_obj, "pipe") else std_obj
+            shill.sessions.grant(session, target, rw)
+    if policy.pipe_factory:
+        shill.sessions.grant_pipe_factory(session)
+    if policy.socket_perms is not None:
+        shill.sessions.grant_socket_factory(session, policy.socket_perms)
+    child.ulimits = child.ulimits.merged_with(policy.ulimits or None)
+    kernel.syscalls(child).shill_enter()
+
+    status = kernel.exec_file(child, execvp, argv)
+    auto = [entry.format() for entry in session.log.auto_grants()]
+    result = RunResult(status=status, log=session.log, auto_granted=auto)
+    kernel.procs.reap(launcher)
+    return result
+
+
+def _wire_stdio(kernel: Kernel, proc: Process, stdin, stdout, stderr) -> None:
+    from repro.kernel.fdesc import OpenFile
+    from repro.kernel.syscalls import O_RDONLY, O_WRONLY
+
+    if stdin is not None:
+        proc.fdtable.install(0, OpenFile(stdin, O_RDONLY))
+    if stdout is not None:
+        proc.fdtable.install(1, OpenFile(stdout, O_WRONLY))
+    if stderr is not None:
+        proc.fdtable.install(2, OpenFile(stderr, O_WRONLY))

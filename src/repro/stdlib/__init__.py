@@ -1,0 +1,5 @@
+"""SHILL's standard library: filesys, io, contracts, wallets, native."""
+
+from repro.stdlib.wallet import Wallet
+
+__all__ = ["Wallet"]

@@ -1,0 +1,60 @@
+"""``shill/filesys``: capability-based path emulation.
+
+Section 3.1.4: "The filesys script provides capability-based functions
+that emulate common tasks such as resolving paths and symlinks."  All
+functions consume capabilities — never global names — so they stay
+capability safe.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import SysError
+from repro.capability.caps import FsCap
+from repro.lang.values import SysErrorVal
+
+
+def resolve(cap: FsCap, relpath: str) -> Any:
+    """Resolve a multi-component relative path through repeated
+    single-component lookups, following symlinks found along the way
+    (each hop re-resolved from the current directory capability).
+    Returns a capability or a syserror value.
+    """
+    try:
+        node = cap
+        for comp in [c for c in relpath.split("/") if c]:
+            node = node.lookup(comp)
+        return node
+    except SysError as err:
+        return SysErrorVal(err.name, str(err))
+
+
+def resolve_chain(cap: FsCap, relpath: str) -> Any:
+    """Like :func:`resolve` but returns the list of capabilities for every
+    directory along the way (the final element is the target).  Native
+    wallets use this to package lookup-only prefix capabilities."""
+    try:
+        chain = [cap]
+        node = cap
+        for comp in [c for c in relpath.split("/") if c]:
+            node = node.lookup(comp)
+            chain.append(node)
+        return chain
+    except SysError as err:
+        return SysErrorVal(err.name, str(err))
+
+
+def exists(cap: FsCap, name: str) -> bool:
+    try:
+        cap.lookup(name)
+        return True
+    except SysError:
+        return False
+
+
+EXPORTS = {
+    "resolve": resolve,
+    "resolve_chain": resolve_chain,
+    "exists": exists,
+}

@@ -1,0 +1,54 @@
+"""``shill/io``: printf-like wrappers around write and append.
+
+Section 3.1.4: "The io script provides printf-like wrappers around write
+and append for formatted output."  The format directive is ``~a``
+(display), following Racket's ``format``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.capability.caps import FsCap
+from repro.lang.values import VOID, shill_repr
+
+
+def _format(fmt: str, args: tuple[Any, ...]) -> str:
+    out: list[str] = []
+    i = 0
+    argi = 0
+    while i < len(fmt):
+        if fmt.startswith("~a", i):
+            if argi >= len(args):
+                raise ValueError("format: too few arguments for ~a directives")
+            out.append(shill_repr(args[argi]))
+            argi += 1
+            i += 2
+        elif fmt.startswith("~n", i):
+            out.append("\n")
+            i += 2
+        elif fmt.startswith("~~", i):
+            out.append("~")
+            i += 2
+        else:
+            out.append(fmt[i])
+            i += 1
+    if argi != len(args):
+        raise ValueError("format: too many arguments")
+    return "".join(out)
+
+
+def writef(cap: FsCap, fmt: str, *args: Any):
+    cap.write(_format(fmt, args).encode())
+    return VOID
+
+
+def appendf(cap: FsCap, fmt: str, *args: Any):
+    cap.append(_format(fmt, args).encode())
+    return VOID
+
+
+EXPORTS = {
+    "writef": writef,
+    "appendf": appendf,
+}

@@ -1,0 +1,295 @@
+"""``shill/native``: native wallets — running executables without tears.
+
+Section 3.1.4 describes the two key functions reproduced here:
+
+* :func:`populate_native_wallet` — "Its arguments include path
+  specifications for where to search for executables and libraries
+  (i.e., colon-separated strings, analogous to environment variables
+  $PATH and $LD_LIBRARY_PATH), and a directory capability to use as a
+  root for the path specifications.  In addition, it takes a map ... from
+  known libraries to the file resources those libraries depend on."
+
+* :func:`pkg_native` — "takes a native wallet and a file name (of an
+  executable file) and searches the path capabilities in the native
+  wallet for a capability for the executable.  The function then invokes
+  ldd to obtain a list of libraries that the executable depends on, and
+  searches the library-path capabilities for capabilities for the
+  required libraries. ... Function pkg_native then returns a function
+  that encapsulates a call to exec with all capabilities needed to run
+  the executable."
+
+The ``ldd`` invocation really runs in a sandbox (it is one of the two
+sandboxes the Download benchmark's profile attributes to ``pkg-native``),
+and the returned wrapper carries a function contract — whose check, once
+per sandbox, is what dominates contract-checking time in Figure 10.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ShillRuntimeError, SysError
+from repro.capability.caps import FsCap, PipeFactoryCap
+from repro.contracts.blame import Blame
+from repro.contracts.core import PredicateContract
+from repro.contracts.functionctc import FunctionContract
+from repro.contracts.library import (
+    EXEC_FILE_PRIVS,
+    READONLY_FILE_PRIVS,
+    is_list_value,
+    is_num_value,
+)
+from repro.sandbox.privileges import Priv, PrivSet
+from repro.stdlib.filesys import resolve_chain
+from repro.stdlib.wallet import Wallet
+
+if TYPE_CHECKING:
+    from repro.lang.runner import ShillRuntime
+
+RTLD = "libexec/ld-elf.so.1"
+
+#: Pre-seeded knowledge about executables whose dependencies go beyond
+#: what ldd reports (the paper's grading case study discovered the OCaml
+#: entries the hard way: "ocamlc reported that it was unable to read a
+#: file in /usr/local/lib/ocaml").
+DEFAULT_KNOWN_DEPS: dict[str, list[str]] = {
+    "sh": ["dev/null"],
+    "grade-sh": ["dev/null"],
+    "ocamlc": ["usr/local/lib/ocaml"],
+    "ocamlrun": ["usr/local/lib/ocaml"],
+    "ocamlyacc": ["usr/local/lib/ocaml"],
+    "cat": ["etc/locale.conf"],
+    "grep": ["etc/locale.conf"],
+    "curl": ["etc/resolv.conf", "etc/ssl/cert.pem"],
+    "httpd": ["etc/apache"],
+    "configure": ["usr/include"],
+    "cc": ["usr/include", "usr/lib/crt1.o"],
+}
+
+#: Privileges for lookup-only prefix capabilities: resolution may pass
+#: through, but nothing propagates to siblings.
+LOOKUP_ONLY = PrivSet.of(Priv.LOOKUP).with_modifier(Priv.LOOKUP, ())
+
+#: Privileges for library directories: the runtime linker may find and
+#: read entries *directly inside* them — but the lookup modifier grants
+#: no +lookup, so nothing propagates into subdirectories.  That is why
+#: ocamlc's /usr/local/lib/ocaml needs an explicit known-dep entry, the
+#: exact friction the paper's grading study reports.
+LIBDIR_PRIVS = PrivSet.of(
+    Priv.CONTENTS, Priv.STAT, Priv.PATH, Priv.READ, Priv.READ_SYMLINK
+).adding(Priv.LOOKUP).with_modifier(Priv.LOOKUP, (Priv.READ, Priv.STAT, Priv.PATH))
+
+
+def create_wallet(kind: str = "native") -> Wallet:
+    return Wallet(kind)
+
+
+def wallet_put(wallet: Wallet, key: str, value: Any):
+    from repro.lang.values import VOID
+
+    wallet.put_one(key, value)
+    return VOID
+
+
+def wallet_get(wallet: Wallet, key: str) -> list[Any]:
+    return wallet.get(key)
+
+
+def populate_native_wallet(
+    wallet: Wallet,
+    root: FsCap,
+    path_spec: str,
+    libpath_spec: str,
+    pipe_factory: PipeFactoryCap | None = None,
+    deps: dict[str, list[str]] | None = None,
+) -> Wallet:
+    """Fill ``wallet`` with the capabilities sandboxes need to run
+    executables found under ``path_spec``, using ``root`` as the anchor
+    for all resolution (capability safety is preserved: every capability
+    in the wallet derives from ``root``).
+    """
+    if not isinstance(root, FsCap) or not root.is_dir_cap:
+        raise ShillRuntimeError("populate_native_wallet needs a directory capability")
+    if not wallet.kind:
+        wallet.kind = "native"
+
+    def add_prefixes(chain: list[FsCap]) -> None:
+        # Everything up to (not including) the final element becomes a
+        # lookup-only prefix capability.
+        for cap in chain[:-1]:
+            wallet.put_one("prefixes", cap.attenuated(LOOKUP_ONLY, blame=cap.blame))
+
+    for directory in _split_spec(path_spec):
+        chain = resolve_chain(root, directory)
+        if not isinstance(chain, list):
+            continue
+        add_prefixes(chain)
+        wallet.put_one("PATH", chain[-1])
+
+    for directory in _split_spec(libpath_spec):
+        chain = resolve_chain(root, directory)
+        if not isinstance(chain, list):
+            continue
+        add_prefixes(chain)
+        wallet.put_one("LD_LIBRARY_PATH", chain[-1].attenuated(LIBDIR_PRIVS, blame=chain[-1].blame))
+
+    # The runtime linker itself.
+    chain = resolve_chain(root, RTLD)
+    if isinstance(chain, list):
+        add_prefixes(chain)
+        wallet.put_one("rtld", chain[-1].attenuated(READONLY_FILE_PRIVS, blame=chain[-1].blame))
+
+    # Known extra dependencies, resolved from the root now so pkg_native
+    # can hand them out later without ambient authority.
+    dep_map = dict(DEFAULT_KNOWN_DEPS)
+    if deps:
+        dep_map.update(deps)
+    for key, paths in sorted(dep_map.items()):
+        for path in paths:
+            chain = resolve_chain(root, path)
+            if not isinstance(chain, list):
+                continue
+            add_prefixes(chain)
+            dep = chain[-1]
+            # Dependencies are *read* dependencies: attenuate so a program's
+            # config/library needs never smuggle write authority in.  The
+            # exception is character devices (/dev/null and friends), which
+            # programs legitimately write to.
+            from repro.kernel.vfs import Vnode
+
+            if isinstance(dep.obj, Vnode) and dep.obj.is_chardev:
+                privs = PrivSet.of(Priv.READ, Priv.WRITE, Priv.APPEND, Priv.STAT, Priv.PATH)
+            elif dep.is_dir_cap:
+                privs = LIBDIR_PRIVS
+            else:
+                privs = READONLY_FILE_PRIVS
+            wallet.put_one(f"deps:{key}", dep.attenuated(privs, blame=dep.blame))
+
+    if pipe_factory is not None:
+        wallet.put_one("pipe_factory", pipe_factory)
+    return wallet
+
+
+def _split_spec(spec: str) -> list[str]:
+    return [part.strip("/") for part in spec.split(":") if part.strip("/")]
+
+
+def make_pkg_native(runtime: "ShillRuntime"):
+    """Build the ``pkg_native`` export bound to a runtime."""
+
+    def pkg_native(name: str, wallet: Wallet):
+        if not isinstance(wallet, Wallet) or wallet.kind != "native":
+            raise ShillRuntimeError("pkg_native expects a native wallet")
+        execcap = _find_executable(name, wallet)
+        libs = _ldd_in_sandbox(runtime, execcap, wallet)
+        libcaps = [_find_library(lib, wallet) for lib in libs]
+        libcaps = [cap for cap in libcaps if cap is not None]
+        # Order matters: the sandbox's no-amplification rule keeps the
+        # FIRST grant's derive modifier on conflicts, so the wide grants
+        # (library directories, whose lookups must propagate +read to
+        # their entries) come before the lookup-only prefix capabilities.
+        extras: list[Any] = list(wallet.get("LD_LIBRARY_PATH"))
+        extras.extend(wallet.get("rtld"))
+        extras.extend(libcaps)
+        extras.extend(wallet.get(f"deps:{name}"))
+        for lib in libs:
+            extras.extend(wallet.get(f"deps:{lib}"))
+        extras.extend(wallet.get("prefixes"))
+
+        def wrapper(args: list, stdin=None, stdout=None, stderr=None, extras_extra=None, **kw):
+            more = list(extras_extra or [])
+            if "extras" in kw:
+                more.extend(kw.pop("extras"))
+            return runtime.exec_builtin(
+                execcap,
+                [name] + list(args),
+                stdin=stdin,
+                stdout=stdout,
+                stderr=stderr,
+                extras=extras + more,
+                **kw,
+            )
+
+        wrapper.display_name = f"pkg_native({name})"
+        # The contract on pkg_native's result — checked once per sandbox;
+        # Figure 10 attributes ~92% of contract-checking time to it.
+        contract = FunctionContract(
+            [("args", PredicateContract(is_list_value, "is_list"))],
+            PredicateContract(is_num_value, "is_num (exit status)"),
+        )
+        return contract.check(
+            wrapper, Blame("pkg_native", f"caller of pkg_native({name})")
+        )
+
+    return pkg_native
+
+
+def _find_executable(name: str, wallet: Wallet) -> FsCap:
+    for dircap in wallet.get("PATH"):
+        try:
+            child = dircap.lookup(name)
+        except SysError:
+            continue
+        if child.is_file_cap:
+            return child.attenuated(
+                EXEC_FILE_PRIVS.adding(Priv.PATH), blame=child.blame
+            )
+    raise ShillRuntimeError(f"pkg_native: executable {name!r} not found in wallet PATH")
+
+
+def _find_library(lib: str, wallet: Wallet) -> FsCap | None:
+    for dircap in wallet.get("LD_LIBRARY_PATH"):
+        try:
+            child = dircap.lookup(lib)
+        except SysError:
+            continue
+        return child.attenuated(READONLY_FILE_PRIVS, blame=child.blame)
+    return None
+
+
+def _ldd_in_sandbox(runtime: "ShillRuntime", execcap: FsCap, wallet: Wallet) -> list[str]:
+    """Run ldd on the executable inside a sandbox and parse its output.
+
+    Falls back to an empty dependency list when the wallet has no pipe
+    factory to capture output with (static binaries need none anyway).
+    """
+    factory = wallet.get_one("pipe_factory")
+    ldd_cap = None
+    for dircap in wallet.get("PATH"):
+        try:
+            ldd_cap = dircap.lookup("ldd")
+            break
+        except SysError:
+            continue
+    if ldd_cap is None or factory is None:
+        # No ldd or no way to capture its output: trust the known-deps map.
+        return []
+    read_end, write_end = factory.create()
+    extras: list[Any] = list(wallet.get("rtld")) + list(wallet.get("prefixes"))
+    extras.extend(wallet.get("LD_LIBRARY_PATH"))
+    extras.append(execcap)
+    status = runtime.exec_builtin(
+        ldd_cap.attenuated(EXEC_FILE_PRIVS.adding(Priv.PATH), blame=ldd_cap.blame),
+        ["ldd", execcap],
+        stdout=write_end,
+        extras=extras,
+    )
+    if status != 0:
+        return []
+    output = read_end.read().decode()
+    libs: list[str] = []
+    for line in output.splitlines():
+        line = line.strip()
+        if line and not line.endswith(":"):
+            libs.append(line.split()[0])
+    return libs
+
+
+def make_exports(runtime: "ShillRuntime") -> dict[str, Any]:
+    return {
+        "create_wallet": create_wallet,
+        "wallet_put": wallet_put,
+        "wallet_get": wallet_get,
+        "populate_native_wallet": populate_native_wallet,
+        "pkg_native": make_pkg_native(runtime),
+    }

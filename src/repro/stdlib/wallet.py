@@ -1,0 +1,59 @@
+"""Capability wallets.
+
+Section 2.4.1: "Conceptually, a capability wallet is a map from strings
+to lists of capabilities" introduced "to automate and simplify the
+discovery, packaging, and management of capabilities that sandboxes need
+to run executables."
+
+A wallet is itself a capability-like value: it cannot be forged from
+strings, only built from capabilities the user already holds, so "despite
+its path-based interface, a native wallet is still capability safe."
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.capability.caps import Capability
+
+
+class Wallet(Capability):
+    """A map from string keys to lists of capabilities (or other values).
+
+    ``kind`` tags the wallet's flavour ("native" for wallets built by
+    :func:`repro.stdlib.native.populate_native_wallet`; user scripts may
+    define other flavours, e.g. the grade contract's ``ocaml_wallet``).
+    """
+
+    def __init__(self, kind: str = "") -> None:
+        self.kind = kind
+        self._entries: dict[str, list[Any]] = {}
+
+    def put(self, key: str, values: Iterable[Any]) -> None:
+        self._entries.setdefault(key, []).extend(values)
+
+    def put_one(self, key: str, value: Any) -> None:
+        self._entries.setdefault(key, []).append(value)
+
+    def get(self, key: str) -> list[Any]:
+        return list(self._entries.get(key, []))
+
+    def get_one(self, key: str) -> Any | None:
+        values = self._entries.get(key)
+        return values[0] if values else None
+
+    def has(self, key: str) -> bool:
+        return bool(self._entries.get(key))
+
+    def keys(self) -> list[str]:
+        return sorted(self._entries)
+
+    def all_values(self) -> list[Any]:
+        out: list[Any] = []
+        for key in sorted(self._entries):
+            out.extend(self._entries[key])
+        return out
+
+    def __repr__(self) -> str:
+        kind = self.kind or "wallet"
+        return f"<{kind}-wallet keys={self.keys()}>"

@@ -1,0 +1,29 @@
+"""World images: deterministic filesystem + network content for the
+case studies and benchmarks."""
+
+from repro.world.fixtures import (
+    EMACS_HOST,
+    EMACS_PATH,
+    EMACS_URL,
+    add_emacs_mirror,
+    add_grading_fixture,
+    add_jpeg_samples,
+    add_usr_src,
+    add_web_content,
+    emacs_tarball,
+)
+from repro.world.image import WorldBuilder, build_world
+
+__all__ = [
+    "build_world",
+    "WorldBuilder",
+    "add_grading_fixture",
+    "add_emacs_mirror",
+    "add_usr_src",
+    "add_web_content",
+    "add_jpeg_samples",
+    "emacs_tarball",
+    "EMACS_URL",
+    "EMACS_HOST",
+    "EMACS_PATH",
+]

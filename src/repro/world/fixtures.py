@@ -1,0 +1,193 @@
+"""Workload fixtures: the data each case study / benchmark runs against.
+
+Everything is deterministic (seeded by simple arithmetic, no RNG) so that
+benchmark comparisons across configurations see identical worlds.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.kernel import Kernel
+from repro.kernel.sockets import Socket
+from repro.programs.archive import gzip_compress, tar_create
+from repro.programs.base import elf_image
+from repro.world.image import WorldBuilder
+
+EMACS_URL = "http://ftp.gnu.org/gnu/emacs/emacs-24.3.tar.gz"
+EMACS_HOST = ("ftp.gnu.org", 80)
+EMACS_PATH = "/gnu/emacs/emacs-24.3.tar.gz"
+
+GOOD_SUBMISSION = "solve\n"
+MALICIOUS_READ = "readfile {target}\nsolve\n"
+MALICIOUS_WRITE = "writefile {target} cheated\nsolve\n"
+
+
+# ---------------------------------------------------------------------------
+# grading
+# ---------------------------------------------------------------------------
+
+
+def add_grading_fixture(
+    kernel: Kernel,
+    students: int = 12,
+    tests: int = 4,
+    malicious_reader: bool = True,
+    malicious_writer: bool = True,
+    owner: str = "tester",
+) -> dict[str, str]:
+    """Student submissions + test suite + empty working/grades dirs.
+
+    Student 0 (when enabled) tries to *read another student's submission*;
+    student 1 tries to *overwrite the test suite* — the two attacks the
+    grading case study's contracts must stop.
+    """
+    builder = WorldBuilder(kernel)
+    cred = kernel.users.lookup(owner)
+    base = f"/home/{owner}"
+    paths = {
+        "submissions": f"{base}/submissions",
+        "tests": f"{base}/tests",
+        "working": f"{base}/working",
+        "grades": f"{base}/grades",
+    }
+    for path in paths.values():
+        builder.ensure_dir(path, uid=cred.uid, gid=cred.gid)
+
+    for i in range(students):
+        subdir = f"{paths['submissions']}/student{i:02d}"
+        builder.ensure_dir(subdir, uid=cred.uid, gid=cred.gid)
+        if i == 0 and malicious_reader:
+            target = f"{paths['submissions']}/student{students - 1:02d}/main.ml"
+            source = MALICIOUS_READ.format(target=target)
+        elif i == 1 and malicious_writer:
+            source = MALICIOUS_WRITE.format(target=f"{paths['tests']}/test0.expected")
+        else:
+            source = GOOD_SUBMISSION
+        builder.write_file(f"{subdir}/main.ml", source.encode(), uid=cred.uid, gid=cred.gid)
+
+    for t in range(tests):
+        numbers = [t + 1, t + 2, t + 3]
+        builder.write_file(
+            f"{paths['tests']}/test{t}.in",
+            (" ".join(str(n) for n in numbers) + "\n").encode(),
+            uid=cred.uid,
+            gid=cred.gid,
+        )
+        builder.write_file(
+            f"{paths['tests']}/test{t}.expected",
+            f"{sum(numbers)}\n".encode(),
+            uid=cred.uid,
+            gid=cred.gid,
+        )
+    return paths
+
+
+# ---------------------------------------------------------------------------
+# emacs mirror (Download benchmark)
+# ---------------------------------------------------------------------------
+
+
+def emacs_tarball(sources: int = 6, doc_kb: int = 8) -> bytes:
+    members: list[tuple[str, bytes]] = [
+        ("emacs-24.3/configure", elf_image("emacs-configure", ["libc.so.7"])),
+        ("emacs-24.3/README", b"GNU Emacs 24.3 (simulated distribution)\n"),
+        ("emacs-24.3/etc/DOC", b"D" * (doc_kb * 1024)),
+        ("emacs-24.3/etc/COPYING", b"GPLv3 (simulated)\n"),
+    ]
+    for i in range(sources):
+        body = f'#include <stdio.h>\n/* emacs module {i} */\nint emacs_mod_{i}(void) {{ return {i}; }}\n'
+        members.append((f"emacs-24.3/src/mod{i}.c", body.encode()))
+    return gzip_compress(tar_create(members))
+
+
+def add_emacs_mirror(kernel: Kernel, tarball: bytes | None = None) -> bytes:
+    """Register the GNU mirror service the Download benchmark's curl
+    fetches from."""
+    blob = tarball if tarball is not None else emacs_tarball()
+
+    def mirror(server_side: Socket) -> None:
+        request = bytes(server_side.recv_buffer).decode(errors="replace")
+        # The service runs synchronously at connect time; the request may
+        # not have arrived yet, so respond to the path unconditionally
+        # once data shows up — here we simply serve on first read by
+        # preloading the response.
+        del request
+        server_side.peer.recv_buffer.extend(b"HTTP/1.0 200 OK\n\n" + blob)
+
+    kernel.network.register_service(EMACS_HOST, mirror)
+    return blob
+
+
+# ---------------------------------------------------------------------------
+# /usr/src (Find benchmark)
+# ---------------------------------------------------------------------------
+
+
+def add_usr_src(
+    kernel: Kernel,
+    subsystems: int = 12,
+    files_per_dir: int = 16,
+    c_ratio: int = 4,
+    mac_ratio: int = 5,
+) -> dict[str, int]:
+    """A scaled-down BSD source tree.
+
+    Every ``c_ratio``-th file is a ``.c`` file (others are headers or
+    docs) and every ``mac_ratio``-th ``.c`` file mentions ``mac_`` — the
+    string the Find case study greps for.  Returns the counts so
+    benchmarks can assert coverage.
+    """
+    builder = WorldBuilder(kernel)
+    total = c_files = mac_files = 0
+    for s in range(subsystems):
+        subsystem = f"/usr/src/sys{s:02d}"
+        builder.ensure_dir(subsystem)
+        for d in range(2):
+            directory = f"{subsystem}/dir{d}"
+            builder.ensure_dir(directory)
+            for f in range(files_per_dir):
+                total += 1
+                index = (s * 100) + (d * 50) + f
+                if index % c_ratio == 0:
+                    c_files += 1
+                    if (c_files % mac_ratio) == 0:
+                        mac_files += 1
+                        body = f"/* src {index} */\nint mac_check_{index}(void);\n"
+                    else:
+                        body = f"/* src {index} */\nint fn_{index}(void);\n"
+                    builder.write_file(f"{directory}/file{f}.c", body.encode())
+                elif index % c_ratio == 1:
+                    builder.write_file(f"{directory}/file{f}.h", f"/* hdr {index} */\n".encode())
+                else:
+                    builder.write_file(f"{directory}/file{f}.txt", f"doc {index}\n".encode())
+    return {"total": total, "c_files": c_files, "mac_files": mac_files}
+
+
+# ---------------------------------------------------------------------------
+# web content (Apache benchmark)
+# ---------------------------------------------------------------------------
+
+
+def add_web_content(kernel: Kernel, file_kb: int = 512, small_files: int = 8) -> dict[str, str]:
+    builder = WorldBuilder(kernel)
+    builder.write_file("/var/www/big.bin", b"W" * (file_kb * 1024))
+    for i in range(small_files):
+        builder.write_file(f"/var/www/page{i}.html", f"<html>page {i}</html>\n".encode())
+    builder.write_file("/var/log/httpd-access.log", b"", mode=0o666)
+    return {"big": "/var/www/big.bin", "docroot": "/var/www", "log": "/var/log/httpd-access.log"}
+
+
+# ---------------------------------------------------------------------------
+# jpeg sample (quickstart)
+# ---------------------------------------------------------------------------
+
+
+def add_jpeg_samples(kernel: Kernel, owner: str = "alice") -> list[str]:
+    builder = WorldBuilder(kernel)
+    cred = kernel.users.lookup(owner)
+    base = f"/home/{owner}/Documents"
+    builder.ensure_dir(base, uid=cred.uid, gid=cred.gid)
+    paths = []
+    for name, body in (("dog.jpg", b"JPEG" + b"\xde\xad" * 64), ("notes.txt", b"not a jpeg")):
+        builder.write_file(f"{base}/{name}", body, uid=cred.uid, gid=cred.gid)
+        paths.append(f"{base}/{name}")
+    return paths

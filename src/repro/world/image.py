@@ -1,0 +1,183 @@
+"""The world image: a deterministic FreeBSD-flavoured filesystem.
+
+``build_world`` boots a kernel and populates everything the case studies
+and benchmarks need: shared libraries, /etc configuration, the installed
+binaries (pseudo-ELF images wired to registered programs), user homes,
+and /tmp.  Workload-specific content (student submissions, the emacs
+mirror, /usr/src, web content) is added by :mod:`repro.world.fixtures`.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.kernel import Kernel
+from repro.kernel.vfs import Vnode, VType
+from repro.programs.base import elf_image
+from repro.programs.registry import INSTALL_LOCATIONS, register_all
+
+LIBRARIES = {
+    "/lib/libc.so.7": 640,
+    "/lib/libm.so.5": 120,
+    "/lib/libz.so.6": 96,
+    "/lib/libcrypt.so.5": 64,
+    "/usr/lib/libssl.so.8": 256,
+    "/usr/lib/libcurl.so.4": 192,
+    "/usr/lib/libjpeg.so.11": 128,
+    "/usr/lib/libpcre.so.1": 112,
+    "/usr/lib/libocaml.so.1": 300,
+    "/usr/lib/libapr.so.1": 144,
+    "/usr/lib/crt1.o": 8,
+    "/libexec/ld-elf.so.1": 96,
+}
+
+ETC_FILES = {
+    "/etc/passwd": "root:0:0\nalice:1001:1001\ntester:1002:1002\nwww:880:880\n",
+    "/etc/locale.conf": "LANG=C.UTF-8\n",
+    "/etc/resolv.conf": "nameserver 10.0.0.1\n",
+    "/etc/ssl/cert.pem": "-----BEGIN SIMULATED CERT BUNDLE-----\n",
+    "/etc/apache/httpd.conf": (
+        "Listen 8080\n"
+        "DocumentRoot /var/www\n"
+        "AccessLog /var/log/httpd-access.log\n"
+    ),
+}
+
+HEADERS = ["stdio.h", "stdlib.h", "string.h", "unistd.h", "sys/types.h", "sys/mac.h"]
+
+OCAML_STDLIB = ["stdlib.cma", "pervasives.cmi", "list.cmi", "string.cmi", "arg.cmi"]
+
+BASE_DIRS = [
+    "/bin", "/usr", "/usr/bin", "/usr/local", "/usr/local/bin", "/usr/local/lib",
+    "/usr/local/lib/ocaml", "/usr/lib", "/usr/include", "/usr/include/sys",
+    "/usr/src", "/lib", "/libexec", "/etc", "/etc/ssl", "/etc/apache",
+    "/home", "/tmp", "/var", "/var/log", "/var/www", "/root", "/dev",
+]
+
+#: The paper's baseline grading task, as an actual shell script run by the
+#: simulated /bin/sh (the "61-line Bash script" of section 4.1).
+GRADE_SH_SCRIPT = """\
+#!/bin/sh
+# grade-sh SUBMISSIONS TESTS WORKING GRADES
+# Compile every student's submission, run it against the test suite,
+# and record one score file per student.
+submissions=$1
+tests=$2
+working=$3
+grades=$4
+
+for subdir in $submissions/*
+do
+  student=$(basename $subdir)
+  work=$working/$student
+  mkdir $work
+  score=0
+  total=0
+  ocamlc -o $work/main.byte $subdir/main.ml 2> $work/compile.log
+  for input in $tests/*.in
+  do
+    t=$(basename $input .in)
+    total=$(expr $total + 1)
+    if ocamlrun $work/main.byte < $input > $work/$t.out 2> $work/$t.err
+    then
+      if diff $work/$t.out $tests/$t.expected > /dev/null
+      then
+        score=$(expr $score + 1)
+      fi
+    fi
+  done
+  echo $student: $score/$total >> $grades/$student
+done
+"""
+
+USERS = [("alice", 1001, 1001), ("tester", 1002, 1002), ("www", 880, 880)]
+
+
+class WorldBuilder:
+    """Mechanical helpers for populating a kernel's VFS as root."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+
+    def ensure_dir(self, path: str, mode: int = 0o755, uid: int = 0, gid: int = 0) -> Vnode:
+        node = self.kernel.vfs.root
+        for comp in [p for p in path.split("/") if p]:
+            if self.kernel.vfs.exists(node, comp):
+                node = self.kernel.vfs.lookup(node, comp)
+            else:
+                node = self.kernel.vfs.create(node, comp, VType.VDIR, mode, uid, gid)
+        # The final directory gets the requested attributes even if an
+        # earlier step created it with defaults (e.g. /tmp's 0777).
+        node.mode = mode
+        node.uid, node.gid = uid, gid
+        return node
+
+    def write_file(self, path: str, data: bytes, mode: int = 0o644, uid: int = 0, gid: int = 0) -> Vnode:
+        directory, _, name = path.rpartition("/")
+        parent = self.ensure_dir(directory or "/")
+        if self.kernel.vfs.exists(parent, name):
+            vp = self.kernel.vfs.lookup(parent, name)
+            assert vp.data is not None
+            vp.data[:] = data
+            return vp
+        vp = self.kernel.vfs.create(parent, name, VType.VREG, mode, uid, gid)
+        assert vp.data is not None
+        vp.data.extend(data)
+        return vp
+
+    def install_binary(self, path: str, program: str, needed: list[str]) -> Vnode:
+        vp = self.write_file(path, elf_image(program, needed), mode=0o755)
+        vp.program = program
+        vp.needed = list(needed)
+        return vp
+
+
+def build_world(kernel: Kernel | None = None, *, install_shill: bool = True) -> Kernel:
+    """Boot a kernel and lay down the base world image.
+
+    ``install_shill=False`` produces the Figure 9 "Baseline" machine —
+    the SHILL kernel module is simply not loaded.
+    """
+    kernel = kernel or Kernel()
+    register_all(kernel)
+    builder = WorldBuilder(kernel)
+
+    for name, uid, gid in USERS:
+        kernel.users.add_user(name, uid, gid)
+
+    for path in BASE_DIRS:
+        builder.ensure_dir(path)
+    # /tmp is sticky-world-writable; homes belong to their users.
+    builder.ensure_dir("/tmp", mode=0o777)
+    for name, uid, gid in USERS:
+        builder.ensure_dir(f"/home/{name}", mode=0o755, uid=uid, gid=gid)
+    builder.ensure_dir("/var/www", mode=0o755)
+    builder.ensure_dir("/var/log", mode=0o777)
+
+    for path, size in LIBRARIES.items():
+        builder.write_file(path, b"\x7fSIMLIB" + bytes(size))
+    for path, text in ETC_FILES.items():
+        builder.write_file(path, text.encode())
+    for header in HEADERS:
+        builder.write_file(f"/usr/include/{header}", f"/* {header} */\n".encode())
+    for member in OCAML_STDLIB:
+        builder.write_file(f"/usr/local/lib/ocaml/{member}", b"OCAML-STDLIB\n")
+
+    for program in kernel.programs.values():
+        location = INSTALL_LOCATIONS.get(program.name)
+        if location is not None:
+            builder.install_binary(location, program.name, program.needed)
+
+    # /dev/null: a character device vnode (MAC does not interpose on its
+    # read/write unless kernel.interpose_devices is set).
+    from repro.kernel.devices import null_device
+    from repro.kernel.vfs import VType as _VType
+
+    dev = builder.ensure_dir("/dev")
+    null = kernel.vfs.create(dev, "null", _VType.VCHR, 0o666, 0, 0)
+    null.device = null_device()
+
+    # The grading shell script (a plain text executable run via shebang).
+    builder.write_file("/usr/local/bin/grade-sh", GRADE_SH_SCRIPT.encode(), mode=0o755)
+
+    if install_shill:
+        kernel.install_shill_module()
+    return kernel

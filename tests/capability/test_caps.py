@@ -1,0 +1,165 @@
+"""Language-level capability tests: operations, attenuation, safety rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CapabilitySafetyError, ContractViolation, SysError
+from repro.capability.caps import FsCap, PipeFactoryCap, SocketFactoryCap
+from repro.sandbox.privileges import Priv, PrivSet, SocketPerms, SockPriv
+
+
+@pytest.fixture
+def sys_iface(kernel):
+    return kernel.syscalls(kernel.spawn_process("alice", "/home/alice"))
+
+
+def cap_for(sys_iface, path: str, privs: PrivSet | None = None) -> FsCap:
+    _, _, vp = sys_iface._resolve(path)
+    assert vp is not None
+    return FsCap(sys_iface, vp, privs or PrivSet.full(), path)
+
+
+class TestClassification:
+    def test_dir_cap(self, sys_iface):
+        cap = cap_for(sys_iface, "/home/alice")
+        assert cap.is_dir_cap and not cap.is_file_cap
+
+    def test_file_cap(self, sys_iface):
+        cap = cap_for(sys_iface, "/home/alice/dog.jpg")
+        assert cap.is_file_cap and not cap.is_dir_cap
+
+    def test_pipe_end_is_file_cap(self, sys_iface):
+        read_cap, write_cap = PipeFactoryCap(sys_iface).create()
+        assert read_cap.is_file_cap and write_cap.is_file_cap
+
+
+class TestOperations:
+    def test_read(self, sys_iface):
+        assert cap_for(sys_iface, "/home/alice/dog.jpg").read() == b"JPEGDATA-DOG"
+
+    def test_write_then_read(self, sys_iface):
+        cap = cap_for(sys_iface, "/home/alice/dog.jpg")
+        cap.write(b"NEW")
+        assert cap.read() == b"NEW"
+
+    def test_append(self, sys_iface):
+        cap = cap_for(sys_iface, "/home/alice/dog.jpg")
+        cap.append(b"+TAIL")
+        assert cap.read().endswith(b"+TAIL")
+
+    def test_path(self, sys_iface):
+        assert cap_for(sys_iface, "/home/alice/dog.jpg").path() == "/home/alice/dog.jpg"
+
+    def test_path_falls_back_to_last_known(self, sys_iface, kernel):
+        cap = cap_for(sys_iface, "/home/alice/dog.jpg")
+        home = kernel.vfs.lookup(kernel.vfs.lookup(kernel.vfs.root, "home"), "alice")
+        kernel.vfs.unlink(home, "dog.jpg")
+        assert cap.path() == "/home/alice/dog.jpg"  # last known path
+
+    def test_stat(self, sys_iface):
+        assert cap_for(sys_iface, "/home/alice/dog.jpg").stat().size == 12
+
+    def test_contents(self, sys_iface):
+        assert "dog.jpg" in cap_for(sys_iface, "/home/alice").contents()
+
+    def test_lookup_derives(self, sys_iface):
+        child = cap_for(sys_iface, "/home/alice").lookup("dog.jpg")
+        assert child.read() == b"JPEGDATA-DOG"
+
+    def test_create_file_and_unlink(self, sys_iface):
+        home = cap_for(sys_iface, "/home/alice")
+        child = home.create_file("scratch.txt")
+        child.write(b"tmp")
+        home.unlink("scratch.txt")
+        with pytest.raises(SysError):
+            home.lookup("scratch.txt")
+
+    def test_create_dir(self, sys_iface):
+        home = cap_for(sys_iface, "/home/alice")
+        sub = home.create_dir("subdir")
+        assert sub.is_dir_cap and sub.contents() == []
+
+    def test_chmod(self, sys_iface):
+        cap = cap_for(sys_iface, "/home/alice/dog.jpg")
+        cap.chmod(0o600)
+        assert cap.stat().mode == 0o600
+
+
+class TestCapabilitySafety:
+    def test_lookup_dotdot_refused(self, sys_iface):
+        with pytest.raises(CapabilitySafetyError):
+            cap_for(sys_iface, "/home/alice").lookup("..")
+
+    def test_lookup_dot_refused(self, sys_iface):
+        with pytest.raises(CapabilitySafetyError):
+            cap_for(sys_iface, "/home/alice").lookup(".")
+
+    def test_lookup_multicomponent_refused(self, sys_iface):
+        with pytest.raises(CapabilitySafetyError):
+            cap_for(sys_iface, "/").lookup("home/alice")
+
+    def test_not_picklable(self, sys_iface):
+        import pickle
+
+        with pytest.raises(CapabilitySafetyError):
+            pickle.dumps(cap_for(sys_iface, "/home/alice"))
+
+    def test_not_deepcopyable(self, sys_iface):
+        import copy
+
+        with pytest.raises(CapabilitySafetyError):
+            copy.deepcopy(cap_for(sys_iface, "/home/alice"))
+
+
+class TestAttenuationAndDerivation:
+    def test_missing_privilege_raises_with_blame(self, sys_iface):
+        cap = cap_for(sys_iface, "/home/alice/dog.jpg", PrivSet.of(Priv.STAT))
+        cap.blame = "the-culprit"
+        with pytest.raises(ContractViolation) as exc:
+            cap.read()
+        assert exc.value.blame == "the-culprit"
+        assert "+read" in exc.value.detail
+
+    def test_derived_privs_follow_modifier(self, sys_iface):
+        privs = PrivSet.of(Priv.LOOKUP).with_modifier(Priv.LOOKUP, {Priv.STAT, Priv.PATH})
+        child = cap_for(sys_iface, "/home/alice", privs).lookup("dog.jpg")
+        assert child.privs.privs() == {Priv.STAT, Priv.PATH}
+
+    def test_derived_privs_inherit_without_modifier(self, sys_iface):
+        privs = PrivSet.of(Priv.LOOKUP, Priv.READ, Priv.STAT)
+        child = cap_for(sys_iface, "/home/alice", privs).lookup("dog.jpg")
+        assert child.privs.privs() == {Priv.LOOKUP, Priv.READ, Priv.STAT}
+
+    def test_attenuated_never_amplifies(self, sys_iface):
+        cap = cap_for(sys_iface, "/home/alice/dog.jpg", PrivSet.of(Priv.READ))
+        out = cap.attenuated(PrivSet.of(Priv.READ, Priv.WRITE, Priv.APPEND), blame="x")
+        assert out.privs.privs() == {Priv.READ}
+
+    def test_unlink_needs_priv_on_child(self, sys_iface):
+        privs = PrivSet.of(Priv.LOOKUP).with_modifier(Priv.LOOKUP, {Priv.STAT})
+        home = cap_for(sys_iface, "/home/alice", privs)
+        with pytest.raises(ContractViolation) as exc:
+            home.unlink("dog.jpg")
+        assert "+unlink-file" in exc.value.detail
+
+
+class TestFactories:
+    def test_pipe_roundtrip(self, sys_iface):
+        read_cap, write_cap = PipeFactoryCap(sys_iface).create()
+        write_cap.write(b"through")
+        assert read_cap.read() == b"through"
+
+    def test_pipe_ends_one_directional(self, sys_iface):
+        read_cap, write_cap = PipeFactoryCap(sys_iface).create()
+        with pytest.raises(ContractViolation):
+            read_cap.write(b"x")
+        with pytest.raises(ContractViolation):
+            write_cap.read()
+
+    def test_socket_factory_attenuation(self):
+        factory = SocketFactoryCap()
+        narrowed = factory.attenuated(SocketPerms({SockPriv.CONNECT, SockPriv.SEND}))
+        assert narrowed.perms.has(SockPriv.SEND)
+        with pytest.raises(ContractViolation):
+            narrowed.attenuated(SocketPerms({SockPriv.BIND}))

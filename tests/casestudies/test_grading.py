@@ -1,0 +1,171 @@
+"""Grading case study: functionality plus the paper's security claims."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.casestudies.grading import (
+    run_baseline_grading,
+    run_sandboxed_grading,
+    run_shill_grading,
+)
+from repro.world import add_grading_fixture, build_world
+
+STUDENTS = 5
+TESTS = 3
+
+
+@pytest.fixture
+def world():
+    kernel = build_world()
+    add_grading_fixture(kernel, students=STUDENTS, tests=TESTS)
+    return kernel
+
+
+@pytest.fixture
+def honest_world():
+    kernel = build_world()
+    add_grading_fixture(
+        kernel, students=STUDENTS, tests=TESTS, malicious_reader=False, malicious_writer=False
+    )
+    return kernel
+
+
+def read(kernel, path: str) -> bytes:
+    sys = kernel.syscalls(kernel.spawn_process("root", "/"))
+    return sys.read_whole(path)
+
+
+class TestFunctionality:
+    def test_honest_submissions_all_pass_everywhere(self, honest_world):
+        kernel = honest_world
+        expected = {f"student{i:02d}": f"student{i:02d}: {TESTS}/{TESTS}\n" for i in range(STUDENTS)}
+        # Run the SHILL version; it must match what an unconfined run gives.
+        result = run_shill_grading(kernel)
+        assert result.grades == expected
+
+    def test_shellscript_grader_matches_native_grader(self, world):
+        """The grader as a *real shell script* (run by the simulated
+        /bin/sh via shebang, sandboxed) produces the same grades as the
+        native grade.sh program."""
+        from repro.casestudies.grading import run_shellscript_grading
+
+        kernel1 = build_world()
+        add_grading_fixture(kernel1, students=STUDENTS, tests=TESTS)
+        kernel2 = build_world()
+        add_grading_fixture(kernel2, students=STUDENTS, tests=TESTS)
+        shellscript = run_shellscript_grading(kernel1)
+        native = run_sandboxed_grading(kernel2)
+        assert shellscript.grades == native.grades
+
+    def test_shellscript_grader_protects_test_suite(self):
+        from repro.casestudies.grading import run_shellscript_grading
+
+        kernel = build_world()
+        paths = add_grading_fixture(kernel, students=STUDENTS, tests=TESTS)
+        run_shellscript_grading(kernel)
+        assert read(kernel, f"{paths['tests']}/test0.expected") != b"cheated"
+
+    def test_sandboxed_version_grades_match_shill_version(self, world):
+        kernel1 = build_world()
+        add_grading_fixture(kernel1, students=STUDENTS, tests=TESTS)
+        kernel2 = build_world()
+        add_grading_fixture(kernel2, students=STUDENTS, tests=TESTS)
+        sandboxed = run_sandboxed_grading(kernel1)
+        shill = run_shill_grading(kernel2)
+        assert sandboxed.grades == shill.grades
+
+    def test_shill_version_sandbox_count(self, honest_world):
+        """Per student: one ocamlc + one ocamlrun per test; plus pkg_native's
+        two ldd sandboxes."""
+        result = run_shill_grading(honest_world)
+        expected = 2 + STUDENTS * (1 + TESTS)
+        assert result.runtime.profile["sandbox_count"] == expected
+
+
+class TestSecurity:
+    def test_baseline_lets_malicious_writer_corrupt_tests(self):
+        """Without SHILL, student01's writefile tampers with the test suite."""
+        kernel = build_world(install_shill=False)
+        paths = add_grading_fixture(kernel, students=STUDENTS, tests=TESTS)
+        run_baseline_grading(kernel)
+        assert read(kernel, f"{paths['tests']}/test0.expected") == b"cheated"
+
+    def test_sandboxed_version_protects_test_suite(self):
+        kernel = build_world()
+        paths = add_grading_fixture(kernel, students=STUDENTS, tests=TESTS)
+        run_sandboxed_grading(kernel)
+        assert read(kernel, f"{paths['tests']}/test0.expected") != b"cheated"
+
+    def test_shill_version_protects_test_suite(self):
+        kernel = build_world()
+        paths = add_grading_fixture(kernel, students=STUDENTS, tests=TESTS)
+        run_shill_grading(kernel)
+        assert read(kernel, f"{paths['tests']}/test0.expected") != b"cheated"
+
+    def test_sandboxed_version_cannot_stop_cross_student_read(self):
+        """The coarse sandbox gives grade.sh the whole submissions tree, so
+        student00's readfile of another submission SUCCEEDS (its stolen
+        text lands in the test output).  This is exactly the gap the
+        fine-grained version closes."""
+        kernel = build_world()
+        paths = add_grading_fixture(kernel, students=STUDENTS, tests=TESTS)
+        run_sandboxed_grading(kernel)
+        out = read(kernel, f"{paths['working']}/student00/test0.out").decode()
+        assert "solve" in out  # the victim's main.ml contents leaked
+
+    def test_shill_version_stops_cross_student_read(self):
+        """Fine-grained isolation: student00's sandbox has no capability
+        for any other student's submission, so readfile fails."""
+        kernel = build_world()
+        paths = add_grading_fixture(kernel, students=STUDENTS, tests=TESTS)
+        result = run_shill_grading(kernel)
+        out = read(kernel, f"{paths['working']}/student00/test0.out").decode()
+        assert "solve" not in out
+        # ...and the student scored zero rather than crashing the grader:
+        assert result.grades["student00"].startswith("student00: 0/")
+
+    def test_malicious_students_score_zero_under_shill(self):
+        kernel = build_world()
+        add_grading_fixture(kernel, students=STUDENTS, tests=TESTS)
+        result = run_shill_grading(kernel)
+        assert result.grades["student00"].startswith("student00: 0/")
+        assert result.grades["student01"].startswith("student01: 0/")
+        # Honest students are unaffected:
+        for i in range(2, STUDENTS):
+            assert result.grades[f"student{i:02d}"] == f"student{i:02d}: {TESTS}/{TESTS}\n"
+
+    def test_tmp_isolation_preexisting_files_protected(self):
+        """"we used a contract on the /tmp capability to specify that
+        sandboxed processes can only read, modify, or delete files or
+        directories they create" — a pre-existing /tmp file survives the
+        whole grading run untouched and was never readable."""
+        kernel = build_world()
+        add_grading_fixture(kernel, students=3, tests=2,
+                            malicious_reader=False, malicious_writer=False)
+        sys = kernel.syscalls(kernel.spawn_process("root", "/"))
+        sys.write_whole("/tmp/other-users-scratch", b"precious")
+        # A submission that attacks /tmp directly:
+        sys.write_whole(
+            "/home/tester/submissions/student02/main.ml",
+            b"writefile /tmp/other-users-scratch clobbered\nsolve\n",
+        )
+        run_sandboxed_grading(kernel)
+        assert sys.read_whole("/tmp/other-users-scratch") == b"precious"
+
+    def test_grade_files_isolated_per_student(self):
+        """Each grade file is created by the grader with an append-only
+        modifier; submissions' sandboxes never receive it."""
+        kernel = build_world()
+        paths = add_grading_fixture(kernel, students=3, tests=2,
+                                    malicious_reader=False, malicious_writer=False)
+        # A submission that tries to overwrite its own grade file:
+        sys = kernel.syscalls(kernel.spawn_process("tester", "/home/tester"))
+        sys.write_whole(
+            f"{paths['submissions']}/student02/main.ml",
+            f"writefile {paths['grades']}/student02 100/100\nsolve\n".encode(),
+        )
+        result = run_shill_grading(kernel)
+        grade = result.grades["student02"]
+        assert "100/100" not in grade
+        assert grade.startswith("student02: 0/")

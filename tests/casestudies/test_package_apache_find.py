@@ -1,0 +1,178 @@
+"""Package-management, Apache, and Find case studies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.casestudies.apache import apache_bench, baseline_bench
+from repro.casestudies.findgrep import run_baseline, run_fine, run_simple
+from repro.casestudies.package_mgmt import PackageManager, run_full_ambient
+from repro.world import (
+    add_emacs_mirror,
+    add_usr_src,
+    add_web_content,
+    build_world,
+)
+
+
+def rootsys(kernel):
+    return kernel.syscalls(kernel.spawn_process("root", "/"))
+
+
+class TestPackageManagement:
+    @pytest.fixture
+    def world(self):
+        kernel = build_world()
+        add_emacs_mirror(kernel)
+        return kernel
+
+    def test_full_cycle(self, world):
+        pm = PackageManager(world)
+        pm.download()
+        sys = rootsys(world)
+        assert sys.stat("/root/downloads/emacs-24.3.tar.gz").size > 0
+        pm.unpack()
+        assert "configure" in sys.contents("/root/downloads/emacs-24.3")
+        pm.configure()
+        assert "Makefile" in sys.contents("/root/downloads/emacs-24.3")
+        pm.build()
+        assert "emacs" in sys.contents("/root/downloads/emacs-24.3")
+        pm.install()
+        assert sys.read_whole("/usr/local/emacs/bin/emacs").startswith(b"#!ELF")
+        pm.uninstall()
+        assert sys.contents("/usr/local/emacs/bin") == []
+
+    def test_ambient_script_runs_whole_lifecycle(self, world):
+        runtime = run_full_ambient(world)
+        sys = rootsys(world)
+        assert sys.contents("/usr/local/emacs/bin") == []  # uninstalled at the end
+        assert runtime.profile["sandbox_count"] > 0
+
+    def test_download_needs_socket_factory(self, world):
+        """Only download can reach the network; a download attempt without
+        the socket factory capability fails inside the sandbox."""
+        from repro.errors import ContractViolation
+
+        pm = PackageManager(world)
+        with pytest.raises((ContractViolation, RuntimeError)):
+            pm.runtime.call(
+                pm.exports["download"],
+                pm._wallet_value(),
+                "not-a-socket-factory",
+                pm.runtime.open_dir(pm.downloads),
+            )
+
+    def test_install_cannot_touch_existing_prefix_files(self, world):
+        """"the install function is restricted from reading, altering, or
+        removing any existing files in the installation directory" — a
+        canary placed in the prefix survives, and a sandbox with the
+        install grant cannot read it."""
+        pm = PackageManager(world)  # creates the (empty) prefix directory
+        sys = rootsys(world)
+        sys.write_whole("/usr/local/emacs/canary.txt", b"precious")
+        pm.download(); pm.unpack(); pm.configure(); pm.build(); pm.install()
+        assert sys.read_whole("/usr/local/emacs/canary.txt") == b"precious"
+        # Direct probe: cat the canary under the install-time prefix grant.
+        from repro.sandbox.privileges import Priv, PrivSet
+
+        prefix = pm.runtime.open_dir(pm.prefix)
+        install_privs = PrivSet.of(Priv.PATH, Priv.STAT).adding(
+            Priv.LOOKUP, Priv.CREATE_FILE, Priv.CREATE_DIR
+        ).with_modifier(Priv.LOOKUP, ())
+        probe = prefix.attenuated(install_privs, blame="probe")
+        from repro.capability.caps import PipeFactoryCap
+        from repro.stdlib.native import make_pkg_native
+
+        cat_wrapped = make_pkg_native(pm.runtime)("cat", pm._wallet_value())
+        rend, wend = PipeFactoryCap(pm.runtime.sys).create()
+        status = pm.runtime.call(
+            cat_wrapped, ["/usr/local/emacs/canary.txt"], stderr=wend, extras=[probe]
+        )
+        assert status == 1  # EACCES inside the sandbox
+        assert b"EACCES" in rend.read()
+
+    def test_uninstall_removes_only_listed_files(self, world):
+        sys = rootsys(world)
+        pm = PackageManager(world)
+        pm.download(); pm.unpack(); pm.configure(); pm.build(); pm.install()
+        sys.write_whole("/usr/local/emacs/share/user-notes.txt", b"keep me")
+        pm.uninstall()
+        assert sys.read_whole("/usr/local/emacs/share/user-notes.txt") == b"keep me"
+        assert "DOC" not in sys.contents("/usr/local/emacs/share")
+
+
+class TestApache:
+    @pytest.fixture
+    def world(self):
+        kernel = build_world()
+        add_web_content(kernel, file_kb=8, small_files=2)
+        return kernel
+
+    def test_serves_and_logs(self, world):
+        result = apache_bench(world, requests=6, path="/big.bin")
+        assert len(result.responses) == 6
+        body_len = 8 * 1024
+        for response in result.responses:
+            assert response.startswith(b"HTTP/1.0 200 OK")
+            assert len(response) >= body_len
+        assert result.log_text.count("GET /big.bin 200") == 6
+
+    def test_matches_baseline_responses(self):
+        k1 = build_world(install_shill=False)
+        add_web_content(k1, file_kb=4, small_files=1)
+        k2 = build_world()
+        add_web_content(k2, file_kb=4, small_files=1)
+        base = baseline_bench(k1, requests=3, path="/page0.html")
+        sandboxed = apache_bench(k2, requests=3, path="/page0.html")
+        assert base == sandboxed.responses
+
+    def test_cannot_escape_docroot(self, world):
+        """A request that traverses out of the DocumentRoot is refused by
+        the sandbox: resolution reaches /etc/passwd but the session has no
+        privileges on it, so httpd answers 404."""
+        result = apache_bench(world, requests=1, path="/../etc/passwd")
+        assert result.responses[0].startswith(b"HTTP/1.0 404")
+
+    def test_not_isolated_from_rest_of_system(self, world):
+        """"concurrently executing programs can dynamically add new web
+        content or view logs as they are generated" — content added after
+        the sandbox is created is servable, and the log stays readable."""
+        sys = rootsys(world)
+        sys.write_whole("/var/www/late.html", b"<html>added late</html>")
+        result = apache_bench(world, requests=2, path="/late.html")
+        assert all(b"added late" in r for r in result.responses)
+        assert "GET /late.html 200" in result.log_text
+
+
+class TestFind:
+    @pytest.fixture
+    def world(self):
+        kernel = build_world()
+        self.counts = add_usr_src(kernel, subsystems=3, files_per_dir=8)
+        return kernel
+
+    def test_all_three_versions_agree(self, world):
+        base = run_baseline(world, out_path="/root/m0.txt")
+        simple = run_simple(world, out_path="/root/m1.txt")
+        fine = run_fine(world, out_path="/root/m2.txt")
+        assert base == simple.output == fine.output
+        assert self.counts["mac_files"] == len({line.split(":")[0] for line in base.splitlines()})
+
+    def test_fine_version_one_sandbox_per_c_file(self, world):
+        fine = run_fine(world)
+        # one ldd sandbox (pkg_native) + one grep sandbox per .c file
+        assert fine.runtime.profile["sandbox_count"] == 1 + self.counts["c_files"]
+
+    def test_simple_version_two_sandboxes(self, world):
+        simple = run_simple(world)
+        # one ldd sandbox + one find sandbox (grep runs inside it)
+        assert simple.runtime.profile["sandbox_count"] == 2
+
+    def test_symlink_out_of_tree_is_confined(self, world):
+        """A planted symlink /usr/src/.../evil.c -> /etc/passwd matches the
+        filter, but grep's sandbox has no capability for the target, so
+        nothing leaks."""
+        sys = rootsys(world)
+        sys.symlink("/etc/passwd", "/usr/src/sys00/dir0/evil.c")
+        fine = run_fine(world, out_path="/root/m3.txt")
+        assert "alice" not in fine.output  # /etc/passwd contents absent

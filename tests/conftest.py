@@ -1,0 +1,64 @@
+"""Shared fixtures: a small booted kernel with users and a tiny tree.
+
+The full world image (libraries, binaries, /usr/src, fixtures) has its own
+builder in :mod:`repro.world.image`; these fixtures deliberately stay tiny
+so kernel/sandbox unit tests read clearly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.kernel.vfs import VType
+
+
+@pytest.fixture
+def kernel() -> Kernel:
+    """A kernel with users alice/bob and this tree (modes in comments)::
+
+        /home/alice/dog.jpg      alice 0644 "JPEGDATA-DOG"
+        /home/alice/notes.txt    alice 0600 "alice's secrets"
+        /home/bob/cat.txt        bob   0644 "meow"
+        /tmp                     root  1777
+    """
+    k = Kernel()
+    k.users.add_user("alice", 1001, 1001)
+    k.users.add_user("bob", 1002, 1002)
+    root = k.vfs.root
+
+    home = k.vfs.create(root, "home", VType.VDIR, 0o755, 0, 0)
+    alice = k.vfs.create(home, "alice", VType.VDIR, 0o755, 1001, 1001)
+    bob = k.vfs.create(home, "bob", VType.VDIR, 0o755, 1002, 1002)
+    k.vfs.create(root, "tmp", VType.VDIR, 0o777, 0, 0)
+
+    dog = k.vfs.create(alice, "dog.jpg", VType.VREG, 0o644, 1001, 1001)
+    assert dog.data is not None
+    dog.data.extend(b"JPEGDATA-DOG")
+
+    notes = k.vfs.create(alice, "notes.txt", VType.VREG, 0o600, 1001, 1001)
+    assert notes.data is not None
+    notes.data.extend(b"alice's secrets")
+
+    cat = k.vfs.create(bob, "cat.txt", VType.VREG, 0o644, 1002, 1002)
+    assert cat.data is not None
+    cat.data.extend(b"meow")
+    return k
+
+
+@pytest.fixture
+def alice_sys(kernel: Kernel):
+    proc = kernel.spawn_process("alice", "/home/alice")
+    return kernel.syscalls(proc)
+
+
+@pytest.fixture
+def bob_sys(kernel: Kernel):
+    proc = kernel.spawn_process("bob", "/home/bob")
+    return kernel.syscalls(proc)
+
+
+@pytest.fixture
+def root_sys(kernel: Kernel):
+    proc = kernel.spawn_process("root", "/")
+    return kernel.syscalls(proc)

@@ -1,0 +1,73 @@
+"""Property-based blame-assignment tests (DESIGN.md §5, invariant 4).
+
+For arbitrary capability/contract privilege combinations:
+
+* a capability *lacking* a contract-required privilege is rejected with
+  blame on the **provider**;
+* a capability satisfying the contract is attenuated, and any use outside
+  the contracted set raises with blame on the **consumer**;
+* a use inside both sets never raises.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ContractViolation
+from repro.capability.caps import FsCap
+from repro.contracts.blame import Blame
+from repro.contracts.capctc import CapContract
+from repro.sandbox.privileges import Priv, PrivSet
+
+B = Blame("the-provider", "the-consumer")
+
+# Privileges exercisable on a plain file capability without side inputs.
+FILE_OPS = {
+    Priv.READ: lambda cap: cap.read(),
+    Priv.STAT: lambda cap: cap.stat(),
+    Priv.PATH: lambda cap: cap.path(),
+    Priv.APPEND: lambda cap: cap.append(b"+"),
+    Priv.WRITE: lambda cap: cap.write(b"w"),
+}
+
+priv_sets = st.sets(st.sampled_from(sorted(FILE_OPS, key=lambda p: p.value)), max_size=5)
+
+
+def make_cap(kernel, privs: PrivSet) -> FsCap:
+    sys = kernel.syscalls(kernel.spawn_process("alice", "/home/alice"))
+    _, _, vp = sys._resolve("/home/alice/dog.jpg")
+    return FsCap(sys, vp, privs, "/home/alice/dog.jpg")
+
+
+@settings(max_examples=40, deadline=None)
+@given(cap_privs=priv_sets, ctc_privs=priv_sets)
+def test_blame_assignment_property(cap_privs, ctc_privs):
+    from repro.kernel import Kernel
+    from repro.kernel.vfs import VType
+
+    kernel = Kernel()
+    kernel.users.add_user("alice", 1001, 1001)
+    home = kernel.vfs.create(kernel.vfs.root, "home", VType.VDIR, 0o755, 0, 0)
+    alice = kernel.vfs.create(home, "alice", VType.VDIR, 0o755, 1001, 1001)
+    dog = kernel.vfs.create(alice, "dog.jpg", VType.VREG, 0o644, 1001, 1001)
+    dog.data.extend(b"JPEG")
+
+    cap = make_cap(kernel, PrivSet.of(*cap_privs))
+    contract = CapContract("file", PrivSet.of(*ctc_privs))
+
+    if not ctc_privs <= cap_privs:
+        # Provider obligation unmet -> provider blamed at check time.
+        with pytest.raises(ContractViolation) as exc:
+            contract.check(cap, B)
+        assert exc.value.blame == "the-provider"
+        return
+
+    wrapped = contract.check(cap, B)
+    for priv, op in FILE_OPS.items():
+        if priv in ctc_privs:
+            op(wrapped)  # inside the contract: must succeed
+        else:
+            with pytest.raises(ContractViolation) as exc:
+                op(wrapped)
+            assert exc.value.blame == "the-consumer", priv

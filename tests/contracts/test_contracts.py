@@ -1,0 +1,209 @@
+"""Contract system tests: flat, and/or, capability, function, wallet."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ContractViolation
+from repro.capability.caps import FsCap, PipeFactoryCap, SocketFactoryCap
+from repro.contracts.blame import Blame
+from repro.contracts.capctc import CapContract, PipeFactoryContract, SocketFactoryContract
+from repro.contracts.core import AndContract, AnyContract, OrContract, PredicateContract, VoidContract
+from repro.contracts.functionctc import FunctionContract
+from repro.contracts.library import (
+    READONLY_FILE_PRIVS,
+    is_bool,
+    is_file,
+    is_num,
+    readonly,
+    writeable,
+)
+from repro.contracts.walletctc import WalletContract
+from repro.lang.values import VOID
+from repro.sandbox.privileges import Priv, PrivSet
+from repro.stdlib.wallet import Wallet
+
+B = Blame("provider", "consumer")
+
+
+@pytest.fixture
+def file_cap(kernel):
+    proc = kernel.spawn_process("alice", "/home/alice")
+    sys = kernel.syscalls(proc)
+    _, _, vp = sys._resolve("/home/alice/dog.jpg")
+    return FsCap(sys, vp, PrivSet.full(), "/home/alice/dog.jpg")
+
+
+@pytest.fixture
+def dir_cap(kernel):
+    proc = kernel.spawn_process("alice", "/home/alice")
+    sys = kernel.syscalls(proc)
+    _, _, vp = sys._resolve("/home/alice")
+    return FsCap(sys, vp, PrivSet.full(), "/home/alice")
+
+
+class TestFlat:
+    def test_predicate_pass(self):
+        assert is_num.check(42, B) == 42
+
+    def test_predicate_fail_blames_positive(self):
+        with pytest.raises(ContractViolation) as exc:
+            is_num.check("nope", B)
+        assert exc.value.blame == "provider"
+
+    def test_void_accepts_void(self):
+        assert VoidContract().check(VOID, B) is VOID
+
+    def test_void_rejects_values(self):
+        with pytest.raises(ContractViolation):
+            VoidContract().check(7, B)
+
+    def test_any_accepts_everything(self):
+        for v in (1, "s", VOID, None, [1]):
+            AnyContract().check(v, B)
+
+    def test_and_applies_all(self, file_cap):
+        ctc = AndContract(is_file, CapContract("file", READONLY_FILE_PRIVS))
+        result = ctc.check(file_cap, B)
+        assert result.privs.privs() == READONLY_FILE_PRIVS.privs()
+
+    def test_or_first_match_wins(self, file_cap, dir_cap):
+        assert readonly.check(file_cap, B).privs.has(Priv.READ)
+        assert readonly.check(dir_cap, B).privs.has(Priv.CONTENTS)
+
+    def test_or_all_fail(self):
+        with pytest.raises(ContractViolation) as exc:
+            OrContract(is_num, is_bool).check("str", B)
+        assert "no disjunct" in exc.value.detail
+
+
+class TestCapContract:
+    def test_kind_mismatch_blames_provider(self, dir_cap):
+        with pytest.raises(ContractViolation) as exc:
+            CapContract("file", PrivSet.of(Priv.READ)).check(dir_cap, B)
+        assert exc.value.blame == "provider"
+
+    def test_non_cap_rejected(self):
+        with pytest.raises(ContractViolation):
+            CapContract("file", PrivSet.of(Priv.READ)).check("string-path", B)
+
+    def test_insufficient_privs_blames_provider(self, file_cap):
+        weak = file_cap.attenuated(PrivSet.of(Priv.STAT), blame="x")
+        with pytest.raises(ContractViolation) as exc:
+            CapContract("file", PrivSet.of(Priv.READ)).check(weak, B)
+        assert exc.value.blame == "provider"
+        assert "+read" in exc.value.detail
+
+    def test_attenuation_to_contract_privs(self, file_cap):
+        out = CapContract("file", PrivSet.of(Priv.READ, Priv.PATH)).check(file_cap, B)
+        assert out.privs.privs() == {Priv.READ, Priv.PATH}
+
+    def test_overuse_blames_consumer(self, file_cap):
+        out = CapContract("file", PrivSet.of(Priv.READ)).check(file_cap, B)
+        with pytest.raises(ContractViolation) as exc:
+            out.write(b"data")
+        assert exc.value.blame == "consumer"
+
+    def test_allowed_use_succeeds(self, file_cap):
+        out = CapContract("file", PrivSet.of(Priv.READ)).check(file_cap, B)
+        assert out.read() == b"JPEGDATA-DOG"
+
+    def test_modifier_narrowing(self, dir_cap):
+        ctc = CapContract(
+            "dir", PrivSet.of(Priv.LOOKUP).with_modifier(Priv.LOOKUP, {Priv.STAT, Priv.PATH})
+        )
+        out = ctc.check(dir_cap, B)
+        child = out.lookup("dog.jpg")
+        assert child.privs.privs() == {Priv.STAT, Priv.PATH}
+        with pytest.raises(ContractViolation):
+            child.read()
+
+    def test_writeable_allows_append(self, file_cap):
+        out = writeable.check(file_cap, B)
+        out.append(b"!")
+        assert bytes(file_cap.obj.data).endswith(b"!")
+
+
+class TestFactories:
+    def test_pipe_factory(self, kernel):
+        proc = kernel.spawn_process("alice", "/home/alice")
+        factory = PipeFactoryCap(kernel.syscalls(proc))
+        assert PipeFactoryContract().check(factory, B) is factory
+        with pytest.raises(ContractViolation):
+            PipeFactoryContract().check("not a factory", B)
+
+    def test_socket_factory_attenuation(self):
+        from repro.sandbox.privileges import SocketPerms, SockPriv
+
+        full = SocketFactoryCap()
+        narrow = SocketFactoryContract(SocketPerms({SockPriv.CREATE, SockPriv.CONNECT}))
+        out = narrow.check(full, B)
+        assert out.perms.has(SockPriv.CONNECT) and not out.perms.has(SockPriv.BIND)
+
+
+class TestFunctionContract:
+    def _apply(self, fn, args, kwargs):
+        return fn(*args, **kwargs)
+
+    def test_happy_path(self):
+        ctc = FunctionContract([("x", is_num)], is_num)
+        guarded = ctc.check(lambda x: x + 1, B)
+        assert guarded.invoke(self._apply, [41], {}) == 42
+
+    def test_bad_argument_blames_consumer(self):
+        """Arguments are supplied by the *caller* — the contract's
+        negative party."""
+        ctc = FunctionContract([("x", is_num)], is_num)
+        guarded = ctc.check(lambda x: x, B)
+        with pytest.raises(ContractViolation) as exc:
+            guarded.invoke(self._apply, ["not-num"], {})
+        assert exc.value.blame == "consumer"
+
+    def test_bad_result_blames_provider(self):
+        ctc = FunctionContract([("x", is_num)], is_num)
+        guarded = ctc.check(lambda x: "oops", B)
+        with pytest.raises(ContractViolation) as exc:
+            guarded.invoke(self._apply, [1], {})
+        assert exc.value.blame == "provider"
+
+    def test_arity_mismatch(self):
+        ctc = FunctionContract([("x", is_num), ("y", is_num)], is_num)
+        guarded = ctc.check(lambda x, y: x, B)
+        with pytest.raises(ContractViolation) as exc:
+            guarded.invoke(self._apply, [1], {})
+        assert "arity" in exc.value.detail
+
+    def test_non_function_rejected(self):
+        with pytest.raises(ContractViolation):
+            FunctionContract([], is_num).check(42, B)
+
+
+class TestWalletContract:
+    def test_kind_check(self):
+        wallet = Wallet("native")
+        assert WalletContract(kind="native").check(wallet, B) is wallet
+        with pytest.raises(ContractViolation):
+            WalletContract(kind="ocaml").check(wallet, B)
+
+    def test_required_keys(self):
+        wallet = Wallet("native")
+        ctc = WalletContract(kind="native", required_keys=("PATH",))
+        with pytest.raises(ContractViolation) as exc:
+            ctc.check(wallet, B)
+        assert "PATH" in exc.value.detail
+        wallet.put_one("PATH", "x")
+        ctc.check(wallet, B)
+
+    def test_key_contract_projection(self, file_cap):
+        wallet = Wallet("native")
+        wallet.put_one("files", file_cap)
+        ctc = WalletContract(
+            kind="native", key_contracts={"files": CapContract("file", PrivSet.of(Priv.READ))}
+        )
+        out = ctc.check(wallet, B)
+        (projected,) = out.get("files")
+        assert projected.privs.privs() == {Priv.READ}
+
+    def test_non_wallet_rejected(self):
+        with pytest.raises(ContractViolation):
+            WalletContract().check({"not": "a wallet"}, B)

@@ -1,0 +1,195 @@
+"""Bounded polymorphic contracts: sealing, unsealing, bound enforcement.
+
+Reproduces the semantics of Figure 5's ``find`` contract:
+
+    forall X with {+lookup, +contents} .
+    {cur : X, filter : X -> is_bool, cmd : X -> void} -> void
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ContractViolation
+from repro.capability.caps import FsCap
+from repro.contracts.blame import Blame
+from repro.contracts.core import PredicateContract
+from repro.contracts.functionctc import FunctionContract
+from repro.contracts.library import is_bool, void
+from repro.contracts.polyctc import ContractVar, PolyContract, SealedCap
+from repro.sandbox.privileges import Priv, PrivSet
+
+B = Blame("find.cap", "user")
+
+BOUND = PrivSet.of(Priv.LOOKUP, Priv.CONTENTS)
+
+
+def make_poly() -> PolyContract:
+    X = ContractVar("X")
+    body = FunctionContract(
+        [
+            ("cur", X),
+            ("filter", FunctionContract([("arg", X)], is_bool)),
+            ("cmd", FunctionContract([("arg", X)], void)),
+        ],
+        void,
+    )
+    return PolyContract("X", BOUND, body)
+
+
+@pytest.fixture
+def caps(kernel):
+    proc = kernel.spawn_process("alice", "/home/alice")
+    sys = kernel.syscalls(proc)
+    _, _, vp = sys._resolve("/home/alice")
+    return FsCap(sys, vp, PrivSet.full(), "/home/alice")
+
+
+def _apply(fn, args, kwargs):
+    if hasattr(fn, "invoke"):
+        return fn.invoke(_apply, args, kwargs)
+    return fn(*args, **kwargs)
+
+
+class TestSealing:
+    def test_body_receives_sealed_cap_with_bound_privs(self, caps):
+        from repro.lang.values import VOID
+
+        seen = {}
+
+        def body(cur, filter_fn, cmd_fn):
+            seen["cur"] = cur
+            return VOID
+
+        guarded = make_poly().check(body, B)
+        guarded.invoke(_apply, [caps, lambda c: True, lambda c: VOID], {})
+        cur = seen["cur"]
+        assert isinstance(cur, SealedCap)
+        assert cur.privs.privs() == {Priv.LOOKUP, Priv.CONTENTS}
+
+    def test_body_cannot_exceed_bound(self, caps):
+        from repro.lang.values import VOID
+
+        def body(cur, filter_fn, cmd_fn):
+            cur.create_dir("evil")  # not in {+lookup, +contents}
+            return VOID
+
+        guarded = make_poly().check(body, B)
+        with pytest.raises(ContractViolation) as exc:
+            guarded.invoke(_apply, [caps, lambda c: True, lambda c: VOID], {})
+        assert "+create-dir" in exc.value.detail
+
+    def test_derived_caps_stay_sealed(self, caps):
+        """Lookup on a sealed cap yields a sealed child — the body cannot
+        launder privileges through derivation."""
+        from repro.lang.values import VOID
+
+        def body(cur, filter_fn, cmd_fn):
+            child = cur.lookup("dog.jpg")
+            assert isinstance(child, SealedCap)
+            child.read()  # +read not in bound
+            return VOID
+
+        guarded = make_poly().check(body, B)
+        with pytest.raises(ContractViolation) as exc:
+            guarded.invoke(_apply, [caps, lambda c: True, lambda c: VOID], {})
+        assert "+read" in exc.value.detail
+
+    def test_unseal_on_flow_to_filter(self, caps):
+        """filter receives the ORIGINAL capability (full privileges), even
+        though the body only held the sealed one."""
+        from repro.lang.values import VOID
+
+        received = {}
+
+        def filter_fn(c):
+            received["cap"] = c
+            return True
+
+        def body(cur, filt, cmd):
+            child = cur.lookup("dog.jpg")
+            _apply(filt, [child], {})
+            return VOID
+
+        guarded = make_poly().check(body, B)
+        guarded.invoke(_apply, [caps, filter_fn, lambda c: VOID], {})
+        cap = received["cap"]
+        assert not isinstance(cap, SealedCap)
+        # filter can use privileges beyond the bound: the whole point.
+        assert cap.read() == b"JPEGDATA-DOG"
+
+    def test_filter_with_stat_and_filter_with_path_both_work(self, caps):
+        """The paper's two clients: one filter uses +stat, another +path —
+        both satisfied by the same find contract."""
+        from repro.lang.values import VOID
+
+        def body(cur, filt, cmd):
+            for name in cur.contents():
+                child = cur.lookup(name)
+                if _apply(filt, [child], {}):
+                    _apply(cmd, [child], {})
+            return VOID
+
+        guarded = make_poly().check(body, B)
+        stat_hits: list[int] = []
+        guarded.invoke(
+            _apply,
+            [caps, lambda c: c.stat().size > 0, lambda c: stat_hits.append(1) or VOID],
+            {},
+        )
+        path_hits: list[str] = []
+        guarded.invoke(
+            _apply,
+            [caps, lambda c: c.path().endswith(".jpg"), lambda c: path_hits.append(c.path()) or VOID],
+            {},
+        )
+        assert stat_hits and path_hits == ["/home/alice/dog.jpg"]
+
+    def test_bound_exceeding_argument_rejected(self, caps):
+        """A capability narrower than the bound cannot satisfy X."""
+        from repro.lang.values import VOID
+
+        weak = caps.attenuated(PrivSet.of(Priv.LOOKUP), blame="w")
+        guarded = make_poly().check(lambda cur, f, c: VOID, B)
+        with pytest.raises(ContractViolation) as exc:
+            guarded.invoke(_apply, [weak, lambda c: True, lambda c: VOID], {})
+        assert "+contents" in exc.value.detail
+
+    def test_fresh_seal_per_application(self, caps):
+        """Seals from one application do not unseal in another."""
+        from repro.lang.values import VOID
+
+        stolen = {}
+
+        def body1(cur, filt, cmd):
+            stolen["cap"] = cur
+            return VOID
+
+        def body2(cur, filt, cmd):
+            # Pass the *other* application's sealed cap to our filter: it
+            # must NOT unseal (different key) — it gets resealed instead.
+            result = _apply(filt, [stolen["cap"]], {})
+            assert isinstance(result, bool)
+            return VOID
+
+        poly = make_poly()
+        poly.check(body1, B).invoke(_apply, [caps, lambda c: True, lambda c: VOID], {})
+        received = {}
+
+        def filter2(c):
+            received["cap"] = c
+            return True
+
+        poly.check(body2, B).invoke(_apply, [caps, filter2, lambda c: VOID], {})
+        # The foreign sealed cap stayed restricted (resealed, not unsealed).
+        cap = received["cap"]
+        assert isinstance(cap, SealedCap)
+
+
+class TestNonCapThroughVar:
+    def test_non_cap_through_x_rejected(self, caps):
+        from repro.lang.values import VOID
+
+        guarded = make_poly().check(lambda cur, f, c: VOID, B)
+        with pytest.raises(ContractViolation):
+            guarded.invoke(_apply, ["just-a-string", lambda c: True, lambda c: VOID], {})

@@ -1,0 +1,170 @@
+"""Property-based capability-safety tests (DESIGN.md §5, invariant 1).
+
+The central claim: a sandboxed process (or a capability-safe script) can
+observe exactly the objects reachable from its granted capabilities under
+the derivation rules — nothing else.  Hypothesis generates random
+filesystem trees and random grant sets; the test computes the expected
+reachable set from the grant model and compares it with what the sandbox
+can actually do.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import SysError
+from repro.kernel import Kernel, O_RDONLY
+from repro.kernel.vfs import VType
+from repro.sandbox.privileges import Priv, PrivSet
+
+# Small deterministic namespace: directories d0..d2 nested up to depth 3,
+# each holding files f0..f2.
+NAMES = ["d0", "d1", "d2"]
+FILES = ["f0", "f1", "f2"]
+
+dir_paths = st.sets(
+    st.lists(st.sampled_from(NAMES), min_size=1, max_size=3).map(tuple),
+    min_size=1,
+    max_size=10,
+)
+
+
+def build_tree(dirs: set[tuple[str, ...]]) -> tuple[Kernel, list[str], list[str]]:
+    """Create all listed directories (and ancestors), with files in each
+    directory including the root.  Returns (kernel, all_dirs, all_files)."""
+    kernel = Kernel()
+    kernel.install_shill_module()
+    all_dirs = {()}
+    for d in dirs:
+        for i in range(1, len(d) + 1):
+            all_dirs.add(d[:i])
+    vnodes = {(): kernel.vfs.root}
+    for d in sorted(all_dirs, key=len):
+        if d == ():
+            continue
+        parent = vnodes[d[:-1]]
+        vnodes[d] = kernel.vfs.create(parent, d[-1], VType.VDIR, 0o755, 0, 0)
+    file_paths = []
+    for d in sorted(all_dirs, key=len):
+        for f in FILES[: 1 + len(d) % 3]:
+            vp = kernel.vfs.create(vnodes[d], f, VType.VREG, 0o644, 0, 0)
+            assert vp.data is not None
+            vp.data.extend(b"payload")
+            file_paths.append("/" + "/".join(d + (f,)))
+    dir_strs = ["/" + "/".join(d) if d else "/" for d in sorted(all_dirs, key=len)]
+    return kernel, dir_strs, file_paths
+
+
+def make_session(kernel: Kernel, grant_roots: list[str]):
+    """A sandbox granted readonly-with-inherit on each root (so entire
+    subtrees are readable) and nothing else."""
+    policy = kernel.shill_policy()
+    launcher = kernel.spawn_process("root", "/")
+    child = kernel.procs.fork(launcher)
+    session = policy.sessions.shill_init(child)
+    sys = kernel.syscalls(launcher)
+    privs = PrivSet.of(Priv.LOOKUP, Priv.READ, Priv.STAT, Priv.CONTENTS, Priv.PATH)
+    for root in grant_roots:
+        _, _, vp = sys._resolve(root)
+        policy.sessions.grant(session, vp, privs)
+    child_sys = kernel.syscalls(child)
+    child_sys.shill_enter()
+    return child_sys
+
+
+def expected_readable(file_path: str, grant_roots: list[str]) -> bool:
+    """A file is readable iff some granted root is a prefix of its path
+    AND of the resolution route — since resolution starts at '/', the
+    *first* component already requires lookup, so the root grant must
+    cover the whole chain: i.e. some granted root r such that the file is
+    under r and every directory from '/' down to the file is under r or
+    is r itself.  With absolute resolution that means r must be '/' ...
+    unless the process resolves relative to a granted directory.  We
+    resolve relative to each granted root, so: readable iff under some
+    root."""
+    for root in grant_roots:
+        prefix = root.rstrip("/") + "/"
+        if root == "/" or file_path.startswith(prefix):
+            return True
+    return False
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(dirs=dir_paths, data=st.data())
+def test_sandbox_reads_exactly_the_granted_subtrees(dirs, data):
+    kernel, all_dirs, files = build_tree(dirs)
+    grant_roots = data.draw(
+        st.lists(st.sampled_from(all_dirs), min_size=1, max_size=3, unique=True)
+    )
+    sys = make_session(kernel, grant_roots)
+
+    for file_path in files:
+        expected = expected_readable(file_path, grant_roots)
+        # Resolve relative to the best (longest) granted root so the
+        # lookup chain starts inside granted territory.
+        actual = False
+        for root in grant_roots:
+            rel = None
+            if root == "/":
+                rel = file_path.lstrip("/")
+            elif file_path.startswith(root.rstrip("/") + "/"):
+                rel = file_path[len(root.rstrip("/")) + 1 :]
+            if rel is None:
+                continue
+            launcher_sys = kernel.syscalls(kernel.spawn_process("root", root))
+            sys.proc.cwd = launcher_sys.proc.cwd
+            try:
+                fd = sys.open(rel, O_RDONLY)
+                assert sys.read(fd, 7) == b"payload"
+                sys.close(fd)
+                actual = True
+                break
+            except SysError:
+                continue
+        assert actual == expected, (file_path, grant_roots)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(dirs=dir_paths, data=st.data())
+def test_language_caps_reach_exactly_the_granted_subtrees(dirs, data):
+    """Same property one layer up: a capability-safe walk from a directory
+    capability can reach exactly the files under it."""
+    from repro.capability.caps import FsCap
+
+    kernel, all_dirs, files = build_tree(dirs)
+    root_path = data.draw(st.sampled_from(all_dirs))
+    sys = kernel.syscalls(kernel.spawn_process("root", "/"))
+    _, _, vp = sys._resolve(root_path)
+    cap = FsCap(sys, vp, PrivSet.of(Priv.LOOKUP, Priv.READ, Priv.CONTENTS, Priv.PATH),
+                root_path)
+
+    reached: set[str] = set()
+
+    def walk(c: FsCap) -> None:
+        if c.is_dir_cap:
+            for name in c.contents():
+                try:
+                    walk(c.lookup(name))
+                except SysError:
+                    pass
+        else:
+            reached.add(c.try_path())
+
+    if cap.is_dir_cap:
+        walk(cap)
+    expected = {
+        f for f in files
+        if root_path == "/" or f.startswith(root_path.rstrip("/") + "/")
+    }
+    assert reached == expected
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(dirs=dir_paths)
+def test_ungranted_session_reads_nothing(dirs):
+    kernel, _, files = build_tree(dirs)
+    sys = make_session(kernel, [])
+    for file_path in files:
+        with pytest.raises(SysError):
+            sys.open(file_path, O_RDONLY)

@@ -1,0 +1,57 @@
+"""CLI tests for `python -m repro`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_demo(capsys):
+    assert main(["demo"]) == 0
+    assert "/home/alice/Documents/dog.jpg" in capsys.readouterr().out
+
+
+def test_run_with_host_scripts(tmp_path, capsys):
+    cap = tmp_path / "hello.cap"
+    cap.write_text(
+        "#lang shill/cap\n"
+        "provide hello : {out : file(+write, +append)} -> void;\n"
+        "hello = fun(out) { append(out, \"hello from shill\\n\"); }\n"
+    )
+    ambient = tmp_path / "main.ambient"
+    ambient.write_text(
+        "#lang shill/ambient\nrequire \"hello.cap\";\nhello(stdout);\n"
+    )
+    assert main(["run", str(ambient), "--cap", str(cap)]) == 0
+    assert "hello from shill" in capsys.readouterr().out
+
+
+def test_shill_run_allowed(tmp_path, capsys):
+    policy = tmp_path / "cat.policy"
+    policy.write_text(
+        "/ : +lookup with {}\n"
+        "/etc : +lookup with {}\n"
+        "/lib : +lookup, +read, +stat, +path\n"
+        "/libexec : +lookup, +read, +stat, +path\n"
+        "/etc/passwd : +read, +stat, +path\n"
+        "/etc/locale.conf : +read, +stat, +path\n"
+    )
+    assert main(["shill-run", str(policy), "/bin/cat", "/etc/passwd"]) == 0
+    assert "alice:1001" in capsys.readouterr().out
+
+
+def test_shill_run_denied_reports(tmp_path, capsys):
+    policy = tmp_path / "empty.policy"
+    policy.write_text("")
+    status = main(["shill-run", str(policy), "/bin/cat", "/etc/passwd"])
+    assert status != 0
+    assert "denied operations" in capsys.readouterr().out
+
+
+def test_shill_run_debug_reports_grants(tmp_path, capsys):
+    policy = tmp_path / "empty.policy"
+    policy.write_text("")
+    assert main(["shill-run", str(policy), "--debug", "/bin/cat", "/etc/passwd"]) == 0
+    out = capsys.readouterr().out
+    assert "auto-grant" in out and "+read" in out

@@ -1,0 +1,193 @@
+"""Integration tests for the `exec` builtin: the language ↔ sandbox seam."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ContractViolation, ShillRuntimeError
+from repro.capability.caps import PipeFactoryCap
+from repro.lang.runner import ShillRuntime
+from repro.sandbox.privileges import Priv, PrivSet
+from repro.world import build_world
+
+
+@pytest.fixture
+def world():
+    return build_world()
+
+
+@pytest.fixture
+def rt(world):
+    return ShillRuntime(world, user="root", cwd="/root")
+
+
+def wallet_for(rt):
+    from repro.stdlib.native import create_wallet, populate_native_wallet
+
+    wallet = create_wallet()
+    populate_native_wallet(
+        wallet, rt.open_dir("/"), "/bin:/usr/bin:/usr/local/bin",
+        "/lib:/usr/lib:/usr/local/lib", PipeFactoryCap(rt.sys),
+    )
+    return wallet
+
+
+class TestExecBasics:
+    def test_exec_requires_exec_privilege(self, rt):
+        cat = rt.open_file("/bin/cat").attenuated(
+            PrivSet.of(Priv.READ, Priv.PATH), blame="t"
+        )
+        with pytest.raises(ContractViolation) as exc:
+            rt.exec_builtin(cat, ["cat"])
+        assert "+exec" in exc.value.detail
+
+    def test_exec_rejects_non_capability(self, rt):
+        with pytest.raises(ShillRuntimeError):
+            rt.exec_builtin("/bin/cat", ["cat"])
+
+    def test_stdio_wiring(self, rt):
+        wallet = wallet_for(rt)
+        rt.sys.write_whole("/root/input.txt", b"flows through")
+        rend, wend = PipeFactoryCap(rt.sys).create()
+        from repro.stdlib.native import make_pkg_native
+
+        cat = make_pkg_native(rt)("cat", wallet)
+        status = rt.call(cat, [], stdin=rt.open_file("/root/input.txt"), stdout=wend)
+        assert status == 0
+        assert rend.read() == b"flows through"
+
+    def test_argv_caps_become_paths_and_grants(self, rt):
+        wallet = wallet_for(rt)
+        rt.sys.write_whole("/root/arg.txt", b"via argv")
+        rend, wend = PipeFactoryCap(rt.sys).create()
+        from repro.stdlib.native import make_pkg_native
+
+        cat = make_pkg_native(rt)("cat", wallet)
+        arg = rt.open_file("/root/arg.txt")
+        status = rt.call(cat, [arg], stdout=wend)
+        assert status == 0
+        assert rend.read() == b"via argv"
+
+    def test_argv_cap_without_path_priv_is_violation(self, rt):
+        wallet = wallet_for(rt)
+        rt.sys.write_whole("/root/arg.txt", b"x")
+        from repro.stdlib.native import make_pkg_native
+
+        cat = make_pkg_native(rt)("cat", wallet)
+        arg = rt.open_file("/root/arg.txt").attenuated(PrivSet.of(Priv.READ), blame="t")
+        with pytest.raises(ContractViolation):
+            rt.call(cat, [arg])
+
+    def test_ulimits_passed_to_child(self, rt):
+        """Figure 7 note ‡: exec can specify ulimit parameters."""
+        wallet = wallet_for(rt)
+        from repro.stdlib.native import make_pkg_native
+
+        cat = make_pkg_native(rt)("cat", wallet)
+        status = rt.call(cat, ["/etc/locale.conf"], ulimits={"open_files": 0})
+        assert status != 0
+
+    def test_cwd_capability(self, rt):
+        wallet = wallet_for(rt)
+        rt.sys.mkdir("/root/wd")
+        rt.sys.write_whole("/root/wd/here.txt", b"relative works")
+        from repro.stdlib.native import make_pkg_native
+
+        rend, wend = PipeFactoryCap(rt.sys).create()
+        cat = make_pkg_native(rt)("cat", wallet)
+        status = rt.call(cat, ["here.txt"], stdout=wend, cwd=rt.open_dir("/root/wd"))
+        assert status == 0
+        assert rend.read() == b"relative works"
+
+    def test_exit_status_propagates(self, rt):
+        wallet = wallet_for(rt)
+        from repro.stdlib.native import make_pkg_native
+
+        grep = make_pkg_native(rt)("grep", wallet)
+        rt.sys.write_whole("/root/hay.txt", b"nothing here")
+        arg = rt.open_file("/root/hay.txt")
+        assert rt.call(grep, ["needle", arg]) == 1  # no match
+
+
+class TestTransitivity:
+    """Goal 3: guarantees apply transitively to programs a program runs."""
+
+    def test_spawned_children_share_the_session(self, rt):
+        """find -exec grep: grep runs in find's session, so grep is
+        confined by find's sandbox even though the script never saw it."""
+        from repro.stdlib.native import make_pkg_native
+        from repro.world import add_usr_src
+
+        add_usr_src(rt.kernel, subsystems=1, files_per_dir=4)
+        wallet = wallet_for(rt)
+        findp = make_pkg_native(rt)("find", wallet)
+        src = rt.open_dir("/usr/src")
+        rend, wend = PipeFactoryCap(rt.sys).create()
+        status = rt.call(
+            findp,
+            [src, "-name", "*.c", "-exec", "grep", "-H", "mac_", "{}", ";"],
+            stdout=wend, extras=[wallet, src],
+        )
+        assert status == 0
+        # grep could read the granted tree...
+        assert rt.last_session is not None
+        # ...but nothing outside it: no denial-free access to /etc.
+        sandbox_count_before = rt.profile["sandbox_count"]
+        status2 = rt.call(
+            findp, [src, "-name", "*.c", "-exec", "grep", "-H", "x", "/etc/passwd", ";"],
+            extras=[wallet, src],
+        )
+        denials = [e for e in rt.last_session.log.denials() if "passwd" in e.target]
+        assert denials, "grep's attempt on /etc/passwd must be denied"
+
+    def test_nested_session_attenuation(self, rt, world):
+        """A SHILL-aware executable can shill_init a child session with
+        fewer capabilities — and the child grant cannot exceed the
+        parent's (section 3.2.1)."""
+        from repro.errors import SandboxError
+        from repro.programs.base import Program
+
+        probe_result = {}
+
+        class SelfAttenuating(Program):
+            name = "self-attenuate"
+            needed = []
+
+            def main(self, sys, argv, env):
+                session = sys.shill_init()
+                policy = sys.kernel.shill_policy()
+                _, _, target = sys._resolve(argv[1])
+                try:
+                    policy.sessions.grant(
+                        session, target, PrivSet.of(Priv.READ, Priv.WRITE, Priv.APPEND)
+                    )
+                    probe_result["over-grant"] = "allowed"
+                except SandboxError:
+                    probe_result["over-grant"] = "refused"
+                return 0
+
+        world.register_program(SelfAttenuating())
+        from repro.world.image import WorldBuilder
+
+        builder = WorldBuilder(world)
+        builder.install_binary("/usr/local/bin/self-attenuate", "self-attenuate", [])
+        rt.sys.write_whole("/root/data.txt", b"d")
+        prog = rt.open_file("/usr/local/bin/self-attenuate")
+        data = rt.open_file("/root/data.txt").attenuated(
+            PrivSet.of(Priv.READ, Priv.STAT, Priv.PATH), blame="t"
+        )
+        status = rt.exec_builtin(prog, ["self-attenuate", data], extras=[data])
+        assert status == 0
+        # Parent session held only +read on the file, so granting
+        # +read+write to the child session must be refused.
+        assert probe_result["over-grant"] == "refused"
+
+
+class TestDebugExec:
+    def test_debug_mode_records_needed_privileges(self, rt):
+        cat = rt.open_file("/bin/cat")
+        status = rt.exec_builtin(cat, ["cat", "/etc/passwd"], debug=True)
+        assert status == 0
+        grants = rt.last_session.log.auto_grants()
+        text = "\n".join(e.format() for e in grants)
+        assert "/lib/libc.so.7" in text and "/etc/passwd" in text

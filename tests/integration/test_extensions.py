@@ -1,0 +1,176 @@
+"""Tests for the optional extensions (paper §3.1.1 / §3.2.3: "no
+fundamental obstacle" items, built as switchable features)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ContractViolation, SysError
+from repro.kernel import O_RDONLY, O_WRONLY, errno_
+from repro.kernel.devices import TtyDevice
+from repro.kernel.fdesc import OpenFile
+from repro.kernel.vfs import Vnode, VType
+from repro.lang.runner import ShillRuntime
+from repro.sandbox.privileges import (
+    ConnType,
+    Priv,
+    PrivSet,
+    SocketPerms,
+    SockPriv,
+)
+from repro.world import build_world
+
+
+class TestDeviceInterposition:
+    """kernel.interpose_devices=True adds the missing MAC entry points
+    around character-device read/write, closing the §3.2.3 bypass."""
+
+    def _sandbox_with_tty(self, kernel, grant_tty: bool):
+        policy = kernel.shill_policy()
+        tty = Vnode(VType.VCHR, 0o666, 0, 0)
+        tty.device = TtyDevice(input_data=b"secret")
+        launcher = kernel.spawn_process("root", "/")
+        child = kernel.procs.fork(launcher)
+        session = policy.sessions.shill_init(child)
+        if grant_tty:
+            policy.sessions.grant(
+                session, tty, PrivSet.of(Priv.READ, Priv.WRITE, Priv.APPEND)
+            )
+        sys = kernel.syscalls(child)
+        child.fdtable.install(9, OpenFile(tty, O_WRONLY))
+        child.fdtable.install(8, OpenFile(tty, O_RDONLY))
+        sys.shill_enter()
+        return sys, tty
+
+    def test_bypass_closed_when_enabled(self):
+        kernel = build_world()
+        kernel.interpose_devices = True
+        sys, tty = self._sandbox_with_tty(kernel, grant_tty=False)
+        with pytest.raises(SysError) as exc:
+            sys.write(9, b"leak")
+        assert exc.value.errno == errno_.EACCES
+        with pytest.raises(SysError):
+            sys.read(8, 6)
+        assert tty.device.text == ""
+
+    def test_granted_device_still_usable(self):
+        kernel = build_world()
+        kernel.interpose_devices = True
+        sys, tty = self._sandbox_with_tty(kernel, grant_tty=True)
+        sys.write(9, b"allowed")
+        assert tty.device.text == "allowed"
+        assert sys.read(8, 6) == b"secret"
+
+    def test_default_reproduces_the_paper_limitation(self):
+        kernel = build_world()
+        assert kernel.interpose_devices is False
+        sys, tty = self._sandbox_with_tty(kernel, grant_tty=False)
+        sys.write(9, b"bypass")  # not interposed: the documented gap
+        assert tty.device.text == "bypass"
+
+    def test_sandboxed_exec_still_works_with_interposition(self):
+        """The runtime grants its /dev/null stand-in, so ordinary execs
+        keep working when the extension is on."""
+        from repro.capability.caps import PipeFactoryCap
+        from repro.stdlib.native import create_wallet, make_pkg_native, populate_native_wallet
+
+        kernel = build_world()
+        kernel.interpose_devices = True
+        rt = ShillRuntime(kernel, user="root", cwd="/root")
+        wallet = create_wallet()
+        populate_native_wallet(
+            wallet, rt.open_dir("/"), "/bin:/usr/bin:/usr/local/bin",
+            "/lib:/usr/lib:/usr/local/lib", PipeFactoryCap(rt.sys),
+        )
+        echo = make_pkg_native(rt)("echo", wallet)
+        assert rt.call(echo, ["ok"]) == 0
+
+
+class TestLanguageSockets:
+    """EXTENSION: socket built-ins in the capability-safe language."""
+
+    @pytest.fixture
+    def rt(self):
+        kernel = build_world()
+        return ShillRuntime(kernel, user="root", cwd="/root")
+
+    SERVER_CLIENT = """\
+#lang shill/cap
+
+provide ping : {net : socket_factory} -> is_string;
+
+ping = fun(net) {
+  server = create_socket(net, "inet", "stream");
+  socket_bind(server, "0.0.0.0", 9000);
+  socket_listen(server);
+  client = create_socket(net, "inet", "stream");
+  socket_connect(client, "0.0.0.0", 9000);
+  socket_send(client, "ping");
+  conn = socket_accept(server);
+  msg = socket_recv(conn);
+  socket_send(conn, msg + "/pong");
+  socket_recv(client);
+}
+"""
+
+    def test_script_drives_sockets(self, rt):
+        from repro.capability.caps import SocketFactoryCap
+
+        rt.register_script("ping.cap", self.SERVER_CLIENT)
+        ping = rt.load_cap_exports("ping.cap")["ping"]
+        assert rt.call(ping, SocketFactoryCap()) == "ping/pong"
+
+    def test_factory_perms_enforced(self, rt):
+        """A connect-only factory cannot bind/listen."""
+        from repro.capability.caps import SocketFactoryCap
+
+        perms = SocketPerms({SockPriv.CREATE, SockPriv.CONNECT, SockPriv.SEND,
+                             SockPriv.RECEIVE})
+        factory = SocketFactoryCap(perms)
+        sock = factory.create(rt.sys, 2, 1)
+        with pytest.raises(ContractViolation) as exc:
+            sock.bind("0.0.0.0", 80)
+        assert "+bind" in exc.value.detail
+
+    def test_conn_type_refinement_enforced(self, rt):
+        from repro.capability.caps import SocketFactoryCap
+
+        perms = SocketPerms({SockPriv.CREATE}, (ConnType(domain=1, stype=1),))
+        factory = SocketFactoryCap(perms)
+        with pytest.raises(ContractViolation):
+            factory.create(rt.sys, 2, 1)  # inet refused, only unix allowed
+
+    def test_create_socket_requires_factory_value(self, rt):
+        from repro.errors import ShillRuntimeError
+        from repro.lang.values import SysErrorVal
+
+        rt.register_script(
+            "bad.cap",
+            "#lang shill/cap\nprovide f : {x : is_string} -> void;\n"
+            "f = fun(x) { create_socket(x, \"inet\", \"stream\"); }",
+        )
+        f = rt.load_cap_exports("bad.cap")["f"]
+        with pytest.raises(ShillRuntimeError):
+            rt.call(f, "not-a-factory")
+
+    def test_reachability_from_script_to_simulated_service(self, rt):
+        """A SHILL script with a socket factory can fetch from a network
+        service — the download story without spawning curl."""
+        from repro.capability.caps import SocketFactoryCap
+        from repro.world import add_emacs_mirror
+
+        add_emacs_mirror(rt.kernel)
+        rt.register_script(
+            "fetch.cap",
+            "#lang shill/cap\n"
+            "provide fetch : {net : socket_factory} -> is_string;\n"
+            "fetch = fun(net) {\n"
+            "  s = create_socket(net, \"inet\", \"stream\");\n"
+            "  socket_connect(s, \"ftp.gnu.org\", 80);\n"
+            "  socket_send(s, \"GET /gnu/emacs/emacs-24.3.tar.gz\");\n"
+            "  socket_recv(s);\n"
+            "}",
+        )
+        fetch = rt.load_cap_exports("fetch.cap")["fetch"]
+        response = rt.call(fetch, SocketFactoryCap())
+        assert response.startswith("HTTP/1.0 200 OK")

@@ -1,0 +1,148 @@
+"""Deeper session-hierarchy and lifecycle tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SandboxError, SysError
+from repro.kernel import O_RDONLY, errno_
+from repro.sandbox.privileges import Priv, PrivSet, SocketPerms, SockPriv
+from repro.world import build_world
+
+
+@pytest.fixture
+def world():
+    return build_world()
+
+
+def new_session(kernel, parent_proc=None, grants=()):
+    policy = kernel.shill_policy()
+    base = parent_proc or kernel.spawn_process("root", "/")
+    child = kernel.procs.fork(base)
+    session = policy.sessions.shill_init(child)
+    sys = kernel.syscalls(kernel.spawn_process("root", "/"))
+    for path, privs in grants:
+        _, _, vp = sys._resolve(path)
+        policy.sessions.grant(session, vp, privs)
+    return child, session
+
+
+class TestNesting:
+    def test_three_levels(self, world):
+        policy = world.shill_policy()
+        p1, s1 = new_session(world, grants=[
+            ("/", PrivSet.of(Priv.LOOKUP)),
+            ("/etc", PrivSet.of(Priv.LOOKUP, Priv.READ, Priv.STAT)),
+        ])
+        world.syscalls(p1).shill_enter()
+
+        p2 = world.procs.fork(p1)
+        s2 = policy.sessions.shill_init(p2)
+        etc = world.vfs.lookup(world.vfs.root, "etc")
+        rootv = world.vfs.root
+        policy.sessions.grant(s2, rootv, PrivSet.of(Priv.LOOKUP))
+        policy.sessions.grant(s2, etc, PrivSet.of(Priv.LOOKUP, Priv.READ))
+        world.syscalls(p2).shill_enter()
+
+        p3 = world.procs.fork(p2)
+        s3 = policy.sessions.shill_init(p3)
+        policy.sessions.grant(s3, rootv, PrivSet.of(Priv.LOOKUP))
+        policy.sessions.grant(s3, etc, PrivSet.of(Priv.LOOKUP))
+        world.syscalls(p3).shill_enter()
+
+        assert s3.is_descendant_of(s1) and s3.is_descendant_of(s2)
+        assert not s1.is_descendant_of(s3)
+        # Innermost can traverse but not read:
+        sys3 = world.syscalls(p3)
+        with pytest.raises(SysError) as exc:
+            sys3.open("/etc/passwd", O_RDONLY)
+        assert exc.value.errno == errno_.EACCES
+
+    def test_middle_session_attenuation_bounds_grandchild(self, world):
+        """s2 dropped +read, so s3 cannot get it back even though s1 had it."""
+        policy = world.shill_policy()
+        p1, s1 = new_session(world, grants=[("/etc", PrivSet.of(Priv.LOOKUP, Priv.READ))])
+        world.syscalls(p1).shill_enter()
+        etc = world.vfs.lookup(world.vfs.root, "etc")
+
+        p2 = world.procs.fork(p1)
+        s2 = policy.sessions.shill_init(p2)
+        policy.sessions.grant(s2, etc, PrivSet.of(Priv.LOOKUP))  # drop +read
+        world.syscalls(p2).shill_enter()
+
+        p3 = world.procs.fork(p2)
+        s3 = policy.sessions.shill_init(p3)
+        with pytest.raises(SandboxError):
+            policy.sessions.grant(s3, etc, PrivSet.of(Priv.READ))
+
+    def test_socket_factory_attenuation_in_children(self, world):
+        policy = world.shill_policy()
+        p1, s1 = new_session(world)
+        policy.sessions.grant_socket_factory(
+            s1, SocketPerms({SockPriv.CREATE, SockPriv.CONNECT})
+        )
+        world.syscalls(p1).shill_enter()
+        p2 = world.procs.fork(p1)
+        s2 = policy.sessions.shill_init(p2)
+        policy.sessions.grant_socket_factory(s2, SocketPerms({SockPriv.CONNECT}))
+        with pytest.raises(SandboxError):
+            policy.sessions.grant_socket_factory(s2, SocketPerms({SockPriv.BIND}))
+
+    def test_pipe_factory_needs_parent_factory(self, world):
+        policy = world.shill_policy()
+        p1, s1 = new_session(world)
+        world.syscalls(p1).shill_enter()  # no pipe factory
+        p2 = world.procs.fork(p1)
+        s2 = policy.sessions.shill_init(p2)
+        with pytest.raises(SandboxError):
+            policy.sessions.grant_pipe_factory(s2)
+
+
+class TestLifecycle:
+    def test_session_survives_while_children_live(self, world):
+        policy = world.shill_policy()
+        p1, s1 = new_session(world)
+        world.syscalls(p1).shill_enter()
+        p2 = world.procs.fork(p1)  # same session
+        world.procs.reap(p1)
+        assert not s1.dead  # p2 still inside
+        world.procs.reap(p2)
+        assert s1.dead
+
+    def test_parent_session_waits_for_child_sessions(self, world):
+        policy = world.shill_policy()
+        p1, s1 = new_session(world)
+        world.syscalls(p1).shill_enter()
+        p2 = world.procs.fork(p1)
+        s2 = policy.sessions.shill_init(p2)
+        world.syscalls(p2).shill_enter()
+        world.procs.reap(p1)
+        assert not s1.dead  # child session s2 still alive
+        world.procs.reap(p2)
+        assert s2.dead and s1.dead
+
+    def test_dead_session_grants_refused(self, world):
+        policy = world.shill_policy()
+        p1, s1 = new_session(world)
+        world.syscalls(p1).shill_enter()
+        world.procs.reap(p1)
+        assert s1.dead
+        with pytest.raises(SandboxError):
+            policy.sessions.grant(s1, world.vfs.root, PrivSet.of(Priv.LOOKUP))
+
+    def test_cleanup_removes_propagated_grants_too(self, world):
+        """Privileges minted by lookup propagation are dropped at session
+        end, not just the explicit ones."""
+        from repro.sandbox.privmap import privmap_of
+
+        p1, s1 = new_session(world, grants=[
+            ("/etc", PrivSet.of(Priv.LOOKUP, Priv.READ, Priv.STAT)),
+        ])
+        sys1 = world.syscalls(p1)
+        sys1.shill_enter()
+        p1.cwd = world.vfs.lookup(world.vfs.root, "etc")
+        fd = sys1.open("passwd", O_RDONLY)
+        passwd = world.vfs.lookup(world.vfs.lookup(world.vfs.root, "etc"), "passwd")
+        assert privmap_of(passwd).privs_for(s1.sid).has(Priv.READ)
+        world.procs.reap(p1)
+        assert not privmap_of(passwd).privs_for(s1.sid).has(Priv.READ)

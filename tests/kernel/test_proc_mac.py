@@ -1,0 +1,166 @@
+"""Process-layer and MAC-framework unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SysError
+from repro.kernel import Kernel, errno_
+from repro.kernel.mac import MacFramework, MacPolicy
+from repro.kernel.proc import SIGKILL, SIGTERM
+
+
+class TestProcesses:
+    def test_fork_inherits_cred_cwd_fds(self, kernel, alice_sys):
+        fd = alice_sys.open("dog.jpg")
+        child = kernel.procs.fork(alice_sys.proc)
+        assert child.cred == alice_sys.proc.cred
+        assert child.cwd is alice_sys.proc.cwd
+        child_sys = kernel.syscalls(child)
+        assert child_sys.read(fd, 4) == b"JPEG"  # shared open file
+
+    def test_shared_offset_after_fork(self, kernel, alice_sys):
+        fd = alice_sys.open("dog.jpg")
+        child = kernel.procs.fork(alice_sys.proc)
+        alice_sys.read(fd, 8)
+        assert kernel.syscalls(child).read(fd, 4) == b"-DOG"
+
+    def test_wait_requires_child(self, kernel, alice_sys, bob_sys):
+        with pytest.raises(SysError) as exc:
+            alice_sys.wait(bob_sys.proc.pid)
+        assert exc.value.errno == errno_.ECHILD
+
+    def test_wait_returns_status(self, kernel, alice_sys):
+        child = alice_sys.fork()
+        child.exited = True
+        child.exit_status = 7
+        assert alice_sys.wait(child.pid) == 7
+
+    def test_kill_sigkill_terminates(self, kernel, alice_sys):
+        child = alice_sys.fork()
+        alice_sys.kill(child.pid, SIGKILL)
+        assert child.exited and child.killed_by == SIGKILL
+
+    def test_kill_other_signal_queues(self, kernel, alice_sys):
+        child = alice_sys.fork()
+        alice_sys.kill(child.pid, SIGTERM)
+        assert not child.exited and SIGTERM in child.pending_signals
+
+    def test_kill_cross_user_denied(self, kernel, alice_sys, bob_sys):
+        with pytest.raises(SysError) as exc:
+            alice_sys.kill(bob_sys.proc.pid, SIGTERM)
+        assert exc.value.errno == errno_.EPERM
+
+    def test_kill_missing_pid(self, alice_sys):
+        with pytest.raises(SysError) as exc:
+            alice_sys.kill(424242, SIGTERM)
+        assert exc.value.errno == errno_.ESRCH
+
+    def test_reap_closes_fds(self, kernel, alice_sys):
+        child = kernel.procs.fork(alice_sys.proc)
+        fd = kernel.syscalls(child).open("/home/alice/dog.jpg")
+        kernel.procs.reap(child)
+        with pytest.raises(SysError):
+            kernel.syscalls(child).read(fd, 1)
+
+
+class TestMacFramework:
+    def test_register_and_find(self):
+        mac = MacFramework()
+
+        class P(MacPolicy):
+            name = "testpol"
+
+        policy = P()
+        mac.register(policy)
+        assert mac.find("testpol") is policy
+        assert mac.find("absent") is None
+
+    def test_duplicate_registration_refused(self):
+        mac = MacFramework()
+
+        class P(MacPolicy):
+            name = "dup"
+
+        mac.register(P())
+        with pytest.raises(ValueError):
+            mac.register(P())
+
+    def test_restrictive_composition(self):
+        """All policies must allow: one denier denies."""
+        mac = MacFramework()
+
+        class Allow(MacPolicy):
+            name = "allow"
+
+        class Deny(MacPolicy):
+            name = "deny"
+
+            def vnode_check_read(self, proc, vp):
+                return errno_.EACCES
+
+        mac.register(Allow())
+        mac.register(Deny())
+        with pytest.raises(SysError) as exc:
+            mac.check("vnode_check_read", None, None)
+        assert exc.value.errno == errno_.EACCES
+
+    def test_unregister(self):
+        mac = MacFramework()
+
+        class P(MacPolicy):
+            name = "gone"
+
+        mac.register(P())
+        mac.unregister("gone")
+        assert mac.find("gone") is None
+
+    def test_kldload_requires_root(self, kernel, alice_sys, root_sys):
+        class P(MacPolicy):
+            name = "third-party"
+
+        with pytest.raises(SysError) as exc:
+            kernel.kld.kldload(alice_sys.proc, "third-party", P())
+        assert exc.value.errno == errno_.EPERM
+        kernel.kld.kldload(root_sys.proc, "third-party", P())
+        assert kernel.mac.find("third-party") is not None
+
+    def test_kldunload_root_outside_sandbox_allowed(self, kernel, root_sys):
+        kernel.install_shill_module()
+        root_sys.kldunload("shill")
+        assert not kernel.shill_installed
+
+
+class TestExecStatuses:
+    def test_missing_program_image(self, kernel):
+        """A file without a program image fails ENOEXEC -> 126."""
+        from repro.kernel.vfs import VType
+
+        vp = kernel.vfs.create(kernel.vfs.root, "junk", VType.VREG, 0o755, 0, 0)
+        assert vp.data is not None
+        vp.data.extend(b"just bytes")
+        proc = kernel.spawn_process("root", "/")
+        child = kernel.procs.fork(proc)
+        assert kernel.exec_file(child, vp, ["junk"]) == 126
+
+    def test_exec_non_executable_mode(self, kernel):
+        from repro.kernel.vfs import VType
+        from repro.programs.base import elf_image
+
+        vp = kernel.vfs.create(kernel.vfs.root, "noexec", VType.VREG, 0o644, 0, 0)
+        assert vp.data is not None
+        vp.data.extend(elf_image("echo", []))
+        proc = kernel.spawn_process("alice", "/")
+        child = kernel.procs.fork(proc)
+        assert kernel.exec_file(child, vp, ["noexec"]) == 126
+
+    def test_exec_reaps_child(self, kernel):
+        from repro.world import build_world
+
+        world = build_world()
+        proc = world.spawn_process("root", "/")
+        sys = world.syscalls(proc)
+        status = sys.spawn("/bin/echo", ["echo", "hi"])
+        assert status == 0
+        live = [p.pid for p in world.procs.live_processes()]
+        assert len(live) == 1  # only the launcher remains

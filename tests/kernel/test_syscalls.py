@@ -1,0 +1,381 @@
+"""Syscall-layer tests: resolution, DAC, I/O, and the paper's new syscalls."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SysError
+from repro.kernel import (
+    Kernel,
+    O_APPEND,
+    O_CREAT,
+    O_EXCL,
+    O_RDONLY,
+    O_RDWR,
+    O_TRUNC,
+    O_WRONLY,
+)
+from repro.kernel import errno_
+from repro.kernel.sockets import AddressFamily, SocketType
+from repro.kernel.vfs import VType
+
+
+class TestOpenReadWrite:
+    def test_open_read(self, alice_sys):
+        fd = alice_sys.open("/home/alice/dog.jpg", O_RDONLY)
+        assert alice_sys.read(fd, 8) == b"JPEGDATA"
+        assert alice_sys.read(fd, 8) == b"-DOG"
+        alice_sys.close(fd)
+
+    def test_relative_path_from_cwd(self, alice_sys):
+        fd = alice_sys.open("dog.jpg", O_RDONLY)
+        assert alice_sys.read(fd, 4) == b"JPEG"
+        alice_sys.close(fd)
+
+    def test_dotdot_traversal(self, bob_sys):
+        fd = bob_sys.open("../alice/dog.jpg", O_RDONLY)
+        assert bob_sys.read(fd, 4) == b"JPEG"
+
+    def test_open_missing_enoent(self, alice_sys):
+        with pytest.raises(SysError) as exc:
+            alice_sys.open("/home/alice/nope", O_RDONLY)
+        assert exc.value.errno == errno_.ENOENT
+
+    def test_o_creat_creates(self, alice_sys):
+        fd = alice_sys.open("new.txt", O_WRONLY | O_CREAT)
+        alice_sys.write(fd, b"data")
+        alice_sys.close(fd)
+        assert alice_sys.read_whole("/home/alice/new.txt") == b"data"
+
+    def test_o_excl_on_existing(self, alice_sys):
+        with pytest.raises(SysError) as exc:
+            alice_sys.open("dog.jpg", O_WRONLY | O_CREAT | O_EXCL)
+        assert exc.value.errno == errno_.EEXIST
+
+    def test_o_trunc(self, alice_sys):
+        alice_sys.write_whole("f.txt", b"0123456789")
+        fd = alice_sys.open("f.txt", O_WRONLY | O_TRUNC)
+        alice_sys.write(fd, b"x")
+        alice_sys.close(fd)
+        assert alice_sys.read_whole("f.txt") == b"x"
+
+    def test_o_append_writes_at_end(self, alice_sys):
+        alice_sys.write_whole("log", b"one\n")
+        fd = alice_sys.open("log", O_WRONLY | O_APPEND)
+        alice_sys.write(fd, b"two\n")
+        alice_sys.close(fd)
+        assert alice_sys.read_whole("log") == b"one\ntwo\n"
+
+    def test_write_on_readonly_fd_ebadf(self, alice_sys):
+        fd = alice_sys.open("dog.jpg", O_RDONLY)
+        with pytest.raises(SysError) as exc:
+            alice_sys.write(fd, b"x")
+        assert exc.value.errno == errno_.EBADF
+
+    def test_read_on_writeonly_fd_ebadf(self, alice_sys):
+        fd = alice_sys.open("w", O_WRONLY | O_CREAT)
+        with pytest.raises(SysError) as exc:
+            alice_sys.read(fd, 1)
+        assert exc.value.errno == errno_.EBADF
+
+    def test_pread_does_not_move_offset(self, alice_sys):
+        fd = alice_sys.open("dog.jpg", O_RDONLY)
+        assert alice_sys.pread(fd, 4, 8) == b"-DOG"
+        assert alice_sys.read(fd, 4) == b"JPEG"
+
+    def test_lseek(self, alice_sys):
+        fd = alice_sys.open("dog.jpg", O_RDONLY)
+        alice_sys.lseek(fd, 8)
+        assert alice_sys.read(fd, 4) == b"-DOG"
+
+    def test_bad_fd(self, alice_sys):
+        with pytest.raises(SysError) as exc:
+            alice_sys.read(42, 1)
+        assert exc.value.errno == errno_.EBADF
+
+
+class TestDAC:
+    def test_bob_cannot_read_alices_private_file(self, bob_sys):
+        with pytest.raises(SysError) as exc:
+            bob_sys.open("/home/alice/notes.txt", O_RDONLY)
+        assert exc.value.errno == errno_.EACCES
+
+    def test_bob_can_read_alices_public_file(self, bob_sys):
+        assert bob_sys.read_whole("/home/alice/dog.jpg") == b"JPEGDATA-DOG"
+
+    def test_bob_cannot_write_in_alices_home(self, bob_sys):
+        with pytest.raises(SysError) as exc:
+            bob_sys.open("/home/alice/evil", O_WRONLY | O_CREAT)
+        assert exc.value.errno == errno_.EACCES
+
+    def test_root_bypasses_dac(self, root_sys):
+        assert root_sys.read_whole("/home/alice/notes.txt") == b"alice's secrets"
+
+    def test_chmod_only_owner(self, bob_sys):
+        with pytest.raises(SysError) as exc:
+            bob_sys.chmod("/home/alice/dog.jpg", 0o777)
+        assert exc.value.errno == errno_.EPERM
+
+    def test_chmod_owner_works(self, alice_sys):
+        alice_sys.chmod("notes.txt", 0o644)
+        assert alice_sys.stat("notes.txt").mode == 0o644
+
+    def test_chown_requires_root(self, alice_sys, root_sys):
+        with pytest.raises(SysError):
+            alice_sys.chown("notes.txt", 1002, 1002)
+        root_sys.chown("/home/alice/notes.txt", 1002, 1002)
+        assert root_sys.stat("/home/alice/notes.txt").uid == 1002
+
+
+class TestDirectories:
+    def test_mkdir_and_getdents(self, alice_sys):
+        alice_sys.mkdir("sub")
+        fd = alice_sys.open("sub", O_RDONLY)
+        assert alice_sys.getdents(fd) == []
+        assert "sub" in alice_sys.contents("/home/alice")
+
+    def test_mkdirat_returns_usable_fd(self, alice_sys):
+        """The paper's mkdirat variant returns an fd for the new directory."""
+        home = alice_sys.open("/home/alice", O_RDONLY)
+        sub = alice_sys.mkdirat(home, "work")
+        assert alice_sys.getdents(sub) == []
+        # The fd designates the new directory: create a child through it.
+        inner = alice_sys.mkdirat(sub, "inner")
+        assert alice_sys.getdents(sub) == ["inner"]
+        assert alice_sys.getdents(inner) == []
+
+    def test_unlinkat(self, alice_sys):
+        alice_sys.write_whole("junk", b"x")
+        home = alice_sys.open("/home/alice", O_RDONLY)
+        alice_sys.unlinkat(home, "junk")
+        assert "junk" not in alice_sys.contents("/home/alice")
+
+    def test_chdir_getcwd(self, alice_sys):
+        alice_sys.mkdir("deep")
+        alice_sys.chdir("deep")
+        assert alice_sys.getcwd() == "/home/alice/deep"
+
+    def test_fchdir(self, alice_sys):
+        fd = alice_sys.open("/tmp", O_RDONLY)
+        alice_sys.fchdir(fd)
+        assert alice_sys.getcwd() == "/tmp"
+
+
+class TestNewSyscalls:
+    """flinkat / funlinkat / frenameat / path — section 3.1.3."""
+
+    def test_flinkat(self, alice_sys):
+        alice_sys.write_whole("orig", b"data")
+        ffd = alice_sys.open("orig", O_RDONLY)
+        dfd = alice_sys.open("/tmp", O_RDONLY)
+        alice_sys.flinkat(ffd, dfd, "alias")
+        assert alice_sys.read_whole("/tmp/alias") == b"data"
+
+    def test_funlinkat_happy_path(self, alice_sys):
+        alice_sys.write_whole("victim", b"x")
+        ffd = alice_sys.open("victim", O_RDONLY)
+        dfd = alice_sys.open("/home/alice", O_RDONLY)
+        alice_sys.funlinkat(dfd, "victim", ffd)
+        assert "victim" not in alice_sys.contents("/home/alice")
+
+    def test_funlinkat_detects_swap(self, alice_sys):
+        """The TOCTTOU case the syscall exists for: the name was rebound
+        to a different file between open and unlink."""
+        alice_sys.write_whole("victim", b"old")
+        ffd = alice_sys.open("victim", O_RDONLY)
+        alice_sys.unlink("victim")
+        alice_sys.write_whole("victim", b"new")
+        dfd = alice_sys.open("/home/alice", O_RDONLY)
+        with pytest.raises(SysError) as exc:
+            alice_sys.funlinkat(dfd, "victim", ffd)
+        assert exc.value.errno == errno_.EDEADLK
+        assert alice_sys.read_whole("victim") == b"new"
+
+    def test_frenameat(self, alice_sys):
+        alice_sys.write_whole("src", b"payload")
+        ffd = alice_sys.open("src", O_RDONLY)
+        home = alice_sys.open("/home/alice", O_RDONLY)
+        tmp = alice_sys.open("/tmp", O_RDONLY)
+        alice_sys.frenameat(ffd, home, "src", tmp, "dst")
+        assert alice_sys.read_whole("/tmp/dst") == b"payload"
+        assert "src" not in alice_sys.contents("/home/alice")
+
+    def test_frenameat_detects_swap(self, alice_sys):
+        alice_sys.write_whole("src", b"old")
+        ffd = alice_sys.open("src", O_RDONLY)
+        alice_sys.unlink("src")
+        alice_sys.write_whole("src", b"new")
+        home = alice_sys.open("/home/alice", O_RDONLY)
+        tmp = alice_sys.open("/tmp", O_RDONLY)
+        with pytest.raises(SysError) as exc:
+            alice_sys.frenameat(ffd, home, "src", tmp, "dst")
+        assert exc.value.errno == errno_.EDEADLK
+
+    def test_path_syscall(self, alice_sys):
+        fd = alice_sys.open("dog.jpg", O_RDONLY)
+        assert alice_sys.path(fd) == "/home/alice/dog.jpg"
+
+    def test_path_fails_after_unlink(self, alice_sys):
+        alice_sys.write_whole("gone", b"x")
+        fd = alice_sys.open("gone", O_RDONLY)
+        alice_sys.unlink("gone")
+        with pytest.raises(SysError) as exc:
+            alice_sys.path(fd)
+        assert exc.value.errno == errno_.ENOENT
+
+
+class TestSymlinks:
+    def test_follow_symlink(self, alice_sys):
+        alice_sys.symlink("/home/alice/dog.jpg", "link")
+        assert alice_sys.read_whole("link") == b"JPEGDATA-DOG"
+
+    def test_relative_symlink(self, alice_sys):
+        alice_sys.symlink("dog.jpg", "rel")
+        assert alice_sys.read_whole("rel") == b"JPEGDATA-DOG"
+
+    def test_readlink(self, alice_sys):
+        alice_sys.symlink("/x/y", "l")
+        assert alice_sys.readlink("l") == "/x/y"
+
+    def test_symlink_loop_eloop(self, alice_sys):
+        alice_sys.symlink("b", "a")
+        alice_sys.symlink("a", "b")
+        with pytest.raises(SysError) as exc:
+            alice_sys.open("a", O_RDONLY)
+        assert exc.value.errno == errno_.ELOOP
+
+    def test_symlink_through_directory(self, alice_sys):
+        alice_sys.mkdir("d")
+        alice_sys.write_whole("d/f", b"inner")
+        alice_sys.symlink("d", "dlink")
+        assert alice_sys.read_whole("dlink/f") == b"inner"
+
+
+class TestPipes:
+    def test_pipe_roundtrip(self, alice_sys):
+        rfd, wfd = alice_sys.pipe()
+        alice_sys.write(wfd, b"through the pipe")
+        assert alice_sys.read(rfd, 100) == b"through the pipe"
+
+    def test_pipe_epipe_after_reader_close(self, alice_sys):
+        rfd, wfd = alice_sys.pipe()
+        alice_sys.close(rfd)
+        with pytest.raises(SysError) as exc:
+            alice_sys.write(wfd, b"x")
+        assert exc.value.errno == errno_.EPIPE
+
+    def test_pipe_no_seek(self, alice_sys):
+        rfd, wfd = alice_sys.pipe()
+        with pytest.raises(SysError) as exc:
+            alice_sys.lseek(rfd, 1)
+        assert exc.value.errno == errno_.ESPIPE
+
+
+class TestSockets:
+    def test_client_server_over_loopback(self, kernel, alice_sys, bob_sys):
+        srv = bob_sys.socket(AddressFamily.AF_INET, SocketType.SOCK_STREAM)
+        bob_sys.bind(srv, ("127.0.0.1", 8080))
+        bob_sys.listen(srv)
+
+        cli = alice_sys.socket(AddressFamily.AF_INET, SocketType.SOCK_STREAM)
+        alice_sys.connect(cli, ("127.0.0.1", 8080))
+        alice_sys.send(cli, b"GET /")
+
+        conn = bob_sys.accept(srv)
+        assert bob_sys.recv(conn, 100) == b"GET /"
+        bob_sys.send(conn, b"200 OK")
+        assert alice_sys.recv(cli, 100) == b"200 OK"
+
+    def test_connect_refused_without_listener(self, alice_sys):
+        cli = alice_sys.socket(AddressFamily.AF_INET, SocketType.SOCK_STREAM)
+        with pytest.raises(SysError) as exc:
+            alice_sys.connect(cli, ("127.0.0.1", 9999))
+        assert exc.value.errno == errno_.ECONNREFUSED
+
+    def test_bind_conflict(self, alice_sys, bob_sys):
+        s1 = bob_sys.socket(AddressFamily.AF_INET, SocketType.SOCK_STREAM)
+        bob_sys.bind(s1, ("0.0.0.0", 80))
+        bob_sys.listen(s1)
+        s2 = alice_sys.socket(AddressFamily.AF_INET, SocketType.SOCK_STREAM)
+        with pytest.raises(SysError) as exc:
+            alice_sys.bind(s2, ("0.0.0.0", 80))
+        assert exc.value.errno == errno_.EADDRINUSE
+
+
+class TestStat:
+    def test_stat_file(self, alice_sys):
+        st = alice_sys.stat("dog.jpg")
+        assert st.is_file and st.size == 12 and st.mode == 0o644 and st.uid == 1001
+
+    def test_stat_dir_size_is_entry_count(self, alice_sys):
+        st = alice_sys.stat("/home/alice")
+        assert st.is_dir and st.size == 2
+
+    def test_lstat_does_not_follow(self, alice_sys):
+        alice_sys.symlink("dog.jpg", "l")
+        assert alice_sys.lstat("l").vtype is VType.VLNK
+        assert alice_sys.stat("l").is_file
+
+    def test_fstatat(self, alice_sys):
+        home = alice_sys.open("/home/alice", O_RDONLY)
+        st = alice_sys.fstatat(home, "dog.jpg")
+        assert st.is_file and st.size == 12
+
+
+class TestUlimits:
+    def test_file_size_limit(self, kernel):
+        proc = kernel.spawn_process("alice", "/home/alice")
+        proc.ulimits = proc.ulimits.merged_with({"file_size": 10})
+        sys = kernel.syscalls(proc)
+        fd = sys.open("f", O_WRONLY | O_CREAT)
+        sys.write(fd, b"123456789")
+        with pytest.raises(SysError) as exc:
+            sys.write(fd, b"ab")
+        assert exc.value.errno == errno_.EFBIG
+
+    def test_open_files_limit(self, kernel):
+        proc = kernel.spawn_process("alice", "/home/alice")
+        proc.ulimits = proc.ulimits.merged_with({"open_files": 2})
+        sys = kernel.syscalls(proc)
+        sys.open("dog.jpg", O_RDONLY)
+        sys.open("dog.jpg", O_RDONLY)
+        with pytest.raises(SysError) as exc:
+            sys.open("dog.jpg", O_RDONLY)
+        assert exc.value.errno == errno_.EMFILE
+
+    def test_unknown_ulimit_rejected(self, kernel):
+        proc = kernel.spawn_process("alice", "/home/alice")
+        with pytest.raises(SysError) as exc:
+            proc.ulimits.merged_with({"bogus": 1})
+        assert exc.value.errno == errno_.EINVAL
+
+
+class TestSysctlKenvIpc:
+    def test_sysctl_read(self, alice_sys):
+        assert alice_sys.sysctl_get("kern.ostype") == "FreeBSD"
+
+    def test_sysctl_write_unsandboxed_ok(self, root_sys):
+        root_sys.sysctl_set("kern.hostname", "newname")
+        assert root_sys.sysctl_get("kern.hostname") == "newname"
+
+    def test_kenv(self, root_sys):
+        root_sys.kenv_set("test.key", "v")
+        assert root_sys.kenv_get("test.key") == "v"
+
+    def test_shm(self, alice_sys):
+        seg = alice_sys.shm_open("/seg1")
+        seg.extend(b"shared")
+        assert alice_sys.shm_open("/seg1") == bytearray(b"shared")
+
+    def test_msgq(self, kernel, alice_sys):
+        key = alice_sys.msgget(42)
+        kernel.ipc.msgsnd(alice_sys.proc, key, b"msg")
+        assert kernel.ipc.msgrcv(alice_sys.proc, key) == b"msg"
+
+
+class TestStatsCounters:
+    def test_syscalls_counted(self, kernel, alice_sys):
+        before = kernel.stats.total_syscalls
+        alice_sys.read_whole("dog.jpg")
+        assert kernel.stats.total_syscalls > before
+        assert kernel.stats.syscalls["open"] >= 1

@@ -1,0 +1,155 @@
+"""Property-based VFS invariants (hypothesis state machine).
+
+After any sequence of create/mkdir/link/unlink/rename operations:
+
+1. every vnode reachable from the root resolves back to itself through
+   ``path_of`` (name-cache consistency);
+2. every regular file's ``nlink`` equals the number of directory entries
+   referencing it;
+3. directories never contain dangling entries;
+4. ``contents`` is always sorted.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+from hypothesis import strategies as st
+
+from repro.errors import SysError
+from repro.kernel.vfs import VFS, Vnode, VType
+
+NAMES = ["a", "b", "c", "d"]
+
+
+class VfsMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.vfs = VFS()
+        self.dirs: list[Vnode] = [self.vfs.root]
+        self.files: list[Vnode] = []
+
+    # -- operations -------------------------------------------------------
+
+    @rule(name=st.sampled_from(NAMES), data=st.data())
+    def create_file(self, name, data):
+        parent = data.draw(st.sampled_from(self.dirs))
+        try:
+            vp = self.vfs.create(parent, name, VType.VREG, 0o644, 0, 0)
+            self.files.append(vp)
+        except SysError:
+            pass
+
+    @rule(name=st.sampled_from(NAMES), data=st.data())
+    def create_dir(self, name, data):
+        parent = data.draw(st.sampled_from(self.dirs))
+        try:
+            vp = self.vfs.create(parent, name, VType.VDIR, 0o755, 0, 0)
+            self.dirs.append(vp)
+        except SysError:
+            pass
+
+    @precondition(lambda self: self.files)
+    @rule(name=st.sampled_from(NAMES), data=st.data())
+    def hard_link(self, name, data):
+        target = data.draw(st.sampled_from(self.files))
+        parent = data.draw(st.sampled_from(self.dirs))
+        try:
+            self.vfs.link(target, parent, name)
+        except SysError:
+            pass
+
+    @rule(name=st.sampled_from(NAMES), data=st.data())
+    def unlink(self, name, data):
+        parent = data.draw(st.sampled_from(self.dirs))
+        try:
+            self.vfs.unlink(parent, name)
+        except SysError:
+            pass
+
+    @rule(src=st.sampled_from(NAMES), dst=st.sampled_from(NAMES), data=st.data())
+    def rename(self, src, dst, data):
+        src_dir = data.draw(st.sampled_from(self.dirs))
+        dst_dir = data.draw(st.sampled_from(self.dirs))
+        try:
+            self.vfs.rename(src_dir, src, dst_dir, dst)
+        except SysError:
+            pass
+
+    # -- invariants ------------------------------------------------------------
+
+    def _reachable(self) -> dict[int, int]:
+        """vid -> number of directory entries referencing it."""
+        counts: dict[int, int] = {}
+        stack = [self.vfs.root]
+        seen = set()
+        while stack:
+            node = stack.pop()
+            if node.vid in seen:
+                continue
+            seen.add(node.vid)
+            if node.entries is None:
+                continue
+            for child in node.entries.values():
+                counts[child.vid] = counts.get(child.vid, 0) + 1
+                if child.is_dir:
+                    stack.append(child)
+        return counts
+
+    @invariant()
+    def nlink_matches_reference_counts(self):
+        counts = self._reachable()
+        stack = [self.vfs.root]
+        seen = set()
+        while stack:
+            node = stack.pop()
+            if node.vid in seen or node.entries is None:
+                continue
+            seen.add(node.vid)
+            for child in node.entries.values():
+                if child.is_reg:
+                    assert child.nlink == counts[child.vid], (
+                        f"vnode {child.vid}: nlink={child.nlink}, refs={counts[child.vid]}"
+                    )
+                if child.is_dir:
+                    stack.append(child)
+
+    @invariant()
+    def reachable_vnodes_resolve_through_path_of(self):
+        stack = [(self.vfs.root, "/")]
+        seen = set()
+        while stack:
+            node, path = stack.pop()
+            if node.vid in seen or node.entries is None:
+                continue
+            seen.add(node.vid)
+            for name, child in node.entries.items():
+                child_path = (path.rstrip("/") + "/" + name)
+                # path_of may legitimately return a *different* valid path
+                # for multi-linked files; it must resolve to the vnode.
+                try:
+                    reported = self.vfs.path_of(child)
+                except SysError:
+                    continue  # stale cache is repaired on next lookup
+                node2 = self.vfs.root
+                ok = True
+                for comp in [c for c in reported.split("/") if c]:
+                    try:
+                        node2 = self.vfs.lookup(node2, comp)
+                    except SysError:
+                        ok = False
+                        break
+                assert ok and node2 is child, (reported, child_path)
+                if child.is_dir:
+                    stack.append((child, child_path))
+
+    @invariant()
+    def contents_sorted(self):
+        for directory in self.dirs:
+            if directory.entries is not None and directory.nlink > 0:
+                listed = self.vfs.contents(directory)
+                assert listed == sorted(listed)
+
+
+TestVfsProperties = VfsMachine.TestCase
+TestVfsProperties.settings = settings(max_examples=25, stateful_step_count=30, deadline=None)

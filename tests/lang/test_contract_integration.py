@@ -1,0 +1,186 @@
+"""End-to-end contract behaviour driven from SHILL scripts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ContractViolation
+from repro.lang.runner import ShillRuntime
+
+
+@pytest.fixture
+def rt(kernel) -> ShillRuntime:
+    return ShillRuntime(kernel, user="alice", cwd="/home/alice")
+
+
+def load(rt, source: str, name: str, export: str):
+    rt.register_script(name, "#lang shill/cap\n" + source)
+    return rt.load_cap_exports(name)[export]
+
+
+class TestNamedContracts:
+    def test_readonly_in_script(self, rt):
+        f = load(
+            rt,
+            "provide peek : {x : readonly} -> is_string;\npeek = fun(x) { read(x); }",
+            "m.cap", "peek",
+        )
+        assert rt.call(f, rt.open_file("/home/alice/dog.jpg")) == "JPEGDATA-DOG"
+
+    def test_readonly_accepts_dirs_too(self, rt):
+        f = load(
+            rt,
+            "provide ls : {x : readonly} -> is_list;\nls = fun(x) { contents(x); }",
+            "m.cap", "ls",
+        )
+        assert "dog.jpg" in rt.call(f, rt.open_dir("/home/alice"))
+
+    def test_writeable_blocks_read(self, rt):
+        f = load(
+            rt,
+            "provide sneak : {x : writeable} -> is_string;\nsneak = fun(x) { read(x); }",
+            "m.cap", "sneak",
+        )
+        with pytest.raises(ContractViolation) as exc:
+            rt.call(f, rt.open_file("/home/alice/dog.jpg"))
+        assert exc.value.blame == "m.cap"
+
+    def test_executable_contract(self, rt, kernel):
+        from repro.world.image import WorldBuilder
+
+        WorldBuilder(kernel).install_binary("/home/alice/tool", "echo", [])
+        kernel.vfs.lookup(
+            kernel.vfs.lookup(kernel.vfs.lookup(kernel.vfs.root, "home"), "alice"), "tool"
+        ).uid = 1001
+        f = load(
+            rt,
+            "provide check : {x : executable} -> is_bool;\ncheck = fun(x) { is_file(x); }",
+            "m.cap", "check",
+        )
+        assert rt.call(f, rt.open_file("/home/alice/tool")) is True
+
+
+class TestFactoriesInContracts:
+    def test_pipe_factory_param(self, rt):
+        from repro.capability.caps import PipeFactoryCap
+
+        f = load(
+            rt,
+            "provide mk : {pf : pipe_factory} -> is_list;\nmk = fun(pf) { create_pipe(pf); }",
+            "m.cap", "mk",
+        )
+        ends = rt.call(f, PipeFactoryCap(rt.sys))
+        assert len(ends) == 2
+
+    def test_pipe_factory_rejects_other_values(self, rt):
+        f = load(
+            rt,
+            "provide mk : {pf : pipe_factory} -> void;\nmk = fun(pf) { pf; }",
+            "m.cap", "mk",
+        )
+        with pytest.raises(ContractViolation):
+            rt.call(f, "nope")
+
+    def test_socket_factory_with_privs_attenuates(self, rt):
+        from repro.capability.caps import SocketFactoryCap
+        from repro.sandbox.privileges import SockPriv
+
+        source = (
+            "provide probe : {net : socket_factory(+create, +connect, +send, +receive)}"
+            " -> is_bool;\n"
+            "probe = fun(net) { true; }\n"
+        )
+        f = load(rt, source, "m.cap", "probe")
+        assert rt.call(f, SocketFactoryCap()) is True
+        # Supplying a factory lacking +connect violates the contract:
+        from repro.sandbox.privileges import SocketPerms
+
+        weak = SocketFactoryCap(SocketPerms({SockPriv.CREATE}))
+        with pytest.raises(ContractViolation):
+            rt.call(f, weak)
+
+
+class TestWalletKinds:
+    def test_figure1_ocaml_wallet_kind(self, rt):
+        """The grade contract's `ocaml_wallet`: an open-ended wallet kind."""
+        from repro.stdlib.wallet import Wallet
+
+        f = load(
+            rt,
+            "provide use : {w : ocaml_wallet} -> is_list;\nuse = fun(w) { [true]; }",
+            "m.cap", "use",
+        )
+        assert rt.call(f, Wallet("ocaml")) == [True]
+        with pytest.raises(ContractViolation):
+            rt.call(f, Wallet("native"))
+
+
+class TestPolymorphicInScripts:
+    FIND = """\
+provide find :
+  forall X with {+lookup, +contents} .
+  {cur : X, filter : X -> is_bool, cmd : X -> void} -> void;
+
+find = fun(cur, filter, cmd) {
+  if is_file(cur) && filter(cur) then
+    cmd(cur);
+  if is_dir(cur) then
+    for name in contents(cur) {
+      child = lookup(cur, name);
+      if !is_syserror(child) then
+        find(child, filter, cmd);
+    }
+}
+"""
+
+    EVIL_FIND = FIND.replace("cmd(cur);", "cmd(cur);\n  if is_file(cur) then read(cur);")
+
+    def test_find_clients_with_different_privileges(self, rt):
+        """Two clients of the same polymorphic contract: one filter needs
+        +stat, the other +path — both served, as in section 2.4.2."""
+        find = load(rt, self.FIND, "find.cap", "find")
+        home = rt.open_dir("/home/alice")
+
+        sizes: list[int] = []
+        rt.call(find, home, lambda c: c.stat().size > 0, lambda c: sizes.append(c.stat().size))
+        names: list[str] = []
+        rt.call(find, home, lambda c: c.path().endswith(".jpg"), lambda c: names.append(c.path()))
+        assert sizes and names == ["/home/alice/dog.jpg"]
+
+    def test_find_body_cannot_use_filter_privileges(self, rt):
+        """The body reading through X is a violation blamed on find.cap —
+        even though the *caller's* capability allows reading."""
+        find = load(rt, self.EVIL_FIND, "evil_find.cap", "find")
+        home = rt.open_dir("/home/alice")
+        with pytest.raises(ContractViolation) as exc:
+            rt.call(find, home, lambda c: True, lambda c: None)
+        assert exc.value.blame == "evil_find.cap"
+        assert "+read" in exc.value.detail
+
+
+class TestResultContracts:
+    def test_result_cap_contract_attenuates(self, rt):
+        """A capability returned through a contract is attenuated for the
+        *caller*."""
+        source = (
+            "provide pick : {d : is_dir && readonly} -> file(+stat, +path);\n"
+            "pick = fun(d) { lookup(d, \"dog.jpg\"); }\n"
+        )
+        f = load(rt, source, "m.cap", "pick")
+        result = rt.call(f, rt.open_dir("/home/alice"))
+        from repro.sandbox.privileges import Priv
+
+        assert result.privs.privs() == {Priv.STAT, Priv.PATH}
+        with pytest.raises(ContractViolation) as exc:
+            result.read()
+        # The *caller* (host) is the consumer of the result.
+        assert exc.value.blame == "host"
+
+    def test_result_predicate_failure_blames_provider(self, rt):
+        source = (
+            "provide lie : {x : is_num} -> is_string;\nlie = fun(x) { x; }\n"
+        )
+        f = load(rt, source, "m.cap", "lie")
+        with pytest.raises(ContractViolation) as exc:
+            rt.call(f, 5)
+        assert exc.value.blame == "m.cap"

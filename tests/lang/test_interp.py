@@ -1,0 +1,248 @@
+"""Interpreter and module-system tests (capability-safe + ambient)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    CapabilitySafetyError,
+    ContractViolation,
+    ShillRuntimeError,
+)
+from repro.lang.runner import ShillRuntime
+from repro.lang.values import VOID, SysErrorVal
+
+
+@pytest.fixture
+def rt(kernel) -> ShillRuntime:
+    return ShillRuntime(kernel, user="alice", cwd="/home/alice")
+
+
+def run_cap(rt: ShillRuntime, body: str, provide: str, name: str = "m.cap"):
+    rt.register_script(name, f"#lang shill/cap\n{body}")
+    return rt.load_cap_exports(name)[provide]
+
+
+class TestEvaluation:
+    def test_arithmetic(self, rt):
+        f = run_cap(rt, "provide f : {x : is_num} -> is_num;\nf = fun(x) { x * 2 + 1; }", "f")
+        assert rt.call(f, 20) == 41
+
+    def test_string_concat(self, rt):
+        f = run_cap(rt, 'provide f : {s : is_string} -> is_string;\nf = fun(s) { s + "!"; }', "f")
+        assert rt.call(f, "hi") == "hi!"
+
+    def test_recursion(self, rt):
+        f = run_cap(
+            rt,
+            "provide fact : {n : is_num} -> is_num;\n"
+            "fact = fun(n) { if n <= 1 then 1 else n * fact(n - 1); }",
+            "fact",
+        )
+        assert rt.call(f, 6) == 720
+
+    def test_higher_order(self, rt):
+        f = run_cap(
+            rt,
+            "provide twice : {f : is_num -> is_num, x : is_num} -> is_num;\n"
+            "twice = fun(f, x) { f(f(x)); }",
+            "twice",
+        )
+        assert rt.call(f, lambda v: v + 3, 10) == 16
+
+    def test_for_loop_and_lists(self, rt):
+        src = (
+            "provide sum : {l : is_list} -> is_num;\n"
+            "sum = fun(l) {\n"
+            "  total = count(l, 0);\n"
+            "  total;\n"
+            "}\n"
+            "count = fun(l, acc) {\n"
+            "  if length(l) == 0 then acc else count(rest(l), acc + nth(l, 0));\n"
+            "}\n"
+            "rest = fun(l) { slice_from(l, 1); }\n"
+        )
+        # slice helpers aren't builtins; define sum via recursion instead:
+        src = (
+            "provide sum : {l : is_list} -> is_num;\n"
+            "sum = fun(l) { go(l, 0, 0); }\n"
+            "go = fun(l, i, acc) {\n"
+            "  if i == length(l) then acc else go(l, i + 1, acc + nth(l, i));\n"
+            "}\n"
+        )
+        f = run_cap(rt, src, "sum")
+        assert rt.call(f, [1, 2, 3, 4]) == 10
+
+    def test_no_mutable_variables(self, rt):
+        with pytest.raises(ShillRuntimeError) as exc:
+            run_cap(rt, "provide f : is_num -> is_num;\nx = 1;\nx = 2;\nf = fun(y) { y; }", "f")
+        assert "mutable" in str(exc.value) or "duplicate" in str(exc.value)
+
+    def test_condition_must_be_boolean(self, rt):
+        f = run_cap(rt, "provide f : {x : is_num} -> is_num;\nf = fun(x) { if x then 1 else 2; }", "f")
+        with pytest.raises(ShillRuntimeError):
+            rt.call(f, 5)
+
+    def test_unbound_variable(self, rt):
+        f = run_cap(rt, "provide f : {x : is_num} -> is_num;\nf = fun(x) { nosuch; }", "f")
+        with pytest.raises(ShillRuntimeError) as exc:
+            rt.call(f, 1)
+        assert "unbound" in str(exc.value)
+
+    def test_division_semantics(self, rt):
+        f = run_cap(rt, "provide f : {a : is_num, b : is_num} -> is_num;\nf = fun(a, b) { a / b; }", "f")
+        assert rt.call(f, 10, 2) == 5
+        with pytest.raises(ShillRuntimeError):
+            rt.call(f, 1, 0)
+
+
+class TestCapabilityBuiltins:
+    def test_lookup_and_read(self, rt):
+        f = run_cap(
+            rt,
+            "provide f : {d : is_dir} -> is_string;\nf = fun(d) { read(lookup(d, \"dog.jpg\")); }",
+            "f",
+        )
+        assert rt.call(f, rt.open_dir("/home/alice")) == "JPEGDATA-DOG"
+
+    def test_lookup_missing_gives_syserror_value(self, rt):
+        f = run_cap(
+            rt,
+            "provide f : {d : is_dir} -> is_bool;\n"
+            "f = fun(d) { is_syserror(lookup(d, \"missing\")); }",
+            "f",
+        )
+        assert rt.call(f, rt.open_dir("/home/alice")) is True
+
+    def test_lookup_dotdot_rejected(self, rt):
+        """Scripts cannot traverse upwards: lookup(cur, '..') fails."""
+        f = run_cap(
+            rt,
+            "provide f : {d : is_dir} -> void;\nf = fun(d) { lookup(d, \"..\"); }",
+            "f",
+        )
+        with pytest.raises(CapabilitySafetyError):
+            rt.call(f, rt.open_dir("/home/alice"))
+
+    def test_multicomponent_lookup_rejected(self, rt):
+        f = run_cap(
+            rt,
+            "provide f : {d : is_dir} -> void;\nf = fun(d) { lookup(d, \"a/b\"); }",
+            "f",
+        )
+        with pytest.raises(CapabilitySafetyError):
+            rt.call(f, rt.open_dir("/"))
+
+    def test_create_and_write(self, rt):
+        f = run_cap(
+            rt,
+            "provide f : {d : is_dir} -> void;\n"
+            "f = fun(d) { write(create_file(d, \"new.txt\"), \"content\"); }",
+            "f",
+        )
+        rt.call(f, rt.open_dir("/home/alice"))
+        assert rt.sys.read_whole("/home/alice/new.txt") == b"content"
+
+    def test_contract_attenuation_enforced_in_script(self, rt):
+        """A script whose contract says readonly cannot write."""
+        f = run_cap(
+            rt,
+            "provide f : {x : readonly} -> void;\nf = fun(x) { write(x, \"evil\"); }",
+            "f",
+        )
+        with pytest.raises(ContractViolation) as exc:
+            rt.call(f, rt.open_file("/home/alice/dog.jpg"))
+        assert exc.value.blame == "m.cap"
+
+    def test_ambient_minting_respects_dac(self, kernel):
+        """Bob's runtime minting a cap for alice's private file gets no
+        read privilege (ambient authority = what DAC allows)."""
+        rt = ShillRuntime(kernel, user="bob", cwd="/home/bob")
+        cap = rt.open_file("/home/alice/notes.txt")
+        from repro.sandbox.privileges import Priv
+
+        assert not cap.privs.has(Priv.READ)
+        assert cap.privs.has(Priv.STAT)
+
+
+class TestModules:
+    def test_provide_without_definition(self, rt):
+        rt.register_script("bad.cap", "#lang shill/cap\nprovide ghost : is_num -> is_num;\n")
+        with pytest.raises(ShillRuntimeError):
+            rt.load_cap_exports("bad.cap")
+
+    def test_cap_cannot_require_ambient(self, rt):
+        rt.register_script("amb", "#lang shill/ambient\nx = open_dir(\"/\");\n")
+        rt.register_script("m.cap", '#lang shill/cap\nrequire "amb";\nprovide f : is_num -> is_num;\nf = fun(x) { x; }')
+        with pytest.raises(CapabilitySafetyError):
+            rt.load_cap_exports("m.cap")
+
+    def test_require_cycle_detected(self, rt):
+        rt.register_script("a.cap", '#lang shill/cap\nrequire "b.cap";\n')
+        rt.register_script("b.cap", '#lang shill/cap\nrequire "a.cap";\n')
+        with pytest.raises(ShillRuntimeError) as exc:
+            rt.load_cap_exports("a.cap")
+        assert "cycle" in str(exc.value)
+
+    def test_cross_module_contract_blame(self, rt):
+        """Module B imports f from A; B supplying a bad argument blames B."""
+        rt.register_script(
+            "a.cap",
+            "#lang shill/cap\nprovide f : {x : is_num} -> is_num;\nf = fun(x) { x; }",
+        )
+        rt.register_script(
+            "b.cap",
+            '#lang shill/cap\nrequire "a.cap";\n'
+            "provide g : {s : is_string} -> is_num;\ng = fun(s) { f(s); }",
+        )
+        g = rt.load_cap_exports("b.cap")["g"]
+        with pytest.raises(ContractViolation) as exc:
+            rt.call(g, "oops")
+        assert exc.value.blame == "b.cap"
+
+    def test_missing_script(self, rt):
+        with pytest.raises(ShillRuntimeError):
+            rt.load_cap_exports("nope.cap")
+
+    def test_user_defined_predicate_contract(self, rt):
+        source = (
+            "#lang shill/cap\n"
+            "is_small = fun(n) { is_num(n) && n < 10; }\n"
+            "provide f : {x : is_small} -> is_num;\n"
+            "f = fun(x) { x + 1; }\n"
+        )
+        rt.register_script("pred.cap", source)
+        f = rt.load_cap_exports("pred.cap")["f"]
+        assert rt.call(f, 3) == 4
+        with pytest.raises(ContractViolation):
+            rt.call(f, 50)
+
+
+class TestAmbient:
+    def test_ambient_script_runs(self, rt):
+        rt.register_script(
+            "show.cap",
+            "#lang shill/cap\nprovide show : {f : readonly, out : writeable} -> void;\n"
+            "show = fun(f, out) { append(out, read(f)); }",
+        )
+        env = rt.run_ambient(
+            '#lang shill/ambient\nrequire "show.cap";\n'
+            'f = open_file("~/dog.jpg");\nshow(f, stdout);\n'
+        )
+        assert rt.tty.text == "JPEGDATA-DOG"
+
+    def test_ambient_tilde_expansion(self, rt):
+        env = rt.run_ambient('#lang shill/ambient\nd = open_dir("~");\n')
+        assert env.lookup("d").try_path() == "/home/alice"
+
+    def test_ambient_minted_cap_full_owner_privs(self, rt):
+        from repro.sandbox.privileges import Priv
+
+        env = rt.run_ambient('#lang shill/ambient\nf = open_file("~/notes.txt");\n')
+        cap = env.lookup("f")
+        assert cap.privs.has(Priv.READ) and cap.privs.has(Priv.WRITE)
+
+    def test_profile_counters_exist(self, rt):
+        rt.run_ambient('#lang shill/ambient\nd = open_dir("/");\n')
+        assert rt.profile["total"] > 0
+        assert rt.profile["sandbox_count"] == 0

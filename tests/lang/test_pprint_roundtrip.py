@@ -1,0 +1,153 @@
+"""Property test: parse(pprint(ast)) == ast for generated ASTs."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import ast_ as A
+from repro.lang.parser import parse_source
+from repro.lang.pprint import pprint_ctc, pprint_expr, pprint_module
+
+idents = st.sampled_from(["x", "y", "foo", "cur", "out_v"])
+privs = st.sampled_from(["read", "lookup", "contents", "create-file", "stat", "path"])
+
+# -- expression ASTs --------------------------------------------------------
+
+literals = st.one_of(
+    st.integers(min_value=0, max_value=10_000).map(A.Lit),
+    st.booleans().map(A.Lit),
+    st.text(alphabet="abc xyz_!.", max_size=8).map(A.Lit),
+)
+
+
+def exprs(depth: int = 2) -> st.SearchStrategy:
+    base = st.one_of(literals, idents.map(A.Var))
+    if depth == 0:
+        return base
+    sub = exprs(depth - 1)
+    return st.one_of(
+        base,
+        st.lists(sub, max_size=3).map(lambda items: A.ListLit(tuple(items))),
+        st.tuples(idents, st.lists(sub, max_size=3)).map(
+            lambda t: A.Call(A.Var(t[0]), tuple(t[1]))
+        ),
+        st.tuples(st.sampled_from(["&&", "||"]), sub, sub).map(
+            lambda t: A.BinOp(t[0], t[1], t[2])
+        ),
+        st.tuples(st.sampled_from(["+", "*", "==", "<"]), sub, sub).map(
+            lambda t: A.BinOp(t[0], t[1], t[2])
+        ),
+        sub.map(lambda e: A.UnOp("!", e)),
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(expr=exprs())
+def test_expr_roundtrip(expr):
+    source = f"probe = {pprint_expr(expr)};"
+    module = parse_source(source, "shill/cap")
+    stmt = module.body[0]
+    assert isinstance(stmt, A.Def)
+    assert stmt.expr == expr
+
+
+# -- contract ASTs ------------------------------------------------------------------
+
+priv_items = st.builds(
+    A.CtcPrivItem,
+    priv=privs,
+    modifier=st.one_of(
+        st.none(),
+        st.lists(privs, min_size=1, max_size=2, unique=True).map(tuple),
+    ),
+    modifier_full=st.just(False),
+)
+
+
+def ctcs(depth: int = 2) -> st.SearchStrategy:
+    base = st.one_of(
+        st.sampled_from(["is_file", "is_dir", "readonly", "void"]).map(A.CtcName),
+        st.builds(
+            A.CtcCap,
+            kind=st.sampled_from(["file", "dir", "cap"]),
+            items=st.lists(priv_items, min_size=1, max_size=3).map(tuple),
+        ),
+    )
+    if depth == 0:
+        return base
+    sub = ctcs(depth - 1)
+    return st.one_of(
+        base,
+        st.lists(sub, min_size=2, max_size=3).map(lambda ps: A.CtcOr(tuple(ps))),
+        st.lists(sub, min_size=2, max_size=3).map(lambda ps: A.CtcAnd(tuple(ps))),
+        st.builds(
+            A.CtcFun,
+            params=st.lists(st.tuples(idents, sub), min_size=1, max_size=3,
+                            unique_by=lambda t: t[0]).map(tuple),
+            result=sub,
+        ),
+    )
+
+
+def _normalize(ctc: A.Ctc) -> A.Ctc:
+    """Adjacent same-operator nests flatten on reparse; normalize both
+    sides by flattening nested Or-of-Or / And-of-And."""
+    if isinstance(ctc, A.CtcOr):
+        parts: list[A.Ctc] = []
+        for part in (_normalize(p) for p in ctc.parts):
+            parts.extend(part.parts if isinstance(part, A.CtcOr) else [part])
+        return A.CtcOr(tuple(parts))
+    if isinstance(ctc, A.CtcAnd):
+        parts = []
+        for part in (_normalize(p) for p in ctc.parts):
+            parts.extend(part.parts if isinstance(part, A.CtcAnd) else [part])
+        return A.CtcAnd(tuple(parts))
+    if isinstance(ctc, A.CtcFun):
+        return A.CtcFun(
+            tuple((n, _normalize(c)) for n, c in ctc.params), _normalize(ctc.result)
+        )
+    if isinstance(ctc, A.CtcForall):
+        body = _normalize(ctc.body)
+        assert isinstance(body, A.CtcFun)
+        return A.CtcForall(ctc.var, ctc.bound, body)
+    return ctc
+
+
+@settings(max_examples=80, deadline=None)
+@given(ctc=ctcs())
+def test_contract_roundtrip(ctc):
+    source = f"provide f : {pprint_ctc(ctc)};\nf = fun(x) {{ x; }}"
+    module = parse_source(source, "shill/cap")
+    assert _normalize(module.provides[0].contract) == _normalize(ctc)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    var=st.sampled_from(["X", "Y"]),
+    bound=st.lists(privs, min_size=1, max_size=3, unique=True).map(tuple),
+    body=ctcs(1),
+)
+def test_forall_roundtrip(var, bound, body):
+    fun_body = A.CtcFun((("cur", A.CtcName(var)),), body)
+    ctc = A.CtcForall(var, bound, fun_body)
+    source = f"provide f : {pprint_ctc(ctc)};\nf = fun(cur) {{ cur; }}"
+    module = parse_source(source, "shill/cap")
+    assert _normalize(module.provides[0].contract) == _normalize(ctc)
+
+
+def test_module_roundtrip_smoke():
+    source = (
+        "#lang shill/cap\n"
+        'require shill/native;\nrequire "other.cap";\n'
+        "provide f : {x : is_file && readonly} -> void;\n"
+        "f = fun(x) { if is_file(x) then read(x); else path(x); }\n"
+    )
+    from repro.lang.modules import read_lang
+
+    lang, body = read_lang(source)
+    module = parse_source(body, lang)
+    printed = pprint_module(module)
+    lang2, body2 = read_lang(printed)
+    module2 = parse_source(body2, lang2)
+    assert module2.requires == module.requires
+    assert module2.provides == module.provides

@@ -1,0 +1,131 @@
+"""Error-path tests for the simulated executables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.world import build_world
+
+from tests.programs.test_programs import run  # reuse the unsandboxed runner
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world()
+
+
+class TestUsageErrors:
+    def test_cp_wrong_arity(self, world):
+        status, _, err = run(world, ["cp", "/etc/passwd"])
+        assert status == 64 and "usage" in err
+
+    def test_cp_directory_without_r(self, world):
+        run(world, ["mkdir", "/tmp/cpd"])
+        status, _, err = run(world, ["cp", "/tmp/cpd", "/tmp/cpd2"])
+        assert status == 1 and "not copied" in err
+
+    def test_mv_wrong_arity(self, world):
+        assert run(world, ["mv", "/only-one"])[0] == 64
+
+    def test_grep_no_pattern(self, world):
+        status, _, err = run(world, ["grep"])
+        assert status == 2 and "usage" in err
+
+    def test_grep_unknown_option(self, world):
+        assert run(world, ["grep", "-z", "pat", "/etc/passwd"])[0] == 2
+
+    def test_find_no_args(self, world):
+        assert run(world, ["find"])[0] == 64
+
+    def test_tar_unknown_mode(self, world):
+        run(world, ["touch", "/tmp/t.tar"])
+        assert run(world, ["tar", "qf", "/tmp/t.tar"])[0] == 64
+
+    def test_tar_bad_archive(self, world):
+        world.syscalls(world.spawn_process("root", "/")).write_whole(
+            "/tmp/bogus.tar", b"not an archive"
+        )
+        status, _, err = run(world, ["tar", "xf", "/tmp/bogus.tar", "-C", "/tmp"])
+        assert status == 1 and "SIMTAR" in err
+
+    def test_gzip_decompress_non_gz(self, world):
+        world.syscalls(world.spawn_process("root", "/")).write_whole("/tmp/raw", b"data")
+        assert run(world, ["gzip", "-d", "/tmp/raw"])[0] == 1
+
+    def test_diff_missing_file(self, world):
+        assert run(world, ["diff", "/etc/passwd", "/no/such"])[0] == 2
+
+    def test_ldd_non_elf(self, world):
+        status, _, err = run(world, ["ldd", "/etc/passwd"])
+        assert status == 1 and "ENOEXEC" in err
+
+    def test_jpeginfo_no_args(self, world):
+        assert run(world, ["jpeginfo"])[0] == 1
+
+    def test_gmake_missing_makefile(self, world):
+        run(world, ["mkdir", "/tmp/empty-proj"])
+        status, _, err = run(world, ["gmake", "-C", "/tmp/empty-proj"])
+        assert status == 2 and "ENOENT" in err
+
+    def test_gmake_no_rule(self, world):
+        sys = world.syscalls(world.spawn_process("root", "/"))
+        run(world, ["mkdir", "/tmp/proj-nr"])
+        sys.write_whole("/tmp/proj-nr/Makefile", b"all: missing-dep\n\techo hi\n")
+        status, _, err = run(world, ["gmake", "-C", "/tmp/proj-nr"])
+        assert status == 2 and "no rule" in err
+
+    def test_gmake_failing_command_stops(self, world):
+        sys = world.syscalls(world.spawn_process("root", "/"))
+        run(world, ["mkdir", "/tmp/proj-fail"])
+        sys.write_whole(
+            "/tmp/proj-fail/Makefile",
+            b"all:\n\tgrep nomatch /etc/passwd\n\ttouch /tmp/proj-fail/after\n",
+        )
+        status, _, _ = run(world, ["gmake", "-C", "/tmp/proj-fail"])
+        assert status == 1
+        assert run(world, ["ls", "/tmp/proj-fail/after"])[0] == 1  # never ran
+
+    def test_ocamlc_syntax_error(self, world):
+        sys = world.syscalls(world.spawn_process("root", "/"))
+        sys.write_whole("/tmp/bad.ml", b"syntax-error here\n")
+        status, _, err = run(world, ["ocamlc", "-o", "/tmp/bad.byte", "/tmp/bad.ml"])
+        assert status == 2 and "syntax error" in err
+
+    def test_ocamlrun_not_bytecode(self, world):
+        status, _, err = run(world, ["ocamlrun", "/etc/passwd"])
+        assert status == 2 and "not a bytecode" in err
+
+    def test_curl_no_url(self, world):
+        assert run(world, ["curl"])[0] == 2
+
+    def test_curl_404_from_mirror(self, world):
+        """A mirror that answers 404 yields curl status 22."""
+        def notfound(server_side):
+            server_side.peer.recv_buffer.extend(b"HTTP/1.0 404 Not Found\n\n")
+
+        world.network.register_service(("bad.example", 80), notfound)
+        status, _, err = run(world, ["curl", "http://bad.example/x"])
+        assert status == 22 and "404" in err
+
+    def test_httpd_missing_config(self, world):
+        status, _, err = run(world, ["httpd", "-f", "/no/such.conf"])
+        assert status == 1 and "config" in err
+
+
+class TestWcHeadStdin:
+    def test_wc_stdin(self, world):
+        status, out, _ = run(world, ["wc"], stdin=b"a b\nc\n")
+        assert status == 0 and out.split()[:3] == ["2", "3", "6"]
+
+    def test_head_n(self, world):
+        sys = world.syscalls(world.spawn_process("root", "/"))
+        sys.write_whole("/tmp/many.txt", b"\n".join(f"l{i}".encode() for i in range(20)))
+        status, out, _ = run(world, ["head", "-n", "3", "/tmp/many.txt"])
+        assert status == 0 and out == "l0\nl1\nl2\n"
+
+    def test_rm_force_ignores_missing(self, world):
+        assert run(world, ["rm", "-f", "/no/such"])[0] == 0
+
+    def test_rm_without_force_reports(self, world):
+        status, _, err = run(world, ["rm", "/no/such"])
+        assert status == 1 and "ENOENT" in err

@@ -1,0 +1,296 @@
+"""Tests for the simulated executables, run unsandboxed in a full world."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.fdesc import OpenFile
+from repro.kernel.pipes import make_pipe
+from repro.kernel.syscalls import O_RDONLY, O_WRONLY
+from repro.world import (
+    add_emacs_mirror,
+    add_grading_fixture,
+    add_jpeg_samples,
+    add_usr_src,
+    add_web_content,
+    build_world,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    kernel = build_world()
+    add_usr_src(kernel, subsystems=2, files_per_dir=8)
+    add_jpeg_samples(kernel)
+    return kernel
+
+
+def run(kernel, argv, user="root", cwd="/", stdin: bytes = b""):
+    """Run a program unsandboxed; returns (status, stdout, stderr)."""
+    from repro.programs.base import resolve_in_path
+
+    launcher = kernel.spawn_process(user, cwd)
+    sys = kernel.syscalls(launcher)
+    out_r, out_w = make_pipe()
+    err_r, err_w = make_pipe()
+    in_r, in_w = make_pipe()
+    in_w.pipe.buffer.extend(stdin)
+    in_w.pipe.write_open = False
+    child = kernel.procs.fork(launcher)
+    child.fdtable.install(0, OpenFile(in_r, O_RDONLY))
+    child.fdtable.install(1, OpenFile(out_w, O_WRONLY))
+    child.fdtable.install(2, OpenFile(err_w, O_WRONLY))
+    path = resolve_in_path(sys, argv[0], {"PATH": "/bin:/usr/bin:/usr/local/bin"})
+    _, _, vp = sys._resolve(path)
+    status = kernel.exec_file(child, vp, argv)
+    return status, bytes(out_r.pipe.buffer).decode(), bytes(err_r.pipe.buffer).decode()
+
+
+class TestCoreutils:
+    def test_echo(self, world):
+        status, out, _ = run(world, ["echo", "hello", "world"])
+        assert status == 0 and out == "hello world\n"
+
+    def test_cat_file(self, world):
+        status, out, _ = run(world, ["cat", "/etc/passwd"])
+        assert status == 0 and "alice" in out
+
+    def test_cat_missing_file(self, world):
+        status, _, err = run(world, ["cat", "/no/such"])
+        assert status == 1 and "ENOENT" in err
+
+    def test_cat_stdin(self, world):
+        status, out, _ = run(world, ["cat"], stdin=b"pass through")
+        assert status == 0 and out == "pass through"
+
+    def test_ls(self, world):
+        status, out, _ = run(world, ["ls", "/bin"])
+        assert status == 0 and "cat" in out.split()
+
+    def test_mkdir_touch_rm(self, world):
+        assert run(world, ["mkdir", "/tmp/t1"])[0] == 0
+        assert run(world, ["touch", "/tmp/t1/f"])[0] == 0
+        assert run(world, ["rm", "-r", "/tmp/t1"])[0] == 0
+        status, _, _ = run(world, ["ls", "/tmp/t1"])
+        assert status == 1
+
+    def test_cp_recursive(self, world):
+        run(world, ["mkdir", "-p", "/tmp/src2/inner"])
+        run(world, ["touch", "/tmp/src2/inner/f"])
+        assert run(world, ["cp", "-r", "/tmp/src2", "/tmp/dst2"])[0] == 0
+        assert run(world, ["ls", "/tmp/dst2/inner"])[1].strip() == "f"
+
+    def test_mv(self, world):
+        run(world, ["touch", "/tmp/mv-a"])
+        assert run(world, ["mv", "/tmp/mv-a", "/tmp/mv-b"])[0] == 0
+        assert run(world, ["ls", "/tmp/mv-b"])[0] == 0
+
+    def test_exec_loads_libraries(self, world):
+        """Running cat opens rtld and libc: check syscall accounting."""
+        before = world.stats.syscalls["open"]
+        run(world, ["cat", "/etc/passwd"])
+        assert world.stats.syscalls["open"] > before
+
+
+class TestTextUtils:
+    def test_grep_match(self, world):
+        status, out, _ = run(world, ["grep", "alice", "/etc/passwd"])
+        assert status == 0 and "alice" in out
+
+    def test_grep_no_match_status_1(self, world):
+        status, out, _ = run(world, ["grep", "zebra", "/etc/passwd"])
+        assert status == 1 and out == ""
+
+    def test_grep_H_prefixes_filename(self, world):
+        _, out, _ = run(world, ["grep", "-H", "alice", "/etc/passwd"])
+        assert out.startswith("/etc/passwd:")
+
+    def test_grep_stdin(self, world):
+        status, out, _ = run(world, ["grep", "b"], stdin=b"abc\nxyz\nlob\n")
+        assert status == 0 and out == "abc\nlob\n"
+
+    def test_find_name_pattern(self, world):
+        status, out, _ = run(world, ["find", "/usr/src", "-name", "*.c"])
+        assert status == 0
+        files = out.splitlines()
+        assert files and all(f.endswith(".c") for f in files)
+
+    def test_find_exec_grep(self, world):
+        status, out, _ = run(
+            world,
+            ["find", "/usr/src", "-name", "*.c", "-exec", "grep", "-H", "mac_", "{}", ";"],
+        )
+        assert status == 0
+        assert "mac_check_" in out
+
+    def test_diff_identical(self, world):
+        assert run(world, ["diff", "/etc/passwd", "/etc/passwd"])[0] == 0
+
+    def test_diff_different(self, world):
+        status, out, _ = run(world, ["diff", "/etc/passwd", "/etc/locale.conf"])
+        assert status == 1 and out
+
+    def test_wc(self, world):
+        _, out, _ = run(world, ["wc", "/etc/locale.conf"])
+        assert out.split()[0] == "1"
+
+
+class TestArchive:
+    def test_tar_roundtrip(self, world):
+        run(world, ["mkdir", "-p", "/tmp/tree/sub"])
+        run(world, ["touch", "/tmp/tree/sub/file"])
+        assert run(world, ["tar", "cf", "/tmp/tree.tar", "/tmp/tree"], cwd="/tmp")[0] == 0
+        run(world, ["mkdir", "/tmp/out"])
+        assert run(world, ["tar", "xf", "/tmp/tree.tar", "-C", "/tmp/out"])[0] == 0
+        assert run(world, ["ls", "/tmp/out/tree/sub"])[1].strip() == "file"
+
+    def test_gzip_roundtrip(self, world):
+        launcher = world.spawn_process("root", "/")
+        sys = world.syscalls(launcher)
+        sys.write_whole("/tmp/g.txt", b"payload")
+        assert run(world, ["gzip", "/tmp/g.txt"])[0] == 0
+        assert run(world, ["gzip", "-d", "/tmp/g.txt.gz"])[0] == 0
+        assert sys.read_whole("/tmp/g.txt") == b"payload"
+
+
+class TestBuildTools:
+    def test_gmake_runs_rules(self, world):
+        launcher = world.spawn_process("root", "/")
+        sys = world.syscalls(launcher)
+        run(world, ["mkdir", "/tmp/proj"])
+        sys.write_whole(
+            "/tmp/proj/Makefile",
+            b"OUT = /tmp/proj/out.txt\nall: prep\n\techo done\nprep:\n\ttouch $(OUT)\n",
+        )
+        status, out, err = run(world, ["gmake", "-C", "/tmp/proj"])
+        assert status == 0, err
+        sys.stat("/tmp/proj/out.txt")
+
+    def test_cc_compiles(self, world):
+        launcher = world.spawn_process("root", "/")
+        sys = world.syscalls(launcher)
+        sys.write_whole("/tmp/hello.c", b'#include <stdio.h>\nint main(){return 0;}\n')
+        status, _, err = run(world, ["cc", "-o", "/tmp/hello", "/tmp/hello.c"])
+        assert status == 0, err
+        # The produced binary is executable:
+        assert run(world, ["/tmp/hello"])[0] == 0
+
+    def test_ocaml_toolchain(self, world):
+        launcher = world.spawn_process("root", "/")
+        sys = world.syscalls(launcher)
+        sys.write_whole("/tmp/prog.ml", b"print hello-from-ocaml\n")
+        assert run(world, ["ocamlc", "-o", "/tmp/prog.byte", "/tmp/prog.ml"])[0] == 0
+        status, out, _ = run(world, ["ocamlrun", "/tmp/prog.byte"])
+        assert status == 0 and out == "hello-from-ocaml\n"
+
+    def test_ocamlrun_solve(self, world):
+        launcher = world.spawn_process("root", "/")
+        sys = world.syscalls(launcher)
+        sys.write_whole("/tmp/solver.ml", b"solve\n")
+        run(world, ["ocamlc", "-o", "/tmp/solver.byte", "/tmp/solver.ml"])
+        status, out, _ = run(world, ["ocamlrun", "/tmp/solver.byte"], stdin=b"1 2 3\n10 20\n")
+        assert status == 0 and out == "6\n30\n"
+
+    def test_ocamlyacc_needs_tmp(self, world):
+        launcher = world.spawn_process("root", "/")
+        sys = world.syscalls(launcher)
+        sys.write_whole("/tmp/parser.mly", b"rules\n")
+        assert run(world, ["ocamlyacc", "/tmp/parser.mly"])[0] == 0
+        assert b"generated" in sys.read_whole("/tmp/parser.ml")
+
+
+class TestMisc:
+    def test_jpeginfo_ok(self, world):
+        status, out, _ = run(world, ["jpeginfo", "-i", "/home/alice/Documents/dog.jpg"])
+        assert status == 0 and "OK" in out
+
+    def test_jpeginfo_not_jpeg(self, world):
+        status, out, _ = run(world, ["jpeginfo", "/home/alice/Documents/notes.txt"])
+        assert status == 1 and "not a JPEG" in out
+
+    def test_ldd_prints_needed(self, world):
+        status, out, _ = run(world, ["ldd", "/usr/local/bin/curl"])
+        assert status == 0
+        assert "libcurl.so.4" in out and "libc.so.7" in out
+
+
+class TestNetTools:
+    def test_curl_downloads_from_mirror(self):
+        kernel = build_world()
+        blob = add_emacs_mirror(kernel)
+        status, _, err = run(
+            kernel,
+            ["curl", "-o", "/tmp/emacs.tar.gz", "http://ftp.gnu.org/gnu/emacs/emacs-24.3.tar.gz"],
+        )
+        assert status == 0, err
+        sys = kernel.syscalls(kernel.spawn_process("root", "/"))
+        assert sys.read_whole("/tmp/emacs.tar.gz") == blob
+
+    def test_curl_connection_refused(self, world):
+        status, _, err = run(world, ["curl", "http://nonexistent.example/"])
+        assert status == 7 and "ECONNREFUSED" in err
+
+    def test_httpd_serves_queued_requests(self):
+        kernel = build_world()
+        paths = add_web_content(kernel, file_kb=4, small_files=2)
+        clients = []
+
+        def flood(listener):
+            from repro.kernel.sockets import AddressFamily, SocketType
+
+            driver = kernel.spawn_process("root", "/")
+            dsys = kernel.syscalls(driver)
+            for i in range(3):
+                fd = dsys.socket(AddressFamily.AF_INET, SocketType.SOCK_STREAM)
+                dsys.connect(fd, ("0.0.0.0", 8080))
+                dsys.send(fd, b"GET /page0.html\n")
+                clients.append((dsys, fd))
+
+        kernel.network.register_listen_hook(("0.0.0.0", 8080), flood)
+        status, out, err = run(kernel, ["httpd", "-f", "/etc/apache/httpd.conf"], user="root")
+        assert status == 0, err
+        assert "served 3 request(s)" in out
+        for dsys, fd in clients:
+            response = dsys.recv(fd, 1 << 16)
+            assert response.startswith(b"HTTP/1.0 200 OK")
+            assert b"page 0" in response
+        # The access log recorded each request:
+        sys = kernel.syscalls(kernel.spawn_process("root", "/"))
+        log = sys.read_whole(paths["log"]).decode()
+        assert log.count("GET /page0.html 200") == 3
+
+
+class TestGradeSh:
+    def test_grades_all_students(self):
+        kernel = build_world()
+        paths = add_grading_fixture(kernel, students=4, tests=3, malicious_reader=False,
+                                    malicious_writer=False)
+        status, _, err = run(
+            kernel,
+            ["grade.sh", paths["submissions"], paths["tests"], paths["working"], paths["grades"]],
+            user="tester",
+            cwd="/home/tester",
+        )
+        assert status == 0, err
+        sys = kernel.syscalls(kernel.spawn_process("tester", "/home/tester"))
+        for i in range(4):
+            grade = sys.read_whole(f"{paths['grades']}/student{i:02d}").decode()
+            assert grade.endswith("3/3\n"), grade
+
+    def test_malicious_reader_scores_but_unconfined_leaks(self):
+        """Outside any sandbox, the malicious submission CAN read another
+        student's file — the baseline has no fine-grained isolation.
+        (The case-study tests show SHILL stopping this.)"""
+        kernel = build_world()
+        paths = add_grading_fixture(kernel, students=3, tests=2)
+        status, _, _ = run(
+            kernel,
+            ["grade.sh", paths["submissions"], paths["tests"], paths["working"], paths["grades"]],
+            user="tester",
+            cwd="/home/tester",
+        )
+        assert status == 0
+        sys = kernel.syscalls(kernel.spawn_process("tester", "/home/tester"))
+        # student00's test output contains the stolen submission text:
+        out0 = sys.read_whole(f"{paths['working']}/student00/test0.out").decode()
+        assert "solve" in out0  # the leaked main.ml of the last student

@@ -1,0 +1,166 @@
+"""Tests for the simulated /bin/sh and shebang execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.world import build_world
+
+from tests.programs.test_programs import run
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world()
+
+
+def sh(world, script: str, *args: str, stdin: bytes = b""):
+    sys = world.syscalls(world.spawn_process("root", "/"))
+    sys.write_whole("/tmp/script.sh", ("#!/bin/sh\n" + script).encode(), mode=0o755)
+    return run(world, ["/tmp/script.sh", *args], stdin=stdin)
+
+
+class TestBasics:
+    def test_echo(self, world):
+        status, out, _ = sh(world, "echo hello world\n")
+        assert status == 0 and out == "hello world\n"
+
+    def test_variables(self, world):
+        status, out, _ = sh(world, "X=abc\necho $X ${X}!\n")
+        assert status == 0 and out == "abc abc!\n"
+
+    def test_positional_parameters(self, world):
+        status, out, _ = sh(world, "echo $1-$2 count=$#\n", "a", "b")
+        assert status == 0 and out == "a-b count=2\n"
+
+    def test_exit_status_and_dollar_question(self, world):
+        status, out, _ = sh(world, "grep nomatch /etc/passwd\necho st=$?\n")
+        assert status == 0 and out == "st=1\n"
+
+    def test_exit_builtin(self, world):
+        status, _, _ = sh(world, "exit 7\necho never\n")
+        assert status == 7
+
+    def test_command_substitution(self, world):
+        status, out, _ = sh(world, "B=$(basename /a/b/c.txt)\necho got $B\n")
+        assert status == 0 and out == "got c.txt\n"
+
+    def test_expr_arithmetic(self, world):
+        status, out, _ = sh(world, "N=1\nN=$(expr $N + 5)\necho $N\n")
+        assert status == 0 and out == "6\n"
+
+    def test_semicolons(self, world):
+        status, out, _ = sh(world, "echo one; echo two\n")
+        assert status == 0 and out == "one\ntwo\n"
+
+    def test_missing_command(self, world):
+        status, _, err = sh(world, "definitely-not-a-command\n")
+        assert status == 127 and "ENOENT" in err
+
+    def test_dash_c(self, world):
+        status, out, _ = run(world, ["sh", "-c", "echo inline"])
+        assert status == 0 and out == "inline\n"
+
+
+class TestControlFlow:
+    def test_if_then_else(self, world):
+        script = (
+            "if grep root /etc/passwd > /dev/null\n"
+            "then\n  echo found\nelse\n  echo missing\nfi\n"
+        )
+        assert sh(world, script)[1] == "found\n"
+        script2 = script.replace("grep root", "grep zebra")
+        assert sh(world, script2)[1] == "missing\n"
+
+    def test_for_loop(self, world):
+        status, out, _ = sh(world, "for x in a b c\ndo\n  echo item $x\ndone\n")
+        assert status == 0 and out == "item a\nitem b\nitem c\n"
+
+    def test_for_with_glob(self, world):
+        sys = world.syscalls(world.spawn_process("root", "/"))
+        run(world, ["mkdir", "-p", "/tmp/gl"])
+        for name in ("x1.in", "x2.in", "skip.txt"):
+            sys.write_whole(f"/tmp/gl/{name}", b"")
+        status, out, _ = sh(world, "for f in /tmp/gl/*.in\ndo\n  echo $f\ndone\n")
+        assert status == 0 and out == "/tmp/gl/x1.in\n/tmp/gl/x2.in\n"
+
+    def test_nested_for_if(self, world):
+        script = (
+            "for x in 1 2 3\n"
+            "do\n"
+            "  if expr $x - 2 > /dev/null\n"
+            "  then\n    echo ne $x\n"
+            "  fi\n"
+            "done\n"
+        )
+        status, out, _ = sh(world, script)
+        # expr prints the result; status 1 when result == 0 (x == 2).
+        assert status == 0 and out == "ne 1\nne 3\n"
+
+
+class TestPipelines:
+    def test_two_stage_pipeline(self, world):
+        status, out, _ = sh(world, "cat /etc/passwd | grep alice\n")
+        assert status == 0 and out == "alice:1001:1001\n"
+
+    def test_three_stage_pipeline(self, world):
+        status, out, _ = sh(world, "cat /etc/passwd | grep 100 | wc\n")
+        assert status == 0 and out.split()[0] == "2"  # alice + tester
+
+    def test_pipeline_status_is_last_stage(self, world):
+        status, _, _ = sh(world, "cat /etc/passwd | grep nomatch\necho $?\n")
+        assert status == 0  # the script itself
+        _, out, _ = sh(world, "cat /etc/passwd | grep nomatch; echo st=$?\n")
+        assert "st=1" in out
+
+    def test_pipeline_with_redirect(self, world):
+        sys = world.syscalls(world.spawn_process("root", "/"))
+        sh(world, "cat /etc/passwd | grep root > /tmp/piped.txt\n")
+        assert sys.read_whole("/tmp/piped.txt") == b"root:0:0\n"
+
+
+class TestRedirections:
+    def test_output_redirect(self, world):
+        sys = world.syscalls(world.spawn_process("root", "/"))
+        sh(world, "echo payload > /tmp/redir.txt\n")
+        assert sys.read_whole("/tmp/redir.txt") == b"payload\n"
+
+    def test_append_redirect(self, world):
+        sys = world.syscalls(world.spawn_process("root", "/"))
+        sh(world, "echo one > /tmp/app.txt\necho two >> /tmp/app.txt\n")
+        assert sys.read_whole("/tmp/app.txt") == b"one\ntwo\n"
+
+    def test_input_redirect(self, world):
+        sys = world.syscalls(world.spawn_process("root", "/"))
+        sys.write_whole("/tmp/in.txt", b"from file")
+        status, out, _ = sh(world, "cat < /tmp/in.txt\n")
+        assert status == 0 and out == "from file"
+
+    def test_stderr_redirect(self, world):
+        sys = world.syscalls(world.spawn_process("root", "/"))
+        sh(world, "cat /no/such 2> /tmp/errlog.txt\n")
+        assert b"ENOENT" in sys.read_whole("/tmp/errlog.txt")
+
+    def test_dev_null(self, world):
+        status, out, _ = sh(world, "cat /etc/passwd > /dev/null\necho quiet\n")
+        assert status == 0 and out == "quiet\n"
+
+
+class TestShebang:
+    def test_script_without_exec_bit_refused(self, world):
+        sys = world.syscalls(world.spawn_process("root", "/"))
+        sys.write_whole("/tmp/noexec.sh", b"#!/bin/sh\necho hi\n", mode=0o644)
+        status, _, _ = run(world, ["/tmp/noexec.sh"], user="alice")
+        assert status == 126
+
+    def test_unknown_interpreter(self, world):
+        sys = world.syscalls(world.spawn_process("root", "/"))
+        sys.write_whole("/tmp/bad.sh", b"#!/bin/nosuch\n", mode=0o755)
+        status, _, err = run(world, ["/tmp/bad.sh"])
+        assert status == 127 and "ENOENT" in err
+
+    def test_grade_sh_script_exists_and_runs(self, world):
+        """The world ships the grading task as a real shell script."""
+        sys = world.syscalls(world.spawn_process("root", "/"))
+        data = sys.read_whole("/usr/local/bin/grade-sh")
+        assert data.startswith(b"#!/bin/sh")

@@ -1,0 +1,67 @@
+"""Sandbox test helpers: build sessions over the shared kernel fixture."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.sandbox.privileges import PrivSet, SocketPerms
+
+
+class SandboxBuilder:
+    """Fluent helper: grant privileges by path, then enter the sandbox."""
+
+    def __init__(self, kernel: Kernel, user: str = "alice", cwd: str = "/home/alice",
+                 debug: bool = False):
+        self.kernel = kernel
+        self.policy = kernel.install_shill_module()
+        self.launcher = kernel.spawn_process(user, cwd)
+        self.proc = kernel.procs.fork(self.launcher)
+        self.session = self.policy.sessions.shill_init(self.proc, debug=debug)
+        self.sys = kernel.syscalls(self.proc)
+
+    def grant_chain(self, path: str) -> "SandboxBuilder":
+        """Grant bare +lookup on every strict ancestor of ``path`` so that
+        absolute-path resolution can reach it — the same chain Figure 8
+        requires and that native wallets package for executables."""
+        from repro.sandbox.privileges import Priv
+
+        lookup_only = PrivSet.of(Priv.LOOKUP).with_modifier(Priv.LOOKUP, ())
+        node = self.kernel.vfs.root
+        self.policy.sessions.grant(self.session, node, lookup_only)
+        for comp in [p for p in path.split("/") if p][:-1]:
+            node = self.kernel.vfs.lookup(node, comp)
+            self.policy.sessions.grant(self.session, node, lookup_only)
+        return self
+
+    def grant_path(self, path: str, privs: PrivSet) -> "SandboxBuilder":
+        launcher_sys = self.kernel.syscalls(self.launcher)
+        # follow=False so a grant on a symlink targets the link itself.
+        _, _, vp = launcher_sys._resolve(path, follow=False)
+        assert vp is not None, path
+        self.policy.sessions.grant(self.session, vp, privs)
+        return self
+
+    def grant_obj(self, obj, privs: PrivSet) -> "SandboxBuilder":
+        self.policy.sessions.grant(self.session, obj, privs)
+        return self
+
+    def grant_pipe_factory(self) -> "SandboxBuilder":
+        self.policy.sessions.grant_pipe_factory(self.session)
+        return self
+
+    def grant_socket_factory(self, perms: SocketPerms | None = None) -> "SandboxBuilder":
+        self.policy.sessions.grant_socket_factory(self.session, perms or SocketPerms.full())
+        return self
+
+    def enter(self) -> "SandboxBuilder":
+        self.sys.shill_enter()
+        return self
+
+
+@pytest.fixture
+def sandbox(kernel):
+    def make(user: str = "alice", cwd: str = "/home/alice", debug: bool = False) -> SandboxBuilder:
+        return SandboxBuilder(kernel, user, cwd, debug=debug)
+
+    return make

@@ -1,0 +1,98 @@
+"""Section 3.2.3's documented limitations, reproduced deliberately."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SysError
+from repro.kernel import O_RDONLY, O_WRONLY, errno_
+from repro.kernel.devices import TtyDevice
+from repro.kernel.fdesc import OpenFile
+from repro.kernel.vfs import Vnode, VType
+from repro.sandbox.privileges import Priv, PrivSet
+
+
+class TestCharDeviceBypass:
+    """"The MAC framework does not interpose on read or write operations
+    on character devices.  Thus ... sandboxed processes can bypass these
+    restrictions if one of these capabilities abstracts a pseudo-terminal
+    or other device."
+    """
+
+    def _tty_fd(self, sandbox, writable=True):
+        tty = Vnode(VType.VCHR, 0o666, 0, 0)
+        tty.device = TtyDevice(input_data=b"secret input")
+        sb = sandbox().enter()
+        flags = O_WRONLY if writable else O_RDONLY
+        sb.proc.fdtable.install(9, OpenFile(tty, flags))
+        return sb, tty
+
+    def test_sandboxed_write_to_chardev_not_interposed(self, sandbox):
+        sb, tty = self._tty_fd(sandbox)
+        # No privileges at all were granted, yet the write goes through:
+        assert sb.sys.write(9, b"leaked") == 6
+        assert tty.device.text == "leaked"
+
+    def test_sandboxed_read_from_chardev_not_interposed(self, sandbox):
+        sb, tty = self._tty_fd(sandbox, writable=False)
+        assert sb.sys.read(9, 6) == b"secret"
+
+    def test_regular_file_write_is_interposed(self, sandbox, kernel):
+        """Contrast: the same session, writing to a *regular* file vnode,
+        is stopped — the bypass is specific to character devices."""
+        sb = sandbox().enter()
+        _, _, vp = kernel.syscalls(kernel.spawn_process("root", "/"))._resolve(
+            "/home/alice/dog.jpg"
+        )
+        sb.proc.fdtable.install(8, OpenFile(vp, O_WRONLY))
+        with pytest.raises(SysError) as exc:
+            sb.sys.write(8, b"denied")
+        assert exc.value.errno == errno_.EACCES
+
+    def test_mitigation_language_level_still_enforced(self, kernel):
+        """The language-level capability for stdout DOES enforce its
+        privileges — the bypass exists only below, in sandboxes."""
+        from repro.errors import ContractViolation
+        from repro.lang.runner import ShillRuntime
+
+        rt = ShillRuntime(kernel, user="alice", cwd="/home/alice")
+        stdout_cap = rt.stdout_cap()
+        restricted = stdout_cap.attenuated(PrivSet.of(Priv.STAT), blame="script")
+        with pytest.raises(ContractViolation):
+            restricted.write(b"x")
+
+
+class TestWriteAppendGranularity:
+    """"the MAC framework exposes a single entry point for operations
+    that write to filesystem objects, so we cannot distinguish write and
+    append operations."
+    """
+
+    def test_append_only_file_grant_insufficient_in_sandbox(self, sandbox):
+        """+append alone cannot authorize an append inside a sandbox (both
+        +write and +append are required) — the conservative rule."""
+        sb = sandbox()
+        sb.grant_chain("/home/alice")
+        sb.grant_path("/home/alice", PrivSet.of(Priv.LOOKUP))
+        sb.grant_path("/home/alice/dog.jpg", PrivSet.of(Priv.APPEND))
+        sb.enter()
+        from repro.kernel import O_APPEND
+
+        with pytest.raises(SysError) as exc:
+            sb.sys.open("/home/alice/dog.jpg", O_WRONLY | O_APPEND)
+        assert exc.value.errno == errno_.EACCES
+
+    def test_append_only_enforced_at_language_level(self, kernel):
+        """"in SHILL scripts, privileges can be enforced at fine
+        granularity, since capability safety in scripts relies on language
+        abstractions, not on the MAC framework." — +append without +write
+        allows append and rejects write."""
+        from repro.capability.caps import FsCap
+        from repro.errors import ContractViolation
+
+        sys = kernel.syscalls(kernel.spawn_process("alice", "/home/alice"))
+        _, _, vp = sys._resolve("/home/alice/dog.jpg")
+        cap = FsCap(sys, vp, PrivSet.of(Priv.APPEND), "/home/alice/dog.jpg")
+        cap.append(b"+ok")
+        with pytest.raises(ContractViolation):
+            cap.write(b"rewrite")

@@ -1,0 +1,182 @@
+"""Coverage for the remaining MAC hooks: symlinks, links, renames,
+metadata, chdir, readdir-by-fd — each checked denied-then-granted."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SysError
+from repro.kernel import O_RDONLY, errno_
+from repro.sandbox.privileges import Priv, PrivSet
+
+
+def expect_eacces(fn, *args):
+    with pytest.raises(SysError) as exc:
+        fn(*args)
+    assert exc.value.errno == errno_.EACCES
+
+
+@pytest.fixture
+def tree(kernel, alice_sys):
+    alice_sys.mkdir("/tmp/w")
+    alice_sys.write_whole("/tmp/w/file.txt", b"data")
+    alice_sys.symlink("/tmp/w/file.txt", "/tmp/w/link")
+    alice_sys.mkdir("/tmp/w/sub")
+    return "/tmp/w"
+
+
+class TestSymlinkHooks:
+    def test_readlink_requires_read_symlink(self, sandbox, tree):
+        sb = sandbox()
+        sb.grant_chain(f"{tree}/x")
+        sb.grant_path(tree, PrivSet.of(Priv.LOOKUP))
+        sb.enter()
+        expect_eacces(sb.sys.readlink, f"{tree}/link")
+
+    def test_readlink_granted(self, sandbox, tree, kernel):
+        sb = sandbox()
+        sb.grant_chain(f"{tree}/x")
+        sb.grant_path(tree, PrivSet.of(Priv.LOOKUP))
+        sb.grant_path(f"{tree}/link", PrivSet.of(Priv.READ_SYMLINK))
+        sb.enter()
+        assert sb.sys.readlink(f"{tree}/link") == "/tmp/w/file.txt"
+
+    def test_following_symlink_requires_read_symlink_on_link(self, sandbox, tree):
+        """Resolution *through* a symlink invokes the readlink hook."""
+        sb = sandbox(user="alice", cwd="/home/alice")
+        sb.grant_chain(f"{tree}/x")
+        sb.grant_path(tree, PrivSet.of(Priv.LOOKUP))
+        sb.grant_path(f"{tree}/file.txt", PrivSet.of(Priv.READ))
+        sb.enter()
+        expect_eacces(sb.sys.open, f"{tree}/link", O_RDONLY)
+
+    def test_create_symlink_requires_priv(self, sandbox, tree):
+        sb = sandbox()
+        sb.grant_chain(f"{tree}/x")
+        sb.grant_path(tree, PrivSet.of(Priv.LOOKUP, Priv.CREATE_FILE))
+        sb.enter()
+        expect_eacces(sb.sys.symlink, "/anywhere", f"{tree}/newlink")
+
+    def test_create_symlink_granted(self, sandbox, tree):
+        sb = sandbox()
+        sb.grant_chain(f"{tree}/x")
+        sb.grant_path(tree, PrivSet.of(Priv.LOOKUP, Priv.CREATE_SYMLINK))
+        sb.enter()
+        sb.sys.symlink("/anywhere", f"{tree}/newlink")
+
+
+class TestLinkAndFdSyscalls:
+    def test_flinkat_requires_link_and_create(self, sandbox, tree):
+        sb = sandbox()
+        sb.grant_chain(f"{tree}/x")
+        sb.grant_path(tree, PrivSet.of(Priv.LOOKUP, Priv.CREATE_FILE, Priv.READ))
+        sb.grant_path(f"{tree}/file.txt", PrivSet.of(Priv.READ, Priv.STAT))
+        sb.enter()
+        ffd = sb.sys.open(f"{tree}/file.txt", O_RDONLY)
+        dfd = sb.sys.open(tree, O_RDONLY)
+        expect_eacces(sb.sys.flinkat, ffd, dfd, "alias")
+
+    def test_flinkat_granted(self, sandbox, tree):
+        sb = sandbox()
+        sb.grant_chain(f"{tree}/x")
+        sb.grant_path(tree, PrivSet.of(Priv.LOOKUP, Priv.CREATE_FILE, Priv.READ))
+        sb.grant_path(f"{tree}/file.txt", PrivSet.of(Priv.READ, Priv.LINK, Priv.STAT))
+        sb.enter()
+        ffd = sb.sys.open(f"{tree}/file.txt", O_RDONLY)
+        dfd = sb.sys.open(tree, O_RDONLY)
+        sb.sys.flinkat(ffd, dfd, "alias")
+        assert sb.sys.read_whole(f"{tree}/alias") == b"data"
+
+    def test_getdents_requires_contents(self, sandbox, tree):
+        sb = sandbox()
+        sb.grant_chain(f"{tree}/x")
+        sb.grant_path(tree, PrivSet.of(Priv.LOOKUP, Priv.READ))
+        sb.enter()
+        fd = sb.sys.open(tree, O_RDONLY)
+        expect_eacces(sb.sys.getdents, fd)
+
+    def test_funlinkat_requires_unlink_on_target(self, sandbox, tree):
+        sb = sandbox()
+        sb.grant_chain(f"{tree}/x")
+        sb.grant_path(tree, PrivSet.of(Priv.LOOKUP, Priv.READ))
+        sb.grant_path(f"{tree}/file.txt", PrivSet.of(Priv.READ))
+        sb.enter()
+        ffd = sb.sys.open(f"{tree}/file.txt", O_RDONLY)
+        dfd = sb.sys.open(tree, O_RDONLY)
+        expect_eacces(sb.sys.funlinkat, dfd, "file.txt", ffd)
+
+
+class TestMetadataHooks:
+    @pytest.mark.parametrize(
+        "op,priv",
+        [
+            ("chmod", Priv.CHMOD),
+            ("utimes", Priv.UTIMES),
+        ],
+    )
+    def test_metadata_ops(self, sandbox, tree, op, priv):
+        target = f"{tree}/file.txt"
+        sb = sandbox()
+        sb.grant_chain(f"{tree}/x")
+        sb.grant_path(tree, PrivSet.of(Priv.LOOKUP))
+        sb.grant_path(target, PrivSet.of(Priv.READ))
+        sb.enter()
+        if op == "chmod":
+            expect_eacces(sb.sys.chmod, target, 0o600)
+        else:
+            expect_eacces(sb.sys.utimes, target, 42)
+
+        sb2 = sandbox()
+        sb2.grant_chain(f"{tree}/x")
+        sb2.grant_path(tree, PrivSet.of(Priv.LOOKUP))
+        sb2.grant_path(target, PrivSet.of(priv))
+        sb2.enter()
+        if op == "chmod":
+            sb2.sys.chmod(target, 0o600)
+        else:
+            sb2.sys.utimes(target, 42)
+
+    def test_truncate_requires_priv(self, sandbox, tree):
+        target = f"{tree}/file.txt"
+        sb = sandbox()
+        sb.grant_chain(f"{tree}/x")
+        sb.grant_path(tree, PrivSet.of(Priv.LOOKUP))
+        sb.grant_path(target, PrivSet.of(Priv.READ, Priv.WRITE, Priv.APPEND))
+        sb.enter()
+        from repro.kernel import O_WRONLY
+
+        fd = sb.sys.open(target, O_WRONLY)
+        expect_eacces(sb.sys.ftruncate, fd, 0)
+
+    def test_chdir_requires_priv(self, sandbox, tree):
+        sb = sandbox()
+        sb.grant_chain(f"{tree}/x")
+        sb.grant_path(tree, PrivSet.of(Priv.LOOKUP))
+        sb.enter()
+        expect_eacces(sb.sys.chdir, tree)
+
+        sb2 = sandbox()
+        sb2.grant_chain(f"{tree}/x")
+        sb2.grant_path(tree, PrivSet.of(Priv.LOOKUP, Priv.CHDIR))
+        sb2.enter()
+        sb2.sys.chdir(tree)
+        assert sb2.sys.getcwd() == tree
+
+
+class TestRenameDirTarget:
+    def test_rename_dir_needs_create_dir_on_target(self, sandbox, tree, alice_sys):
+        sb = sandbox()
+        sb.grant_chain(f"{tree}/x")
+        sb.grant_path(tree, PrivSet.of(Priv.LOOKUP, Priv.CREATE_FILE))
+        sb.grant_path(f"{tree}/sub", PrivSet.of(Priv.RENAME))
+        sb.enter()
+        # target dir grant has +create-file but renaming a DIRECTORY
+        # needs +create-dir at the destination:
+        expect_eacces(sb.sys.rename, f"{tree}/sub", f"{tree}/sub2")
+
+        sb2 = sandbox()
+        sb2.grant_chain(f"{tree}/x")
+        sb2.grant_path(tree, PrivSet.of(Priv.LOOKUP, Priv.CREATE_DIR))
+        sb2.grant_path(f"{tree}/sub", PrivSet.of(Priv.RENAME))
+        sb2.enter()
+        sb2.sys.rename(f"{tree}/sub", f"{tree}/sub2")

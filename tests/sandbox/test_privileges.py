@@ -1,0 +1,177 @@
+"""Unit and property tests for privileges and privilege sets."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sandbox.privileges import (
+    ALL_PRIVS,
+    ALL_SOCK_PRIVS,
+    DERIVING_PRIVS,
+    ConnType,
+    Priv,
+    PrivSet,
+    SocketPerms,
+    SockPriv,
+    priv_from_name,
+    sock_priv_from_name,
+)
+
+
+class TestCounts:
+    def test_paper_counts(self):
+        """Section 3.1.1: 24 filesystem privileges and 7 socket privileges."""
+        assert len(ALL_PRIVS) == 24
+        assert len(ALL_SOCK_PRIVS) == 7
+
+    def test_deriving_privs_subset(self):
+        assert DERIVING_PRIVS < ALL_PRIVS
+
+
+class TestParsing:
+    @pytest.mark.parametrize("name", ["read", "+read", "+create-file", "unlink-dir"])
+    def test_roundtrip(self, name):
+        priv = priv_from_name(name)
+        assert priv_from_name(f"+{priv.value}") is priv
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            priv_from_name("+frobnicate")
+        with pytest.raises(ValueError):
+            sock_priv_from_name("+frobnicate")
+
+
+class TestPrivSet:
+    def test_of_and_has(self):
+        ps = PrivSet.of(Priv.READ, Priv.STAT)
+        assert ps.has(Priv.READ) and ps.has(Priv.STAT) and not ps.has(Priv.WRITE)
+
+    def test_full_has_everything(self):
+        full = PrivSet.full()
+        assert all(full.has(p) for p in Priv)
+
+    def test_modifier_only_on_deriving(self):
+        with pytest.raises(ValueError):
+            PrivSet({Priv.READ: frozenset({Priv.STAT})})
+
+    def test_with_modifier(self):
+        ps = PrivSet.of(Priv.LOOKUP).with_modifier(Priv.LOOKUP, {Priv.STAT, Priv.PATH})
+        assert ps.effective_modifier(Priv.LOOKUP) == {Priv.STAT, Priv.PATH}
+
+    def test_inherit_modifier_resolves_to_own_privs(self):
+        ps = PrivSet.of(Priv.LOOKUP, Priv.READ)
+        assert ps.effective_modifier(Priv.LOOKUP) == {Priv.LOOKUP, Priv.READ}
+
+    def test_derived_set_inherit_is_whole_set(self):
+        """'the derived capability has the same privileges as its parent'"""
+        ps = PrivSet.of(Priv.LOOKUP, Priv.READ, Priv.CONTENTS)
+        assert ps.derived_set(Priv.LOOKUP) == ps
+
+    def test_derived_set_explicit_modifier(self):
+        ps = PrivSet.of(Priv.READ).adding(Priv.LOOKUP).with_modifier(
+            Priv.LOOKUP, {Priv.STAT, Priv.PATH}
+        )
+        derived = ps.derived_set(Priv.LOOKUP)
+        assert derived.privs() == {Priv.STAT, Priv.PATH}
+
+    def test_subset_of_plain(self):
+        small = PrivSet.of(Priv.READ)
+        big = PrivSet.of(Priv.READ, Priv.WRITE)
+        assert small.subset_of(big)
+        assert not big.subset_of(small)
+
+    def test_subset_of_with_modifiers(self):
+        narrow = PrivSet.of(Priv.LOOKUP).with_modifier(Priv.LOOKUP, {Priv.STAT})
+        wide = PrivSet.of(Priv.LOOKUP).with_modifier(Priv.LOOKUP, {Priv.STAT, Priv.READ})
+        assert narrow.subset_of(wide)
+        assert not wide.subset_of(narrow)
+
+    def test_restricted_to_intersects(self):
+        cap = PrivSet.of(Priv.READ, Priv.WRITE, Priv.STAT)
+        contract = PrivSet.of(Priv.READ, Priv.STAT, Priv.PATH)
+        assert cap.restricted_to(contract).privs() == {Priv.READ, Priv.STAT}
+
+    def test_restricted_to_narrows_modifiers(self):
+        cap = PrivSet.of(Priv.LOOKUP)  # inherit: effective {lookup}
+        contract = PrivSet.of(Priv.LOOKUP).with_modifier(Priv.LOOKUP, {Priv.STAT, Priv.LOOKUP})
+        restricted = cap.restricted_to(contract)
+        assert restricted.effective_modifier(Priv.LOOKUP) == {Priv.LOOKUP}
+
+    def test_removing(self):
+        ps = PrivSet.of(Priv.READ, Priv.WRITE).removing(Priv.WRITE)
+        assert ps.privs() == {Priv.READ}
+
+    def test_repr_mentions_modifiers(self):
+        ps = PrivSet.of(Priv.LOOKUP).with_modifier(Priv.LOOKUP, {Priv.STAT})
+        assert "with" in repr(ps) and "+lookup" in repr(ps)
+
+
+# -- property-based tests ---------------------------------------------------------
+
+privs_st = st.sets(st.sampled_from(list(Priv)), max_size=8)
+
+
+def _privset(privs: set[Priv]) -> PrivSet:
+    return PrivSet.of(*privs)
+
+
+@given(a=privs_st, b=privs_st)
+def test_subset_matches_set_inclusion_for_plain_sets(a, b):
+    assert _privset(a).subset_of(_privset(b)) == (a <= b)
+
+
+@given(a=privs_st)
+def test_subset_reflexive(a):
+    assert _privset(a).subset_of(_privset(a))
+
+
+@given(a=privs_st, b=privs_st, c=privs_st)
+def test_subset_transitive(a, b, c):
+    pa, pb, pc = _privset(a), _privset(b), _privset(c)
+    if pa.subset_of(pb) and pb.subset_of(pc):
+        assert pa.subset_of(pc)
+
+
+@given(a=privs_st, b=privs_st)
+def test_restriction_attenuates(a, b):
+    """Contract restriction never adds privileges (attenuation monotonicity)."""
+    cap, contract = _privset(a), _privset(b)
+    restricted = cap.restricted_to(contract)
+    assert restricted.subset_of(cap)
+    assert restricted.subset_of(contract)
+
+
+@given(a=privs_st)
+def test_restriction_idempotent(a):
+    ps = _privset(a)
+    assert ps.restricted_to(ps) == ps
+
+
+@given(privs=privs_st, deriving=st.sampled_from(sorted(DERIVING_PRIVS, key=lambda p: p.value)),
+       mods=privs_st)
+def test_derived_set_bounded_by_modifier(privs, deriving, mods):
+    """A derived capability holds exactly the modifier privileges."""
+    ps = PrivSet.of(*privs).adding(deriving).with_modifier(deriving, mods)
+    assert ps.derived_set(deriving).privs() == frozenset(mods)
+
+
+class TestSocketPerms:
+    def test_full(self):
+        assert SocketPerms.full().has(SockPriv.SEND)
+
+    def test_conn_type_refinement(self):
+        perms = SocketPerms({SockPriv.CREATE}, (ConnType(domain=2, stype=1),))
+        assert perms.allows_conn(2, 1)
+        assert not perms.allows_conn(1, 1)
+        assert not perms.allows_conn(2, 2)
+
+    def test_wildcard_conn(self):
+        perms = SocketPerms({SockPriv.CREATE})
+        assert perms.allows_conn(2, 1) and perms.allows_conn(1, 2)
+
+    def test_subset_of(self):
+        narrow = SocketPerms({SockPriv.CONNECT}, (ConnType(2, 1),))
+        wide = SocketPerms({SockPriv.CONNECT, SockPriv.SEND}, (ConnType(None, None),))
+        assert narrow.subset_of(wide)
+        assert not wide.subset_of(narrow)

@@ -1,0 +1,71 @@
+"""shill/io and shill/filesys standard-library scripts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.capability.caps import FsCap
+from repro.lang.values import SysErrorVal
+from repro.sandbox.privileges import PrivSet
+from repro.stdlib.filesys import exists, resolve, resolve_chain
+from repro.stdlib.io_ import _format, appendf, writef
+
+
+@pytest.fixture
+def root_cap(kernel):
+    sys = kernel.syscalls(kernel.spawn_process("alice", "/home/alice"))
+    return FsCap(sys, kernel.vfs.root, PrivSet.full(), "/")
+
+
+class TestFormat:
+    def test_display_directive(self):
+        assert _format("hello ~a!", ("world",)) == "hello world!"
+
+    def test_multiple_directives(self):
+        assert _format("~a + ~a = ~a", (1, 2, 3)) == "1 + 2 = 3"
+
+    def test_newline_and_tilde(self):
+        assert _format("a~nb~~c", ()) == "a\nb~c"
+
+    def test_too_few_args(self):
+        with pytest.raises(ValueError):
+            _format("~a ~a", ("only-one",))
+
+    def test_too_many_args(self):
+        with pytest.raises(ValueError):
+            _format("no directives", ("extra",))
+
+    def test_bool_displays_shill_style(self):
+        assert _format("~a", (True,)) == "true"
+
+
+class TestWritefAppendf:
+    def test_writef(self, root_cap):
+        cap = resolve(root_cap, "home/alice/dog.jpg")
+        writef(cap, "score: ~a~n", 42)
+        assert cap.read() == b"score: 42\n"
+
+    def test_appendf(self, root_cap):
+        cap = resolve(root_cap, "home/alice/dog.jpg")
+        writef(cap, "one~n")
+        appendf(cap, "two~n")
+        assert cap.read() == b"one\ntwo\n"
+
+
+class TestResolve:
+    def test_resolve_multi_component(self, root_cap):
+        cap = resolve(root_cap, "home/alice/dog.jpg")
+        assert isinstance(cap, FsCap) and cap.read() == b"JPEGDATA-DOG"
+
+    def test_resolve_missing_is_syserror_value(self, root_cap):
+        result = resolve(root_cap, "home/alice/nothing")
+        assert isinstance(result, SysErrorVal) and result.name == "ENOENT"
+
+    def test_resolve_chain_returns_every_hop(self, root_cap):
+        chain = resolve_chain(root_cap, "home/alice")
+        assert [c.try_path() for c in chain] == ["/", "/home", "/home/alice"]
+
+    def test_exists(self, root_cap):
+        home = resolve(root_cap, "home/alice")
+        assert exists(home, "dog.jpg")
+        assert not exists(home, "nope")

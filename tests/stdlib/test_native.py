@@ -1,0 +1,167 @@
+"""Native wallets and pkg_native — including the paper's two grading
+anecdotes (ocamlc's stdlib dir and ocamlyacc's /tmp)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.capability.caps import PipeFactoryCap
+from repro.errors import ShillRuntimeError
+from repro.lang.runner import ShillRuntime
+from repro.stdlib.native import (
+    DEFAULT_KNOWN_DEPS,
+    create_wallet,
+    make_pkg_native,
+    populate_native_wallet,
+)
+from repro.world import build_world
+
+
+@pytest.fixture
+def world():
+    return build_world()
+
+
+@pytest.fixture
+def rt(world):
+    return ShillRuntime(world, user="root", cwd="/root")
+
+
+def make_wallet(rt, deps=None):
+    wallet = create_wallet()
+    populate_native_wallet(
+        wallet,
+        rt.open_dir("/"),
+        "/bin:/usr/bin:/usr/local/bin",
+        "/lib:/usr/lib:/usr/local/lib",
+        PipeFactoryCap(rt.sys),
+        deps=deps,
+    )
+    return wallet
+
+
+class TestPopulate:
+    def test_path_dirs_resolved(self, rt):
+        wallet = make_wallet(rt)
+        paths = [cap.try_path() for cap in wallet.get("PATH")]
+        assert paths == ["/bin", "/usr/bin", "/usr/local/bin"]
+
+    def test_lib_dirs_attenuated_readonly(self, rt):
+        from repro.sandbox.privileges import Priv
+
+        wallet = make_wallet(rt)
+        for cap in wallet.get("LD_LIBRARY_PATH"):
+            assert cap.privs.has(Priv.READ) and not cap.privs.has(Priv.WRITE)
+
+    def test_prefixes_are_traversal_only(self, rt):
+        from repro.sandbox.privileges import Priv
+
+        wallet = make_wallet(rt)
+        for cap in wallet.get("prefixes"):
+            assert cap.privs.privs() == {Priv.LOOKUP}
+            assert cap.privs.effective_modifier(Priv.LOOKUP) == frozenset()
+
+    def test_rtld_packaged(self, rt):
+        wallet = make_wallet(rt)
+        (rtld,) = wallet.get("rtld")
+        assert rtld.try_path() == "/libexec/ld-elf.so.1"
+
+    def test_known_deps_resolved(self, rt):
+        wallet = make_wallet(rt)
+        deps = [cap.try_path() for cap in wallet.get("deps:ocamlc")]
+        assert deps == ["/usr/local/lib/ocaml"]
+
+    def test_custom_deps_extend_defaults(self, rt):
+        wallet = make_wallet(rt, deps={"mytool": ["etc/passwd"]})
+        assert [c.try_path() for c in wallet.get("deps:mytool")] == ["/etc/passwd"]
+        assert wallet.get("deps:ocamlc")  # defaults kept
+
+    def test_wallet_requires_dir_cap(self, rt):
+        with pytest.raises(ShillRuntimeError):
+            populate_native_wallet(create_wallet(), "not-a-cap", "/bin", "/lib")
+
+    def test_pipe_factory_stored(self, rt):
+        wallet = make_wallet(rt)
+        assert isinstance(wallet.get_one("pipe_factory"), PipeFactoryCap)
+
+
+class TestPkgNative:
+    def test_runs_executable(self, rt):
+        wallet = make_wallet(rt)
+        echo = make_pkg_native(rt)("echo", wallet)
+        read_cap, write_cap = PipeFactoryCap(rt.sys).create()
+        status = rt.call(echo, ["hello"], stdout=write_cap)
+        assert status == 0
+        assert read_cap.read() == b"hello\n"
+
+    def test_ldd_sandbox_counted(self, rt):
+        """pkg_native invokes ldd in a sandbox — the Download profile's
+        'one for pkg-native'."""
+        wallet = make_wallet(rt)
+        before = rt.profile["sandbox_count"]
+        make_pkg_native(rt)("cat", wallet)
+        assert rt.profile["sandbox_count"] == before + 1
+
+    def test_missing_executable(self, rt):
+        wallet = make_wallet(rt)
+        with pytest.raises(ShillRuntimeError) as exc:
+            make_pkg_native(rt)("no-such-prog", wallet)
+        assert "not found" in str(exc.value)
+
+    def test_result_contract_rejects_non_list(self, rt):
+        from repro.errors import ContractViolation
+
+        wallet = make_wallet(rt)
+        cat = make_pkg_native(rt)("cat", wallet)
+        with pytest.raises(ContractViolation):
+            rt.call(cat, "not-a-list")
+
+    def test_wrapper_needs_native_wallet(self, rt):
+        with pytest.raises(ShillRuntimeError):
+            make_pkg_native(rt)("cat", create_wallet(kind="ocaml"))
+
+
+class TestPaperAnecdotes:
+    """Section 4.1: "ocamlc reported that it was unable to read a file in
+    /usr/local/lib/ocaml ... Adding the directory to the wallet as a
+    dependency for OCaml executables fixed the issue but revealed
+    another: ocamlyacc could not write to /tmp."""
+
+    def _compile(self, rt, wallet, extras):
+        sys = rt.sys
+        sys.write_whole("/root/prog.ml", b"print hi\n")
+        ocamlc = make_pkg_native(rt)("ocamlc", wallet)
+        src = rt.open_file("/root/prog.ml")
+        out_dir = rt.open_dir("/root")
+        return rt.call(ocamlc, ["-o", "/root/prog.byte", src], extras=[out_dir] + extras)
+
+    def test_ocamlc_fails_without_stdlib_dep(self, rt):
+        wallet = make_wallet(rt)
+        # Sabotage: drop the ocaml dependency entries from the wallet.
+        wallet._entries.pop("deps:ocamlc", None)
+        status = self._compile(rt, wallet, [])
+        assert status != 0
+        denials = "\n".join(e.format() for e in rt.last_session.log.denials())
+        assert "ocaml" in denials
+
+    def test_ocamlc_succeeds_with_stdlib_dep(self, rt):
+        wallet = make_wallet(rt)
+        assert self._compile(rt, wallet, []) == 0
+
+    def test_ocamlyacc_fails_without_tmp(self, rt):
+        rt.sys.write_whole("/root/parser.mly", b"rules\n")
+        wallet = make_wallet(rt)
+        yacc = make_pkg_native(rt)("ocamlyacc", wallet)
+        src = rt.open_file("/root/parser.mly")
+        status = rt.call(yacc, [src], extras=[rt.open_dir("/root")])
+        assert status != 0  # scratch write to /tmp denied
+
+    def test_ocamlyacc_succeeds_with_tmp(self, rt):
+        rt.sys.write_whole("/root/parser.mly", b"rules\n")
+        wallet = make_wallet(rt)
+        yacc = make_pkg_native(rt)("ocamlyacc", wallet)
+        src = rt.open_file("/root/parser.mly")
+        tmp = rt.open_dir("/tmp")
+        status = rt.call(yacc, [src], extras=[rt.open_dir("/root"), tmp])
+        assert status == 0
+        assert b"generated" in rt.sys.read_whole("/root/parser.ml")

@@ -1,0 +1,91 @@
+"""Unit tests for the benchmark harness statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import Sample, format_row, measure, significant_vs_baseline
+
+
+class TestSample:
+    def test_mean(self):
+        s = Sample("x", [1.0, 2.0, 3.0])
+        assert s.mean == 2.0
+
+    def test_ci_zero_for_single_sample(self):
+        assert Sample("x", [1.0]).ci95 == 0.0
+
+    def test_ci_zero_for_constant_samples(self):
+        assert Sample("x", [2.0, 2.0, 2.0]).ci95 == pytest.approx(0.0)
+
+    def test_ci_positive_for_varying_samples(self):
+        assert Sample("x", [1.0, 2.0, 3.0, 4.0]).ci95 > 0
+
+    def test_ci_widens_with_spread(self):
+        tight = Sample("t", [1.0, 1.01, 0.99, 1.0])
+        wide = Sample("w", [0.5, 1.5, 0.7, 1.3])
+        assert wide.ci95 > tight.ci95
+
+    def test_ratio(self):
+        base = Sample("b", [2.0, 2.0])
+        other = Sample("o", [4.0, 4.0])
+        assert other.ratio_to(base) == 2.0
+
+
+class TestMeasure:
+    def test_collects_requested_runs(self):
+        calls = []
+
+        def make_task():
+            def task():
+                calls.append(1)
+
+            return task
+
+        sample = measure(make_task, runs=4, warmup=2, name="t")
+        assert len(sample.seconds) == 4
+        assert len(calls) == 6  # warmup runs execute too
+
+    def test_fresh_state_per_run(self):
+        built = []
+
+        def make_task():
+            built.append(1)
+            return lambda: None
+
+        measure(make_task, runs=3, warmup=1)
+        assert len(built) == 4
+
+
+class TestSignificance:
+    def test_clearly_different_distributions(self):
+        base = Sample("b", [1.0, 1.01, 0.99, 1.0, 1.02, 0.98])
+        other = Sample("o", [5.0, 5.01, 4.99, 5.0, 5.02, 4.98])
+        assert significant_vs_baseline(base, other)
+
+    def test_identical_samples_not_significant(self):
+        base = Sample("b", [1.0, 1.1, 0.9])
+        assert not significant_vs_baseline(base, Sample("o", [1.0, 1.1, 0.9]))
+
+    def test_bonferroni_raises_the_bar(self):
+        """A borderline difference significant alone can fail after
+        correcting for many comparisons."""
+        base = Sample("b", [1.00, 1.02, 0.98, 1.01, 0.99, 1.0, 1.01, 0.99])
+        other = Sample("o", [1.02, 1.04, 1.00, 1.03, 1.01, 1.02, 1.03, 1.01])
+        alone = significant_vs_baseline(base, other, comparisons=1)
+        corrected = significant_vs_baseline(base, other, comparisons=1000)
+        assert alone >= corrected  # correction can only reduce findings
+
+    def test_too_few_samples(self):
+        assert not significant_vs_baseline(Sample("b", [1.0]), Sample("o", [2.0]))
+
+
+class TestFormatRow:
+    def test_contains_all_configs_and_ratio(self):
+        cells = {
+            "baseline": Sample("baseline", [0.010, 0.011, 0.009]),
+            "sandboxed": Sample("sandboxed", [0.020, 0.021, 0.019]),
+        }
+        row = format_row("Bench", cells)
+        assert "Bench" in row and "baseline" in row and "sandboxed" in row
+        assert "2.0" in row  # the ratio

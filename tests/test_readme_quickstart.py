@@ -1,0 +1,18 @@
+"""The README's quickstart code block, executed verbatim as a test."""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+
+def test_readme_quickstart_block_runs(capsys):
+    readme = pathlib.Path(__file__).resolve().parent.parent / "README.md"
+    text = readme.read_text()
+    blocks = re.findall(r"```python\n(.*?)```", text, flags=re.S)
+    assert blocks, "README must contain a python quickstart block"
+    code = blocks[0]
+    namespace: dict = {}
+    exec(compile(code, "README.md", "exec"), namespace)  # noqa: S102
+    out = capsys.readouterr().out
+    assert "/home/alice/Documents/dog.jpg" in out

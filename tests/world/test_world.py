@@ -1,0 +1,122 @@
+"""World image and fixture tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.programs.archive import gzip_decompress, tar_extract_members
+from repro.world import (
+    add_emacs_mirror,
+    add_grading_fixture,
+    add_usr_src,
+    add_web_content,
+    build_world,
+    emacs_tarball,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world()
+
+
+class TestBaseImage:
+    def test_users_exist(self, world):
+        assert world.users.lookup("alice").uid == 1001
+        assert world.users.lookup("tester").uid == 1002
+
+    def test_binaries_installed_and_tagged(self, world):
+        sys = world.syscalls(world.spawn_process("root", "/"))
+        _, _, cat = sys._resolve("/bin/cat")
+        assert cat.program == "cat" and "libc.so.7" in cat.needed
+        assert cat.mode & 0o111
+
+    def test_every_install_location_resolves(self, world):
+        from repro.programs.registry import INSTALL_LOCATIONS
+
+        sys = world.syscalls(world.spawn_process("root", "/"))
+        for program, path in INSTALL_LOCATIONS.items():
+            _, _, vp = sys._resolve(path)
+            assert vp is not None and vp.program == program
+
+    def test_elf_header_matches_metadata(self, world):
+        from repro.programs.base import parse_elf
+
+        sys = world.syscalls(world.spawn_process("root", "/"))
+        data = sys.read_whole("/usr/local/bin/curl")
+        program, needed = parse_elf(data)
+        _, _, vp = sys._resolve("/usr/local/bin/curl")
+        assert program == vp.program and needed == vp.needed
+
+    def test_tmp_world_writable(self, world):
+        sys = world.syscalls(world.spawn_process("alice", "/home/alice"))
+        sys.write_whole("/tmp/alice-scratch", b"ok")
+
+    def test_shill_module_installed_by_default(self, world):
+        assert world.shill_installed
+
+    def test_baseline_world_without_module(self):
+        assert not build_world(install_shill=False).shill_installed
+
+    def test_libraries_present(self, world):
+        sys = world.syscalls(world.spawn_process("root", "/"))
+        assert sys.stat("/lib/libc.so.7").size > 0
+        assert sys.stat("/libexec/ld-elf.so.1").size > 0
+
+
+class TestFixtures:
+    def test_grading_fixture_layout(self):
+        kernel = build_world()
+        paths = add_grading_fixture(kernel, students=3, tests=2)
+        sys = kernel.syscalls(kernel.spawn_process("tester", "/home/tester"))
+        assert len(sys.contents(paths["submissions"])) == 3
+        assert len(sys.contents(paths["tests"])) == 4  # .in + .expected
+        assert sys.contents(paths["working"]) == []
+
+    def test_grading_malicious_flags(self):
+        kernel = build_world()
+        paths = add_grading_fixture(kernel, students=3, tests=1,
+                                    malicious_reader=True, malicious_writer=True)
+        sys = kernel.syscalls(kernel.spawn_process("tester", "/"))
+        s0 = sys.read_whole(f"{paths['submissions']}/student00/main.ml").decode()
+        s1 = sys.read_whole(f"{paths['submissions']}/student01/main.ml").decode()
+        assert "readfile" in s0 and "writefile" in s1
+
+    def test_usr_src_counts_accurate(self):
+        kernel = build_world()
+        counts = add_usr_src(kernel, subsystems=2, files_per_dir=10)
+        sys = kernel.syscalls(kernel.spawn_process("root", "/"))
+        total = c = 0
+        stack = ["/usr/src"]
+        mac = 0
+        while stack:
+            d = stack.pop()
+            for entry in sys.contents(d):
+                path = f"{d}/{entry}"
+                if sys.stat(path).is_dir:
+                    stack.append(path)
+                else:
+                    total += 1
+                    if path.endswith(".c"):
+                        c += 1
+                        if b"mac_" in sys.read_whole(path):
+                            mac += 1
+        assert (total, c, mac) == (counts["total"], counts["c_files"], counts["mac_files"])
+
+    def test_emacs_tarball_contents(self):
+        blob = emacs_tarball(sources=4)
+        members = dict(tar_extract_members(gzip_decompress(blob)))
+        assert "emacs-24.3/configure" in members
+        assert members["emacs-24.3/configure"].startswith(b"#!ELF")
+        assert sum(1 for m in members if m.endswith(".c")) == 4
+
+    def test_emacs_mirror_deterministic(self):
+        k1, k2 = build_world(), build_world()
+        assert add_emacs_mirror(k1) == add_emacs_mirror(k2)
+
+    def test_web_content(self):
+        kernel = build_world()
+        paths = add_web_content(kernel, file_kb=2, small_files=3)
+        sys = kernel.syscalls(kernel.spawn_process("root", "/"))
+        assert sys.stat(paths["big"]).size == 2048
+        assert len([e for e in sys.contents("/var/www") if e.startswith("page")]) == 3
