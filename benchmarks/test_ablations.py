@@ -155,7 +155,7 @@ def test_ablation_grading_scale_sweep(benchmark):
         start = time.perf_counter()
         result = run_shill_grading(kernel)
         elapsed = time.perf_counter() - start
-        count = int(result.runtime.profile["sandbox_count"])
+        count = result.run.sandbox_count
         assert count == 2 + students * 3
         results[students] = (count, elapsed)
     record_row(

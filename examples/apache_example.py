@@ -10,30 +10,27 @@ demonstrates that SHILL sandboxes are not isolated from the system.
 Run with:  python examples/apache_example.py
 """
 
+from repro.api import World
 from repro.casestudies.apache import apache_bench
-from repro.world import add_web_content, build_world
 
 
 def main() -> None:
-    kernel = build_world()
-    add_web_content(kernel, file_kb=64, small_files=3)
-    sys = kernel.syscalls(kernel.spawn_process("root", "/"))
-    sys.write_whole("/var/www/late.html", b"<html>added after sandbox setup</html>")
+    world = World().with_web_content(file_kb=64, small_files=3).boot()
+    world.write_file("/var/www/late.html", b"<html>added after sandbox setup</html>")
 
-    ok = apache_bench(kernel, requests=8, path="/big.bin")
+    ok = apache_bench(world.kernel, requests=8, path="/big.bin")
     print(f"/big.bin        : {len(ok.responses)} responses, "
           f"{sum(1 for r in ok.responses if r.startswith(b'HTTP/1.0 200'))} x 200 OK")
 
-    late = apache_bench(kernel, requests=2, path="/late.html")
+    late = apache_bench(world.kernel, requests=2, path="/late.html")
     print(f"/late.html      : {late.responses[0].splitlines()[0].decode()} "
           "(content added after the contract was written)")
 
-    evil = apache_bench(kernel, requests=1, path="/../etc/passwd")
+    evil = apache_bench(world.kernel, requests=1, path="/../etc/passwd")
     print(f"/../etc/passwd  : {evil.responses[0].splitlines()[0].decode()} "
           "(traversal out of the docroot refused)")
 
-    sys2 = kernel.syscalls(kernel.spawn_process("root", "/"))
-    log = sys2.read_whole("/var/log/httpd-access.log").decode()
+    log = world.read_file("/var/log/httpd-access.log").decode()
     print(f"\naccess log ({len(log.splitlines())} lines): readable outside the sandbox")
 
 

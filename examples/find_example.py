@@ -10,27 +10,29 @@ but cannot read through it.
 Run with:  python examples/find_example.py
 """
 
+from repro.api import World
 from repro.casestudies.findgrep import run_fine, run_simple
-from repro.world import add_usr_src, build_world
 
 
 def main() -> None:
-    kernel = build_world()
-    counts = add_usr_src(kernel, subsystems=4, files_per_dir=10)
+    world = (
+        World()
+        .with_usr_src(subsystems=4, files_per_dir=10)
+        # Plant a symlink escape attempt.
+        .with_symlink("/etc/passwd", "/usr/src/sys00/dir0/evil.c")
+        .boot()
+    )
+    counts = world.fixtures["usr_src"]
     print(f"source tree: {counts['total']} files, {counts['c_files']} .c, "
           f"{counts['mac_files']} containing mac_")
 
-    # Plant a symlink escape attempt.
-    sys = kernel.syscalls(kernel.spawn_process("root", "/"))
-    sys.symlink("/etc/passwd", "/usr/src/sys00/dir0/evil.c")
-
-    simple = run_simple(kernel, out_path="/root/simple.txt")
+    simple = run_simple(world.kernel, out_path="/root/simple.txt")
     print(f"\nsimple version  : {len(simple.matches)} matching lines, "
-          f"{int(simple.runtime.profile['sandbox_count'])} sandboxes")
+          f"{simple.run.sandbox_count} sandboxes")
 
-    fine = run_fine(kernel, out_path="/root/fine.txt")
+    fine = run_fine(world.kernel, out_path="/root/fine.txt")
     print(f"fine version    : {len(fine.matches)} matching lines, "
-          f"{int(fine.runtime.profile['sandbox_count'])} sandboxes "
+          f"{fine.run.sandbox_count} sandboxes "
           f"(one per .c file)")
 
     leaked = "alice" in fine.output or "alice" in simple.output

@@ -12,12 +12,12 @@ Grades a class of submissions three ways:
 Run with:  python examples/grading_example.py
 """
 
+from repro.api import World
 from repro.casestudies.grading import (
     run_baseline_grading,
     run_sandboxed_grading,
     run_shill_grading,
 )
-from repro.world import add_grading_fixture, build_world
 
 STUDENTS, TESTS = 6, 3
 
@@ -28,34 +28,35 @@ def show(title: str, grades: dict[str, str]) -> None:
         print("  " + grades[student].strip())
 
 
-def tests_intact(kernel) -> bool:
-    sys = kernel.syscalls(kernel.spawn_process("root", "/"))
-    return sys.read_whole("/home/tester/tests/test0.expected") != b"cheated"
+def grading_world(*, shill: bool = True) -> World:
+    return World(install_shill=shill).with_grading_fixture(
+        students=STUDENTS, tests=TESTS).boot()
+
+
+def tests_intact(world: World) -> bool:
+    return world.read_file("/home/tester/tests/test0.expected") != b"cheated"
 
 
 def main() -> None:
     print("student00 tries to READ another student's submission;")
     print("student01 tries to OVERWRITE the test suite's expected output.")
 
-    kernel = build_world(install_shill=False)
-    add_grading_fixture(kernel, students=STUDENTS, tests=TESTS)
-    grades = run_baseline_grading(kernel)
+    world = grading_world(shill=False)
+    grades = run_baseline_grading(world.kernel)
     show("baseline (no SHILL)", grades)
-    print("  test suite intact:", tests_intact(kernel))
+    print("  test suite intact:", tests_intact(world))
 
-    kernel = build_world()
-    add_grading_fixture(kernel, students=STUDENTS, tests=TESTS)
-    result = run_sandboxed_grading(kernel)
+    world = grading_world()
+    result = run_sandboxed_grading(world.kernel)
     show("grade.sh in a SHILL sandbox", result.grades)
-    print("  test suite intact:", tests_intact(kernel))
-    print("  sandboxes created:", int(result.runtime.profile["sandbox_count"]))
+    print("  test suite intact:", tests_intact(world))
+    print("  sandboxes created:", result.run.sandbox_count)
 
-    kernel = build_world()
-    add_grading_fixture(kernel, students=STUDENTS, tests=TESTS)
-    result = run_shill_grading(kernel)
+    world = grading_world()
+    result = run_shill_grading(world.kernel)
     show("pure SHILL (fine-grained per-student isolation)", result.grades)
-    print("  test suite intact:", tests_intact(kernel))
-    print("  sandboxes created:", int(result.runtime.profile["sandbox_count"]))
+    print("  test suite intact:", tests_intact(world))
+    print("  sandboxes created:", result.run.sandbox_count)
 
 
 if __name__ == "__main__":

@@ -11,27 +11,26 @@ files.
 Run with:  python examples/package_manager_example.py
 """
 
+from repro.api import World
 from repro.casestudies.package_mgmt import PackageManager
-from repro.world import add_emacs_mirror, build_world
 
 
 def main() -> None:
-    kernel = build_world()
-    add_emacs_mirror(kernel)
-    sys = kernel.syscalls(kernel.spawn_process("root", "/"))
+    world = World().with_emacs_mirror().boot()
 
-    pm = PackageManager(kernel)
-    sys.write_whole("/usr/local/emacs/canary.txt", b"user file, do not touch")
+    pm = PackageManager(world.kernel)
+    world.write_file("/usr/local/emacs/canary.txt", b"user file, do not touch")
 
     for phase in ("download", "unpack", "configure", "build", "install", "uninstall"):
         getattr(pm, phase)()
         print(f"{phase:10s} ok")
 
+    sys = world.syscalls()
     print("\nafter uninstall:")
     print("  prefix/bin:", sys.contents("/usr/local/emacs/bin"))
     print("  prefix/share:", sys.contents("/usr/local/emacs/share"))
-    print("  canary survived:", sys.read_whole("/usr/local/emacs/canary.txt").decode())
-    print("  sandboxes created:", int(pm.runtime.profile["sandbox_count"]))
+    print("  canary survived:", world.read_file("/usr/local/emacs/canary.txt").decode())
+    print("  sandboxes created:", pm.session.sandbox_count)
 
 
 if __name__ == "__main__":

@@ -12,8 +12,7 @@ Boots a simulated FreeBSD-ish world, then runs two SHILL scripts:
 Run with:  python examples/quickstart.py
 """
 
-from repro.lang.runner import ShillRuntime
-from repro.world import add_jpeg_samples, build_world
+from repro.api import ScriptRegistry, World
 
 FIND_JPG = """\
 #lang shill/cap
@@ -74,17 +73,13 @@ jpeginfo(wallet, stdout, dog);
 
 
 def main() -> None:
-    kernel = build_world()
-    add_jpeg_samples(kernel, owner="alice")
-
-    runtime = ShillRuntime(kernel, user="alice", cwd="/home/alice")
-    runtime.register_script("find_jpg.cap", FIND_JPG)
-    runtime.register_script("jpeginfo.cap", JPEGINFO)
-    runtime.run_ambient(AMBIENT, "quickstart.ambient")
+    world = World().for_user("alice").with_jpeg_samples().boot()
+    scripts = ScriptRegistry().add("find_jpg.cap", FIND_JPG).add("jpeginfo.cap", JPEGINFO)
+    result = world.session(scripts=scripts).run_ambient(AMBIENT, "quickstart.ambient")
 
     print("--- what the scripts printed (the ambient stdout device) ---")
-    print(runtime.tty.text, end="")
-    print("--- sandboxes created:", int(runtime.profile["sandbox_count"]), "---")
+    print(result.stdout, end="")
+    print("--- sandboxes created:", result.sandbox_count, "---")
 
 
 if __name__ == "__main__":

@@ -1,7 +1,18 @@
 """repro — a reproduction of "SHILL: A Secure Shell Scripting Language"
 (Moore, Dimoulas, King, Chong; OSDI 2014).
 
-Layers (bottom-up):
+**Public surface.**  Applications use :mod:`repro.api` — and only
+:mod:`repro.api`: a :class:`~repro.api.World` builder boots the
+deterministic world image, a :class:`~repro.api.Session` runs SHILL
+scripts, a :class:`~repro.api.Sandbox` runs one command under a policy
+file, and every run returns a frozen :class:`~repro.api.RunResult`.
+The names below are re-exported here for convenience::
+
+    from repro import World
+    result = World().for_user("alice").with_jpeg_samples().boot() \\
+        .session().run_ambient(src)
+
+**Internal layers** (bottom-up; importable, but not API-stable):
 
 * :mod:`repro.kernel` — simulated FreeBSD-like kernel (VFS, MAC framework,
   processes, pipes, sockets) with the paper's new syscalls;
@@ -10,12 +21,28 @@ Layers (bottom-up):
 * :mod:`repro.capability` / :mod:`repro.contracts` — language-level
   capabilities and the contract system (proxies, blame, polymorphism);
 * :mod:`repro.lang` — the SHILL language: capability-safe and ambient
-  dialects;
+  dialects, and the :class:`~repro.lang.runner.ShillRuntime` engine that
+  :class:`~repro.api.Session` drives;
 * :mod:`repro.stdlib` — filesys/io/contracts/native-wallet libraries;
 * :mod:`repro.programs` / :mod:`repro.world` — simulated executables and
-  the world image they live in;
+  the world-image primitives :class:`~repro.api.World` builds on;
 * :mod:`repro.casestudies` / :mod:`repro.bench` — the paper's four case
-  studies and the benchmark harness reproducing Figures 7/9/10/11.
+  studies and the benchmark harness reproducing Figures 7/9/10/11, both
+  written against :mod:`repro.api`.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+_API_NAMES = ("World", "Session", "Sandbox", "RunResult", "ScriptRegistry")
+
+__all__ = ["__version__", *_API_NAMES]
+
+
+def __getattr__(name: str):
+    # Lazy so `import repro` stays cheap and cycle-free for the internal
+    # layers that import repro.* during their own initialisation.
+    if name in _API_NAMES:
+        import repro.api as _api
+
+        return getattr(_api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,4 +1,4 @@
-"""Command-line interface.
+"""Command-line interface (a thin shell over :mod:`repro.api`).
 
 Usage::
 
@@ -22,59 +22,48 @@ import argparse
 import pathlib
 import sys as _hostsys
 
-from repro.lang.runner import ShillRuntime
-from repro.world import add_grading_fixture, add_jpeg_samples, build_world
+from repro.api import FIXTURE_CHOICES, ScriptRegistry, World
 
 
 def cmd_demo(_args: argparse.Namespace) -> int:
-    kernel = build_world()
-    add_jpeg_samples(kernel, owner="alice")
-    runtime = ShillRuntime(kernel, user="alice", cwd="/home/alice")
-    runtime.register_script("find_jpg.cap", _DEMO_FIND_JPG)
-    runtime.run_ambient(_DEMO_AMBIENT, "demo.ambient")
-    print(runtime.tty.text, end="")
-    return 0
+    world = World().for_user("alice").with_fixture("jpeg").boot()
+    session = world.session(scripts=ScriptRegistry().add("find_jpg.cap", _DEMO_FIND_JPG))
+    result = session.run_ambient(_DEMO_AMBIENT, "demo.ambient")
+    print(result.stdout, end="")
+    if result.stderr:
+        _hostsys.stderr.write(result.stderr)
+    return result.status
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    kernel = build_world()
-    if args.fixture == "grading":
-        add_grading_fixture(kernel)
-    elif args.fixture == "jpeg":
-        add_jpeg_samples(kernel, owner=args.user)
-    runtime = ShillRuntime(kernel, user=args.user, cwd=f"/home/{args.user}"
-                           if args.user != "root" else "/root")
+    # create=False: a typo'd --user must fail, not run as a fresh user.
+    world = World().for_user(args.user, create=False).with_fixture(args.fixture).boot()
+    registry = ScriptRegistry()
     for cap_path in args.cap:
-        path = pathlib.Path(cap_path)
-        runtime.register_script(path.name, path.read_text())
-    source = pathlib.Path(args.script).read_text()
-    runtime.run_ambient(source, pathlib.Path(args.script).name)
-    print(runtime.tty.text, end="")
-    return 0
+        registry.add_file(cap_path)
+    session = world.session(scripts=registry)
+    result = session.run_ambient_file(args.script)
+    print(result.stdout, end="")
+    if result.stderr:
+        _hostsys.stderr.write(result.stderr)
+    return result.status
 
 
 def cmd_shill_run(args: argparse.Namespace) -> int:
-    from repro.kernel.pipes import make_pipe
-    from repro.sandbox.shilld import run_with_policy
-
-    kernel = build_world()
+    world = World().for_user(args.user, create=False).boot()
     policy_text = pathlib.Path(args.policy).read_text()
-    out_r, out_w = make_pipe()
-    err_r, err_w = make_pipe()
-    result = run_with_policy(
-        kernel, args.user, policy_text, args.cmd_argv,
-        debug=args.debug, stdout=out_w, stderr=err_w,
-    )
-    _hostsys.stdout.write(bytes(out_r.pipe.buffer).decode(errors="replace"))
-    _hostsys.stderr.write(bytes(err_r.pipe.buffer).decode(errors="replace"))
+    sandbox = world.sandbox(policy_text, debug=args.debug)
+    result = sandbox.exec(args.cmd_argv)
+    _hostsys.stdout.write(result.stdout)
+    _hostsys.stderr.write(result.stderr)
     if args.debug and result.auto_granted:
         print("-- privileges auto-granted in debug mode --")
         for line in result.auto_granted:
             print("  " + line)
-    elif result.log.denials():
+    elif result.denials:
         print("-- denied operations --")
-        for entry in result.log.denials():
-            print("  " + entry.format())
+        for line in result.denial_lines():
+            print("  " + line)
     return result.status
 
 
@@ -114,7 +103,7 @@ def main(argv: list[str] | None = None) -> int:
     run_p.add_argument("--cap", action="append", default=[],
                        help="capability-safe script file(s) to register")
     run_p.add_argument("--user", default="alice")
-    run_p.add_argument("--fixture", choices=["none", "jpeg", "grading"], default="jpeg")
+    run_p.add_argument("--fixture", choices=list(FIXTURE_CHOICES), default="jpeg")
 
     sr_p = sub.add_parser("shill-run", help="run one command under a policy file")
     sr_p.add_argument("policy")

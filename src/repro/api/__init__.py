@@ -1,0 +1,74 @@
+"""repro.api — the single supported public surface.
+
+Everything above the kernel goes through four nouns:
+
+* :class:`World` — fluent builder for the deterministic world image
+  (users, workload fixtures, ad-hoc files), booted once;
+* :class:`Session` — one SHILL invocation: runs ambient scripts, loads
+  capability-safe exports, and snapshots results;
+* :class:`Sandbox` — the ``shill-run`` debugging tool: one command under
+  a policy file;
+* :class:`RunResult` — the frozen answer object (stdout, stderr, exit
+  status, per-phase profile breakdown, denials, sandbox count).
+
+:class:`ScriptRegistry` feeds named ``.cap`` / ``.ambient`` sources —
+from strings, files, or directories — into sessions.
+
+A typical flow::
+
+    from repro.api import ScriptRegistry, World
+
+    world = World().for_user("alice").with_jpeg_samples().boot()
+    session = world.session(scripts=ScriptRegistry().add("find_jpg.cap", SRC))
+    result = session.run_ambient(AMBIENT_SRC, "main.ambient")
+    print(result.stdout, result.sandbox_count)
+
+The engine underneath (:class:`repro.lang.runner.ShillRuntime`,
+:func:`repro.world.build_world`) remains importable from its historical
+locations for tests of the language ↔ sandbox seam, and — deprecated —
+from this module.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.api.registry import SCRIPT_SUFFIXES, ScriptRegistry
+from repro.api.results import PROFILE_KEYS, RunResult, freeze_profile
+from repro.api.sandboxes import Sandbox
+from repro.api.sessions import Session
+from repro.api.worlds import FIXTURE_CHOICES, World
+
+__all__ = [
+    "World",
+    "Session",
+    "Sandbox",
+    "RunResult",
+    "ScriptRegistry",
+    "FIXTURE_CHOICES",
+    "PROFILE_KEYS",
+    "SCRIPT_SUFFIXES",
+    "freeze_profile",
+]
+
+_DEPRECATED = ("ShillRuntime", "build_world")
+
+
+def __getattr__(name: str):
+    # Deprecation shims: the engine stays reachable under the new roof so
+    # code mid-migration can flip one import at a time.
+    if name in _DEPRECATED:
+        warnings.warn(
+            f"repro.api.{name} is a deprecated alias for the internal engine; "
+            "use repro.api.World / repro.api.Session instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if name == "ShillRuntime":
+            from repro.lang.runner import ShillRuntime
+
+            return ShillRuntime
+        from repro.world import build_world
+
+        return build_world
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,91 @@
+"""Script registries: named ``.cap`` / ``.ambient`` sources for a session.
+
+A :class:`ScriptRegistry` collects SHILL sources from strings, host
+files, or whole directories, and hands them to :class:`repro.api.Session`
+so ``require "name.cap"`` resolves without manual ``register_script``
+plumbing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable, Iterator, Mapping
+
+#: Host-file suffixes recognised as SHILL sources.
+SCRIPT_SUFFIXES = (".cap", ".ambient")
+
+
+class ScriptRegistry:
+    """An ordered name → source mapping with fluent loaders."""
+
+    def __init__(self, scripts: Mapping[str, str] | None = None) -> None:
+        self._scripts: dict[str, str] = dict(scripts or {})
+
+    # -- loading -----------------------------------------------------------
+
+    def add(self, name: str, source: str) -> "ScriptRegistry":
+        """Register ``source`` under ``name`` (e.g. ``"find_jpg.cap"``)."""
+        self._scripts[name] = source
+        return self
+
+    def update(self, scripts: "Mapping[str, str] | ScriptRegistry") -> "ScriptRegistry":
+        if isinstance(scripts, ScriptRegistry):
+            scripts = scripts.as_dict()
+        self._scripts.update(scripts)
+        return self
+
+    def add_file(self, path: str | pathlib.Path, name: str | None = None) -> "ScriptRegistry":
+        """Register one host file; the script name defaults to its basename."""
+        path = pathlib.Path(path)
+        self._scripts[name or path.name] = path.read_text()
+        return self
+
+    def add_dir(
+        self,
+        path: str | pathlib.Path,
+        suffixes: Iterable[str] = SCRIPT_SUFFIXES,
+        recursive: bool = False,
+    ) -> "ScriptRegistry":
+        """Register every script-suffixed file in a host directory."""
+        path = pathlib.Path(path)
+        if not path.is_dir():
+            raise NotADirectoryError(str(path))
+        pattern = "**/*" if recursive else "*"
+        # A bare string is Iterable[str] too — tuple("*.cap") would turn
+        # into single characters and silently match nothing.
+        wanted = (suffixes,) if isinstance(suffixes, str) else tuple(suffixes)
+        for child in sorted(path.glob(pattern)):
+            if child.is_file() and child.suffix in wanted:
+                source = child.read_text()
+                existing = self._scripts.get(child.name)
+                if existing is not None and existing != source:
+                    raise ValueError(
+                        f"duplicate script name {child.name!r} ({child} conflicts "
+                        "with an already-registered source) — register one with "
+                        "an explicit add_file(name=...)"
+                    )
+                self._scripts[child.name] = source
+        return self
+
+    # -- reading -----------------------------------------------------------
+
+    def get(self, name: str) -> str:
+        return self._scripts[name]
+
+    def as_dict(self) -> dict[str, str]:
+        return dict(self._scripts)
+
+    def merged(self, other: "Mapping[str, str] | ScriptRegistry") -> "ScriptRegistry":
+        return ScriptRegistry(self._scripts).update(other)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._scripts
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._scripts)
+
+    def __len__(self) -> int:
+        return len(self._scripts)
+
+    def __repr__(self) -> str:
+        return f"<ScriptRegistry {sorted(self._scripts)}>"

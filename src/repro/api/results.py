@@ -1,0 +1,77 @@
+"""Frozen run results: everything a caller may observe about a run.
+
+A :class:`RunResult` is the API's only answer object.  Callers never
+reach into ``runtime.tty``, ``runtime.profile`` or ``runtime.last_session``
+— the session snapshots those internals into an immutable record the
+moment a run finishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Mapping
+
+from repro.sandbox.audit import AuditEntry
+
+#: The per-phase keys every ``RunResult.profile`` mapping carries
+#: (Figure 10's breakdown: startup / sandbox setup / sandboxed
+#: execution / remaining, plus the total they decompose).
+PROFILE_KEYS = ("startup", "sandbox_setup", "sandbox_exec", "total", "remaining")
+
+
+def freeze_profile(raw: Mapping[str, float]) -> Mapping[str, float]:
+    """Package a runtime's accumulator dict into the public breakdown.
+
+    ``total`` covers script execution only; ``startup`` (interpreter
+    construction) is reported alongside it, so ``remaining`` — time in
+    SHILL script code and contract checking — is what's left of
+    ``total`` after sandbox setup and sandboxed execution.
+    """
+    startup = float(raw.get("startup", 0.0))
+    setup = float(raw.get("sandbox_setup", 0.0))
+    sexec = float(raw.get("sandbox_exec", 0.0))
+    total = float(raw.get("total", 0.0))
+    remaining = max(total - setup - sexec, 0.0)
+    return MappingProxyType({
+        "startup": startup,
+        "sandbox_setup": setup,
+        "sandbox_exec": sexec,
+        "total": total,
+        "remaining": remaining,
+    })
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """The outcome of one run (an ambient script, or a sandboxed command).
+
+    * ``stdout`` / ``stderr`` — what the run wrote to the ambient stdout
+      and stderr devices (or the sandbox's wired pipes);
+    * ``status`` — exit status (0 for ambient scripts that completed);
+    * ``profile`` — the per-phase timing breakdown (:data:`PROFILE_KEYS`);
+    * ``sandbox_count`` — capability-based sandboxes created by the run;
+    * ``denials`` — audit entries for operations the MAC policy refused;
+    * ``auto_granted`` — privileges granted on demand (debug mode only);
+    * ``value`` — the run's language-level result, when there is one.
+    """
+
+    stdout: str = ""
+    stderr: str = ""
+    status: int = 0
+    profile: Mapping[str, float] = field(default_factory=lambda: freeze_profile({}))
+    sandbox_count: int = 0
+    denials: tuple[AuditEntry, ...] = ()
+    auto_granted: tuple[str, ...] = ()
+    value: Any = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 0
+
+    @property
+    def denied(self) -> bool:
+        return bool(self.denials)
+
+    def denial_lines(self) -> tuple[str, ...]:
+        return tuple(entry.format() for entry in self.denials)

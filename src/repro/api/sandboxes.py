@@ -1,0 +1,70 @@
+"""Sandboxes: run one command under a policy file (section 3.2.2).
+
+A :class:`Sandbox` is the API form of the ``shill-run`` debugging tool:
+it parses a policy file, builds a capability-based sandbox from it, and
+runs commands inside — returning :class:`repro.api.RunResult` records
+with captured stdio, the audit log's denials, and (in debug mode) the
+privileges that had to be auto-granted.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.api.results import RunResult, freeze_profile
+
+if TYPE_CHECKING:
+    from repro.kernel.kernel import Kernel
+
+
+class Sandbox:
+    """A reusable policy for sandboxed command runs.
+
+    Each :meth:`exec` boots a fresh sandbox session from the policy, so
+    one :class:`Sandbox` can run many commands under identical rules.
+    """
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        policy: str,
+        *,
+        user: str = "root",
+        debug: bool = False,
+        cwd: str = "/",
+    ) -> None:
+        self.kernel = kernel
+        self.policy = policy
+        self.user = user
+        self.debug = debug
+        self.cwd = cwd
+
+    def exec(self, argv: list[str], *, stdin: bytes = b"") -> RunResult:
+        """Run ``argv`` in a sandbox configured from the policy file."""
+        from repro.kernel.pipes import make_pipe
+        from repro.sandbox.shilld import run_with_policy
+
+        in_r = in_w = None
+        if stdin:
+            in_r, in_w = make_pipe()
+            in_w.pipe.write(stdin)
+        out_r, out_w = make_pipe()
+        err_r, err_w = make_pipe()
+        raw = run_with_policy(
+            self.kernel, self.user, self.policy, list(argv),
+            debug=self.debug, stdin=in_r, stdout=out_w, stderr=err_w,
+            cwd=self.cwd,
+        )
+        return RunResult(
+            stdout=bytes(out_r.pipe.buffer).decode(errors="replace"),
+            stderr=bytes(err_r.pipe.buffer).decode(errors="replace"),
+            status=raw.status,
+            profile=freeze_profile({}),
+            sandbox_count=1,
+            denials=tuple(raw.log.denials()),
+            auto_granted=tuple(raw.auto_granted),
+        )
+
+    def __repr__(self) -> str:
+        mode = " debug" if self.debug else ""
+        return f"<Sandbox user={self.user!r}{mode}>"

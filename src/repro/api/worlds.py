@@ -1,0 +1,260 @@
+"""Worlds: a fluent builder over the deterministic world image.
+
+``World()`` records configuration steps (users, workload fixtures,
+extra files) and :meth:`World.boot` materialises them onto a freshly
+booted kernel, in declaration order.  A booted world hands out
+:class:`repro.api.Session` and :class:`repro.api.Sandbox` objects — the
+only supported way to run SHILL code::
+
+    world = World().for_user("alice").with_jpeg_samples().boot()
+    result = world.session(scripts=my_registry).run_ambient(src)
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any, Callable, Mapping
+
+from repro.api.registry import ScriptRegistry
+from repro.api.sandboxes import Sandbox
+from repro.api.sessions import Session
+from repro.world import (
+    add_emacs_mirror,
+    add_grading_fixture,
+    add_jpeg_samples,
+    add_usr_src,
+    add_web_content,
+    build_world,
+)
+from repro.world.image import WorldBuilder
+
+if TYPE_CHECKING:
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.syscalls import SyscallInterface
+
+#: ``--fixture`` spellings accepted by :meth:`World.with_fixture`.
+FIXTURE_CHOICES = ("none", "jpeg", "grading", "usr-src", "web", "emacs")
+
+
+class World:
+    """Builder + handle for one booted world image.
+
+    Fluent ``with_*`` / ``for_user`` calls queue build steps; ``boot()``
+    runs them once and is idempotent afterwards.  Fixture helpers record
+    their return values (paths, counts, blobs) under ``world.fixtures``.
+    """
+
+    def __init__(self, *, install_shill: bool = True) -> None:
+        self._install_shill = install_shill
+        self._steps: list[tuple[str | None, Callable[["Kernel"], Any]]] = []
+        self._users: list[str] = []
+        self._default_user = "root"
+        self.kernel: "Kernel | None" = None
+        self.fixtures: dict[str, Any] = {}
+
+        self._sys_cache: dict[tuple[str, str], "SyscallInterface"] = {}
+
+    # -- configuration -----------------------------------------------------
+
+    def without_shill(self) -> "World":
+        """The Figure 9 "Baseline" machine: no SHILL kernel module."""
+        self._check_unbooted()
+        self._install_shill = False
+        return self
+
+    def for_user(self, user: str, *, create: bool = True) -> "World":
+        """Default user for sessions, sandboxes, and owner-less content.
+
+        Unknown users are created at boot (with a home) unless
+        ``create=False``, in which case a later lookup fails with
+        ``KeyError`` — the CLI uses this so a typo'd ``--user`` errors
+        instead of silently running as a brand-new user."""
+        self._check_unbooted()
+        self._default_user = user
+        if create and user != "root":
+            self.with_users(user)
+        return self
+
+    def with_users(self, *names: str) -> "World":
+        """Ensure the named users exist (with homes); no-op for users the
+        base image already creates."""
+        self._check_unbooted()
+        for name in names:
+            if name not in self._users:
+                self._users.append(name)
+        return self
+
+    # -- workload fixtures -------------------------------------------------
+
+    def with_jpeg_samples(self, owner: str | None = None) -> "World":
+        """The quickstart's ~/Documents samples, owned by ``owner``
+        (default: the world's default user)."""
+        def step(kernel: "Kernel") -> Any:
+            return add_jpeg_samples(kernel, owner=owner or self._default_user)
+
+        return self._add_step("jpeg_samples", step)
+
+    def with_grading_fixture(self, **kwargs: Any) -> "World":
+        """Student submissions + test suite (see
+        :func:`repro.world.add_grading_fixture` for knobs)."""
+        return self._add_step("grading", lambda kernel: add_grading_fixture(kernel, **kwargs))
+
+    def with_usr_src(self, **kwargs: Any) -> "World":
+        """The scaled-down BSD source tree the Find workload greps."""
+        return self._add_step("usr_src", lambda kernel: add_usr_src(kernel, **kwargs))
+
+    def with_web_content(self, **kwargs: Any) -> "World":
+        """Docroot content + access log for the Apache workload."""
+        return self._add_step("web_content", lambda kernel: add_web_content(kernel, **kwargs))
+
+    def with_emacs_mirror(self, tarball: bytes | None = None) -> "World":
+        """The simulated GNU mirror the Download workload fetches from."""
+        return self._add_step("emacs_mirror", lambda kernel: add_emacs_mirror(kernel, tarball))
+
+    def with_fixture(self, name: str, **kwargs: Any) -> "World":
+        """String-keyed fixture selection (the CLI's ``--fixture``).
+        ``"none"`` is explicitly a no-op."""
+        self._check_unbooted()
+        if name == "none":
+            return self
+        dispatch = {
+            "jpeg": self.with_jpeg_samples,
+            "grading": self.with_grading_fixture,
+            "usr-src": self.with_usr_src,
+            "web": self.with_web_content,
+            "emacs": self.with_emacs_mirror,
+        }
+        if name not in dispatch:
+            raise ValueError(f"unknown fixture {name!r}; choices: {', '.join(FIXTURE_CHOICES)}")
+        return dispatch[name](**kwargs)
+
+    # -- ad-hoc content ----------------------------------------------------
+
+    def with_file(self, path: str, data: bytes | str, mode: int = 0o644,
+                  owner: str | None = None) -> "World":
+        if isinstance(data, str):
+            data = data.encode()
+
+        def step(kernel: "Kernel") -> Any:
+            uid, gid = self._owner_ids(kernel, owner)
+            return WorldBuilder(kernel).write_file(path, data, mode=mode, uid=uid, gid=gid)
+
+        return self._add_step(None, step)
+
+    def with_dir(self, path: str, mode: int = 0o755, owner: str | None = None) -> "World":
+        def step(kernel: "Kernel") -> Any:
+            uid, gid = self._owner_ids(kernel, owner)
+            return WorldBuilder(kernel).ensure_dir(path, mode=mode, uid=uid, gid=gid)
+
+        return self._add_step(None, step)
+
+    def with_symlink(self, target: str, link: str) -> "World":
+        def step(kernel: "Kernel") -> None:
+            kernel.syscalls(kernel.spawn_process("root", "/")).symlink(target, link)
+
+        return self._add_step(None, step)
+
+    def with_setup(self, fn: Callable[["Kernel"], Any], key: str | None = None) -> "World":
+        """Escape hatch: run ``fn(kernel)`` during boot."""
+        return self._add_step(key, fn)
+
+    # -- boot --------------------------------------------------------------
+
+    def boot(self) -> "World":
+        """Build the kernel and apply every queued step, once."""
+        if self.kernel is not None:
+            return self
+        kernel = build_world(install_shill=self._install_shill)
+        for name in self._users:
+            self._ensure_user(kernel, name)
+        for key, step in self._steps:
+            value = step(kernel)
+            if key is not None:
+                self.fixtures[key] = value
+        self.kernel = kernel
+        return self
+
+    @property
+    def booted(self) -> bool:
+        return self.kernel is not None
+
+    @property
+    def default_user(self) -> str:
+        return self._default_user
+
+    # -- handles over the booted world -------------------------------------
+
+    def session(
+        self,
+        user: str | None = None,
+        cwd: str | None = None,
+        scripts: "Mapping[str, str] | ScriptRegistry | None" = None,
+    ) -> Session:
+        self.boot()
+        return Session(self.kernel, user=user or self._default_user,
+                       cwd=cwd, scripts=scripts)
+
+    def sandbox(self, policy: str, *, user: str | None = None,
+                debug: bool = False, cwd: str = "/") -> Sandbox:
+        self.boot()
+        assert self.kernel is not None
+        return Sandbox(self.kernel, policy, user=user or self._default_user,
+                       debug=debug, cwd=cwd)
+
+    def syscalls(self, user: str | None = None, cwd: str | None = None) -> "SyscallInterface":
+        """An ambient (unsandboxed) syscall interface for inspecting or
+        mutating the booted world — e.g. reading files a run produced.
+        Defaults to the world's default user, like ``session()``.  One
+        backing process per (user, cwd), reused across calls, so polling
+        the world does not grow the kernel's process table."""
+        self.boot()
+        assert self.kernel is not None
+        who = user or self._default_user
+        key = (who, cwd or self.kernel.users.lookup(who).home)
+        if key not in self._sys_cache:
+            self._sys_cache[key] = self.kernel.syscalls(
+                self.kernel.spawn_process(key[0], key[1]))
+        return self._sys_cache[key]
+
+    def read_file(self, path: str) -> bytes:
+        return self.syscalls().read_whole(path)
+
+    def write_file(self, path: str, data: bytes | str) -> None:
+        if isinstance(data, str):
+            data = data.encode()
+        self.syscalls().write_whole(path, data)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _add_step(self, key: str | None, step: Callable[["Kernel"], Any]) -> "World":
+        self._check_unbooted()
+        self._steps.append((key, step))
+        return self
+
+    def _check_unbooted(self) -> None:
+        if self.kernel is not None:
+            raise RuntimeError("World is already booted; configure before boot()")
+
+    def _owner_ids(self, kernel: "Kernel", owner: str | None) -> tuple[int, int]:
+        cred = kernel.users.lookup(owner or self._default_user)
+        return cred.uid, cred.gid
+
+    @staticmethod
+    def _ensure_user(kernel: "Kernel", name: str) -> None:
+        try:
+            kernel.users.lookup(name)
+            return
+        except KeyError:
+            pass
+        for uid in itertools.count(2001):
+            try:
+                cred = kernel.users.add_user(name, uid, uid)
+                break
+            except ValueError:
+                continue
+        WorldBuilder(kernel).ensure_dir(cred.home, mode=0o755,
+                                        uid=cred.uid, gid=cred.gid)
+
+    def __repr__(self) -> str:
+        state = "booted" if self.booted else "unbooted"
+        return f"<World {state} user={self._default_user!r} steps={len(self._steps)}>"

@@ -7,9 +7,10 @@ Remaining time (i.e., time not spent on Racket startup, sandbox setup, or
 sandboxed execution) is time spent executing SHILL scripts, including
 contract checking."
 
-The accumulators live on :class:`~repro.lang.runner.ShillRuntime`
-(``profile``); this module packages them into the Figure 10 table for the
-four profiled benchmarks: Uninstall, Download, Grading, Find.
+The accumulators live on the runtime engine; :class:`repro.api.Session`
+snapshots them into :class:`repro.api.RunResult` records, and this
+module packages those into the Figure 10 table for the four profiled
+benchmarks: Uninstall, Download, Grading, Find.
 """
 
 from __future__ import annotations
@@ -17,10 +18,10 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from repro.api import RunResult
 from repro.casestudies.findgrep import run_fine
 from repro.casestudies.grading import run_shill_grading
 from repro.casestudies.package_mgmt import PackageManager
-from repro.lang.runner import ShillRuntime
 
 
 @dataclass
@@ -47,44 +48,44 @@ class Breakdown:
         )
 
 
-def _from_runtime(benchmark: str, runtime: ShillRuntime, total: float) -> Breakdown:
-    profile = runtime.profile
+def _from_run(benchmark: str, run: RunResult, total: float) -> Breakdown:
+    profile = run.profile
     return Breakdown(
         benchmark=benchmark,
         total=total,
         startup=profile["startup"],
         sandbox_setup=profile["sandbox_setup"],
         sandbox_exec=profile["sandbox_exec"],
-        sandbox_count=int(profile["sandbox_count"]),
+        sandbox_count=run.sandbox_count,
     )
 
 
 def breakdown_grading(kernel) -> Breakdown:
     start = time.perf_counter()
     result = run_shill_grading(kernel)
-    return _from_runtime("Grading", result.runtime, time.perf_counter() - start)
+    return _from_run("Grading", result.run, time.perf_counter() - start)
 
 
 def breakdown_find(kernel) -> Breakdown:
     start = time.perf_counter()
     result = run_fine(kernel)
-    return _from_runtime("Find", result.runtime, time.perf_counter() - start)
+    return _from_run("Find", result.run, time.perf_counter() - start)
 
 
 def breakdown_download(kernel) -> Breakdown:
     start = time.perf_counter()
     pm = PackageManager(kernel)
     pm.download()
-    return _from_runtime("Download", pm.runtime, time.perf_counter() - start)
+    return _from_run("Download", pm.session.result(), time.perf_counter() - start)
 
 
 def breakdown_uninstall(kernel) -> Breakdown:
     """Requires a kernel prepared through the install phase."""
     pm = PackageManager(kernel)
     pm.download(); pm.unpack(); pm.configure(); pm.build(); pm.install()
-    # Reset the accumulators so only the uninstall phase is profiled; a
-    # fresh runtime mirrors invoking a fresh shill process for the task.
+    # A fresh PackageManager (hence fresh session) mirrors invoking a
+    # fresh shill process for the task, so only uninstall is profiled.
     start = time.perf_counter()
     pm2 = PackageManager(kernel)
     pm2.uninstall()
-    return _from_runtime("Uninstall", pm2.runtime, time.perf_counter() - start)
+    return _from_run("Uninstall", pm2.session.result(), time.perf_counter() - start)

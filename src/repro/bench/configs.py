@@ -28,15 +28,9 @@ from repro.casestudies.grading import (
     run_sandboxed_grading,
     run_shill_grading,
 )
+from repro.api import World
 from repro.casestudies.package_mgmt import PackageManager
 from repro.kernel.kernel import Kernel
-from repro.world import (
-    add_emacs_mirror,
-    add_grading_fixture,
-    add_usr_src,
-    add_web_content,
-    build_world,
-)
 
 Task = Callable[[], None]
 MakeTask = Callable[[], Task]
@@ -65,38 +59,41 @@ EMACS_PHASES = ("download", "untar", "configure", "make", "install", "uninstall"
 # ---------------------------------------------------------------------------
 
 
+def _world(install_shill: bool) -> World:
+    return World(install_shill=install_shill)
+
+
 def _grading_kernel(install_shill: bool) -> Kernel:
-    kernel = build_world(install_shill=install_shill)
-    add_grading_fixture(
-        kernel,
+    return _world(install_shill).with_grading_fixture(
         students=SCALE.grading_students,
         tests=SCALE.grading_tests,
         malicious_reader=False,
         malicious_writer=False,
-    )
-    return kernel
+    ).boot().kernel
 
 
 def _find_kernel(install_shill: bool) -> Kernel:
-    kernel = build_world(install_shill=install_shill)
-    add_usr_src(kernel, subsystems=SCALE.src_subsystems, files_per_dir=SCALE.src_files_per_dir)
-    return kernel
+    return _world(install_shill).with_usr_src(
+        subsystems=SCALE.src_subsystems, files_per_dir=SCALE.src_files_per_dir,
+    ).boot().kernel
 
 
 def _apache_kernel(install_shill: bool) -> Kernel:
-    kernel = build_world(install_shill=install_shill)
-    add_web_content(kernel, file_kb=SCALE.apache_file_kb, small_files=2)
-    return kernel
+    return _world(install_shill).with_web_content(
+        file_kb=SCALE.apache_file_kb, small_files=2,
+    ).boot().kernel
 
 
 def _emacs_kernel(phase: str, install_shill: bool) -> Kernel:
     """A world prepared (with direct commands) up to — excluding — ``phase``."""
-    kernel = build_world(install_shill=install_shill)
-    add_emacs_mirror(kernel)
-    from repro.world.image import WorldBuilder
-
-    WorldBuilder(kernel).ensure_dir("/root/downloads")
-    WorldBuilder(kernel).ensure_dir("/usr/local/emacs")
+    kernel = (
+        _world(install_shill)
+        .with_emacs_mirror()
+        .with_dir("/root/downloads")
+        .with_dir("/usr/local/emacs")
+        .boot()
+        .kernel
+    )
     order = EMACS_PHASES
     for previous in order[: order.index(phase)]:
         _DIRECT_EMACS[previous](kernel)

@@ -14,9 +14,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api import RunResult, Session
+from repro.api.sessions import deprecated_runtime_property
 from repro.kernel.kernel import Kernel
 from repro.kernel.sockets import AddressFamily, SocketType
-from repro.lang.runner import ShillRuntime
 
 CAP_SCRIPT = """\
 #lang shill/cap
@@ -61,9 +62,12 @@ SCRIPTS = {"apache.cap": CAP_SCRIPT}
 
 @dataclass
 class ApacheBenchResult:
-    runtime: ShillRuntime
+    session: Session
+    run: RunResult
     responses: list[bytes]
     log_text: str
+
+    runtime = deprecated_runtime_property()
 
 
 def apache_bench(
@@ -89,13 +93,13 @@ def apache_bench(
 
     kernel.network.register_listen_hook(("0.0.0.0", port), flood)
 
-    runtime = ShillRuntime(kernel, user=user, cwd="/root", scripts=dict(SCRIPTS))
-    runtime.run_ambient(AMBIENT_SCRIPT, "apache.ambient")
+    session = Session(kernel, user=user, cwd="/root", scripts=SCRIPTS)
+    run = session.run_ambient(AMBIENT_SCRIPT, "apache.ambient")
 
     responses = [dsys.recv(fd, 1 << 26) for dsys, fd in client_fds]
     sys = kernel.syscalls(kernel.spawn_process("root", "/"))
     log_text = sys.read_whole("/var/log/httpd-access.log").decode()
-    return ApacheBenchResult(runtime, responses, log_text)
+    return ApacheBenchResult(session, run, responses, log_text)
 
 
 def baseline_bench(kernel: Kernel, requests: int = 16, path: str = "/big.bin", port: int = 8080) -> list[bytes]:

@@ -19,8 +19,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api import RunResult, Session
+from repro.api.sessions import deprecated_runtime_property
 from repro.kernel.kernel import Kernel
-from repro.lang.runner import ShillRuntime
 
 SIMPLE_CAP_SCRIPT = """\
 #lang shill/cap
@@ -126,12 +127,15 @@ SCRIPTS = {
 
 @dataclass
 class FindResult:
-    runtime: ShillRuntime
+    session: Session
+    run: RunResult
     output: str
 
     @property
     def matches(self) -> list[str]:
         return [line for line in self.output.splitlines() if line]
+
+    runtime = deprecated_runtime_property()
 
 
 def _prepare_out(kernel: Kernel, user: str, out_path: str) -> None:
@@ -144,19 +148,19 @@ def _prepare_out(kernel: Kernel, user: str, out_path: str) -> None:
 def run_simple(kernel: Kernel, user: str = "root", out_path: str = "/root/matches.txt") -> FindResult:
     """One sandbox around find -exec grep."""
     _prepare_out(kernel, user, out_path)
-    runtime = ShillRuntime(kernel, user=user, cwd="/root", scripts=dict(SCRIPTS))
-    runtime.run_ambient(SIMPLE_AMBIENT.format(out=out_path), "findgrep_simple.ambient")
+    session = Session(kernel, user=user, cwd="/root", scripts=SCRIPTS)
+    run = session.run_ambient(SIMPLE_AMBIENT.format(out=out_path), "findgrep_simple.ambient")
     sys = kernel.syscalls(kernel.spawn_process(user, "/"))
-    return FindResult(runtime, sys.read_whole(out_path).decode())
+    return FindResult(session, run, sys.read_whole(out_path).decode())
 
 
 def run_fine(kernel: Kernel, user: str = "root", out_path: str = "/root/matches.txt") -> FindResult:
     """The SHILL version: Figure 5's find + one grep sandbox per file."""
     _prepare_out(kernel, user, out_path)
-    runtime = ShillRuntime(kernel, user=user, cwd="/root", scripts=dict(SCRIPTS))
-    runtime.run_ambient(FINE_AMBIENT.format(out=out_path), "findgrep_fine.ambient")
+    session = Session(kernel, user=user, cwd="/root", scripts=SCRIPTS)
+    run = session.run_ambient(FINE_AMBIENT.format(out=out_path), "findgrep_fine.ambient")
     sys = kernel.syscalls(kernel.spawn_process(user, "/"))
-    return FindResult(runtime, sys.read_whole(out_path).decode())
+    return FindResult(session, run, sys.read_whole(out_path).decode())
 
 
 def run_baseline(kernel: Kernel, user: str = "root", out_path: str = "/root/matches.txt") -> str:

@@ -19,8 +19,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api import RunResult, Session
+from repro.api.sessions import deprecated_runtime_property
 from repro.kernel.kernel import Kernel
-from repro.lang.runner import ShillRuntime
 
 SANDBOXED_CAP_SCRIPT = """\
 #lang shill/cap
@@ -200,8 +201,11 @@ SCRIPTS = {
 
 @dataclass
 class GradingResult:
-    runtime: ShillRuntime
+    session: Session
+    run: RunResult
     grades: dict[str, str]
+
+    runtime = deprecated_runtime_property()
 
 
 def _collect_grades(kernel: Kernel, grades_dir: str) -> dict[str, str]:
@@ -214,9 +218,9 @@ def _collect_grades(kernel: Kernel, grades_dir: str) -> dict[str, str]:
 
 def run_sandboxed_grading(kernel: Kernel, user: str = "tester") -> GradingResult:
     """The "Sandboxed" configuration: grade.sh in one SHILL sandbox."""
-    runtime = ShillRuntime(kernel, user=user, cwd=f"/home/{user}", scripts=dict(SCRIPTS))
-    runtime.run_ambient(SANDBOXED_AMBIENT_SCRIPT, "grading_sandboxed.ambient")
-    return GradingResult(runtime, _collect_grades(kernel, f"/home/{user}/grades"))
+    session = Session(kernel, user=user, scripts=SCRIPTS)
+    run = session.run_ambient(SANDBOXED_AMBIENT_SCRIPT, "grading_sandboxed.ambient")
+    return GradingResult(session, run, _collect_grades(kernel, f"/home/{user}/grades"))
 
 
 def run_shellscript_grading(kernel: Kernel, user: str = "tester") -> GradingResult:
@@ -224,16 +228,16 @@ def run_shellscript_grading(kernel: Kernel, user: str = "tester") -> GradingResu
     script* (/usr/local/bin/grade-sh, run by the simulated /bin/sh via
     its shebang) — the closest analogue of the paper's secured Bash
     script."""
-    runtime = ShillRuntime(kernel, user=user, cwd=f"/home/{user}", scripts=dict(SCRIPTS))
-    runtime.run_ambient(SHELLSCRIPT_AMBIENT_SCRIPT, "grading_shellscript.ambient")
-    return GradingResult(runtime, _collect_grades(kernel, f"/home/{user}/grades"))
+    session = Session(kernel, user=user, scripts=SCRIPTS)
+    run = session.run_ambient(SHELLSCRIPT_AMBIENT_SCRIPT, "grading_shellscript.ambient")
+    return GradingResult(session, run, _collect_grades(kernel, f"/home/{user}/grades"))
 
 
 def run_shill_grading(kernel: Kernel, user: str = "tester") -> GradingResult:
     """The "SHILL version": fine-grained per-student isolation."""
-    runtime = ShillRuntime(kernel, user=user, cwd=f"/home/{user}", scripts=dict(SCRIPTS))
-    runtime.run_ambient(PURE_SHILL_AMBIENT_SCRIPT, "grading_shill.ambient")
-    return GradingResult(runtime, _collect_grades(kernel, f"/home/{user}/grades"))
+    session = Session(kernel, user=user, scripts=SCRIPTS)
+    run = session.run_ambient(PURE_SHILL_AMBIENT_SCRIPT, "grading_shill.ambient")
+    return GradingResult(session, run, _collect_grades(kernel, f"/home/{user}/grades"))
 
 
 def run_baseline_grading(kernel: Kernel, user: str = "tester") -> dict[str, str]:

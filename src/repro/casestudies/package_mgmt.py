@@ -15,8 +15,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.api import Session
+from repro.api.sessions import deprecated_runtime_property
 from repro.kernel.kernel import Kernel
-from repro.lang.runner import ShillRuntime
 from repro.world.fixtures import EMACS_URL
 
 CAP_SCRIPT = """\
@@ -128,17 +129,18 @@ class PackageManager:
     user: str = "root"
     downloads: str = "/root/downloads"
     prefix: str = "/usr/local/emacs"
-    runtime: ShillRuntime = field(init=False)
+    session: Session = field(init=False)
     exports: dict = field(init=False)
     _wallet: object = field(init=False, default=None)
 
     def __post_init__(self) -> None:
-        self.runtime = ShillRuntime(self.kernel, user=self.user, cwd="/root",
-                                    scripts=dict(SCRIPTS))
-        self.exports = self.runtime.load_cap_exports("emacs_pkg.cap", importer="emacs.ambient")
-        launcher_sys = self.runtime.sys
+        self.session = Session(self.kernel, user=self.user, cwd="/root",
+                               scripts=SCRIPTS)
+        self.exports = self.session.load_cap("emacs_pkg.cap", importer="emacs.ambient")
         for path in (self.downloads, self.prefix):
             self._mkdirs(path)
+
+    runtime = deprecated_runtime_property(hint="``.session``")
 
     def _mkdirs(self, path: str) -> None:
         from repro.world.image import WorldBuilder
@@ -153,16 +155,16 @@ class PackageManager:
             wallet = create_wallet()
             populate_native_wallet(
                 wallet,
-                self.runtime.open_dir("/"),
+                self.session.open_dir("/"),
                 "/bin:/usr/bin:/usr/local/bin",
                 "/lib:/usr/lib:/usr/local/lib",
-                PipeFactoryCap(self.runtime.sys),
+                PipeFactoryCap(self.session.runtime.sys),
             )
             self._wallet = wallet
         return self._wallet
 
     def _call(self, name: str, *args) -> int:
-        status = self.runtime.call(self.exports[name], *args)
+        status = self.session.call(self.exports[name], *args)
         if status != 0:
             raise RuntimeError(f"{name} failed with status {status}")
         return status
@@ -174,44 +176,44 @@ class PackageManager:
 
         return self._call(
             "download", self._wallet_value(), SocketFactoryCap(),
-            self.runtime.open_dir(self.downloads),
+            self.session.open_dir(self.downloads),
         )
 
     def unpack(self) -> int:
         return self._call(
             "unpack", self._wallet_value(),
-            self.runtime.open_file(f"{self.downloads}/emacs-24.3.tar.gz"),
-            self.runtime.open_dir(self.downloads),
+            self.session.open_file(f"{self.downloads}/emacs-24.3.tar.gz"),
+            self.session.open_dir(self.downloads),
         )
 
     def configure(self) -> int:
         return self._call(
             "configure_pkg", self._wallet_value(),
-            self.runtime.open_dir(f"{self.downloads}/emacs-24.3"),
+            self.session.open_dir(f"{self.downloads}/emacs-24.3"),
         )
 
     def build(self) -> int:
         return self._call(
             "build", self._wallet_value(),
-            self.runtime.open_dir(f"{self.downloads}/emacs-24.3"),
+            self.session.open_dir(f"{self.downloads}/emacs-24.3"),
         )
 
     def install(self) -> int:
         return self._call(
             "install_pkg", self._wallet_value(),
-            self.runtime.open_dir(f"{self.downloads}/emacs-24.3"),
-            self.runtime.open_dir(self.prefix),
+            self.session.open_dir(f"{self.downloads}/emacs-24.3"),
+            self.session.open_dir(self.prefix),
         )
 
     def uninstall(self) -> int:
         removable = [
-            self.runtime.open_file(f"{self.prefix}/bin/emacs"),
-            self.runtime.open_file(f"{self.prefix}/share/DOC"),
-            self.runtime.open_file(f"{self.prefix}/share/COPYING"),
+            self.session.open_file(f"{self.prefix}/bin/emacs"),
+            self.session.open_file(f"{self.prefix}/share/DOC"),
+            self.session.open_file(f"{self.prefix}/share/COPYING"),
         ]
         return self._call(
             "uninstall_pkg", self._wallet_value(),
-            self.runtime.open_dir(self.prefix), removable,
+            self.session.open_dir(self.prefix), removable,
         )
 
     def full_cycle(self) -> None:
@@ -223,14 +225,14 @@ class PackageManager:
         self.uninstall()
 
 
-def run_full_ambient(kernel: Kernel, user: str = "root") -> ShillRuntime:
+def run_full_ambient(kernel: Kernel, user: str = "root") -> Session:
     """Run the whole lifecycle through the ambient script (the form a
-    SHILL user would actually write)."""
-    runtime = ShillRuntime(kernel, user=user, cwd="/root", scripts=dict(SCRIPTS))
+    SHILL user would actually write).  Returns the finished session."""
+    session = Session(kernel, user=user, cwd="/root", scripts=SCRIPTS)
     from repro.world.image import WorldBuilder
 
     WorldBuilder(kernel).ensure_dir("/root/downloads")
     WorldBuilder(kernel).ensure_dir("/usr/local/emacs")
     source = AMBIENT_SCRIPT_TEMPLATE.format(downloads="/root/downloads", prefix="/usr/local/emacs")
-    runtime.run_ambient(source, "emacs.ambient")
-    return runtime
+    session.run_ambient(source, "emacs.ambient")
+    return session

@@ -35,6 +35,12 @@ class Credential:
     def is_root(self) -> bool:
         return self.uid == ROOT_UID
 
+    @property
+    def home(self) -> str:
+        """The world image's home-directory convention, in one place:
+        root lives in /root, everyone else under /home."""
+        return "/root" if self.is_root else f"/home/{self.username}"
+
     def in_group(self, gid: int) -> bool:
         return gid == self.gid or gid in self.groups
 

@@ -89,7 +89,9 @@ class ShillRuntime:
         self.loader = ModuleLoader(self)
         self._base_builtins = make_base_builtins(self)
         self.tty = TtyDevice()
+        self.tty_err = TtyDevice("stderr")
         self._tty_vnode = self._device_vnode("ttyv0", self.tty)
+        self._tty_err_vnode = self._device_vnode("stderr", self.tty_err)
         self._null_vnode = self._device_vnode("null", null_device())
         self.profile: dict[str, float] = {
             "startup": 0.0,
@@ -115,7 +117,7 @@ class ShillRuntime:
         env.define("open_file", BuiltinFunction("open_file", self.open_file))
         env.define("open_dir", BuiltinFunction("open_dir", self.open_dir))
         env.define("stdout", self.stdout_cap())
-        env.define("stderr", self.stdout_cap())
+        env.define("stderr", self.stderr_cap())
         env.define("pipe_factory", PipeFactoryCap(self.sys))
         env.define("socket_factory", SocketFactoryCap())
         return env
@@ -144,8 +146,7 @@ class ShillRuntime:
 
     def _expand(self, path: str) -> str:
         if path == "~" or path.startswith("~/"):
-            home = f"/home/{self.proc.cred.username}" if not self.proc.cred.is_root else "/root"
-            return home + path[1:]
+            return self.proc.cred.home + path[1:]
         return path
 
     def stdout_cap(self) -> FsCap:
@@ -154,6 +155,17 @@ class ShillRuntime:
             self._tty_vnode,
             PrivSet.of(Priv.WRITE, Priv.APPEND, Priv.STAT, Priv.PATH),
             last_known_path="/dev/ttyv0",
+        )
+
+    def stderr_cap(self) -> FsCap:
+        """A distinct device capability for the ambient ``stderr`` — its
+        capture buffer (:attr:`tty_err`) is separate from stdout's, so
+        diagnostics never interleave with a run's observed output."""
+        return FsCap(
+            self.sys,
+            self._tty_err_vnode,
+            PrivSet.of(Priv.WRITE, Priv.APPEND, Priv.STAT, Priv.PATH),
+            last_known_path="/dev/stderr",
         )
 
     def _device_vnode(self, name: str, device) -> Vnode:

@@ -14,7 +14,7 @@ permitted by capabilities it was granted explicitly."
 
 from __future__ import annotations
 
-import itertools
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from repro.errors import SandboxError
@@ -73,13 +73,28 @@ class Session:
         return f"<Session {self.sid} {state} procs={sorted(self.procs)}>"
 
 
+@dataclass(frozen=True)
+class AuditRecord:
+    """A session's id plus its audit log — all that outlives teardown."""
+
+    sid: int
+    log: AuditLog
+
+
 class SessionManager:
     """Creates, tracks, and tears down sessions for the SHILL policy."""
 
     def __init__(self, kernel: "Kernel") -> None:
         self.kernel = kernel
         self._sessions: dict[int, Session] = {}
-        self._sids = itertools.count(1)
+        # §3.2.2 wants audit logs viewable after the fact, so each
+        # session's log is retained past teardown — but only the log
+        # (entries of plain strings), never the Session object graph,
+        # which would pin grants and parent/child cycles forever.
+        self._audit: dict[int, AuditRecord] = {}
+        #: highest sid handed out so far — both the sid allocator and the
+        #: watermark for "which sessions were created since" queries.
+        self.last_sid = 0
 
     # ------------------------------------------------------------------
     # lifecycle syscalls
@@ -93,8 +108,10 @@ class SessionManager:
         SHILL-aware executables to "further attenuate their privileges".
         """
         parent = proc.session
-        session = Session(next(self._sids), parent, self, debug=debug)
+        self.last_sid += 1
+        session = Session(self.last_sid, parent, self, debug=debug)
         self._sessions[session.sid] = session
+        self._audit[session.sid] = AuditRecord(session.sid, session.log)
         if parent is not None:
             parent.children.append(session)
             parent.procs.discard(proc.pid)
@@ -110,6 +127,26 @@ class SessionManager:
         if session.entered:
             raise SandboxError("shill_enter: session already entered")
         session.entered = True
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    def audit_records(self) -> list[AuditRecord]:
+        """One record per session ever created (including dead ones), in
+        creation order — the audit surface "privileged users" view."""
+        return list(self._audit.values())
+
+    def audit_records_since(self, sid: int) -> list[AuditRecord]:
+        """Records for sessions created after ``sid``, in creation order.
+        _audit is insertion-ordered by sid, so scan from the tail."""
+        newer: list[AuditRecord] = []
+        for record in reversed(self._audit.values()):
+            if record.sid <= sid:
+                break
+            newer.append(record)
+        newer.reverse()
+        return newer
 
     # ------------------------------------------------------------------
     # grants (setup phase only)

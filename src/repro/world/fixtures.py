@@ -184,7 +184,9 @@ def add_web_content(kernel: Kernel, file_kb: int = 512, small_files: int = 8) ->
 def add_jpeg_samples(kernel: Kernel, owner: str = "alice") -> list[str]:
     builder = WorldBuilder(kernel)
     cred = kernel.users.lookup(owner)
-    base = f"/home/{owner}/Documents"
+    # Samples land in the owner's *actual* home, so `open_dir("~/Documents")`
+    # resolves for root sessions too.
+    base = f"{cred.home}/Documents"
     builder.ensure_dir(base, uid=cred.uid, gid=cred.gid)
     paths = []
     for name, body in (("dog.jpg", b"JPEG" + b"\xde\xad" * 64), ("notes.txt", b"not a jpeg")):

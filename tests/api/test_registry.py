@@ -1,0 +1,76 @@
+"""ScriptRegistry: sources from strings, files, and directories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ScriptRegistry
+
+
+def test_add_string_sources():
+    reg = ScriptRegistry().add("a.cap", "#lang shill/cap\n").add("b.ambient", "#lang shill/ambient\n")
+    assert "a.cap" in reg and "b.ambient" in reg
+    assert reg.get("a.cap").startswith("#lang shill/cap")
+    assert len(reg) == 2
+
+
+def test_init_from_mapping_copies():
+    base = {"a.cap": "src"}
+    reg = ScriptRegistry(base)
+    base["a.cap"] = "mutated"
+    assert reg.get("a.cap") == "src"
+
+
+def test_add_file_uses_basename(tmp_path):
+    f = tmp_path / "hello.cap"
+    f.write_text("#lang shill/cap\n")
+    reg = ScriptRegistry().add_file(f)
+    assert reg.get("hello.cap") == "#lang shill/cap\n"
+
+
+def test_add_file_with_explicit_name(tmp_path):
+    f = tmp_path / "whatever.txt"
+    f.write_text("src")
+    assert ScriptRegistry().add_file(f, name="renamed.cap").get("renamed.cap") == "src"
+
+
+def test_add_dir_picks_only_script_suffixes(tmp_path):
+    (tmp_path / "one.cap").write_text("1")
+    (tmp_path / "two.ambient").write_text("2")
+    (tmp_path / "notes.txt").write_text("skip me")
+    reg = ScriptRegistry().add_dir(tmp_path)
+    assert sorted(reg) == ["one.cap", "two.ambient"]
+
+
+def test_add_dir_recursive_rejects_colliding_basenames(tmp_path):
+    (tmp_path / "a").mkdir()
+    (tmp_path / "b").mkdir()
+    (tmp_path / "a" / "util.cap").write_text("A")
+    (tmp_path / "b" / "util.cap").write_text("B")
+    with pytest.raises(ValueError, match="duplicate script name"):
+        ScriptRegistry().add_dir(tmp_path, recursive=True)
+
+
+def test_add_dir_rejects_cross_call_collisions_too(tmp_path):
+    (tmp_path / "a").mkdir()
+    (tmp_path / "b").mkdir()
+    (tmp_path / "a" / "util.cap").write_text("A")
+    (tmp_path / "b" / "util.cap").write_text("B")
+    reg = ScriptRegistry().add_dir(tmp_path / "a")
+    with pytest.raises(ValueError, match="duplicate script name"):
+        reg.add_dir(tmp_path / "b")
+    # Re-adding identical content is not a conflict.
+    reg.add_dir(tmp_path / "a")
+
+
+def test_add_dir_rejects_non_directory(tmp_path):
+    with pytest.raises(NotADirectoryError):
+        ScriptRegistry().add_dir(tmp_path / "missing")
+
+
+def test_merged_does_not_mutate_operands():
+    a = ScriptRegistry({"a.cap": "1"})
+    b = ScriptRegistry({"b.cap": "2"})
+    merged = a.merged(b)
+    assert sorted(merged) == ["a.cap", "b.cap"]
+    assert len(a) == 1 and len(b) == 1

@@ -1,0 +1,163 @@
+"""RunResult field fidelity: stdout vs stderr, denials, profile keys."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.api import PROFILE_KEYS, ScriptRegistry, Sandbox, World
+
+WRITE_BOTH = """\
+#lang shill/ambient
+append(stdout, "to stdout\\n");
+append(stderr, "to stderr\\n");
+"""
+
+EXEC_CAT = """\
+#lang shill/cap
+require shill/native;
+provide run_cat : {wallet : native_wallet, target : file(+read, +path),
+                   out : file(+write, +append)} -> is_num;
+run_cat = fun(wallet, target, out) {
+  cat = pkg_native("cat", wallet);
+  cat([target], stdout = out);
+}
+"""
+
+EXEC_AMBIENT = """\
+#lang shill/ambient
+require shill/native;
+require "run_cat.cap";
+root = open_dir("/");
+wallet = create_wallet();
+populate_native_wallet(wallet, root,
+                       "/bin:/usr/bin:/usr/local/bin",
+                       "/lib:/usr/lib:/usr/local/lib",
+                       pipe_factory);
+target = open_file("/etc/locale.conf");
+run_cat(wallet, target, stdout);
+"""
+
+
+class TestAmbientRunResults:
+    def test_stdout_and_stderr_are_distinct(self):
+        result = World().boot().session().run_ambient(WRITE_BOTH)
+        assert result.stdout == "to stdout\n"
+        assert result.stderr == "to stderr\n"
+
+    def test_result_is_frozen(self):
+        result = World().boot().session().run_ambient(WRITE_BOTH)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            result.stdout = "tampered"
+        with pytest.raises(TypeError):
+            result.profile["total"] = 0.0
+
+    def test_profile_carries_documented_keys(self):
+        result = World().boot().session().run_ambient(WRITE_BOTH)
+        assert tuple(sorted(result.profile)) == tuple(sorted(PROFILE_KEYS))
+        assert result.profile["total"] > 0
+        assert result.profile["remaining"] <= result.profile["total"]
+
+    def test_successful_run_reports_ok_and_no_sandboxes(self):
+        result = World().boot().session().run_ambient(WRITE_BOTH)
+        assert result.ok and result.status == 0
+        assert result.sandbox_count == 0
+        assert result.denials == ()
+
+    def test_exec_counts_sandboxes_per_run(self):
+        session = World().boot().session(
+            scripts=ScriptRegistry().add("run_cat.cap", EXEC_CAT))
+        first = session.run_ambient(EXEC_AMBIENT, "a.ambient")
+        # pkg_native's ldd probe + the cat sandbox itself
+        assert first.sandbox_count == 2
+        assert "LANG=C.UTF-8" in first.stdout
+        # A second run on the same session reports only its own sandboxes
+        # and its own output slice.
+        second = session.run_ambient(WRITE_BOTH, "b.ambient")
+        assert second.sandbox_count == 0
+        assert second.stdout == "to stdout\n"
+        assert session.sandbox_count == 2
+
+    def test_session_result_snapshot_accumulates(self):
+        session = World().boot().session()
+        session.run_ambient(WRITE_BOTH, "a.ambient")
+        session.run_ambient(WRITE_BOTH, "b.ambient")
+        snapshot = session.result()
+        assert snapshot.stdout == "to stdout\nto stdout\n"
+        assert snapshot.stderr == "to stderr\nto stderr\n"
+
+    def test_per_run_profile_is_a_delta(self):
+        session = World().boot().session(
+            scripts=ScriptRegistry().add("run_cat.cap", EXEC_CAT))
+        first = session.run_ambient(EXEC_AMBIENT, "a.ambient")
+        assert first.profile["sandbox_exec"] > 0
+        second = session.run_ambient(WRITE_BOTH, "b.ambient")
+        # The second (sandbox-free) run must not inherit run one's
+        # sandbox timings, and its total covers only itself.
+        assert second.profile["sandbox_exec"] == 0.0
+        assert second.profile["sandbox_setup"] == 0.0
+        assert second.profile["total"] < first.profile["total"]
+
+    def test_sessions_on_a_shared_kernel_keep_audit_trails_apart(self):
+        world = World().boot()
+        quiet = world.session()
+        noisy = world.session(
+            scripts=ScriptRegistry().add("run_cat.cap", EXEC_CAT))
+        noisy.run_ambient(EXEC_AMBIENT, "a.ambient")
+        assert noisy.sandbox_count == 2
+        # The bystander session reports none of its neighbour's sandbox
+        # sessions in its own audit snapshot.
+        assert quiet.result().denials == ()
+        assert quiet.result().auto_granted == ()
+        assert quiet.denials == ()
+
+
+class TestSandboxRunResults:
+    POLICY_OK = (
+        "/ : +lookup with {}\n"
+        "/etc : +lookup with {}\n"
+        "/lib : +lookup, +read, +stat, +path\n"
+        "/libexec : +lookup, +read, +stat, +path\n"
+        "/etc/locale.conf : +read, +stat, +path\n"
+    )
+
+    def test_allowed_command_captures_stdout(self):
+        world = World().boot()
+        result = world.sandbox(self.POLICY_OK).exec(["/bin/cat", "/etc/locale.conf"])
+        assert result.ok
+        assert "LANG=C.UTF-8" in result.stdout
+        assert result.sandbox_count == 1
+
+    def test_denied_command_reports_denial_entries(self):
+        world = World().boot()
+        result = world.sandbox("").exec(["/bin/cat", "/etc/passwd"])
+        assert not result.ok
+        assert result.denied
+        # The empty policy stops cat at the very first resolution step.
+        assert all(entry.kind == "deny" for entry in result.denials)
+        assert any("missing +" in line for line in result.denial_lines())
+
+    def test_debug_mode_reports_auto_grants(self):
+        world = World().boot()
+        result = world.sandbox("", debug=True).exec(["/bin/cat", "/etc/passwd"])
+        assert result.ok
+        assert any("+read" in line for line in result.auto_granted)
+
+    def test_session_shell_uses_session_user(self):
+        session = World().for_user("alice").boot().session()
+        sandbox = session.shell(self.POLICY_OK)
+        assert isinstance(sandbox, Sandbox)
+        assert sandbox.user == "alice"
+        assert sandbox.exec(["/bin/cat", "/etc/locale.conf"]).ok
+
+    def test_stdin_bytes_reach_the_command(self):
+        world = World().boot()
+        policy = (
+            "/ : +lookup with {}\n"
+            "/lib : +lookup, +read, +stat, +path\n"
+            "/libexec : +lookup, +read, +stat, +path\n"
+        )
+        result = world.sandbox(policy).exec(["/bin/cat"], stdin=b"piped through\n")
+        assert result.ok
+        assert result.stdout == "piped through\n"

@@ -1,0 +1,60 @@
+"""Deprecation shims: the engine stays importable where it always was."""
+
+from __future__ import annotations
+
+import pytest
+
+
+def test_shillruntime_imports_from_historical_location():
+    from repro.lang.runner import ShillRuntime
+    from repro.world import build_world
+
+    runtime = ShillRuntime(build_world(), user="root", cwd="/root")
+    assert runtime.profile["sandbox_count"] == 0
+
+
+def test_api_session_wraps_the_same_engine():
+    from repro.api import Session, World
+    from repro.lang.runner import ShillRuntime
+
+    session = Session(World().boot().kernel)
+    assert isinstance(session.runtime, ShillRuntime)
+
+
+def test_repro_api_shillruntime_alias_warns():
+    import repro.api as api
+    from repro.lang.runner import ShillRuntime
+
+    with pytest.warns(DeprecationWarning, match="deprecated alias"):
+        assert api.ShillRuntime is ShillRuntime
+
+
+def test_repro_api_build_world_alias_warns():
+    import repro.api as api
+    from repro.world import build_world
+
+    with pytest.warns(DeprecationWarning, match="deprecated alias"):
+        assert api.build_world is build_world
+
+
+def test_top_level_reexports():
+    import repro
+
+    assert repro.World is repro.api.World
+    assert repro.Session is repro.api.Session
+    assert repro.RunResult is repro.api.RunResult
+    with pytest.raises(AttributeError):
+        repro.NoSuchName
+
+
+def test_casestudy_results_keep_runtime_property():
+    from repro.api import World
+    from repro.casestudies.findgrep import run_simple
+    from repro.lang.runner import ShillRuntime
+
+    world = World().with_usr_src(subsystems=1, files_per_dir=4).boot()
+    result = run_simple(world.kernel)
+    with pytest.warns(DeprecationWarning, match="deprecated alias"):
+        engine = result.runtime
+    assert isinstance(engine, ShillRuntime)
+    assert engine.profile["sandbox_count"] == result.run.sandbox_count

@@ -1,0 +1,128 @@
+"""World builder combinations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import FIXTURE_CHOICES, World
+
+
+class TestBuilder:
+    def test_boot_is_idempotent(self):
+        world = World().boot()
+        assert world.boot() is world
+        assert world.booted
+
+    def test_configure_after_boot_rejected(self):
+        world = World().boot()
+        with pytest.raises(RuntimeError):
+            world.with_jpeg_samples()
+
+    def test_without_shill_is_baseline_machine(self):
+        assert not World().without_shill().boot().kernel.shill_installed
+        assert World().boot().kernel.shill_installed
+
+    def test_steps_apply_in_declaration_order(self):
+        world = (
+            World()
+            .with_usr_src(subsystems=1, files_per_dir=4)
+            .with_symlink("/etc/passwd", "/usr/src/sys00/dir0/evil.c")
+            .boot()
+        )
+        sys = world.syscalls()
+        assert sys.readlink("/usr/src/sys00/dir0/evil.c") == "/etc/passwd"
+
+    def test_with_users_creates_missing_user_with_home(self):
+        world = World().with_users("mallory").boot()
+        cred = world.kernel.users.lookup("mallory")
+        assert cred.uid >= 2001
+        home = world.syscalls().stat("/home/mallory")
+        assert home.uid == cred.uid
+
+    def test_with_users_existing_user_is_noop(self):
+        world = World().with_users("alice").boot()
+        assert world.kernel.users.lookup("alice").uid == 1001
+
+    def test_for_user_sets_session_default(self):
+        world = World().for_user("alice").boot()
+        assert world.session().user == "alice"
+        assert world.session().cwd == "/home/alice"
+
+    def test_for_user_unknown_user_is_created(self):
+        world = World().for_user("carol").boot()
+        assert world.kernel.users.lookup("carol").uid >= 2001
+
+
+class TestFixtures:
+    def test_jpeg_owner_follows_default_user(self):
+        world = World().for_user("tester").with_jpeg_samples().boot()
+        stat = world.syscalls().stat("/home/tester/Documents/dog.jpg")
+        assert stat.uid == world.kernel.users.lookup("tester").uid
+
+    def test_jpeg_owner_defaults_to_world_user_with_root_home(self):
+        world = World().with_jpeg_samples().boot()  # default user: root
+        assert world.read_file("/root/Documents/dog.jpg").startswith(b"JPEG")
+
+    def test_fixture_results_recorded(self):
+        world = (
+            World()
+            .with_grading_fixture(students=2, tests=1)
+            .with_usr_src(subsystems=1, files_per_dir=4)
+            .boot()
+        )
+        assert world.fixtures["grading"]["submissions"] == "/home/tester/submissions"
+        assert world.fixtures["usr_src"]["total"] == 8
+
+    def test_with_fixture_none_is_noop(self):
+        world = World().with_fixture("none").boot()
+        with pytest.raises(Exception):
+            world.read_file("/home/alice/Documents/dog.jpg")
+
+    def test_with_fixture_dispatch(self):
+        world = World().with_fixture("jpeg", owner="alice").boot()
+        assert world.read_file("/home/alice/Documents/dog.jpg")
+
+    def test_with_fixture_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown fixture"):
+            World().with_fixture("nonsense")
+
+    def test_every_documented_choice_accepted(self):
+        for name in FIXTURE_CHOICES:
+            World().with_fixture(name)  # must not raise
+
+
+class TestContentHelpers:
+    def test_with_file_and_dir_and_owner(self):
+        world = (
+            World()
+            .with_dir("/srv/data", owner="alice")
+            .with_file("/srv/data/hello.txt", "hi there", owner="alice")
+            .boot()
+        )
+        assert world.read_file("/srv/data/hello.txt") == b"hi there"
+        assert world.syscalls().stat("/srv/data/hello.txt").uid == 1001
+
+    def test_ownerless_content_follows_default_user(self):
+        world = (
+            World()
+            .for_user("alice")
+            .with_file("/home/alice/notes.txt", "mine")
+            .boot()
+        )
+        assert world.syscalls().stat("/home/alice/notes.txt").uid == 1001
+        # ...so the default user can actually write what the world gave them
+        world.syscalls("alice").write_whole("/home/alice/notes.txt", b"updated")
+
+    def test_for_user_without_create_fails_on_unknown_user(self):
+        with pytest.raises(KeyError, match="no such user"):
+            World().for_user("tpyo", create=False).boot().session()
+
+    def test_write_and_read_file_roundtrip_after_boot(self):
+        world = World().boot()
+        world.write_file("/tmp/x.txt", "later")
+        assert world.read_file("/tmp/x.txt") == b"later"
+
+    def test_with_setup_escape_hatch_records_value(self):
+        world = World().with_setup(lambda kernel: kernel.shill_installed,
+                                   key="probe").boot()
+        assert world.fixtures["probe"] is True

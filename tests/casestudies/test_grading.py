@@ -80,7 +80,7 @@ class TestFunctionality:
         two ldd sandboxes."""
         result = run_shill_grading(honest_world)
         expected = 2 + STUDENTS * (1 + TESTS)
-        assert result.runtime.profile["sandbox_count"] == expected
+        assert result.run.sandbox_count == expected
 
 
 class TestSecurity:

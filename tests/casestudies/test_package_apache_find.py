@@ -43,10 +43,10 @@ class TestPackageManagement:
         assert sys.contents("/usr/local/emacs/bin") == []
 
     def test_ambient_script_runs_whole_lifecycle(self, world):
-        runtime = run_full_ambient(world)
+        session = run_full_ambient(world)
         sys = rootsys(world)
         assert sys.contents("/usr/local/emacs/bin") == []  # uninstalled at the end
-        assert runtime.profile["sandbox_count"] > 0
+        assert session.sandbox_count > 0
 
     def test_download_needs_socket_factory(self, world):
         """Only download can reach the network; a download attempt without
@@ -55,11 +55,11 @@ class TestPackageManagement:
 
         pm = PackageManager(world)
         with pytest.raises((ContractViolation, RuntimeError)):
-            pm.runtime.call(
+            pm.session.runtime.call(
                 pm.exports["download"],
                 pm._wallet_value(),
                 "not-a-socket-factory",
-                pm.runtime.open_dir(pm.downloads),
+                pm.session.runtime.open_dir(pm.downloads),
             )
 
     def test_install_cannot_touch_existing_prefix_files(self, world):
@@ -75,7 +75,7 @@ class TestPackageManagement:
         # Direct probe: cat the canary under the install-time prefix grant.
         from repro.sandbox.privileges import Priv, PrivSet
 
-        prefix = pm.runtime.open_dir(pm.prefix)
+        prefix = pm.session.runtime.open_dir(pm.prefix)
         install_privs = PrivSet.of(Priv.PATH, Priv.STAT).adding(
             Priv.LOOKUP, Priv.CREATE_FILE, Priv.CREATE_DIR
         ).with_modifier(Priv.LOOKUP, ())
@@ -83,9 +83,9 @@ class TestPackageManagement:
         from repro.capability.caps import PipeFactoryCap
         from repro.stdlib.native import make_pkg_native
 
-        cat_wrapped = make_pkg_native(pm.runtime)("cat", pm._wallet_value())
-        rend, wend = PipeFactoryCap(pm.runtime.sys).create()
-        status = pm.runtime.call(
+        cat_wrapped = make_pkg_native(pm.session.runtime)("cat", pm._wallet_value())
+        rend, wend = PipeFactoryCap(pm.session.runtime.sys).create()
+        status = pm.session.runtime.call(
             cat_wrapped, ["/usr/local/emacs/canary.txt"], stderr=wend, extras=[probe]
         )
         assert status == 1  # EACCES inside the sandbox
@@ -161,12 +161,12 @@ class TestFind:
     def test_fine_version_one_sandbox_per_c_file(self, world):
         fine = run_fine(world)
         # one ldd sandbox (pkg_native) + one grep sandbox per .c file
-        assert fine.runtime.profile["sandbox_count"] == 1 + self.counts["c_files"]
+        assert fine.run.sandbox_count == 1 + self.counts["c_files"]
 
     def test_simple_version_two_sandboxes(self, world):
         simple = run_simple(world)
         # one ldd sandbox + one find sandbox (grep runs inside it)
-        assert simple.runtime.profile["sandbox_count"] == 2
+        assert simple.run.sandbox_count == 2
 
     def test_symlink_out_of_tree_is_confined(self, world):
         """A planted symlink /usr/src/.../evil.c -> /etc/passwd matches the

@@ -4,21 +4,26 @@ from __future__ import annotations
 
 import pytest
 
+from repro.api import Session, World
 from repro.errors import ContractViolation, ShillRuntimeError
 from repro.capability.caps import PipeFactoryCap
-from repro.lang.runner import ShillRuntime
 from repro.sandbox.privileges import Priv, PrivSet
-from repro.world import build_world
 
 
 @pytest.fixture
 def world():
-    return build_world()
+    return World().boot().kernel
 
 
 @pytest.fixture
-def rt(world):
-    return ShillRuntime(world, user="root", cwd="/root")
+def session(world):
+    return Session(world, user="root")
+
+
+@pytest.fixture
+def rt(session):
+    # The engine, for assertions on the language <-> sandbox seam.
+    return session.runtime
 
 
 def wallet_for(rt):

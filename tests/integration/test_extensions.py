@@ -10,7 +10,7 @@ from repro.kernel import O_RDONLY, O_WRONLY, errno_
 from repro.kernel.devices import TtyDevice
 from repro.kernel.fdesc import OpenFile
 from repro.kernel.vfs import Vnode, VType
-from repro.lang.runner import ShillRuntime
+from repro.api import Session, World
 from repro.sandbox.privileges import (
     ConnType,
     Priv,
@@ -18,7 +18,6 @@ from repro.sandbox.privileges import (
     SocketPerms,
     SockPriv,
 )
-from repro.world import build_world
 
 
 class TestDeviceInterposition:
@@ -43,7 +42,7 @@ class TestDeviceInterposition:
         return sys, tty
 
     def test_bypass_closed_when_enabled(self):
-        kernel = build_world()
+        kernel = World().boot().kernel
         kernel.interpose_devices = True
         sys, tty = self._sandbox_with_tty(kernel, grant_tty=False)
         with pytest.raises(SysError) as exc:
@@ -54,7 +53,7 @@ class TestDeviceInterposition:
         assert tty.device.text == ""
 
     def test_granted_device_still_usable(self):
-        kernel = build_world()
+        kernel = World().boot().kernel
         kernel.interpose_devices = True
         sys, tty = self._sandbox_with_tty(kernel, grant_tty=True)
         sys.write(9, b"allowed")
@@ -62,7 +61,7 @@ class TestDeviceInterposition:
         assert sys.read(8, 6) == b"secret"
 
     def test_default_reproduces_the_paper_limitation(self):
-        kernel = build_world()
+        kernel = World().boot().kernel
         assert kernel.interpose_devices is False
         sys, tty = self._sandbox_with_tty(kernel, grant_tty=False)
         sys.write(9, b"bypass")  # not interposed: the documented gap
@@ -74,9 +73,9 @@ class TestDeviceInterposition:
         from repro.capability.caps import PipeFactoryCap
         from repro.stdlib.native import create_wallet, make_pkg_native, populate_native_wallet
 
-        kernel = build_world()
+        kernel = World().boot().kernel
         kernel.interpose_devices = True
-        rt = ShillRuntime(kernel, user="root", cwd="/root")
+        rt = Session(kernel, user="root").runtime
         wallet = create_wallet()
         populate_native_wallet(
             wallet, rt.open_dir("/"), "/bin:/usr/bin:/usr/local/bin",
@@ -91,8 +90,8 @@ class TestLanguageSockets:
 
     @pytest.fixture
     def rt(self):
-        kernel = build_world()
-        return ShillRuntime(kernel, user="root", cwd="/root")
+        kernel = World().boot().kernel
+        return Session(kernel, user="root").runtime
 
     SERVER_CLIENT = """\
 #lang shill/cap

@@ -7,12 +7,12 @@ import pytest
 from repro.errors import SandboxError, SysError
 from repro.kernel import O_RDONLY, errno_
 from repro.sandbox.privileges import Priv, PrivSet, SocketPerms, SockPriv
-from repro.world import build_world
+from repro.api import World
 
 
 @pytest.fixture
 def world():
-    return build_world()
+    return World().boot().kernel
 
 
 def new_session(kernel, parent_proc=None, grants=()):
