@@ -2,10 +2,17 @@
 
 ``REPRO_BENCH_RUNS`` (default 3) controls the per-configuration sample
 count of the comparison harness; the paper used 50.
+
+Besides the human-readable tables printed at session end, the Figure 9
+cells are written to a JSON file (``REPRO_BENCH_JSON``, default
+``BENCH_fig9.json`` in the working directory) — a machine-readable
+trajectory of means, confidence intervals, and deterministic kernel op
+counts that the CI benchmark job uploads as an artifact.
 """
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
@@ -13,10 +20,21 @@ import pytest
 RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "3"))
 
 _rows: list[str] = []
+_cells: dict[str, dict[str, dict]] = {}
 
 
 def record_row(row: str) -> None:
     _rows.append(row)
+
+
+def record_cell(bench: str, config: str, sample) -> None:
+    """Store one (benchmark, configuration) cell for the JSON artifact."""
+    _cells.setdefault(bench, {})[config] = {
+        "mean_s": sample.mean,
+        "ci95_s": sample.ci95,
+        "runs": len(sample.seconds),
+        "ops": sample.op_counts,
+    }
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -28,3 +46,18 @@ def print_tables_at_end():
         print("=" * 100)
         for row in _rows:
             print(row)
+    if _cells:
+        from repro.bench import FIG9_BENCHMARKS
+
+        path = os.environ.get("REPRO_BENCH_JSON", "BENCH_fig9.json")
+        payload = {
+            "runs_per_cell": RUNS,
+            # Aborted / filtered runs write whatever completed; the
+            # expected row list + flag make truncation detectable.
+            "expected_benchmarks": list(FIG9_BENCHMARKS),
+            "complete": set(_cells) >= set(FIG9_BENCHMARKS),
+            "benchmarks": _cells,
+        }
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"\nFigure 9 cells written to {path}")

@@ -3,45 +3,67 @@
 Each test benchmarks the workload's most interesting secured
 configuration with pytest-benchmark, *and* measures every configuration
 with the comparison harness to print the full Figure 9 row and assert the
-paper's qualitative shape:
+paper's qualitative shape.
+
+Shape assertions gate on **deterministic kernel operation counts**, not
+wall-clock: under full-suite load, millisecond-scale timing means are
+noisy enough to flake, while the op counts are exact and identical on
+every run.  The paper's claims map onto counts directly:
 
 * "the overhead of our system for programs that are not secured by SHILL
-  scripts is negligible" — installed ≈ baseline;
-* secured configurations cost more than baseline, with Download/Uninstall
-  (startup-dominated) and SHILL-Find (one sandbox per file) the extremes.
+  scripts is negligible" — the installed configuration executes the
+  *identical* operation trace as baseline (same syscalls, vnode ops, and
+  MAC framework checks; the module just allows them), and creates zero
+  sandboxes;
+* secured configurations pay for security in sandboxes: every sandboxed
+  / shill cell creates at least one, and the SHILL Find — one sandbox per
+  matching file — creates the most of any configuration.
+
+Wall-clock means ± CI are still measured and reported (the printed
+Figure 9 row and the ``BENCH_fig9.json`` artifact); they are benchmark
+output, not a gate.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from conftest import RUNS, record_row
+from conftest import RUNS, record_cell, record_row
 from repro.bench import WORKLOADS, format_row, measure
-
-#: Generous bound for "negligible": installed may not be slower than
-#: baseline by more than this factor (the paper found no significant
-#: difference; wall-clock noise at millisecond scale needs slack).
-INSTALLED_TOLERANCE = 2.0
 
 
 def _run_configs(bench: str) -> dict:
     cells = {}
     for config, make in WORKLOADS[bench].items():
         cells[config] = measure(make, runs=RUNS, warmup=1, name=config)
+        record_cell(bench, config, cells[config])
     record_row(format_row(bench, cells))
     return cells
 
 
 def _assert_shape(bench: str, cells: dict) -> None:
-    base = cells["baseline"].mean
-    assert cells["installed"].mean <= base * INSTALLED_TOLERANCE, (
-        f"{bench}: 'SHILL installed' overhead should be negligible"
+    base = cells["baseline"].op_counts
+    installed = cells["installed"].op_counts
+    assert base and installed, f"{bench}: op counts were not captured"
+    # Installed-but-inactive is *exactly* baseline, operation for
+    # operation — the deterministic form of "overhead is negligible".
+    # Both the aggregates and the per-operation-name trace must agree
+    # (equal totals could otherwise hide e.g. an open swapped for a read).
+    assert installed == base, (
+        f"{bench}: 'SHILL installed' must match baseline op counts"
     )
+    assert cells["installed"].op_trace == cells["baseline"].op_trace, (
+        f"{bench}: 'SHILL installed' must execute the identical op trace"
+    )
+    assert base["sandboxes_created"] == 0
+    assert base["mac_denials"] == 0 and installed["mac_denials"] == 0
     for secured in ("sandboxed", "shill"):
         if secured in cells:
-            # Security is not free, but the task still completes: the
-            # secured run is bounded (well under 100x here).
-            assert cells[secured].mean < base * 100
+            sec = cells[secured].op_counts
+            # Security is not free: the secured run builds sandboxes
+            # (and still completes the task — its trace is non-trivial).
+            assert sec["sandboxes_created"] >= 1, f"{bench}/{secured}"
+            assert sec["total_syscalls"] > 0 or sec["vnode_ops"] > 0
 
 
 def _bench_primary(benchmark, bench: str, config: str) -> None:
@@ -67,11 +89,14 @@ def test_fig9_row(benchmark, bench: str, primary: str) -> None:
     _bench_primary(benchmark, bench, primary)
 
 
-def test_fig9_find_shill_slower_than_sandboxed(benchmark) -> None:
+def test_fig9_find_shill_per_file_sandboxes(benchmark) -> None:
     """The SHILL version of Find creates a sandbox per .c file and is the
-    most expensive configuration, as in the paper (6.01x baseline)."""
+    most expensive configuration, as in the paper (6.01x baseline).  The
+    deterministic form: it creates far more sandboxes than the simple
+    version's single find+grep sandbox."""
     cells = _run_configs("Find")
-    assert cells["shill"].mean > cells["sandboxed"].mean
+    assert cells["shill"].op_counts["sandboxes_created"] > \
+        cells["sandboxed"].op_counts["sandboxes_created"]
     benchmark.pedantic(lambda: WORKLOADS["Find"]["shill"]()(), rounds=2, iterations=1)
 
 

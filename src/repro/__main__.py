@@ -14,15 +14,23 @@ Usage::
         The section 3.2.2 debugging tool: run one command in a sandbox
         configured from a policy file.  Add --debug to auto-grant and
         report the privileges the command needed.
+
+    python -m repro batch AMBIENT.ambient [MORE.ambient ...] [--parallel]
+        Run many ambient scripts, each against its own copy-on-write
+        fork of one world image (boot cost is paid once).  --parallel
+        runs them on a thread pool with per-job kernels; results are
+        identical to the sequential run.  --json emits a machine-readable
+        summary with the deterministic kernel op counts per job.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys as _hostsys
 
-from repro.api import FIXTURE_CHOICES, ScriptRegistry, World
+from repro.api import FIXTURE_CHOICES, Batch, ScriptRegistry, World
 
 
 def cmd_demo(_args: argparse.Namespace) -> int:
@@ -65,6 +73,41 @@ def cmd_shill_run(args: argparse.Namespace) -> int:
         for line in result.denial_lines():
             print("  " + line)
     return result.status
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    world = World().for_user(args.user, create=False).with_fixture(args.fixture)
+    registry = ScriptRegistry()
+    for cap_path in args.cap:
+        registry.add_file(cap_path)
+    batch = Batch(world, scripts=registry, cache=not args.no_cache)
+    for script in args.scripts:
+        path = pathlib.Path(script)
+        batch.add(path.read_text(), name=path.name)
+    results = batch.run(parallel=args.parallel, workers=args.workers)
+
+    if args.json:
+        print(json.dumps([
+            {
+                "script": job.name,
+                "status": result.status,
+                "stdout": result.stdout,
+                "stderr": result.stderr,
+                "sandboxes": result.sandbox_count,
+                "ops": dict(result.ops),
+            }
+            for job, result in zip(batch.jobs, results)
+        ], indent=2))
+    else:
+        for job, result in zip(batch.jobs, results):
+            print(f"== {job.name} (status {result.status}) ==")
+            print(result.stdout, end="")
+            if result.stderr:
+                _hostsys.stderr.write(result.stderr)
+        stats = batch.stats
+        print(f"-- {stats['jobs']} jobs, {stats['forks']} world forks, "
+              f"{stats['cache_hits']} result-cache hits --")
+    return max((r.status for r in results), default=0)
 
 
 _DEMO_FIND_JPG = """\
@@ -111,6 +154,20 @@ def main(argv: list[str] | None = None) -> int:
     sr_p.add_argument("--user", default="root")
     sr_p.add_argument("--debug", action="store_true")
 
+    batch_p = sub.add_parser("batch", help="run many ambient scripts over forked worlds")
+    batch_p.add_argument("scripts", nargs="+", metavar="script")
+    batch_p.add_argument("--cap", action="append", default=[],
+                         help="capability-safe script file(s) to register")
+    batch_p.add_argument("--user", default="alice")
+    batch_p.add_argument("--fixture", choices=list(FIXTURE_CHOICES), default="jpeg")
+    batch_p.add_argument("--parallel", action="store_true",
+                         help="run jobs on a thread pool (per-job kernels)")
+    batch_p.add_argument("--workers", type=int, default=4)
+    batch_p.add_argument("--json", action="store_true",
+                         help="machine-readable per-job summary")
+    batch_p.add_argument("--no-cache", action="store_true",
+                         help="bypass the (world, script, user) result cache")
+
     args = parser.parse_args(argv)
     if args.command == "demo":
         return cmd_demo(args)
@@ -118,6 +175,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_run(args)
     if args.command == "shill-run":
         return cmd_shill_run(args)
+    if args.command == "batch":
+        return cmd_batch(args)
     parser.error("unknown command")
     return 2
 

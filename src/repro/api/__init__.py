@@ -1,15 +1,21 @@
 """repro.api — the single supported public surface.
 
-Everything above the kernel goes through four nouns:
+Everything above the kernel goes through five nouns:
 
 * :class:`World` — fluent builder for the deterministic world image
-  (users, workload fixtures, ad-hoc files), booted once;
+  (users, workload fixtures, ad-hoc files), booted once through a
+  boot-image cache; cheap to :meth:`~World.fork` and to fan out as a
+  :meth:`~World.pool`;
 * :class:`Session` — one SHILL invocation: runs ambient scripts, loads
   capability-safe exports, and snapshots results;
+* :class:`Batch` — many (script, user) jobs over per-job world forks,
+  sequentially deterministic or thread-parallel, with a result cache
+  keyed on (world digest, script, user);
 * :class:`Sandbox` — the ``shill-run`` debugging tool: one command under
   a policy file;
 * :class:`RunResult` — the frozen answer object (stdout, stderr, exit
-  status, per-phase profile breakdown, denials, sandbox count).
+  status, per-phase profile breakdown, deterministic op counts, denials,
+  sandbox count).
 
 :class:`ScriptRegistry` feeds named ``.cap`` / ``.ambient`` sources —
 from strings, files, or directories — into sessions.
@@ -33,22 +39,40 @@ from __future__ import annotations
 
 import warnings
 
+from repro.api.batch import Batch, BatchJob, clear_result_cache, result_cache_size
 from repro.api.registry import SCRIPT_SUFFIXES, ScriptRegistry
-from repro.api.results import PROFILE_KEYS, RunResult, freeze_profile
+from repro.api.results import OPS_KEYS, PROFILE_KEYS, RunResult, freeze_ops, freeze_profile
 from repro.api.sandboxes import Sandbox
 from repro.api.sessions import Session
-from repro.api.worlds import FIXTURE_CHOICES, World
+from repro.api.worlds import (
+    FIXTURE_CHOICES,
+    World,
+    WorldPool,
+    as_kernel,
+    boot_cache_size,
+    clear_boot_cache,
+)
 
 __all__ = [
     "World",
+    "WorldPool",
     "Session",
     "Sandbox",
+    "Batch",
+    "BatchJob",
     "RunResult",
     "ScriptRegistry",
     "FIXTURE_CHOICES",
     "PROFILE_KEYS",
+    "OPS_KEYS",
     "SCRIPT_SUFFIXES",
+    "as_kernel",
     "freeze_profile",
+    "freeze_ops",
+    "clear_boot_cache",
+    "boot_cache_size",
+    "clear_result_cache",
+    "result_cache_size",
 ]
 
 _DEPRECATED = ("ShillRuntime", "build_world")

@@ -1,0 +1,207 @@
+"""Batch: many (script, user) jobs over forked worlds.
+
+The scaling counterpart of :class:`repro.api.Session`: instead of one
+SHILL invocation against one booted world, a :class:`Batch` takes a base
+:class:`repro.api.World` and a list of jobs, gives **every job its own
+copy-on-write fork** of the base image, and returns one frozen
+:class:`repro.api.RunResult` per job in submission order.
+
+Per-job forks buy two properties at once:
+
+* **amortised boot** — the base world is built (or fetched from the
+  boot-image cache) once; each job pays only a fork, which is
+  O(changed-state) rather than O(world);
+* **order independence** — no job can observe another job's writes, so
+  running the jobs thread-parallel (``run(parallel=True)``, per-worker
+  kernels) produces byte-identical results to the sequential run:
+  ``[r.fingerprint() for r in ...]`` is invariant under scheduling.
+
+Results are additionally served from a module-level cache keyed on
+(world digest, script source, user, registered scripts) — the world is
+deterministic, so an identical job against an identical image must
+produce an identical result.  The cache only engages while the base
+world is :attr:`~repro.api.World.pristine` (booted from a digestible
+configuration and not mutated since).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+from repro.api.caching import BoundedCache
+from repro.api.registry import ScriptRegistry
+from repro.api.results import RunResult
+from repro.errors import ReproError
+
+if TYPE_CHECKING:
+    from repro.api.worlds import World
+
+#: Bounded FIFO of frozen results; old entries are evicted so a
+#: long-lived process sweeping many distinct jobs cannot grow without
+#: limit (a re-run after eviction just recomputes deterministically).
+_RESULT_CACHE: BoundedCache = BoundedCache(4096)
+
+
+def clear_result_cache() -> None:
+    """Drop all cached run results."""
+    _RESULT_CACHE.clear()
+
+
+def result_cache_size() -> int:
+    return len(_RESULT_CACHE)
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """One queued (script, user) pair."""
+
+    source: str
+    user: str | None
+    name: str
+
+
+class Batch:
+    """A queue of ambient-script jobs over one base world.
+
+    ``scripts`` (a mapping or :class:`ScriptRegistry`) is the shared
+    capability-script registry every job's session starts with.  Typical
+    flow::
+
+        batch = Batch(World().with_usr_src(), scripts=registry)
+        for user in users:
+            batch.add(AMBIENT_SRC, user=user)
+        results = batch.run(parallel=True, workers=8)
+    """
+
+    def __init__(
+        self,
+        world: "World",
+        scripts: "Mapping[str, str] | ScriptRegistry | None" = None,
+        cache: bool = True,
+    ) -> None:
+        from repro.api.worlds import World
+
+        if not isinstance(world, World):
+            raise TypeError("Batch needs a repro.api.World (its fork/digest "
+                            "machinery is what batching is built on)")
+        if isinstance(scripts, ScriptRegistry):
+            scripts = scripts.as_dict()
+        self.world = world
+        self._scripts = dict(scripts or {})
+        self._scripts_sig = tuple(sorted(self._scripts.items()))
+        self._cache_enabled = cache
+        self._jobs: list[BatchJob] = []
+        self._stats = {"jobs": 0, "cache_hits": 0, "forks": 0}
+        self._stats_lock = threading.Lock()
+
+    # -- queueing ----------------------------------------------------------
+
+    def add(self, source: str, *, user: str | None = None,
+            name: str | None = None) -> "Batch":
+        """Queue one ambient script, optionally for a specific user."""
+        self._jobs.append(BatchJob(source, user, name or f"job{len(self._jobs)}"))
+        return self
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    @property
+    def jobs(self) -> tuple[BatchJob, ...]:
+        return tuple(self._jobs)
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Totals across every :meth:`run` so far: jobs executed, result
+        cache hits, and world forks taken."""
+        with self._stats_lock:
+            return dict(self._stats)
+
+    # -- running -----------------------------------------------------------
+
+    def run(self, *, parallel: bool = False, workers: int | None = None) -> list[RunResult]:
+        """Execute every queued job; results in submission order.
+
+        Sequential by default (and always deterministic).  With
+        ``parallel=True`` jobs run on a thread pool, each against its own
+        forked kernel; results are byte-identical to the sequential run
+        (compare :meth:`RunResult.fingerprint`).
+        """
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be positive")
+        self.world.boot()
+        if not parallel:
+            return [self._run_one(job) for job in self._jobs]
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=workers or 4) as pool:
+            return list(pool.map(self._run_one, self._jobs))
+
+    def _run_one(self, job: BatchJob) -> RunResult:
+        key = self._cache_key(job)
+        if key is not None:
+            cached = _RESULT_CACHE.get(key)
+            if cached is not None:
+                self._bump("jobs", "cache_hits")
+                return cached
+        fork = self.world.fork()
+        self._bump("jobs", "forks")
+        try:
+            session = fork.session(user=job.user, scripts=self._scripts)
+        except KeyError as err:
+            # Unknown job user: the job fails alone, and with no session
+            # there is nothing to snapshot beyond the error itself.  The
+            # catch is deliberately this narrow — a KeyError out of the
+            # interpreter would be an engine bug and must propagate.
+            return self._finish(key, RunResult(status=1, stderr=f"KeyError: {err}\n"))
+        try:
+            # Jobs execute under a canonical script name: diagnostics
+            # (e.g. syntax errors) embed the script name, and cached
+            # results are shared across identically-keyed jobs whatever
+            # they were called — callers attribute output via .jobs.
+            result = session.run_ambient(job.source, "<batch>")
+        except ReproError as err:
+            # Jobs are isolated forks, so one failing script must not
+            # abort its siblings: it becomes a failed RunResult carrying
+            # everything the session observed up to the error — denials,
+            # sandbox count, profile, op counts — since the audit trail
+            # matters most exactly when a run fails.  The error text is
+            # deterministic, so cache/fingerprint semantics hold for
+            # failures too.
+            snapshot = session.result()
+            result = dataclasses.replace(
+                snapshot,
+                status=1,
+                stderr=snapshot.stderr + f"{type(err).__name__}: {err}\n",
+            )
+        return self._finish(key, result)
+
+    def _finish(self, key: tuple | None, result: RunResult) -> RunResult:
+        if key is not None:
+            # put has setdefault semantics: under parallel duplicate
+            # jobs, the first result wins everywhere (they are
+            # fingerprint-identical anyway).
+            result = _RESULT_CACHE.put(key, result)
+        return result
+
+    def _cache_key(self, job: BatchJob) -> tuple | None:
+        """(world digest, scripts, source, user) — only while the base
+        world is pristine, i.e. the digest still describes its state."""
+        if not self._cache_enabled or not self.world.pristine:
+            return None
+        return (
+            self.world.digest,
+            self._scripts_sig,
+            job.source,
+            job.user or self.world.default_user,
+        )
+
+    def _bump(self, *keys: str) -> None:
+        with self._stats_lock:
+            for key in keys:
+                self._stats[key] += 1
+
+    def __repr__(self) -> str:
+        return f"<Batch jobs={len(self._jobs)} world={self.world!r}>"

@@ -19,6 +19,19 @@ from repro.sandbox.audit import AuditEntry
 #: execution / remaining, plus the total they decompose).
 PROFILE_KEYS = ("startup", "sandbox_setup", "sandbox_exec", "total", "remaining")
 
+#: The deterministic kernel operation counters every ``RunResult.ops``
+#: mapping carries (deltas of :meth:`repro.kernel.kernel.KernelStats
+#: .snapshot` over the run).  Unlike ``profile``, these are exact and
+#: reproducible — the benchmark shape assertions and the batch runner's
+#: determinism checks gate on them.
+OPS_KEYS = ("total_syscalls", "vnode_ops", "mac_checks", "mac_denials",
+            "sandboxes_created", "execs")
+
+
+def freeze_ops(raw: Mapping[str, int]) -> Mapping[str, int]:
+    """Package a kernel-stats delta into the public immutable mapping."""
+    return MappingProxyType({key: int(raw.get(key, 0)) for key in OPS_KEYS})
+
 
 def freeze_profile(raw: Mapping[str, float]) -> Mapping[str, float]:
     """Package a runtime's accumulator dict into the public breakdown.
@@ -42,6 +55,22 @@ def freeze_profile(raw: Mapping[str, float]) -> Mapping[str, float]:
     })
 
 
+def _stable_repr(value: Any) -> str:
+    """A repr for fingerprinting: exact for plain data, type-only for
+    opaque objects (default reprs embed memory addresses, which would
+    make identical runs fingerprint differently)."""
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return repr(value)
+    if isinstance(value, (list, tuple)):
+        inner = ",".join(_stable_repr(v) for v in value)
+        return f"{type(value).__name__}({inner})"
+    if isinstance(value, dict):
+        items = sorted(value.items(), key=lambda kv: _stable_repr(kv[0]))
+        inner = ",".join(f"{_stable_repr(k)}:{_stable_repr(v)}" for k, v in items)
+        return f"dict({inner})"
+    return f"<opaque:{type(value).__qualname__}>"
+
+
 @dataclass(frozen=True)
 class RunResult:
     """The outcome of one run (an ambient script, or a sandboxed command).
@@ -50,6 +79,7 @@ class RunResult:
       and stderr devices (or the sandbox's wired pipes);
     * ``status`` — exit status (0 for ambient scripts that completed);
     * ``profile`` — the per-phase timing breakdown (:data:`PROFILE_KEYS`);
+    * ``ops`` — deterministic kernel operation counts (:data:`OPS_KEYS`);
     * ``sandbox_count`` — capability-based sandboxes created by the run;
     * ``denials`` — audit entries for operations the MAC policy refused;
     * ``auto_granted`` — privileges granted on demand (debug mode only);
@@ -60,6 +90,7 @@ class RunResult:
     stderr: str = ""
     status: int = 0
     profile: Mapping[str, float] = field(default_factory=lambda: freeze_profile({}))
+    ops: Mapping[str, int] = field(default_factory=lambda: freeze_ops({}))
     sandbox_count: int = 0
     denials: tuple[AuditEntry, ...] = ()
     auto_granted: tuple[str, ...] = ()
@@ -75,3 +106,36 @@ class RunResult:
 
     def denial_lines(self) -> tuple[str, ...]:
         return tuple(entry.format() for entry in self.denials)
+
+    def fingerprint(self) -> bytes:
+        """Every deterministic observable of the run, as one digest.
+
+        Two runs of the same job against identical worlds must produce
+        identical fingerprints — this is what the batch runner's
+        "parallel equals sequential" guarantee is stated (and tested)
+        in.  Wall-clock ``profile`` timings are deliberately excluded;
+        the exact ``ops`` counters stand in for "did the same work".
+        Fields are length-prefixed before hashing, so no output content
+        can make two different results collide by mimicking a separator.
+        ``value`` participates only as far as it is plain data — opaque
+        objects (whose default reprs embed memory addresses) hash as
+        their type name, never their repr.
+        """
+        import hashlib
+
+        parts = (
+            self.stdout,
+            self.stderr,
+            str(self.status),
+            str(self.sandbox_count),
+            ",".join(f"{key}={self.ops.get(key, 0)}" for key in OPS_KEYS),
+            "\n".join(self.denial_lines()),
+            "\n".join(self.auto_granted),
+            _stable_repr(self.value),
+        )
+        digest = hashlib.sha256()
+        for part in parts:
+            raw = part.encode()
+            digest.update(len(raw).to_bytes(8, "big"))
+            digest.update(raw)
+        return digest.digest()

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.api.results import RunResult, freeze_profile
+from repro.api.results import RunResult, freeze_ops, freeze_profile
 
 if TYPE_CHECKING:
     from repro.kernel.kernel import Kernel
@@ -44,12 +44,15 @@ class Sandbox:
         from repro.kernel.pipes import make_pipe
         from repro.sandbox.shilld import run_with_policy
 
+        from repro.kernel.kernel import KernelStats
+
         in_r = in_w = None
         if stdin:
             in_r, in_w = make_pipe()
             in_w.pipe.write(stdin)
         out_r, out_w = make_pipe()
         err_r, err_w = make_pipe()
+        stats0 = self.kernel.stats.snapshot()
         raw = run_with_policy(
             self.kernel, self.user, self.policy, list(argv),
             debug=self.debug, stdin=in_r, stdout=out_w, stderr=err_w,
@@ -60,6 +63,7 @@ class Sandbox:
             stderr=bytes(err_r.pipe.buffer).decode(errors="replace"),
             status=raw.status,
             profile=freeze_profile({}),
+            ops=freeze_ops(KernelStats.delta(stats0, self.kernel.stats.snapshot())),
             sandbox_count=1,
             denials=tuple(raw.log.denials()),
             auto_granted=tuple(raw.auto_granted),

@@ -16,7 +16,7 @@ import warnings
 from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.api.registry import ScriptRegistry
-from repro.api.results import RunResult, freeze_profile
+from repro.api.results import RunResult, freeze_ops, freeze_profile
 from repro.lang.runner import ShillRuntime
 from repro.sandbox.audit import AuditEntry
 
@@ -72,6 +72,11 @@ class Session:
         self.cwd = cwd or kernel.users.lookup(user).home
         self._runtime = ShillRuntime(kernel, user=user, cwd=self.cwd,
                                      scripts=dict(scripts or {}))
+        # Ops driven through *this* session.  Several Sessions may share
+        # one kernel, whose counters are global — so, like the audit
+        # trail (_owned_sids), op counts are accumulated per entry point
+        # rather than read as a kernel-lifetime delta.
+        self._ops_acc: dict[str, int] = {}
         # Sandbox sessions created *by this Session* — several Sessions may
         # share one kernel, and each must only report its own audit trail.
         self._owned_sids: set[int] = set()
@@ -106,7 +111,7 @@ class Session:
     def run_ambient(self, source: str, name: str = "<ambient>") -> RunResult:
         """Run an ambient script; returns a frozen :class:`RunResult`."""
         marks = self._marks()
-        with self._owning():
+        with self._owning(), self._counting():
             self._runtime.run_ambient(source, name)
         # The interpreter Env is deliberately NOT surfaced as `value`:
         # it holds live engine internals, which a frozen result must not
@@ -125,11 +130,11 @@ class Session:
     def load_cap(self, name: str, importer: str = "host") -> dict[str, Any]:
         """Load a capability-safe script; returns its contract-wrapped
         exports, callable through :meth:`call`."""
-        with self._owning(), self._timing():
+        with self._owning(), self._timing(), self._counting():
             return self._runtime.load_cap_exports(name, importer=importer)
 
     def call(self, fn: Any, *args: Any, **kwargs: Any) -> Any:
-        with self._owning(), self._timing():
+        with self._owning(), self._timing(), self._counting():
             return self._runtime.call(fn, *args, **kwargs)
 
     def open_file(self, path: str):
@@ -171,6 +176,13 @@ class Session:
     def denials(self) -> tuple[AuditEntry, ...]:
         return self._denials_for(self._owned_sessions())
 
+    @property
+    def ops(self) -> Mapping[str, int]:
+        """Deterministic kernel op counts of the work driven through
+        this session (runs, cap loads, calls) — sibling sessions on the
+        same kernel are not included."""
+        return freeze_ops(self._ops_acc)
+
     def result(self, value: Any = None) -> RunResult:
         """A frozen snapshot of everything this session has done so far."""
         sessions = self._owned_sessions()
@@ -179,6 +191,7 @@ class Session:
             stderr=self.stderr,
             status=0,
             profile=self.profile,
+            ops=self.ops,
             sandbox_count=self.sandbox_count,
             denials=self._denials_for(sessions),
             auto_granted=self._auto_grants_for(sessions),
@@ -198,6 +211,21 @@ class Session:
             self._owned_sids.update(range(before + 1, self._watermark() + 1))
 
     @contextlib.contextmanager
+    def _counting(self):
+        """Accumulate the kernel-op delta of the block into this
+        session's own tally (runs are synchronous, so the delta is
+        exactly the block's work)."""
+        from repro.kernel.kernel import KernelStats
+
+        before = self._runtime.kernel.stats.snapshot()
+        try:
+            yield
+        finally:
+            after = self._runtime.kernel.stats.snapshot()
+            for key, value in KernelStats.delta(before, after).items():
+                self._ops_acc[key] = self._ops_acc.get(key, 0) + value
+
+    @contextlib.contextmanager
     def _timing(self):
         """Count host-driven work (load_cap / call) toward the engine's
         ``total`` accumulator, as run_ambient does itself, so profile
@@ -208,19 +236,20 @@ class Session:
         finally:
             self._runtime.profile["total"] += time.perf_counter() - t0
 
-    def _marks(self) -> tuple[int, int, dict[str, float], int]:
+    def _marks(self) -> tuple[int, int, dict[str, float], int, dict[str, int]]:
         rt = self._runtime
         return (
             len(rt.tty.output),
             len(rt.tty_err.output),
             dict(rt.profile),
             self._watermark(),
+            dict(self._ops_acc),
         )
 
-    def _result_since(self, marks: tuple[int, int, dict[str, float], int],
+    def _result_since(self, marks: tuple[int, int, dict[str, float], int, dict[str, int]],
                       value: Any) -> RunResult:
         rt = self._runtime
-        out0, err0, profile0, mark0 = marks
+        out0, err0, profile0, mark0, ops0 = marks
         sessions = self._sandbox_sessions_since(mark0)
         # Per-run breakdown: sandbox setup/exec and total are deltas over
         # this run; startup is the session's construction cost (a per-
@@ -237,6 +266,10 @@ class Session:
             stderr=bytes(rt.tty_err.output[err0:]).decode(errors="replace"),
             status=0,
             profile=freeze_profile(profile),
+            # The run's delta of the per-session tally (_counting has
+            # already folded the run in by the time results are built).
+            ops=freeze_ops({key: self._ops_acc.get(key, 0) - ops0.get(key, 0)
+                            for key in self._ops_acc}),
             sandbox_count=int(rt.profile["sandbox_count"] - profile0["sandbox_count"]),
             denials=self._denials_for(sessions),
             auto_granted=self._auto_grants_for(sessions),

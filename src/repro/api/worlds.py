@@ -8,13 +8,26 @@ only supported way to run SHILL code::
 
     world = World().for_user("alice").with_jpeg_samples().boot()
     result = world.session(scripts=my_registry).run_ambient(src)
+
+Booting is cheap when repeated: every declarative configuration has a
+**digest**, and :meth:`World.boot` keeps a module-level cache of booted
+template kernels keyed on it.  A second boot of an identical
+configuration *forks* the cached template (copy-on-write, see
+:meth:`repro.kernel.kernel.Kernel.fork`) instead of rebuilding ~200
+vnodes of world image.  :meth:`World.fork` exposes the same mechanism
+directly, and :meth:`World.pool` hands out N forks for parallel work.
+Worlds configured through the escape hatch (:meth:`World.with_setup`)
+run arbitrary code and are exempt from caching.
 """
 
 from __future__ import annotations
 
+import copy
+import hashlib
 import itertools
-from typing import TYPE_CHECKING, Any, Callable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Mapping
 
+from repro.api.caching import BoundedCache
 from repro.api.registry import ScriptRegistry
 from repro.api.sandboxes import Sandbox
 from repro.api.sessions import Session
@@ -35,6 +48,33 @@ if TYPE_CHECKING:
 #: ``--fixture`` spellings accepted by :meth:`World.with_fixture`.
 FIXTURE_CHOICES = ("none", "jpeg", "grading", "usr-src", "web", "emacs")
 
+#: Booted template kernels keyed by config digest.  Templates are never
+#: handed out directly — every boot and fork takes an isolated copy — so
+#: a cached image stays pristine for the life of the process.  The cache
+#: is LRU-bounded: each entry retains a whole template kernel, and a
+#: process sweeping many distinct configurations must not accumulate
+#: them forever (an evicted configuration just rebuilds on next boot).
+_BOOT_CACHE: BoundedCache = BoundedCache(64, lru=True)
+
+
+def clear_boot_cache() -> None:
+    """Drop all cached world templates (tests of boot cost use this)."""
+    _BOOT_CACHE.clear()
+
+
+def boot_cache_size() -> int:
+    return len(_BOOT_CACHE)
+
+
+def as_kernel(world: "World | Kernel") -> "Kernel":
+    """Normalise a ``World | Kernel`` argument (the case studies accept
+    either) to a booted kernel."""
+    if isinstance(world, World):
+        kernel = world.boot().kernel
+        assert kernel is not None
+        return kernel
+    return world
+
 
 class World:
     """Builder + handle for one booted world image.
@@ -46,11 +86,16 @@ class World:
 
     def __init__(self, *, install_shill: bool = True) -> None:
         self._install_shill = install_shill
-        self._steps: list[tuple[str | None, Callable[["Kernel"], Any]]] = []
+        # (fixtures key, build step, digest descriptor); a None descriptor
+        # means "arbitrary code" and makes the whole world uncacheable.
+        self._steps: list[tuple[str | None, Callable[["Kernel"], Any], str | None]] = []
         self._users: list[str] = []
         self._default_user = "root"
         self.kernel: "Kernel | None" = None
         self.fixtures: dict[str, Any] = {}
+        self._digest: str | None = None
+        self._boot_generation = -1
+        self._boot_epoch = -1
 
         self._sys_cache: dict[tuple[str, str], "SyscallInterface"] = {}
 
@@ -92,24 +137,29 @@ class World:
         def step(kernel: "Kernel") -> Any:
             return add_jpeg_samples(kernel, owner=owner or self._default_user)
 
-        return self._add_step("jpeg_samples", step)
+        return self._add_step("jpeg_samples", step, f"jpeg:{owner!r}")
 
     def with_grading_fixture(self, **kwargs: Any) -> "World":
         """Student submissions + test suite (see
         :func:`repro.world.add_grading_fixture` for knobs)."""
-        return self._add_step("grading", lambda kernel: add_grading_fixture(kernel, **kwargs))
+        return self._add_step("grading", lambda kernel: add_grading_fixture(kernel, **kwargs),
+                              f"grading:{sorted(kwargs.items())!r}")
 
     def with_usr_src(self, **kwargs: Any) -> "World":
         """The scaled-down BSD source tree the Find workload greps."""
-        return self._add_step("usr_src", lambda kernel: add_usr_src(kernel, **kwargs))
+        return self._add_step("usr_src", lambda kernel: add_usr_src(kernel, **kwargs),
+                              f"usr_src:{sorted(kwargs.items())!r}")
 
     def with_web_content(self, **kwargs: Any) -> "World":
         """Docroot content + access log for the Apache workload."""
-        return self._add_step("web_content", lambda kernel: add_web_content(kernel, **kwargs))
+        return self._add_step("web_content", lambda kernel: add_web_content(kernel, **kwargs),
+                              f"web:{sorted(kwargs.items())!r}")
 
     def with_emacs_mirror(self, tarball: bytes | None = None) -> "World":
         """The simulated GNU mirror the Download workload fetches from."""
-        return self._add_step("emacs_mirror", lambda kernel: add_emacs_mirror(kernel, tarball))
+        blob = "default" if tarball is None else hashlib.sha256(tarball).hexdigest()
+        return self._add_step("emacs_mirror", lambda kernel: add_emacs_mirror(kernel, tarball),
+                              f"emacs:{blob}")
 
     def with_fixture(self, name: str, **kwargs: Any) -> "World":
         """String-keyed fixture selection (the CLI's ``--fixture``).
@@ -139,48 +189,141 @@ class World:
             uid, gid = self._owner_ids(kernel, owner)
             return WorldBuilder(kernel).write_file(path, data, mode=mode, uid=uid, gid=gid)
 
-        return self._add_step(None, step)
+        digest = hashlib.sha256(data).hexdigest()
+        return self._add_step(None, step, f"file:{path}:{mode}:{owner!r}:{digest}")
 
     def with_dir(self, path: str, mode: int = 0o755, owner: str | None = None) -> "World":
         def step(kernel: "Kernel") -> Any:
             uid, gid = self._owner_ids(kernel, owner)
             return WorldBuilder(kernel).ensure_dir(path, mode=mode, uid=uid, gid=gid)
 
-        return self._add_step(None, step)
+        return self._add_step(None, step, f"dir:{path}:{mode}:{owner!r}")
 
     def with_symlink(self, target: str, link: str) -> "World":
         def step(kernel: "Kernel") -> None:
             kernel.syscalls(kernel.spawn_process("root", "/")).symlink(target, link)
 
-        return self._add_step(None, step)
+        return self._add_step(None, step, f"symlink:{target}:{link}")
 
     def with_setup(self, fn: Callable[["Kernel"], Any], key: str | None = None) -> "World":
-        """Escape hatch: run ``fn(kernel)`` during boot."""
-        return self._add_step(key, fn)
+        """Escape hatch: run ``fn(kernel)`` during boot.  Arbitrary code
+        has no digest, so worlds configured this way are never cached."""
+        return self._add_step(key, fn, None)
 
     # -- boot --------------------------------------------------------------
 
     def boot(self) -> "World":
-        """Build the kernel and apply every queued step, once."""
+        """Materialise the configuration onto a kernel, once.
+
+        Cacheable configurations (every step carries a digest descriptor)
+        go through the module-level boot-image cache: the first boot
+        builds a template and every boot — including the first — receives
+        an isolated copy-on-write fork of it, so no caller can pollute
+        the cached image.  Undigestible configurations build a private
+        kernel the old way.
+        """
         if self.kernel is not None:
             return self
+        digest = self.digest
+        if digest is None:
+            self.kernel = self._build()
+        else:
+            cached = _BOOT_CACHE.get(digest)
+            built = None
+            if cached is None:
+                built = self._build()
+                cached = _BOOT_CACHE.put(
+                    digest, (built, copy.deepcopy(self.fixtures)))
+            template, fixtures = cached
+            # Fixture values are plain data (paths, counts, blobs) but
+            # may be mutable containers — deep-copy so no caller can
+            # pollute the cached template's record.  When our own build
+            # just won the insert, self.fixtures is already a private
+            # copy distinct from the cached one.
+            if template is not built:
+                self.fixtures = copy.deepcopy(fixtures)
+            self.kernel = template.fork()
+        self._digest = digest
+        self._boot_generation = self.kernel.vfs.generation
+        self._boot_epoch = self.kernel.state_epoch
+        return self
+
+    def _build(self) -> "Kernel":
         kernel = build_world(install_shill=self._install_shill)
         for name in self._users:
             self._ensure_user(kernel, name)
-        for key, step in self._steps:
+        for key, step, _descriptor in self._steps:
             value = step(kernel)
             if key is not None:
                 self.fixtures[key] = value
-        self.kernel = kernel
-        return self
+        return kernel
 
     @property
     def booted(self) -> bool:
         return self.kernel is not None
 
     @property
+    def digest(self) -> str | None:
+        """A stable hash of the declarative configuration, or ``None``
+        when a :meth:`with_setup` step makes it undigestible.  Equal
+        digests mean "boots to an identical world" — the key for both
+        the boot-image cache and the batch runner's result cache.
+        Configuration freezes at boot, so the value is computed once
+        then (recomputed on demand only while still configurable)."""
+        if self.kernel is not None:
+            return self._digest
+        descriptors = [d for _key, _step, d in self._steps]
+        if any(d is None for d in descriptors):
+            return None
+        payload = repr((self._install_shill, self._default_user,
+                        tuple(self._users), tuple(descriptors)))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    @property
+    def pristine(self) -> bool:
+        """True while the booted world is byte-identical to what its
+        digest describes — no filesystem mutation (``vfs.generation``)
+        and no kernel configuration change (``state_epoch``: users,
+        sysctl, kenv, IPC, network services, MAC policy set, device
+        interposition) since boot.  The precondition for serving cached
+        :class:`RunResult`s."""
+        return (self.kernel is not None and self.digest is not None
+                and self.kernel.vfs.generation == self._boot_generation
+                and self.kernel.state_epoch == self._boot_epoch)
+
+    @property
     def default_user(self) -> str:
         return self._default_user
+
+    # -- forking -----------------------------------------------------------
+
+    def fork(self) -> "World":
+        """An isolated, booted copy of this world in O(changed-state).
+
+        The clone sees everything this world's kernel holds right now —
+        including post-boot mutations — but writes on either side never
+        cross over (file buffers are copy-on-write).  Cheap enough to
+        take one per job: the batch runner does exactly that.
+        """
+        self.boot()
+        assert self.kernel is not None
+        child = World(install_shill=self._install_shill)
+        child._users = list(self._users)
+        child._default_user = self._default_user
+        child._steps = list(self._steps)
+        child.kernel = self.kernel.fork()
+        child.fixtures = copy.deepcopy(self.fixtures)
+        child._digest = self._digest
+        # generation and epoch carry over in the kernel fork, so the
+        # child's pristine flag tracks the parent's state at fork time.
+        child._boot_generation = self._boot_generation
+        child._boot_epoch = self._boot_epoch
+        return child
+
+    def pool(self, workers: int = 4) -> "WorldPool":
+        """``workers`` independent forks of this world, for long-lived
+        parallel sessions (the batch runner forks per job instead)."""
+        return WorldPool(self, workers)
 
     # -- handles over the booted world -------------------------------------
 
@@ -226,9 +369,10 @@ class World:
 
     # -- helpers -----------------------------------------------------------
 
-    def _add_step(self, key: str | None, step: Callable[["Kernel"], Any]) -> "World":
+    def _add_step(self, key: str | None, step: Callable[["Kernel"], Any],
+                  descriptor: str | None) -> "World":
         self._check_unbooted()
-        self._steps.append((key, step))
+        self._steps.append((key, step, descriptor))
         return self
 
     def _check_unbooted(self) -> None:
@@ -258,3 +402,41 @@ class World:
     def __repr__(self) -> str:
         state = "booted" if self.booted else "unbooted"
         return f"<World {state} user={self._default_user!r} steps={len(self._steps)}>"
+
+
+class WorldPool:
+    """``workers`` forked worlds over one base image.
+
+    Each worker world has its own kernel, so sessions on different
+    workers can run in parallel threads without sharing any mutable
+    state.  :meth:`map` is the convenience driver; index or iterate the
+    pool to own the scheduling yourself.
+    """
+
+    def __init__(self, base: World, workers: int = 4) -> None:
+        if workers < 1:
+            raise ValueError("a pool needs at least one worker")
+        base.boot()
+        self.base = base
+        self.worlds: list[World] = [base.fork() for _ in range(workers)]
+
+    def __len__(self) -> int:
+        return len(self.worlds)
+
+    def __iter__(self) -> Iterator[World]:
+        return iter(self.worlds)
+
+    def __getitem__(self, index: int) -> World:
+        return self.worlds[index]
+
+    def map(self, fn: Callable[[World], Any], *, parallel: bool = True) -> list[Any]:
+        """Run ``fn(world)`` once per worker; results in worker order."""
+        if not parallel:
+            return [fn(world) for world in self.worlds]
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=len(self.worlds)) as pool:
+            return list(pool.map(fn, self.worlds))
+
+    def __repr__(self) -> str:
+        return f"<WorldPool workers={len(self.worlds)} base={self.base!r}>"

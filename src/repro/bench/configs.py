@@ -11,8 +11,11 @@
 
 Workload sizes are scaled down from the paper's (documented in
 DESIGN.md §4); override the ``Scale`` to change them.  Every timed task
-runs against a freshly built world so configurations always see
-identical state.
+runs against a fresh world so configurations always see identical state
+— since the migration onto the world fork engine this is a copy-on-write
+fork of a cached boot image, not a rebuild, so reconstructing state per
+run is cheap.  Tasks expose the kernel they run on, letting the harness
+record deterministic op counts next to the wall-clock samples.
 """
 
 from __future__ import annotations
@@ -20,16 +23,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.casestudies.apache import apache_bench, baseline_bench
+from repro.casestudies.apache import apache_bench, baseline_bench, web_world
 from repro.casestudies.findgrep import run_baseline as find_baseline
-from repro.casestudies.findgrep import run_fine, run_simple
+from repro.casestudies.findgrep import run_fine, run_simple, usr_src_world
 from repro.casestudies.grading import (
+    grading_world,
     run_baseline_grading,
     run_sandboxed_grading,
     run_shill_grading,
 )
-from repro.api import World
-from repro.casestudies.package_mgmt import PackageManager
+from repro.casestudies.package_mgmt import PackageManager, emacs_world
 from repro.kernel.kernel import Kernel
 
 Task = Callable[[], None]
@@ -55,16 +58,13 @@ EMACS_PHASES = ("download", "untar", "configure", "make", "install", "uninstall"
 
 
 # ---------------------------------------------------------------------------
-# world preparation (untimed)
+# world preparation (untimed; each call forks a cached boot image)
 # ---------------------------------------------------------------------------
 
 
-def _world(install_shill: bool) -> World:
-    return World(install_shill=install_shill)
-
-
 def _grading_kernel(install_shill: bool) -> Kernel:
-    return _world(install_shill).with_grading_fixture(
+    return grading_world(
+        install_shill,
         students=SCALE.grading_students,
         tests=SCALE.grading_tests,
         malicious_reader=False,
@@ -73,27 +73,21 @@ def _grading_kernel(install_shill: bool) -> Kernel:
 
 
 def _find_kernel(install_shill: bool) -> Kernel:
-    return _world(install_shill).with_usr_src(
+    return usr_src_world(
+        install_shill,
         subsystems=SCALE.src_subsystems, files_per_dir=SCALE.src_files_per_dir,
     ).boot().kernel
 
 
 def _apache_kernel(install_shill: bool) -> Kernel:
-    return _world(install_shill).with_web_content(
-        file_kb=SCALE.apache_file_kb, small_files=2,
+    return web_world(
+        install_shill, file_kb=SCALE.apache_file_kb, small_files=2,
     ).boot().kernel
 
 
 def _emacs_kernel(phase: str, install_shill: bool) -> Kernel:
     """A world prepared (with direct commands) up to — excluding — ``phase``."""
-    kernel = (
-        _world(install_shill)
-        .with_emacs_mirror()
-        .with_dir("/root/downloads")
-        .with_dir("/usr/local/emacs")
-        .boot()
-        .kernel
-    )
+    kernel = emacs_world(install_shill).boot().kernel
     order = EMACS_PHASES
     for previous in order[: order.index(phase)]:
         _DIRECT_EMACS[previous](kernel)
@@ -221,32 +215,40 @@ def _workloads() -> dict[str, dict[str, MakeTask]]:
     return reg
 
 
+class _Cell:
+    """A timed task bound to the kernel it runs on; the harness uses the
+    ``kernel`` attribute to snapshot deterministic op counts around the
+    timed region."""
+
+    __slots__ = ("_fn", "kernel")
+
+    def __init__(self, fn: Callable[[Kernel], object], kernel: Kernel) -> None:
+        self._fn = fn
+        self.kernel = kernel
+
+    def __call__(self) -> None:
+        self._fn(self.kernel)
+
+
 def _task(fn: Callable[[Kernel], object], kernel: Kernel) -> Task:
-    return lambda: fn(kernel)
+    return _Cell(fn, kernel)
 
 
 def _task_grading_direct(install_shill: bool) -> Task:
-    kernel = _grading_kernel(install_shill)
-    return lambda: run_baseline_grading(kernel)
+    return _Cell(run_baseline_grading, _grading_kernel(install_shill))
 
 
 def _make_emacs_direct(phase: str, install_shill: bool) -> MakeTask:
     def make() -> Task:
-        kernel = _emacs_kernel(phase, install_shill)
-        return lambda: _DIRECT_EMACS[phase](kernel)
+        return _Cell(_DIRECT_EMACS[phase], _emacs_kernel(phase, install_shill))
 
     return make
 
 
 def _make_emacs_sandboxed(phase: str) -> MakeTask:
     def make() -> Task:
-        kernel = _emacs_kernel(phase, True)
-
-        def task() -> None:
-            pm = PackageManager(kernel)
-            _PM_PHASE[phase](pm)
-
-        return task
+        return _Cell(lambda k: _PM_PHASE[phase](PackageManager(k)),
+                     _emacs_kernel(phase, True))
 
     return make
 

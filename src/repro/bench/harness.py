@@ -22,10 +22,32 @@ from scipy import stats
 
 @dataclass
 class Sample:
-    """Timing samples for one (benchmark, configuration) cell."""
+    """Timing samples for one (benchmark, configuration) cell.
+
+    Alongside wall-clock, the harness records a **deterministic kernel
+    op-count delta** per run (total syscalls, vnode ops, MAC checks,
+    sandboxes created, …) whenever the task exposes the kernel it runs
+    on.  Wall-clock means are noisy under load; the op counts are exact,
+    so qualitative shape assertions gate on them instead.
+    """
 
     name: str
     seconds: list[float] = field(default_factory=list)
+    ops: list[dict[str, int]] = field(default_factory=list)
+    traces: list[dict[str, dict[str, int]]] = field(default_factory=list)
+
+    @property
+    def op_counts(self) -> dict[str, int]:
+        """The per-run op-count delta (empty if the task exposed no
+        kernel).  Runs of a deterministic workload are identical; the
+        last run is reported."""
+        return dict(self.ops[-1]) if self.ops else {}
+
+    @property
+    def op_trace(self) -> dict[str, dict[str, int]]:
+        """The per-run per-operation-name delta — the full trace behind
+        :attr:`op_counts`' aggregates."""
+        return self.traces[-1] if self.traces else {}
 
     @property
     def mean(self) -> float:
@@ -47,15 +69,27 @@ class Sample:
 def measure(make_task: Callable[[], Callable[[], None]], runs: int = 5, warmup: int = 1,
             name: str = "") -> Sample:
     """Time ``runs`` executions.  ``make_task`` builds a fresh closure per
-    run (workload state is reconstructed outside the timed region)."""
+    run (workload state is reconstructed outside the timed region — cheap
+    now that world boots fork a cached template).  Tasks carrying a
+    ``kernel`` attribute additionally get their kernel-op delta recorded.
+    """
     for _ in range(warmup):
         make_task()()
     sample = Sample(name)
     for _ in range(runs):
         task = make_task()
+        kernel = getattr(task, "kernel", None)
+        before = kernel.stats.snapshot() if kernel is not None else None
+        before_trace = kernel.stats.trace() if kernel is not None else None
         start = time.perf_counter()
         task()
         sample.seconds.append(time.perf_counter() - start)
+        if before is not None:
+            from repro.kernel.kernel import KernelStats
+
+            sample.ops.append(KernelStats.delta(before, kernel.stats.snapshot()))
+            sample.traces.append(
+                KernelStats.trace_delta(before_trace, kernel.stats.trace()))
     return sample
 
 

@@ -265,7 +265,7 @@ class FsCap(Capability):
         self._need(Priv.CHMOD, "chmod")
         if not isinstance(self.obj, Vnode):
             raise SysError(errno_.EINVAL, "chmod on pipe")
-        self.obj.mode = mode & 0o7777
+        self._sys.kernel.vfs.set_meta(self.obj, mode=mode & 0o7777)
 
     # -- helpers -------------------------------------------------------------------
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.api import RunResult, Session
+from repro.api import RunResult, Session, World, as_kernel
 from repro.api.sessions import deprecated_runtime_property
 from repro.kernel.kernel import Kernel
 from repro.kernel.sockets import AddressFamily, SocketType
@@ -60,6 +60,12 @@ start_server(wallet, socket_factory, config, docroot, logdir, logfile);
 SCRIPTS = {"apache.cap": CAP_SCRIPT}
 
 
+def web_world(install_shill: bool = True, **fixture_kwargs) -> World:
+    """The standard world: the base image plus docroot content and the
+    (empty) access log the Apache workload serves and appends to."""
+    return World(install_shill=install_shill).with_web_content(**fixture_kwargs)
+
+
 @dataclass
 class ApacheBenchResult:
     session: Session
@@ -71,7 +77,7 @@ class ApacheBenchResult:
 
 
 def apache_bench(
-    kernel: Kernel,
+    world: "World | Kernel",
     requests: int = 16,
     path: str = "/big.bin",
     port: int = 8080,
@@ -80,6 +86,7 @@ def apache_bench(
     """Run httpd sandboxed and hit it with ``requests`` queued connections
     (the "Apache Benchmark tool" role).  Returns the raw responses and the
     access log contents."""
+    kernel = as_kernel(world)
     client_fds: list[tuple] = []
 
     def flood(listener) -> None:
@@ -102,8 +109,9 @@ def apache_bench(
     return ApacheBenchResult(session, run, responses, log_text)
 
 
-def baseline_bench(kernel: Kernel, requests: int = 16, path: str = "/big.bin", port: int = 8080) -> list[bytes]:
+def baseline_bench(world: "World | Kernel", requests: int = 16, path: str = "/big.bin", port: int = 8080) -> list[bytes]:
     """The same workload with httpd run unconfined (Figure 9 baseline)."""
+    kernel = as_kernel(world)
     client_fds: list[tuple] = []
 
     def flood(listener) -> None:

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.api import RunResult, Session
+from repro.api import RunResult, Session, World, as_kernel
 from repro.api.sessions import deprecated_runtime_property
 from repro.kernel.kernel import Kernel
 
@@ -125,6 +125,12 @@ SCRIPTS = {
 }
 
 
+def usr_src_world(install_shill: bool = True, **fixture_kwargs) -> World:
+    """The standard world: the base image plus the scaled-down /usr/src
+    tree the Find workload greps."""
+    return World(install_shill=install_shill).with_usr_src(**fixture_kwargs)
+
+
 @dataclass
 class FindResult:
     session: Session
@@ -145,8 +151,9 @@ def _prepare_out(kernel: Kernel, user: str, out_path: str) -> None:
     WorldBuilder(kernel).write_file(out_path, b"", uid=cred.uid, gid=cred.gid)
 
 
-def run_simple(kernel: Kernel, user: str = "root", out_path: str = "/root/matches.txt") -> FindResult:
+def run_simple(world: "World | Kernel", user: str = "root", out_path: str = "/root/matches.txt") -> FindResult:
     """One sandbox around find -exec grep."""
+    kernel = as_kernel(world)
     _prepare_out(kernel, user, out_path)
     session = Session(kernel, user=user, cwd="/root", scripts=SCRIPTS)
     run = session.run_ambient(SIMPLE_AMBIENT.format(out=out_path), "findgrep_simple.ambient")
@@ -154,8 +161,9 @@ def run_simple(kernel: Kernel, user: str = "root", out_path: str = "/root/matche
     return FindResult(session, run, sys.read_whole(out_path).decode())
 
 
-def run_fine(kernel: Kernel, user: str = "root", out_path: str = "/root/matches.txt") -> FindResult:
+def run_fine(world: "World | Kernel", user: str = "root", out_path: str = "/root/matches.txt") -> FindResult:
     """The SHILL version: Figure 5's find + one grep sandbox per file."""
+    kernel = as_kernel(world)
     _prepare_out(kernel, user, out_path)
     session = Session(kernel, user=user, cwd="/root", scripts=SCRIPTS)
     run = session.run_ambient(FINE_AMBIENT.format(out=out_path), "findgrep_fine.ambient")
@@ -163,8 +171,9 @@ def run_fine(kernel: Kernel, user: str = "root", out_path: str = "/root/matches.
     return FindResult(session, run, sys.read_whole(out_path).decode())
 
 
-def run_baseline(kernel: Kernel, user: str = "root", out_path: str = "/root/matches.txt") -> str:
+def run_baseline(world: "World | Kernel", user: str = "root", out_path: str = "/root/matches.txt") -> str:
     """No SHILL: find -exec grep with full ambient authority."""
+    kernel = as_kernel(world)
     _prepare_out(kernel, user, out_path)
     launcher = kernel.spawn_process(user, "/")
     sys = kernel.syscalls(launcher)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.api import RunResult, Session
+from repro.api import RunResult, Session, World, as_kernel
 from repro.api.sessions import deprecated_runtime_property
 from repro.kernel.kernel import Kernel
 
@@ -199,6 +199,13 @@ SCRIPTS = {
 }
 
 
+def grading_world(install_shill: bool = True, **fixture_kwargs) -> World:
+    """The standard world this case study runs against: the base image
+    plus the student-submission fixture.  Declarative, so repeated boots
+    hit the boot-image cache and fork instead of rebuilding."""
+    return World(install_shill=install_shill).with_grading_fixture(**fixture_kwargs)
+
+
 @dataclass
 class GradingResult:
     session: Session
@@ -216,33 +223,37 @@ def _collect_grades(kernel: Kernel, grades_dir: str) -> dict[str, str]:
     return out
 
 
-def run_sandboxed_grading(kernel: Kernel, user: str = "tester") -> GradingResult:
+def run_sandboxed_grading(world: "World | Kernel", user: str = "tester") -> GradingResult:
     """The "Sandboxed" configuration: grade.sh in one SHILL sandbox."""
+    kernel = as_kernel(world)
     session = Session(kernel, user=user, scripts=SCRIPTS)
     run = session.run_ambient(SANDBOXED_AMBIENT_SCRIPT, "grading_sandboxed.ambient")
     return GradingResult(session, run, _collect_grades(kernel, f"/home/{user}/grades"))
 
 
-def run_shellscript_grading(kernel: Kernel, user: str = "tester") -> GradingResult:
+def run_shellscript_grading(world: "World | Kernel", user: str = "tester") -> GradingResult:
     """The sandboxed configuration with the grader as an *actual shell
     script* (/usr/local/bin/grade-sh, run by the simulated /bin/sh via
     its shebang) — the closest analogue of the paper's secured Bash
     script."""
+    kernel = as_kernel(world)
     session = Session(kernel, user=user, scripts=SCRIPTS)
     run = session.run_ambient(SHELLSCRIPT_AMBIENT_SCRIPT, "grading_shellscript.ambient")
     return GradingResult(session, run, _collect_grades(kernel, f"/home/{user}/grades"))
 
 
-def run_shill_grading(kernel: Kernel, user: str = "tester") -> GradingResult:
+def run_shill_grading(world: "World | Kernel", user: str = "tester") -> GradingResult:
     """The "SHILL version": fine-grained per-student isolation."""
+    kernel = as_kernel(world)
     session = Session(kernel, user=user, scripts=SCRIPTS)
     run = session.run_ambient(PURE_SHILL_AMBIENT_SCRIPT, "grading_shill.ambient")
     return GradingResult(session, run, _collect_grades(kernel, f"/home/{user}/grades"))
 
 
-def run_baseline_grading(kernel: Kernel, user: str = "tester") -> dict[str, str]:
+def run_baseline_grading(world: "World | Kernel", user: str = "tester") -> dict[str, str]:
     """No SHILL at all: run the grading *shell script* with the user's
     full ambient authority (the paper's baseline Bash script)."""
+    kernel = as_kernel(world)
     launcher = kernel.spawn_process(user, f"/home/{user}")
     sys = kernel.syscalls(launcher)
     base = f"/home/{user}"

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.api import Session
+from repro.api import Session, World, as_kernel
 from repro.api.sessions import deprecated_runtime_property
 from repro.kernel.kernel import Kernel
 from repro.world.fixtures import EMACS_URL
@@ -119,13 +119,24 @@ uninstall_pkg(wallet, prefix, [emacs_bin, doc, copying]);
 SCRIPTS = {"emacs_pkg.cap": CAP_SCRIPT}
 
 
+def emacs_world(install_shill: bool = True, tarball: bytes | None = None) -> World:
+    """The standard world: the base image, the simulated GNU mirror, and
+    the download/install directories the lifecycle works in."""
+    return (
+        World(install_shill=install_shill)
+        .with_emacs_mirror(tarball)
+        .with_dir("/root/downloads")
+        .with_dir("/usr/local/emacs")
+    )
+
+
 @dataclass
 class PackageManager:
     """Python driver around the SHILL package-management script,
     exposing each phase separately (the benchmark times them as the
     Download/Untar/Configure/Make/Install/Uninstall sub-tasks)."""
 
-    kernel: Kernel
+    kernel: "World | Kernel"
     user: str = "root"
     downloads: str = "/root/downloads"
     prefix: str = "/usr/local/emacs"
@@ -134,6 +145,7 @@ class PackageManager:
     _wallet: object = field(init=False, default=None)
 
     def __post_init__(self) -> None:
+        self.kernel = as_kernel(self.kernel)
         self.session = Session(self.kernel, user=self.user, cwd="/root",
                                scripts=SCRIPTS)
         self.exports = self.session.load_cap("emacs_pkg.cap", importer="emacs.ambient")
@@ -225,9 +237,10 @@ class PackageManager:
         self.uninstall()
 
 
-def run_full_ambient(kernel: Kernel, user: str = "root") -> Session:
+def run_full_ambient(world: "World | Kernel", user: str = "root") -> Session:
     """Run the whole lifecycle through the ambient script (the form a
     SHILL user would actually write).  Returns the finished session."""
+    kernel = as_kernel(world)
     session = Session(kernel, user=user, cwd="/root", scripts=SCRIPTS)
     from repro.world.image import WorldBuilder
 

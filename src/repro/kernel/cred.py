@@ -76,6 +76,8 @@ class UserDB:
     def __init__(self) -> None:
         self._by_name: dict[str, Credential] = {}
         self._by_uid: dict[int, Credential] = {}
+        #: registry mutation counter (part of the kernel state epoch).
+        self.mutations = 0
         self.add_user("root", ROOT_UID, 0)
 
     def add_user(self, name: str, uid: int, gid: int, groups: frozenset[int] = frozenset()) -> Credential:
@@ -86,6 +88,7 @@ class UserDB:
         cred = Credential(uid=uid, gid=gid, groups=groups, username=name)
         self._by_name[name] = cred
         self._by_uid[uid] = cred
+        self.mutations += 1
         return cred
 
     def lookup(self, name: str) -> Credential:
@@ -102,3 +105,13 @@ class UserDB:
 
     def users(self) -> list[Credential]:
         return list(self._by_name.values())
+
+    def clone(self) -> "UserDB":
+        """An independent registry for a forked kernel.  Credentials are
+        frozen and shared; the name/uid indexes are copied so users added
+        in a fork never appear in the template."""
+        new = UserDB.__new__(UserDB)
+        new._by_name = dict(self._by_name)
+        new._by_uid = dict(self._by_uid)
+        new.mutations = self.mutations
+        return new

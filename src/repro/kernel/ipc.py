@@ -26,6 +26,16 @@ class IpcRegistry:
         self._mac = mac
         self._shm: dict[str, bytearray] = {}
         self._msgq: dict[int, list[bytes]] = {}
+        #: mutation counter (part of the kernel state epoch).
+        self.mutations = 0
+
+    def fork(self, mac: "MacFramework") -> "IpcRegistry":
+        """A deep copy bound to the forked kernel's MAC framework."""
+        new = IpcRegistry(mac)
+        new._shm = {name: bytearray(data) for name, data in self._shm.items()}
+        new._msgq = {key: list(msgs) for key, msgs in self._msgq.items()}
+        new.mutations = self.mutations
+        return new
 
     # -- POSIX shared memory --------------------------------------------------
 
@@ -35,6 +45,7 @@ class IpcRegistry:
             if not create:
                 raise SysError(errno_.ENOENT, f"shm {name!r}")
             self._shm[name] = bytearray()
+            self.mutations += 1
         return self._shm[name]
 
     def shm_unlink(self, proc: "Process", name: str) -> None:
@@ -42,12 +53,15 @@ class IpcRegistry:
         if name not in self._shm:
             raise SysError(errno_.ENOENT, f"shm {name!r}")
         del self._shm[name]
+        self.mutations += 1
 
     # -- System V message queues -------------------------------------------------
 
     def msgget(self, proc: "Process", key: int) -> int:
         self._mac.check("ipc_check", proc, "sysvmsg", "get", str(key))
-        self._msgq.setdefault(key, [])
+        if key not in self._msgq:
+            self._msgq[key] = []
+            self.mutations += 1
         return key
 
     def msgsnd(self, proc: "Process", key: int, data: bytes) -> None:
@@ -55,10 +69,12 @@ class IpcRegistry:
         if key not in self._msgq:
             raise SysError(errno_.EINVAL, f"msgq {key}")
         self._msgq[key].append(data)
+        self.mutations += 1
 
     def msgrcv(self, proc: "Process", key: int) -> bytes:
         self._mac.check("ipc_check", proc, "sysvmsg", "recv", str(key))
         queue = self._msgq.get(key)
         if not queue:
             raise SysError(errno_.EAGAIN, f"msgq {key} empty")
+        self.mutations += 1
         return queue.pop(0)

@@ -23,6 +23,15 @@ class KernelEnv:
     def __init__(self, mac: "MacFramework") -> None:
         self._mac = mac
         self._env: dict[str, str] = {"kernelname": "/boot/kernel/kernel"}
+        #: mutation counter (part of the kernel state epoch).
+        self.mutations = 0
+
+    def fork(self, mac: "MacFramework") -> "KernelEnv":
+        """A copy bound to the forked kernel's MAC framework."""
+        new = KernelEnv(mac)
+        new._env = dict(self._env)
+        new.mutations = self.mutations
+        return new
 
     def get(self, proc: "Process", name: str) -> str:
         self._mac.check("kenv_check", proc, "get", name)
@@ -34,6 +43,7 @@ class KernelEnv:
     def set(self, proc: "Process", name: str, value: str) -> None:
         self._mac.check("kenv_check", proc, "set", name)
         self._env[name] = value
+        self.mutations += 1
 
 
 class KldManager:

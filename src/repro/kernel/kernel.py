@@ -46,10 +46,17 @@ DEFAULT_ENV = {
 
 
 class KernelStats:
-    """Cheap deterministic counters used by the benchmark harness."""
+    """Cheap deterministic counters used by the benchmark harness.
+
+    Wall-clock timings are noisy under load; these counters are exact and
+    reproducible, so shape assertions ("installed ≈ baseline", "the SHILL
+    Find creates a sandbox per file") gate on them instead.  The batch
+    runner surfaces per-run deltas as ``RunResult.ops``.
+    """
 
     def __init__(self) -> None:
         self.syscalls: Counter[str] = Counter()
+        self.vnode_ops: Counter[str] = Counter()
         self.mac_checks = 0
         self.mac_denials = 0
         self.sandboxes_created = 0
@@ -58,22 +65,71 @@ class KernelStats:
     def count_syscall(self, name: str) -> None:
         self.syscalls[name] += 1
 
+    def count_vnode_op(self, name: str) -> None:
+        self.vnode_ops[name] += 1
+
     @property
     def total_syscalls(self) -> int:
         return sum(self.syscalls.values())
 
+    @property
+    def total_vnode_ops(self) -> int:
+        return sum(self.vnode_ops.values())
+
     def snapshot(self) -> dict[str, int]:
         return {
             "total_syscalls": self.total_syscalls,
+            "vnode_ops": self.total_vnode_ops,
             "mac_checks": self.mac_checks,
             "mac_denials": self.mac_denials,
             "sandboxes_created": self.sandboxes_created,
             "execs": self.execs,
         }
 
+    @staticmethod
+    def delta(before: dict[str, int], after: dict[str, int]) -> dict[str, int]:
+        """Per-run op counts between two :meth:`snapshot` calls."""
+        return {key: after[key] - before.get(key, 0) for key in after}
+
+    def trace(self) -> dict[str, dict[str, int]]:
+        """Per-operation-name counters — finer than :meth:`snapshot`'s
+        aggregates, for assertions that two runs did *exactly* the same
+        operations, not merely the same number of them."""
+        return {"syscalls": dict(self.syscalls), "vnode_ops": dict(self.vnode_ops)}
+
+    @staticmethod
+    def trace_delta(before: dict[str, dict[str, int]],
+                    after: dict[str, dict[str, int]]) -> dict[str, dict[str, int]]:
+        """Per-name deltas between two :meth:`trace` calls (zero rows
+        dropped, so equal traces compare equal structurally)."""
+        out: dict[str, dict[str, int]] = {}
+        for group, names in after.items():
+            base = before.get(group, {})
+            out[group] = {name: count - base.get(name, 0)
+                          for name, count in names.items()
+                          if count - base.get(name, 0)}
+        return out
+
+    def clone(self) -> "KernelStats":
+        new = KernelStats()
+        new.syscalls = Counter(self.syscalls)
+        new.vnode_ops = Counter(self.vnode_ops)
+        new.mac_checks = self.mac_checks
+        new.mac_denials = self.mac_denials
+        new.sandboxes_created = self.sandboxes_created
+        new.execs = self.execs
+        return new
+
 
 class Kernel:
     """One booted simulated machine."""
+
+    # Backing store for the interpose_devices property.  Class defaults,
+    # because the getter (and the setter's comparison) must work before
+    # any setter call — __init__ never assigns these, and fork() writes
+    # the instance attributes directly.
+    _interpose_devices = False
+    _epoch = 0
 
     def __init__(self) -> None:
         self.vfs = VFS()
@@ -88,11 +144,87 @@ class Kernel:
         self.programs: dict[str, "Program"] = {}
         self.stats = KernelStats()
         self.mac.stats = self.stats
-        # Extension (off by default, reproducing the paper's §3.2.3
-        # limitation): when True, the MAC framework gains entry points
-        # around character-device read/write, closing the stdio bypass.
-        self.interpose_devices = False
+        self.vfs.stats = self.stats
         self.boot_time = time.monotonic()
+
+    @property
+    def interpose_devices(self) -> bool:
+        """Extension (off by default, reproducing the paper's §3.2.3
+        limitation): when True, the MAC framework gains entry points
+        around character-device read/write, closing the stdio bypass.
+        Toggling it is a configuration change and advances the state
+        epoch."""
+        return self._interpose_devices
+
+    @interpose_devices.setter
+    def interpose_devices(self, value: bool) -> None:
+        if value != self._interpose_devices:
+            self._interpose_devices = value
+            self._epoch += 1
+
+    @property
+    def state_epoch(self) -> int:
+        """Monotonic counter over the machine's non-VFS configuration:
+        users, sysctl, kenv, IPC objects, registered network
+        services/hooks, the MAC policy set, and device interposition.
+        Together with ``vfs.generation`` this answers "has this machine
+        changed since?" — the world layer's pristine check (and thus the
+        batch result cache's eligibility test) compares both.
+
+        The pid and SHILL-sid watermarks are included: audit lines embed
+        sids (and can embed pids), so watermark drift changes what an
+        identical future run observes even though no object mutated."""
+        shill = self.mac.find("shill")
+        last_sid = shill.sessions.last_sid if shill is not None else 0
+        return (self.users.mutations + self.sysctl.mutations
+                + self.kenv.mutations + self.ipc.mutations
+                + self.network.mutations + self.mac.mutations
+                + self.procs.allocated + last_sid
+                + self._epoch)
+
+    # ------------------------------------------------------------------
+    # forking
+    # ------------------------------------------------------------------
+
+    def fork(self) -> "Kernel":
+        """An isolated copy of this machine in O(changed-state).
+
+        The vnode tree is cloned with copy-on-write file buffers; users,
+        sysctl/kenv/IPC state, registered network services, program
+        registry, op-count stats, and every loaded MAC policy (via
+        :meth:`~repro.kernel.mac.MacPolicy.fork_for`, so the SHILL
+        module's audit history carries over too) are preserved.  Per-run
+        state — live processes, open sockets, live sandbox sessions —
+        is not: execution is synchronous, so forks are taken between
+        runs, when none of it is load-bearing.  Allocation watermarks
+        (pid counter, session sid) and all mutation counters carry over,
+        so a fork is epoch-identical to the machine it was forked from.
+        """
+        new = Kernel.__new__(Kernel)
+        new.vfs = self.vfs.fork()
+        new.mac = MacFramework()
+        new.procs = self.procs.clone_empty()
+        new.network = self.network.fork()
+        new.users = self.users.clone()
+        new.sysctl = self.sysctl.fork(new.mac)
+        new.ipc = self.ipc.fork(new.mac)
+        new.kenv = self.kenv.fork(new.mac)
+        new.kld = KldManager(new.mac)
+        # Programs are stateless callables operating through the syscall
+        # interface; the registry dict is copied, the instances shared.
+        new.programs = dict(self.programs)
+        new.stats = self.stats.clone()
+        new.mac.stats = new.stats
+        new.vfs.stats = new.stats
+        new._interpose_devices = self._interpose_devices
+        new._epoch = self._epoch
+        new.boot_time = time.monotonic()
+        # Every loaded policy crosses the fork, in registration order
+        # (restrictive composition is order-sensitive for audit output).
+        for policy in self.mac.policies:
+            new.mac.register(policy.fork_for(new))
+        new.mac.mutations = self.mac.mutations
+        return new
 
     # ------------------------------------------------------------------
     # policy management

@@ -45,6 +45,16 @@ class MacPolicy:
 
     name = "abstract"
 
+    def fork_for(self, kernel: Any) -> "MacPolicy":
+        """The policy instance to register on a forked kernel.
+
+        The default shares ``self``, which is right for stateless
+        policies (every base hook just allows).  Policies holding
+        per-kernel state — like SHILL's session manager — override this
+        to build an isolated copy bound to the fork.
+        """
+        return self
+
     # -- vnode checks -------------------------------------------------------
 
     def vnode_check_lookup(self, proc: "Process", dvp: "Vnode", name: str) -> int:
@@ -190,6 +200,8 @@ class MacFramework:
         # Optional stats sink (set by the Kernel) with integer attributes
         # ``mac_checks`` and ``mac_denials``.
         self.stats: Any = None
+        #: policy-set mutation counter (part of the kernel state epoch).
+        self.mutations = 0
 
     @property
     def policies(self) -> tuple[MacPolicy, ...]:
@@ -200,9 +212,11 @@ class MacFramework:
         if any(p.name == policy.name for p in self._policies):
             raise ValueError(f"policy {policy.name!r} already registered")
         self._policies.append(policy)
+        self.mutations += 1
 
     def unregister(self, name: str) -> None:
         self._policies = [p for p in self._policies if p.name != name]
+        self.mutations += 1
 
     def find(self, name: str) -> MacPolicy | None:
         for policy in self._policies:

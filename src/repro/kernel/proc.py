@@ -19,7 +19,6 @@ Two properties from the paper are modelled here:
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
@@ -91,10 +90,31 @@ class ProcessTable:
 
     def __init__(self) -> None:
         self._procs: dict[int, Process] = {}
-        self._pids = itertools.count(1)
+        self._next_pid = 1
+
+    def _alloc_pid(self) -> int:
+        pid = self._next_pid
+        self._next_pid += 1
+        return pid
+
+    @property
+    def allocated(self) -> int:
+        """Pids handed out so far (part of the kernel state epoch:
+        audit output can embed pids, so watermark drift makes results
+        non-reproducible)."""
+        return self._next_pid - 1
+
+    def clone_empty(self) -> "ProcessTable":
+        """A table for a forked kernel: live processes are per-run state
+        (execution is synchronous, so forks happen between runs) and are
+        not carried over, but the pid counter is — a fork and its
+        template hand out the same pid sequence a fresh boot would."""
+        new = ProcessTable()
+        new._next_pid = self._next_pid
+        return new
 
     def spawn(self, cred: Credential, cwd: "Vnode", ppid: int = 0) -> Process:
-        proc = Process(pid=next(self._pids), ppid=ppid, cred=cred, cwd=cwd)
+        proc = Process(pid=self._alloc_pid(), ppid=ppid, cred=cred, cwd=cwd)
         self._procs[proc.pid] = proc
         return proc
 
@@ -105,7 +125,7 @@ class ProcessTable:
         session are by default placed in the same session").
         """
         child = Process(
-            pid=next(self._pids),
+            pid=self._alloc_pid(),
             ppid=parent.pid,
             cred=parent.cred,
             cwd=parent.cwd,

@@ -67,6 +67,22 @@ class Network:
         self._listeners: dict[tuple, Socket] = {}
         self._services: dict[tuple, Service] = {}
         self._listen_hooks: dict[tuple, Callable[[Socket], None]] = {}
+        #: configuration mutation counter (part of the kernel state
+        #: epoch): registered services/hooks change what runs observe;
+        #: live listeners are per-run state and do not count.
+        self.mutations = 0
+
+    def fork(self) -> "Network":
+        """A network for a forked kernel: registered services (world
+        plumbing over immutable payloads) carry over; live listeners AND
+        listen hooks do not — hooks are benchmark-driver plumbing that
+        closes over the *parent* kernel's processes and sockets, so
+        inheriting them would let a fork's listen() mutate another
+        world's run state."""
+        new = Network()
+        new._services = dict(self._services)
+        new.mutations = self.mutations
+        return new
 
     # -- service registration (world/benchmark plumbing, not a syscall) ------
 
@@ -77,6 +93,7 @@ class Network:
         Emacs Download benchmark fetches from).
         """
         self._services[addr] = service
+        self.mutations += 1
 
     def register_listen_hook(self, addr: tuple, hook: Callable[[Socket], None]) -> None:
         """Run ``hook(listener)`` the moment a socket starts listening on
@@ -84,6 +101,7 @@ class Network:
         connections for a synchronous server (e.g. the Apache Benchmark
         tool flooding httpd with requests)."""
         self._listen_hooks[addr] = hook
+        self.mutations += 1
 
     # -- socket operations called by the syscall layer ------------------------
 

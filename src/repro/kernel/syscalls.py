@@ -581,7 +581,7 @@ class SyscallInterface:
         if not self.proc.cred.is_root and self.proc.cred.uid != vp.uid:
             raise SysError(errno_.EPERM, "chmod: not owner")
         self._mac("vnode_check_setmode", vp, mode)
-        vp.mode = mode & 0o7777
+        self.kernel.vfs.set_meta(vp, mode=mode & 0o7777)
 
     def fchmod(self, fd: int, mode: int) -> None:
         self._count("fchmod")
@@ -589,7 +589,7 @@ class SyscallInterface:
         if not self.proc.cred.is_root and self.proc.cred.uid != vp.uid:
             raise SysError(errno_.EPERM, "chmod: not owner")
         self._mac("vnode_check_setmode", vp, mode)
-        vp.mode = mode & 0o7777
+        self.kernel.vfs.set_meta(vp, mode=mode & 0o7777)
 
     def chown(self, path: str, uid: int, gid: int) -> None:
         self._count("chown")
@@ -599,7 +599,7 @@ class SyscallInterface:
         if not self.proc.cred.is_root:
             raise SysError(errno_.EPERM, "chown requires root")
         self._mac("vnode_check_setowner", vp, uid, gid)
-        vp.uid, vp.gid = uid, gid
+        self.kernel.vfs.set_meta(vp, uid=uid, gid=gid)
 
     def utimes(self, path: str, mtime: int) -> None:
         self._count("utimes")
@@ -609,7 +609,7 @@ class SyscallInterface:
         if not self.proc.cred.is_root and self.proc.cred.uid != vp.uid:
             raise SysError(errno_.EPERM, "utimes: not owner")
         self._mac("vnode_check_setutimes", vp)
-        vp.mtime = mtime
+        self.kernel.vfs.set_meta(vp, mtime=mtime)
 
     # ------------------------------------------------------------------
     # cwd and the new `path` syscall

@@ -33,6 +33,15 @@ class SysctlTree:
     def __init__(self, mac: "MacFramework") -> None:
         self._mac = mac
         self._values: dict[str, object] = dict(DEFAULT_SYSCTLS)
+        #: mutation counter (part of the kernel state epoch).
+        self.mutations = 0
+
+    def fork(self, mac: "MacFramework") -> "SysctlTree":
+        """A copy bound to the forked kernel's MAC framework."""
+        new = SysctlTree(mac)
+        new._values = dict(self._values)
+        new.mutations = self.mutations
+        return new
 
     def get(self, proc: "Process", name: str) -> object:
         self._mac.check("system_check_sysctl", proc, name, False)
@@ -44,6 +53,7 @@ class SysctlTree:
     def set(self, proc: "Process", name: str, value: object) -> None:
         self._mac.check("system_check_sysctl", proc, name, True)
         self._values[name] = value
+        self.mutations += 1
 
     def names(self) -> list[str]:
         return sorted(self._values)

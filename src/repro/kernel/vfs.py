@@ -20,6 +20,12 @@ SHILL's paper depends on:
 Path *resolution* (walking components, symlinks, MAC lookup hooks) lives
 in :mod:`repro.kernel.syscalls`; this module only provides the mechanical
 tree operations and raises :class:`SysError` for structural errors.
+
+The tree supports **O(changed-state) forking** (:meth:`VFS.fork`): a fork
+clones the vnode graph (preserving hard links and the name cache) but
+shares each regular file's byte buffer copy-on-write — the buffer is only
+duplicated when either side first mutates it, so forking a booted world
+costs a tree walk, not a data copy.
 """
 
 from __future__ import annotations
@@ -71,8 +77,21 @@ class Label:
     def clear(self, policy: str) -> None:
         self._slots.pop(policy, None)
 
+    def clone(self) -> "Label":
+        """Per-policy state is cloned when it knows how (privilege maps
+        define ``clone``); immutable state is shared."""
+        new = Label()
+        for policy, value in self._slots.items():
+            clone = getattr(value, "clone", None)
+            new._slots[policy] = clone() if callable(clone) else value
+        return new
 
-_vid_counter = itertools.count(1)
+
+# Fallback allocator for vnodes constructed outside any VFS tree (the
+# runtime's per-session device vnodes, test scaffolding).  It starts far
+# above any per-tree vid so the two ranges can never collide inside one
+# kernel.
+_vid_counter = itertools.count(1 << 32)
 
 
 class Vnode:
@@ -104,6 +123,7 @@ class Vnode:
         "nc_parent",
         "nc_name",
         "mtime",
+        "data_shared",
     )
 
     def __init__(
@@ -132,6 +152,19 @@ class Vnode:
         self.nc_parent: Vnode | None = None
         self.nc_name: str | None = None
         self.mtime: int = 0
+        # Copy-on-write marker: True while ``data`` is a buffer shared
+        # with a forked (or template) vnode.  Mutators must go through
+        # ``writable_data()``, which unshares first.
+        self.data_shared: bool = False
+
+    def writable_data(self) -> bytearray:
+        """The file's byte buffer, for mutation: unshares a copy-on-write
+        buffer first so forks never observe each other's writes."""
+        assert self.data is not None
+        if self.data_shared:
+            self.data = bytearray(self.data)
+            self.data_shared = False
+        return self.data
 
     # -- convenience predicates -------------------------------------------------
 
@@ -165,9 +198,35 @@ class VFS:
     """
 
     def __init__(self) -> None:
+        # Tree vids are allocated per-VFS (and the watermark crosses
+        # fork()), so two forks performing identical operations assign
+        # identical vids — vids leak into observable output (Stat.vid,
+        # audit fallbacks), and "parallel equals sequential" needs them
+        # reproducible.
+        self._next_vid = 1
         self.root = Vnode(VType.VDIR, 0o755, 0, 0)
+        self.root.vid = self._alloc_vid()
         self.root.nc_name = "/"
         self._generation = 0
+        # Optional stats sink (set by the Kernel): an object with a
+        # ``count_vnode_op(name)`` method.  Deterministic op counts back
+        # the benchmark harness's noise-free shape assertions.
+        self.stats = None
+
+    def _alloc_vid(self) -> int:
+        vid = self._next_vid
+        self._next_vid += 1
+        return vid
+
+    @property
+    def generation(self) -> int:
+        """Monotonic mutation counter: bumps on every structural or data
+        change.  Equal generations ⇒ the tree has not been modified."""
+        return self._generation
+
+    def _vop(self, name: str) -> None:
+        if self.stats is not None:
+            self.stats.count_vnode_op(name)
 
     # -- lookup -----------------------------------------------------------------
 
@@ -179,6 +238,7 @@ class VFS:
         is the root itself.
         """
         self._check_component(name)
+        self._vop("lookup")
         if not dvp.is_dir:
             raise SysError(errno_.ENOTDIR, f"lookup {name!r} in non-directory")
         if name == ".":
@@ -209,6 +269,7 @@ class VFS:
     def create(self, dvp: Vnode, name: str, vtype: VType, mode: int, uid: int, gid: int) -> Vnode:
         """Create a new vnode of ``vtype`` named ``name`` inside ``dvp``."""
         self._check_component(name)
+        self._vop("create")
         if name in (".", ".."):
             raise SysError(errno_.EEXIST, name)
         if not dvp.is_dir:
@@ -219,6 +280,7 @@ class VFS:
         if name in dvp.entries:
             raise SysError(errno_.EEXIST, f"entry {name!r} exists")
         vp = Vnode(vtype, mode, uid, gid)
+        vp.vid = self._alloc_vid()
         dvp.entries[name] = vp
         vp.nc_parent = dvp
         vp.nc_name = name
@@ -241,6 +303,7 @@ class VFS:
         designates the source, so there is no TOCTTOU window.
         """
         self._check_component(name)
+        self._vop("link")
         if file_vp.is_dir:
             raise SysError(errno_.EPERM, "hard link to directory")
         if not dvp.is_dir:
@@ -262,6 +325,7 @@ class VFS:
         fd-based race-free unlink from section 3.1.3.
         """
         self._check_component(name)
+        self._vop("unlink")
         if name in (".", ".."):
             raise SysError(errno_.EINVAL, name)
         if not dvp.is_dir:
@@ -289,6 +353,7 @@ class VFS:
         """Move ``src_dvp``/``src_name`` to ``dst_dvp``/``dst_name``."""
         self._check_component(src_name)
         self._check_component(dst_name)
+        self._vop("rename")
         vp = self.lookup(src_dvp, src_name)
         if vp.is_dir and self._in_subtree(vp, dst_dvp):
             # Moving a directory into itself/its own subtree would orphan
@@ -353,9 +418,29 @@ class VFS:
             node = parent
         return "/" + "/".join(reversed(parts))
 
+    # -- attributes --------------------------------------------------------------
+
+    def set_meta(self, vp: Vnode, *, mode: int | None = None,
+                 uid: int | None = None, gid: int | None = None,
+                 mtime: int | None = None) -> None:
+        """Change DAC attributes.  All metadata mutation funnels through
+        here so the generation counter (which backs "world unmodified
+        since boot" checks) never misses a change."""
+        self._vop("setattr")
+        if mode is not None:
+            vp.mode = mode
+        if uid is not None:
+            vp.uid = uid
+        if gid is not None:
+            vp.gid = gid
+        if mtime is not None:
+            vp.mtime = mtime
+        self._generation += 1
+
     # -- data I/O ----------------------------------------------------------------
 
     def read_file(self, vp: Vnode, offset: int, size: int) -> bytes:
+        self._vop("read")
         if not vp.is_reg:
             raise SysError(errno_.EINVAL, "read from non-regular file")
         assert vp.data is not None
@@ -364,29 +449,97 @@ class VFS:
         return bytes(vp.data[offset : offset + size])
 
     def write_file(self, vp: Vnode, offset: int, data: bytes) -> int:
+        self._vop("write")
         if not vp.is_reg:
             raise SysError(errno_.EINVAL, "write to non-regular file")
         assert vp.data is not None
         if offset < 0:
             raise SysError(errno_.EINVAL, "negative offset")
+        buf = vp.writable_data()
         end = offset + len(data)
-        if len(vp.data) < offset:
-            vp.data.extend(b"\x00" * (offset - len(vp.data)))
-        vp.data[offset:end] = data
+        if len(buf) < offset:
+            buf.extend(b"\x00" * (offset - len(buf)))
+        buf[offset:end] = data
         self._generation += 1
         return len(data)
 
     def truncate_file(self, vp: Vnode, length: int) -> None:
+        self._vop("truncate")
         if not vp.is_reg:
             raise SysError(errno_.EINVAL, "truncate non-regular file")
         assert vp.data is not None
         if length < 0:
             raise SysError(errno_.EINVAL, "negative length")
-        if length <= len(vp.data):
-            del vp.data[length:]
+        buf = vp.writable_data()
+        if length <= len(buf):
+            del buf[length:]
         else:
-            vp.data.extend(b"\x00" * (length - len(vp.data)))
+            buf.extend(b"\x00" * (length - len(buf)))
         self._generation += 1
+
+    # -- forking -----------------------------------------------------------------
+
+    def fork(self) -> "VFS":
+        """An isolated copy of the tree in O(changed-state).
+
+        Every vnode is cloned (hard links and the name cache are
+        preserved through a vid-keyed memo); regular-file buffers are
+        shared copy-on-write; character devices in the base image are
+        stateless and shared.  The mutation generation carries over so
+        "has this tree changed since boot" answers stay meaningful on
+        forks.
+        """
+        clone = VFS.__new__(VFS)
+        clone.stats = None
+        clone._next_vid = self._next_vid
+        memo: dict[int, Vnode] = {}
+        clone.root = self._fork_node(self.root, memo)
+        clone.root.nc_name = "/"
+        clone._generation = self._generation
+        return clone
+
+    def _fork_node(self, vp: Vnode, memo: dict[int, Vnode]) -> Vnode:
+        cached = memo.get(vp.vid)
+        if cached is not None:
+            return cached
+        # Slot-by-slot copy via __new__ (skipping __init__ keeps the fork
+        # cheap and, deliberately, keeps the original vid: vids only need
+        # to be unique within one kernel, and identical ids keep fork
+        # behaviour byte-for-byte comparable with the template's).
+        new = Vnode.__new__(Vnode)
+        new.vid = vp.vid
+        new.vtype = vp.vtype
+        new.mode = vp.mode
+        new.uid = vp.uid
+        new.gid = vp.gid
+        new.flags = vp.flags
+        new.nlink = vp.nlink
+        new.entries = None
+        new.linktarget = vp.linktarget
+        new.device = vp.device
+        new.program = vp.program
+        new.needed = list(vp.needed) if vp.needed else []
+        new.label = vp.label.clone()
+        new.nc_parent = None
+        new.nc_name = None
+        new.mtime = vp.mtime
+        if vp.data is not None:
+            vp.data_shared = True
+            new.data = vp.data
+            new.data_shared = True
+        else:
+            new.data = None
+            new.data_shared = False
+        memo[vp.vid] = new
+        if vp.entries is not None:
+            new.entries = {}
+            for name, child in vp.entries.items():
+                child_clone = self._fork_node(child, memo)
+                new.entries[name] = child_clone
+                if child.nc_parent is vp and child.nc_name == name:
+                    child_clone.nc_parent = new
+                    child_clone.nc_name = name
+        return new
 
     # -- internals ---------------------------------------------------------------
 

@@ -88,6 +88,7 @@ class ShillRuntime:
         self.scripts: dict[str, str] = dict(scripts or {})
         self.loader = ModuleLoader(self)
         self._base_builtins = make_base_builtins(self)
+        self._dev_vid_count = 0
         self.tty = TtyDevice()
         self.tty_err = TtyDevice("stderr")
         self._tty_vnode = self._device_vnode("ttyv0", self.tty)
@@ -170,6 +171,14 @@ class ShillRuntime:
 
     def _device_vnode(self, name: str, device) -> Vnode:
         vp = Vnode(VType.VCHR, 0o666, 0, 0)
+        # Deterministic vid, derived from the (deterministic) interpreter
+        # pid: these vnodes can surface in audit output, and the global
+        # fallback counter would make that output depend on how many
+        # runtimes the process has ever built (or on thread scheduling
+        # under the parallel batch runner).  The 2^33 offset keeps the
+        # range disjoint from both tree vids and the global counter.
+        self._dev_vid_count += 1
+        vp.vid = (1 << 33) + self.proc.pid * 16 + self._dev_vid_count
         vp.device = device
         vp.nc_name = name
         return vp

@@ -15,10 +15,30 @@ useful starting point for identifying necessary capabilities."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:
+    from repro.kernel.kernel import Kernel
     from repro.sandbox.privileges import Priv, PrivSet
+
+
+def describe_object(kernel: "Kernel", obj: Any) -> str:
+    """Best-effort, *stable* name for a kernel object in audit output.
+
+    Paths when the name cache can resolve one; for detached vnodes
+    (session ttys) the device name — names are deterministic where vids
+    are allocation-ordered, and audit lines feed result fingerprints.
+    """
+    from repro.kernel.vfs import Vnode
+
+    if isinstance(obj, Vnode):
+        try:
+            return kernel.vfs.path_of(obj)
+        except Exception:
+            if obj.nc_name is not None:
+                return f"<{obj.nc_name}>"
+            return f"<vnode {obj.vid}>"
+    return f"<{type(obj).__name__.lower()}>"
 
 
 @dataclass(frozen=True)
@@ -38,6 +58,13 @@ class AuditLog:
 
     def __init__(self) -> None:
         self.entries: list[AuditEntry] = []
+
+    def clone(self) -> "AuditLog":
+        """A snapshot copy (entries are frozen records and are shared);
+        used when forking a world so histories diverge independently."""
+        new = AuditLog()
+        new.entries = list(self.entries)
+        return new
 
     def grant(self, sid: int, target: str, privs: "PrivSet") -> None:
         self.entries.append(AuditEntry(sid, "grant", "grant", target, repr(privs)))

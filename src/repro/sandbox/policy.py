@@ -70,6 +70,14 @@ class ShillPolicy(MacPolicy):
         self.kernel = kernel
         self.sessions = SessionManager(kernel)
 
+    def fork_for(self, kernel: "Kernel") -> "ShillPolicy":
+        """A fresh policy for a forked kernel: its own session manager,
+        seeded with this one's audit history and sid watermark (live
+        sessions are per-run state and never cross a fork)."""
+        new = ShillPolicy(kernel)
+        new.sessions.restore(self.sessions.audit_records(), self.sessions.last_sid)
+        return new
+
     # ------------------------------------------------------------------
     # plumbing
     # ------------------------------------------------------------------
@@ -89,12 +97,9 @@ class ShillPolicy(MacPolicy):
         return session
 
     def _describe(self, obj: Any) -> str:
-        if isinstance(obj, Vnode):
-            try:
-                return self.kernel.vfs.path_of(obj)
-            except Exception:
-                return f"<vnode {obj.vid}>"
-        return f"<{type(obj).__name__.lower()}>"
+        from repro.sandbox.audit import describe_object
+
+        return describe_object(self.kernel, obj)
 
     def _require(self, proc: "Process", obj: Any, priv: Priv, operation: str) -> int:
         """Core check: does the subject's session hold ``priv`` on ``obj``?"""

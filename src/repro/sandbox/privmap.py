@@ -98,6 +98,15 @@ class PrivMap:
     def drop_session(self, sid: int) -> None:
         self._grants.pop(sid, None)
 
+    def clone(self) -> "PrivMap":
+        """An independent map for a forked object's label.  PrivSets are
+        immutable and shared; the sid index is copied so grants in one
+        world never leak into another (sids stay globally comparable
+        because forks preserve the sid watermark)."""
+        new = PrivMap()
+        new._grants = dict(self._grants)
+        return new
+
     def __repr__(self) -> str:
         return f"PrivMap({self._grants!r})"
 

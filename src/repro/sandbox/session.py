@@ -137,6 +137,18 @@ class SessionManager:
         creation order — the audit surface "privileged users" view."""
         return list(self._audit.values())
 
+    def restore(self, records: list[AuditRecord], last_sid: int) -> None:
+        """Seed a forked kernel's manager with the template's history.
+
+        Audit logs are snapshot-copied (§3.2.2 wants them viewable after
+        the fact, and a fork should see everything its template saw);
+        live sessions are per-run state and never carried across.  The
+        sid watermark is preserved so sids allocated in any fork remain
+        unambiguous relative to the template's records.
+        """
+        self._audit = {r.sid: AuditRecord(r.sid, r.log.clone()) for r in records}
+        self.last_sid = last_sid
+
     def audit_records_since(self, sid: int) -> list[AuditRecord]:
         """Records for sessions created after ``sid``, in creation order.
         _audit is insertion-ordered by sid, so scan from the tail."""
@@ -232,11 +244,6 @@ class SessionManager:
 
 def _describe(kernel: "Kernel", obj: object) -> str:
     """Best-effort human-readable name for an object, for audit logs."""
-    from repro.kernel.vfs import Vnode
+    from repro.sandbox.audit import describe_object
 
-    if isinstance(obj, Vnode):
-        try:
-            return kernel.vfs.path_of(obj)
-        except Exception:
-            return f"<vnode {obj.vid}>"
-    return f"<{type(obj).__name__.lower()}>"
+    return describe_object(kernel, obj)

@@ -45,12 +45,18 @@ HEADERS = ["stdio.h", "stdlib.h", "string.h", "unistd.h", "sys/types.h", "sys/ma
 
 OCAML_STDLIB = ["stdlib.cma", "pervasives.cmi", "list.cmi", "string.cmi", "arg.cmi"]
 
-BASE_DIRS = [
-    "/bin", "/usr", "/usr/bin", "/usr/local", "/usr/local/bin", "/usr/local/lib",
-    "/usr/local/lib/ocaml", "/usr/lib", "/usr/include", "/usr/include/sys",
-    "/usr/src", "/lib", "/libexec", "/etc", "/etc/ssl", "/etc/apache",
-    "/home", "/tmp", "/var", "/var/log", "/var/www", "/root", "/dev",
-]
+#: path -> mode.  Modes are set at creation time (ensure_dir only
+#: re-chmods an existing directory on an explicit request), so special
+#: modes live here: /tmp and /var/log are sticky-world-writable.
+BASE_DIRS = {
+    "/bin": 0o755, "/usr": 0o755, "/usr/bin": 0o755, "/usr/local": 0o755,
+    "/usr/local/bin": 0o755, "/usr/local/lib": 0o755,
+    "/usr/local/lib/ocaml": 0o755, "/usr/lib": 0o755, "/usr/include": 0o755,
+    "/usr/include/sys": 0o755, "/usr/src": 0o755, "/lib": 0o755,
+    "/libexec": 0o755, "/etc": 0o755, "/etc/ssl": 0o755, "/etc/apache": 0o755,
+    "/home": 0o755, "/tmp": 0o777, "/var": 0o755, "/var/log": 0o777,
+    "/var/www": 0o755, "/root": 0o755, "/dev": 0o755,
+}
 
 #: The paper's baseline grading task, as an actual shell script run by the
 #: simulated /bin/sh (the "61-line Bash script" of section 4.1).
@@ -97,26 +103,48 @@ class WorldBuilder:
     def __init__(self, kernel: Kernel) -> None:
         self.kernel = kernel
 
-    def ensure_dir(self, path: str, mode: int = 0o755, uid: int = 0, gid: int = 0) -> Vnode:
+    def ensure_dir(self, path: str, mode: int | None = None,
+                   uid: int | None = None, gid: int | None = None) -> Vnode:
+        """Create ``path`` with the given attributes.
+
+        Missing *ancestors* are created root-owned 0o755 (a restrictive
+        leaf request must not lock everyone out of the parents).  The
+        requested attributes apply to the leaf — also when it already
+        exists, but only if they were passed explicitly: re-ensuring
+        ``/tmp`` with default arguments must not reset the sticky
+        0o777/owner the boot image gave it."""
+        leaf_mode = 0o755 if mode is None else mode
+        leaf_uid = 0 if uid is None else uid
+        leaf_gid = 0 if gid is None else gid
         node = self.kernel.vfs.root
-        for comp in [p for p in path.split("/") if p]:
+        components = [p for p in path.split("/") if p]
+        if not components and (mode, uid, gid) != (None, None, None):
+            # ensure_dir("/", ...) has no component loop to apply the
+            # requested attributes — do it here rather than no-op.
+            self.kernel.vfs.set_meta(node, mode=mode, uid=uid, gid=gid)
+        for i, comp in enumerate(components):
+            last = i == len(components) - 1
             if self.kernel.vfs.exists(node, comp):
                 node = self.kernel.vfs.lookup(node, comp)
+                if last and (mode, uid, gid) != (None, None, None):
+                    # Only the explicitly requested attributes change.
+                    self.kernel.vfs.set_meta(node, mode=mode, uid=uid, gid=gid)
+            elif last:
+                node = self.kernel.vfs.create(node, comp, VType.VDIR,
+                                              leaf_mode, leaf_uid, leaf_gid)
             else:
-                node = self.kernel.vfs.create(node, comp, VType.VDIR, mode, uid, gid)
-        # The final directory gets the requested attributes even if an
-        # earlier step created it with defaults (e.g. /tmp's 0777).
-        node.mode = mode
-        node.uid, node.gid = uid, gid
+                node = self.kernel.vfs.create(node, comp, VType.VDIR, 0o755, 0, 0)
         return node
 
     def write_file(self, path: str, data: bytes, mode: int = 0o644, uid: int = 0, gid: int = 0) -> Vnode:
         directory, _, name = path.rpartition("/")
         parent = self.ensure_dir(directory or "/")
         if self.kernel.vfs.exists(parent, name):
+            # Overwrite through the VFS data ops so the COW buffer is
+            # unshared and the mutation generation advances.
             vp = self.kernel.vfs.lookup(parent, name)
-            assert vp.data is not None
-            vp.data[:] = data
+            self.kernel.vfs.truncate_file(vp, 0)
+            self.kernel.vfs.write_file(vp, 0, data)
             return vp
         vp = self.kernel.vfs.create(parent, name, VType.VREG, mode, uid, gid)
         assert vp.data is not None
@@ -143,14 +171,11 @@ def build_world(kernel: Kernel | None = None, *, install_shill: bool = True) -> 
     for name, uid, gid in USERS:
         kernel.users.add_user(name, uid, gid)
 
-    for path in BASE_DIRS:
-        builder.ensure_dir(path)
-    # /tmp is sticky-world-writable; homes belong to their users.
-    builder.ensure_dir("/tmp", mode=0o777)
+    for path, mode in BASE_DIRS.items():
+        builder.ensure_dir(path, mode=mode)
+    # Homes belong to their users.
     for name, uid, gid in USERS:
         builder.ensure_dir(f"/home/{name}", mode=0o755, uid=uid, gid=gid)
-    builder.ensure_dir("/var/www", mode=0o755)
-    builder.ensure_dir("/var/log", mode=0o777)
 
     for path, size in LIBRARIES.items():
         builder.write_file(path, b"\x7fSIMLIB" + bytes(size))

@@ -126,3 +126,34 @@ class TestContentHelpers:
         world = World().with_setup(lambda kernel: kernel.shill_installed,
                                    key="probe").boot()
         assert world.fixtures["probe"] is True
+
+
+class TestEnsureDirNonClobbering:
+    def test_reensure_keeps_boot_attributes(self):
+        """A second ensure_dir with default args must not reset the
+        sticky 0o777/owner the boot image gave /tmp."""
+        from repro.world.image import WorldBuilder
+
+        world = World().boot()
+        WorldBuilder(world.kernel).ensure_dir("/tmp")
+        stat = world.syscalls().stat("/tmp")
+        assert stat.mode == 0o777
+        assert stat.uid == 0
+
+    def test_reensure_keeps_explicit_owner(self):
+        world = World().with_dir("/srv/data", mode=0o700, owner="alice").boot()
+        from repro.world.image import WorldBuilder
+
+        WorldBuilder(world.kernel).ensure_dir("/srv/data")
+        stat = world.syscalls("root").stat("/srv/data")
+        assert stat.mode == 0o700
+        assert stat.uid == 1001
+
+    def test_writing_a_file_keeps_parent_attributes(self):
+        """write_file ensures the parent directory exists; that must not
+        strip the parent's ownership (the old behaviour re-chowned the
+        fixture dirs to root on every file write)."""
+        world = World().with_grading_fixture(students=1, tests=1).boot()
+        tester = world.kernel.users.lookup("tester")
+        stat = world.syscalls("root").stat("/home/tester/submissions/student00")
+        assert stat.uid == tester.uid

@@ -1,4 +1,4 @@
-"""The README's quickstart code block, executed verbatim as a test."""
+"""The README's python code blocks, executed verbatim as tests."""
 
 from __future__ import annotations
 
@@ -6,13 +6,26 @@ import pathlib
 import re
 
 
-def test_readme_quickstart_block_runs(capsys):
+def _python_blocks() -> list[str]:
     readme = pathlib.Path(__file__).resolve().parent.parent / "README.md"
-    text = readme.read_text()
-    blocks = re.findall(r"```python\n(.*?)```", text, flags=re.S)
+    return re.findall(r"```python\n(.*?)```", readme.read_text(), flags=re.S)
+
+
+def test_readme_quickstart_block_runs(capsys):
+    blocks = _python_blocks()
     assert blocks, "README must contain a python quickstart block"
     code = blocks[0]
     namespace: dict = {}
     exec(compile(code, "README.md", "exec"), namespace)  # noqa: S102
     out = capsys.readouterr().out
     assert "/home/alice/Documents/dog.jpg" in out
+
+
+def test_readme_batch_block_runs(capsys):
+    blocks = _python_blocks()
+    assert len(blocks) >= 2, "README must contain the batching example"
+    namespace: dict = {}
+    exec(compile(blocks[1], "README.md", "exec"), namespace)  # noqa: S102
+    out = capsys.readouterr().out
+    assert "dog.jpg" in out
+    assert "'jobs': 8" in out
