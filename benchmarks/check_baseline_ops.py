@@ -1,0 +1,144 @@
+"""Gate CI on deterministic kernel op counts, not wall-clock.
+
+Wall-clock assertions flake on shared runners; the kernel op counters
+(``KernelStats``) are exact and reproducible, so perf regressions show
+up as *op-count* growth long before timing noise can hide them.  This
+script compares a fresh ``BENCH_fig9.json`` against the committed
+``benchmarks/baseline_ops.json`` and fails on any counter that grew more
+than the tolerance (default 10%).
+
+Usage::
+
+    python benchmarks/check_baseline_ops.py [BENCH_fig9.json]
+    python benchmarks/check_baseline_ops.py --refresh [BENCH_fig9.json]
+
+``--refresh`` regenerates the baseline from the measured run (see the
+``_readme`` key of the baseline file for the full recipe).  Shrunken
+counters (improvements) warn instead of failing — commit a refreshed
+baseline so the gate tracks the better numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+BASELINE_PATH = pathlib.Path(__file__).parent / "baseline_ops.json"
+
+_README = [
+    "Deterministic kernel op counts per Figure 9 cell (plus the Batch-Find",
+    "backend row).  CI's bench-ops step fails when a fresh run's counters",
+    "grow more than `tolerance` over these values — the noise-free stand-in",
+    "for wall-clock perf gates.  To refresh after an intentional change:",
+    "  PYTHONPATH=src REPRO_BENCH_JSON=BENCH_fig9.json python -m pytest -q benchmarks",
+    "  python benchmarks/check_baseline_ops.py --refresh BENCH_fig9.json",
+    "then commit the updated baseline_ops.json alongside the change.",
+]
+
+
+def _load_measured(path: pathlib.Path) -> dict[str, dict[str, dict[str, int]]]:
+    payload = json.loads(path.read_text())
+    measured: dict[str, dict[str, dict[str, int]]] = {}
+    for bench, configs in payload.get("benchmarks", {}).items():
+        for config, cell in configs.items():
+            ops = cell.get("ops") or {}
+            if ops:
+                measured.setdefault(bench, {})[config] = {
+                    key: int(value) for key, value in sorted(ops.items())
+                }
+    return measured
+
+
+def refresh(measured: dict, tolerance: float) -> None:
+    payload = {
+        "_readme": _README,
+        "tolerance": tolerance,
+        "benchmarks": measured,
+    }
+    BASELINE_PATH.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    cells = sum(len(configs) for configs in measured.values())
+    print(f"baseline_ops.json refreshed: {len(measured)} benchmarks, {cells} cells")
+
+
+def compare(measured: dict) -> int:
+    baseline = json.loads(BASELINE_PATH.read_text())
+    tolerance = float(baseline.get("tolerance", 0.10))
+    regressions: list[str] = []
+    warnings: list[str] = []
+    for bench, configs in baseline["benchmarks"].items():
+        for config, expected in configs.items():
+            actual = measured.get(bench, {}).get(config)
+            if actual is None:
+                regressions.append(f"{bench}/{config}: cell missing from measured run")
+                continue
+            for counter, base_value in expected.items():
+                if counter not in actual:
+                    # A renamed/dropped counter must fail loudly, or the
+                    # gate silently stops covering it forever.
+                    regressions.append(
+                        f"{bench}/{config}/{counter}: counter missing from "
+                        "measured run (renamed? refresh the baseline)")
+                    continue
+                value = actual[counter]
+                if value == base_value:
+                    continue
+                limit = base_value * tolerance
+                delta = value - base_value
+                where = f"{bench}/{config}/{counter}: {base_value} -> {value}"
+                if delta > limit:
+                    regressions.append(f"{where} (+{delta}, > {tolerance:.0%})")
+                elif -delta > limit:
+                    warnings.append(f"{where} ({delta}; improved — refresh the baseline)")
+            for counter in actual:
+                if counter not in expected:
+                    warnings.append(
+                        f"{bench}/{config}/{counter}: new counter not in baseline — refresh")
+    for bench, configs in measured.items():
+        for config in configs:
+            if config not in baseline["benchmarks"].get(bench, {}):
+                warnings.append(f"{bench}/{config}: new cell not in baseline — refresh")
+    for line in warnings:
+        print(f"WARN  {line}")
+    for line in regressions:
+        print(f"FAIL  {line}")
+    if regressions:
+        print(f"\n{len(regressions)} op-count regression(s) beyond {tolerance:.0%}. "
+              "If intentional, refresh the baseline (see baseline_ops.json _readme).")
+        return 1
+    print(f"bench-ops gate passed: every counter within {tolerance:.0%} of baseline "
+          f"({sum(len(c) for c in baseline['benchmarks'].values())} cells).")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("bench_json", nargs="?", default="BENCH_fig9.json",
+                        help="measured run (default: BENCH_fig9.json)")
+    parser.add_argument("--refresh", action="store_true",
+                        help="rewrite baseline_ops.json from the measured run")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="relative growth allowed before failing (refresh "
+                             "stores this; compare uses the stored value)")
+    args = parser.parse_args(argv)
+    bench_path = pathlib.Path(args.bench_json)
+    if not bench_path.exists():
+        print(f"measured run {bench_path} not found — did the benchmark "
+              "pytest step crash before writing it?", file=sys.stderr)
+        return 2
+    measured = _load_measured(bench_path)
+    if not measured:
+        print(f"no op counts found in {args.bench_json}", file=sys.stderr)
+        return 2
+    if args.refresh:
+        refresh(measured, args.tolerance)
+        return 0
+    if not BASELINE_PATH.exists():
+        print(f"missing {BASELINE_PATH}; run with --refresh first", file=sys.stderr)
+        return 2
+    return compare(measured)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,6 +37,29 @@ def record_cell(bench: str, config: str, sample) -> None:
     }
 
 
+def _markdown_summary() -> str:
+    """A small markdown table of the measured cells, for CI's
+    ``$GITHUB_STEP_SUMMARY`` panel."""
+    configs: list[str] = []
+    for cells in _cells.values():
+        for config in cells:
+            if config not in configs:
+                configs.append(config)
+    lines = ["### Benchmark cells (mean ms, deterministic op counts in CI artifact)", ""]
+    lines.append("| benchmark | " + " | ".join(configs) + " |")
+    lines.append("|---" * (len(configs) + 1) + "|")
+    for bench, cells in _cells.items():
+        row = [bench]
+        for config in configs:
+            cell = cells.get(config)
+            row.append("—" if cell is None else f"{cell['mean_s'] * 1000:.2f}")
+        lines.append("| " + " | ".join(row) + " |")
+    lines.append("")
+    lines.append(f"_{RUNS} run(s) per cell; op-count gate: "
+                 "`benchmarks/check_baseline_ops.py`_")
+    return "\n".join(lines) + "\n"
+
+
 @pytest.fixture(scope="session", autouse=True)
 def print_tables_at_end():
     yield
@@ -61,3 +84,7 @@ def print_tables_at_end():
         with open(path, "w") as fh:
             json.dump(payload, fh, indent=2)
         print(f"\nFigure 9 cells written to {path}")
+        summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+        if summary_path:
+            with open(summary_path, "a") as fh:
+                fh.write(_markdown_summary())

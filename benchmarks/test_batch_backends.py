@@ -1,0 +1,172 @@
+"""Batch backends, measured: sequential vs thread vs process-parallel.
+
+The thread backend serialises interpreter work on the GIL, so it buys
+concurrency but not cores; the process backend ships a picklable kernel
+snapshot to each worker and is the only backend that scales with the
+machine.  This file pins that claim the same way Figure 9 pins its rows:
+
+* **op-gated equivalence** — every backend executes the identical
+  deterministic kernel work (summed per-job op counts equal) and
+  returns byte-identical results (``RunResult.fingerprint()``);
+* **reported wall-clock** — per-backend means land in the printed table
+  and in ``BENCH_fig9.json`` as the ``Batch-Find`` row, whose
+  ``process-parallel`` column is the new cell next to the sequential
+  and thread ones;
+* **the speedup criterion** — on a 2+-core runner the process backend
+  must beat the thread backend by >= 1.5x (best-of-rounds, like the fork
+  engine's 2x criterion); single-core machines report the ratio without
+  asserting, since there is nothing to scale onto.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from conftest import RUNS, record_cell, record_row
+from repro.api import Batch, ScriptRegistry, clear_result_cache
+from repro.bench.harness import Sample
+from repro.casestudies.findgrep import usr_src_world
+
+WORKERS = 2
+JOBS = 10
+REPEATS = 3
+
+WALK_CAP = """\
+#lang shill/cap
+provide walk :
+  {cur : dir(+contents, +lookup, +path) \\/ file(+path, +read),
+   out : file(+append)} -> void;
+walk = fun(cur, out) {
+  if is_file(cur) && has_ext(cur, "c") then
+    append(out, path(cur) + "\\n");
+  if is_dir(cur) then
+    for name in contents(cur) {
+      child = lookup(cur, name);
+      if !is_syserror(child) then walk(child, out);
+    }
+}
+"""
+
+#: Each job walks the full /usr/src fixture six times — enough
+#: interpreter + MAC work (~100ms) that parallelism, not pool overhead,
+#: dominates the comparison.
+WALK_AMBIENT = "#lang shill/ambient\n" + 'require "walk.cap";\n' + \
+    'src = open_dir("/usr/src");\n' + "walk(src, stdout);\n" * 6
+
+#: fig9-style cell names; "process-parallel" is the new column.
+BACKEND_CELLS = {
+    "sequential": "sequential",
+    "thread": "thread",
+    "process": "process-parallel",
+}
+
+
+def _build_batch() -> Batch:
+    batch = Batch(usr_src_world(True),
+                  scripts=ScriptRegistry().add("walk.cap", WALK_CAP),
+                  cache=False)
+    for i in range(JOBS):
+        batch.add(WALK_AMBIENT, name=f"walk{i}")
+    return batch
+
+
+def _sum_ops(results) -> dict[str, int]:
+    totals: dict[str, int] = {}
+    for result in results:
+        for key, value in result.ops.items():
+            totals[key] = totals.get(key, 0) + value
+    return totals
+
+
+def _measure_backend(backend: str, repeats: int = REPEATS):
+    """Time ``repeats`` batch runs; returns (Sample, fingerprint list)."""
+    sample = Sample(BACKEND_CELLS[backend])
+    fingerprints: list[bytes] = []
+    for _ in range(repeats):
+        clear_result_cache()
+        batch = _build_batch()
+        start = time.perf_counter()
+        results = batch.run(backend=backend, workers=WORKERS)
+        sample.seconds.append(time.perf_counter() - start)
+        sample.ops.append(_sum_ops(results))
+        fingerprints = [r.fingerprint() for r in results]
+    return sample, fingerprints
+
+
+@pytest.fixture(scope="module")
+def backend_samples():
+    """One measured (Sample, fingerprints) pair per backend, shared by
+    the equivalence and speedup tests so the workload runs once."""
+    measured = {b: _measure_backend(b) for b in BACKEND_CELLS}
+    cells = {}
+    for backend, (sample, _prints) in measured.items():
+        cells[BACKEND_CELLS[backend]] = sample
+        record_cell("Batch-Find", BACKEND_CELLS[backend], sample)
+    base = cells["sequential"]
+    row = [f"{'Batch-Find':12s}"]
+    for name, sample in cells.items():
+        row.append(f"{name}={sample.mean * 1000:8.2f}ms"
+                   f" ({sample.ratio_to(base):4.2f}x)")
+    record_row("  ".join(row) +
+               f"  [{JOBS} jobs x {WORKERS} workers, {os.cpu_count()} cores]")
+    return measured
+
+
+def test_backends_are_op_identical(backend_samples):
+    """The deterministic gate: every backend did exactly the same kernel
+    work and produced byte-identical results — the wall-clock columns
+    compare like with like."""
+    base_sample, base_prints = backend_samples["sequential"]
+    assert base_prints, "sequential run produced no results"
+    for backend, (sample, prints) in backend_samples.items():
+        assert prints == base_prints, f"{backend}: fingerprints diverged"
+        assert sample.op_counts == base_sample.op_counts, (
+            f"{backend}: op counts diverged"
+        )
+        assert sample.op_counts["sandboxes_created"] == 0
+        assert sample.op_counts["vnode_ops"] > 0
+
+
+def test_process_beats_thread_on_multicore(backend_samples):
+    """The acceptance criterion: >= 1.5x over the thread backend on a
+    2+-core runner (best-of-rounds; a single GC pause inside one timed
+    round can dwarf the pool overhead)."""
+    thread_best = min(backend_samples["thread"][0].seconds)
+    process_best = min(backend_samples["process"][0].seconds)
+    ratio = thread_best / process_best
+    cores = os.cpu_count() or 1
+    record_row(
+        f"Batch process-parallel speedup: thread {thread_best * 1000:8.2f}ms, "
+        f"process {process_best * 1000:8.2f}ms ({ratio:.2f}x on {cores} cores)"
+    )
+    if cores < 2:
+        pytest.skip(f"speedup criterion needs 2+ cores, runner has {cores} "
+                    f"(measured {ratio:.2f}x, reported above)")
+    assert ratio >= 1.5, (
+        f"process backend should be >=1.5x faster than threads on "
+        f"{cores} cores, measured {ratio:.2f}x"
+    )
+
+
+def test_snapshot_cost_is_amortised(benchmark, backend_samples):
+    """The one-time template pickle is the process backend's fixed cost;
+    it must stay below one job's work (so fan-out wins immediately) —
+    gated against the measured sequential per-job cost, not wall-clock
+    alone, so a snapshot-cost blow-up fails loudly."""
+    from repro.kernel.serialize import snapshot_kernel
+
+    world = usr_src_world(True).boot()
+    payloads: list[bytes] = []
+    benchmark.pedantic(lambda: payloads.append(snapshot_kernel(world.kernel)),
+                       rounds=max(RUNS, 2), iterations=1)
+    snapshot_best = benchmark.stats.stats.min
+    per_job = min(backend_samples["sequential"][0].seconds) / JOBS
+    record_row(f"Kernel snapshot (usr_src world): {len(payloads[-1]) / 1024:.0f} KiB, "
+               f"{snapshot_best * 1000:.2f}ms vs {per_job * 1000:.2f}ms/job")
+    assert snapshot_best < per_job, (
+        f"one-time snapshot ({snapshot_best * 1000:.2f}ms) should undercut a "
+        f"single job ({per_job * 1000:.2f}ms) or fan-out never breaks even"
+    )

@@ -18,7 +18,7 @@ import time
 
 from conftest import record_row
 from repro.kernel import O_CREAT, O_RDONLY, O_TRUNC, O_WRONLY
-from repro.sandbox.privileges import Priv, PrivSet
+from repro.sandbox.privileges import PrivSet
 from repro.world import build_world
 from repro.world.image import WorldBuilder
 

@@ -15,12 +15,15 @@ Usage::
         configured from a policy file.  Add --debug to auto-grant and
         report the privileges the command needed.
 
-    python -m repro batch AMBIENT.ambient [MORE.ambient ...] [--parallel]
+    python -m repro batch AMBIENT.ambient [MORE.ambient ...] [--backend B]
         Run many ambient scripts, each against its own copy-on-write
-        fork of one world image (boot cost is paid once).  --parallel
-        runs them on a thread pool with per-job kernels; results are
-        identical to the sequential run.  --json emits a machine-readable
-        summary with the deterministic kernel op counts per job.
+        fork of one world image (boot cost is paid once).  --backend
+        picks the execution engine: sequential (default), thread (a
+        thread pool with per-job kernels), or process (kernel snapshots
+        shipped to worker processes — the only backend that uses more
+        than one core).  Results are byte-identical whatever the
+        backend.  --json emits a machine-readable summary with the
+        deterministic kernel op counts per job.
 """
 
 from __future__ import annotations
@@ -30,7 +33,7 @@ import json
 import pathlib
 import sys as _hostsys
 
-from repro.api import FIXTURE_CHOICES, Batch, ScriptRegistry, World
+from repro.api import BATCH_BACKENDS, FIXTURE_CHOICES, Batch, ScriptRegistry, World
 
 
 def cmd_demo(_args: argparse.Namespace) -> int:
@@ -84,7 +87,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
     for script in args.scripts:
         path = pathlib.Path(script)
         batch.add(path.read_text(), name=path.name)
-    results = batch.run(parallel=args.parallel, workers=args.workers)
+    backend = "thread" if (args.parallel and args.backend is None) else args.backend
+    results = batch.run(backend=backend, workers=args.workers)
 
     if args.json:
         print(json.dumps([
@@ -160,8 +164,12 @@ def main(argv: list[str] | None = None) -> int:
                          help="capability-safe script file(s) to register")
     batch_p.add_argument("--user", default="alice")
     batch_p.add_argument("--fixture", choices=list(FIXTURE_CHOICES), default="jpeg")
+    batch_p.add_argument("--backend", choices=list(BATCH_BACKENDS), default=None,
+                         help="execution engine (default: sequential); "
+                              "'process' fans kernel snapshots out to "
+                              "worker processes")
     batch_p.add_argument("--parallel", action="store_true",
-                         help="run jobs on a thread pool (per-job kernels)")
+                         help="deprecated spelling of --backend thread")
     batch_p.add_argument("--workers", type=int, default=4)
     batch_p.add_argument("--json", action="store_true",
                          help="machine-readable per-job summary")

@@ -9,8 +9,9 @@ Everything above the kernel goes through five nouns:
 * :class:`Session` — one SHILL invocation: runs ambient scripts, loads
   capability-safe exports, and snapshots results;
 * :class:`Batch` — many (script, user) jobs over per-job world forks,
-  sequentially deterministic or thread-parallel, with a result cache
-  keyed on (world digest, script, user);
+  run sequentially, thread-parallel, or process-parallel (picklable
+  kernel snapshots shipped to worker processes) with byte-identical
+  results, plus a result cache keyed on (world digest, script, user);
 * :class:`Sandbox` — the ``shill-run`` debugging tool: one command under
   a policy file;
 * :class:`RunResult` — the frozen answer object (stdout, stderr, exit
@@ -39,7 +40,14 @@ from __future__ import annotations
 
 import warnings
 
-from repro.api.batch import Batch, BatchJob, clear_result_cache, result_cache_size
+from repro.api.batch import (
+    BATCH_BACKENDS,
+    Batch,
+    BatchExecutionError,
+    BatchJob,
+    clear_result_cache,
+    result_cache_size,
+)
 from repro.api.registry import SCRIPT_SUFFIXES, ScriptRegistry
 from repro.api.results import OPS_KEYS, PROFILE_KEYS, RunResult, freeze_ops, freeze_profile
 from repro.api.sandboxes import Sandbox
@@ -59,7 +67,9 @@ __all__ = [
     "Session",
     "Sandbox",
     "Batch",
+    "BatchExecutionError",
     "BatchJob",
+    "BATCH_BACKENDS",
     "RunResult",
     "ScriptRegistry",
     "FIXTURE_CHOICES",

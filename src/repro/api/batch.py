@@ -12,22 +12,45 @@ Per-job forks buy two properties at once:
   boot-image cache) once; each job pays only a fork, which is
   O(changed-state) rather than O(world);
 * **order independence** — no job can observe another job's writes, so
-  running the jobs thread-parallel (``run(parallel=True)``, per-worker
-  kernels) produces byte-identical results to the sequential run:
+  running the jobs in parallel (per-worker kernels) produces
+  byte-identical results to the sequential run:
   ``[r.fingerprint() for r in ...]`` is invariant under scheduling.
+
+Three execution **backends** share that contract (see README "Choosing a
+batch backend"):
+
+* ``"sequential"`` — jobs run in submission order on the caller's
+  thread; the reference behaviour;
+* ``"thread"`` — jobs run on a thread pool.  Concurrency without the
+  process-spawn cost, but the GIL serialises the interpreter work;
+* ``"process"`` — the booted template kernel is serialized **once**
+  (:mod:`repro.kernel.serialize`), shipped to a
+  :class:`~concurrent.futures.ProcessPoolExecutor`, and each worker
+  restores its own machine and forks it per job.  This is the only
+  backend that uses more than one core.
+
+Job failures are part of the contract: a script error (any
+:class:`~repro.errors.ReproError`) becomes a failed :class:`RunResult`
+carrying the error text *and* the full host traceback
+(``result.traceback``); an unexpected error — an engine bug, a crashed
+worker — raises :class:`BatchExecutionError` naming the (script, user)
+job that failed, with the original traceback text preserved.
 
 Results are additionally served from a module-level cache keyed on
 (world digest, script source, user, registered scripts) — the world is
 deterministic, so an identical job against an identical image must
 produce an identical result.  The cache only engages while the base
 world is :attr:`~repro.api.World.pristine` (booted from a digestible
-configuration and not mutated since).
+configuration and not mutated since).  It lives in the coordinating
+process for every backend: cached jobs are never dispatched to workers,
+and worker results are merged back into it.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import threading
+import traceback as _traceback
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping
 
@@ -38,6 +61,10 @@ from repro.errors import ReproError
 
 if TYPE_CHECKING:
     from repro.api.worlds import World
+    from repro.kernel.kernel import Kernel
+
+#: The execution backends ``Batch.run`` / ``World.pool`` accept.
+BATCH_BACKENDS = ("sequential", "thread", "process")
 
 #: Bounded FIFO of frozen results; old entries are evicted so a
 #: long-lived process sweeping many distinct jobs cannot grow without
@@ -54,6 +81,39 @@ def result_cache_size() -> int:
     return len(_RESULT_CACHE)
 
 
+class BatchExecutionError(ReproError):
+    """A batch job died of something that is *not* a script failure.
+
+    Script-level failures (denials, contract violations, syntax errors —
+    every :class:`ReproError`) are deterministic results and come back as
+    failed :class:`RunResult`\\ s.  This error is for the rest: engine
+    bugs and crashed workers.  It names the failing job and preserves the
+    original traceback text, which would otherwise be lost at a process
+    boundary.
+    """
+
+    def __init__(self, job_name: str, user: str | None, traceback_text: str,
+                 message: str | None = None) -> None:
+        self.job_name = job_name
+        self.user = user
+        self.traceback_text = traceback_text
+        self._message = message
+        if message is None:
+            lines = traceback_text.strip().splitlines()
+            message = lines[-1] if lines else "unknown error"
+        super().__init__(
+            f"batch job {job_name!r} (user={user!r}) failed: {message}"
+        )
+
+    def __reduce__(self):
+        """BaseException's default reduce replays only the formatted
+        message, which does not match this constructor — spell out the
+        real arguments so the error survives pickling (users wrap
+        Batch.run in their own multiprocessing layers)."""
+        return (BatchExecutionError,
+                (self.job_name, self.user, self.traceback_text, self._message))
+
+
 @dataclass(frozen=True)
 class BatchJob:
     """One queued (script, user) pair."""
@@ -61,6 +121,107 @@ class BatchJob:
     source: str
     user: str | None
     name: str
+
+
+def execute_job(kernel: "Kernel", source: str, user: str | None,
+                name: str, scripts: Mapping[str, str],
+                default_user: str) -> RunResult:
+    """Run one batch job against its own fork of ``kernel``.
+
+    This is the single execution path every backend funnels through —
+    the worker processes import and call exactly this function — so the
+    "parallel equals sequential" fingerprint guarantee reduces to kernel
+    forks (and snapshots) being faithful.
+    """
+    from repro.api.sessions import Session
+
+    fork = kernel.fork()
+    effective_user = user or default_user
+    try:
+        session = Session(fork, user=effective_user, scripts=dict(scripts))
+    except KeyError as err:
+        # Unknown job user: the job fails alone, and with no session
+        # there is nothing to snapshot beyond the error itself.  The
+        # catch is deliberately this narrow — a KeyError out of the
+        # interpreter would be an engine bug and must propagate (as a
+        # BatchExecutionError, via the caller).
+        return RunResult(status=1, stderr=f"KeyError: {err}\n",
+                         traceback=_traceback.format_exc())
+    try:
+        # Jobs execute under a canonical script name: diagnostics
+        # (e.g. syntax errors) embed the script name, and cached
+        # results are shared across identically-keyed jobs whatever
+        # they were called — callers attribute output via .jobs.
+        result = session.run_ambient(source, "<batch>")
+    except ReproError as err:
+        # Jobs are isolated forks, so one failing script must not
+        # abort its siblings: it becomes a failed RunResult carrying
+        # everything the session observed up to the error — denials,
+        # sandbox count, profile, op counts — since the audit trail
+        # matters most exactly when a run fails.  The error text is
+        # deterministic, so cache/fingerprint semantics hold for
+        # failures too (the traceback is diagnostic-only and excluded
+        # from fingerprints, like wall-clock timings).
+        snapshot = session.result()
+        result = dataclasses.replace(
+            snapshot,
+            status=1,
+            stderr=snapshot.stderr + f"{type(err).__name__}: {err}\n",
+            traceback=_traceback.format_exc(),
+        )
+    except Exception as err:
+        raise BatchExecutionError(name, effective_user,
+                                  _traceback.format_exc()) from err
+    return result
+
+
+# ---------------------------------------------------------------------------
+# process-backend worker plumbing (module-level: workers must import it)
+# ---------------------------------------------------------------------------
+
+#: Per-worker-process state: the restored template kernel plus the job
+#: context, installed once by the pool initializer.
+_WORKER_STATE: dict = {}
+
+
+def _process_worker_init(payload: bytes, scripts_items: tuple,
+                         default_user: str) -> None:
+    """Pool initializer: unpickle the template once per worker process."""
+    from repro.kernel.serialize import restore_kernel
+
+    _WORKER_STATE["kernel"] = restore_kernel(payload)
+    _WORKER_STATE["scripts"] = dict(scripts_items)
+    _WORKER_STATE["default_user"] = default_user
+
+
+def _process_worker_run(packed: tuple) -> tuple:
+    """Run one job in a worker; never raises (exceptions do not carry
+    tracebacks across process boundaries faithfully, so failures travel
+    home as data and the coordinator re-raises the typed error)."""
+    import pickle
+
+    index, source, user, name = packed
+    try:
+        result = execute_job(
+            _WORKER_STATE["kernel"], source, user, name,
+            _WORKER_STATE["scripts"], _WORKER_STATE["default_user"],
+        )
+        if result.value is not None:
+            # The executor pickles our return value *after* this frame
+            # exits, where a failure surfaces as an opaque pool error —
+            # probe the only field that can carry arbitrary objects now,
+            # so an unpicklable language-level value fails with the job
+            # named.  Batch jobs produce value=None, so the common path
+            # pays nothing.
+            try:
+                pickle.dumps(result.value)
+            except Exception:
+                return ("error", index, name, user, _traceback.format_exc())
+        return ("ok", index, result)
+    except BatchExecutionError as err:
+        return ("error", index, err.job_name, err.user, err.traceback_text)
+    except Exception:
+        return ("error", index, name, user, _traceback.format_exc())
 
 
 class Batch:
@@ -73,7 +234,7 @@ class Batch:
         batch = Batch(World().with_usr_src(), scripts=registry)
         for user in users:
             batch.add(AMBIENT_SRC, user=user)
-        results = batch.run(parallel=True, workers=8)
+        results = batch.run(backend="process", workers=8)
     """
 
     def __init__(
@@ -121,23 +282,35 @@ class Batch:
 
     # -- running -----------------------------------------------------------
 
-    def run(self, *, parallel: bool = False, workers: int | None = None) -> list[RunResult]:
+    def run(self, *, parallel: bool = False, workers: int | None = None,
+            backend: str | None = None) -> list[RunResult]:
         """Execute every queued job; results in submission order.
 
-        Sequential by default (and always deterministic).  With
-        ``parallel=True`` jobs run on a thread pool, each against its own
-        forked kernel; results are byte-identical to the sequential run
-        (compare :meth:`RunResult.fingerprint`).
+        ``backend`` selects the execution engine (:data:`BATCH_BACKENDS`):
+        ``"sequential"`` (the default), ``"thread"``, or ``"process"``.
+        ``parallel=True`` is the pre-backend spelling of
+        ``backend="thread"`` and is kept for compatibility.  Whatever the
+        backend, results are byte-identical (compare
+        :meth:`RunResult.fingerprint`).
         """
         if workers is not None and workers < 1:
             raise ValueError("workers must be positive")
+        if backend is None:
+            backend = "thread" if parallel else "sequential"
+        if backend not in BATCH_BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; choices: {', '.join(BATCH_BACKENDS)}")
         self.world.boot()
-        if not parallel:
+        if backend == "sequential":
             return [self._run_one(job) for job in self._jobs]
-        from concurrent.futures import ThreadPoolExecutor
+        if backend == "thread":
+            from concurrent.futures import ThreadPoolExecutor
 
-        with ThreadPoolExecutor(max_workers=workers or 4) as pool:
-            return list(pool.map(self._run_one, self._jobs))
+            with ThreadPoolExecutor(max_workers=workers or 4) as pool:
+                return list(pool.map(self._run_one, self._jobs))
+        return self._run_process(workers or 4)
+
+    # -- in-process execution (sequential / thread) ------------------------
 
     def _run_one(self, job: BatchJob) -> RunResult:
         key = self._cache_key(job)
@@ -146,37 +319,92 @@ class Batch:
             if cached is not None:
                 self._bump("jobs", "cache_hits")
                 return cached
-        fork = self.world.fork()
+        assert self.world.kernel is not None
         self._bump("jobs", "forks")
-        try:
-            session = fork.session(user=job.user, scripts=self._scripts)
-        except KeyError as err:
-            # Unknown job user: the job fails alone, and with no session
-            # there is nothing to snapshot beyond the error itself.  The
-            # catch is deliberately this narrow — a KeyError out of the
-            # interpreter would be an engine bug and must propagate.
-            return self._finish(key, RunResult(status=1, stderr=f"KeyError: {err}\n"))
-        try:
-            # Jobs execute under a canonical script name: diagnostics
-            # (e.g. syntax errors) embed the script name, and cached
-            # results are shared across identically-keyed jobs whatever
-            # they were called — callers attribute output via .jobs.
-            result = session.run_ambient(job.source, "<batch>")
-        except ReproError as err:
-            # Jobs are isolated forks, so one failing script must not
-            # abort its siblings: it becomes a failed RunResult carrying
-            # everything the session observed up to the error — denials,
-            # sandbox count, profile, op counts — since the audit trail
-            # matters most exactly when a run fails.  The error text is
-            # deterministic, so cache/fingerprint semantics hold for
-            # failures too.
-            snapshot = session.result()
-            result = dataclasses.replace(
-                snapshot,
-                status=1,
-                stderr=snapshot.stderr + f"{type(err).__name__}: {err}\n",
-            )
+        result = execute_job(self.world.kernel, job.source, job.user,
+                             job.name, self._scripts, self.world.default_user)
         return self._finish(key, result)
+
+    # -- process execution -------------------------------------------------
+
+    def _run_process(self, workers: int) -> list[RunResult]:
+        """Fan pending jobs out to worker processes.
+
+        The coordinator serves cache hits locally, snapshots the booted
+        template exactly once, and merges worker results back into the
+        shared cache — so op counters and caching behave identically to
+        the in-process backends, just off the GIL.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.kernel.serialize import snapshot_kernel
+
+        results: list[RunResult | None] = [None] * len(self._jobs)
+        pending: list[tuple[int, BatchJob, tuple | None]] = []
+        # Identically-keyed queued jobs dispatch once: the sequential
+        # backend serves later duplicates from the result cache mid-run,
+        # and the process backend must match those cache-hit semantics
+        # even though it fans everything out up front.
+        representative: dict[tuple, int] = {}
+        duplicates: dict[int, list[int]] = {}
+        for index, job in enumerate(self._jobs):
+            key = self._cache_key(job)
+            cached = _RESULT_CACHE.get(key) if key is not None else None
+            if cached is not None:
+                self._bump("jobs", "cache_hits")
+                results[index] = cached
+            elif key is not None and key in representative:
+                self._bump("jobs", "cache_hits")
+                duplicates.setdefault(representative[key], []).append(index)
+            else:
+                if key is not None:
+                    representative[key] = index
+                pending.append((index, job, key))
+        if pending:
+            assert self.world.kernel is not None
+            payload = snapshot_kernel(self.world.kernel)
+            packed = [(index, job.source, job.user, job.name)
+                      for index, job, _key in pending]
+            keys = {index: key for index, _job, key in pending}
+            failure: tuple | None = None
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(workers, len(pending)),
+                    initializer=_process_worker_init,
+                    initargs=(payload, tuple(self._scripts.items()),
+                              self.world.default_user),
+                ) as pool:
+                    for outcome in pool.map(_process_worker_run, packed):
+                        if outcome[0] == "error":
+                            # Keep draining so sibling jobs finish
+                            # cleanly; the first failure (submission
+                            # order) wins.
+                            if failure is None:
+                                failure = outcome
+                            continue
+                        _tag, index, result = outcome
+                        self._bump("jobs", "forks")
+                        results[index] = self._finish(keys[index], result)
+                        for dup_index in duplicates.get(index, ()):
+                            results[dup_index] = results[index]
+            except BatchExecutionError:
+                raise
+            except Exception as err:
+                # A worker killed hard (OOM, signal) surfaces here as
+                # BrokenProcessPool with no job attribution; the typed
+                # error still names the batch and keeps the pool's
+                # traceback, upholding the documented contract.
+                raise BatchExecutionError(
+                    "<worker pool>", None, _traceback.format_exc(),
+                    message=f"worker pool failed: {type(err).__name__}: {err}",
+                ) from err
+            if failure is not None:
+                _tag, _index, name, user, tb_text = failure
+                raise BatchExecutionError(name, user, tb_text)
+        assert all(result is not None for result in results)
+        return results  # type: ignore[return-value]
+
+    # -- shared plumbing ---------------------------------------------------
 
     def _finish(self, key: tuple | None, result: RunResult) -> RunResult:
         if key is not None:

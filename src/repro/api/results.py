@@ -8,7 +8,7 @@ moment a run finishes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from types import MappingProxyType
 from typing import Any, Mapping
 
@@ -83,7 +83,11 @@ class RunResult:
     * ``sandbox_count`` — capability-based sandboxes created by the run;
     * ``denials`` — audit entries for operations the MAC policy refused;
     * ``auto_granted`` — privileges granted on demand (debug mode only);
-    * ``value`` — the run's language-level result, when there is one.
+    * ``value`` — the run's language-level result, when there is one;
+    * ``traceback`` — for failed batch jobs, the full host traceback of
+      the error that failed the run (diagnostic only: its frames name
+      whichever backend ran the job, so it is excluded from
+      :meth:`fingerprint` the same way wall-clock timings are).
     """
 
     stdout: str = ""
@@ -95,6 +99,19 @@ class RunResult:
     denials: tuple[AuditEntry, ...] = ()
     auto_granted: tuple[str, ...] = ()
     value: Any = None
+    traceback: str = ""
+
+    def __reduce__(self):
+        """Results cross process boundaries (the batch engine's process
+        backend ships them home), and the frozen ``profile``/``ops``
+        mapping proxies do not pickle — reduce to plain data and re-freeze
+        on load.  Fields are enumerated via :func:`dataclasses.fields`
+        so a future field cannot be silently dropped in transit (which
+        would break fingerprint identity on the process backend only)."""
+        state = {f.name: getattr(self, f.name) for f in fields(self)}
+        state["profile"] = dict(state["profile"])
+        state["ops"] = dict(state["ops"])
+        return (_rebuild, (state,))
 
     @property
     def ok(self) -> bool:
@@ -139,3 +156,11 @@ class RunResult:
             digest.update(len(raw).to_bytes(8, "big"))
             digest.update(raw)
         return digest.digest()
+
+
+def _rebuild(state: dict) -> RunResult:
+    """Unpickle helper for :meth:`RunResult.__reduce__`."""
+    state = dict(state)
+    state["profile"] = freeze_profile(state["profile"])
+    state["ops"] = freeze_ops(state["ops"])
+    return RunResult(**state)

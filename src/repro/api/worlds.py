@@ -320,10 +320,33 @@ class World:
         child._boot_epoch = self._boot_epoch
         return child
 
-    def pool(self, workers: int = 4) -> "WorldPool":
+    @classmethod
+    def _from_kernel(cls, kernel: "Kernel", *, default_user: str,
+                     fixtures: dict, install_shill: bool) -> "World":
+        """A booted World over an already-materialised kernel (a restored
+        snapshot) — the single place worker processes rebuild a World, so
+        every construction invariant stays owned by this class.  Such
+        worlds have no build steps or digest: they are deliberately
+        uncacheable (their provenance is the snapshot, not a recipe)."""
+        world = cls(install_shill=install_shill)
+        world._default_user = default_user
+        world.kernel = kernel
+        world.fixtures = fixtures
+        world._boot_generation = kernel.vfs.generation
+        world._boot_epoch = kernel.state_epoch
+        return world
+
+    def pool(self, workers: int = 4, backend: str = "thread") -> "WorldPool":
         """``workers`` independent forks of this world, for long-lived
-        parallel sessions (the batch runner forks per job instead)."""
-        return WorldPool(self, workers)
+        parallel sessions (the batch runner forks per job instead).
+
+        ``backend`` picks where :meth:`WorldPool.map` runs its workers:
+        ``"sequential"``, ``"thread"`` (default), or ``"process"`` —
+        the last ships a kernel snapshot to each worker process, so the
+        mapped function must be a picklable (module-level) callable and
+        its return value must pickle too.
+        """
+        return WorldPool(self, workers, backend=backend)
 
     # -- handles over the booted world -------------------------------------
 
@@ -404,24 +427,81 @@ class World:
         return f"<World {state} user={self._default_user!r} steps={len(self._steps)}>"
 
 
+def _pool_worker_init(payload: bytes, default_user: str, fixtures: dict,
+                      install_shill: bool) -> None:
+    """Process-pool initializer: restore the template world once per
+    worker process (module-level so worker processes can import it)."""
+    from repro.kernel.serialize import restore_kernel
+
+    _POOL_WORKER_STATE["template"] = World._from_kernel(
+        restore_kernel(payload), default_user=default_user,
+        fixtures=fixtures, install_shill=install_shill)
+
+
+def _pool_worker_call(fn: Callable[["World"], Any]) -> Any:
+    """Run one mapped call against a fresh fork of the worker's template.
+
+    NB: this makes the process backend *stateless across calls* — unlike
+    thread/sequential maps, which reuse the pool's persistent per-worker
+    worlds, so state written by one ``map`` survives into the next.
+    Process workers (and their pool) live only for one ``map`` call;
+    anything a mapped function wants to keep must be in its return
+    value.  Documented on :meth:`WorldPool.map`.
+    """
+    return fn(_POOL_WORKER_STATE["template"].fork())
+
+
+_POOL_WORKER_STATE: dict = {}
+
+
 class WorldPool:
     """``workers`` forked worlds over one base image.
 
     Each worker world has its own kernel, so sessions on different
-    workers can run in parallel threads without sharing any mutable
-    state.  :meth:`map` is the convenience driver; index or iterate the
-    pool to own the scheduling yourself.
+    workers can run in parallel without sharing any mutable state.
+    :meth:`map` is the convenience driver; index or iterate the pool to
+    own the scheduling yourself.  The ``backend`` chosen at construction
+    (``"sequential"`` / ``"thread"`` / ``"process"``) is where ``map``
+    runs; the process backend snapshots the base kernel to each worker
+    process, so mapped functions (and their results) must pickle.
     """
 
-    def __init__(self, base: World, workers: int = 4) -> None:
+    def __init__(self, base: World, workers: int = 4,
+                 backend: str = "thread") -> None:
+        from repro.api.batch import BATCH_BACKENDS
+
         if workers < 1:
             raise ValueError("a pool needs at least one worker")
+        if backend not in BATCH_BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; choices: {', '.join(BATCH_BACKENDS)}")
         base.boot()
         self.base = base
-        self.worlds: list[World] = [base.fork() for _ in range(workers)]
+        self.backend = backend
+        self._workers = workers
+        # In-process pools fork their worker worlds *now* (so later base
+        # mutations never leak into workers — the pool snapshots at
+        # construction); process-backed pools defer, since map() forks
+        # inside the worker processes and would never touch these.
+        self._worlds: list[World] | None = (
+            None if backend == "process"
+            else [base.fork() for _ in range(workers)])
+
+    @property
+    def worlds(self) -> list[World]:
+        """The pool's persistent in-process worker worlds.
+
+        For ``backend="process"`` pools these are forked lazily on first
+        access (indexing/iterating one still works), and therefore see
+        the base world *as of that first access*, not as of ``pool()``
+        — process maps don't use them, so an access is an explicit
+        opt-in to in-process worlds."""
+        if self._worlds is None:
+            self._worlds = [self.base.fork() for _ in range(self._workers)]
+        return self._worlds
 
     def __len__(self) -> int:
-        return len(self.worlds)
+        return self._workers
 
     def __iter__(self) -> Iterator[World]:
         return iter(self.worlds)
@@ -429,14 +509,53 @@ class WorldPool:
     def __getitem__(self, index: int) -> World:
         return self.worlds[index]
 
-    def map(self, fn: Callable[[World], Any], *, parallel: bool = True) -> list[Any]:
-        """Run ``fn(world)`` once per worker; results in worker order."""
-        if not parallel:
-            return [fn(world) for world in self.worlds]
-        from concurrent.futures import ThreadPoolExecutor
+    def map(self, fn: Callable[[World], Any], *, parallel: bool | None = None,
+            backend: str | None = None) -> list[Any]:
+        """Run ``fn(world)`` once per worker; results in worker order.
 
-        with ThreadPoolExecutor(max_workers=len(self.worlds)) as pool:
-            return list(pool.map(fn, self.worlds))
+        ``backend`` overrides the pool's default for this call;
+        ``parallel`` is the pre-backend boolean spelling (``False`` →
+        sequential, ``True`` → the pool's parallel backend) and is kept
+        for compatibility.
+
+        Statefulness differs by backend: sequential/thread maps run
+        against the pool's persistent worker worlds, so writes made by
+        one ``map`` call are visible to the next; the process backend
+        ships each call to a short-lived worker fork and keeps nothing —
+        return what you need, or use :class:`repro.api.Batch` (whose
+        per-job-fork contract is identical on every backend).
+        """
+        if backend is None:
+            backend = self.backend
+            if parallel is False:
+                backend = "sequential"
+        if backend == "sequential":
+            return [fn(world) for world in self.worlds]
+        if backend == "thread":
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=len(self.worlds)) as pool:
+                return list(pool.map(fn, self.worlds))
+        return self._map_process(fn)
+
+    def _map_process(self, fn: Callable[[World], Any]) -> list[Any]:
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.kernel.serialize import snapshot_kernel
+
+        assert self.base.kernel is not None
+        payload = snapshot_kernel(self.base.kernel)
+        workers = self._workers
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_pool_worker_init,
+            # initargs are pickled per worker, which already hands each
+            # one an independent copy of the fixtures record.
+            initargs=(payload, self.base.default_user,
+                      self.base.fixtures, self.base._install_shill),
+        ) as pool:
+            return list(pool.map(_pool_worker_call, [fn] * workers))
 
     def __repr__(self) -> str:
-        return f"<WorldPool workers={len(self.worlds)} base={self.base!r}>"
+        return (f"<WorldPool workers={self._workers} "
+                f"backend={self.backend!r} base={self.base!r}>")

@@ -82,7 +82,11 @@ def breakdown_download(kernel) -> Breakdown:
 def breakdown_uninstall(kernel) -> Breakdown:
     """Requires a kernel prepared through the install phase."""
     pm = PackageManager(kernel)
-    pm.download(); pm.unpack(); pm.configure(); pm.build(); pm.install()
+    pm.download()
+    pm.unpack()
+    pm.configure()
+    pm.build()
+    pm.install()
     # A fresh PackageManager (hence fresh session) mirrors invoking a
     # fresh shill process for the task, so only uninstall is profiled.
     start = time.perf_counter()

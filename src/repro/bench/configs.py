@@ -29,7 +29,6 @@ from repro.casestudies.findgrep import run_fine, run_simple, usr_src_world
 from repro.casestudies.grading import (
     grading_world,
     run_baseline_grading,
-    run_sandboxed_grading,
     run_shill_grading,
 )
 from repro.casestudies.package_mgmt import PackageManager, emacs_world

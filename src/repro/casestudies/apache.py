@@ -109,7 +109,8 @@ def apache_bench(
     return ApacheBenchResult(session, run, responses, log_text)
 
 
-def baseline_bench(world: "World | Kernel", requests: int = 16, path: str = "/big.bin", port: int = 8080) -> list[bytes]:
+def baseline_bench(world: "World | Kernel", requests: int = 16,
+                   path: str = "/big.bin", port: int = 8080) -> list[bytes]:
     """The same workload with httpd run unconfined (Figure 9 baseline)."""
     kernel = as_kernel(world)
     client_fds: list[tuple] = []

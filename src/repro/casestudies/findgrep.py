@@ -151,7 +151,8 @@ def _prepare_out(kernel: Kernel, user: str, out_path: str) -> None:
     WorldBuilder(kernel).write_file(out_path, b"", uid=cred.uid, gid=cred.gid)
 
 
-def run_simple(world: "World | Kernel", user: str = "root", out_path: str = "/root/matches.txt") -> FindResult:
+def run_simple(world: "World | Kernel", user: str = "root",
+               out_path: str = "/root/matches.txt") -> FindResult:
     """One sandbox around find -exec grep."""
     kernel = as_kernel(world)
     _prepare_out(kernel, user, out_path)

@@ -18,7 +18,6 @@ from dataclasses import dataclass, field
 from repro.api import Session, World, as_kernel
 from repro.api.sessions import deprecated_runtime_property
 from repro.kernel.kernel import Kernel
-from repro.world.fixtures import EMACS_URL
 
 CAP_SCRIPT = """\
 #lang shill/cap

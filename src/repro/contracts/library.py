@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.capability.caps import FsCap, PipeFactoryCap, SocketFactoryCap
+from repro.capability.caps import FsCap
 from repro.contracts.capctc import CapContract, PipeFactoryContract, SocketFactoryContract
 from repro.contracts.core import (
     AnyContract,

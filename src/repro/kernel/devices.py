@@ -11,11 +11,21 @@ pseudo-terminal or other device."
 The syscall layer therefore skips the vnode read/write MAC hooks whenever
 the target vnode is a character device; a test in
 ``tests/sandbox/test_limitations.py`` demonstrates the documented bypass.
+
+Devices are part of the kernel snapshot story (:mod:`repro.kernel
+.serialize`): the stateless base-image devices (``null``, ``zero``)
+pickle by *name* through a factory registry and the handler callables are
+rebuilt on load, so a snapshot never tries to serialize a lambda.
+:class:`TtyDevice` pickles its capture buffers instead.
 """
 
 from __future__ import annotations
 
 from typing import Callable
+
+#: name -> zero-argument factory for stateless devices; the pickle hooks
+#: reduce such devices to their registered name.
+DEVICE_FACTORIES: dict[str, Callable[[], "CharDevice"]] = {}
 
 
 class CharDevice:
@@ -34,6 +44,16 @@ class CharDevice:
         self.name = name
         self._read_fn = read_fn
         self._write_fn = write_fn
+
+    def __reduce__(self):
+        """Stateless devices snapshot as their registered name; handler
+        callables (often lambdas) are never serialized."""
+        if self.name in DEVICE_FACTORIES:
+            return (_make_device, (self.name,))
+        raise TypeError(
+            f"CharDevice {self.name!r} is not snapshot-aware: register a "
+            "factory in DEVICE_FACTORIES or subclass with pickle support"
+        )
 
     def read(self, size: int) -> bytes:
         if self._read_fn is None:
@@ -58,6 +78,12 @@ class TtyDevice(CharDevice):
         self._input = bytearray(input_data)
         super().__init__(name, read_fn=self._do_read, write_fn=self._do_write)
 
+    def __reduce__(self):
+        """Ttys carry real state: snapshot name + buffers, rebuild the
+        handler wiring on load (bound methods would drag ``self`` into a
+        second pickle path and confuse sharing)."""
+        return (_restore_tty, (self.name, bytes(self.output), bytes(self._input)))
+
     def _do_read(self, size: int) -> bytes:
         out = bytes(self._input[:size])
         del self._input[:size]
@@ -72,9 +98,23 @@ class TtyDevice(CharDevice):
         return self.output.decode(errors="replace")
 
 
+def _restore_tty(name: str, output: bytes, input_data: bytes) -> "TtyDevice":
+    tty = TtyDevice(name, input_data=input_data)
+    tty.output.extend(output)
+    return tty
+
+
+def _make_device(name: str) -> CharDevice:
+    return DEVICE_FACTORIES[name]()
+
+
 def null_device() -> CharDevice:
     return CharDevice("null", read_fn=lambda size: b"", write_fn=len)
 
 
 def zero_device() -> CharDevice:
     return CharDevice("zero", read_fn=lambda size: b"\x00" * size, write_fn=len)
+
+
+DEVICE_FACTORIES["null"] = null_device
+DEVICE_FACTORIES["zero"] = zero_device

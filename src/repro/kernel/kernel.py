@@ -227,6 +227,47 @@ class Kernel:
         return new
 
     # ------------------------------------------------------------------
+    # snapshots (see repro.kernel.serialize for the codec contract)
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Everything a fork would carry, in a fixed field order so equal
+        machines produce equal snapshots.  Per-run state is excluded by
+        the subsystems' own hooks (ProcessTable keeps only the pid
+        watermark, Network drops listeners/hooks, the SHILL session
+        manager keeps audit history + sid watermark); ``boot_time`` is
+        wall-clock and deliberately left out."""
+        return {
+            "vfs": self.vfs,
+            "mac": self.mac,
+            "procs": self.procs,
+            "network": self.network,
+            "users": self.users,
+            "sysctl": self.sysctl,
+            "ipc": self.ipc,
+            "kenv": self.kenv,
+            "kld": self.kld,
+            "programs": self.programs,
+            "stats": self.stats,
+            "interpose_devices": self._interpose_devices,
+            "epoch": self._epoch,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        for field in ("vfs", "mac", "procs", "network", "users", "sysctl",
+                      "ipc", "kenv", "kld", "programs", "stats"):
+            setattr(self, field, state[field])
+        self._interpose_devices = state["interpose_devices"]
+        self._epoch = state["epoch"]
+        # Re-wire the stats sinks: the pickle memo keeps them identical
+        # to self.stats already, but the invariant is load-bearing (op
+        # counters must keep working across the process boundary), so
+        # restore re-asserts it rather than trusting graph structure.
+        self.mac.stats = self.stats
+        self.vfs.stats = self.stats
+        self.boot_time = time.monotonic()
+
+    # ------------------------------------------------------------------
     # policy management
     # ------------------------------------------------------------------
 

@@ -113,6 +113,17 @@ class ProcessTable:
         new._next_pid = self._next_pid
         return new
 
+    def __getstate__(self) -> dict:
+        """Snapshot state (:mod:`repro.kernel.serialize`): only the pid
+        watermark crosses — live processes are per-run state, exactly as
+        in :meth:`clone_empty` (pids leak into audit output, so the
+        watermark must be preserved for reproducible results)."""
+        return {"next_pid": self._next_pid}
+
+    def __setstate__(self, state: dict) -> None:
+        self._procs = {}
+        self._next_pid = state["next_pid"]
+
     def spawn(self, cred: Credential, cwd: "Vnode", ppid: int = 0) -> Process:
         proc = Process(pid=self._alloc_pid(), ppid=ppid, cred=cred, cwd=cwd)
         self._procs[proc.pid] = proc

@@ -84,6 +84,20 @@ class Network:
         new.mutations = self.mutations
         return new
 
+    def __getstate__(self) -> dict:
+        """Snapshot state (:mod:`repro.kernel.serialize`): registered
+        services and the mutation watermark cross the snapshot, exactly
+        as they cross :meth:`fork`; live listeners and listen hooks are
+        per-run plumbing (hooks close over the source kernel's processes)
+        and are dropped."""
+        return {"services": dict(self._services), "mutations": self.mutations}
+
+    def __setstate__(self, state: dict) -> None:
+        self._listeners = {}
+        self._services = dict(state["services"])
+        self._listen_hooks = {}
+        self.mutations = state["mutations"]
+
     # -- service registration (world/benchmark plumbing, not a syscall) ------
 
     def register_service(self, addr: tuple, service: Service) -> None:

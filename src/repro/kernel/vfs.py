@@ -157,6 +157,20 @@ class Vnode:
         # ``writable_data()``, which unshares first.
         self.data_shared: bool = False
 
+    def __getstate__(self) -> dict:
+        """Snapshot state (:mod:`repro.kernel.serialize`): every slot, in
+        declaration order.  Cycles (entries ↔ nc_parent) are safe — the
+        pickle memo registers the vnode before its state is traversed —
+        and hard links stay shared the same way.  ``data_shared`` crosses
+        verbatim: a buffer shared with a *template* serializes as this
+        side's private copy, and the first write after restore unshares
+        exactly as it would have before."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __setstate__(self, state: dict) -> None:
+        for name in self.__slots__:
+            setattr(self, name, state[name])
+
     def writable_data(self) -> bytearray:
         """The file's byte buffer, for mutation: unshares a copy-on-write
         buffer first so forks never observe each other's writes."""

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.errors import ShillRuntimeError
-from repro.contracts.capctc import CapContract, PipeFactoryContract, SocketFactoryContract
+from repro.contracts.capctc import CapContract, SocketFactoryContract
 from repro.contracts.core import AndContract, Contract, OrContract, PredicateContract
 from repro.contracts.functionctc import FunctionContract
 from repro.contracts.polyctc import ContractVar, PolyContract

@@ -187,7 +187,9 @@ class Interp:
             if right == 0:
                 raise ShillRuntimeError("division by zero")
             result = left / right
-            return int(result) if isinstance(left, int) and isinstance(right, int) and left % right == 0 else result
+            if isinstance(left, int) and isinstance(right, int) and left % right == 0:
+                return int(result)
+            return result
         if op == "%":
             if right == 0:
                 raise ShillRuntimeError("modulo by zero")

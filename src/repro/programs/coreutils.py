@@ -8,7 +8,7 @@ studies confine the real FreeBSD binaries.
 from __future__ import annotations
 
 from repro.errors import SysError
-from repro.kernel.syscalls import O_CREAT, O_RDONLY, O_TRUNC, O_WRONLY
+from repro.kernel.syscalls import O_CREAT, O_WRONLY
 from repro.programs.base import Program
 
 

@@ -96,7 +96,9 @@ class GradeSh(Program):
                 f"{working}/{student}",
             )
             try:
-                sys.write_whole(f"{grades}/{student}", f"{student}: {score}/{len(test_names)}\n".encode(), append=True)
+                sys.write_whole(f"{grades}/{student}",
+                                f"{student}: {score}/{len(test_names)}\n".encode(),
+                                append=True)
             except SysError as err:
                 self.err(sys, f"grade.sh: cannot record grade for {student}: {err.name}\n")
                 return 1

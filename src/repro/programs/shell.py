@@ -23,7 +23,6 @@ from __future__ import annotations
 import re
 
 from repro.errors import SysError
-from repro.kernel.fdesc import OpenFile
 from repro.kernel.syscalls import O_APPEND, O_CREAT, O_RDONLY, O_TRUNC, O_WRONLY
 from repro.programs.base import Program, resolve_in_path
 

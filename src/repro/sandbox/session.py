@@ -149,6 +149,24 @@ class SessionManager:
         self._audit = {r.sid: AuditRecord(r.sid, r.log.clone()) for r in records}
         self.last_sid = last_sid
 
+    def __getstate__(self) -> dict:
+        """Snapshot state (:mod:`repro.kernel.serialize`): the audit
+        history and sid watermark cross the snapshot, exactly as they
+        cross :meth:`repro.sandbox.policy.ShillPolicy.fork_for`; live
+        sessions are per-run state (their Session graphs pin grants and
+        parent/child cycles) and are dropped."""
+        return {
+            "kernel": self.kernel,
+            "audit": list(self._audit.values()),
+            "last_sid": self.last_sid,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.kernel = state["kernel"]
+        self._sessions = {}
+        self._audit = {r.sid: r for r in state["audit"]}
+        self.last_sid = state["last_sid"]
+
     def audit_records_since(self, sid: int) -> list[AuditRecord]:
         """Records for sessions created after ``sid``, in creation order.
         _audit is insertion-ordered by sid, so scan from the tail."""

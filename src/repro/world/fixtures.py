@@ -99,21 +99,30 @@ def emacs_tarball(sources: int = 6, doc_kb: int = 8) -> bytes:
     return gzip_compress(tar_create(members))
 
 
-def add_emacs_mirror(kernel: Kernel, tarball: bytes | None = None) -> bytes:
-    """Register the GNU mirror service the Download benchmark's curl
-    fetches from."""
-    blob = tarball if tarball is not None else emacs_tarball()
+class MirrorService:
+    """The GNU mirror: serves one payload blob to every connection.
 
-    def mirror(server_side: Socket) -> None:
-        request = bytes(server_side.recv_buffer).decode(errors="replace")
+    A module-level class (not a closure) so registered services survive
+    the kernel snapshot codec: a pickled world with an emacs mirror must
+    still serve downloads after crossing a process boundary.
+    """
+
+    def __init__(self, blob: bytes) -> None:
+        self.blob = blob
+
+    def __call__(self, server_side: Socket) -> None:
         # The service runs synchronously at connect time; the request may
         # not have arrived yet, so respond to the path unconditionally
         # once data shows up — here we simply serve on first read by
         # preloading the response.
-        del request
-        server_side.peer.recv_buffer.extend(b"HTTP/1.0 200 OK\n\n" + blob)
+        server_side.peer.recv_buffer.extend(b"HTTP/1.0 200 OK\n\n" + self.blob)
 
-    kernel.network.register_service(EMACS_HOST, mirror)
+
+def add_emacs_mirror(kernel: Kernel, tarball: bytes | None = None) -> bytes:
+    """Register the GNU mirror service the Download benchmark's curl
+    fetches from."""
+    blob = tarball if tarball is not None else emacs_tarball()
+    kernel.network.register_service(EMACS_HOST, MirrorService(blob))
     return blob
 
 

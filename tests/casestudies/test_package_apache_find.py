@@ -70,7 +70,11 @@ class TestPackageManagement:
         pm = PackageManager(world)  # creates the (empty) prefix directory
         sys = rootsys(world)
         sys.write_whole("/usr/local/emacs/canary.txt", b"precious")
-        pm.download(); pm.unpack(); pm.configure(); pm.build(); pm.install()
+        pm.download()
+        pm.unpack()
+        pm.configure()
+        pm.build()
+        pm.install()
         assert sys.read_whole("/usr/local/emacs/canary.txt") == b"precious"
         # Direct probe: cat the canary under the install-time prefix grant.
         from repro.sandbox.privileges import Priv, PrivSet
@@ -94,7 +98,11 @@ class TestPackageManagement:
     def test_uninstall_removes_only_listed_files(self, world):
         sys = rootsys(world)
         pm = PackageManager(world)
-        pm.download(); pm.unpack(); pm.configure(); pm.build(); pm.install()
+        pm.download()
+        pm.unpack()
+        pm.configure()
+        pm.build()
+        pm.install()
         sys.write_whole("/usr/local/emacs/share/user-notes.txt", b"keep me")
         pm.uninstall()
         assert sys.read_whole("/usr/local/emacs/share/user-notes.txt") == b"keep me"

@@ -8,7 +8,7 @@ from repro.errors import ContractViolation
 from repro.capability.caps import FsCap, PipeFactoryCap, SocketFactoryCap
 from repro.contracts.blame import Blame
 from repro.contracts.capctc import CapContract, PipeFactoryContract, SocketFactoryContract
-from repro.contracts.core import AndContract, AnyContract, OrContract, PredicateContract, VoidContract
+from repro.contracts.core import AndContract, AnyContract, OrContract, VoidContract
 from repro.contracts.functionctc import FunctionContract
 from repro.contracts.library import (
     READONLY_FILE_PRIVS,

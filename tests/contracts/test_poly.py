@@ -13,7 +13,6 @@ import pytest
 from repro.errors import ContractViolation
 from repro.capability.caps import FsCap
 from repro.contracts.blame import Blame
-from repro.contracts.core import PredicateContract
 from repro.contracts.functionctc import FunctionContract
 from repro.contracts.library import is_bool, void
 from repro.contracts.polyctc import ContractVar, PolyContract, SealedCap

@@ -141,7 +141,6 @@ ping = fun(net) {
 
     def test_create_socket_requires_factory_value(self, rt):
         from repro.errors import ShillRuntimeError
-        from repro.lang.values import SysErrorVal
 
         rt.register_script(
             "bad.cap",

@@ -100,7 +100,6 @@ class TestNesting:
 
 class TestLifecycle:
     def test_session_survives_while_children_live(self, world):
-        policy = world.shill_policy()
         p1, s1 = new_session(world)
         world.syscalls(p1).shill_enter()
         p2 = world.procs.fork(p1)  # same session
@@ -141,7 +140,7 @@ class TestLifecycle:
         sys1 = world.syscalls(p1)
         sys1.shill_enter()
         p1.cwd = world.vfs.lookup(world.vfs.root, "etc")
-        fd = sys1.open("passwd", O_RDONLY)
+        sys1.open("passwd", O_RDONLY)
         passwd = world.vfs.lookup(world.vfs.lookup(world.vfs.root, "etc"), "passwd")
         assert privmap_of(passwd).privs_for(s1.sid).has(Priv.READ)
         world.procs.reap(p1)

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import SysError
-from repro.kernel import Kernel, errno_
+from repro.kernel import errno_
 from repro.kernel.mac import MacFramework, MacPolicy
 from repro.kernel.proc import SIGKILL, SIGTERM
 

@@ -6,12 +6,10 @@ import pytest
 
 from repro.errors import SysError
 from repro.kernel import (
-    Kernel,
     O_APPEND,
     O_CREAT,
     O_EXCL,
     O_RDONLY,
-    O_RDWR,
     O_TRUNC,
     O_WRONLY,
 )

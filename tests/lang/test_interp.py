@@ -10,7 +10,6 @@ from repro.errors import (
     ShillRuntimeError,
 )
 from repro.lang.runner import ShillRuntime
-from repro.lang.values import VOID, SysErrorVal
 
 
 @pytest.fixture
@@ -173,7 +172,9 @@ class TestModules:
 
     def test_cap_cannot_require_ambient(self, rt):
         rt.register_script("amb", "#lang shill/ambient\nx = open_dir(\"/\");\n")
-        rt.register_script("m.cap", '#lang shill/cap\nrequire "amb";\nprovide f : is_num -> is_num;\nf = fun(x) { x; }')
+        rt.register_script(
+            "m.cap",
+            '#lang shill/cap\nrequire "amb";\nprovide f : is_num -> is_num;\nf = fun(x) { x; }')
         with pytest.raises(CapabilitySafetyError):
             rt.load_cap_exports("m.cap")
 
@@ -225,7 +226,7 @@ class TestAmbient:
             "#lang shill/cap\nprovide show : {f : readonly, out : writeable} -> void;\n"
             "show = fun(f, out) { append(out, read(f)); }",
         )
-        env = rt.run_ambient(
+        rt.run_ambient(
             '#lang shill/ambient\nrequire "show.cap";\n'
             'f = open_file("~/dog.jpg");\nshow(f, stdout);\n'
         )

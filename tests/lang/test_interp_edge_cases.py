@@ -6,7 +6,6 @@ import pytest
 
 from repro.errors import ShillRuntimeError
 from repro.lang.runner import ShillRuntime
-from repro.lang.values import VOID
 
 
 @pytest.fixture

@@ -6,7 +6,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import SysError
-from repro.kernel import O_CREAT, O_RDONLY, O_WRONLY, O_APPEND, errno_
+from repro.kernel import O_CREAT, O_RDONLY, O_WRONLY, errno_
 from repro.kernel.sockets import AddressFamily, SocketType
 from repro.sandbox.privileges import ConnType, Priv, PrivSet, SocketPerms, SockPriv
 
@@ -376,7 +376,7 @@ class TestProcessInteraction:
         """Interaction with *descendant* sessions is allowed."""
         sb = sandbox().enter()
         child = kernel.procs.fork(sb.proc)
-        sub = sb.policy.sessions.shill_init(child)
+        sb.policy.sessions.shill_init(child)
         kernel.syscalls(child).shill_enter()
         sb.sys.kill(child.pid, 15)
         assert 15 in child.pending_signals

@@ -6,7 +6,7 @@ import pytest
 
 from repro.errors import SysError
 from repro.kernel.pipes import make_pipe
-from repro.sandbox.privileges import Priv, PrivSet
+from repro.sandbox.privileges import Priv
 from repro.sandbox.shilld import parse_policy, parse_privspec, run_with_policy
 from repro.world import build_world
 

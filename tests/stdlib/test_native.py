@@ -9,7 +9,6 @@ from repro.capability.caps import PipeFactoryCap
 from repro.errors import ShillRuntimeError
 from repro.lang.runner import ShillRuntime
 from repro.stdlib.native import (
-    DEFAULT_KNOWN_DEPS,
     create_wallet,
     make_pkg_native,
     populate_native_wallet,
