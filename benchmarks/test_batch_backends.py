@@ -1,17 +1,18 @@
-"""Batch backends, measured: sequential vs thread vs process-parallel.
+"""Batch executors, measured: sequential vs thread vs process vs store.
 
-The thread backend serialises interpreter work on the GIL, so it buys
-concurrency but not cores; the process backend ships a picklable kernel
-snapshot to each worker and is the only backend that scales with the
-machine.  This file pins that claim the same way Figure 9 pins its rows:
+The thread executor serialises interpreter work on the GIL, so it buys
+concurrency but not cores; the process executor ships a picklable kernel
+snapshot to each worker; the store executor boots workers from a
+persistent on-disk snapshot store instead of re-pickling per run.  This
+file pins the claims the same way Figure 9 pins its rows:
 
-* **op-gated equivalence** — every backend executes the identical
+* **op-gated equivalence** — every executor executes the identical
   deterministic kernel work (summed per-job op counts equal) and
-  returns byte-identical results (``RunResult.fingerprint()``);
-* **reported wall-clock** — per-backend means land in the printed table
-  and in ``BENCH_fig9.json`` as the ``Batch-Find`` row, whose
-  ``process-parallel`` column is the new cell next to the sequential
-  and thread ones;
+  returns byte-identical results (``RunResult.fingerprint()``), for the
+  measured Find workload *and* for all four case-study worlds;
+* **reported wall-clock** — per-executor means land in the printed table
+  and in ``BENCH_fig9.json`` as the ``Batch-Find`` row (``store`` is the
+  new column next to sequential / thread / process-parallel);
 * **the speedup criterion** — on a 2+-core runner the process backend
   must beat the thread backend by >= 1.5x (best-of-rounds, like the fork
   engine's 2x criterion); single-core machines report the ratio without
@@ -26,9 +27,19 @@ import time
 import pytest
 
 from conftest import RUNS, record_cell, record_row
-from repro.api import Batch, ScriptRegistry, clear_result_cache
+from repro.api import (
+    Batch,
+    ProcessExecutor,
+    ScriptRegistry,
+    SequentialExecutor,
+    SnapshotStore,
+    StoreExecutor,
+    ThreadExecutor,
+    clear_result_cache,
+)
 from repro.bench.harness import Sample
 from repro.casestudies.findgrep import usr_src_world
+from repro.casestudies.probes import case_study_batches
 
 WORKERS = 2
 JOBS = 10
@@ -56,12 +67,31 @@ walk = fun(cur, out) {
 WALK_AMBIENT = "#lang shill/ambient\n" + 'require "walk.cap";\n' + \
     'src = open_dir("/usr/src");\n' + "walk(src, stdout);\n" * 6
 
-#: fig9-style cell names; "process-parallel" is the new column.
+#: fig9-style cell names; "store" is the new column.
 BACKEND_CELLS = {
     "sequential": "sequential",
     "thread": "thread",
     "process": "process-parallel",
+    "store": "store",
 }
+
+
+def _store_root(tmp_path_factory) -> str:
+    """The persistent store the store-executor cells boot from:
+    ``$REPRO_STORE`` when set (CI caches that directory), a session tmp
+    dir otherwise."""
+    return os.environ.get("REPRO_STORE") or str(
+        tmp_path_factory.mktemp("snapshot-store"))
+
+
+def _make_executor(backend: str, store_root: str):
+    return {
+        "sequential": lambda: SequentialExecutor(),
+        "thread": lambda: ThreadExecutor(workers=WORKERS),
+        "process": lambda: ProcessExecutor(workers=WORKERS),
+        "store": lambda: StoreExecutor(store=SnapshotStore(store_root),
+                                       workers=WORKERS),
+    }[backend]()
 
 
 def _build_batch() -> Batch:
@@ -81,26 +111,28 @@ def _sum_ops(results) -> dict[str, int]:
     return totals
 
 
-def _measure_backend(backend: str, repeats: int = REPEATS):
+def _measure_backend(backend: str, store_root: str, repeats: int = REPEATS):
     """Time ``repeats`` batch runs; returns (Sample, fingerprint list)."""
     sample = Sample(BACKEND_CELLS[backend])
     fingerprints: list[bytes] = []
     for _ in range(repeats):
         clear_result_cache()
         batch = _build_batch()
-        start = time.perf_counter()
-        results = batch.run(backend=backend, workers=WORKERS)
-        sample.seconds.append(time.perf_counter() - start)
+        with _make_executor(backend, store_root) as executor:
+            start = time.perf_counter()
+            results = batch.run(executor=executor)
+            sample.seconds.append(time.perf_counter() - start)
         sample.ops.append(_sum_ops(results))
         fingerprints = [r.fingerprint() for r in results]
     return sample, fingerprints
 
 
 @pytest.fixture(scope="module")
-def backend_samples():
-    """One measured (Sample, fingerprints) pair per backend, shared by
+def backend_samples(tmp_path_factory):
+    """One measured (Sample, fingerprints) pair per executor, shared by
     the equivalence and speedup tests so the workload runs once."""
-    measured = {b: _measure_backend(b) for b in BACKEND_CELLS}
+    store_root = _store_root(tmp_path_factory)
+    measured = {b: _measure_backend(b, store_root) for b in BACKEND_CELLS}
     cells = {}
     for backend, (sample, _prints) in measured.items():
         cells[BACKEND_CELLS[backend]] = sample
@@ -170,3 +202,28 @@ def test_snapshot_cost_is_amortised(benchmark, backend_samples):
         f"one-time snapshot ({snapshot_best * 1000:.2f}ms) should undercut a "
         f"single job ({per_job * 1000:.2f}ms) or fan-out never breaks even"
     )
+
+
+#: The four case-study worlds, as their modules' probe batches — the
+#: same table the unit suite uses (one source, no drift).
+CASE_STUDY_BATCHES = case_study_batches()
+
+
+@pytest.mark.parametrize("name", sorted(CASE_STUDY_BATCHES))
+def test_every_executor_agrees_on_case_study_worlds(name, tmp_path_factory):
+    """The acceptance criterion: all executors — sequential, thread,
+    process, store — produce byte-identical fingerprint lists for each
+    of the paper's four case-study worlds."""
+    build = CASE_STUDY_BATCHES[name]
+    store_root = _store_root(tmp_path_factory)
+
+    def run(backend):
+        clear_result_cache()
+        with _make_executor(backend, store_root) as executor:
+            return build().run(executor=executor)
+
+    baseline = run("sequential")
+    assert all(r.ok for r in baseline), baseline[0].stderr
+    for backend in ("thread", "process", "store"):
+        assert [r.fingerprint() for r in run(backend)] == \
+            [r.fingerprint() for r in baseline], f"{name}/{backend}"

@@ -15,15 +15,24 @@ Usage::
         configured from a policy file.  Add --debug to auto-grant and
         report the privileges the command needed.
 
-    python -m repro batch AMBIENT.ambient [MORE.ambient ...] [--backend B]
+    python -m repro batch AMBIENT.ambient [MORE.ambient ...] [--executor E]
         Run many ambient scripts, each against its own copy-on-write
-        fork of one world image (boot cost is paid once).  --backend
-        picks the execution engine: sequential (default), thread (a
-        thread pool with per-job kernels), or process (kernel snapshots
-        shipped to worker processes — the only backend that uses more
-        than one core).  Results are byte-identical whatever the
-        backend.  --json emits a machine-readable summary with the
-        deterministic kernel op counts per job.
+        fork of one world image (boot cost is paid once).  --executor
+        picks the execution strategy: sequential (default), thread (a
+        thread pool with per-job kernels), process (kernel snapshots
+        shipped to worker processes), or store (worker processes boot
+        from a persistent on-disk snapshot store; see --store).
+        --backend is the deprecated spelling of --executor.  Results
+        are byte-identical whatever the strategy.  --json emits a
+        machine-readable summary with the deterministic kernel op
+        counts per job.  An engine/worker failure (not a script error)
+        prints the failing job to stderr and exits 3.
+
+    python -m repro store ls [--store DIR]
+    python -m repro store gc [--keep N] [--store DIR]
+        Inspect / evict the persistent snapshot store the store
+        executor boots from (default directory: $REPRO_STORE, else the
+        user cache dir).
 """
 
 from __future__ import annotations
@@ -33,7 +42,21 @@ import json
 import pathlib
 import sys as _hostsys
 
-from repro.api import BATCH_BACKENDS, FIXTURE_CHOICES, Batch, ScriptRegistry, World
+from repro.api import (
+    BATCH_BACKENDS,
+    EXECUTOR_CHOICES,
+    FIXTURE_CHOICES,
+    Batch,
+    BatchExecutionError,
+    ScriptRegistry,
+    SnapshotStore,
+    World,
+    resolve_executor,
+)
+
+#: Exit status for engine/worker failures (script failures exit with the
+#: script's own status, like a shell).
+EXIT_BATCH_ERROR = 3
 
 
 def cmd_demo(_args: argparse.Namespace) -> int:
@@ -87,8 +110,24 @@ def cmd_batch(args: argparse.Namespace) -> int:
     for script in args.scripts:
         path = pathlib.Path(script)
         batch.add(path.read_text(), name=path.name)
-    backend = "thread" if (args.parallel and args.backend is None) else args.backend
-    results = batch.run(backend=backend, workers=args.workers)
+    name = args.executor or args.backend
+    if name is None:
+        name = "thread" if args.parallel else "sequential"
+    if args.store is not None and name != "store":
+        _hostsys.stderr.write(
+            "repro batch: --store only applies to --executor store\n")
+        return 2
+    executor = resolve_executor(name, workers=args.workers, store=args.store)
+    try:
+        with executor:
+            results = batch.run(executor=executor)
+    except BatchExecutionError as err:
+        # Not a script failure (those come back as per-job results):
+        # the engine or a worker died.  Name the job, keep the original
+        # traceback on stderr, and exit with the reserved status.
+        _hostsys.stderr.write(f"repro batch: {err}\n")
+        _hostsys.stderr.write(err.traceback_text)
+        return EXIT_BATCH_ERROR
 
     if args.json:
         print(json.dumps([
@@ -112,6 +151,20 @@ def cmd_batch(args: argparse.Namespace) -> int:
         print(f"-- {stats['jobs']} jobs, {stats['forks']} world forks, "
               f"{stats['cache_hits']} result-cache hits --")
     return max((r.status for r in results), default=0)
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    store = SnapshotStore(args.store)
+    if args.store_command == "ls":
+        entries = store.entries()
+        for entry in entries:
+            print(f"{entry.digest[:16]}  {entry.size:>10}B  worlds={len(entry.worlds)}")
+        total = sum(entry.size for entry in entries)
+        print(f"total: {len(entries)} blob(s), {total} bytes, {store.root}")
+        return 0
+    evicted = store.gc(keep=args.keep)
+    print(f"evicted {len(evicted)} blob(s), {len(store)} kept, {store.root}")
+    return 0
 
 
 _DEMO_FIND_JPG = """\
@@ -164,17 +217,32 @@ def main(argv: list[str] | None = None) -> int:
                          help="capability-safe script file(s) to register")
     batch_p.add_argument("--user", default="alice")
     batch_p.add_argument("--fixture", choices=list(FIXTURE_CHOICES), default="jpeg")
+    batch_p.add_argument("--executor", choices=list(EXECUTOR_CHOICES), default=None,
+                         help="execution strategy (default: sequential); "
+                              "'process' fans kernel snapshots out to worker "
+                              "processes, 'store' boots workers from the "
+                              "persistent snapshot store (see --store)")
     batch_p.add_argument("--backend", choices=list(BATCH_BACKENDS), default=None,
-                         help="execution engine (default: sequential); "
-                              "'process' fans kernel snapshots out to "
-                              "worker processes")
+                         help="deprecated spelling of --executor")
     batch_p.add_argument("--parallel", action="store_true",
-                         help="deprecated spelling of --backend thread")
+                         help="deprecated spelling of --executor thread")
+    batch_p.add_argument("--store", default=None, metavar="DIR",
+                         help="snapshot store directory for --executor store "
+                              "(default: $REPRO_STORE, else the user cache dir)")
     batch_p.add_argument("--workers", type=int, default=4)
     batch_p.add_argument("--json", action="store_true",
                          help="machine-readable per-job summary")
     batch_p.add_argument("--no-cache", action="store_true",
                          help="bypass the (world, script, user) result cache")
+
+    store_p = sub.add_parser("store", help="inspect/evict the persistent snapshot store")
+    store_sub = store_p.add_subparsers(dest="store_command", required=True)
+    store_ls = store_sub.add_parser("ls", help="list stored snapshot blobs")
+    store_ls.add_argument("--store", default=None, metavar="DIR")
+    store_gc = store_sub.add_parser("gc", help="evict stalest blobs and dangling world links")
+    store_gc.add_argument("--store", default=None, metavar="DIR")
+    store_gc.add_argument("--keep", type=int, default=None,
+                          help="blobs to retain (default: the store's LRU cap)")
 
     args = parser.parse_args(argv)
     if args.command == "demo":
@@ -185,6 +253,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_shill_run(args)
     if args.command == "batch":
         return cmd_batch(args)
+    if args.command == "store":
+        return cmd_store(args)
     parser.error("unknown command")
     return 2
 

@@ -9,9 +9,12 @@ Everything above the kernel goes through five nouns:
 * :class:`Session` — one SHILL invocation: runs ambient scripts, loads
   capability-safe exports, and snapshots results;
 * :class:`Batch` — many (script, user) jobs over per-job world forks,
-  run sequentially, thread-parallel, or process-parallel (picklable
-  kernel snapshots shipped to worker processes) with byte-identical
-  results, plus a result cache keyed on (world digest, script, user);
+  dispatched to a pluggable :class:`Executor`
+  (:mod:`repro.api.executors`: sequential, thread, process, or a
+  snapshot-store-backed worker fleet) with byte-identical results
+  however they run, consumed eagerly (``run``) or as futures
+  (``stream`` / ``as_completed``), plus a result cache keyed on
+  (world digest, script, user);
 * :class:`Sandbox` — the ``shill-run`` debugging tool: one command under
   a policy file;
 * :class:`RunResult` — the frozen answer object (stdout, stderr, exit
@@ -48,6 +51,20 @@ from repro.api.batch import (
     clear_result_cache,
     result_cache_size,
 )
+from repro.api.caching import BoundedCache
+from repro.api.executors import (
+    EXECUTOR_CHOICES,
+    Executor,
+    ExecutorJob,
+    JobHandle,
+    JobTemplate,
+    ProcessExecutor,
+    SequentialExecutor,
+    SnapshotStore,
+    StoreExecutor,
+    ThreadExecutor,
+    resolve_executor,
+)
 from repro.api.registry import SCRIPT_SUFFIXES, ScriptRegistry
 from repro.api.results import OPS_KEYS, PROFILE_KEYS, RunResult, freeze_ops, freeze_profile
 from repro.api.sandboxes import Sandbox
@@ -70,6 +87,18 @@ __all__ = [
     "BatchExecutionError",
     "BatchJob",
     "BATCH_BACKENDS",
+    "Executor",
+    "ExecutorJob",
+    "JobHandle",
+    "JobTemplate",
+    "SequentialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "StoreExecutor",
+    "SnapshotStore",
+    "BoundedCache",
+    "EXECUTOR_CHOICES",
+    "resolve_executor",
     "RunResult",
     "ScriptRegistry",
     "FIXTURE_CHOICES",

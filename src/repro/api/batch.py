@@ -9,109 +9,105 @@ copy-on-write fork** of the base image, and returns one frozen
 Per-job forks buy two properties at once:
 
 * **amortised boot** — the base world is built (or fetched from the
-  boot-image cache) once; each job pays only a fork, which is
-  O(changed-state) rather than O(world);
+  boot-image cache, or restored from a persistent snapshot store) once;
+  each job pays only a fork, which is O(changed-state) rather than
+  O(world);
 * **order independence** — no job can observe another job's writes, so
   running the jobs in parallel (per-worker kernels) produces
   byte-identical results to the sequential run:
   ``[r.fingerprint() for r in ...]`` is invariant under scheduling.
 
-Three execution **backends** share that contract (see README "Choosing a
-batch backend"):
+*Where* jobs run is a pluggable :class:`repro.api.executors.Executor`
+(see README "Executors"): ``SequentialExecutor``, ``ThreadExecutor``,
+``ProcessExecutor``, or ``StoreExecutor`` (worker processes booting from
+a persistent on-disk :class:`~repro.kernel.store.SnapshotStore`).
+``Batch`` itself is a thin façade: it classifies jobs against the result
+cache, hands the rest to the executor, and merges completions back into
+submission order.  Three consumption shapes::
 
-* ``"sequential"`` — jobs run in submission order on the caller's
-  thread; the reference behaviour;
-* ``"thread"`` — jobs run on a thread pool.  Concurrency without the
-  process-spawn cost, but the GIL serialises the interpreter work;
-* ``"process"`` — the booted template kernel is serialized **once**
-  (:mod:`repro.kernel.serialize`), shipped to a
-  :class:`~concurrent.futures.ProcessPoolExecutor`, and each worker
-  restores its own machine and forks it per job.  This is the only
-  backend that uses more than one core.
+    results = batch.run(executor=ProcessExecutor(8))   # list, in order
+    for result in batch.stream(backend="process"):     # in order, as ready
+        ...
+    for job, result in batch.as_completed():           # completion order
+        ...
+
+The legacy ``backend="sequential"|"thread"|"process"`` strings (and the
+older ``parallel=`` boolean) keep working through the
+:func:`~repro.api.executors.resolve_executor` deprecation shim.
 
 Job failures are part of the contract: a script error (any
 :class:`~repro.errors.ReproError`) becomes a failed :class:`RunResult`
 carrying the error text *and* the full host traceback
 (``result.traceback``); an unexpected error — an engine bug, a crashed
 worker — raises :class:`BatchExecutionError` naming the (script, user)
-job that failed, with the original traceback text preserved.
+job that failed, with the original traceback text preserved, through
+``run``/``stream``/``as_completed`` alike.
 
-Results are additionally served from a module-level cache keyed on
-(world digest, script source, user, registered scripts) — the world is
+Results are additionally served from a result cache keyed on (world
+digest, script source, user, registered scripts) — the world is
 deterministic, so an identical job against an identical image must
 produce an identical result.  The cache only engages while the base
-world is :attr:`~repro.api.World.pristine` (booted from a digestible
-configuration and not mutated since).  It lives in the coordinating
-process for every backend: cached jobs are never dispatched to workers,
-and worker results are merged back into it.
+world is :attr:`~repro.api.World.pristine`.  By default every batch in
+the process shares one module-level cache; pass
+``Batch(result_cache=BoundedCache(...))`` to isolate a batch (tests, or
+coordinators that must not share state).  Cached jobs are never
+dispatched to executors, and executor results are merged back in.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import threading
-import traceback as _traceback
+import warnings
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING, Iterator, Mapping
 
 from repro.api.caching import BoundedCache
+from repro.api.executors.base import (
+    BatchExecutionError,
+    Executor,
+    ExecutorJob,
+    JobTemplate,
+    execute_job,
+    resolve_executor,
+)
 from repro.api.registry import ScriptRegistry
 from repro.api.results import RunResult
-from repro.errors import ReproError
 
 if TYPE_CHECKING:
     from repro.api.worlds import World
-    from repro.kernel.kernel import Kernel
 
-#: The execution backends ``Batch.run`` / ``World.pool`` accept.
+__all__ = [
+    "BATCH_BACKENDS",
+    "Batch",
+    "BatchExecutionError",
+    "BatchJob",
+    "clear_result_cache",
+    "execute_job",
+    "result_cache_size",
+]
+
+#: The legacy execution-backend strings (pre-executor API).  The full
+#: set — including ``"store"`` — lives in
+#: :data:`repro.api.executors.EXECUTOR_CHOICES`.
 BATCH_BACKENDS = ("sequential", "thread", "process")
 
-#: Bounded FIFO of frozen results; old entries are evicted so a
-#: long-lived process sweeping many distinct jobs cannot grow without
-#: limit (a re-run after eviction just recomputes deterministically).
+#: The default, module-level result cache: a bounded FIFO of frozen
+#: results shared by every Batch that is not given its own cache.  Old
+#: entries are evicted so a long-lived process sweeping many distinct
+#: jobs cannot grow without limit (a re-run after eviction just
+#: recomputes deterministically).
 _RESULT_CACHE: BoundedCache = BoundedCache(4096)
 
 
 def clear_result_cache() -> None:
-    """Drop all cached run results."""
+    """Drop all results from the default (module-level) cache.  Batches
+    constructed with their own ``result_cache`` are unaffected."""
     _RESULT_CACHE.clear()
 
 
 def result_cache_size() -> int:
+    """Entries in the default (module-level) cache."""
     return len(_RESULT_CACHE)
-
-
-class BatchExecutionError(ReproError):
-    """A batch job died of something that is *not* a script failure.
-
-    Script-level failures (denials, contract violations, syntax errors —
-    every :class:`ReproError`) are deterministic results and come back as
-    failed :class:`RunResult`\\ s.  This error is for the rest: engine
-    bugs and crashed workers.  It names the failing job and preserves the
-    original traceback text, which would otherwise be lost at a process
-    boundary.
-    """
-
-    def __init__(self, job_name: str, user: str | None, traceback_text: str,
-                 message: str | None = None) -> None:
-        self.job_name = job_name
-        self.user = user
-        self.traceback_text = traceback_text
-        self._message = message
-        if message is None:
-            lines = traceback_text.strip().splitlines()
-            message = lines[-1] if lines else "unknown error"
-        super().__init__(
-            f"batch job {job_name!r} (user={user!r}) failed: {message}"
-        )
-
-    def __reduce__(self):
-        """BaseException's default reduce replays only the formatted
-        message, which does not match this constructor — spell out the
-        real arguments so the error survives pickling (users wrap
-        Batch.run in their own multiprocessing layers)."""
-        return (BatchExecutionError,
-                (self.job_name, self.user, self.traceback_text, self._message))
 
 
 @dataclass(frozen=True)
@@ -123,118 +119,18 @@ class BatchJob:
     name: str
 
 
-def execute_job(kernel: "Kernel", source: str, user: str | None,
-                name: str, scripts: Mapping[str, str],
-                default_user: str) -> RunResult:
-    """Run one batch job against its own fork of ``kernel``.
-
-    This is the single execution path every backend funnels through —
-    the worker processes import and call exactly this function — so the
-    "parallel equals sequential" fingerprint guarantee reduces to kernel
-    forks (and snapshots) being faithful.
-    """
-    from repro.api.sessions import Session
-
-    fork = kernel.fork()
-    effective_user = user or default_user
-    try:
-        session = Session(fork, user=effective_user, scripts=dict(scripts))
-    except KeyError as err:
-        # Unknown job user: the job fails alone, and with no session
-        # there is nothing to snapshot beyond the error itself.  The
-        # catch is deliberately this narrow — a KeyError out of the
-        # interpreter would be an engine bug and must propagate (as a
-        # BatchExecutionError, via the caller).
-        return RunResult(status=1, stderr=f"KeyError: {err}\n",
-                         traceback=_traceback.format_exc())
-    try:
-        # Jobs execute under a canonical script name: diagnostics
-        # (e.g. syntax errors) embed the script name, and cached
-        # results are shared across identically-keyed jobs whatever
-        # they were called — callers attribute output via .jobs.
-        result = session.run_ambient(source, "<batch>")
-    except ReproError as err:
-        # Jobs are isolated forks, so one failing script must not
-        # abort its siblings: it becomes a failed RunResult carrying
-        # everything the session observed up to the error — denials,
-        # sandbox count, profile, op counts — since the audit trail
-        # matters most exactly when a run fails.  The error text is
-        # deterministic, so cache/fingerprint semantics hold for
-        # failures too (the traceback is diagnostic-only and excluded
-        # from fingerprints, like wall-clock timings).
-        snapshot = session.result()
-        result = dataclasses.replace(
-            snapshot,
-            status=1,
-            stderr=snapshot.stderr + f"{type(err).__name__}: {err}\n",
-            traceback=_traceback.format_exc(),
-        )
-    except Exception as err:
-        raise BatchExecutionError(name, effective_user,
-                                  _traceback.format_exc()) from err
-    return result
-
-
-# ---------------------------------------------------------------------------
-# process-backend worker plumbing (module-level: workers must import it)
-# ---------------------------------------------------------------------------
-
-#: Per-worker-process state: the restored template kernel plus the job
-#: context, installed once by the pool initializer.
-_WORKER_STATE: dict = {}
-
-
-def _process_worker_init(payload: bytes, scripts_items: tuple,
-                         default_user: str) -> None:
-    """Pool initializer: unpickle the template once per worker process."""
-    from repro.kernel.serialize import restore_kernel
-
-    _WORKER_STATE["kernel"] = restore_kernel(payload)
-    _WORKER_STATE["scripts"] = dict(scripts_items)
-    _WORKER_STATE["default_user"] = default_user
-
-
-def _process_worker_run(packed: tuple) -> tuple:
-    """Run one job in a worker; never raises (exceptions do not carry
-    tracebacks across process boundaries faithfully, so failures travel
-    home as data and the coordinator re-raises the typed error)."""
-    import pickle
-
-    index, source, user, name = packed
-    try:
-        result = execute_job(
-            _WORKER_STATE["kernel"], source, user, name,
-            _WORKER_STATE["scripts"], _WORKER_STATE["default_user"],
-        )
-        if result.value is not None:
-            # The executor pickles our return value *after* this frame
-            # exits, where a failure surfaces as an opaque pool error —
-            # probe the only field that can carry arbitrary objects now,
-            # so an unpicklable language-level value fails with the job
-            # named.  Batch jobs produce value=None, so the common path
-            # pays nothing.
-            try:
-                pickle.dumps(result.value)
-            except Exception:
-                return ("error", index, name, user, _traceback.format_exc())
-        return ("ok", index, result)
-    except BatchExecutionError as err:
-        return ("error", index, err.job_name, err.user, err.traceback_text)
-    except Exception:
-        return ("error", index, name, user, _traceback.format_exc())
-
-
 class Batch:
     """A queue of ambient-script jobs over one base world.
 
     ``scripts`` (a mapping or :class:`ScriptRegistry`) is the shared
-    capability-script registry every job's session starts with.  Typical
-    flow::
+    capability-script registry every job's session starts with.
+    ``result_cache`` overrides the module-level shared result cache with
+    a private :class:`~repro.api.caching.BoundedCache`.  Typical flow::
 
         batch = Batch(World().with_usr_src(), scripts=registry)
         for user in users:
             batch.add(AMBIENT_SRC, user=user)
-        results = batch.run(backend="process", workers=8)
+        results = batch.run(executor=ProcessExecutor(workers=8))
     """
 
     def __init__(
@@ -242,6 +138,7 @@ class Batch:
         world: "World",
         scripts: "Mapping[str, str] | ScriptRegistry | None" = None,
         cache: bool = True,
+        result_cache: "BoundedCache | None" = None,
     ) -> None:
         from repro.api.worlds import World
 
@@ -254,6 +151,7 @@ class Batch:
         self._scripts = dict(scripts or {})
         self._scripts_sig = tuple(sorted(self._scripts.items()))
         self._cache_enabled = cache
+        self._result_cache = result_cache if result_cache is not None else _RESULT_CACHE
         self._jobs: list[BatchJob] = []
         self._stats = {"jobs": 0, "cache_hits": 0, "forks": 0}
         self._stats_lock = threading.Lock()
@@ -275,134 +173,152 @@ class Batch:
 
     @property
     def stats(self) -> dict[str, int]:
-        """Totals across every :meth:`run` so far: jobs executed, result
-        cache hits, and world forks taken."""
+        """Totals across every run so far: jobs executed, result cache
+        hits, and world forks taken."""
         with self._stats_lock:
             return dict(self._stats)
 
     # -- running -----------------------------------------------------------
 
     def run(self, *, parallel: bool = False, workers: int | None = None,
-            backend: str | None = None) -> list[RunResult]:
+            backend: str | None = None,
+            executor: "Executor | None" = None) -> list[RunResult]:
         """Execute every queued job; results in submission order.
 
-        ``backend`` selects the execution engine (:data:`BATCH_BACKENDS`):
-        ``"sequential"`` (the default), ``"thread"``, or ``"process"``.
-        ``parallel=True`` is the pre-backend spelling of
-        ``backend="thread"`` and is kept for compatibility.  Whatever the
-        backend, results are byte-identical (compare
+        ``executor`` is the execution strategy (an
+        :class:`repro.api.executors.Executor` instance — the batch binds
+        it but does not close it, so one executor can serve many runs).
+        The legacy spellings resolve through the deprecation shim:
+        ``backend=`` strings construct a fresh executor per run (closed
+        afterwards) and ``parallel=True`` means ``backend="thread"``.
+        Whatever the strategy, results are byte-identical (compare
         :meth:`RunResult.fingerprint`).
         """
+        chosen, owned = self._resolve(parallel, workers, backend, executor)
+        return list(self._merge_in_order(self._drive(chosen, owned)))
+
+    def stream(self, *, parallel: bool = False, workers: int | None = None,
+               backend: str | None = None,
+               executor: "Executor | None" = None) -> Iterator[RunResult]:
+        """Like :meth:`run`, but yield each result **in submission order
+        as soon as it (and every earlier job) has finished** — an ordered
+        merge over the executor's completion stream, so a consumer sees
+        the exact ``run()`` list without waiting for the whole batch.
+        """
+        chosen, owned = self._resolve(parallel, workers, backend, executor)
+        return self._merge_in_order(self._drive(chosen, owned))
+
+    def as_completed(self, *, parallel: bool = False, workers: int | None = None,
+                     backend: str | None = None,
+                     executor: "Executor | None" = None,
+                     ) -> Iterator[tuple[BatchJob, RunResult]]:
+        """Yield ``(job, result)`` pairs in **completion order** — cache
+        hits first, then jobs as the executor finishes them.  Use this to
+        react to results as they land when submission order does not
+        matter; fingerprint guarantees are unchanged (the *set* of
+        results equals the ``run()`` list)."""
+        chosen, owned = self._resolve(parallel, workers, backend, executor)
+        return ((job, result) for _index, job, result in self._drive(chosen, owned))
+
+    # -- the driver --------------------------------------------------------
+
+    def _resolve(self, parallel: bool, workers: int | None,
+                 backend: str | None,
+                 executor: "Executor | None") -> tuple[Executor, bool]:
+        """(executor, whether this run owns — and must close — it)."""
         if workers is not None and workers < 1:
             raise ValueError("workers must be positive")
+        if executor is not None:
+            if backend is not None or parallel:
+                raise ValueError("pass either executor= or the legacy "
+                                 "backend=/parallel= spelling, not both")
+            if workers is not None:
+                raise ValueError("workers is the executor's to own; "
+                                 "construct it with workers=N")
+            return executor, False
+        if parallel:
+            # stacklevel 3 = the caller of run/stream/as_completed, each
+            # of which calls _resolve directly.
+            warnings.warn(
+                "Batch.run(parallel=True) is deprecated; pass "
+                "backend='thread' or executor=ThreadExecutor()",
+                DeprecationWarning, stacklevel=3)
         if backend is None:
             backend = "thread" if parallel else "sequential"
-        if backend not in BATCH_BACKENDS:
-            raise ValueError(
-                f"unknown backend {backend!r}; choices: {', '.join(BATCH_BACKENDS)}")
-        self.world.boot()
-        if backend == "sequential":
-            return [self._run_one(job) for job in self._jobs]
-        if backend == "thread":
-            from concurrent.futures import ThreadPoolExecutor
+        return resolve_executor(backend, workers=workers), True
 
-            with ThreadPoolExecutor(max_workers=workers or 4) as pool:
-                return list(pool.map(self._run_one, self._jobs))
-        return self._run_process(workers or 4)
+    @staticmethod
+    def _merge_in_order(completions: "Iterator[tuple[int, BatchJob, RunResult]]",
+                        ) -> Iterator[RunResult]:
+        buffered: dict[int, RunResult] = {}
+        next_index = 0
+        for index, _job, result in completions:
+            buffered[index] = result
+            while next_index in buffered:
+                yield buffered.pop(next_index)
+                next_index += 1
 
-    # -- in-process execution (sequential / thread) ------------------------
+    def _drive(self, chosen: Executor, owned: bool,
+               ) -> Iterator[tuple[int, BatchJob, RunResult]]:
+        """Classify, dispatch, merge: yields (index, job, result) with
+        cache hits first and executor completions as they land; raises
+        the submission-earliest :class:`BatchExecutionError` after
+        draining, so sibling results still reach the cache."""
+        try:
+            chosen.prepare(self.world)
+            self.world.boot()
+            template = JobTemplate.for_world(self.world, self._scripts_sig)
+            chosen.bind(template)
 
-    def _run_one(self, job: BatchJob) -> RunResult:
-        key = self._cache_key(job)
-        if key is not None:
-            cached = _RESULT_CACHE.get(key)
-            if cached is not None:
-                self._bump("jobs", "cache_hits")
-                return cached
-        assert self.world.kernel is not None
-        self._bump("jobs", "forks")
-        result = execute_job(self.world.kernel, job.source, job.user,
-                             job.name, self._scripts, self.world.default_user)
-        return self._finish(key, result)
+            # Identically-keyed queued jobs dispatch once: later
+            # duplicates ride on the representative's result, matching
+            # the cache-hit semantics of a fully sequential run.
+            pending: list[tuple[int, BatchJob, tuple | None]] = []
+            representative: dict[tuple, int] = {}
+            duplicates: dict[int, list[int]] = {}
+            for index, job in enumerate(self._jobs):
+                key = self._cache_key(job)
+                cached = self._result_cache.get(key) if key is not None else None
+                if cached is not None:
+                    self._bump("jobs", "cache_hits")
+                    yield index, job, cached
+                elif key is not None and key in representative:
+                    self._bump("jobs", "cache_hits")
+                    duplicates.setdefault(representative[key], []).append(index)
+                else:
+                    if key is not None:
+                        representative[key] = index
+                    pending.append((index, job, key))
 
-    # -- process execution -------------------------------------------------
-
-    def _run_process(self, workers: int) -> list[RunResult]:
-        """Fan pending jobs out to worker processes.
-
-        The coordinator serves cache hits locally, snapshots the booted
-        template exactly once, and merges worker results back into the
-        shared cache — so op counters and caching behave identically to
-        the in-process backends, just off the GIL.
-        """
-        from concurrent.futures import ProcessPoolExecutor
-
-        from repro.kernel.serialize import snapshot_kernel
-
-        results: list[RunResult | None] = [None] * len(self._jobs)
-        pending: list[tuple[int, BatchJob, tuple | None]] = []
-        # Identically-keyed queued jobs dispatch once: the sequential
-        # backend serves later duplicates from the result cache mid-run,
-        # and the process backend must match those cache-hit semantics
-        # even though it fans everything out up front.
-        representative: dict[tuple, int] = {}
-        duplicates: dict[int, list[int]] = {}
-        for index, job in enumerate(self._jobs):
-            key = self._cache_key(job)
-            cached = _RESULT_CACHE.get(key) if key is not None else None
-            if cached is not None:
-                self._bump("jobs", "cache_hits")
-                results[index] = cached
-            elif key is not None and key in representative:
-                self._bump("jobs", "cache_hits")
-                duplicates.setdefault(representative[key], []).append(index)
-            else:
-                if key is not None:
-                    representative[key] = index
-                pending.append((index, job, key))
-        if pending:
-            assert self.world.kernel is not None
-            payload = snapshot_kernel(self.world.kernel)
-            packed = [(index, job.source, job.user, job.name)
-                      for index, job, _key in pending]
-            keys = {index: key for index, _job, key in pending}
-            failure: tuple | None = None
-            try:
-                with ProcessPoolExecutor(
-                    max_workers=min(workers, len(pending)),
-                    initializer=_process_worker_init,
-                    initargs=(payload, tuple(self._scripts.items()),
-                              self.world.default_user),
-                ) as pool:
-                    for outcome in pool.map(_process_worker_run, packed):
-                        if outcome[0] == "error":
-                            # Keep draining so sibling jobs finish
-                            # cleanly; the first failure (submission
-                            # order) wins.
-                            if failure is None:
-                                failure = outcome
-                            continue
-                        _tag, index, result = outcome
-                        self._bump("jobs", "forks")
-                        results[index] = self._finish(keys[index], result)
-                        for dup_index in duplicates.get(index, ()):
-                            results[dup_index] = results[index]
-            except BatchExecutionError:
-                raise
-            except Exception as err:
-                # A worker killed hard (OOM, signal) surfaces here as
-                # BrokenProcessPool with no job attribution; the typed
-                # error still names the batch and keeps the pool's
-                # traceback, upholding the documented contract.
-                raise BatchExecutionError(
-                    "<worker pool>", None, _traceback.format_exc(),
-                    message=f"worker pool failed: {type(err).__name__}: {err}",
-                ) from err
+            by_handle = {}
+            for index, job, key in pending:
+                handle = chosen.submit(ExecutorJob(
+                    index=index, name=job.name, source=job.source, user=job.user))
+                by_handle[handle] = (index, job, key)
+            failure: BatchExecutionError | None = None
+            failure_index = len(self._jobs)
+            # Drain exactly our own handles: a shared executor may be
+            # carrying another batch's (or the caller's own) submissions.
+            for handle in chosen.as_completed(list(by_handle)):
+                index, job, key = by_handle[handle]
+                try:
+                    result = handle.result()
+                except BatchExecutionError as err:
+                    # Keep draining so sibling jobs finish cleanly; the
+                    # first failure (submission order) wins.
+                    if index < failure_index:
+                        failure, failure_index = err, index
+                    continue
+                self._bump("jobs", "forks")
+                result = self._finish(key, result)
+                yield index, job, result
+                for dup_index in duplicates.get(index, ()):
+                    yield dup_index, self._jobs[dup_index], result
             if failure is not None:
-                _tag, _index, name, user, tb_text = failure
-                raise BatchExecutionError(name, user, tb_text)
-        assert all(result is not None for result in results)
-        return results  # type: ignore[return-value]
+                raise failure
+        finally:
+            if owned:
+                chosen.close()
 
     # -- shared plumbing ---------------------------------------------------
 
@@ -411,7 +327,7 @@ class Batch:
             # put has setdefault semantics: under parallel duplicate
             # jobs, the first result wins everywhere (they are
             # fingerprint-identical anyway).
-            result = _RESULT_CACHE.put(key, result)
+            result = self._result_cache.put(key, result)
         return result
 
     def _cache_key(self, job: BatchJob) -> tuple | None:

@@ -1,0 +1,52 @@
+"""repro.api.executors — pluggable execution strategies.
+
+The :class:`Executor` protocol (``submit``/``as_completed``/``map``/
+``close``) plus the four shipped strategies:
+
+* :class:`SequentialExecutor` — the caller's thread; the reference;
+* :class:`ThreadExecutor` — a thread pool (concurrency, not cores);
+* :class:`ProcessExecutor` — kernel snapshots shipped to a process pool;
+* :class:`StoreExecutor` — a process pool whose workers (and
+  coordinator) boot from a persistent, content-addressed
+  :class:`~repro.kernel.store.SnapshotStore` on disk.
+
+``Batch`` and ``World.pool`` accept executor instances directly; the
+legacy ``backend=`` strings resolve through :func:`resolve_executor`.
+"""
+
+from repro.api.executors.base import (
+    DEFAULT_WORKERS,
+    EXECUTOR_CHOICES,
+    BatchExecutionError,
+    BootInfo,
+    Executor,
+    ExecutorJob,
+    JobHandle,
+    JobTemplate,
+    execute_job,
+    resolve_executor,
+    run_job,
+)
+from repro.api.executors.local import SequentialExecutor, ThreadExecutor
+from repro.api.executors.process import ProcessExecutor
+from repro.api.executors.store import StoreExecutor
+from repro.kernel.store import SnapshotStore
+
+__all__ = [
+    "Executor",
+    "ExecutorJob",
+    "JobHandle",
+    "JobTemplate",
+    "BootInfo",
+    "BatchExecutionError",
+    "SequentialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "StoreExecutor",
+    "SnapshotStore",
+    "EXECUTOR_CHOICES",
+    "DEFAULT_WORKERS",
+    "execute_job",
+    "run_job",
+    "resolve_executor",
+]

@@ -17,7 +17,9 @@ configuration *forks* the cached template (copy-on-write, see
 vnodes of world image.  :meth:`World.fork` exposes the same mechanism
 directly, and :meth:`World.pool` hands out N forks for parallel work.
 Worlds configured through the escape hatch (:meth:`World.with_setup`)
-run arbitrary code and are exempt from caching.
+run arbitrary code and are exempt from caching — unless the step is
+given a ``key``, which is folded into the digest as the caller's promise
+that equal keys build equal worlds.
 """
 
 from __future__ import annotations
@@ -42,6 +44,7 @@ from repro.world import (
 from repro.world.image import WorldBuilder
 
 if TYPE_CHECKING:
+    from repro.api.executors import Executor
     from repro.kernel.kernel import Kernel
     from repro.kernel.syscalls import SyscallInterface
 
@@ -64,6 +67,13 @@ def clear_boot_cache() -> None:
 
 def boot_cache_size() -> int:
     return len(_BOOT_CACHE)
+
+
+def boot_cache_contains(digest: str) -> bool:
+    """Whether a template for ``digest`` is already cached in-process —
+    executors use this to report a warm boot as "cached" rather than
+    claiming build work that never happened."""
+    return _BOOT_CACHE.get(digest) is not None
 
 
 def as_kernel(world: "World | Kernel") -> "Kernel":
@@ -206,9 +216,21 @@ class World:
         return self._add_step(None, step, f"symlink:{target}:{link}")
 
     def with_setup(self, fn: Callable[["Kernel"], Any], key: str | None = None) -> "World":
-        """Escape hatch: run ``fn(kernel)`` during boot.  Arbitrary code
-        has no digest, so worlds configured this way are never cached."""
-        return self._add_step(key, fn, None)
+        """Escape hatch: run ``fn(kernel)`` during boot.
+
+        Arbitrary code has no digest, so keyless setup worlds are never
+        cached.  Supplying ``key`` does two things: ``fn``'s return value
+        lands under ``world.fixtures[key]``, and the key is **folded into
+        the world digest**, restoring boot-cache / result-cache /
+        snapshot-store eligibility.  The key is thereby a promise —
+        *equal keys build equal worlds* — exactly like a cache key; two
+        different setup functions under one key would wrongly share
+        cached images and results.  Fixture values should be plain data:
+        a value that refuses deep-copy keeps the boot private (uncached),
+        and one that refuses pickling is simply absent from process
+        workers and snapshot-store links.
+        """
+        return self._add_step(key, fn, None if key is None else f"setup:{key}")
 
     # -- boot --------------------------------------------------------------
 
@@ -232,8 +254,21 @@ class World:
             built = None
             if cached is None:
                 built = self._build()
-                cached = _BOOT_CACHE.put(
-                    digest, (built, copy.deepcopy(self.fixtures)))
+                try:
+                    fixtures_copy = copy.deepcopy(self.fixtures)
+                except Exception:
+                    # A keyed with_setup step may record a fixture value
+                    # that refuses deep-copy (a lock, an open handle).
+                    # Such a value cannot be shared safely through the
+                    # template cache — keep this build private instead
+                    # of crashing (the digest, and with it the result
+                    # cache, still holds).
+                    self.kernel = built
+                    self._digest = digest
+                    self._boot_generation = built.vfs.generation
+                    self._boot_epoch = built.state_epoch
+                    return self
+                cached = _BOOT_CACHE.put(digest, (built, fixtures_copy))
             template, fixtures = cached
             # Fixture values are plain data (paths, counts, blobs) but
             # may be mutable containers — deep-copy so no caller can
@@ -265,7 +300,7 @@ class World:
     @property
     def digest(self) -> str | None:
         """A stable hash of the declarative configuration, or ``None``
-        when a :meth:`with_setup` step makes it undigestible.  Equal
+        when a key-less :meth:`with_setup` step makes it undigestible.  Equal
         digests mean "boots to an identical world" — the key for both
         the boot-image cache and the batch runner's result cache.
         Configuration freezes at boot, so the value is computed once
@@ -320,6 +355,32 @@ class World:
         child._boot_epoch = self._boot_epoch
         return child
 
+    def adopt_template(self, kernel: "Kernel", fixtures: "dict | None" = None) -> "World":
+        """Install an externally materialised template — a machine
+        restored from a :class:`repro.kernel.store.SnapshotStore` — as
+        this configuration's boot image.
+
+        The kernel enters the module boot cache under the world digest
+        and this world receives a copy-on-write fork, exactly as if
+        :meth:`boot` had built it; the build steps never run (that is
+        the point: a store hit performs zero world-build kernel ops).
+        Only digestible, unbooted worlds can adopt — the digest is the
+        claim that ``kernel`` is what the steps would have built.
+        """
+        self._check_unbooted()
+        digest = self.digest
+        if digest is None:
+            raise ValueError("only digestible worlds can adopt a template "
+                             "(the digest is what names the snapshot)")
+        cached = _BOOT_CACHE.put(digest, (kernel, copy.deepcopy(dict(fixtures or {}))))
+        template, cached_fixtures = cached
+        self.fixtures = copy.deepcopy(cached_fixtures)
+        self.kernel = template.fork()
+        self._digest = digest
+        self._boot_generation = self.kernel.vfs.generation
+        self._boot_epoch = self.kernel.state_epoch
+        return self
+
     @classmethod
     def _from_kernel(cls, kernel: "Kernel", *, default_user: str,
                      fixtures: dict, install_shill: bool) -> "World":
@@ -336,17 +397,21 @@ class World:
         world._boot_epoch = kernel.state_epoch
         return world
 
-    def pool(self, workers: int = 4, backend: str = "thread") -> "WorldPool":
+    def pool(self, workers: int = 4, backend: str = "thread",
+             executor: "Executor | None" = None) -> "WorldPool":
         """``workers`` independent forks of this world, for long-lived
         parallel sessions (the batch runner forks per job instead).
 
         ``backend`` picks where :meth:`WorldPool.map` runs its workers:
-        ``"sequential"``, ``"thread"`` (default), or ``"process"`` —
-        the last ships a kernel snapshot to each worker process, so the
-        mapped function must be a picklable (module-level) callable and
-        its return value must pickle too.
+        ``"sequential"``, ``"thread"`` (default), ``"process"``, or
+        ``"store"`` — the last two ship a kernel snapshot to worker
+        processes, so the mapped function must be a picklable
+        (module-level) callable and its return value must pickle too.
+        ``executor`` supplies an :class:`repro.api.executors.Executor`
+        instance instead of a backend string (the caller keeps ownership
+        and closes it).
         """
-        return WorldPool(self, workers, backend=backend)
+        return WorldPool(self, workers, backend=backend, executor=executor)
 
     # -- handles over the booted world -------------------------------------
 
@@ -427,71 +492,50 @@ class World:
         return f"<World {state} user={self._default_user!r} steps={len(self._steps)}>"
 
 
-def _pool_worker_init(payload: bytes, default_user: str, fixtures: dict,
-                      install_shill: bool) -> None:
-    """Process-pool initializer: restore the template world once per
-    worker process (module-level so worker processes can import it)."""
-    from repro.kernel.serialize import restore_kernel
-
-    _POOL_WORKER_STATE["template"] = World._from_kernel(
-        restore_kernel(payload), default_user=default_user,
-        fixtures=fixtures, install_shill=install_shill)
-
-
-def _pool_worker_call(fn: Callable[["World"], Any]) -> Any:
-    """Run one mapped call against a fresh fork of the worker's template.
-
-    NB: this makes the process backend *stateless across calls* — unlike
-    thread/sequential maps, which reuse the pool's persistent per-worker
-    worlds, so state written by one ``map`` survives into the next.
-    Process workers (and their pool) live only for one ``map`` call;
-    anything a mapped function wants to keep must be in its return
-    value.  Documented on :meth:`WorldPool.map`.
-    """
-    return fn(_POOL_WORKER_STATE["template"].fork())
-
-
-_POOL_WORKER_STATE: dict = {}
-
-
 class WorldPool:
     """``workers`` forked worlds over one base image.
 
     Each worker world has its own kernel, so sessions on different
     workers can run in parallel without sharing any mutable state.
     :meth:`map` is the convenience driver; index or iterate the pool to
-    own the scheduling yourself.  The ``backend`` chosen at construction
-    (``"sequential"`` / ``"thread"`` / ``"process"``) is where ``map``
-    runs; the process backend snapshots the base kernel to each worker
-    process, so mapped functions (and their results) must pickle.
+    own the scheduling yourself.  The ``backend``/``executor`` chosen at
+    construction is where ``map`` runs; process-family executors
+    snapshot the base kernel to worker processes, so mapped functions
+    (and their results) must pickle.
     """
 
     def __init__(self, base: World, workers: int = 4,
-                 backend: str = "thread") -> None:
-        from repro.api.batch import BATCH_BACKENDS
+                 backend: str = "thread",
+                 executor: "Executor | None" = None) -> None:
+        from repro.api.executors import EXECUTOR_CHOICES
 
         if workers < 1:
             raise ValueError("a pool needs at least one worker")
-        if backend not in BATCH_BACKENDS:
+        if executor is not None:
+            backend = executor.name
+        elif backend not in EXECUTOR_CHOICES:
             raise ValueError(
-                f"unknown backend {backend!r}; choices: {', '.join(BATCH_BACKENDS)}")
+                f"unknown backend {backend!r}; choices: {', '.join(EXECUTOR_CHOICES)}")
         base.boot()
         self.base = base
         self.backend = backend
+        self.executor = executor
         self._workers = workers
-        # In-process pools fork their worker worlds *now* (so later base
-        # mutations never leak into workers — the pool snapshots at
-        # construction); process-backed pools defer, since map() forks
-        # inside the worker processes and would never touch these.
+        # Legacy in-process pools (sequential/thread *strings*) fork
+        # their persistent worker worlds *now* (so later base mutations
+        # never leak into workers — the pool snapshots at construction).
+        # Executor-backed pools — any instance, or the process/store
+        # strings — defer: map() forks per call (inside worker processes
+        # for the process family) and would never touch these.
         self._worlds: list[World] | None = (
-            None if backend == "process"
+            None if executor is not None or backend in ("process", "store")
             else [base.fork() for _ in range(workers)])
 
     @property
     def worlds(self) -> list[World]:
         """The pool's persistent in-process worker worlds.
 
-        For ``backend="process"`` pools these are forked lazily on first
+        For process-family pools these are forked lazily on first
         access (indexing/iterating one still works), and therefore see
         the base world *as of that first access*, not as of ``pool()``
         — process maps don't use them, so an access is an explicit
@@ -510,51 +554,67 @@ class WorldPool:
         return self.worlds[index]
 
     def map(self, fn: Callable[[World], Any], *, parallel: bool | None = None,
-            backend: str | None = None) -> list[Any]:
+            backend: str | None = None,
+            executor: "Executor | None" = None) -> list[Any]:
         """Run ``fn(world)`` once per worker; results in worker order.
 
-        ``backend`` overrides the pool's default for this call;
-        ``parallel`` is the pre-backend boolean spelling (``False`` →
-        sequential, ``True`` → the pool's parallel backend) and is kept
-        for compatibility.
+        ``backend``/``executor`` override the pool's default for this
+        call; ``parallel`` is the pre-backend boolean spelling
+        (``False`` → sequential, ``True`` → the pool's parallel
+        backend) and is kept for compatibility.
 
-        Statefulness differs by backend: sequential/thread maps run
-        against the pool's persistent worker worlds, so writes made by
-        one ``map`` call are visible to the next; the process backend
-        ships each call to a short-lived worker fork and keeps nothing —
-        return what you need, or use :class:`repro.api.Batch` (whose
-        per-job-fork contract is identical on every backend).
+        Statefulness differs by path: the legacy ``"sequential"`` /
+        ``"thread"`` *strings* run against the pool's persistent worker
+        worlds, so writes made by one ``map`` call are visible to the
+        next; every :class:`~repro.api.executors.Executor` *instance*
+        (and the ``"process"``/``"store"`` strings) follows the executor
+        protocol instead — each call runs on a fresh fork and keeps
+        nothing, failures surface as
+        :class:`repro.api.BatchExecutionError`, and anything a mapped
+        function wants to keep must be in its return value.  Use
+        :class:`repro.api.Batch` for a per-job-fork contract identical
+        on every executor.
         """
-        if backend is None:
-            backend = self.backend
-            if parallel is False:
-                backend = "sequential"
-        if backend == "sequential":
+        if executor is not None and (backend is not None or parallel is not None):
+            raise ValueError("pass either executor= or the legacy "
+                             "backend=/parallel= spelling, not both")
+        if executor is None:
+            if backend is None:
+                backend = self.backend
+                executor = self.executor
+                if parallel is False:
+                    backend, executor = "sequential", None
+        else:
+            backend = executor.name
+        if executor is None and backend == "sequential":
             return [fn(world) for world in self.worlds]
-        if backend == "thread":
+        if executor is None and backend == "thread":
             from concurrent.futures import ThreadPoolExecutor
 
             with ThreadPoolExecutor(max_workers=len(self.worlds)) as pool:
                 return list(pool.map(fn, self.worlds))
-        return self._map_process(fn)
+        return self._map_executor(fn, backend, executor)
 
-    def _map_process(self, fn: Callable[[World], Any]) -> list[Any]:
-        from concurrent.futures import ProcessPoolExecutor
+    def _map_executor(self, fn: Callable[[World], Any], backend: str,
+                      executor: "Executor | None") -> list[Any]:
+        """Fan ``fn`` out as callable jobs on an executor — the
+        process-family path (workers restore a snapshot and fork per
+        call).  String-resolved executors are owned by this call and
+        closed; supplied instances stay open for the caller."""
+        from repro.api.executors import ExecutorJob, JobTemplate, resolve_executor
 
-        from repro.kernel.serialize import snapshot_kernel
-
-        assert self.base.kernel is not None
-        payload = snapshot_kernel(self.base.kernel)
-        workers = self._workers
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_pool_worker_init,
-            # initargs are pickled per worker, which already hands each
-            # one an independent copy of the fixtures record.
-            initargs=(payload, self.base.default_user,
-                      self.base.fixtures, self.base._install_shill),
-        ) as pool:
-            return list(pool.map(_pool_worker_call, [fn] * workers))
+        owned = executor is None
+        chosen = executor if executor is not None else \
+            resolve_executor(backend, workers=self._workers)
+        try:
+            chosen.bind(JobTemplate.for_world(self.base))
+            return chosen.map([
+                ExecutorJob(index=index, name=f"map{index}", fn=fn)
+                for index in range(self._workers)
+            ])
+        finally:
+            if owned:
+                chosen.close()
 
     def __repr__(self) -> str:
         return (f"<WorldPool workers={self._workers} "

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 from repro.api import RunResult, Session, World, as_kernel
 from repro.api.sessions import deprecated_runtime_property
+from repro.casestudies.probes import make_probe_batch
 from repro.kernel.kernel import Kernel
 from repro.kernel.sockets import AddressFamily, SocketType
 
@@ -64,6 +65,22 @@ def web_world(install_shill: bool = True, **fixture_kwargs) -> World:
     """The standard world: the base image plus docroot content and the
     (empty) access log the Apache workload serves and appends to."""
     return World(install_shill=install_shill).with_web_content(**fixture_kwargs)
+
+
+#: One straight-line ambient probe touching the docroot fixture — the
+#: executor-equivalence suites run it across every execution strategy.
+PROBE_AMBIENT = """\
+#lang shill/ambient
+page = open_file("/var/www/page0.html");
+append(stdout, read(page));
+"""
+
+
+def probe_batch(jobs: int = 3, install_shill: bool = True, cache: bool = False,
+                **fixture_kwargs):
+    """Fixture probes over this world (see :mod:`repro.casestudies.probes`)."""
+    return make_probe_batch(lambda: web_world(install_shill, **fixture_kwargs),
+                            PROBE_AMBIENT, jobs=jobs, cache=cache)
 
 
 @dataclass

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 from repro.api import RunResult, Session, World, as_kernel
 from repro.api.sessions import deprecated_runtime_property
+from repro.casestudies.probes import make_probe_batch
 from repro.kernel.kernel import Kernel
 
 SIMPLE_CAP_SCRIPT = """\
@@ -129,6 +130,23 @@ def usr_src_world(install_shill: bool = True, **fixture_kwargs) -> World:
     """The standard world: the base image plus the scaled-down /usr/src
     tree the Find workload greps."""
     return World(install_shill=install_shill).with_usr_src(**fixture_kwargs)
+
+
+#: One straight-line ambient probe touching the /usr/src fixture — the
+#: executor-equivalence suites run it across every execution strategy.
+PROBE_AMBIENT = """\
+#lang shill/ambient
+src = open_dir("/usr/src/sys00/dir0");
+entries = contents(src);
+append(stdout, path(src) + "\\n");
+"""
+
+
+def probe_batch(jobs: int = 3, install_shill: bool = True, cache: bool = False,
+                **fixture_kwargs):
+    """Fixture probes over this world (see :mod:`repro.casestudies.probes`)."""
+    return make_probe_batch(lambda: usr_src_world(install_shill, **fixture_kwargs),
+                            PROBE_AMBIENT, jobs=jobs, cache=cache)
 
 
 @dataclass

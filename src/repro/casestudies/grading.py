@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 from repro.api import RunResult, Session, World, as_kernel
 from repro.api.sessions import deprecated_runtime_property
+from repro.casestudies.probes import make_probe_batch
 from repro.kernel.kernel import Kernel
 
 SANDBOXED_CAP_SCRIPT = """\
@@ -204,6 +205,23 @@ def grading_world(install_shill: bool = True, **fixture_kwargs) -> World:
     plus the student-submission fixture.  Declarative, so repeated boots
     hit the boot-image cache and fork instead of rebuilding."""
     return World(install_shill=install_shill).with_grading_fixture(**fixture_kwargs)
+
+
+#: One straight-line ambient probe touching the submissions fixture — the
+#: executor-equivalence suites run it across every execution strategy.
+PROBE_AMBIENT = """\
+#lang shill/ambient
+subs = open_dir("/home/tester/submissions");
+entries = contents(subs);
+append(stdout, path(subs) + "\\n");
+"""
+
+
+def probe_batch(jobs: int = 3, install_shill: bool = True, cache: bool = False,
+                **fixture_kwargs):
+    """Fixture probes over this world (see :mod:`repro.casestudies.probes`)."""
+    return make_probe_batch(lambda: grading_world(install_shill, **fixture_kwargs),
+                            PROBE_AMBIENT, jobs=jobs, cache=cache)
 
 
 @dataclass

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 from repro.api import Session, World, as_kernel
 from repro.api.sessions import deprecated_runtime_property
+from repro.casestudies.probes import make_probe_batch
 from repro.kernel.kernel import Kernel
 
 CAP_SCRIPT = """\
@@ -127,6 +128,23 @@ def emacs_world(install_shill: bool = True, tarball: bytes | None = None) -> Wor
         .with_dir("/root/downloads")
         .with_dir("/usr/local/emacs")
     )
+
+
+#: One straight-line ambient probe touching the downloads fixture — the
+#: executor-equivalence suites run it across every execution strategy.
+PROBE_AMBIENT = """\
+#lang shill/ambient
+dl = open_dir("/root/downloads");
+entries = contents(dl);
+append(stdout, path(dl) + "\\n");
+"""
+
+
+def probe_batch(jobs: int = 3, install_shill: bool = True, cache: bool = False,
+                tarball: bytes | None = None):
+    """Fixture probes over this world (see :mod:`repro.casestudies.probes`)."""
+    return make_probe_batch(lambda: emacs_world(install_shill, tarball),
+                            PROBE_AMBIENT, jobs=jobs, cache=cache)
 
 
 @dataclass

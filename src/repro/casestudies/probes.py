@@ -1,0 +1,43 @@
+"""Shared probe-batch scaffolding for the four case studies.
+
+Each case-study module exposes ``PROBE_AMBIENT`` (one straight-line
+ambient script touching its fixture) and a ``probe_batch`` helper built
+on :func:`make_probe_batch` — the uniform surface the executor
+equivalence tests and benchmarks drive: every executor must produce
+byte-identical fingerprints for these batches.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:
+    from repro.api import Batch, World
+
+
+def make_probe_batch(world_factory: "Callable[[], World]", probe_source: str,
+                     jobs: int = 3, cache: bool = False) -> "Batch":
+    """A ready-to-run :class:`repro.api.Batch` of ``jobs`` fixture
+    probes over ``world_factory()``'s world."""
+    from repro.api import Batch
+
+    batch = Batch(world_factory(), cache=cache)
+    for index in range(jobs):
+        batch.add(probe_source, name=f"probe{index}")
+    return batch
+
+
+def case_study_batches() -> "dict[str, Callable[[], Batch]]":
+    """The canonical probe-batch factory per case-study world, at the
+    scaled-down fixture sizes the equivalence suites share — the unit
+    tests and the benchmark gate must test the *same* worlds, so this
+    table lives in exactly one place.  (A function, not a module-level
+    dict: the case-study modules import this module at load time.)"""
+    from repro.casestudies import apache, findgrep, grading, package_mgmt
+
+    return {
+        "grading": lambda: grading.probe_batch(students=3, tests=2),
+        "usr_src": lambda: findgrep.probe_batch(subsystems=2, files_per_dir=4),
+        "web": lambda: apache.probe_batch(file_kb=16, small_files=2),
+        "emacs": lambda: package_mgmt.probe_batch(),
+    }

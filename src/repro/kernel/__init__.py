@@ -8,6 +8,7 @@ syscall layer including the paper's new ``flinkat``/``funlinkat``/
 """
 
 from repro.kernel.kernel import Kernel, KernelStats
+from repro.kernel.store import SnapshotStore
 from repro.kernel.syscalls import (
     O_APPEND,
     O_CREAT,
@@ -27,6 +28,7 @@ from repro.kernel.vfs import VFS, Label, Vnode, VType
 __all__ = [
     "Kernel",
     "KernelStats",
+    "SnapshotStore",
     "SyscallInterface",
     "Stat",
     "VFS",

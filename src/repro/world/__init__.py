@@ -14,7 +14,15 @@ from repro.world.fixtures import (
 )
 from repro.world.image import WorldBuilder, build_world
 
+#: Bumped whenever the world-build code changes what a given
+#: configuration materialises to (new base-image content, changed
+#: fixture layout).  Persistent snapshot-store links record it, so a
+#: store that outlives an upgrade stops serving images built by older
+#: build code (the config digest alone cannot see code changes).
+WORLD_IMAGE_VERSION = 1
+
 __all__ = [
+    "WORLD_IMAGE_VERSION",
     "build_world",
     "WorldBuilder",
     "add_grading_fixture",

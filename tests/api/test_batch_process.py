@@ -23,10 +23,7 @@ from repro.api import (
     World,
     clear_result_cache,
 )
-from repro.casestudies.apache import web_world
-from repro.casestudies.findgrep import usr_src_world
-from repro.casestudies.grading import grading_world
-from repro.casestudies.package_mgmt import emacs_world
+from repro.casestudies.probes import case_study_batches
 
 WALK_AMBIENT = """\
 #lang shill/ambient
@@ -57,30 +54,11 @@ docs = open_dir("~/Documents");
 find_jpg(docs, stdout);
 """
 
-#: One straight-line ambient probe per case-study world, touching that
-#: world's fixture so the job observes fixture state across the
-#: process boundary.
-CASE_STUDY_JOBS = {
-    "grading": (lambda: grading_world(True, students=3, tests=2),
-                '#lang shill/ambient\n'
-                'subs = open_dir("/home/tester/submissions");\n'
-                'entries = contents(subs);\n'
-                'append(stdout, path(subs) + "\\n");\n'),
-    "usr_src": (lambda: usr_src_world(True, subsystems=2, files_per_dir=4),
-                '#lang shill/ambient\n'
-                'src = open_dir("/usr/src/sys00/dir0");\n'
-                'entries = contents(src);\n'
-                'append(stdout, path(src) + "\\n");\n'),
-    "web": (lambda: web_world(True, file_kb=16, small_files=2),
-            '#lang shill/ambient\n'
-            'page = open_file("/var/www/page0.html");\n'
-            'append(stdout, read(page));\n'),
-    "emacs": (lambda: emacs_world(True),
-              '#lang shill/ambient\n'
-              'dl = open_dir("/root/downloads");\n'
-              'entries = contents(dl);\n'
-              'append(stdout, path(dl) + "\\n");\n'),
-}
+#: One probe batch per case-study world (each module's ``probe_batch``
+#: queues straight-line jobs touching that world's fixture), so the jobs
+#: observe fixture state across the process boundary.  The table is
+#: shared with the benchmark equivalence gate — same worlds, one place.
+CASE_STUDY_BATCHES = case_study_batches()
 
 
 @pytest.fixture(autouse=True)
@@ -95,18 +73,15 @@ def _jpeg_world() -> World:
 
 
 class TestProcessBackendDeterminism:
-    @pytest.mark.parametrize("name", sorted(CASE_STUDY_JOBS))
+    @pytest.mark.parametrize("name", sorted(CASE_STUDY_BATCHES))
     def test_process_matches_sequential_for_case_study_worlds(self, name):
         """The acceptance criterion: byte-identical fingerprint lists for
         all four case-study worlds."""
-        build, probe = CASE_STUDY_JOBS[name]
+        build = CASE_STUDY_BATCHES[name]
 
         def run(backend):
             clear_result_cache()
-            batch = Batch(build(), cache=False)
-            for i in range(3):
-                batch.add(probe, name=f"{name}{i}")
-            return batch.run(backend=backend, workers=2)
+            return build().run(backend=backend, workers=2)
 
         sequential = run("sequential")
         process = run("process")

@@ -145,6 +145,71 @@ class TestBootCache:
         assert boot_cache_size() == 0
         assert not world.pristine
 
+    def test_keyed_setup_worlds_regain_the_digest(self):
+        """with_setup(fn, key=...) folds the key into the digest: the
+        caller promises equal keys build equal worlds, and in exchange
+        gets boot-cache / result-cache / snapshot-store eligibility
+        back (the former ROADMAP known-limit)."""
+        def setup(kernel):
+            return "probed"
+
+        a = World().with_setup(setup, key="probe-v1")
+        b = World().with_setup(setup, key="probe-v1")
+        c = World().with_setup(setup, key="probe-v2")
+        assert a.digest is not None
+        assert a.digest == b.digest
+        assert a.digest != c.digest
+        assert a.digest != World().digest  # a keyed step is not a no-op
+
+    def test_keyed_setup_worlds_hit_the_boot_cache(self):
+        calls = []
+
+        def setup(kernel):
+            calls.append(1)
+            return len(calls)
+
+        clear_boot_cache()
+        first = World().with_setup(setup, key="counted").boot()
+        second = World().with_setup(setup, key="counted").boot()
+        assert calls == [1]            # second boot forked the template
+        assert boot_cache_size() == 1
+        assert first.pristine and second.pristine
+        assert second.fixtures["counted"] == 1
+
+    def test_keyed_setup_with_uncopyable_fixture_boots_privately(self):
+        """Regression: a fixture value that refuses deep-copy (a lock, a
+        handle) must keep the boot out of the template cache — not crash
+        it."""
+        import threading
+
+        def setup(kernel):
+            return threading.Lock()
+
+        clear_boot_cache()
+        world = World().with_setup(setup, key="locky").boot()
+        assert boot_cache_size() == 0          # kept private, no crash
+        assert world.digest is not None        # digest (and result cache) hold
+        assert world.pristine
+        world.session().run_ambient('#lang shill/ambient\nh = open_dir("/");\n')
+
+    def test_keyed_setup_worlds_are_result_cache_eligible(self):
+        from repro.api import Batch, clear_result_cache
+
+        def setup(kernel):
+            return None
+
+        clear_result_cache()
+        try:
+            src = '#lang shill/ambient\ndocs = open_dir("/tmp");\n'
+            def build():
+                return World().with_setup(setup, key="rc")
+            Batch(build()).add(src).run()
+            batch = Batch(build()).add(src)
+            batch.run()
+            assert batch.stats == {"jobs": 1, "cache_hits": 1, "forks": 0}
+        finally:
+            clear_result_cache()
+
     def test_pristine_tracks_mutation(self):
         world = World().with_jpeg_samples(owner="alice").boot()
         assert world.pristine
