@@ -1,22 +1,29 @@
-"""Batch executors, measured: sequential vs thread vs process vs store.
+"""Batch executors, measured: sequential vs thread vs process vs store
+vs remote.
 
 The thread executor serialises interpreter work on the GIL, so it buys
 concurrency but not cores; the process executor ships a picklable kernel
 snapshot to each worker; the store executor boots workers from a
-persistent on-disk snapshot store instead of re-pickling per run.  This
-file pins the claims the same way Figure 9 pins its rows:
+persistent on-disk snapshot store instead of re-pickling per run; the
+remote executor shards jobs across *agent host* subprocesses over the
+wire protocol, each agent booting from its own store.  This file pins
+the claims the same way Figure 9 pins its rows:
 
 * **op-gated equivalence** — every executor executes the identical
   deterministic kernel work (summed per-job op counts equal) and
   returns byte-identical results (``RunResult.fingerprint()``), for the
   measured Find workload *and* for all four case-study worlds;
 * **reported wall-clock** — per-executor means land in the printed table
-  and in ``BENCH_fig9.json`` as the ``Batch-Find`` row (``store`` is the
-  new column next to sequential / thread / process-parallel);
+  and in ``BENCH_fig9.json`` as the ``Batch-Find`` row (``remote`` is
+  the new column next to sequential / thread / process-parallel /
+  store);
 * **the speedup criterion** — on a 2+-core runner the process backend
   must beat the thread backend by >= 1.5x (best-of-rounds, like the fork
   engine's 2x criterion); single-core machines report the ratio without
-  asserting, since there is nothing to scale onto.
+  asserting, since there is nothing to scale onto;
+* **the warm-agent criterion** — an agent restarted over its own store
+  boots a linked world with **zero** world-build kernel ops and no blob
+  transfer (the ``Remote-Boot`` row, op-gated like ``Store-Boot``).
 """
 
 from __future__ import annotations
@@ -30,20 +37,24 @@ from conftest import RUNS, record_cell, record_row
 from repro.api import (
     Batch,
     ProcessExecutor,
+    RemoteExecutor,
     ScriptRegistry,
     SequentialExecutor,
     SnapshotStore,
     StoreExecutor,
     ThreadExecutor,
+    clear_boot_cache,
     clear_result_cache,
 )
 from repro.bench.harness import Sample
 from repro.casestudies.findgrep import usr_src_world
 from repro.casestudies.probes import case_study_batches
+from repro.remote.agent import spawn_local_agent
 
 WORKERS = 2
 JOBS = 10
 REPEATS = 3
+AGENTS = 2
 
 WALK_CAP = """\
 #lang shill/cap
@@ -67,12 +78,13 @@ walk = fun(cur, out) {
 WALK_AMBIENT = "#lang shill/ambient\n" + 'require "walk.cap";\n' + \
     'src = open_dir("/usr/src");\n' + "walk(src, stdout);\n" * 6
 
-#: fig9-style cell names; "store" is the new column.
+#: fig9-style cell names; "remote" is the new column.
 BACKEND_CELLS = {
     "sequential": "sequential",
     "thread": "thread",
     "process": "process-parallel",
     "store": "store",
+    "remote": "remote",
 }
 
 
@@ -84,14 +96,30 @@ def _store_root(tmp_path_factory) -> str:
         tmp_path_factory.mktemp("snapshot-store"))
 
 
-def _make_executor(backend: str, store_root: str):
+def _make_executor(backend: str, store_root: str, hosts=()):
     return {
         "sequential": lambda: SequentialExecutor(),
         "thread": lambda: ThreadExecutor(workers=WORKERS),
         "process": lambda: ProcessExecutor(workers=WORKERS),
         "store": lambda: StoreExecutor(store=SnapshotStore(store_root),
                                        workers=WORKERS),
+        "remote": lambda: RemoteExecutor(list(hosts),
+                                         store=SnapshotStore(store_root)),
     }[backend]()
+
+
+@pytest.fixture(scope="module")
+def remote_hosts(tmp_path_factory):
+    """Two real agent subprocesses — the smallest cluster — shared by
+    every remote cell in this module (their stores warm up across
+    batches exactly as a long-lived cluster's would)."""
+    root = tmp_path_factory.mktemp("agents")
+    agents = [spawn_local_agent(root / f"agent{i}") for i in range(AGENTS)]
+    yield [addr for _proc, addr in agents]
+    for proc, _addr in agents:
+        proc.kill()
+    for proc, _addr in agents:
+        proc.wait(timeout=10)
 
 
 def _build_batch() -> Batch:
@@ -111,14 +139,15 @@ def _sum_ops(results) -> dict[str, int]:
     return totals
 
 
-def _measure_backend(backend: str, store_root: str, repeats: int = REPEATS):
+def _measure_backend(backend: str, store_root: str, hosts=(),
+                     repeats: int = REPEATS):
     """Time ``repeats`` batch runs; returns (Sample, fingerprint list)."""
     sample = Sample(BACKEND_CELLS[backend])
     fingerprints: list[bytes] = []
     for _ in range(repeats):
         clear_result_cache()
         batch = _build_batch()
-        with _make_executor(backend, store_root) as executor:
+        with _make_executor(backend, store_root, hosts) as executor:
             start = time.perf_counter()
             results = batch.run(executor=executor)
             sample.seconds.append(time.perf_counter() - start)
@@ -128,11 +157,12 @@ def _measure_backend(backend: str, store_root: str, repeats: int = REPEATS):
 
 
 @pytest.fixture(scope="module")
-def backend_samples(tmp_path_factory):
+def backend_samples(tmp_path_factory, remote_hosts):
     """One measured (Sample, fingerprints) pair per executor, shared by
     the equivalence and speedup tests so the workload runs once."""
     store_root = _store_root(tmp_path_factory)
-    measured = {b: _measure_backend(b, store_root) for b in BACKEND_CELLS}
+    measured = {b: _measure_backend(b, store_root, remote_hosts)
+                for b in BACKEND_CELLS}
     cells = {}
     for backend, (sample, _prints) in measured.items():
         cells[BACKEND_CELLS[backend]] = sample
@@ -210,20 +240,96 @@ CASE_STUDY_BATCHES = case_study_batches()
 
 
 @pytest.mark.parametrize("name", sorted(CASE_STUDY_BATCHES))
-def test_every_executor_agrees_on_case_study_worlds(name, tmp_path_factory):
+def test_every_executor_agrees_on_case_study_worlds(name, tmp_path_factory,
+                                                    remote_hosts):
     """The acceptance criterion: all executors — sequential, thread,
-    process, store — produce byte-identical fingerprint lists for each
-    of the paper's four case-study worlds."""
+    process, store, remote (2 local agent hosts) — produce byte-identical
+    fingerprint lists for each of the paper's four case-study worlds."""
     build = CASE_STUDY_BATCHES[name]
     store_root = _store_root(tmp_path_factory)
 
     def run(backend):
         clear_result_cache()
-        with _make_executor(backend, store_root) as executor:
+        with _make_executor(backend, store_root, remote_hosts) as executor:
             return build().run(executor=executor)
 
     baseline = run("sequential")
     assert all(r.ok for r in baseline), baseline[0].stderr
-    for backend in ("thread", "process", "store"):
+    for backend in ("thread", "process", "store", "remote"):
         assert [r.fingerprint() for r in run(backend)] == \
             [r.fingerprint() for r in baseline], f"{name}/{backend}"
+
+
+# ---------------------------------------------------------------------------
+# the Remote-Boot row: warm agent stores boot with zero build ops
+# ---------------------------------------------------------------------------
+
+#: The Store-Boot world at the same scaled-down size, so the
+#: coordinator-build cell is comparable with Store-Boot/cold-build.
+REMOTE_BOOT_KWARGS = dict(subsystems=2, files_per_dir=4)
+
+REMOTE_BOOT_PROBE = ('#lang shill/ambient\n'
+                     'src = open_dir("/usr/src/sys00/dir0");\n'
+                     'append(stdout, path(src) + "\\n");\n')
+
+
+def _remote_boot_round(agent_store, coord_store):
+    """Spawn an agent over ``agent_store``, run one probe job, and
+    return (seconds, coordinator BootInfo, agent BootInfo, results)."""
+    clear_boot_cache()
+    clear_result_cache()
+    proc, addr = spawn_local_agent(agent_store)
+    try:
+        batch = Batch(usr_src_world(True, **REMOTE_BOOT_KWARGS), cache=False)
+        batch.add(REMOTE_BOOT_PROBE, name="probe")
+        with RemoteExecutor([addr], store=SnapshotStore(coord_store)) as executor:
+            start = time.perf_counter()
+            results = batch.run(executor=executor)
+            seconds = time.perf_counter() - start
+            return seconds, executor.boot_info, executor.host_boots[addr], results
+    finally:
+        proc.kill()
+        proc.wait(timeout=10)
+
+
+def test_warm_agent_store_boots_with_zero_build_ops(tmp_path_factory):
+    """The acceptance criterion, op-gated: restart an agent over its own
+    store and the next PREPARE restores the linked world from the
+    agent's disk — ``source == "store"``, zero world-build kernel ops,
+    no blob transfer — with fingerprints unchanged."""
+    agent_store = tmp_path_factory.mktemp("remote-agent-store")
+    # Fresh coordinator stores per round: the *agent's* warmth is under
+    # test, so the coordinator must rebuild (round 1) and re-link
+    # (round 2) rather than serve either side from a shared cache.
+    cold_s, cold_coord, cold_agent, cold_results = _remote_boot_round(
+        agent_store, tmp_path_factory.mktemp("coord-cold"))
+    warm_s, _warm_coord, warm_agent, warm_results = _remote_boot_round(
+        agent_store, tmp_path_factory.mktemp("coord-warm"))
+
+    cold = Sample("coordinator-build")
+    cold.seconds.append(cold_s)
+    cold.ops.append(dict(cold_coord.build_ops))
+    warm = Sample("agent-store-hit")
+    warm.seconds.append(warm_s)
+    warm.ops.append(dict(warm_agent.build_ops))
+    record_cell("Remote-Boot", "coordinator-build", cold)
+    record_cell("Remote-Boot", "agent-store-hit", warm)
+    record_row(
+        f"{'Remote-Boot':12s}coordinator-build={cold_s * 1000:8.2f}ms "
+        f"({cold_coord.build_ops_total} build ops, agent via "
+        f"{cold_agent.source})  "
+        f"agent-store-hit={warm_s * 1000:8.2f}ms "
+        f"({warm_agent.build_ops_total} agent build ops)"
+    )
+
+    # Cold round: the coordinator built the template and the agent
+    # received the blob over the wire.
+    assert cold_coord.source == "build" and cold_coord.build_ops_total > 0
+    assert cold_agent.source == "wire"
+    # Warm round: the restarted agent restored from its own store.
+    assert warm_agent.source == "store"
+    nonzero = {k: v for k, v in warm_agent.build_ops.items() if v}
+    assert nonzero == {}, (
+        f"warm agent boot performed kernel work it must not: {nonzero}")
+    assert [r.fingerprint() for r in warm_results] == \
+        [r.fingerprint() for r in cold_results]

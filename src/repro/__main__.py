@@ -33,6 +33,13 @@ Usage::
         Inspect / evict the persistent snapshot store the store
         executor boots from (default directory: $REPRO_STORE, else the
         user cache dir).
+
+    python -m repro agent --store DIR --port P [--host H]
+        Serve one worker host of a sharded batch cluster: a cluster is
+        just N agents.  Pair with
+        `python -m repro batch ... --executor remote --hosts H1:P1,H2:P2`
+        on the coordinator; snapshot blobs ship by digest and are
+        fetched from the agent's own store when it is warm.
 """
 
 from __future__ import annotations
@@ -113,11 +120,22 @@ def cmd_batch(args: argparse.Namespace) -> int:
     name = args.executor or args.backend
     if name is None:
         name = "thread" if args.parallel else "sequential"
-    if args.store is not None and name != "store":
+    if args.store is not None and name not in ("store", "remote"):
         _hostsys.stderr.write(
-            "repro batch: --store only applies to --executor store\n")
+            "repro batch: --store only applies to --executor store/remote\n")
         return 2
-    executor = resolve_executor(name, workers=args.workers, store=args.store)
+    hosts = [spec for spec in (args.hosts or "").split(",") if spec]
+    if (hosts or args.policy is not None) and name != "remote":
+        _hostsys.stderr.write(
+            "repro batch: --hosts/--policy only apply to --executor remote\n")
+        return 2
+    if name == "remote" and not hosts:
+        _hostsys.stderr.write(
+            "repro batch: --executor remote needs --hosts HOST:PORT[,...] "
+            "(start agents with `python -m repro agent`)\n")
+        return 2
+    executor = resolve_executor(name, workers=args.workers, store=args.store,
+                                hosts=hosts, policy=args.policy)
     try:
         with executor:
             results = batch.run(executor=executor)
@@ -227,9 +245,22 @@ def main(argv: list[str] | None = None) -> int:
     batch_p.add_argument("--parallel", action="store_true",
                          help="deprecated spelling of --executor thread")
     batch_p.add_argument("--store", default=None, metavar="DIR",
-                         help="snapshot store directory for --executor store "
-                              "(default: $REPRO_STORE, else the user cache dir)")
-    batch_p.add_argument("--workers", type=int, default=4)
+                         help="snapshot store directory for --executor "
+                              "store/remote (default: $REPRO_STORE, else the "
+                              "user cache dir)")
+    batch_p.add_argument("--hosts", default=None, metavar="HOST:PORT[,...]",
+                         help="agent addresses for --executor remote "
+                              "(start them with `python -m repro agent`)")
+    from repro.remote.hostpool import SHARDING_POLICIES
+
+    batch_p.add_argument("--policy", choices=list(SHARDING_POLICIES),
+                         default=None,
+                         help="sharding policy for --executor remote "
+                              "(default: round-robin)")
+    batch_p.add_argument("--workers", type=int, default=None,
+                         help="worker/dispatch width (default: each "
+                              "executor's own — 4, or the host count for "
+                              "--executor remote)")
     batch_p.add_argument("--json", action="store_true",
                          help="machine-readable per-job summary")
     batch_p.add_argument("--no-cache", action="store_true",
@@ -243,6 +274,17 @@ def main(argv: list[str] | None = None) -> int:
     store_gc.add_argument("--store", default=None, metavar="DIR")
     store_gc.add_argument("--keep", type=int, default=None,
                           help="blobs to retain (default: the store's LRU cap)")
+
+    # `repro agent` owns its own argparse (it is its own process shape);
+    # everything after the subcommand word passes through untouched.
+    sub.add_parser("agent", add_help=False,
+                   help="serve one worker host of a sharded batch cluster")
+    if argv is None:
+        argv = _hostsys.argv[1:]
+    if argv and argv[0] == "agent":
+        from repro.remote.agent import serve
+
+        return serve(argv[1:])
 
     args = parser.parse_args(argv)
     if args.command == "demo":

@@ -59,6 +59,7 @@ from repro.api.executors import (
     JobHandle,
     JobTemplate,
     ProcessExecutor,
+    RemoteExecutor,
     SequentialExecutor,
     SnapshotStore,
     StoreExecutor,
@@ -95,6 +96,7 @@ __all__ = [
     "ThreadExecutor",
     "ProcessExecutor",
     "StoreExecutor",
+    "RemoteExecutor",
     "SnapshotStore",
     "BoundedCache",
     "EXECUTOR_CHOICES",

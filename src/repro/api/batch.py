@@ -125,12 +125,21 @@ class Batch:
     ``scripts`` (a mapping or :class:`ScriptRegistry`) is the shared
     capability-script registry every job's session starts with.
     ``result_cache`` overrides the module-level shared result cache with
-    a private :class:`~repro.api.caching.BoundedCache`.  Typical flow::
+    a private :class:`~repro.api.caching.BoundedCache`.
 
-        batch = Batch(World().with_usr_src(), scripts=registry)
-        for user in users:
-            batch.add(AMBIENT_SRC, user=user)
-        results = batch.run(executor=ProcessExecutor(workers=8))
+    Example::
+
+        from repro.api import Batch, World
+
+        batch = Batch(World().for_user("alice").with_jpeg_samples())
+        for i in range(3):
+            batch.add('#lang shill/ambient\\n'
+                      'docs = open_dir("~/Documents");\\n'
+                      'append(stdout, path(docs) + "\\\\n");\\n',
+                      name=f"job{i}")
+        results = batch.run()     # or run(executor=ProcessExecutor(8))
+        assert [r.status for r in results] == [0, 0, 0]
+        assert batch.stats["cache_hits"] == 2   # identical jobs dispatch once
     """
 
     def __init__(

@@ -20,6 +20,17 @@ class BoundedCache:
     Eviction drops the oldest entry (least-recently-used when ``lru``,
     first-inserted otherwise) whenever the bound is exceeded; an evicted
     entry is simply recomputed by its owner on the next miss.
+
+    Example (a private result cache for one :class:`repro.api.Batch`)::
+
+        from repro.api import BoundedCache
+
+        cache = BoundedCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)              # bound exceeded: "a" evicted
+        assert cache.get("a") is None
+        assert cache.put("b", 99) == 2  # setdefault semantics
     """
 
     def __init__(self, maxsize: int, *, lru: bool = False) -> None:

@@ -1,17 +1,21 @@
 """repro.api.executors — pluggable execution strategies.
 
 The :class:`Executor` protocol (``submit``/``as_completed``/``map``/
-``close``) plus the four shipped strategies:
+``close``) plus the five shipped strategies:
 
 * :class:`SequentialExecutor` — the caller's thread; the reference;
 * :class:`ThreadExecutor` — a thread pool (concurrency, not cores);
 * :class:`ProcessExecutor` — kernel snapshots shipped to a process pool;
 * :class:`StoreExecutor` — a process pool whose workers (and
   coordinator) boot from a persistent, content-addressed
-  :class:`~repro.kernel.store.SnapshotStore` on disk.
+  :class:`~repro.kernel.store.SnapshotStore` on disk;
+* :class:`RemoteExecutor` — jobs sharded across agent *hosts*
+  (``python -m repro agent``) over the :mod:`repro.remote.wire`
+  protocol, with the snapshot store as the wire format.
 
 ``Batch`` and ``World.pool`` accept executor instances directly; the
 legacy ``backend=`` strings resolve through :func:`resolve_executor`.
+See ``docs/executors.md`` for how to author a new strategy.
 """
 
 from repro.api.executors.base import (
@@ -29,7 +33,8 @@ from repro.api.executors.base import (
 )
 from repro.api.executors.local import SequentialExecutor, ThreadExecutor
 from repro.api.executors.process import ProcessExecutor
-from repro.api.executors.store import StoreExecutor
+from repro.api.executors.remote import RemoteExecutor
+from repro.api.executors.store import StoreBootMixin, StoreExecutor
 from repro.kernel.store import SnapshotStore
 
 __all__ = [
@@ -43,6 +48,8 @@ __all__ = [
     "ThreadExecutor",
     "ProcessExecutor",
     "StoreExecutor",
+    "StoreBootMixin",
+    "RemoteExecutor",
     "SnapshotStore",
     "EXECUTOR_CHOICES",
     "DEFAULT_WORKERS",

@@ -58,8 +58,9 @@ if TYPE_CHECKING:
 
 #: The executor names ``resolve_executor`` (and therefore the ``backend=``
 #: deprecation shim, ``World.pool`` and the CLI ``--executor`` flag)
-#: accept.
-EXECUTOR_CHOICES = ("sequential", "thread", "process", "store")
+#: accept.  ``"remote"`` additionally needs ``hosts=`` (the CLI's
+#: ``--hosts``) naming its agent addresses.
+EXECUTOR_CHOICES = ("sequential", "thread", "process", "store", "remote")
 
 #: Default worker count when a caller names none.
 DEFAULT_WORKERS = 4
@@ -478,23 +479,45 @@ class Executor:
 
 
 def resolve_executor(backend: str, *, workers: "int | None" = None,
-                     store: Any = None) -> Executor:
+                     store: Any = None, hosts: Any = None,
+                     policy: "str | None" = None) -> Executor:
     """The deprecation shim from ``backend=`` strings to executors.
 
     ``Batch.run(backend="thread")`` and ``World.pool(backend=...)`` keep
     working by resolving here; new code constructs executor instances
     directly (``Batch(...).run(executor=ThreadExecutor(8))``).  ``store``
-    is forwarded to the store executor only.
+    is forwarded to the store and remote executors only; ``hosts`` (an
+    iterable of ``"host:port"`` agent addresses) and ``policy`` (a
+    sharding policy name) are required by / only meaningful for the
+    remote executor.
+
+    Example::
+
+        from repro.api import resolve_executor
+
+        executor = resolve_executor("thread", workers=2)
+        assert executor.name == "thread" and executor.workers == 2
+        executor.close()
     """
     from repro.api.executors.local import SequentialExecutor, ThreadExecutor
     from repro.api.executors.process import ProcessExecutor
+    from repro.api.executors.remote import RemoteExecutor
     from repro.api.executors.store import StoreExecutor
+
+    def make_remote() -> Executor:
+        if not hosts:
+            raise ValueError("the remote executor needs hosts= (agent "
+                             "addresses, e.g. ['127.0.0.1:7001']); start "
+                             "agents with `python -m repro agent`")
+        return RemoteExecutor(hosts=hosts, store=store, workers=workers,
+                              policy=policy or "round-robin")
 
     factories: dict[str, Callable[[], Executor]] = {
         "sequential": lambda: SequentialExecutor(workers=workers),
         "thread": lambda: ThreadExecutor(workers=workers),
         "process": lambda: ProcessExecutor(workers=workers),
         "store": lambda: StoreExecutor(store=store, workers=workers),
+        "remote": make_remote,
     }
     if backend not in factories:
         raise ValueError(

@@ -19,6 +19,17 @@ class SequentialExecutor(Executor):
     every other executor's fingerprints are gated against it.  Eager
     execution keeps ``submit → as_completed`` fully deterministic —
     a handle is already resolved when it is returned.
+
+    Example::
+
+        from repro.api import Batch, SequentialExecutor, World
+
+        world = World().for_user("alice").with_jpeg_samples()
+        with SequentialExecutor() as ex:
+            [result] = Batch(world, cache=False).add(
+                '#lang shill/ambient\\nappend(stdout, "hi\\\\n");\\n'
+            ).run(executor=ex)
+        assert result.stdout == "hi\\n"
     """
 
     name = "sequential"
@@ -40,6 +51,19 @@ class ThreadExecutor(Executor):
     interpreter work, so this buys overlap, not cores.  The pool is
     created lazily on first submit and survives rebinds (threads hold no
     per-template state — every job forks the currently bound kernel).
+
+    Example (scheduling cannot change the bytes)::
+
+        from repro.api import Batch, ThreadExecutor, World
+
+        src = '#lang shill/ambient\\nappend(stdout, "hi\\\\n");\\n'
+        world = World().for_user("alice").with_jpeg_samples()
+        with ThreadExecutor(workers=2) as ex:
+            batch = Batch(world, cache=False)
+            for i in range(4):
+                batch.add(src, name=f"job{i}")
+            results = batch.run(executor=ex)
+        assert len({r.fingerprint() for r in results}) == 1
     """
 
     name = "thread"

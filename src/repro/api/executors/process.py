@@ -118,6 +118,18 @@ class ProcessExecutor(Executor):
     Workers restore the template from a one-time pickle and fork per
     job.  Mapped callables (``fn`` jobs) and their return values must be
     picklable, i.e. module-level.
+
+    Example::
+
+        from repro.api import Batch, ProcessExecutor, World
+
+        world = World().for_user("alice").with_jpeg_samples()
+        with ProcessExecutor(workers=2) as ex:
+            batch = Batch(world, cache=False)
+            batch.add('#lang shill/ambient\\nappend(stdout, "a\\\\n");\\n')
+            batch.add('#lang shill/ambient\\nappend(stdout, "b\\\\n");\\n')
+            results = batch.run(executor=ex)
+        assert [r.stdout for r in results] == ["a\\n", "b\\n"]
     """
 
     name = "process"

@@ -1,0 +1,225 @@
+"""The remote executor: jobs sharded across agent hosts.
+
+The multi-host member of the executor family.  Where
+:class:`~repro.api.executors.process.ProcessExecutor` fans out to local
+worker processes, :class:`RemoteExecutor` fans out to N **agent
+processes** (``python -m repro agent``) over the wire protocol in
+:mod:`repro.remote.wire` — each agent a host with its own
+:class:`~repro.kernel.store.SnapshotStore`, restoring the bound
+template from disk when it already has the blob and pulling it over the
+wire exactly once when it does not.  The snapshot store is the wire
+format; ``prepare → bind → submit`` is the boot sequence; the agents
+run :func:`repro.api.executors.base.run_job`, the same single execution
+path as every local executor — which is why remote fingerprints are
+byte-identical to sequential ones (gated across all four case-study
+worlds in ``benchmarks/test_batch_backends.py``).
+
+Scheduling is delegated to a :class:`repro.remote.hostpool.HostPool`
+(round-robin or least-loaded).  Host death is survived, not hidden: a
+wire failure marks the host dead, the in-flight job retries on the
+survivors with the dead host excluded, and only when *no* hosts remain
+does the job fail — as a
+:class:`~repro.api.executors.base.BatchExecutionError` naming the job
+and every host it tried.  Agent-*reported* failures (an engine bug
+inside a job) are never retried: they are deterministic, and re-running
+them elsewhere would produce the same error with worse attribution.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import traceback as _traceback
+from concurrent.futures import Future, ThreadPoolExecutor
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.api.executors.base import (
+    BatchExecutionError,
+    BootInfo,
+    Executor,
+    ExecutorJob,
+    JobHandle,
+    JobTemplate,
+    portable_fixtures,
+)
+from repro.api.executors.store import StoreBootMixin
+from repro.kernel.store import SnapshotStore
+from repro.remote.hostpool import HostPool, HostSpec, HostState
+from repro.remote.wire import WireError, template_key
+
+
+class RemoteExecutor(StoreBootMixin, Executor):
+    """Jobs run on a pool of agent hosts, sharded per policy.
+
+    ``hosts`` is any iterable of ``"host:port"`` strings, ``(host,
+    port)`` tuples, or :class:`~repro.remote.hostpool.HostSpec`\\ s —
+    one per agent.  ``store`` roots the *coordinator's* local snapshot
+    store (the template is snapshotted into it once; agents that miss
+    fetch the blob over the wire and keep it in their own stores).
+    ``policy`` picks the sharding strategy (``"round-robin"`` or
+    ``"least-loaded"``); ``workers`` caps coordinator-side dispatch
+    concurrency and defaults to the host count, since each host carries
+    one lock-step connection.
+
+    Example (a two-host "cluster" on one machine)::
+
+        import tempfile
+        from repro.api import Batch, RemoteExecutor, World
+        from repro.remote.agent import spawn_local_agent
+
+        tmp = tempfile.mkdtemp()
+        agents = [spawn_local_agent(f"{tmp}/agent{i}") for i in range(2)]
+        try:
+            world = World().for_user("alice").with_jpeg_samples()
+            with RemoteExecutor([addr for _proc, addr in agents],
+                                store=f"{tmp}/coordinator") as ex:
+                results = Batch(world, cache=False).add(
+                    '#lang shill/ambient\\ndocs = open_dir("~/Documents");\\n'
+                ).run(executor=ex)
+            assert results[0].ok
+        finally:
+            for proc, _addr in agents:
+                proc.kill()
+    """
+
+    name = "remote"
+
+    def __init__(self, hosts: "Iterable[HostSpec | str | tuple[str, int]]",
+                 store: "SnapshotStore | Path | str | None" = None,
+                 policy: str = "round-robin",
+                 workers: "int | None" = None) -> None:
+        self.hosts = HostPool(hosts, policy=policy)
+        super().__init__(workers or len(self.hosts))
+        self._init_store(store)
+        #: "host:port" -> BootInfo of that host's last PREPARE, so tests
+        #: and benchmarks can gate "a warm agent store boots with zero
+        #: world-build kernel ops" per host.
+        self.host_boots: dict[str, BootInfo] = {}
+        #: template token -> the wire-protocol template key SUBMITs name
+        #: (computed once per bound template, not per job).
+        self._wire_keys: dict[tuple, str] = {}
+        self._dispatch: "ThreadPoolExecutor | None" = None
+        self._dispatch_lock = threading.Lock()
+
+    # -- protocol ----------------------------------------------------------
+
+    def _submit(self, template: JobTemplate, job: ExecutorJob) -> JobHandle:
+        # Owners may submit from several threads (the base class's
+        # _pending_lock exists for exactly that); the lazy pool must not
+        # be created twice, or the loser's threads leak past close().
+        with self._dispatch_lock:
+            if self._dispatch is None:
+                self._dispatch = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="remote-dispatch")
+            dispatch = self._dispatch
+        future: Future = dispatch.submit(self._run_remote, template, job)
+        return JobHandle(job, future)
+
+    def close(self) -> None:
+        with self._dispatch_lock:
+            dispatch, self._dispatch = self._dispatch, None
+        if dispatch is not None:
+            dispatch.shutdown(wait=True)
+        self.hosts.close_all()
+
+    # -- one job, end to end -----------------------------------------------
+
+    def _run_remote(self, template: JobTemplate, job: ExecutorJob) -> Any:
+        """Shard, prepare, run — retrying on fresh hosts as they die.
+
+        The loop terminates: every failed attempt excludes its host for
+        this job *and* marks it dead for everyone, so each iteration
+        strictly shrinks the candidate set.
+        """
+        tried: list[str] = []
+        excluded: set[HostSpec] = set()
+        while True:
+            try:
+                host = self.hosts.pick(excluded=excluded)
+            except LookupError:
+                raise BatchExecutionError(
+                    job.name, job.user or template.default_user,
+                    "".join(_traceback.format_stack(limit=8)),
+                    message="no live hosts left"
+                            + (f" (hosts tried: {', '.join(tried)})" if tried
+                               else f" ({self.hosts.describe()})"))
+            try:
+                with self.hosts.lease(host), host.lock:
+                    wire_key = self._ensure_prepared(host, template)
+                    reply = host.connection().request(
+                        "SUBMIT", *self._encode(job, wire_key))
+            except (WireError, OSError) as err:
+                # The *host* failed (died mid-job, unreachable, spoke
+                # garbage) — take it out of rotation for everyone, and
+                # exclude it for *this* job so the retry can never land
+                # back on the host that just ate it.
+                self.hosts.mark_dead(host, err)
+                excluded.add(host.spec)
+                tried.append(f"{host.spec} ({type(err).__name__}: {err})")
+                continue
+            return self._decode(reply)
+
+    @staticmethod
+    def _encode(job: ExecutorJob, wire_key: str) -> tuple[dict, bytes]:
+        fields = {"index": job.index, "name": job.name, "user": job.user,
+                  "source": job.source, "has_fn": job.fn is not None,
+                  # SUBMIT names its template: agents hold many at once,
+                  # and a reused executor must never run against
+                  # whichever template this connection prepared last.
+                  "template": wire_key}
+        return fields, pickle.dumps(job.fn) if job.fn is not None else b""
+
+    @staticmethod
+    def _decode(reply) -> Any:
+        reply.expect("RESULT")
+        if reply.fields.get("status") == "error":
+            # A deterministic failure *inside* the job on a healthy
+            # host: re-raise with the agent's attribution, never retry.
+            raise BatchExecutionError(
+                reply.fields.get("name") or "<unknown>",
+                reply.fields.get("user"),
+                reply.fields.get("traceback") or "")
+        return pickle.loads(reply.blob)
+
+    # -- host preparation --------------------------------------------------
+
+    def _ensure_prepared(self, host: HostState, template: JobTemplate) -> str:
+        """PREPARE ``host`` for ``template`` once (per template
+        signature): ship the snapshot digest; ship the bytes only if the
+        agent's own store misses.  Caller holds ``host.lock``.  Returns
+        the wire template key SUBMITs must name.
+        """
+        digest = self._snapshot_into_store(template)
+        wire_key = self._wire_keys.get(template.token)
+        if wire_key is None:
+            wire_key = template_key(digest, template.scripts,
+                                    template.default_user,
+                                    template.install_shill)
+            self._wire_keys[template.token] = wire_key
+        if wire_key in host.prepared:
+            return wire_key
+        conn = host.connection()
+        reply = conn.request("PREPARE", {
+            "snapshot": digest,
+            "scripts": [[name, source] for name, source in template.scripts],
+            "default_user": template.default_user,
+            "install_shill": template.install_shill,
+            "stats": dict(template.kernel.stats.snapshot()),
+        }, pickle.dumps(portable_fixtures(template.fixtures)))
+        if reply.type == "NEED":
+            # The agent's store misses: ship the blob exactly once, in
+            # the store's self-verifying export framing.
+            reply = conn.request("BLOB", {"snapshot": digest},
+                                 self.store.export_blob(digest))
+        reply.expect("READY")
+        host.prepared.add(wire_key)
+        self.host_boots[str(host.spec)] = BootInfo(
+            source=reply.fields.get("source", "unknown"), snapshot=digest,
+            build_ops=dict(reply.fields.get("build_ops", {})))
+        return wire_key
+
+    def __repr__(self) -> str:
+        return (f"<RemoteExecutor {self.hosts!r} store={self.store.root} "
+                f"workers={self.workers}>")

@@ -11,15 +11,18 @@ addressed :class:`repro.kernel.store.SnapshotStore` instead:
 * the world digest is **linked** to its snapshot, so a later run — in a
   *different process*, on a different day, from a restored CI cache —
   resolves the link and restores the template straight from disk:
-  :meth:`prepare` then performs **zero template-build kernel ops**
-  (gated by ``benchmarks/test_snapshot_store.py``);
+  :meth:`StoreBootMixin.prepare` then performs **zero template-build
+  kernel ops** (gated by ``benchmarks/test_snapshot_store.py``);
 * the restored template is seeded into the in-process boot cache, so
   everything downstream (forks per job, result-cache keys, pristine
   checks) behaves exactly as if the world had been built.
 
-This is the foundation the sharded/remote executor plugs into next: the
-store is the wire format on disk, and ``prepare → bind → submit`` is
-the boot protocol a remote host follows.
+The store-boot behaviour lives in :class:`StoreBootMixin` because two
+executors share it: this one (store → local worker processes) and the
+:class:`~repro.api.executors.remote.RemoteExecutor` (store → the wire →
+agent hosts, each with a store of its own).  The store is the wire
+format on disk, and ``prepare → bind → submit`` is the boot protocol a
+remote host follows.
 """
 
 from __future__ import annotations
@@ -35,20 +38,22 @@ if TYPE_CHECKING:
     from repro.api.worlds import World
 
 
-class StoreExecutor(ProcessExecutor):
-    """A process executor whose workers boot from a persistent store.
+class StoreBootMixin:
+    """Store-backed ``prepare()`` + snapshot bookkeeping, shared by the
+    executors whose boot path goes through a persistent
+    :class:`SnapshotStore` (local worker fleets and remote agents).
 
-    ``store`` is a :class:`SnapshotStore`, a directory path, or ``None``
-    (the default store root: ``$REPRO_STORE`` or the user cache dir).
-    ``boot_info`` records how the last :meth:`prepare` obtained its
-    template — ``"store"`` boots report an all-zero ``build_ops`` delta.
+    Mixed in *before* the concrete :class:`~repro.api.executors.base.
+    Executor` base so :meth:`prepare` overrides the plain build path;
+    ``super().prepare(world)`` reaches the base strategy when the store
+    cannot help.  Concrete classes call :meth:`_init_store` from their
+    constructor.
     """
 
-    name = "store"
+    store: SnapshotStore
+    boot_info: BootInfo
 
-    def __init__(self, store: "SnapshotStore | Path | str | None" = None,
-                 workers: "int | None" = None) -> None:
-        super().__init__(workers)
+    def _init_store(self, store: "SnapshotStore | Path | str | None") -> None:
         self.store = store if isinstance(store, SnapshotStore) else SnapshotStore(store)
         self.boot_info = BootInfo(source="unprepared")
         #: template token -> blob digest, so one executor never snapshots
@@ -65,8 +70,8 @@ class StoreExecutor(ProcessExecutor):
         reported ``build_ops`` delta — current kernel op counters minus
         the counters recorded when the link was written — is zero unless
         the restore path executed kernel work it should not have.  On a
-        miss the world boots normally and :meth:`bind` will write the
-        blob + link so the *next* process hits.
+        miss the world boots normally and the blob + link are written so
+        the *next* process hits.
         """
         if world.booted:
             self.boot_info = BootInfo(source="booted")
@@ -93,8 +98,8 @@ class StoreExecutor(ProcessExecutor):
                 info = self._boot_from_store(world, snapshot_digest, meta)
             except SnapshotError:
                 # A stale blob (codec version bump, torn write survived a
-                # crash) is a cache miss, never an error: rebuild, and
-                # bind() re-links over the bad entry.
+                # crash) is a cache miss, never an error: rebuild and
+                # re-link over the bad entry.
                 resolved = None
         if resolved is None:
             info = super().prepare(world)  # the plain build path
@@ -135,19 +140,11 @@ class StoreExecutor(ProcessExecutor):
         # store-hit benchmark gate fails on it).
         build_ops = KernelStats.delta(meta.get("stats", {}),
                                       world.kernel.stats.snapshot())
-        # Workers can boot from the very blob we restored — no re-pickle.
+        # Downstream consumers (workers, agents) can boot from the very
+        # blob we restored — no re-pickle.
         self._snapshots[JobTemplate.token_for(world)] = snapshot_digest
         return BootInfo(source="store", snapshot=snapshot_digest,
                         build_ops=build_ops)
-
-    # -- worker-side boot --------------------------------------------------
-
-    def _worker_boot(self, template: JobTemplate) -> tuple:
-        snapshot_digest = self._snapshot_into_store(template)
-        return (_store_worker_init,
-                (str(self.store.root), snapshot_digest, template.scripts,
-                 template.default_user, portable_fixtures(template.fixtures),
-                 template.install_shill))
 
     def _snapshot_into_store(self, template: JobTemplate) -> str:
         """Ensure the template's snapshot is a store blob; link its world
@@ -172,6 +169,44 @@ class StoreExecutor(ProcessExecutor):
                 "world_version": WORLD_IMAGE_VERSION,
             })
         return snapshot_digest
+
+
+class StoreExecutor(StoreBootMixin, ProcessExecutor):
+    """A process executor whose workers boot from a persistent store.
+
+    ``store`` is a :class:`SnapshotStore`, a directory path, or ``None``
+    (the default store root: ``$REPRO_STORE`` or the user cache dir).
+    ``boot_info`` records how the last :meth:`~StoreBootMixin.prepare`
+    obtained its template — ``"store"`` boots report an all-zero
+    ``build_ops`` delta.
+
+    Example::
+
+        from repro.api import Batch, StoreExecutor, World
+
+        world = World().for_user("alice").with_jpeg_samples()
+        with StoreExecutor(store="/tmp/snapstore", workers=2) as ex:
+            results = Batch(world).add(
+                '#lang shill/ambient\\ndocs = open_dir("~/Documents");\\n'
+            ).run(executor=ex)
+        assert results[0].ok
+    """
+
+    name = "store"
+
+    def __init__(self, store: "SnapshotStore | Path | str | None" = None,
+                 workers: "int | None" = None) -> None:
+        super().__init__(workers)
+        self._init_store(store)
+
+    # -- worker-side boot --------------------------------------------------
+
+    def _worker_boot(self, template: JobTemplate) -> tuple:
+        snapshot_digest = self._snapshot_into_store(template)
+        return (_store_worker_init,
+                (str(self.store.root), snapshot_digest, template.scripts,
+                 template.default_user, portable_fixtures(template.fixtures),
+                 template.install_shill))
 
     def __repr__(self) -> str:
         return f"<StoreExecutor workers={self.workers} store={self.store.root}>"

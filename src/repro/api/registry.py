@@ -16,7 +16,20 @@ SCRIPT_SUFFIXES = (".cap", ".ambient")
 
 
 class ScriptRegistry:
-    """An ordered name → source mapping with fluent loaders."""
+    """An ordered name → source mapping with fluent loaders.
+
+    Example::
+
+        from repro.api import ScriptRegistry
+
+        registry = ScriptRegistry().add(
+            "hello.cap",
+            "#lang shill/cap\\n"
+            "provide hello : {out : file(+append)} -> void;\\n"
+            'hello = fun(out) { append(out, "hi\\\\n"); }\\n')
+        assert "hello.cap" in registry
+        assert registry.as_dict()["hello.cap"].startswith("#lang shill/cap")
+    """
 
     def __init__(self, scripts: Mapping[str, str] | None = None) -> None:
         self._scripts: dict[str, str] = dict(scripts or {})

@@ -88,6 +88,19 @@ class RunResult:
       the error that failed the run (diagnostic only: its frames name
       whichever backend ran the job, so it is excluded from
       :meth:`fingerprint` the same way wall-clock timings are).
+
+    Example::
+
+        from repro.api import World
+
+        world = World().for_user("alice").with_jpeg_samples()
+        result = world.session().run_ambient(
+            '#lang shill/ambient\\n'
+            'docs = open_dir("~/Documents");\\n'
+            'append(stdout, path(docs) + "\\\\n");\\n')
+        assert result.ok and result.stdout.endswith("Documents\\n")
+        assert result.ops["vnode_ops"] > 0
+        assert isinstance(result.fingerprint(), bytes)
     """
 
     stdout: str = ""

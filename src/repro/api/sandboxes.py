@@ -22,6 +22,18 @@ class Sandbox:
 
     Each :meth:`exec` boots a fresh sandbox session from the policy, so
     one :class:`Sandbox` can run many commands under identical rules.
+
+    Example (the §3.2.2 ``shill-run`` debugging flow)::
+
+        from repro.api import World
+
+        world = World().boot()
+        sandbox = world.sandbox("")           # an empty policy grants nothing
+        result = sandbox.exec(["/bin/cat", "/etc/passwd"])
+        assert result.status != 0 and result.denied
+        debug = world.sandbox("", debug=True)  # auto-grant and report
+        granted = debug.exec(["/bin/cat", "/etc/passwd"])
+        assert granted.ok and granted.auto_granted
     """
 
     def __init__(

@@ -49,6 +49,18 @@ class Session:
     ``world`` may be a :class:`repro.api.World` (booted on demand) or a
     raw :class:`~repro.kernel.kernel.Kernel`.  ``user`` defaults to the
     world's default user (``for_user``), or root for a bare kernel.
+
+    Example::
+
+        from repro.api import World
+
+        world = World().for_user("alice").with_jpeg_samples()
+        session = world.session()
+        result = session.run_ambient(
+            '#lang shill/ambient\\n'
+            'docs = open_dir("~/Documents");\\n'
+            'append(stdout, path(docs) + "\\\\n");\\n')
+        assert result.ok and result.stdout.endswith("Documents\\n")
     """
 
     def __init__(

@@ -66,6 +66,8 @@ def clear_boot_cache() -> None:
 
 
 def boot_cache_size() -> int:
+    """Booted template kernels currently held by the module-level
+    boot-image cache (one entry per distinct world config digest)."""
     return len(_BOOT_CACHE)
 
 
@@ -92,6 +94,17 @@ class World:
     Fluent ``with_*`` / ``for_user`` calls queue build steps; ``boot()``
     runs them once and is idempotent afterwards.  Fixture helpers record
     their return values (paths, counts, blobs) under ``world.fixtures``.
+
+    Example::
+
+        from repro.api import World
+
+        world = World().for_user("alice").with_file("/tmp/data.txt", "hi")
+        world.boot()
+        assert world.read_file("/tmp/data.txt") == b"hi"
+        fork = world.fork()
+        fork.write_file("/tmp/data.txt", "changed")
+        assert world.read_file("/tmp/data.txt") == b"hi"   # forks are isolated
     """
 
     def __init__(self, *, install_shill: bool = True) -> None:

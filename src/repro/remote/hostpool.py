@@ -1,0 +1,209 @@
+"""The coordinator's host registry: who is alive, who gets the next job.
+
+A :class:`HostPool` holds one :class:`HostState` per agent address and
+answers one question — *which live host should this job go to?* — under
+one of two sharding policies:
+
+* ``"round-robin"`` — rotate through live hosts in registration order;
+  fair and predictable when jobs are uniform;
+* ``"least-loaded"`` — pick the live host with the fewest in-flight
+  jobs (registration order breaks ties); better when job costs vary,
+  since a host stuck on a heavy job stops receiving new ones.
+
+Health is observational, not probed: a host is healthy until a wire
+operation against it fails, at which point the executor calls
+:meth:`HostPool.mark_dead` and the pool stops offering it.  Jobs that
+were committed to a dead host retry on the survivors with the dead host
+*excluded* (the per-job ``excluded`` set passed to :meth:`pick`), so a
+flapping host cannot trap a job in a retry loop against itself; when
+every host is dead or excluded, :meth:`pick` raises ``LookupError`` and
+the executor surfaces a typed
+:class:`~repro.api.executors.base.BatchExecutionError` naming the job
+and the hosts it tried.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.remote.wire import Connection, connect
+
+#: The sharding policies :class:`HostPool` (and therefore
+#: ``RemoteExecutor(policy=...)`` and the CLI's ``repro batch --policy``
+#: flag) accepts.
+SHARDING_POLICIES = ("round-robin", "least-loaded")
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """One agent address.
+
+    Constructed directly, or parsed from the ``"host:port"`` spelling
+    the CLI's ``--hosts`` flag uses::
+
+        >>> HostSpec.parse("127.0.0.1:7001")
+        HostSpec(host='127.0.0.1', port=7001)
+    """
+
+    host: str
+    port: int
+
+    @classmethod
+    def parse(cls, spec: "HostSpec | str | tuple[str, int]") -> "HostSpec":
+        if isinstance(spec, HostSpec):
+            return spec
+        if isinstance(spec, tuple):
+            return cls(spec[0], int(spec[1]))
+        host, sep, port = spec.rpartition(":")
+        if not sep or not port.isdigit():
+            raise ValueError(f"host spec {spec!r} is not 'host:port'")
+        return cls(host, int(port))
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+class HostState:
+    """Per-host book-keeping the pool and executor share.
+
+    ``lock`` serialises the host's single lock-step connection;
+    ``prepared`` records which template signatures this host has already
+    restored (so rebinding the same template costs nothing); ``inflight``
+    feeds the least-loaded policy.
+    """
+
+    def __init__(self, spec: HostSpec) -> None:
+        self.spec = spec
+        self.lock = threading.Lock()
+        self.conn: "Connection | None" = None
+        self.alive = True
+        self.inflight = 0
+        self.jobs_done = 0
+        self.prepared: set = set()
+        self.last_error: "str | None" = None
+
+    def connection(self) -> Connection:
+        """The host's (lazily opened, handshaken) connection.  Callers
+        hold ``self.lock``; a connect failure propagates as
+        :class:`~repro.remote.wire.WireError` for the executor's retry
+        machinery."""
+        if self.conn is None:
+            self.conn, _hello = connect(self.spec.host, self.spec.port)
+        return self.conn
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else f"dead ({self.last_error})"
+        return f"<Host {self.spec} {state} inflight={self.inflight} done={self.jobs_done}>"
+
+
+class HostPool:
+    """The registry + sharding policy over a set of agent hosts."""
+
+    def __init__(self, hosts: "Iterable[HostSpec | str | tuple[str, int]]",
+                 policy: str = "round-robin") -> None:
+        if policy not in SHARDING_POLICIES:
+            raise ValueError(f"unknown sharding policy {policy!r}; "
+                             f"choices: {', '.join(SHARDING_POLICIES)}")
+        self.policy = policy
+        self._hosts = [HostState(HostSpec.parse(spec)) for spec in hosts]
+        if not self._hosts:
+            raise ValueError("a host pool needs at least one host")
+        seen: set[str] = set()
+        for host in self._hosts:
+            if str(host.spec) in seen:
+                raise ValueError(f"duplicate host {host.spec}")
+            seen.add(str(host.spec))
+        self._lock = threading.Lock()
+        self._rr_next = 0
+
+    def __len__(self) -> int:
+        return len(self._hosts)
+
+    def __iter__(self) -> Iterator[HostState]:
+        return iter(self._hosts)
+
+    @property
+    def hosts(self) -> list[HostState]:
+        return list(self._hosts)
+
+    def live(self) -> list[HostState]:
+        return [h for h in self._hosts if h.alive]
+
+    # -- sharding ----------------------------------------------------------
+
+    def pick(self, excluded: "Iterable[HostSpec]" = ()) -> HostState:
+        """The next host for one job, per policy, among live hosts not
+        in ``excluded``; raises ``LookupError`` when none qualify."""
+        shunned = {HostSpec.parse(e) if not isinstance(e, HostSpec) else e
+                   for e in excluded}
+        with self._lock:
+            candidates = [h for h in self._hosts
+                          if h.alive and h.spec not in shunned]
+            if not candidates:
+                raise LookupError("no live hosts available")
+            if self.policy == "least-loaded":
+                return min(candidates, key=lambda h: h.inflight)
+            # round-robin over the *registered* ring so the rotation
+            # stays stable as hosts die and (future) hosts join.
+            for _ in range(len(self._hosts)):
+                host = self._hosts[self._rr_next % len(self._hosts)]
+                self._rr_next += 1
+                if host in candidates:
+                    return host
+            return candidates[0]
+
+    @contextmanager
+    def lease(self, host: HostState) -> Iterator[HostState]:
+        """Scope one job's occupancy of ``host`` (feeds least-loaded).
+        ``jobs_done`` counts only leases that completed — a host that
+        died mid-job must not be credited with the work it ate."""
+        with self._lock:
+            host.inflight += 1
+        try:
+            yield host
+        except BaseException:
+            with self._lock:
+                host.inflight -= 1
+            raise
+        with self._lock:
+            host.inflight -= 1
+            host.jobs_done += 1
+
+    # -- health ------------------------------------------------------------
+
+    def mark_dead(self, host: HostState, error: "BaseException | str") -> None:
+        """Take ``host`` out of rotation and drop its connection.  The
+        pool never resurrects a host — agents are cheap; restart one and
+        build a fresh executor (or pool) to re-admit it."""
+        with self._lock:
+            host.alive = False
+            host.last_error = str(error)
+            conn, host.conn = host.conn, None
+        if conn is not None:
+            conn.close()
+
+    def describe(self) -> str:
+        """One line per host, for error messages and ``repr``."""
+        return "; ".join(repr(h) for h in self._hosts)
+
+    def close_all(self, farewell: bool = True) -> None:
+        """Close every connection (sending GOODBYE to live peers when
+        ``farewell`` — best-effort; a dead peer is already gone)."""
+        for host in self._hosts:
+            with self._lock:
+                conn, host.conn = host.conn, None
+            if conn is None:
+                continue
+            if farewell and host.alive:
+                try:
+                    conn.send("GOODBYE")
+                except Exception:
+                    pass
+            conn.close()
+
+    def __repr__(self) -> str:
+        live = len(self.live())
+        return f"<HostPool {live}/{len(self._hosts)} live policy={self.policy!r}>"

@@ -1,0 +1,235 @@
+"""The agent wire protocol: length-prefixed JSON headers + binary blobs.
+
+One **frame** is::
+
+    !II          header length, blob length (big-endian, 4 bytes each)
+    header       UTF-8 JSON object; ``"type"`` names the message
+    blob         raw bytes (snapshot blobs, pickled fixtures/results)
+
+Everything structural (message type, job metadata, digests, op counts)
+rides in the JSON header, so a frame is inspectable with nothing but a
+socket dump; everything *opaque* (snapshot bytes, pickled
+``RunResult``\\ s and fixture records) rides in the blob, so JSON never
+sees bytes it cannot represent.  Frames are capped at
+:data:`MAX_FRAME_BYTES` — a corrupt length prefix must fail fast, not
+allocate gigabytes.
+
+The conversation is strictly lock-step (one request, one reply, on one
+connection), which keeps both ends free of reordering logic; the
+coordinator gets parallelism from *many connections* (one per host),
+not from pipelining on one.
+
+::
+
+    coordinator                               agent
+    -----------                               -----
+    HELLO {version}                     ->
+                                        <-    HELLO {version, pid, store}
+    PREPARE {snapshot, scripts, ...}    ->
+                                        <-    READY {source, build_ops}
+                                              … or NEED {snapshot}, then:
+    BLOB {snapshot} + blob bytes        ->
+                                        <-    READY {source: "wire", ...}
+    SUBMIT {index, name, user} [+ fn]   ->
+                                        <-    RESULT {status} + result blob
+    GOODBYE                             ->    (agent closes)
+
+Version negotiation happens once, in HELLO: both sides send
+:data:`WIRE_VERSION` and a mismatch raises :class:`WireVersionError`
+(the agent also refuses with an ERROR frame so old coordinators get a
+readable diagnostic instead of a codec explosion).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import socket
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.errors import ReproError
+
+#: Bumped whenever frames or the message vocabulary change incompatibly.
+#: Both ends refuse to talk across a mismatch — a cluster is upgraded by
+#: restarting its agents, never by limping through a mixed protocol.
+WIRE_VERSION = 1
+
+#: Hard cap on one frame (header + blob).  Snapshot blobs are hundreds
+#: of KiB; 256 MiB is comfortably above any real machine image while
+#: still failing fast on a corrupt length prefix.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_HEAD = struct.Struct("!II")
+
+
+def template_key(snapshot: str, scripts: "Iterable[Iterable[str]]",
+                 default_user: str, install_shill: bool) -> str:
+    """The protocol-level identity of one prepared template.
+
+    Both ends compute it from the same PREPARE ingredients — snapshot
+    digest, script registry, default user, install flag — so a SUBMIT
+    can name exactly which template it runs against.  An agent may hold
+    many templates at once (one coordinator sweeping many worlds, or
+    many coordinators); without this key in SUBMIT, a reused connection
+    would silently run jobs against whichever template was prepared
+    *last*.
+    """
+    basis = json.dumps(
+        [snapshot, [list(pair) for pair in scripts], default_user,
+         bool(install_shill)],
+        sort_keys=True)
+    return hashlib.sha256(basis.encode()).hexdigest()
+
+
+class WireError(ReproError):
+    """The conversation broke: bad frame, unexpected message, dead peer."""
+
+
+class WireClosed(WireError):
+    """The peer closed the connection (cleanly or mid-frame)."""
+
+
+class WireVersionError(WireError):
+    """The two ends speak different :data:`WIRE_VERSION`\\ s."""
+
+
+@dataclass(frozen=True)
+class Message:
+    """One decoded frame.
+
+    ``type`` is the message name (``"HELLO"``, ``"SUBMIT"``, …),
+    ``fields`` the rest of the JSON header, ``blob`` the binary payload
+    (empty for most messages).
+    """
+
+    type: str
+    fields: dict[str, Any] = field(default_factory=dict)
+    blob: bytes = b""
+
+    def expect(self, *types: str) -> "Message":
+        """Assert this message is one of ``types`` (protocol checking on
+        both ends); an agent-side ERROR frame re-raises as the error it
+        reports."""
+        if self.type == "ERROR" and "ERROR" not in types:
+            raise WireError(f"peer reported: {self.fields.get('error', 'unknown')}")
+        if self.type not in types:
+            raise WireError(
+                f"expected {' or '.join(types)}, got {self.type!r}")
+        return self
+
+
+class Connection:
+    """A framed, lock-step connection over one TCP socket.
+
+    Thin by design: :meth:`send` writes one frame, :meth:`recv` reads
+    one, :meth:`request` does a round trip.  Thread safety is the
+    caller's job (the executor holds a per-host lock; the agent talks to
+    one coordinator per connection thread).
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        # TCP_NODELAY: frames are small request/reply pairs; Nagle would
+        # add 40ms floors to every job round trip.
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+
+    # -- frames ------------------------------------------------------------
+
+    def send(self, type_: str, fields: "dict[str, Any] | None" = None,
+             blob: bytes = b"") -> None:
+        header = dict(fields or {})
+        header["type"] = type_
+        payload = json.dumps(header, separators=(",", ":"),
+                             sort_keys=True).encode()
+        if len(payload) + len(blob) > MAX_FRAME_BYTES:
+            raise WireError(f"frame too large: {len(payload) + len(blob)} bytes")
+        try:
+            self._sock.sendall(_HEAD.pack(len(payload), len(blob)) + payload + blob)
+        except OSError as err:
+            raise WireClosed(f"send failed: {err}") from err
+
+    def recv(self) -> Message:
+        head = self._read_exact(_HEAD.size, eof_ok=True)
+        if head is None:
+            raise WireClosed("connection closed")
+        header_len, blob_len = _HEAD.unpack(head)
+        if header_len + blob_len > MAX_FRAME_BYTES:
+            raise WireError(f"frame too large: {header_len + blob_len} bytes "
+                            "(corrupt length prefix?)")
+        payload = self._read_exact(header_len)
+        blob = self._read_exact(blob_len) if blob_len else b""
+        try:
+            header = json.loads(payload.decode())
+            type_ = header.pop("type")
+        except (ValueError, KeyError) as err:
+            raise WireError(f"bad frame header: {err}") from err
+        return Message(type_, header, blob)
+
+    def request(self, type_: str, fields: "dict[str, Any] | None" = None,
+                blob: bytes = b"") -> Message:
+        """One lock-step round trip."""
+        self.send(type_, fields, blob)
+        return self.recv()
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _read_exact(self, n: int, eof_ok: bool = False) -> "bytes | None":
+        """``n`` bytes or bust: a short read mid-frame is always an
+        error; EOF *between* frames is a clean close when ``eof_ok``."""
+        chunks: list[bytes] = []
+        remaining = n
+        while remaining:
+            try:
+                chunk = self._sock.recv(min(remaining, 1 << 20))
+            except OSError as err:
+                raise WireClosed(f"recv failed: {err}") from err
+            if not chunk:
+                if eof_ok and remaining == n:
+                    return None
+                raise WireClosed(
+                    f"connection closed mid-frame ({n - remaining}/{n} bytes)")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+
+def client_handshake(conn: Connection) -> Message:
+    """The coordinator side of HELLO: send our version, check theirs."""
+    reply = conn.request("HELLO", {"version": WIRE_VERSION}).expect("HELLO")
+    peer = reply.fields.get("version")
+    if peer != WIRE_VERSION:
+        raise WireVersionError(
+            f"agent speaks wire version {peer}, we speak {WIRE_VERSION} "
+            "(restart the older side)")
+    return reply
+
+
+def connect(host: str, port: int, timeout: "float | None" = 10.0,
+            ) -> tuple[Connection, Message]:
+    """Open a handshaken connection to an agent; returns the connection
+    and the agent's HELLO (pid, store root — useful for diagnostics)."""
+    try:
+        sock = socket.create_connection((host, port), timeout=timeout)
+    except OSError as err:
+        raise WireClosed(f"cannot reach agent at {host}:{port}: {err}") from err
+    # The handshake timeout guards connect; after it, block normally —
+    # jobs legitimately take longer than any handshake should.
+    conn = Connection(sock)
+    try:
+        hello = client_handshake(conn)
+    except WireError:
+        conn.close()
+        raise
+    sock.settimeout(None)
+    return conn, hello

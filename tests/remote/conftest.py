@@ -1,0 +1,42 @@
+"""Shared fixtures for the remote subsystem: real agent subprocesses.
+
+Every test that talks to an agent spawns a genuine ``python -m repro
+agent`` process over a tmp-dir store — the wire, the store, and the
+process boundary are all real; only the network is loopback.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import clear_result_cache
+from repro.remote.agent import spawn_local_agent
+
+#: The fault-injection marker the host-death tests plant in scripts.
+CHAOS_MARKER = "CHAOS-DIE-HERE"
+
+
+@pytest.fixture(autouse=True)
+def _fresh_result_cache():
+    clear_result_cache()
+    yield
+    clear_result_cache()
+
+
+@pytest.fixture
+def agent_factory(tmp_path):
+    """Spawn agents that are reliably killed at test end; yields
+    ``spawn(name, chaos_exit_on=None) -> (proc, "host:port")``."""
+    procs = []
+
+    def spawn(name: str, chaos_exit_on: "str | None" = None):
+        proc, addr = spawn_local_agent(tmp_path / f"store-{name}",
+                                       chaos_exit_on=chaos_exit_on)
+        procs.append(proc)
+        return proc, addr
+
+    yield spawn
+    for proc in procs:
+        proc.kill()
+    for proc in procs:
+        proc.wait(timeout=10)

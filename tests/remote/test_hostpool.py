@@ -1,0 +1,89 @@
+"""HostPool: parsing, sharding policies, health, and exclusion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.remote.hostpool import SHARDING_POLICIES, HostPool, HostSpec
+
+
+class TestHostSpec:
+    def test_parse_string(self):
+        assert HostSpec.parse("10.0.0.7:7001") == HostSpec("10.0.0.7", 7001)
+
+    def test_parse_tuple_and_identity(self):
+        spec = HostSpec.parse(("localhost", 9))
+        assert spec == HostSpec("localhost", 9)
+        assert HostSpec.parse(spec) is spec
+
+    @pytest.mark.parametrize("bad", ["nocolon", "host:", "host:abc", ":70"])
+    def test_parse_rejects_malformed(self, bad):
+        if bad == ":70":
+            # an empty host parses (it means "all interfaces" to bind);
+            # the executor will simply fail to connect — not a parse error
+            assert HostSpec.parse(bad).port == 70
+            return
+        with pytest.raises(ValueError, match="host spec"):
+            HostSpec.parse(bad)
+
+
+def _pool(n=3, policy="round-robin"):
+    return HostPool([f"127.0.0.1:{7000 + i}" for i in range(n)], policy=policy)
+
+
+class TestPolicies:
+    def test_round_robin_rotates(self):
+        pool = _pool(3)
+        picks = [pool.pick().spec.port for _ in range(6)]
+        assert picks == [7000, 7001, 7002, 7000, 7001, 7002]
+
+    def test_least_loaded_prefers_idle_host(self):
+        pool = _pool(2, policy="least-loaded")
+        first = pool.pick()
+        with pool.lease(first):
+            assert pool.pick() is not first
+        # lease released: registration order breaks the tie again
+        assert pool.pick() is first
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown sharding policy"):
+            _pool(policy="random")
+        assert set(SHARDING_POLICIES) == {"round-robin", "least-loaded"}
+
+    def test_empty_and_duplicate_pools_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            HostPool([])
+        with pytest.raises(ValueError, match="duplicate"):
+            HostPool(["h:1", "h:1"])
+
+
+class TestHealth:
+    def test_dead_hosts_leave_rotation(self):
+        pool = _pool(3)
+        victim = pool.hosts[1]
+        pool.mark_dead(victim, RuntimeError("socket reset"))
+        assert victim.last_error == "socket reset"
+        picks = {pool.pick().spec.port for _ in range(6)}
+        assert picks == {7000, 7002}
+        assert len(pool.live()) == 2
+
+    def test_exclusion_is_per_call(self):
+        pool = _pool(2)
+        only = pool.pick(excluded=[HostSpec("127.0.0.1", 7000)])
+        assert only.spec.port == 7001
+        # a later call without the exclusion sees both again
+        assert {pool.pick().spec.port for _ in range(4)} == {7000, 7001}
+
+    def test_all_dead_or_excluded_raises_lookup_error(self):
+        pool = _pool(2)
+        pool.mark_dead(pool.hosts[0], "gone")
+        with pytest.raises(LookupError, match="no live hosts"):
+            pool.pick(excluded=[pool.hosts[1].spec])
+
+    def test_lease_counts_inflight_and_done(self):
+        pool = _pool(1)
+        host = pool.pick()
+        with pool.lease(host):
+            assert host.inflight == 1
+        assert host.inflight == 0
+        assert host.jobs_done == 1
