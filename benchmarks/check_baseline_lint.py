@@ -1,0 +1,149 @@
+"""Gate CI on the shipped corpus's lint findings.
+
+The static analyzer (``repro lint``) runs over every shipped SHILL
+script — the demo plus the four case-study suites — and the per-script
+rule-code counts are committed as ``benchmarks/baseline_lint.json``.
+CI fails when a script *gains* diagnostics (a contract or script change
+introduced a new least-privilege gap or a guaranteed violation) or when
+a baselined script disappears from the corpus; *losing* diagnostics
+only warns, so a genuine fix prompts a baseline refresh instead of
+breaking the build.
+
+Usage::
+
+    python benchmarks/check_baseline_lint.py [LINT.json]
+    python benchmarks/check_baseline_lint.py --refresh
+
+With no argument the corpus is linted in-process (needs ``repro`` on
+``PYTHONPATH``); passing ``LINT.json`` reuses the output of
+``python -m repro lint --corpus --format json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+BASELINE_PATH = pathlib.Path(__file__).parent / "baseline_lint.json"
+
+_README = [
+    "Per-script lint rule-code counts for the shipped SHILL corpus (demo +",
+    "four case-study suites).  CI's lint-scripts job fails when any script",
+    "gains diagnostics over these values, or when a baselined script goes",
+    "missing; losing diagnostics warns.  To refresh after an intentional",
+    "change:",
+    "  PYTHONPATH=src python benchmarks/check_baseline_lint.py --refresh",
+    "then commit the updated baseline_lint.json alongside the change.",
+]
+
+
+def _measure_inline() -> dict:
+    """Lint the shipped corpus in-process, shaped like the CLI JSON."""
+    from repro.analysis.corpus import lint_corpus
+    from repro.analysis.lint import render_json
+
+    return render_json(lint_corpus())
+
+
+def _counts(report_json: dict) -> dict[str, dict[str, int]]:
+    """script name -> {rule code -> count} (clean scripts keep an empty
+    dict, so a vanished script is distinguishable from a clean one)."""
+    out: dict[str, dict[str, int]] = {}
+    for entry in report_json.get("scripts", []):
+        counts: dict[str, int] = {}
+        for diag in entry.get("diagnostics", []):
+            code = diag["code"]
+            counts[code] = counts.get(code, 0) + 1
+        out[entry["script"]] = dict(sorted(counts.items()))
+    return dict(sorted(out.items()))
+
+
+def refresh(measured: dict[str, dict[str, int]]) -> None:
+    total = sum(sum(c.values()) for c in measured.values())
+    payload = {
+        "_readme": _README,
+        "scripts": measured,
+        "summary": {"scripts": len(measured), "diagnostics": total},
+    }
+    BASELINE_PATH.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    print(f"baseline_lint.json refreshed: {len(measured)} scripts, "
+          f"{total} diagnostic(s)")
+
+
+def compare(measured: dict[str, dict[str, int]]) -> int:
+    baseline = json.loads(BASELINE_PATH.read_text())
+    expected: dict[str, dict[str, int]] = baseline["scripts"]
+    regressions: list[str] = []
+    warnings: list[str] = []
+    for script, base_counts in expected.items():
+        actual = measured.get(script)
+        if actual is None:
+            regressions.append(f"{script}: script missing from corpus")
+            continue
+        for code in sorted(set(base_counts) | set(actual)):
+            base_value = base_counts.get(code, 0)
+            value = actual.get(code, 0)
+            if value > base_value:
+                regressions.append(
+                    f"{script}/{code}: {base_value} -> {value} (new findings)")
+            elif value < base_value:
+                warnings.append(
+                    f"{script}/{code}: {base_value} -> {value} "
+                    "(improved — refresh the baseline)")
+    for script, counts in measured.items():
+        if script in expected:
+            continue
+        if counts:
+            regressions.append(
+                f"{script}: new corpus script with findings {counts} — "
+                "fix it or refresh the baseline")
+        else:
+            warnings.append(f"{script}: new clean script not in baseline — refresh")
+    for line in warnings:
+        print(f"WARN  {line}")
+    for line in regressions:
+        print(f"FAIL  {line}")
+    if regressions:
+        print(f"\n{len(regressions)} lint regression(s) over the corpus "
+              "baseline.  If intentional, refresh it (see baseline_lint.json "
+              "_readme).")
+        return 1
+    print(f"lint gate passed: {len(expected)} scripts match the baseline "
+          f"({sum(sum(c.values()) for c in expected.values())} known finding(s)).")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("lint_json", nargs="?", default=None,
+                        help="output of `repro lint --corpus --format json` "
+                             "(default: lint the corpus in-process)")
+    parser.add_argument("--refresh", action="store_true",
+                        help="rewrite baseline_lint.json from the measured run")
+    args = parser.parse_args(argv)
+    if args.lint_json is not None:
+        path = pathlib.Path(args.lint_json)
+        if not path.exists():
+            print(f"lint report {path} not found — did the lint step crash "
+                  "before writing it?", file=sys.stderr)
+            return 2
+        report_json = json.loads(path.read_text())
+    else:
+        report_json = _measure_inline()
+    measured = _counts(report_json)
+    if not measured:
+        print("no scripts in the lint report", file=sys.stderr)
+        return 2
+    if args.refresh:
+        refresh(measured)
+        return 0
+    if not BASELINE_PATH.exists():
+        print(f"missing {BASELINE_PATH}; run with --refresh first", file=sys.stderr)
+        return 2
+    return compare(measured)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

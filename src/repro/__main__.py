@@ -28,6 +28,15 @@ Usage::
         counts per job.  An engine/worker failure (not a script error)
         prints the failing job to stderr and exits 3.
 
+    python -m repro lint PATH [PATH ...] [--format json] [--corpus]
+        Statically lint SHILL scripts without executing them: infer each
+        script's capability footprint and flag least-privilege gaps
+        (over-granted contracts), guaranteed runtime violations
+        (under-privileged scripts), shadowed contract clauses, and more
+        (rule catalog: docs/linting.md).  Directories are searched for
+        *.cap / *.ambient; --corpus adds the shipped demo + case-study
+        scripts.  Exits 1 if any error-severity diagnostic fired.
+
     python -m repro store ls [--store DIR]
     python -m repro store gc [--keep N] [--store DIR]
         Inspect / evict the persistent snapshot store the store
@@ -113,7 +122,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
     registry = ScriptRegistry()
     for cap_path in args.cap:
         registry.add_file(cap_path)
-    batch = Batch(world, scripts=registry, cache=not args.no_cache)
+    batch = Batch(world, scripts=registry, cache=not args.no_cache,
+                  lint=args.lint)
     for script in args.scripts:
         path = pathlib.Path(script)
         batch.add(path.read_text(), name=path.name)
@@ -141,10 +151,15 @@ def cmd_batch(args: argparse.Namespace) -> int:
             results = batch.run(executor=executor)
     except BatchExecutionError as err:
         # Not a script failure (those come back as per-job results):
-        # the engine or a worker died.  Name the job, keep the original
-        # traceback on stderr, and exit with the reserved status.
+        # the engine or a worker died, or pre-dispatch lint rejected a
+        # job.  Name the job, then whatever detail the error carries —
+        # the original traceback, or (lint rejections have none) the
+        # full diagnostic list — and exit with the reserved status.
         _hostsys.stderr.write(f"repro batch: {err}\n")
-        _hostsys.stderr.write(err.traceback_text)
+        if err.traceback_text:
+            _hostsys.stderr.write(err.traceback_text)
+        for diag in getattr(err, "diagnostics", ()):
+            _hostsys.stderr.write(f"  {diag.format()}\n")
         return EXIT_BATCH_ERROR
 
     if args.json:
@@ -169,6 +184,46 @@ def cmd_batch(args: argparse.Namespace) -> int:
         print(f"-- {stats['jobs']} jobs, {stats['forks']} world forks, "
               f"{stats['cache_hits']} result-cache hits --")
     return max((r.status for r in results), default=0)
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    # Imported here: the analyzer pulls in the parser and contract
+    # elaborator, which the other subcommands do not need at startup.
+    from repro.analysis import lint_scripts, render_human, render_json
+
+    reports = {}
+    if args.paths:
+        files: list[pathlib.Path] = []
+        for raw in args.paths:
+            path = pathlib.Path(raw)
+            if path.is_dir():
+                files.extend(sorted(
+                    p for pat in ("*.cap", "*.ambient") for p in path.rglob(pat)))
+            elif path.exists():
+                files.append(path)
+            else:
+                _hostsys.stderr.write(
+                    f"repro lint: no such file or directory: {raw}\n")
+                return 2
+        scripts = {str(p): p.read_text() for p in files}
+        # Requires name scripts by basename, the same way `repro run
+        # --cap` registers them.
+        registry = {pathlib.Path(name).name: source
+                    for name, source in scripts.items() if name.endswith(".cap")}
+        reports.update(lint_scripts(scripts, registry=registry))
+    if args.corpus:
+        from repro.analysis.corpus import lint_corpus
+
+        reports.update(lint_corpus())
+    if not reports:
+        _hostsys.stderr.write(
+            "repro lint: nothing to lint (pass script paths, or --corpus)\n")
+        return 2
+    if args.format == "json":
+        print(json.dumps(render_json(reports), indent=2))
+    else:
+        print(render_human(reports))
+    return 1 if any(r.errors for r in reports.values()) else 0
 
 
 def cmd_store(args: argparse.Namespace) -> int:
@@ -265,6 +320,22 @@ def main(argv: list[str] | None = None) -> int:
                          help="machine-readable per-job summary")
     batch_p.add_argument("--no-cache", action="store_true",
                          help="bypass the (world, script, user) result cache")
+    batch_p.add_argument("--lint", choices=("off", "warn", "strict"),
+                         default="off",
+                         help="pre-dispatch static lint: 'warn' records each "
+                              "job's inferred capability footprint, 'strict' "
+                              "additionally rejects statically-doomed jobs "
+                              "before any fork (exit 3)")
+
+    lint_p = sub.add_parser(
+        "lint", help="statically lint SHILL scripts (no execution)")
+    lint_p.add_argument("paths", nargs="*", metavar="path",
+                        help="script files, or directories searched for "
+                             "*.cap / *.ambient")
+    lint_p.add_argument("--format", choices=("human", "json"), default="human",
+                        help="report format (default: human)")
+    lint_p.add_argument("--corpus", action="store_true",
+                        help="also lint the shipped demo + case-study scripts")
 
     store_p = sub.add_parser("store", help="inspect/evict the persistent snapshot store")
     store_sub = store_p.add_subparsers(dest="store_command", required=True)
@@ -295,6 +366,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_shill_run(args)
     if args.command == "batch":
         return cmd_batch(args)
+    if args.command == "lint":
+        return cmd_lint(args)
     if args.command == "store":
         return cmd_store(args)
     parser.error("unknown command")

@@ -1,0 +1,64 @@
+"""The shipped script corpus: everything ``repro lint --corpus`` checks.
+
+The repo carries its SHILL scripts as Python string constants (the demo
+in ``repro.__main__``, the four case studies in ``repro.casestudies``);
+this module flattens them into lintable suites so the self-lint baseline
+(``benchmarks/baseline_lint.json``) has a stable, enumerable universe.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.infer import AnalysisContext
+from repro.analysis.lint import LintReport, lint_source
+from repro.analysis.rules import RuleSet
+
+
+def shipped_corpus() -> dict[str, dict[str, str]]:
+    """suite name -> {script name -> source}.  ``.cap`` members double
+    as the require-resolution registry for their suite's ambients."""
+    from repro.__main__ import _DEMO_AMBIENT, _DEMO_FIND_JPG
+    from repro.casestudies import apache, findgrep, grading, package_mgmt
+
+    return {
+        "demo": {
+            "find_jpg.cap": _DEMO_FIND_JPG,
+            "demo.ambient": _DEMO_AMBIENT,
+        },
+        "findgrep": {
+            **findgrep.SCRIPTS,
+            "findgrep_simple.ambient":
+                findgrep.SIMPLE_AMBIENT.format(out="/root/matches.txt"),
+            "findgrep_fine.ambient":
+                findgrep.FINE_AMBIENT.format(out="/root/matches.txt"),
+            "probe.ambient": findgrep.PROBE_AMBIENT,
+        },
+        "grading": {
+            **grading.SCRIPTS,
+            "grading_sandboxed.ambient": grading.SANDBOXED_AMBIENT_SCRIPT,
+            "grading_shellscript.ambient": grading.SHELLSCRIPT_AMBIENT_SCRIPT,
+            "grading_shill.ambient": grading.PURE_SHILL_AMBIENT_SCRIPT,
+        },
+        "apache": {
+            **apache.SCRIPTS,
+            "apache.ambient": apache.AMBIENT_SCRIPT,
+            "probe.ambient": apache.PROBE_AMBIENT,
+        },
+        "package_mgmt": {
+            **package_mgmt.SCRIPTS,
+            "emacs_pkg.ambient": package_mgmt.AMBIENT_SCRIPT_TEMPLATE.format(
+                downloads="/root/downloads", prefix="/usr/local"),
+        },
+    }
+
+
+def lint_corpus(rules: RuleSet | None = None) -> dict[str, LintReport]:
+    """Lint every shipped script; report keys are ``suite/name``."""
+    out: dict[str, LintReport] = {}
+    for suite, scripts in sorted(shipped_corpus().items()):
+        registry = {name: source for name, source in scripts.items()
+                    if name.endswith(".cap")}
+        context = AnalysisContext(registry)
+        for name in sorted(scripts):
+            out[f"{suite}/{name}"] = lint_source(
+                f"{suite}/{name}", scripts[name], rules=rules, context=context)
+    return out

@@ -1,0 +1,169 @@
+"""Footprints and diagnostics: the analysis results, as plain data.
+
+Everything here is a frozen dataclass with a ``to_json`` method — the
+policy-engine idiom of "decisions as data".  The CLI, the baseline gate,
+and the pre-dispatch Batch gate all consume these types; none of them
+re-runs the analyzer to ask a second question.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sandbox.privileges import Priv
+
+#: Diagnostic severities, strongest first.  ``off`` disables a rule.
+SEVERITIES = ("error", "warning", "off")
+
+#: Privileges whose exercise reads data out of an object (traversal and
+#: metadata — lookup, stat, path — deliberately do not count: a prefix
+#: that is only walked is not a prefix that was read).
+FP_READ_PRIVS = frozenset({Priv.READ, Priv.CONTENTS, Priv.READ_SYMLINK})
+#: Privileges whose exercise mutates the object or the namespace under it.
+FP_WRITE_PRIVS = frozenset(
+    {Priv.WRITE, Priv.APPEND, Priv.TRUNCATE, Priv.IOCTL, Priv.CHMOD,
+     Priv.CHOWN, Priv.CHFLAGS, Priv.UTIMES, Priv.CREATE_FILE,
+     Priv.CREATE_DIR, Priv.CREATE_PIPE, Priv.CREATE_SYMLINK,
+     Priv.UNLINK_FILE, Priv.UNLINK_DIR, Priv.RENAME, Priv.LINK}
+)
+#: Privileges whose exercise runs the object.
+FP_EXEC_PRIVS = frozenset({Priv.EXEC})
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding: a stable rule code, where, what, and who is to
+    blame (Findler–Felleisen style: the party whose promise the finding
+    shows broken)."""
+
+    code: str
+    severity: str
+    message: str
+    script: str = "<script>"
+    line: int = 0
+    col: int = 0
+    blame: str = ""
+    param: str = ""
+
+    def format(self) -> str:
+        where = f"{self.script}:{self.line}:{self.col}"
+        tail = f" [blame: {self.blame}]" if self.blame else ""
+        return f"{where}: {self.code} {self.severity}: {self.message}{tail}"
+
+    def to_json(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "script": self.script,
+            "line": self.line,
+            "col": self.col,
+            "blame": self.blame,
+            "param": self.param,
+        }
+
+
+@dataclass(frozen=True)
+class ParamFootprint:
+    """What one contract-guarded parameter flows into.
+
+    ``privileges`` are exercised directly on the parameter;
+    ``derived`` maps a deriving privilege (lookup, create-file, ...) to
+    the privileges exercised on capabilities minted through it.
+    """
+
+    name: str
+    privileges: tuple[str, ...] = ()
+    derived: tuple[tuple[str, tuple[str, ...]], ...] = ()
+    escapes: bool = False
+    called: bool = False
+    network: bool = False
+    wallet: bool = False
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "privileges": list(self.privileges),
+            "derived": {via: list(privs) for via, privs in self.derived},
+            "escapes": self.escapes,
+            "called": self.called,
+            "network": self.network,
+            "wallet": self.wallet,
+        }
+
+
+@dataclass(frozen=True)
+class ExportFootprint:
+    """Per-parameter footprints of one provided function."""
+
+    name: str
+    params: tuple[ParamFootprint, ...] = ()
+
+    def to_json(self) -> dict:
+        return {"name": self.name, "params": [p.to_json() for p in self.params]}
+
+
+@dataclass(frozen=True)
+class Footprint:
+    """Everything a script can touch, inferred without executing it.
+
+    For ambient scripts ``reads``/``writes``/``executes`` are path
+    prefixes minted via ``open_file``/``open_dir`` (plus ``<stdout>`` /
+    ``<stderr>``); for capability scripts they stay empty — authority
+    arrives through parameters, described by ``exports``.
+    """
+
+    script: str = "<script>"
+    lang: str = "shill/cap"
+    privileges: tuple[str, ...] = ()
+    reads: tuple[str, ...] = ()
+    writes: tuple[str, ...] = ()
+    executes: tuple[str, ...] = ()
+    network: bool = False
+    wallet: bool = False
+    exports: tuple[ExportFootprint, ...] = ()
+    requires: tuple[str, ...] = ()
+
+    def to_json(self) -> dict:
+        return {
+            "script": self.script,
+            "lang": self.lang,
+            "privileges": list(self.privileges),
+            "reads": list(self.reads),
+            "writes": list(self.writes),
+            "executes": list(self.executes),
+            "network": self.network,
+            "wallet": self.wallet,
+            "exports": [e.to_json() for e in self.exports],
+            "requires": list(self.requires),
+        }
+
+    def touches(self, path: str) -> bool:
+        """True when ``path`` falls under any read/written/executed
+        prefix — the hook a dependency-aware result cache keys on."""
+        prefixes = self.reads + self.writes + self.executes
+        return any(path == p or path.startswith(p.rstrip("/") + "/")
+                   for p in prefixes if not p.startswith("<"))
+
+
+def classify_privs(privs: frozenset[Priv] | set[Priv]) -> tuple[bool, bool, bool]:
+    """(reads, writes, executes) membership for a privilege set."""
+    return (
+        bool(privs & FP_READ_PRIVS),
+        bool(privs & FP_WRITE_PRIVS),
+        bool(privs & FP_EXEC_PRIVS),
+    )
+
+
+# Re-exported for convenience so rule implementations need only this module.
+__all__ = [
+    "SEVERITIES",
+    "Diagnostic",
+    "ParamFootprint",
+    "ExportFootprint",
+    "Footprint",
+    "FP_READ_PRIVS",
+    "FP_WRITE_PRIVS",
+    "FP_EXEC_PRIVS",
+    "classify_privs",
+]

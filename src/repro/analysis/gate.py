@@ -1,0 +1,114 @@
+"""Pre-dispatch gating: reject statically-doomed batch jobs up front.
+
+A job whose script is guaranteed to violate its contracts will burn a
+kernel fork (and, for remote executors, a wire round-trip) only to come
+back with a denial.  Running the linter *before* dispatch turns that
+into a :class:`LintRejection` raised in the submitting process — which
+also makes the diagnostics byte-identical across executors, since no
+executor ever sees the job.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.analysis.footprint import Diagnostic
+from repro.analysis.infer import AnalysisContext
+from repro.analysis.lint import LintReport, lint_source
+from repro.analysis.rules import RuleSet
+from repro.api.executors.base import BatchExecutionError
+from repro.lang.modules import AMBIENT_LANG
+
+#: Valid values for ``Batch(..., lint=...)`` / ``repro batch --lint``.
+LINT_MODES = ("off", "warn", "strict")
+
+
+class LintRejection(BatchExecutionError):
+    """A batch job rejected by pre-dispatch lint, before any fork or
+    wire round-trip.  Carries the full diagnostic list and the inferred
+    footprint; the message names the script and its first diagnostic."""
+
+    def __init__(self, job_name: str, user: str | None,
+                 diagnostics: Sequence[Diagnostic],
+                 footprint=None) -> None:
+        self.diagnostics = tuple(diagnostics)
+        self.footprint = footprint
+        first = next((d for d in self.diagnostics if d.severity == "error"),
+                     self.diagnostics[0] if self.diagnostics else None)
+        detail = first.format() if first is not None else "lint failed"
+        super().__init__(job_name, user, traceback_text="",
+                         message=f"rejected by pre-dispatch lint: {detail}")
+
+    def __reduce__(self):
+        return (LintRejection,
+                (self.job_name, self.user, self.diagnostics, self.footprint))
+
+
+def gate_jobs(
+    jobs: Iterable,
+    scripts: Mapping[str, str] | None,
+    mode: str,
+    rules: RuleSet | None = None,
+) -> dict[int, LintReport]:
+    """Lint every job (``.name``/``.source``/``.user``) before dispatch.
+
+    ``mode`` is one of :data:`LINT_MODES`: ``off`` skips entirely,
+    ``warn`` returns the reports and raises nothing, ``strict`` raises
+    :class:`LintRejection` for the first job (in submission order) whose
+    report — or the report of any script it transitively requires —
+    carries an error.  Returns reports keyed by job index either way,
+    so footprints can be attached to results.
+    """
+    if mode not in LINT_MODES:
+        raise ValueError(f"lint mode must be one of {LINT_MODES}, got {mode!r}")
+    reports: dict[int, LintReport] = {}
+    if mode == "off":
+        return reports
+    registry = dict(scripts or {})
+    context = AnalysisContext(registry)
+    dep_reports: dict[str, LintReport] = {}
+    rejection: Optional[LintRejection] = None
+    for index, job in enumerate(jobs):
+        report = lint_source(job.name, job.source, rules=rules,
+                             context=context, default_lang=AMBIENT_LANG)
+        reports[index] = report
+        if mode != "strict" or rejection is not None:
+            continue
+        # A job is doomed if its own script errors, or any script it
+        # requires (transitively) does — the runtime would load the dep
+        # and hit the same violation after the fork.
+        doomed = list(report.errors)
+        for dep in _transitive_requires(report, context, rules, dep_reports):
+            doomed.extend(dep_reports[dep].errors)
+        if doomed:
+            rejection = LintRejection(job.name, job.user, doomed,
+                                      report.footprint)
+    if rejection is not None:
+        raise rejection
+    return reports
+
+
+def _transitive_requires(
+    report: LintReport,
+    context: AnalysisContext,
+    rules: RuleSet | None,
+    dep_reports: dict[str, LintReport],
+) -> list[str]:
+    """Every script reachable from ``report`` through ``require``,
+    linting (and memoising) each along the way."""
+    from repro.analysis.lint import report_for
+
+    seen: list[str] = []
+    frontier = list(report.footprint.requires)
+    while frontier:
+        name = frontier.pop()
+        if name in seen:
+            continue
+        seen.append(name)
+        if name not in dep_reports:
+            analysis = context.analyze(name)
+            if analysis is None:
+                continue
+            dep_reports[name] = report_for(analysis, rules)
+        frontier.extend(dep_reports[name].footprint.requires)
+    return [name for name in seen if name in dep_reports]

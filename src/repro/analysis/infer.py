@@ -1,0 +1,948 @@
+"""Abstract interpretation of SHILL scripts: capability-footprint inference.
+
+The interpreter walks :mod:`repro.lang.ast_` with *abstract values* in
+place of capabilities: each contract parameter (and each ambient
+``open_file``/``open_dir`` mint) becomes an **origin**, and every
+operation on a value flowing from an origin is recorded against it.
+Derivation is tracked flat, two levels deep — an operation on a
+capability minted through deriving privilege ``V`` lands in
+``via[V]`` — which matches the runtime's effective-modifier semantics
+(a modifier applies to the whole derived subtree).
+
+Function bodies are summarised per formal parameter and the summaries
+applied at call sites; a fixpoint iteration handles recursion and
+mutual recursion.  Calls across modules go through the callee's
+*contract*: the contract both demands its privileges from the supplied
+capability (recorded as uses — this is what classifies an ambient
+script's path prefixes as read or written) and attenuates, so the
+callee's internal behaviour never leaks past its grant.
+
+Nothing here executes script code or touches a kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Mapping, Optional
+
+from repro.analysis.footprint import (
+    ExportFootprint,
+    Footprint,
+    ParamFootprint,
+    classify_privs,
+)
+from repro.analysis.grants import CAP_KINDS, Grant, grant_of
+from repro.lang import ast_ as A
+from repro.lang.modules import read_lang
+from repro.lang.parser import parse_source
+from repro.sandbox.privileges import Priv, PrivSet
+
+# ---------------------------------------------------------------------------
+# abstract values
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AV:
+    """Base abstract value; the bare instance is "unknown"."""
+
+
+@dataclass(frozen=True)
+class CapAV(AV):
+    """A capability flowing from ``origin``; ``via`` is the deriving
+    privilege it was minted through (flat, per the module docstring)."""
+
+    origin: str
+    via: Optional[Priv] = None
+    path: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class WalletAV(AV):
+    origin: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class FactoryAV(AV):
+    kind: str  # "pipe" | "socket"
+    origin: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class FunAV(AV):
+    name: str
+
+
+@dataclass(frozen=True)
+class ImportAV(AV):
+    module: str
+    export: str
+
+
+@dataclass(frozen=True)
+class NativeAV(AV):
+    """A ``pkg_native`` wrapper: calling it forks a sandbox."""
+
+
+@dataclass(frozen=True)
+class BuiltinAV(AV):
+    name: str
+
+
+@dataclass(frozen=True)
+class ConstAV(AV):
+    value: object
+
+
+@dataclass(frozen=True)
+class ListAV(AV):
+    items: tuple
+
+
+UNKNOWN = AV()
+
+
+# ---------------------------------------------------------------------------
+# use records
+# ---------------------------------------------------------------------------
+
+
+class UseRecord:
+    """Everything observed about one origin.  ``direct``/``via`` are
+    *strong* facts (the body performs this, or a contract demands it);
+    ``may`` is the weak upper bound (multi-branch contracts, sandbox
+    escapes) used for footprint classification only, never for
+    under-privilege errors."""
+
+    __slots__ = ("direct", "via", "may", "escapes", "escape_span",
+                 "called", "call_span", "network", "network_span",
+                 "wallet", "wallet_span")
+
+    def __init__(self) -> None:
+        self.direct: dict[Priv, A.Span] = {}
+        self.via: dict[Priv, dict[Priv, A.Span]] = {}
+        self.may: dict[Priv, A.Span] = {}
+        self.escapes = False
+        self.escape_span = A.NO_SPAN
+        self.called = False
+        self.call_span = A.NO_SPAN
+        self.network = False
+        self.network_span = A.NO_SPAN
+        self.wallet = False
+        self.wallet_span = A.NO_SPAN
+
+    # -- queries ------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        return not (self.direct or self.via or self.may or self.escapes
+                    or self.called or self.network or self.wallet)
+
+    def all_privs(self) -> frozenset[Priv]:
+        out: set[Priv] = set(self.direct) | set(self.may)
+        for via, inner in self.via.items():
+            out.add(via)
+            out |= set(inner)
+        return frozenset(out)
+
+    def uses_priv(self, priv: Priv) -> bool:
+        return priv in self.all_privs()
+
+    def required_privset(self) -> PrivSet:
+        """The strong requirement as a :class:`PrivSet` (modifiers carry
+        the derived uses), ready for ``subset_of`` against a grant."""
+        mapping: dict[Priv, Optional[frozenset]] = {p: None for p in self.direct}
+        for via, inner in self.via.items():
+            mapping[via] = frozenset(inner)
+        return PrivSet(mapping)
+
+    def first_span(self, priv: Priv) -> A.Span:
+        if priv in self.direct:
+            return self.direct[priv]
+        for inner in self.via.values():
+            if priv in inner:
+                return inner[priv]
+        return self.may.get(priv, A.NO_SPAN)
+
+    def snapshot(self) -> tuple:
+        return (
+            frozenset(self.direct),
+            tuple(sorted(((v.value, frozenset(m)) for v, m in self.via.items()),
+                         key=lambda item: item[0])),
+            frozenset(self.may),
+            self.escapes, self.called, self.network, self.wallet,
+        )
+
+
+@dataclass(frozen=True)
+class MintInfo:
+    """One ambient ``open_file``/``open_dir`` (or stdout/stderr) mint."""
+
+    origin: str
+    var: str
+    path: str
+    kind: str  # "file" | "dir" | "stream"
+    span: A.Span
+
+
+@dataclass(frozen=True)
+class ParamInfo:
+    """One contract-guarded parameter of one export."""
+
+    export: str
+    name: str
+    grant: Grant
+    record: Optional[UseRecord]
+    span: A.Span
+    poly_var: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ForallInfo:
+    """A ``forall X with {...}`` wrapper on one export's contract."""
+
+    export: str
+    var: str
+    bound: tuple[str, ...]
+    span: A.Span
+
+
+@dataclass
+class ModuleAnalysis:
+    """The raw analysis result for one module; rules read this."""
+
+    name: str
+    lang: str
+    module: Optional[A.Module] = None
+    params: list[ParamInfo] = dc_field(default_factory=list)
+    foralls: list[ForallInfo] = dc_field(default_factory=list)
+    mints: dict[str, MintInfo] = dc_field(default_factory=dict)
+    uses: dict[str, UseRecord] = dc_field(default_factory=dict)
+    unresolved: list[tuple[str, A.Span]] = dc_field(default_factory=list)
+    footprint: Footprint = dc_field(default_factory=Footprint)
+    error: Optional[str] = None
+    error_span: A.Span = A.NO_SPAN
+
+
+# ---------------------------------------------------------------------------
+# builtin operation tables
+# ---------------------------------------------------------------------------
+
+#: name -> (required privilege on arg0, derives?)
+_CAP_OPS: dict[str, tuple[Priv, bool]] = {
+    "path": (Priv.PATH, False),
+    "has_ext": (Priv.PATH, False),
+    "name": (Priv.PATH, False),
+    "size": (Priv.STAT, False),
+    "mtime": (Priv.STAT, False),
+    "read": (Priv.READ, False),
+    "write": (Priv.WRITE, False),
+    "append": (Priv.APPEND, False),
+    "contents": (Priv.CONTENTS, False),
+    "read_symlink": (Priv.READ_SYMLINK, False),
+    "lookup": (Priv.LOOKUP, True),
+    "create_file": (Priv.CREATE_FILE, True),
+    "create_dir": (Priv.CREATE_DIR, True),
+    "writef": (Priv.WRITE, False),
+    "appendf": (Priv.APPEND, False),
+}
+
+_PURE_BUILTINS = frozenset({
+    "strcat", "to_string", "length", "contains", "split", "lines",
+    "starts_with", "ends_with", "range",
+    "is_file", "is_dir", "is_cap", "is_syserror", "is_bool", "is_string",
+    "is_num", "is_list", "is_void",
+})
+
+_SOCKET_OPS = frozenset({
+    "socket_connect", "socket_bind", "socket_listen", "socket_accept",
+    "socket_send", "socket_recv", "socket_close",
+})
+
+_KNOWN_BUILTINS = (
+    frozenset(_CAP_OPS) | _PURE_BUILTINS | _SOCKET_OPS
+    | frozenset({
+        "unlink", "create_pipe", "create_socket", "exec",
+        "concat", "push", "nth",
+        "create_wallet", "wallet_put", "wallet_get",
+        "populate_native_wallet", "pkg_native",
+        "resolve", "resolve_chain", "exists",
+        "open_file", "open_dir",
+    })
+)
+
+#: What ``require <builtin library>`` brings into scope, as far as the
+#: analysis cares.  Contract names are tracked separately (they appear
+#: in contract position, not expression position).
+_BUILTIN_LIBS: dict[str, frozenset[str]] = {
+    "shill/native": frozenset({
+        "create_wallet", "wallet_put", "wallet_get",
+        "populate_native_wallet", "pkg_native",
+    }),
+    "shill/filesys": frozenset({"resolve", "resolve_chain", "exists"}),
+    "shill/io": frozenset({"writef", "appendf"}),
+    "shill/contracts": frozenset(),
+}
+
+_CONTRACT_LIB_NAMES = frozenset({
+    "is_file", "is_dir", "is_cap", "is_bool", "is_string", "is_num",
+    "is_list", "is_syserror", "void", "any", "readonly", "writeable",
+    "executable", "full_privs", "pipe_factory", "socket_factory",
+    "native_wallet",
+})
+
+#: Conservative authority a capability escaping into a native sandbox
+#: may exercise (weak: classification only).
+_ESCAPE_MAY = (Priv.READ, Priv.WRITE, Priv.EXEC, Priv.LOOKUP, Priv.CONTENTS,
+               Priv.CREATE_FILE, Priv.UNLINK_FILE)
+#: ``populate_native_wallet`` only walks and packages the tree read-only.
+_POPULATE_MAY = (Priv.LOOKUP, Priv.READ, Priv.EXEC, Priv.CONTENTS, Priv.STAT)
+
+
+# ---------------------------------------------------------------------------
+# the walker
+# ---------------------------------------------------------------------------
+
+
+class AnalysisContext:
+    """Memoises per-module analyses so a registry of scripts is analysed
+    once each, with cycle protection for mutually-requiring modules."""
+
+    def __init__(self, registry: Mapping[str, str] | None = None) -> None:
+        self.registry: dict[str, str] = dict(registry or {})
+        self._done: dict[str, Optional[ModuleAnalysis]] = {}
+        self._in_progress: set[str] = set()
+
+    def analyze(self, name: str) -> Optional[ModuleAnalysis]:
+        if name in self._done:
+            return self._done[name]
+        source = self.registry.get(name)
+        if source is None or name in self._in_progress:
+            return None
+        self._in_progress.add(name)
+        try:
+            analysis = _analyze(name, source, self)
+        finally:
+            self._in_progress.discard(name)
+        self._done[name] = analysis
+        return analysis
+
+
+def analyze_source(
+    name: str,
+    source: str,
+    registry: Mapping[str, str] | None = None,
+    context: AnalysisContext | None = None,
+    default_lang: str | None = None,
+) -> ModuleAnalysis:
+    """Analyse one script (either dialect).  ``registry`` supplies the
+    sources of modules it may ``require`` by file name; ``default_lang``
+    is assumed when the source has no ``#lang`` line (defaults to the
+    capability dialect, matching the module loader)."""
+    ctx = context or AnalysisContext(registry)
+    return _analyze(name, source, ctx, default_lang)
+
+
+def _analyze(name: str, source: str, ctx: AnalysisContext,
+             default_lang: str | None = None) -> ModuleAnalysis:
+    try:
+        if default_lang is None:
+            lang, body = read_lang(source)
+        else:
+            lang, body = read_lang(source, default=default_lang)
+        module = parse_source(body, lang, name)
+    except Exception as err:  # syntax errors become a diagnostic, not a crash
+        analysis = ModuleAnalysis(name=name, lang="?")
+        analysis.footprint = Footprint(script=name, lang="?")
+        analysis.error = str(err)
+        analysis.error_span = A.Span(getattr(err, "line", 0) or 0,
+                                     getattr(err, "col", 0) or 0)
+        return analysis
+    walker = _Walker(name, module, ctx)
+    return walker.run()
+
+
+class _Walker:
+    _MAX_ITERATIONS = 8
+
+    def __init__(self, name: str, module: A.Module, ctx: AnalysisContext) -> None:
+        self.name = name
+        self.module = module
+        self.ctx = ctx
+        self.uses: dict[str, UseRecord] = {}
+        self.mints: dict[str, MintInfo] = {}
+        self.funcs: dict[str, A.Fun] = {}
+        self.fun_formals: dict[str, tuple[str, ...]] = {}
+        self.returns: dict[str, object] = {}
+        self.unresolved: list[tuple[str, A.Span]] = []
+        self.known_contract_names: set[str] = set()
+        self.imports: dict[str, AV] = {}
+        self.wallet_minted = False
+        self._anon = 0
+
+    # -- plumbing -----------------------------------------------------
+
+    def _rec(self, origin: str) -> UseRecord:
+        rec = self.uses.get(origin)
+        if rec is None:
+            rec = self.uses[origin] = UseRecord()
+        return rec
+
+    def _record(self, av: AV, priv: Priv, span: A.Span, weak: bool = False) -> None:
+        if isinstance(av, ListAV):
+            # A use recorded against a list lands on its members (a
+            # callee that reads "the elements" reads each of these).
+            for item in av.items:
+                self._record(item, priv, span, weak)
+            return
+        if not isinstance(av, CapAV):
+            return
+        rec = self._rec(av.origin)
+        if weak:
+            rec.may.setdefault(priv, span)
+        elif av.via is None:
+            rec.direct.setdefault(priv, span)
+        else:
+            rec.via.setdefault(av.via, {}).setdefault(priv, span)
+
+    def _derived(self, av: AV, via: Priv, path_suffix: str | None = None) -> AV:
+        if not isinstance(av, CapAV):
+            return UNKNOWN
+        path = av.path
+        if path is not None and path_suffix:
+            path = path.rstrip("/") + "/" + path_suffix
+        return CapAV(av.origin, via=av.via or via, path=path)
+
+    def _escape(self, av: AV, span: A.Span, may: tuple[Priv, ...] = _ESCAPE_MAY) -> None:
+        if isinstance(av, ListAV):
+            for item in av.items:
+                self._escape(item, span, may)
+            return
+        if isinstance(av, CapAV):
+            rec = self._rec(av.origin)
+            if not rec.escapes:
+                rec.escapes = True
+                rec.escape_span = span
+            for priv in may:
+                rec.may.setdefault(priv, span)
+        elif isinstance(av, WalletAV):
+            self._mark_wallet(av, span)
+        elif isinstance(av, FactoryAV):
+            self._mark_network(av, span)
+
+    def _mark_called(self, av: AV, span: A.Span) -> None:
+        if isinstance(av, CapAV):
+            rec = self._rec(av.origin)
+            if not rec.called:
+                rec.called = True
+                rec.call_span = span
+
+    def _mark_network(self, av: AV, span: A.Span) -> None:
+        if isinstance(av, FactoryAV) and av.kind != "socket":
+            return
+        origin = getattr(av, "origin", None)
+        if origin is not None:
+            rec = self._rec(origin)
+            if not rec.network:
+                rec.network = True
+                rec.network_span = span
+
+    def _mark_wallet(self, av: AV, span: A.Span) -> None:
+        origin = getattr(av, "origin", None)
+        if isinstance(av, (WalletAV, CapAV)) and origin is not None:
+            rec = self._rec(origin)
+            if not rec.wallet:
+                rec.wallet = True
+                rec.wallet_span = span
+
+    # -- the fixpoint -------------------------------------------------
+
+    def run(self) -> ModuleAnalysis:
+        self._process_requires()
+        for stmt in self.module.body:
+            if isinstance(stmt, A.Def) and isinstance(stmt.expr, A.Fun):
+                self.funcs[stmt.name] = stmt.expr
+                self.fun_formals[stmt.name] = stmt.expr.params
+        for _ in range(self._MAX_ITERATIONS):
+            before = self._snapshot()
+            self._anon = 0
+            env = self._module_env()
+            for stmt in self.module.body:
+                self._walk_stmt(stmt, env)
+            for fname, fun in self.funcs.items():
+                fenv = dict(env)
+                for formal in fun.params:
+                    fenv[formal] = CapAV(f"{fname}.{formal}")
+                self.returns[fname] = self._classify_return(
+                    self._walk_block(fun.body, fenv), fname, fun.params)
+            if self._snapshot() == before:
+                break
+        return self._finish()
+
+    def _snapshot(self) -> tuple:
+        return tuple(sorted((origin, rec.snapshot())
+                            for origin, rec in self.uses.items()))
+
+    def _module_env(self) -> dict[str, AV]:
+        env: dict[str, AV] = dict(self.imports)
+        for fname in self.funcs:
+            env[fname] = FunAV(fname)
+        if self.module.is_ambient:
+            env.setdefault("stdout", CapAV("<stdout>", path="<stdout>"))
+            env.setdefault("stderr", CapAV("<stderr>", path="<stderr>"))
+            env.setdefault("pipe_factory", FactoryAV("pipe", "pipe_factory"))
+            env.setdefault("socket_factory", FactoryAV("socket", "socket_factory"))
+        return env
+
+    def _process_requires(self) -> None:
+        for req in self.module.requires:
+            if not req.is_path:
+                exports = _BUILTIN_LIBS.get(req.target)
+                if exports is None:
+                    self.unresolved.append((req.target, req.span))
+                    continue
+                for export in exports:
+                    self.imports.setdefault(export, BuiltinAV(export))
+                if req.target == "shill/contracts":
+                    self.known_contract_names |= _CONTRACT_LIB_NAMES
+                continue
+            callee = self.ctx.analyze(req.target)
+            if callee is None:
+                self.unresolved.append((req.target, req.span))
+                continue
+            for pinfo in callee.params:
+                self.imports.setdefault(pinfo.export,
+                                        ImportAV(req.target, pinfo.export))
+            if callee.module is not None:
+                for provide in callee.module.provides:
+                    self.imports.setdefault(provide.name,
+                                            ImportAV(req.target, provide.name))
+
+    def _classify_return(self, av: AV, fname: str, formals: tuple[str, ...]) -> object:
+        if isinstance(av, CapAV):
+            for index, formal in enumerate(formals):
+                if av.origin == f"{fname}.{formal}":
+                    return ("arg", index, av.via)
+        if isinstance(av, (ConstAV, WalletAV, FactoryAV, NativeAV)):
+            return av
+        return UNKNOWN
+
+    # -- statements ---------------------------------------------------
+
+    def _walk_stmt(self, stmt: A.Stmt, env: dict[str, AV]) -> AV:
+        if isinstance(stmt, A.Def):
+            if isinstance(stmt.expr, A.Fun) and stmt.name in self.funcs:
+                # top-level named function: summarised in the named pass
+                value: AV = FunAV(stmt.name)
+            else:
+                value = self._eval(stmt.expr, env, var=stmt.name)
+            env[stmt.name] = value
+            return value
+        if isinstance(stmt, A.ExprStmt):
+            return self._eval(stmt.expr, env)
+        if isinstance(stmt, A.If):
+            self._eval(stmt.cond, env)
+            then_env = dict(env)
+            then_val = self._walk_stmt(stmt.then, then_env)
+            else_env = dict(env)
+            else_val = (self._walk_stmt(stmt.otherwise, else_env)
+                        if stmt.otherwise is not None else UNKNOWN)
+            self._merge_envs(env, then_env, else_env)
+            return then_val if then_val == else_val else UNKNOWN
+        if isinstance(stmt, A.For):
+            iterable = self._eval(stmt.iterable, env)
+            if isinstance(iterable, ListAV) and iterable.items:
+                # Walk the body once per distinct element (bounded), so
+                # uses land on every member, not just a representative.
+                candidates: list[AV] = list(dict.fromkeys(iterable.items))[:8]
+            elif isinstance(iterable, CapAV):
+                # An opaque list value (e.g. an is_list formal): let
+                # element uses flow back to the list's own origin, where
+                # call sites redistribute them onto the real members.
+                candidates = [iterable]
+            else:
+                candidates = [UNKNOWN]
+            body_env = dict(env)
+            for item in candidates:
+                body_env[stmt.var] = item
+                self._walk_block(stmt.body, body_env)
+            self._merge_envs(env, body_env, env)
+            return UNKNOWN
+        if isinstance(stmt, A.Block):
+            return self._walk_block(stmt, dict(env))
+        return UNKNOWN
+
+    def _walk_block(self, block: A.Block, env: dict[str, AV]) -> AV:
+        value: AV = UNKNOWN
+        for stmt in block.stmts:
+            value = self._walk_stmt(stmt, env)
+        return value
+
+    def _merge_envs(self, env: dict[str, AV], a: dict[str, AV], b: dict[str, AV]) -> None:
+        for key in set(a) | set(b):
+            va, vb = a.get(key), b.get(key)
+            env[key] = va if (va == vb and va is not None) else UNKNOWN
+
+    # -- expressions --------------------------------------------------
+
+    def _eval(self, expr: A.Expr, env: dict[str, AV], var: str = "") -> AV:
+        if isinstance(expr, A.Lit):
+            return ConstAV(expr.value)
+        if isinstance(expr, A.Var):
+            value = env.get(expr.name)
+            if value is not None:
+                return value
+            if expr.name in _KNOWN_BUILTINS:
+                return BuiltinAV(expr.name)
+            return UNKNOWN
+        if isinstance(expr, A.ListLit):
+            return ListAV(tuple(self._eval(item, env) for item in expr.items))
+        if isinstance(expr, A.UnOp):
+            self._eval(expr.operand, env)
+            return UNKNOWN
+        if isinstance(expr, A.BinOp):
+            left = self._eval(expr.left, env)
+            right = self._eval(expr.right, env)
+            if (expr.op == "+" and isinstance(left, ConstAV)
+                    and isinstance(right, ConstAV)
+                    and isinstance(left.value, str) and isinstance(right.value, str)):
+                return ConstAV(left.value + right.value)
+            return UNKNOWN
+        if isinstance(expr, A.Fun):
+            return self._eval_fun(expr, env)
+        if isinstance(expr, A.If):
+            return self._walk_stmt(expr, env)
+        if isinstance(expr, A.Block):
+            return self._walk_block(expr, dict(env))
+        if isinstance(expr, A.Call):
+            return self._eval_call(expr, env, var=var)
+        return UNKNOWN
+
+    def _eval_fun(self, fun: A.Fun, env: dict[str, AV]) -> AV:
+        self._anon += 1
+        name = fun.name or f"<fun{self._anon}>"
+        qualified = f"{name}@anon" if not fun.name else name
+        self.fun_formals[qualified] = fun.params
+        fenv = dict(env)
+        for formal in fun.params:
+            fenv[formal] = CapAV(f"{qualified}.{formal}")
+        self.returns[qualified] = self._classify_return(
+            self._walk_block(fun.body, fenv), qualified, fun.params)
+        return FunAV(qualified)
+
+    def _eval_call(self, call: A.Call, env: dict[str, AV], var: str = "") -> AV:
+        fn = self._eval(call.fn, env)
+        args = [self._eval(arg, env) for arg in call.args]
+        kwargs = {key: self._eval(value, env) for key, value in call.kwargs}
+        span = call.span
+
+        if isinstance(fn, BuiltinAV):
+            return self._call_builtin(fn.name, args, kwargs, span, var)
+        if isinstance(fn, FunAV):
+            return self._apply_local(fn.name, args, span)
+        if isinstance(fn, ImportAV):
+            return self._apply_import(fn, args, span)
+        if isinstance(fn, NativeAV):
+            self._native_call(args, kwargs, span)
+            return UNKNOWN
+        if isinstance(fn, CapAV):
+            self._mark_called(fn, span)
+            for arg in args:
+                self._escape(arg, span)
+            return UNKNOWN
+        for arg in list(args) + list(kwargs.values()):
+            self._escape(arg, span)
+        return UNKNOWN
+
+    # -- call forms ---------------------------------------------------
+
+    def _call_builtin(self, name: str, args: list[AV], kwargs: dict[str, AV],
+                      span: A.Span, var: str) -> AV:
+        arg0 = args[0] if args else UNKNOWN
+
+        if name in _CAP_OPS:
+            priv, derives = _CAP_OPS[name]
+            self._record(arg0, priv, span)
+            if derives:
+                suffix = None
+                if len(args) > 1 and isinstance(args[1], ConstAV):
+                    suffix = str(args[1].value)
+                return self._derived(arg0, priv, suffix)
+            return UNKNOWN
+        if name == "unlink":
+            self._record(arg0, Priv.LOOKUP, span)
+            self._record(arg0, Priv.UNLINK_FILE, span, weak=True)
+            self._record(arg0, Priv.UNLINK_DIR, span, weak=True)
+            return UNKNOWN
+        if name in ("resolve", "resolve_chain", "exists"):
+            self._record(arg0, Priv.LOOKUP, span)
+            if name == "resolve":
+                return self._derived(arg0, Priv.LOOKUP)
+            if name == "resolve_chain":
+                return ListAV((self._derived(arg0, Priv.LOOKUP),))
+            return UNKNOWN
+        if name == "create_pipe":
+            return UNKNOWN
+        if name == "create_socket":
+            self._mark_network(arg0, span)
+            return UNKNOWN
+        if name in _SOCKET_OPS:
+            return UNKNOWN
+        if name == "exec":
+            self._record(arg0, Priv.EXEC, span)
+            # The binary itself crosses into the sandbox, which reads it
+            # to run it — its remaining authority is exercised out of
+            # the analyzer's sight.
+            self._escape(arg0, span, _POPULATE_MAY)
+            for arg in args[1:]:
+                self._escape(arg, span)
+            for key, value in kwargs.items():
+                if key == "cwd":
+                    self._record(value, Priv.CHDIR, span, weak=True)
+                self._escape(value, span)
+            return UNKNOWN
+        if name == "create_wallet":
+            self.wallet_minted = True
+            return WalletAV()
+        if name in ("wallet_put", "wallet_get"):
+            self._mark_wallet(arg0, span)
+            return UNKNOWN
+        if name == "populate_native_wallet":
+            self._mark_wallet(arg0, span)
+            if len(args) > 1:
+                root = args[1]
+                if isinstance(root, CapAV):
+                    rec = self._rec(root.origin)
+                    if not rec.escapes:
+                        rec.escapes = True
+                        rec.escape_span = span
+                    for priv in _POPULATE_MAY:
+                        rec.may.setdefault(priv, span)
+            return UNKNOWN
+        if name == "pkg_native":
+            if len(args) > 1:
+                self._mark_wallet(args[1], span)
+            return NativeAV()
+        if name == "concat" and len(args) == 2:
+            a, b = args
+            if isinstance(a, ListAV) and isinstance(b, ListAV):
+                return ListAV(a.items + b.items)
+            items = (a.items if isinstance(a, ListAV) else ()) + (
+                b.items if isinstance(b, ListAV) else ())
+            return ListAV(items) if items else UNKNOWN
+        if name == "push" and len(args) == 2:
+            lst, value = args
+            if isinstance(lst, ListAV):
+                return ListAV(lst.items + (value,))
+            return ListAV((value,))
+        if name == "nth" and len(args) == 2:
+            lst, index = args
+            if (isinstance(lst, ListAV) and isinstance(index, ConstAV)
+                    and isinstance(index.value, (int, float))):
+                i = int(index.value)
+                if 0 <= i < len(lst.items):
+                    return lst.items[i]
+            return UNKNOWN
+        if name in ("open_file", "open_dir") and self.module.is_ambient:
+            return self._mint(name, args, span, var)
+        # pure helpers and predicates: no authority involved
+        return UNKNOWN
+
+    def _mint(self, name: str, args: list[AV], span: A.Span, var: str) -> AV:
+        kind = "dir" if name == "open_dir" else "file"
+        arg0 = args[0] if args else UNKNOWN
+        path = (str(arg0.value) if isinstance(arg0, ConstAV) else "<dynamic>")
+        origin = f"mint:{path}"
+        if origin not in self.mints:
+            self.mints[origin] = MintInfo(origin=origin, var=var or path,
+                                          path=path, kind=kind, span=span)
+        self._rec(origin)
+        return CapAV(origin, path=path)
+
+    def _apply_local(self, fname: str, args: list[AV], span: A.Span) -> AV:
+        formals = self.fun_formals.get(fname, ())
+        for formal, arg in zip(formals, args):
+            rec = self.uses.get(f"{fname}.{formal}")
+            if rec is not None:
+                self._apply_record(rec, arg, span)
+        template = self.returns.get(fname, UNKNOWN)
+        if isinstance(template, tuple) and template and template[0] == "arg":
+            _, index, via = template
+            if index < len(args):
+                base = args[index]
+                if via is None:
+                    return base
+                return self._derived(base, via)
+            return UNKNOWN
+        if isinstance(template, AV):
+            return template
+        return UNKNOWN
+
+    def _apply_record(self, rec: UseRecord, av: AV, span: A.Span) -> None:
+        for priv, sp in rec.direct.items():
+            self._record(av, priv, sp or span)
+        for via, inner in rec.via.items():
+            derived = self._derived(av, via)
+            for priv, sp in inner.items():
+                self._record(derived, priv, sp or span)
+        for priv, sp in rec.may.items():
+            self._record(av, priv, sp or span, weak=True)
+        if rec.escapes:
+            self._escape(av, rec.escape_span or span)
+        if rec.called:
+            self._mark_called(av, rec.call_span or span)
+        if rec.network:
+            self._mark_network(av, rec.network_span or span)
+        if rec.wallet:
+            self._mark_wallet(av, rec.wallet_span or span)
+
+    def _apply_import(self, fn: ImportAV, args: list[AV], span: A.Span) -> AV:
+        callee = self.ctx.analyze(fn.module)
+        if callee is None:
+            for arg in args:
+                self._escape(arg, span)
+            return UNKNOWN
+        pinfos = [p for p in callee.params if p.export == fn.export]
+        if not pinfos:
+            for arg in args:
+                self._escape(arg, span)
+            return UNKNOWN
+        for pinfo, arg in zip(pinfos, args):
+            self._apply_grant(pinfo.grant, arg, span)
+            # Predicate contracts (is_list, any, ...) pass the value
+            # through unattenuated, so the callee's own behaviour — not
+            # the contract — bounds what happens to the argument.
+            if (pinfo.record is not None and not pinfo.grant.opaque
+                    and all(b.kind == "any" for b in pinfo.grant.branches)):
+                self._apply_record(pinfo.record, arg, span)
+        return UNKNOWN
+
+    def _apply_grant(self, grant: Grant, av: AV, span: A.Span) -> None:
+        if grant.opaque:
+            self._escape(av, span)
+            return
+        cap_branches = [b for b in grant.branches
+                        if b.kind in CAP_KINDS and b.privs is not None]
+        if len(cap_branches) == 1:
+            for priv in cap_branches[0].privs.privs():
+                self._record(av, priv, span)
+        elif cap_branches:
+            for priv in grant.union_privs():
+                self._record(av, priv, span, weak=True)
+        if grant.grants_network:
+            self._mark_network(av, span)
+        if grant.grants_wallet:
+            self._mark_wallet(av, span)
+        if any(b.kind == "fun" for b in grant.branches):
+            self._mark_called(av, span)
+
+    def _native_call(self, args: list[AV], kwargs: dict[str, AV], span: A.Span) -> None:
+        for arg in args:
+            self._escape(arg, span)
+        for key, value in kwargs.items():
+            if key == "cwd":
+                self._record(value, Priv.CHDIR, span, weak=True)
+            self._escape(value, span)
+
+    # -- results ------------------------------------------------------
+
+    def _finish(self) -> ModuleAnalysis:
+        analysis = ModuleAnalysis(name=self.name, lang=self.module.lang,
+                                  module=self.module)
+        analysis.uses = self.uses
+        analysis.mints = self.mints
+        analysis.unresolved = self.unresolved
+        known = frozenset(self.known_contract_names) | frozenset(self.imports)
+        for provide in self.module.provides:
+            ctc = provide.contract
+            poly: dict[str, PrivSet] = {}
+            poly_var = None
+            if isinstance(ctc, A.CtcForall):
+                bound = tuple(ctc.bound)
+                poly[ctc.var] = PrivSet.of(
+                    *[_priv(b) for b in bound if _priv(b) is not None])
+                poly_var = ctc.var
+                analysis.foralls.append(ForallInfo(
+                    export=provide.name, var=ctc.var, bound=bound, span=ctc.span))
+                ctc = ctc.body
+            if not isinstance(ctc, A.CtcFun):
+                continue
+            formals = self.fun_formals.get(provide.name, ())
+            for index, (pname, pctc) in enumerate(ctc.params):
+                record = None
+                if index < len(formals):
+                    record = self.uses.get(f"{provide.name}.{formals[index]}")
+                is_poly = (isinstance(pctc, A.CtcName) and pctc.name == poly_var)
+                analysis.params.append(ParamInfo(
+                    export=provide.name, name=pname,
+                    grant=grant_of(pctc, poly, known),
+                    record=record, span=pctc.span,
+                    poly_var=poly_var if is_poly else None))
+        analysis.footprint = self._build_footprint(analysis)
+        return analysis
+
+    def _build_footprint(self, analysis: ModuleAnalysis) -> Footprint:
+        all_privs: set[Priv] = set()
+        for rec in self.uses.values():
+            all_privs |= rec.all_privs()
+        reads: set[str] = set()
+        writes: set[str] = set()
+        executes: set[str] = set()
+        for origin, mint in self.mints.items():
+            rec = self.uses.get(origin)
+            if rec is None or rec.is_empty():
+                continue
+            r, w, x = classify_privs(rec.all_privs())
+            if r:
+                reads.add(mint.path)
+            if w:
+                writes.add(mint.path)
+            if x:
+                executes.add(mint.path)
+        for origin in ("<stdout>", "<stderr>"):
+            rec = self.uses.get(origin)
+            if rec is not None and not rec.is_empty():
+                writes.add(origin)
+        network = any(rec.network for rec in self.uses.values())
+        wallet = self.wallet_minted or any(rec.wallet for rec in self.uses.values())
+        exports = []
+        by_export: dict[str, list[ParamFootprint]] = {}
+        for pinfo in analysis.params:
+            rec = pinfo.record
+            if rec is None:
+                pf = ParamFootprint(name=pinfo.name)
+            else:
+                pf = ParamFootprint(
+                    name=pinfo.name,
+                    privileges=tuple(sorted(p.value for p in rec.direct)),
+                    derived=tuple(sorted(
+                        (via.value, tuple(sorted(p.value for p in inner)))
+                        for via, inner in rec.via.items())),
+                    escapes=rec.escapes,
+                    called=rec.called,
+                    network=rec.network,
+                    wallet=rec.wallet,
+                )
+            by_export.setdefault(pinfo.export, []).append(pf)
+        for export, params in by_export.items():
+            exports.append(ExportFootprint(name=export, params=tuple(params)))
+        return Footprint(
+            script=self.name,
+            lang=self.module.lang,
+            privileges=tuple(sorted(p.value for p in all_privs)),
+            reads=tuple(sorted(reads)),
+            writes=tuple(sorted(writes)),
+            executes=tuple(sorted(executes)),
+            network=network,
+            wallet=wallet,
+            exports=tuple(exports),
+            requires=tuple(req.target for req in self.module.requires),
+        )
+
+
+def _priv(name: str) -> Optional[Priv]:
+    from repro.sandbox.privileges import priv_from_name
+
+    try:
+        return priv_from_name(name)
+    except Exception:
+        return None

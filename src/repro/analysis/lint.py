@@ -1,0 +1,140 @@
+"""The lint driver: analyse scripts, run the rules, render reports.
+
+``lint_source`` handles one script; ``lint_scripts`` takes a registry
+(name -> source) and lints every member, sharing one analysis context so
+cross-module requires resolve.  Reports render human-readable (one line
+per diagnostic, compiler style) or as JSON with a stable schema — see
+``docs/linting.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.analysis.footprint import Diagnostic, Footprint
+from repro.analysis.infer import AnalysisContext, ModuleAnalysis, analyze_source
+from repro.analysis.rules import RuleSet
+
+#: Bumped when the JSON report schema changes shape.
+REPORT_SCHEMA_VERSION = 1
+
+_DEFAULT_RULESET = RuleSet()
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """The lint result for one script: diagnostics plus the inferred
+    footprint (present even when the script is clean)."""
+
+    script: str
+    lang: str
+    diagnostics: tuple[Diagnostic, ...] = ()
+    footprint: Footprint = Footprint()
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == "error")
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == "warning")
+
+    @property
+    def clean(self) -> bool:
+        return not self.diagnostics
+
+    def to_json(self) -> dict:
+        return {
+            "script": self.script,
+            "lang": self.lang,
+            "diagnostics": [d.to_json() for d in self.diagnostics],
+            "footprint": self.footprint.to_json(),
+        }
+
+
+def lint_source(
+    name: str,
+    source: str,
+    registry: Mapping[str, str] | None = None,
+    rules: RuleSet | None = None,
+    context: AnalysisContext | None = None,
+    default_lang: str | None = None,
+) -> LintReport:
+    """Analyse and lint one script (either dialect)."""
+    ruleset = rules if rules is not None else _DEFAULT_RULESET
+    analysis = analyze_source(name, source, registry=registry,
+                              context=context, default_lang=default_lang)
+    return report_for(analysis, ruleset)
+
+
+def report_for(analysis: ModuleAnalysis, rules: RuleSet | None = None) -> LintReport:
+    ruleset = rules if rules is not None else _DEFAULT_RULESET
+    return LintReport(
+        script=analysis.name,
+        lang=analysis.lang,
+        diagnostics=tuple(ruleset.run(analysis)),
+        footprint=analysis.footprint,
+    )
+
+
+def lint_scripts(
+    scripts: Mapping[str, str],
+    rules: RuleSet | None = None,
+    registry: Mapping[str, str] | None = None,
+) -> dict[str, LintReport]:
+    """Lint every script in ``scripts``; requires resolve against
+    ``registry`` (defaulting to ``scripts`` itself)."""
+    ctx = AnalysisContext(dict(registry if registry is not None else scripts))
+    return {
+        name: lint_source(name, source, rules=rules, context=ctx)
+        for name, source in sorted(scripts.items())
+    }
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+
+def render_human(reports: Mapping[str, LintReport]) -> str:
+    """Compiler-style report: one line per diagnostic, then a summary."""
+    lines: list[str] = []
+    errors = warnings = 0
+    for name in sorted(reports):
+        report = reports[name]
+        for diag in report.diagnostics:
+            lines.append(diag.format())
+            if diag.severity == "error":
+                errors += 1
+            elif diag.severity == "warning":
+                warnings += 1
+    checked = len(reports)
+    lines.append(
+        f"{checked} script{'s' if checked != 1 else ''} checked: "
+        f"{errors} error{'s' if errors != 1 else ''}, "
+        f"{warnings} warning{'s' if warnings != 1 else ''}")
+    return "\n".join(lines)
+
+
+def render_json(reports: Mapping[str, LintReport]) -> dict:
+    """The JSON report (schema documented in docs/linting.md)."""
+    return {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "scripts": [reports[name].to_json() for name in sorted(reports)],
+        "summary": {
+            "scripts": len(reports),
+            "errors": sum(len(r.errors) for r in reports.values()),
+            "warnings": sum(len(r.warnings) for r in reports.values()),
+            "rule_counts": rule_counts(reports),
+        },
+    }
+
+
+def rule_counts(reports: Mapping[str, LintReport]) -> dict[str, int]:
+    """Per-rule-code diagnostic counts — the baseline gate's currency."""
+    counts: dict[str, int] = {}
+    for report in reports.values():
+        for diag in report.diagnostics:
+            counts[diag.code] = counts.get(diag.code, 0) + 1
+    return dict(sorted(counts.items()))

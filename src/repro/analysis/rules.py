@@ -1,0 +1,412 @@
+"""Lint rules over :class:`~repro.analysis.infer.ModuleAnalysis`.
+
+Each rule is a :class:`LintRule` with a stable ``SHnnn`` code and a
+default severity; a :class:`RuleSet` runs them with data-driven severity
+overrides (``{"SH001": "off"}``), and :class:`FakeRuleSet` replaces the
+engine entirely in tests.  Blame follows the contract system's
+convention: the *positive* party is whoever provides the value (the
+script body, for its own exports), the *negative* party is the consumer
+(the caller holding the contract).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Protocol, Sequence, runtime_checkable
+
+from repro.analysis.footprint import Diagnostic, SEVERITIES
+from repro.analysis.grants import CAP_KINDS, Grant
+from repro.analysis.infer import ModuleAnalysis, ParamInfo
+from repro.lang import ast_ as A
+from repro.sandbox.privileges import DERIVING_PRIVS, Priv, priv_from_name
+
+
+@runtime_checkable
+class LintRule(Protocol):
+    """One pluggable lint check.
+
+    Implementations carry a stable ``code`` (``SHnnn``), a one-line
+    ``title``, a ``default_severity``, and a ``check`` that yields
+    :class:`Diagnostic` objects for one module's analysis.  Emit with
+    ``severity=default_severity``; the :class:`RuleSet` rewrites
+    severities from its config afterwards.
+    """
+
+    code: str
+    title: str
+    default_severity: str
+
+    def check(self, analysis: ModuleAnalysis) -> Iterable[Diagnostic]: ...
+
+
+class _Rule:
+    """Shared helpers for the built-in rules."""
+
+    code = "SH000"
+    title = ""
+    default_severity = "warning"
+
+    def _diag(self, analysis: ModuleAnalysis, message: str, span: A.Span,
+              blame: str = "", param: str = "") -> Diagnostic:
+        return Diagnostic(
+            code=self.code, severity=self.default_severity, message=message,
+            script=analysis.name, line=span.line, col=span.col,
+            blame=blame, param=param)
+
+    def check(self, analysis: ModuleAnalysis) -> Iterable[Diagnostic]:
+        raise NotImplementedError
+
+
+class OverPrivilegeRule(_Rule):
+    """SH001: the contract grants an explicit privilege the body never
+    uses — a least-privilege gap.  Suppressed for parameters that escape
+    into a sandbox (their authority is exercised out of sight)."""
+
+    code = "SH001"
+    title = "contract grants a privilege the body never uses"
+    default_severity = "warning"
+
+    def check(self, analysis: ModuleAnalysis) -> Iterable[Diagnostic]:
+        for pinfo in analysis.params:
+            rec = pinfo.record
+            if rec is None or rec.escapes or pinfo.grant.opaque:
+                continue
+            used = rec.all_privs()
+            for item in pinfo.grant.explicit:
+                try:
+                    priv = priv_from_name(item.priv_name)
+                except Exception:
+                    continue
+                if priv in used:
+                    continue
+                yield self._diag(
+                    analysis,
+                    f"contract for parameter {pinfo.name!r} of "
+                    f"{pinfo.export!r} grants +{item.priv_name}, but the "
+                    f"body never uses it",
+                    item.span,
+                    blame=f"caller of {pinfo.export!r} (over-granted)",
+                    param=pinfo.name)
+        for forall in analysis.foralls:
+            used: set[Priv] = set()
+            for pinfo in analysis.params:
+                if pinfo.export == forall.export and pinfo.poly_var and pinfo.record:
+                    used |= pinfo.record.all_privs()
+            for bound in forall.bound:
+                try:
+                    priv = priv_from_name(bound)
+                except Exception:
+                    continue
+                if priv not in used:
+                    yield self._diag(
+                        analysis,
+                        f"forall bound of {forall.export!r} includes "
+                        f"+{priv.value}, but no {forall.var}-typed parameter "
+                        f"uses it",
+                        forall.span,
+                        blame=f"caller of {forall.export!r} (over-granted)")
+
+
+class UnderPrivilegeRule(_Rule):
+    """SH002: the body exercises authority no contract branch supplies —
+    a guaranteed runtime violation (the attenuating proxy will deny it,
+    blaming the consumer; statically we blame the script, which promised
+    to live within its contract)."""
+
+    code = "SH002"
+    title = "body uses a privilege the contract never grants"
+    default_severity = "error"
+
+    def check(self, analysis: ModuleAnalysis) -> Iterable[Diagnostic]:
+        for pinfo in analysis.params:
+            rec = pinfo.record
+            if rec is None or pinfo.grant.opaque:
+                continue
+            required = rec.required_privset()
+            if len(required) and not pinfo.grant.admits(required):
+                yield self._under_diag(analysis, pinfo, required)
+
+    def _under_diag(self, analysis: ModuleAnalysis, pinfo: ParamInfo,
+                    required) -> Diagnostic:
+        rec = pinfo.record
+        assert rec is not None
+        grant = pinfo.grant
+        cap_branches = [b for b in grant.branches
+                        if b.kind in CAP_KINDS and b.privs is not None]
+        need = required.privs()
+        best = max(cap_branches, key=lambda b: len(need & b.privs.privs()),
+                   default=None)
+        if best is None:
+            missing = sorted(need, key=lambda p: p.value)
+            detail = "its contract grants no capability branch at all"
+        else:
+            missing = sorted(need - best.privs.privs(), key=lambda p: p.value)
+            detail = "no contract branch grants " + ", ".join(
+                f"+{p.value}" for p in missing) if missing else ""
+        if not missing:
+            # privilege names all present: a derived use exceeds a modifier
+            offender, span = self._modifier_offender(rec, best)
+            message = (
+                f"body of {pinfo.export!r} uses +{offender} on a capability "
+                f"derived from parameter {pinfo.name!r}, beyond the "
+                f"contract's 'with' modifier")
+            return self._diag(analysis, message, span,
+                              blame=f"script {analysis.name!r}",
+                              param=pinfo.name)
+        span = rec.first_span(missing[0])
+        message = (
+            f"body of {pinfo.export!r} uses "
+            + ", ".join(f"+{p.value}" for p in missing)
+            + f" on parameter {pinfo.name!r}, but {detail}")
+        return self._diag(analysis, message, span,
+                          blame=f"script {analysis.name!r}", param=pinfo.name)
+
+    @staticmethod
+    def _modifier_offender(rec, best):
+        for via, inner in rec.via.items():
+            if via not in DERIVING_PRIVS or via not in best.privs.privs():
+                continue
+            allowed = best.privs.effective_modifier(via)
+            for priv, span in inner.items():
+                if priv not in allowed:
+                    return priv.value, span
+        for via, inner in rec.via.items():
+            for priv, span in inner.items():
+                return priv.value, span
+        first = next(iter(rec.direct.items()), (Priv.READ, A.NO_SPAN))
+        return first[0].value, first[1]
+
+
+class ShadowedClauseRule(_Rule):
+    """SH003: a later ``\\/`` clause accepts only values an earlier
+    clause already accepts (it demands at least as much), so it can
+    never be selected — dead contract text."""
+
+    code = "SH003"
+    title = "contract disjunct shadowed by an earlier clause"
+    default_severity = "warning"
+
+    def check(self, analysis: ModuleAnalysis) -> Iterable[Diagnostic]:
+        for pinfo in analysis.params:
+            parts = pinfo.grant.or_parts
+            for j in range(1, len(parts)):
+                grant_j, span_j = parts[j]
+                for i in range(j):
+                    grant_i, _ = parts[i]
+                    if self._covers(grant_i, grant_j):
+                        yield self._diag(
+                            analysis,
+                            f"clause {j + 1} of the contract for "
+                            f"{pinfo.name!r} is shadowed by clause {i + 1}: "
+                            f"every capability it accepts already matches "
+                            f"the earlier clause",
+                            span_j,
+                            blame=f"contract of {pinfo.export!r}",
+                            param=pinfo.name)
+                        break
+
+    @staticmethod
+    def _covers(earlier: Grant, later: Grant) -> bool:
+        lat = [b for b in later.branches if b.kind in CAP_KINDS]
+        ear = [b for b in earlier.branches if b.kind in CAP_KINDS]
+        if not lat or not ear:
+            return False
+        for bj in lat:
+            if bj.privs is None:
+                return False
+            if not any(
+                bi.privs is not None
+                and bi.kind in (bj.kind, "cap")
+                and bi.privs.privs() <= bj.privs.privs()
+                for bi in ear
+            ):
+                return False
+        return True
+
+
+class UnknownContractRule(_Rule):
+    """SH004: a contract references a name neither the library nor any
+    require/definition supplies — elaboration will fail at runtime."""
+
+    code = "SH004"
+    title = "unknown contract name"
+    default_severity = "error"
+
+    def check(self, analysis: ModuleAnalysis) -> Iterable[Diagnostic]:
+        for pinfo in analysis.params:
+            for name, span in pinfo.grant.unknown:
+                yield self._diag(
+                    analysis,
+                    f"contract for parameter {pinfo.name!r} of "
+                    f"{pinfo.export!r} references unknown contract {name!r}",
+                    span,
+                    blame=f"contract of {pinfo.export!r}",
+                    param=pinfo.name)
+
+
+class UnusedMintRule(_Rule):
+    """SH005: an ambient script opens a file or directory and then never
+    uses the capability — ambient authority minted for nothing."""
+
+    code = "SH005"
+    title = "ambient capability minted but never used"
+    default_severity = "warning"
+
+    def check(self, analysis: ModuleAnalysis) -> Iterable[Diagnostic]:
+        for origin, mint in analysis.mints.items():
+            rec = analysis.uses.get(origin)
+            if rec is None or rec.is_empty():
+                yield self._diag(
+                    analysis,
+                    f"ambient script opens {mint.path!r} but never uses "
+                    f"the capability",
+                    mint.span,
+                    blame=f"script {analysis.name!r}")
+
+
+class NetworkGrantRule(_Rule):
+    """SH006: the body reaches the network through a parameter whose
+    contract never grants a socket factory."""
+
+    code = "SH006"
+    title = "network use without a socket_factory grant"
+    default_severity = "error"
+
+    def check(self, analysis: ModuleAnalysis) -> Iterable[Diagnostic]:
+        for pinfo in analysis.params:
+            rec = pinfo.record
+            if rec is None or not rec.network:
+                continue
+            if not pinfo.grant.grants_network:
+                yield self._diag(
+                    analysis,
+                    f"body of {pinfo.export!r} uses parameter "
+                    f"{pinfo.name!r} as a socket factory, but its contract "
+                    f"grants no socket_factory",
+                    rec.network_span,
+                    blame=f"script {analysis.name!r}",
+                    param=pinfo.name)
+
+
+class WalletGrantRule(_Rule):
+    """SH007: a wallet operation on a parameter whose contract is not a
+    wallet contract."""
+
+    code = "SH007"
+    title = "wallet operation on a non-wallet parameter"
+    default_severity = "error"
+
+    def check(self, analysis: ModuleAnalysis) -> Iterable[Diagnostic]:
+        for pinfo in analysis.params:
+            rec = pinfo.record
+            if rec is None or not rec.wallet:
+                continue
+            if not pinfo.grant.grants_wallet:
+                yield self._diag(
+                    analysis,
+                    f"body of {pinfo.export!r} performs wallet operations "
+                    f"on parameter {pinfo.name!r}, but its contract is not "
+                    f"a wallet contract",
+                    rec.wallet_span,
+                    blame=f"script {analysis.name!r}",
+                    param=pinfo.name)
+
+
+class UnresolvedRequireRule(_Rule):
+    """SH008: a ``require`` target the analyzer could not resolve (not
+    in the script registry, or an unknown builtin library) — calls into
+    it are analysed conservatively."""
+
+    code = "SH008"
+    title = "unresolved require target"
+    default_severity = "warning"
+
+    def check(self, analysis: ModuleAnalysis) -> Iterable[Diagnostic]:
+        for target, span in analysis.unresolved:
+            yield self._diag(
+                analysis,
+                f"require target {target!r} could not be resolved; calls "
+                f"into it are analysed conservatively",
+                span,
+                blame=f"script {analysis.name!r}")
+
+
+class SyntaxErrorRule(_Rule):
+    """SH009: the script does not parse at all."""
+
+    code = "SH009"
+    title = "syntax error"
+    default_severity = "error"
+
+    def check(self, analysis: ModuleAnalysis) -> Iterable[Diagnostic]:
+        if analysis.error is not None:
+            yield self._diag(analysis, analysis.error, analysis.error_span,
+                             blame=f"script {analysis.name!r}")
+
+
+#: The shipped rules, in code order.
+DEFAULT_RULES: tuple[LintRule, ...] = (
+    OverPrivilegeRule(),
+    UnderPrivilegeRule(),
+    ShadowedClauseRule(),
+    UnknownContractRule(),
+    UnusedMintRule(),
+    NetworkGrantRule(),
+    WalletGrantRule(),
+    UnresolvedRequireRule(),
+    SyntaxErrorRule(),
+)
+
+#: code -> (title, default severity); the docs and CLI render this.
+RULE_CATALOG: dict[str, tuple[str, str]] = {
+    rule.code: (rule.title, rule.default_severity) for rule in DEFAULT_RULES
+}
+
+
+class RuleSet:
+    """Runs a collection of rules with data-driven severity config.
+
+    ``severities`` maps rule codes to ``"error"``/``"warning"``/``"off"``;
+    unlisted codes keep their default.
+    """
+
+    def __init__(self, rules: Sequence[LintRule] = DEFAULT_RULES,
+                 severities: Mapping[str, str] | None = None) -> None:
+        self.rules = tuple(rules)
+        self.severities = dict(severities or {})
+        for code, severity in self.severities.items():
+            if severity not in SEVERITIES:
+                raise ValueError(
+                    f"unknown severity {severity!r} for rule {code} "
+                    f"(expected one of {SEVERITIES})")
+
+    def run(self, analysis: ModuleAnalysis) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        for rule in self.rules:
+            severity = self.severities.get(rule.code, rule.default_severity)
+            if severity == "off":
+                continue
+            for diag in rule.check(analysis):
+                if diag.severity != severity:
+                    diag = Diagnostic(
+                        code=diag.code, severity=severity,
+                        message=diag.message, script=diag.script,
+                        line=diag.line, col=diag.col, blame=diag.blame,
+                        param=diag.param)
+                out.append(diag)
+        out.sort(key=lambda d: (d.script, d.line, d.col, d.code, d.message))
+        return out
+
+
+class FakeRuleSet(RuleSet):
+    """A canned rule engine for tests: records every analysis it sees
+    and returns a fixed list of diagnostics, so gating and CLI behaviour
+    can be exercised without depending on real rule output."""
+
+    def __init__(self, diagnostics: Sequence[Diagnostic] = ()) -> None:
+        super().__init__(rules=())
+        self.diagnostics = list(diagnostics)
+        self.seen: list[ModuleAnalysis] = []
+
+    def run(self, analysis: ModuleAnalysis) -> list[Diagnostic]:
+        self.seen.append(analysis)
+        return list(self.diagnostics)

@@ -114,12 +114,19 @@ __all__ = [
     "boot_cache_size",
     "clear_result_cache",
     "result_cache_size",
+    "LintRejection",
 ]
 
 _DEPRECATED = ("ShillRuntime", "build_world")
 
 
 def __getattr__(name: str):
+    # Loaded on demand so the analysis package (parser, contract
+    # elaborator) stays off the import path of API users who never lint.
+    if name == "LintRejection":
+        from repro.analysis.gate import LintRejection
+
+        return LintRejection
     # Deprecation shims: the engine stays reachable under the new roof so
     # code mid-migration can flip one import at a time.
     if name in _DEPRECATED:

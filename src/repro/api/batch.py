@@ -58,8 +58,8 @@ from __future__ import annotations
 
 import threading
 import warnings
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterator, Mapping
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any, Iterator, Mapping
 
 from repro.api.caching import BoundedCache
 from repro.api.executors.base import (
@@ -127,6 +127,18 @@ class Batch:
     ``result_cache`` overrides the module-level shared result cache with
     a private :class:`~repro.api.caching.BoundedCache`.
 
+    ``lint`` enables pre-dispatch gating (see docs/linting.md): every
+    queued script is statically analysed *before* any fork or wire
+    round-trip.  ``"warn"`` attaches the inferred
+    :class:`~repro.analysis.Footprint` to each ``result.footprint``;
+    ``"strict"`` additionally raises
+    :class:`~repro.analysis.LintRejection` for the first job (in
+    submission order) carrying a lint error — the executor never sees
+    the doomed job, so the diagnostics are byte-identical whether the
+    batch targets a sequential, process, or remote executor.
+    ``lint_rules`` substitutes a custom
+    :class:`~repro.analysis.RuleSet` (a ``FakeRuleSet`` in tests).
+
     Example::
 
         from repro.api import Batch, World
@@ -148,12 +160,17 @@ class Batch:
         scripts: "Mapping[str, str] | ScriptRegistry | None" = None,
         cache: bool = True,
         result_cache: "BoundedCache | None" = None,
+        lint: str = "off",
+        lint_rules: Any = None,
     ) -> None:
         from repro.api.worlds import World
 
         if not isinstance(world, World):
             raise TypeError("Batch needs a repro.api.World (its fork/digest "
                             "machinery is what batching is built on)")
+        if lint not in ("off", "warn", "strict"):
+            raise ValueError(f"lint must be one of ('off', 'warn', 'strict'), "
+                             f"got {lint!r}")
         if isinstance(scripts, ScriptRegistry):
             scripts = scripts.as_dict()
         self.world = world
@@ -161,6 +178,8 @@ class Batch:
         self._scripts_sig = tuple(sorted(self._scripts.items()))
         self._cache_enabled = cache
         self._result_cache = result_cache if result_cache is not None else _RESULT_CACHE
+        self._lint = lint
+        self._lint_rules = lint_rules
         self._jobs: list[BatchJob] = []
         self._stats = {"jobs": 0, "cache_hits": 0, "forks": 0}
         self._stats_lock = threading.Lock()
@@ -274,6 +293,10 @@ class Batch:
         the submission-earliest :class:`BatchExecutionError` after
         draining, so sibling results still reach the cache."""
         try:
+            # Gate before the executor touches anything: a strict-mode
+            # rejection must look identical whether the batch would have
+            # forked locally or shipped jobs over the wire.
+            lint_reports = self._gate()
             chosen.prepare(self.world)
             self.world.boot()
             template = JobTemplate.for_world(self.world, self._scripts_sig)
@@ -290,7 +313,7 @@ class Batch:
                 cached = self._result_cache.get(key) if key is not None else None
                 if cached is not None:
                     self._bump("jobs", "cache_hits")
-                    yield index, job, cached
+                    yield index, job, self._annotate(cached, index, lint_reports)
                 elif key is not None and key in representative:
                     self._bump("jobs", "cache_hits")
                     duplicates.setdefault(representative[key], []).append(index)
@@ -320,9 +343,10 @@ class Batch:
                     continue
                 self._bump("jobs", "forks")
                 result = self._finish(key, result)
-                yield index, job, result
+                yield index, job, self._annotate(result, index, lint_reports)
                 for dup_index in duplicates.get(index, ()):
-                    yield dup_index, self._jobs[dup_index], result
+                    yield (dup_index, self._jobs[dup_index],
+                           self._annotate(result, dup_index, lint_reports))
             if failure is not None:
                 raise failure
         finally:
@@ -330,6 +354,27 @@ class Batch:
                 chosen.close()
 
     # -- shared plumbing ---------------------------------------------------
+
+    def _gate(self) -> dict:
+        """Run pre-dispatch lint over the queued jobs (mode permitting).
+        Imported lazily: ``repro.analysis`` depends on this module's
+        :class:`BatchExecutionError`."""
+        if self._lint == "off":
+            return {}
+        from repro.analysis.gate import gate_jobs
+
+        return gate_jobs(self._jobs, self._scripts, self._lint,
+                         rules=self._lint_rules)
+
+    @staticmethod
+    def _annotate(result: RunResult, index: int, lint_reports: dict) -> RunResult:
+        """Attach the job's inferred footprint.  The cache holds bare
+        results — the annotation is advisory metadata, and caching it
+        would leak one batch's lint mode into another's results."""
+        report = lint_reports.get(index)
+        if report is None:
+            return result
+        return replace(result, footprint=report.footprint)
 
     def _finish(self, key: tuple | None, result: RunResult) -> RunResult:
         if key is not None:

@@ -87,7 +87,12 @@ class RunResult:
     * ``traceback`` — for failed batch jobs, the full host traceback of
       the error that failed the run (diagnostic only: its frames name
       whichever backend ran the job, so it is excluded from
-      :meth:`fingerprint` the same way wall-clock timings are).
+      :meth:`fingerprint` the same way wall-clock timings are);
+    * ``footprint`` — the statically inferred capability footprint
+      (:class:`repro.analysis.Footprint`), attached when the batch ran
+      with ``lint="warn"``/``"strict"``; ``None`` otherwise.  Advisory
+      metadata, not an observable of the run: excluded from
+      :meth:`fingerprint` and never stored in the result cache.
 
     Example::
 
@@ -113,6 +118,7 @@ class RunResult:
     auto_granted: tuple[str, ...] = ()
     value: Any = None
     traceback: str = ""
+    footprint: Any = None
 
     def __reduce__(self):
         """Results cross process boundaries (the batch engine's process

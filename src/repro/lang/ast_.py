@@ -2,8 +2,32 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Union
+
+# ---------------------------------------------------------------------------
+# source positions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Span:
+    """A (line, col) source position, 1-based.  Line 0 means "unknown"
+    (nodes built programmatically rather than by the parser)."""
+
+    line: int = 0
+    col: int = 0
+
+    def __bool__(self) -> bool:
+        return self.line > 0
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.col}"
+
+
+#: The unknown position, shared by every node a parser did not stamp.
+NO_SPAN = Span()
+
 
 # ---------------------------------------------------------------------------
 # expressions and statements
@@ -12,7 +36,12 @@ from typing import Optional, Union
 
 @dataclass(frozen=True)
 class Node:
-    pass
+    """Base of every AST node.  ``span`` is carried for diagnostics only:
+    it is keyword-only (so subclass positional fields stay positional)
+    and excluded from equality/repr (two nodes spelling the same program
+    are equal wherever they were written)."""
+
+    span: Span = field(default=NO_SPAN, kw_only=True, compare=False, repr=False)
 
 
 @dataclass(frozen=True)

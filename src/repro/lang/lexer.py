@@ -17,6 +17,17 @@ from __future__ import annotations
 from repro.errors import ShillSyntaxError
 from repro.lang.tokens import T, Token
 
+def _advance_pos(source: str, start: int, stop: int, line: int, col: int) -> tuple[int, int]:
+    """(line, col) after consuming ``source[start:stop]``.  String literals
+    may span lines, and a lexer that does not count their newlines reports
+    every later token one line short."""
+    chunk = source[start:stop]
+    newlines = chunk.count("\n")
+    if newlines:
+        return line + newlines, stop - (source.rfind("\n", start, stop) + 1) + 1
+    return line, col + (stop - start)
+
+
 _SIMPLE = {
     "(": T.LPAREN,
     ")": T.RPAREN,
@@ -78,7 +89,7 @@ def lex(source: str, filename: str = "<script>") -> list[Token]:
             if j >= n:
                 raise error("unterminated string literal")
             push(T.STRING, "".join(out))
-            col += j - i + 1
+            line, col = _advance_pos(source, i, j + 1, line, col)
             i = j + 1
             continue
         if source.startswith("''", i):
@@ -86,7 +97,7 @@ def lex(source: str, filename: str = "<script>") -> list[Token]:
             if end == -1:
                 raise error("unterminated string literal")
             push(T.STRING, source[i + 2 : end])
-            col += end - i + 2
+            line, col = _advance_pos(source, i, end + 2, line, col)
             i = end + 2
             continue
         # numbers

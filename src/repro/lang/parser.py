@@ -52,9 +52,14 @@ class Parser:
         tok = tok or self.peek()
         return ShillSyntaxError(msg, tok.line, tok.col, self.filename)
 
+    @staticmethod
+    def span_of(tok: Token) -> A.Span:
+        return A.Span(tok.line, tok.col)
+
     # -- module -------------------------------------------------------------------
 
     def parse_module(self, lang: str) -> A.Module:
+        start = self.span_of(self.peek())
         requires: list[A.Require] = []
         provides: list[A.Provide] = []
         body: list[A.Stmt] = []
@@ -71,28 +76,29 @@ class Parser:
             provides=tuple(provides),
             body=tuple(body),
             filename=self.filename,
+            span=start,
         )
 
     def parse_require(self) -> A.Require:
-        self.expect(T.IDENT, "require")
+        start = self.span_of(self.expect(T.IDENT, "require"))
         if self.at(T.STRING):
             target = self.advance().value
             self.expect(T.SEMI)
-            return A.Require(target, is_path=True)
+            return A.Require(target, is_path=True, span=start)
         parts = [self.expect(T.IDENT).value]
         while self.at(T.SLASH):
             self.advance()
             parts.append(self.expect(T.IDENT).value)
         self.expect(T.SEMI)
-        return A.Require("/".join(parts), is_path=False)
+        return A.Require("/".join(parts), is_path=False, span=start)
 
     def parse_provide(self) -> A.Provide:
-        self.expect(T.IDENT, "provide")
+        start = self.span_of(self.expect(T.IDENT, "provide"))
         name = self.expect(T.IDENT).value
         self.expect(T.COLON)
         contract = self.parse_contract()
         self.expect(T.SEMI)
-        return A.Provide(name, contract)
+        return A.Provide(name, contract, span=start)
 
     # -- statements ------------------------------------------------------------------
 
@@ -105,14 +111,15 @@ class Parser:
             return self.parse_block()
         # definition: IDENT '=' ... (but not '==')
         if self.at(T.IDENT) and not self.peek().is_keyword and self.peek(1).type is T.ASSIGN:
+            start = self.span_of(self.peek())
             name = self.advance().value
             self.advance()  # '='
             expr = self.parse_expr()
             self._end_stmt(expr)
-            return A.Def(name, expr)
+            return A.Def(name, expr, span=start)
         expr = self.parse_expr()
         self._end_stmt(expr)
-        return A.ExprStmt(expr)
+        return A.ExprStmt(expr, span=expr.span)
 
     def _end_stmt(self, expr: A.Expr) -> None:
         """Statements end with ';' — optional after a brace-closed form
@@ -123,6 +130,7 @@ class Parser:
             self.expect(T.SEMI)
 
     def parse_if(self) -> A.If:
+        start = self.span_of(self.peek())
         self.expect(T.IDENT, "if")
         cond = self.parse_expr()
         self.expect(T.IDENT, "then")
@@ -131,7 +139,7 @@ class Parser:
         if self.at_keyword("else"):
             self.advance()
             otherwise = self._parse_branch()
-        return A.If(cond, then, otherwise)
+        return A.If(cond, then, otherwise, span=start)
 
     def _parse_branch(self) -> A.Stmt:
         """An if/else branch: a nested if/for/block, or a bare expression.
@@ -146,25 +154,26 @@ class Parser:
         expr = self.parse_expr()
         if self.at(T.SEMI):
             self.advance()
-        return A.ExprStmt(expr)
+        return A.ExprStmt(expr, span=expr.span)
 
     def parse_for(self) -> A.For:
+        start = self.span_of(self.peek())
         self.expect(T.IDENT, "for")
         var = self.expect(T.IDENT).value
         self.expect(T.IDENT, "in")
         iterable = self.parse_expr()
         body = self.parse_block()
-        return A.For(var, iterable, body)
+        return A.For(var, iterable, body, span=start)
 
     def parse_block(self) -> A.Block:
-        self.expect(T.LBRACE)
+        start = self.span_of(self.expect(T.LBRACE))
         stmts: list[A.Stmt] = []
         while not self.at(T.RBRACE):
             if self.at(T.EOF):
                 raise self.error("unterminated block")
             stmts.append(self.parse_stmt())
         self.expect(T.RBRACE)
-        return A.Block(tuple(stmts))
+        return A.Block(tuple(stmts), span=start)
 
     # -- expressions -------------------------------------------------------------------
 
@@ -175,14 +184,14 @@ class Parser:
         left = self.parse_and()
         while self.at(T.OR):
             self.advance()
-            left = A.BinOp("||", left, self.parse_and())
+            left = A.BinOp("||", left, self.parse_and(), span=left.span)
         return left
 
     def parse_and(self) -> A.Expr:
         left = self.parse_cmp()
         while self.at(T.AND):
             self.advance()
-            left = A.BinOp("&&", left, self.parse_cmp())
+            left = A.BinOp("&&", left, self.parse_cmp(), span=left.span)
         return left
 
     _CMP = {T.EQ: "==", T.NE: "!=", T.LT: "<", T.GT: ">", T.LE: "<=", T.GE: ">="}
@@ -191,14 +200,14 @@ class Parser:
         left = self.parse_add()
         if self.peek().type in self._CMP:
             op = self._CMP[self.advance().type]
-            return A.BinOp(op, left, self.parse_add())
+            return A.BinOp(op, left, self.parse_add(), span=left.span)
         return left
 
     def parse_add(self) -> A.Expr:
         left = self.parse_mul()
         while self.peek().type in (T.PLUS, T.MINUS):
             op = "+" if self.advance().type is T.PLUS else "-"
-            left = A.BinOp(op, left, self.parse_mul())
+            left = A.BinOp(op, left, self.parse_mul(), span=left.span)
         return left
 
     def parse_mul(self) -> A.Expr:
@@ -206,23 +215,23 @@ class Parser:
         while self.peek().type in (T.STAR, T.SLASH, T.PERCENT):
             tok = self.advance()
             op = {"*": "*", "/": "/", "%": "%"}[tok.value]
-            left = A.BinOp(op, left, self.parse_unary())
+            left = A.BinOp(op, left, self.parse_unary(), span=left.span)
         return left
 
     def parse_unary(self) -> A.Expr:
         if self.at(T.NOT):
-            self.advance()
-            return A.UnOp("!", self.parse_unary())
+            start = self.span_of(self.advance())
+            return A.UnOp("!", self.parse_unary(), span=start)
         if self.at(T.MINUS):
-            self.advance()
-            return A.UnOp("-", self.parse_unary())
+            start = self.span_of(self.advance())
+            return A.UnOp("-", self.parse_unary(), span=start)
         return self.parse_postfix()
 
     def parse_postfix(self) -> A.Expr:
         expr = self.parse_primary()
         while self.at(T.LPAREN):
             args, kwargs = self.parse_call_args()
-            expr = A.Call(expr, tuple(args), tuple(kwargs))
+            expr = A.Call(expr, tuple(args), tuple(kwargs), span=expr.span)
         return expr
 
     def parse_call_args(self) -> tuple[list[A.Expr], list[tuple[str, A.Expr]]]:
@@ -249,23 +258,23 @@ class Parser:
         if tok.type is T.NUMBER:
             self.advance()
             value: object = float(tok.value) if "." in tok.value else int(tok.value)
-            return A.Lit(value)
+            return A.Lit(value, span=self.span_of(tok))
         if tok.type is T.STRING:
             self.advance()
-            return A.Lit(tok.value)
+            return A.Lit(tok.value, span=self.span_of(tok))
         if self.at_keyword("true"):
             self.advance()
-            return A.Lit(True)
+            return A.Lit(True, span=self.span_of(tok))
         if self.at_keyword("false"):
             self.advance()
-            return A.Lit(False)
+            return A.Lit(False, span=self.span_of(tok))
         if self.at_keyword("fun"):
             return self.parse_fun()
         if tok.type is T.IDENT:
             if tok.is_keyword:
                 raise self.error(f"unexpected keyword {tok.value!r}")
             self.advance()
-            return A.Var(tok.value)
+            return A.Var(tok.value, span=self.span_of(tok))
         if tok.type is T.LBRACKET:
             return self.parse_list()
         if tok.type is T.LBRACE:
@@ -279,6 +288,7 @@ class Parser:
         raise self.error(f"unexpected token {tok.value!r}")
 
     def parse_fun(self) -> A.Fun:
+        start = self.span_of(self.peek())
         self.expect(T.IDENT, "fun")
         self.expect(T.LPAREN)
         params: list[str] = []
@@ -288,9 +298,10 @@ class Parser:
                 self.expect(T.COMMA)
         self.expect(T.RPAREN)
         body = self.parse_block()
-        return A.Fun(tuple(params), body)
+        return A.Fun(tuple(params), body, span=start)
 
     def parse_list(self) -> A.ListLit:
+        start = self.span_of(self.peek())
         self.expect(T.LBRACKET)
         items: list[A.Expr] = []
         while not self.at(T.RBRACKET):
@@ -298,7 +309,7 @@ class Parser:
             if not self.at(T.RBRACKET):
                 self.expect(T.COMMA)
         self.expect(T.RBRACKET)
-        return A.ListLit(tuple(items))
+        return A.ListLit(tuple(items), span=start)
 
     # -- contracts ------------------------------------------------------------------------
 
@@ -308,6 +319,7 @@ class Parser:
         return self.parse_ctc_arrow()
 
     def parse_forall(self) -> A.CtcForall:
+        start = self.span_of(self.peek())
         self.expect(T.IDENT, "forall")
         var = self.expect(T.IDENT).value
         self.expect(T.IDENT, "with")
@@ -322,7 +334,7 @@ class Parser:
         body = self.parse_ctc_arrow()
         if not isinstance(body, A.CtcFun):
             raise self.error("forall body must be a function contract")
-        return A.CtcForall(var, tuple(bound), body)
+        return A.CtcForall(var, tuple(bound), body, span=start)
 
     def parse_ctc_arrow(self) -> A.Ctc:
         """Either a named-parameter function contract, or ``C [-> R]``."""
@@ -332,11 +344,11 @@ class Parser:
         if self.at(T.ARROW):
             self.advance()
             result = self.parse_ctc_arrow()
-            return A.CtcFun((("arg", left),), result)
+            return A.CtcFun((("arg", left),), result, span=left.span)
         return left
 
     def parse_ctc_fun_named(self) -> A.CtcFun:
-        self.expect(T.LBRACE)
+        start = self.span_of(self.expect(T.LBRACE))
         params: list[tuple[str, A.Ctc]] = []
         while not self.at(T.RBRACE):
             name = self.expect(T.IDENT).value
@@ -347,21 +359,21 @@ class Parser:
         self.expect(T.RBRACE)
         self.expect(T.ARROW)
         result = self.parse_ctc_arrow()
-        return A.CtcFun(tuple(params), result)
+        return A.CtcFun(tuple(params), result, span=start)
 
     def parse_ctc_or(self) -> A.Ctc:
         parts = [self.parse_ctc_and()]
         while self.at(T.OR_CTC) or self.at(T.OR):
             self.advance()
             parts.append(self.parse_ctc_and())
-        return parts[0] if len(parts) == 1 else A.CtcOr(tuple(parts))
+        return parts[0] if len(parts) == 1 else A.CtcOr(tuple(parts), span=parts[0].span)
 
     def parse_ctc_and(self) -> A.Ctc:
         parts = [self.parse_ctc_atom()]
         while self.at(T.AND_CTC) or self.at(T.AND):
             self.advance()
             parts.append(self.parse_ctc_atom())
-        return parts[0] if len(parts) == 1 else A.CtcAnd(tuple(parts))
+        return parts[0] if len(parts) == 1 else A.CtcAnd(tuple(parts), span=parts[0].span)
 
     def parse_ctc_atom(self) -> A.Ctc:
         if self.at(T.LPAREN):
@@ -374,14 +386,15 @@ class Parser:
         tok = self.expect(T.IDENT)
         name = tok.value
         if self.at(T.LPAREN) and (name in _CAP_KINDS or name == "socket_factory"):
-            return self.parse_ctc_cap(name)
-        return A.CtcName(name)
+            return self.parse_ctc_cap(name, self.span_of(tok))
+        return A.CtcName(name, span=self.span_of(tok))
 
-    def parse_ctc_cap(self, kind: str) -> A.CtcCap:
+    def parse_ctc_cap(self, kind: str, start: A.Span) -> A.CtcCap:
         self.expect(T.LPAREN)
         items: list[A.CtcPrivItem] = []
         while not self.at(T.RPAREN):
-            priv = self.expect(T.PRIV).value
+            priv_tok = self.expect(T.PRIV)
+            priv = priv_tok.value
             modifier: tuple[str, ...] | None = None
             modifier_full = False
             if self.at_keyword("with"):
@@ -400,11 +413,12 @@ class Parser:
                     if word not in ("full_privs", "full_priv"):
                         raise self.error(f"expected privilege set or full_privs, got {word!r}")
                     modifier_full = True
-            items.append(A.CtcPrivItem(priv, modifier, modifier_full))
+            items.append(A.CtcPrivItem(priv, modifier, modifier_full,
+                                       span=self.span_of(priv_tok)))
             if not self.at(T.RPAREN):
                 self.expect(T.COMMA)
         self.expect(T.RPAREN)
-        return A.CtcCap(kind, tuple(items))
+        return A.CtcCap(kind, tuple(items), span=start)
 
 
 def parse_source(source: str, lang: str, filename: str = "<script>") -> A.Module:

@@ -1,0 +1,145 @@
+"""Footprint inference: the analyzer's read/write/execute prefix sets,
+network and wallet flags, and per-export parameter privileges — plus the
+shipped-corpus self-lint the CI baseline gate is built on."""
+
+from __future__ import annotations
+
+from repro.analysis import lint_source
+from repro.analysis.corpus import lint_corpus
+from repro.analysis.footprint import (
+    FP_EXEC_PRIVS,
+    FP_READ_PRIVS,
+    FP_WRITE_PRIVS,
+    classify_privs,
+)
+from repro.analysis.lint import render_human, render_json, rule_counts
+from repro.sandbox.privileges import Priv
+
+
+def test_classification_partitions_are_disjoint():
+    assert not (FP_READ_PRIVS & FP_WRITE_PRIVS)
+    assert not (FP_READ_PRIVS & FP_EXEC_PRIVS)
+    assert not (FP_WRITE_PRIVS & FP_EXEC_PRIVS)
+    # A prefix that is only walked is not a prefix that was read.
+    reads, writes, executes = classify_privs({Priv.LOOKUP, Priv.STAT, Priv.PATH})
+    assert (reads, writes, executes) == (False, False, False)
+    reads, writes, executes = classify_privs({Priv.READ, Priv.APPEND, Priv.EXEC})
+    assert (reads, writes, executes) == (True, True, True)
+
+
+def test_ambient_footprint_classifies_path_prefixes():
+    report = lint_source("mix.ambient", """\
+#lang shill/ambient
+notes = open_file("/home/alice/notes.txt");
+log = open_file("/var/log/app.log");
+tool = open_file("/usr/bin/tool");
+scratch = open_dir("/tmp");
+append(log, read(notes));
+exec(tool, []);
+create_dir(scratch, "work");
+""")
+    fp = report.footprint
+    assert fp.reads == ("/home/alice/notes.txt", "/usr/bin/tool")
+    assert "/var/log/app.log" in fp.writes and "/tmp" in fp.writes
+    assert fp.executes == ("/usr/bin/tool",)
+    assert not fp.network and not fp.wallet
+    assert fp.touches("/tmp/work/deep") and not fp.touches("/etc")
+
+
+def test_wallet_and_network_flags():
+    report = lint_source("netwal.ambient", """\
+#lang shill/ambient
+wallet = create_wallet();
+populate_native_wallet(wallet, open_dir("/"), ["curl"]);
+curl = pkg_native("curl", wallet);
+curl(["http://example.com"], socket_factory);
+""")
+    fp = report.footprint
+    assert fp.wallet and fp.network
+    # populate's root is read and executed (binary lookup), not written.
+    assert "/" in fp.reads and "/" in fp.executes and "/" not in fp.writes
+
+
+def test_export_parameter_footprints():
+    report = lint_source("copy.cap", """\
+#lang shill/cap
+provide copy : {src : file(+read), dst : file(+append)} -> void;
+copy = fun(src, dst) { append(dst, read(src)); }
+""")
+    [export] = report.footprint.exports
+    assert export.name == "copy"
+    src, dst = export.params
+    assert (src.name, src.privileges) == ("src", ("read",))
+    assert (dst.name, dst.privileges) == ("dst", ("append",))
+    assert not src.escapes and not src.network and not src.wallet
+
+
+def test_derived_uses_show_up_on_the_parameter():
+    report = lint_source("walkdir.cap", """\
+#lang shill/cap
+provide sweep : {d : dir(+contents, +lookup with {+read})} -> void;
+sweep = fun(d) {
+  for name in contents(d) {
+    read(lookup(d, name));
+  }
+}
+""")
+    [export] = report.footprint.exports
+    [d] = export.params
+    assert "contents" in d.privileges and "lookup" in d.privileges
+    assert any("read" in inner for inner in dict(d.derived).values())
+
+
+def test_footprint_json_shape_is_stable():
+    report = lint_source("tiny.ambient", """\
+#lang shill/ambient
+x = open_file("/tmp/x");
+read(x);
+""")
+    payload = report.footprint.to_json()
+    assert set(payload) == {"script", "lang", "privileges", "reads", "writes",
+                            "executes", "network", "wallet", "exports",
+                            "requires"}
+
+
+# ---------------------------------------------------------------------------
+# the shipped corpus (what benchmarks/baseline_lint.json pins)
+# ---------------------------------------------------------------------------
+
+
+def test_corpus_is_error_free_with_known_overgrants():
+    reports = lint_corpus()
+    assert len(reports) == 19
+    assert sum(len(r.errors) for r in reports.values()) == 0
+    # The pure-SHILL grading contract over-grants +lookup/+path/+stat on
+    # the grades file — genuine least-privilege findings, kept as-is.
+    counts = rule_counts(reports)
+    assert counts == {"SH001": 3}
+    assert all(d.script == "grading/grading_shill.cap"
+               for r in reports.values() for d in r.diagnostics)
+
+
+def test_corpus_case_study_footprints():
+    reports = lint_corpus()
+    apache = reports["apache/apache.ambient"].footprint
+    assert "/var/www" in apache.reads
+    assert "/var/log/httpd-access.log" in apache.writes
+    assert apache.network and apache.wallet
+
+    find = reports["findgrep/findgrep_simple.ambient"].footprint
+    assert "/usr/src" in find.reads
+    assert "/root/matches.txt" in find.writes
+
+    emacs = reports["package_mgmt/emacs_pkg.ambient"].footprint
+    assert emacs.network  # only download touches the network
+    assert any(p.startswith("/usr/local") for p in emacs.writes)
+
+
+def test_renderers_agree_on_totals():
+    reports = lint_corpus()
+    human = render_human(reports)
+    payload = render_json(reports)
+    assert human.endswith("19 scripts checked: 0 errors, 3 warnings")
+    assert payload["summary"] == {"scripts": 19, "errors": 0, "warnings": 3,
+                                  "rule_counts": {"SH001": 3}}
+    assert payload["schema_version"] == 1

@@ -1,0 +1,188 @@
+"""Soundness properties of the footprint analysis.
+
+The contract we advertise in docs/linting.md: if a script lints clean
+and runs clean, its static footprint covers everything the run actually
+touched.  Checked two ways — a hypothesis-generated family of small
+ambient scripts over the test kernel, and the four shipped case-study
+suites cross-checked against the kernel's audit log and KernelStats.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import lint_source
+from repro.api import Session, as_kernel
+from repro.casestudies import apache, findgrep, grading, package_mgmt
+from repro.kernel import Kernel
+from repro.kernel.vfs import VType
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def audit_entries(kernel):
+    if kernel.mac.find("shill") is None:
+        return []  # no sandboxes were ever created: nothing was audited
+    entries = []
+    for record in kernel.shill_policy().sessions.audit_records():
+        entries.extend(record.log.entries)
+    return entries
+
+
+def covered(target: str, footprint) -> bool:
+    """True when a path the kernel audited falls under some footprint
+    prefix (reads, writes or executes)."""
+    universe = footprint.reads + footprint.writes + footprint.executes
+    return any(target == prefix
+               or target.startswith(prefix.rstrip("/") + "/")
+               or prefix == "/"
+               for prefix in universe)
+
+
+def assert_audit_covered(kernel, footprint, *, allow_denies: bool = False):
+    entries = audit_entries(kernel)
+    if not allow_denies:
+        denies = [e for e in entries if e.kind == "deny"]
+        assert denies == [], denies
+    granted = [e.target for e in entries if e.kind in ("grant", "auto-grant")]
+    uncovered = [t for t in granted if not covered(t, footprint)]
+    assert uncovered == [], uncovered
+
+
+# ---------------------------------------------------------------------------
+# generated ambient scripts
+# ---------------------------------------------------------------------------
+
+FILES = ("/home/alice/notes.txt", "/home/alice/dog.jpg", "/home/bob/cat.txt")
+
+
+def fresh_kernel() -> Kernel:
+    """The conftest ``kernel`` tree, built per hypothesis example (the
+    function-scoped fixture cannot be reused across examples)."""
+    k = Kernel()
+    k.users.add_user("alice", 1001, 1001)
+    k.users.add_user("bob", 1002, 1002)
+    home = k.vfs.create(k.vfs.root, "home", VType.VDIR, 0o755, 0, 0)
+    alice = k.vfs.create(home, "alice", VType.VDIR, 0o755, 1001, 1001)
+    bob = k.vfs.create(home, "bob", VType.VDIR, 0o755, 1002, 1002)
+    for parent, name, uid in ((alice, "notes.txt", 1001),
+                              (alice, "dog.jpg", 1001),
+                              (bob, "cat.txt", 1002)):
+        node = k.vfs.create(parent, name, VType.VREG, 0o644, uid, uid)
+        assert node.data is not None
+        node.data.extend(b"payload")
+    return k
+
+ops = st.lists(
+    st.tuples(st.sampled_from(("read", "append")), st.sampled_from(FILES)),
+    min_size=1, max_size=6)
+
+
+def build_script(operations) -> str:
+    lines = ["#lang shill/ambient"]
+    for i, (op, path) in enumerate(operations):
+        lines.append(f'f{i} = open_file("{path}");')
+        if op == "read":
+            lines.append(f"read(f{i});")
+        else:
+            lines.append(f'append(f{i}, "x");')
+    return "\n".join(lines) + "\n"
+
+
+@given(operations=ops)
+@settings(max_examples=25, deadline=None)
+def test_clean_lint_and_clean_run_imply_footprint_covers_ops(operations):
+    kernel = fresh_kernel()
+    source = build_script(operations)
+    report = lint_source("gen.ambient", source)
+    assert report.clean, report.diagnostics
+
+    # Root has ambient authority over every fixture file: the run is
+    # clean by construction, so the property's hypothesis holds.
+    result = Session(kernel, user="root", cwd="/").run_ambient(source, "gen.ambient")
+    assert result.ok
+
+    footprint = report.footprint
+    for op, path in operations:
+        if op == "read":
+            assert path in footprint.reads
+        else:
+            assert path in footprint.writes
+        assert footprint.touches(path)
+    assert_audit_covered(kernel, footprint)
+
+
+# ---------------------------------------------------------------------------
+# the four case studies: footprint vs. what the kernel audited
+# ---------------------------------------------------------------------------
+
+
+def test_findgrep_footprint_covers_audited_grants():
+    source = findgrep.SIMPLE_AMBIENT.format(out="/root/matches.txt")
+    report = lint_source("findgrep_simple.ambient", source,
+                         registry=findgrep.SCRIPTS)
+    assert not report.errors
+
+    kernel = as_kernel(findgrep.usr_src_world())
+    result = findgrep.run_simple(kernel)
+    assert result.matches  # the grep actually found the mac_ hooks
+
+    footprint = report.footprint
+    assert "/usr/src" in footprint.reads
+    assert footprint.wallet
+    assert_audit_covered(kernel, footprint)
+    if kernel.stats.execs:
+        assert footprint.executes or footprint.wallet
+
+
+def test_grading_footprint_covers_audited_grants():
+    report = lint_source("grading_shill.ambient",
+                         grading.PURE_SHILL_AMBIENT_SCRIPT,
+                         registry=grading.SCRIPTS)
+    assert not report.errors
+
+    kernel = as_kernel(grading.grading_world())
+    result = grading.run_shill_grading(kernel)
+    assert result.grades  # every student got a grade
+
+    # This suite's sandboxes probe beyond their grants on purpose (the
+    # paper's isolation demo), so denies are expected — the soundness
+    # claim is about what was *granted*.
+    assert_audit_covered(kernel, report.footprint, allow_denies=True)
+
+
+def test_apache_footprint_covers_audited_grants():
+    report = lint_source("apache.ambient", apache.AMBIENT_SCRIPT,
+                         registry=apache.SCRIPTS)
+    assert not report.errors
+
+    kernel = as_kernel(apache.web_world())
+    result = apache.apache_bench(kernel, requests=4)
+    assert result.responses and "GET" in result.log_text
+
+    footprint = report.footprint
+    assert footprint.network
+    assert "/var/log/httpd-access.log" in footprint.writes
+    assert_audit_covered(kernel, footprint)
+    if kernel.stats.execs:
+        assert footprint.executes or footprint.wallet
+
+
+def test_package_mgmt_footprint_covers_audited_grants():
+    source = package_mgmt.AMBIENT_SCRIPT_TEMPLATE.format(
+        downloads="/root/downloads", prefix="/usr/local/emacs")
+    report = lint_source("emacs.ambient", source,
+                         registry=package_mgmt.SCRIPTS)
+    assert not report.errors
+
+    kernel = as_kernel(package_mgmt.emacs_world())
+    package_mgmt.run_full_ambient(kernel)
+
+    footprint = report.footprint
+    assert footprint.network
+    assert any(p.startswith("/usr/local/emacs") for p in footprint.writes)
+    assert_audit_covered(kernel, footprint)
+    if kernel.stats.execs:
+        assert footprint.executes or footprint.wallet
