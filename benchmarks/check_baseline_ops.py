@@ -112,12 +112,49 @@ def compare(measured: dict) -> int:
     return 0
 
 
+#: counters worth a step-summary column (the rest stay in the JSON)
+_SUMMARY_COUNTERS = ("vnode_ops", "total_syscalls", "mac_checks",
+                     "mac_denials", "dcache_hits")
+
+
+def summarize(measured: dict) -> None:
+    """Print a markdown per-cell op-delta table (measured vs baseline)
+    for the CI step summary.  Purely informational — the gate is
+    :func:`compare`."""
+    baseline = json.loads(BASELINE_PATH.read_text())["benchmarks"]
+
+    def fmt(bench: str, config: str, counter: str) -> str:
+        value = measured.get(bench, {}).get(config, {}).get(counter)
+        base = baseline.get(bench, {}).get(config, {}).get(counter)
+        if value is None:
+            return "—"
+        if base is None or base == value:
+            return f"{value:,}"
+        sign = "+" if value > base else ""
+        delta = f"{sign}{value - base:,}"
+        if base:
+            delta += f", {sign}{(value - base) / base:.1%}"
+        return f"{value:,} ({delta})"
+
+    print("| cell | " + " | ".join(_SUMMARY_COUNTERS) + " |")
+    print("|---" * (len(_SUMMARY_COUNTERS) + 1) + "|")
+    cells = {(b, c) for b, cfgs in measured.items() for c in cfgs}
+    cells |= {(b, c) for b, cfgs in baseline.items() for c in cfgs}
+    for bench, config in sorted(cells):
+        row = [fmt(bench, config, counter) for counter in _SUMMARY_COUNTERS]
+        print(f"| {bench}/{config} | " + " | ".join(row) + " |")
+    print("\nDeltas are vs the committed `benchmarks/baseline_ops.json`; "
+          "the gating comparison runs in the bench-ops step.")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("bench_json", nargs="?", default="BENCH_fig9.json",
                         help="measured run (default: BENCH_fig9.json)")
     parser.add_argument("--refresh", action="store_true",
                         help="rewrite baseline_ops.json from the measured run")
+    parser.add_argument("--summary", choices=["markdown"],
+                        help="print a per-cell op-delta table instead of gating")
     parser.add_argument("--tolerance", type=float, default=0.10,
                         help="relative growth allowed before failing (refresh "
                              "stores this; compare uses the stored value)")
@@ -137,6 +174,9 @@ def main(argv: list[str] | None = None) -> int:
     if not BASELINE_PATH.exists():
         print(f"missing {BASELINE_PATH}; run with --refresh first", file=sys.stderr)
         return 2
+    if args.summary:
+        summarize(measured)
+        return 0
     return compare(measured)
 
 

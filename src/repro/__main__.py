@@ -37,6 +37,12 @@ Usage::
         *.cap / *.ambient; --corpus adds the shipped demo + case-study
         scripts.  Exits 1 if any error-severity diagnostic fired.
 
+    python -m repro bench profile BENCH/CONFIG [--json]
+        Run one Figure 9 cell and report per-syscall / per-vnode-op /
+        per-MAC-hook attribution, dcache hit rates, and the full vs
+        delta snapshot payload sizes the executors would ship.
+        --list names every profileable cell.
+
     python -m repro store ls [--store DIR]
     python -m repro store gc [--keep N] [--store DIR]
         Inspect / evict the persistent snapshot store the store
@@ -162,6 +168,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
             _hostsys.stderr.write(f"  {diag.format()}\n")
         return EXIT_BATCH_ERROR
 
+    if args.verbose:
+        _hostsys.stderr.write(_boot_note(executor) + "\n")
     if args.json:
         print(json.dumps([
             {
@@ -184,6 +192,62 @@ def cmd_batch(args: argparse.Namespace) -> int:
         print(f"-- {stats['jobs']} jobs, {stats['forks']} world forks, "
               f"{stats['cache_hits']} result-cache hits --")
     return max((r.status for r in results), default=0)
+
+
+def _boot_note(executor) -> str:
+    """One line for ``batch --verbose``: where this run's workers got
+    their machine — ``memory`` (in-process snapshot / forks), ``store``
+    (a full blob from the persistent store), or ``delta`` (an
+    incremental blob resolved against its base chain)."""
+    store = getattr(executor, "store", None)
+    info = getattr(executor, "boot_info", None)
+    if store is None:
+        return (f"repro batch: boot source = memory ({executor.name} "
+                "executor; workers restore an in-process snapshot)")
+    digest = None
+    template = getattr(executor, "_template", None)
+    if template is not None:
+        digest = getattr(executor, "_snapshots", {}).get(template.token)
+    if digest is None and info is not None:
+        digest = info.snapshot
+    if digest is not None and store.has(digest):
+        if store.is_delta(digest):
+            from repro.kernel.serialize import delta_base_digest
+
+            base = delta_base_digest(store.load(digest))
+            return (f"repro batch: boot source = delta (blob {digest[:12]} "
+                    f"against base {base[:12]}, store {store.root})")
+        return (f"repro batch: boot source = store (full blob {digest[:12]}, "
+                f"store {store.root})")
+    return ("repro batch: boot source = "
+            f"{info.source if info is not None else 'unknown'}")
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    # Imported here: the profile pulls in every case-study world builder,
+    # which the other subcommands do not need at startup.
+    from repro.bench.profile import list_cells, profile_cell, render_profile
+
+    if args.list or not args.cell:
+        for cell in list_cells():
+            print(cell)
+        return 0 if args.list else 2
+    bench, sep, config = args.cell.partition("/")
+    if not sep:
+        _hostsys.stderr.write(
+            "repro bench profile: cell must be BENCH/CONFIG "
+            "(see --list)\n")
+        return 2
+    try:
+        report = profile_cell(bench, config)
+    except KeyError as err:
+        _hostsys.stderr.write(f"repro bench profile: {err.args[0]}\n")
+        return 2
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_profile(report))
+    return 0
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -318,6 +382,9 @@ def main(argv: list[str] | None = None) -> int:
                               "--executor remote)")
     batch_p.add_argument("--json", action="store_true",
                          help="machine-readable per-job summary")
+    batch_p.add_argument("--verbose", action="store_true",
+                         help="print a one-line worker boot-source note "
+                              "(memory/store/delta) on stderr")
     batch_p.add_argument("--no-cache", action="store_true",
                          help="bypass the (world, script, user) result cache")
     batch_p.add_argument("--lint", choices=("off", "warn", "strict"),
@@ -336,6 +403,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="report format (default: human)")
     lint_p.add_argument("--corpus", action="store_true",
                         help="also lint the shipped demo + case-study scripts")
+
+    bench_p = sub.add_parser(
+        "bench", help="benchmark tooling (op-attribution profiles)")
+    bench_sub = bench_p.add_subparsers(dest="bench_command", required=True)
+    prof_p = bench_sub.add_parser(
+        "profile",
+        help="run one fig9 cell; report per-syscall/vnode-op/MAC-hook "
+             "attribution and snapshot payload sizes")
+    prof_p.add_argument("cell", nargs="?", metavar="BENCH/CONFIG",
+                        help="the cell to profile, e.g. Find/sandboxed")
+    prof_p.add_argument("--json", action="store_true",
+                        help="machine-readable report")
+    prof_p.add_argument("--list", action="store_true",
+                        help="list profileable cells and exit")
 
     store_p = sub.add_parser("store", help="inspect/evict the persistent snapshot store")
     store_sub = store_p.add_subparsers(dest="store_command", required=True)
@@ -368,6 +449,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_batch(args)
     if args.command == "lint":
         return cmd_lint(args)
+    if args.command == "bench":
+        return cmd_bench(args)
     if args.command == "store":
         return cmd_store(args)
     parser.error("unknown command")

@@ -41,13 +41,11 @@ from repro.api.results import RunResult
 _WORKER_STATE: dict = {}
 
 
-def _install_worker_template(payload: bytes, scripts_items: tuple,
+def _install_worker_template(kernel, scripts_items: tuple,
                              default_user: str, fixtures: dict,
                              install_shill: bool) -> None:
-    from repro.kernel.serialize import restore_kernel
-
     _WORKER_STATE["template"] = JobTemplate(
-        kernel=restore_kernel(payload),
+        kernel=kernel,
         scripts=tuple(scripts_items),
         default_user=default_user,
         fixtures=fixtures,
@@ -61,8 +59,10 @@ def _process_worker_init(payload: bytes, scripts_items: tuple,
                          default_user: str, fixtures: dict,
                          install_shill: bool) -> None:
     """Pool initializer: unpickle the shipped template once per worker."""
-    _install_worker_template(payload, scripts_items, default_user,
-                             fixtures, install_shill)
+    from repro.kernel.serialize import restore_kernel
+
+    _install_worker_template(restore_kernel(payload), scripts_items,
+                             default_user, fixtures, install_shill)
 
 
 def _store_worker_init(store_root: str, snapshot_digest: str,
@@ -70,11 +70,12 @@ def _store_worker_init(store_root: str, snapshot_digest: str,
                        fixtures: dict, install_shill: bool) -> None:
     """Pool initializer for store-backed workers: boot from the on-disk
     blob instead of a pickled payload in ``initargs`` — initargs carry a
-    path and a digest, not a machine."""
+    path and a digest, not a machine.  ``restore`` resolves delta blobs
+    against their base chain in the same store."""
     from repro.kernel.store import SnapshotStore
 
-    payload = SnapshotStore(store_root).load(snapshot_digest)
-    _install_worker_template(payload, scripts_items, default_user,
+    kernel = SnapshotStore(store_root).restore(snapshot_digest)
+    _install_worker_template(kernel, scripts_items, default_user,
                              fixtures, install_shill)
 
 

@@ -208,11 +208,14 @@ class RemoteExecutor(StoreBootMixin, Executor):
             "install_shill": template.install_shill,
             "stats": dict(template.kernel.stats.snapshot()),
         }, pickle.dumps(portable_fixtures(template.fixtures)))
-        if reply.type == "NEED":
-            # The agent's store misses: ship the blob exactly once, in
-            # the store's self-verifying export framing.
-            reply = conn.request("BLOB", {"snapshot": digest},
-                                 self.store.export_blob(digest))
+        while reply.type == "NEED":
+            # The agent's store misses: ship each blob it names, in the
+            # store's self-verifying export framing.  A delta snapshot
+            # makes this a short loop — the delta itself, then any base
+            # in its chain the agent's store lacks.
+            needed = reply.fields["snapshot"]
+            reply = conn.request("BLOB", {"snapshot": needed},
+                                 self.store.export_blob(needed))
         reply.expect("READY")
         host.prepared.add(wire_key)
         self.host_boots[str(host.spec)] = BootInfo(

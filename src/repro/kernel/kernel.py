@@ -61,6 +61,12 @@ class KernelStats:
         self.mac_denials = 0
         self.sandboxes_created = 0
         self.execs = 0
+        self.dcache_hits = 0
+        self.dcache_misses = 0
+        # Per-hook-name MAC attribution (check_* and post_* alike), for
+        # `repro bench profile`.  mac_checks/mac_denials stay the gated
+        # aggregates; this counter only feeds traces.
+        self.mac_hooks: Counter[str] = Counter()
 
     def count_syscall(self, name: str) -> None:
         self.syscalls[name] += 1
@@ -84,6 +90,8 @@ class KernelStats:
             "mac_denials": self.mac_denials,
             "sandboxes_created": self.sandboxes_created,
             "execs": self.execs,
+            "dcache_hits": self.dcache_hits,
+            "dcache_misses": self.dcache_misses,
         }
 
     @staticmethod
@@ -95,7 +103,11 @@ class KernelStats:
         """Per-operation-name counters — finer than :meth:`snapshot`'s
         aggregates, for assertions that two runs did *exactly* the same
         operations, not merely the same number of them."""
-        return {"syscalls": dict(self.syscalls), "vnode_ops": dict(self.vnode_ops)}
+        return {
+            "syscalls": dict(self.syscalls),
+            "vnode_ops": dict(self.vnode_ops),
+            "mac_hooks": dict(self.mac_hooks),
+        }
 
     @staticmethod
     def trace_delta(before: dict[str, dict[str, int]],
@@ -118,6 +130,9 @@ class KernelStats:
         new.mac_denials = self.mac_denials
         new.sandboxes_created = self.sandboxes_created
         new.execs = self.execs
+        new.dcache_hits = self.dcache_hits
+        new.dcache_misses = self.dcache_misses
+        new.mac_hooks = Counter(self.mac_hooks)
         return new
 
 
@@ -146,6 +161,11 @@ class Kernel:
         self.mac.stats = self.stats
         self.vfs.stats = self.stats
         self.boot_time = time.monotonic()
+        # Resolved-path dcache (runtime-only: never pickled, never forked).
+        # Keyed/validated by SyscallInterface._resolve; stored here because
+        # syscall interfaces are constructed per call.
+        self._resolve_cache: dict = {}
+        self._resolve_stamp: tuple | None = None
 
     @property
     def interpose_devices(self) -> bool:
@@ -219,6 +239,8 @@ class Kernel:
         new._interpose_devices = self._interpose_devices
         new._epoch = self._epoch
         new.boot_time = time.monotonic()
+        new._resolve_cache = {}
+        new._resolve_stamp = None
         # Every loaded policy crosses the fork, in registration order
         # (restrictive composition is order-sensitive for audit output).
         for policy in self.mac.policies:
@@ -266,10 +288,21 @@ class Kernel:
         self.mac.stats = self.stats
         self.vfs.stats = self.stats
         self.boot_time = time.monotonic()
+        self._resolve_cache = {}
+        self._resolve_stamp = None
 
     # ------------------------------------------------------------------
     # policy management
     # ------------------------------------------------------------------
+
+    def label_mutation(self) -> None:
+        """Record that a MAC label (or the privilege map stored in one)
+        changed: bumps the label epoch so the resolved-path dcache drops
+        cached walks, and forces lazy forks to materialize first — label
+        objects on still-shared vnodes are shared with the template, so
+        a mutation must not be observable across the fork boundary."""
+        self.mac.bump_label_epoch()
+        self.vfs._unshare_forks()
 
     def install_shill_module(self) -> "ShillPolicy":
         """Load the SHILL kernel module (the MAC policy).  Idempotent."""

@@ -202,6 +202,16 @@ class MacFramework:
         self.stats: Any = None
         #: policy-set mutation counter (part of the kernel state epoch).
         self.mutations = 0
+        #: label mutation counter.  Policies must call
+        #: :meth:`bump_label_epoch` whenever they mutate a MAC label (or
+        #: the privilege map stored in one), so caches keyed on resolution
+        #: state — the syscall-layer dcache — can tell that a previously
+        #: cached walk might now be judged differently.
+        self.label_epoch = 0
+
+    def bump_label_epoch(self) -> None:
+        """Record that some kernel object's MAC label changed."""
+        self.label_epoch += 1
 
     @property
     def policies(self) -> tuple[MacPolicy, ...]:
@@ -234,6 +244,7 @@ class MacFramework:
         """
         if self.stats is not None:
             self.stats.mac_checks += 1
+            self.stats.mac_hooks[hook] += 1
         for policy in self._policies:
             error = getattr(policy, hook)(*args)
             if error:
@@ -243,5 +254,7 @@ class MacFramework:
 
     def post(self, hook: str, *args: Any) -> None:
         """Fire a ``post_``-style notification hook on every policy."""
+        if self.stats is not None:
+            self.stats.mac_hooks[hook] += 1
         for policy in self._policies:
             getattr(policy, hook)(*args)

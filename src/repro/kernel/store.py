@@ -151,6 +151,26 @@ class SnapshotStore:
                 "(evicted between scheduling and worker boot?)")
         return payload
 
+    def restore(self, digest: str):
+        """Restore the machine stored under ``digest``.
+
+        Full blobs restore directly; delta blobs resolve their base
+        chain against this store (every base a delta references must be
+        a blob here, or the restore is a
+        :class:`~repro.kernel.serialize.SnapshotError`).  This is the
+        one call worker processes and agents boot through, so a blob's
+        kind is an encoding detail, never a caller concern.
+        """
+        from repro.kernel.serialize import restore_any
+
+        return restore_any(self.load(digest), self.load)
+
+    def is_delta(self, digest: str) -> bool:
+        """Is the stored blob an incremental (delta) frame?"""
+        from repro.kernel.serialize import is_delta
+
+        return is_delta(self.load(digest))
+
     # -- wire transfer -----------------------------------------------------
 
     def export_blob(self, digest: str) -> bytes:

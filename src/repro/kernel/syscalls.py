@@ -123,11 +123,48 @@ class SyscallInterface:
         chased.  With ``want_parent`` the final component may not exist
         (creation); otherwise a missing final component raises ``ENOENT``
         only when the caller demands it (callers check ``vp is None``).
+
+        Successful resolutions by *sessionless* processes are cached on
+        the kernel (the resolved-path dcache).  A hit is legal only while
+        nothing the skipped walk consulted can have changed: the key
+        carries (start-dir vid, path, credential, follow, want_parent)
+        and the whole cache is invalidated when the VFS generation, the
+        MAC label epoch, or the MAC policy set moves.  Sandboxed
+        processes never hit the cache — their per-component MAC checks
+        and post-lookup privilege propagation are side-effecting, and
+        denial behaviour must stay byte-identical.  Hits may reduce
+        mac_check counts, never denials.
         """
         if _depth > SYMLOOP_MAX:
             raise SysError(errno_.ELOOP, path)
         if not path:
             raise SysError(errno_.ENOENT, "empty path")
+        kernel = self.kernel
+        cache_key = None
+        if _depth == 0 and self.proc.session is None and kernel.vfs.dcache_enabled:
+            stamp = (kernel.vfs.generation, kernel.mac.label_epoch, kernel.mac.mutations)
+            if kernel._resolve_stamp != stamp:
+                kernel._resolve_cache.clear()
+                kernel._resolve_stamp = stamp
+            cache_key = (self._start_dir(path).vid, path, self.proc.cred, follow, want_parent)
+            hit = kernel._resolve_cache.get(cache_key)
+            if hit is not None:
+                kernel.stats.dcache_hits += 1
+                dvp, name, vp = hit
+                if vp is not None and name != "." and name != "..":
+                    # Same name-cache effect the final lookup would have.
+                    vp.nc_parent = dvp
+                    vp.nc_name = name
+                return dvp, name, vp
+        result = self._resolve_walk(path, follow=follow, want_parent=want_parent, _depth=_depth)
+        if cache_key is not None and result[2] is not None:
+            kernel._resolve_cache[cache_key] = result
+        return result
+
+    def _resolve_walk(
+        self, path: str, *, follow: bool, want_parent: bool, _depth: int
+    ) -> tuple[Vnode, str, Vnode | None]:
+        """The uncached component walk behind :meth:`_resolve`."""
         node = self._start_dir(path)
         parts = [p for p in path.split("/") if p]
         if not parts:

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import enum
 import itertools
+import weakref
 from typing import TYPE_CHECKING, Optional
 
 from repro.errors import SysError
@@ -66,21 +67,37 @@ class Label:
     __slots__ = ("_slots",)
 
     def __init__(self) -> None:
-        self._slots: dict[str, object] = {}
+        # Allocated on first set(): almost every vnode is never labelled,
+        # and label clones dominate fork cost when every label carries an
+        # (empty) dict.
+        self._slots: dict[str, object] | None = None
 
     def get(self, policy: str) -> object | None:
-        return self._slots.get(policy)
+        return None if self._slots is None else self._slots.get(policy)
 
     def set(self, policy: str, value: object) -> None:
+        if self._slots is None:
+            self._slots = {}
         self._slots[policy] = value
 
     def clear(self, policy: str) -> None:
-        self._slots.pop(policy, None)
+        if self._slots is not None:
+            self._slots.pop(policy, None)
+            if not self._slots:
+                # Normalise back to the unlabelled state: a label whose
+                # last slot is cleared must snapshot (and delta-encode)
+                # identically to one that was never set.
+                self._slots = None
 
     def clone(self) -> "Label":
         """Per-policy state is cloned when it knows how (privilege maps
         define ``clone``); immutable state is shared."""
         new = Label()
+        if not self._slots:
+            # The overwhelmingly common case during fork: unlabelled
+            # vnodes skip both the dict allocation and the per-slot loop.
+            return new
+        new._slots = {}
         for policy, value in self._slots.items():
             clone = getattr(value, "clone", None)
             new._slots[policy] = clone() if callable(clone) else value
@@ -124,6 +141,17 @@ class Vnode:
         "nc_name",
         "mtime",
         "data_shared",
+        "entries_lazy",
+    )
+
+    # Snapshot state excludes ``entries_lazy``: VFS.__getstate__
+    # materializes every shared subtree first, so the flag is always
+    # False by the time a vnode is pickled — carrying it would only
+    # change the byte format for no information.
+    _STATE_SLOTS = (
+        "vid", "vtype", "mode", "uid", "gid", "flags", "nlink", "data",
+        "entries", "linktarget", "device", "program", "needed", "label",
+        "nc_parent", "nc_name", "mtime", "data_shared",
     )
 
     def __init__(
@@ -156,6 +184,10 @@ class Vnode:
         # with a forked (or template) vnode.  Mutators must go through
         # ``writable_data()``, which unshares first.
         self.data_shared: bool = False
+        # Lazy-fork marker (directories only): True while ``entries``
+        # values still reference the fork *template's* vnodes.  The
+        # owning VFS materializes private clones on first access.
+        self.entries_lazy: bool = False
 
     def __getstate__(self) -> dict:
         """Snapshot state (:mod:`repro.kernel.serialize`): every slot, in
@@ -165,11 +197,12 @@ class Vnode:
         verbatim: a buffer shared with a *template* serializes as this
         side's private copy, and the first write after restore unshares
         exactly as it would have before."""
-        return {name: getattr(self, name) for name in self.__slots__}
+        return {name: getattr(self, name) for name in self._STATE_SLOTS}
 
     def __setstate__(self, state: dict) -> None:
-        for name in self.__slots__:
+        for name in self._STATE_SLOTS:
             setattr(self, name, state[name])
+        self.entries_lazy = False
 
     def writable_data(self) -> bytearray:
         """The file's byte buffer, for mutation: unshares a copy-on-write
@@ -226,6 +259,28 @@ class VFS:
         # ``count_vnode_op(name)`` method.  Deterministic op counts back
         # the benchmark harness's noise-free shape assertions.
         self.stats = None
+        self._init_runtime_state()
+
+    def _init_runtime_state(self) -> None:
+        """Cache and lazy-fork bookkeeping: never pickled, never forked."""
+        # Directory-entry cache ("dcache"): (dir vid, name) → vnode for
+        # plain entries, valid only while the tree generation matches.
+        # Purely mechanical — no DAC/MAC state is cached — so a hit skips
+        # the VOP_LOOKUP but nothing security-relevant.
+        self.dcache_enabled = True
+        self._dcache: dict[tuple[int, str], Vnode] = {}
+        self._dcache_gen = self._generation
+        # Lazy-fork state (populated on clones made by fork()):
+        # vid → this tree's private clone of a template vnode, plus the
+        # vid watermark at fork time (vids below it that are not in the
+        # memo still belong to the template).
+        self._lazy_memo: dict[int, Vnode] = {}
+        self._lazy_floor = 0
+        # Live forks still sharing subtrees with this tree; a mutation
+        # here forces them to materialize first (templates are normally
+        # quiescent while forks run, so this list stays empty in the
+        # batch hot path).
+        self._lazy_children: list[weakref.ref["VFS"]] = []
 
     def _alloc_vid(self) -> int:
         vid = self._next_vid
@@ -252,6 +307,21 @@ class VFS:
         is the root itself.
         """
         self._check_component(name)
+        cacheable = self.dcache_enabled and name != "." and name != ".."
+        if cacheable and dvp.is_dir:
+            if self._dcache_gen != self._generation:
+                # Any tree mutation invalidates wholesale; entries are
+                # re-filled by the next walk.
+                self._dcache.clear()
+                self._dcache_gen = self._generation
+            cached = self._dcache.get((dvp.vid, name))
+            if cached is not None:
+                if self.stats is not None:
+                    self.stats.dcache_hits += 1
+                # A hit has the same name-cache effect a walk would.
+                cached.nc_parent = dvp
+                cached.nc_name = name
+                return cached
         self._vop("lookup")
         if not dvp.is_dir:
             raise SysError(errno_.ENOTDIR, f"lookup {name!r} in non-directory")
@@ -264,9 +334,15 @@ class VFS:
             vp = dvp.entries[name]
         except KeyError:
             raise SysError(errno_.ENOENT, f"no entry {name!r}") from None
+        if dvp.entries_lazy:
+            vp = self._materialize_child(dvp, name, vp)
         # Refresh the name cache on every successful lookup.
         vp.nc_parent = dvp
         vp.nc_name = name
+        if cacheable:
+            if self.stats is not None:
+                self.stats.dcache_misses += 1
+            self._dcache[(dvp.vid, name)] = vp
         return vp
 
     def exists(self, dvp: Vnode, name: str) -> bool:
@@ -283,6 +359,7 @@ class VFS:
     def create(self, dvp: Vnode, name: str, vtype: VType, mode: int, uid: int, gid: int) -> Vnode:
         """Create a new vnode of ``vtype`` named ``name`` inside ``dvp``."""
         self._check_component(name)
+        self._unshare_forks()
         self._vop("create")
         if name in (".", ".."):
             raise SysError(errno_.EEXIST, name)
@@ -317,6 +394,7 @@ class VFS:
         designates the source, so there is no TOCTTOU window.
         """
         self._check_component(name)
+        self._unshare_forks()
         self._vop("link")
         if file_vp.is_dir:
             raise SysError(errno_.EPERM, "hard link to directory")
@@ -339,6 +417,7 @@ class VFS:
         fd-based race-free unlink from section 3.1.3.
         """
         self._check_component(name)
+        self._unshare_forks()
         self._vop("unlink")
         if name in (".", ".."):
             raise SysError(errno_.EINVAL, name)
@@ -349,6 +428,10 @@ class VFS:
             vp = dvp.entries[name]
         except KeyError:
             raise SysError(errno_.ENOENT, f"no entry {name!r}") from None
+        if dvp.entries_lazy:
+            # The nlink decrement below must land on this tree's private
+            # clone, never on a vnode still shared with the template.
+            vp = self._materialize_child(dvp, name, vp)
         if expect is not None and vp is not expect:
             raise SysError(errno_.EDEADLK, f"entry {name!r} no longer refers to the expected file")
         if vp.is_dir:
@@ -367,6 +450,7 @@ class VFS:
         """Move ``src_dvp``/``src_name`` to ``dst_dvp``/``dst_name``."""
         self._check_component(src_name)
         self._check_component(dst_name)
+        self._unshare_forks()
         self._vop("rename")
         vp = self.lookup(src_dvp, src_name)
         if vp.is_dir and self._in_subtree(vp, dst_dvp):
@@ -392,17 +476,23 @@ class VFS:
 
     @staticmethod
     def _in_subtree(root: Vnode, candidate: Vnode) -> bool:
-        """Is ``candidate`` inside (or equal to) the tree rooted at ``root``?"""
-        stack = [root]
+        """Is ``candidate`` inside (or equal to) the tree rooted at ``root``?
+
+        Walks the candidate's ``nc_parent`` ancestors — O(depth), not the
+        old O(tree) scan from ``root``.  For directories the backpointer
+        is authoritative: it is set at create, refreshed by every lookup,
+        rewritten by rename, and cleared by unlink, and a directory has
+        exactly one parent.
+        """
+        node: Vnode | None = candidate
         seen: set[int] = set()
-        while stack:
-            node = stack.pop()
-            if node is candidate:
+        while node is not None:
+            if node is root:
                 return True
-            if node.vid in seen or node.entries is None:
-                continue
+            if node.vid in seen:
+                return False
             seen.add(node.vid)
-            stack.extend(child for child in node.entries.values() if child.is_dir)
+            node = node.nc_parent
         return False
 
     # -- the name cache / `path` -----------------------------------------------
@@ -440,6 +530,7 @@ class VFS:
         """Change DAC attributes.  All metadata mutation funnels through
         here so the generation counter (which backs "world unmodified
         since boot" checks) never misses a change."""
+        self._unshare_forks()
         self._vop("setattr")
         if mode is not None:
             vp.mode = mode
@@ -463,6 +554,7 @@ class VFS:
         return bytes(vp.data[offset : offset + size])
 
     def write_file(self, vp: Vnode, offset: int, data: bytes) -> int:
+        self._unshare_forks()
         self._vop("write")
         if not vp.is_reg:
             raise SysError(errno_.EINVAL, "write to non-regular file")
@@ -478,6 +570,7 @@ class VFS:
         return len(data)
 
     def truncate_file(self, vp: Vnode, length: int) -> None:
+        self._unshare_forks()
         self._vop("truncate")
         if not vp.is_reg:
             raise SysError(errno_.EINVAL, "truncate non-regular file")
@@ -494,32 +587,47 @@ class VFS:
     # -- forking -----------------------------------------------------------------
 
     def fork(self) -> "VFS":
-        """An isolated copy of the tree in O(changed-state).
+        """An isolated copy of the tree in O(paths-accessed), not O(tree).
 
-        Every vnode is cloned (hard links and the name cache are
-        preserved through a vid-keyed memo); regular-file buffers are
-        shared copy-on-write; character devices in the base image are
-        stateless and shared.  The mutation generation carries over so
-        "has this tree changed since boot" answers stay meaningful on
-        forks.
+        Only the root is cloned eagerly.  Directory subtrees stay shared
+        with this template: a cloned directory keeps a *copy of the
+        entries dict whose values still reference template vnodes*, and
+        the fork materializes a private clone of each vnode on first
+        access (lookup, or structurally mutating ops).  Regular-file
+        buffers additionally stay shared copy-on-write even after the
+        vnode itself is materialized.  Hard links and the name cache are
+        preserved through a vid-keyed memo; vids carry over, so fork
+        behaviour stays byte-for-byte comparable with an eager clone.
+
+        Isolation is bidirectional: fork-side access always materializes
+        before any reference escapes, and a template-side mutation first
+        forces every still-sharing fork to materialize its remaining
+        shared subtrees (:meth:`_unshare_forks`).  The mutation
+        generation carries over so "has this tree changed since boot"
+        answers stay meaningful on forks.
         """
         clone = VFS.__new__(VFS)
         clone.stats = None
         clone._next_vid = self._next_vid
-        memo: dict[int, Vnode] = {}
-        clone.root = self._fork_node(self.root, memo)
-        clone.root.nc_name = "/"
         clone._generation = self._generation
+        clone._init_runtime_state()
+        clone.dcache_enabled = self.dcache_enabled
+        clone._lazy_floor = self._next_vid
+        clone.root = clone._lazy_clone(self.root)
+        clone.root.nc_name = "/"
+        if len(self._lazy_children) > 32:
+            self._lazy_children = [r for r in self._lazy_children if r() is not None]
+        self._lazy_children.append(weakref.ref(clone))
         return clone
 
-    def _fork_node(self, vp: Vnode, memo: dict[int, Vnode]) -> Vnode:
-        cached = memo.get(vp.vid)
-        if cached is not None:
-            return cached
-        # Slot-by-slot copy via __new__ (skipping __init__ keeps the fork
-        # cheap and, deliberately, keeps the original vid: vids only need
-        # to be unique within one kernel, and identical ids keep fork
-        # behaviour byte-for-byte comparable with the template's).
+    def _lazy_clone(self, vp: Vnode) -> Vnode:
+        """A private clone of template vnode ``vp``, its entries (if a
+        directory) still referencing the template's children.
+
+        Slot-by-slot copy via __new__ (skipping __init__ keeps it cheap
+        and, deliberately, keeps the original vid: vids only need to be
+        unique within one kernel).
+        """
         new = Vnode.__new__(Vnode)
         new.vid = vp.vid
         new.vtype = vp.vtype
@@ -528,7 +636,6 @@ class VFS:
         new.gid = vp.gid
         new.flags = vp.flags
         new.nlink = vp.nlink
-        new.entries = None
         new.linktarget = vp.linktarget
         new.device = vp.device
         new.program = vp.program
@@ -544,16 +651,97 @@ class VFS:
         else:
             new.data = None
             new.data_shared = False
-        memo[vp.vid] = new
         if vp.entries is not None:
-            new.entries = {}
-            for name, child in vp.entries.items():
-                child_clone = self._fork_node(child, memo)
-                new.entries[name] = child_clone
-                if child.nc_parent is vp and child.nc_name == name:
-                    child_clone.nc_parent = new
-                    child_clone.nc_name = name
+            new.entries = dict(vp.entries)
+            new.entries_lazy = bool(new.entries)
+        else:
+            new.entries = None
+            new.entries_lazy = False
+        self._lazy_memo[vp.vid] = new
         return new
+
+    def _owns(self, vp: Vnode) -> bool:
+        """Does ``vp`` belong to this tree (vs. the fork template)?"""
+        return vp.vid >= self._lazy_floor or self._lazy_memo.get(vp.vid) is vp
+
+    def _materialize_child(self, dvp: Vnode, name: str, child: Vnode) -> Vnode:
+        """Replace ``dvp``'s (this tree's directory) entry ``name`` with a
+        private clone of the template vnode ``child``, memoized by vid so
+        hard links converge on one clone."""
+        if self._owns(child):
+            return child
+        new = self._lazy_memo.get(child.vid)
+        if new is None:
+            new = self._lazy_clone(child)
+        # Preserve the template's name-cache backpointer the way an eager
+        # fork would — but never clobber a fresher fork-side refresh.
+        if (new.nc_parent is None and child.nc_parent is not None
+                and child.nc_name == name and child.nc_parent.vid == dvp.vid):
+            new.nc_parent = dvp
+            new.nc_name = name
+        assert dvp.entries is not None
+        dvp.entries[name] = new
+        return new
+
+    def _materialize_all(self) -> None:
+        """Complete the lazy fork: clone every still-shared subtree.
+
+        Called before this tree is serialized (a pickle must never reach
+        into the template's graph) and when the template mutates while
+        this fork is live."""
+        stack = [self.root]
+        seen: set[int] = set()
+        while stack:
+            node = stack.pop()
+            if node.vid in seen or node.entries is None:
+                continue
+            seen.add(node.vid)
+            if node.entries_lazy:
+                for name in list(node.entries):
+                    self._materialize_child(node, name, node.entries[name])
+                node.entries_lazy = False
+            stack.extend(child for child in node.entries.values() if child.is_dir)
+        self._lazy_memo = {}
+        self._lazy_floor = 0
+
+    def _unshare_forks(self) -> None:
+        """Force every live fork still sharing subtrees with this tree to
+        materialize *before* a mutation here lands (fork isolation is a
+        contract; laziness must not be observable)."""
+        if not self._lazy_children:
+            return
+        children, self._lazy_children = self._lazy_children, []
+        for ref in children:
+            fork = ref()
+            if fork is not None:
+                fork._materialize_all()
+
+    # -- serialization ------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Snapshot state: the tree plus the vid/generation watermarks.
+
+        Shared subtrees are materialized first — pickling a graph that
+        reaches template-owned vnodes (via entries or nc backpointers)
+        would drag the whole template in.  Runtime-only state (dcache
+        contents, lazy-fork bookkeeping, the stats sink) is excluded so
+        equal trees produce equal snapshot bytes regardless of cache
+        history; the Kernel re-wires ``stats`` on restore."""
+        self._materialize_all()
+        return {
+            "next_vid": self._next_vid,
+            "root": self.root,
+            "generation": self._generation,
+            "dcache_enabled": self.dcache_enabled,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self._next_vid = state["next_vid"]
+        self.root = state["root"]
+        self._generation = state["generation"]
+        self.stats = None
+        self._init_runtime_state()
+        self.dcache_enabled = state.get("dcache_enabled", True)
 
     # -- internals ---------------------------------------------------------------
 

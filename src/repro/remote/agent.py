@@ -152,7 +152,7 @@ class AgentServer:
         → READY when the snapshot must cross the wire)."""
         from repro.api.executors.base import JobTemplate
         from repro.kernel.kernel import KernelStats
-        from repro.kernel.serialize import restore_kernel
+        from repro.kernel.serialize import delta_base_digest, is_delta
 
         fields = msg.fields
         snapshot = fields["snapshot"]
@@ -166,22 +166,22 @@ class AgentServer:
         source = "store"
         payload = self.store.get(snapshot)
         if payload is None:
-            # Not in our store: ask for exactly this blob.  The
-            # coordinator answers with an export frame; import verifies
-            # the digest before anything trusts the bytes.
-            conn.send("NEED", {"snapshot": snapshot})
-            reply = conn.recv().expect("BLOB")
-            imported = self.store.import_blob(reply.blob)
-            if imported != snapshot:
-                raise WireError(f"BLOB carried {imported[:12]}…, "
-                                f"PREPARE named {snapshot[:12]}…")
-            payload = self.store.load(snapshot)
+            payload = self._fetch_blob(conn, snapshot)
             source = "wire"
+        # A delta blob restores against its base chain; every link must
+        # be in our store before restore, fetched the same way.
+        probe = payload
+        while is_delta(probe):
+            base_digest = delta_base_digest(probe)
+            probe = self.store.get(base_digest)
+            if probe is None:
+                probe = self._fetch_blob(conn, base_digest)
+                source = "wire"
 
         with self._state_lock:
             kernel = self._kernels.get(snapshot)
             if kernel is None:
-                kernel = restore_kernel(payload)
+                kernel = self.store.restore(snapshot)
                 self._kernels[snapshot] = kernel
             fixtures = pickle.loads(msg.blob) if msg.blob else {}
             template = JobTemplate(
@@ -202,6 +202,18 @@ class AgentServer:
                                       kernel.stats.snapshot())
         conn.send("READY", {"source": source, "build_ops": build_ops})
         return template
+
+    def _fetch_blob(self, conn: Connection, digest: str) -> bytes:
+        """NEED → BLOB: pull one named blob from the coordinator.  The
+        export frame's digest is verified before the bytes are trusted,
+        and the reply must carry exactly the blob we asked for."""
+        conn.send("NEED", {"snapshot": digest})
+        reply = conn.recv().expect("BLOB")
+        imported = self.store.import_blob(reply.blob)
+        if imported != digest:
+            raise WireError(f"BLOB carried {imported[:12]}…, "
+                            f"NEED named {digest[:12]}…")
+        return self.store.load(digest)
 
     @staticmethod
     def _template_key(fields: dict) -> str:

@@ -112,6 +112,7 @@ class ShillPolicy(MacPolicy):
             return 0
         if session.debug:
             ensure_privmap(obj).merge(session.sid, PrivSet.of(priv))
+            self.kernel.label_mutation()
             session.log.auto_grant(session.sid, operation, self._describe(obj), priv)
             return 0
         session.log.deny(session.sid, operation, self._describe(obj), priv)
@@ -160,6 +161,7 @@ class ShillPolicy(MacPolicy):
         if len(derived) == 0:
             return
         conflicts = ensure_privmap(vp).merge(session.sid, derived)
+        self.kernel.label_mutation()
         session.merge_conflicts.extend(conflicts)
         session.granted_objects.append(vp)
 
@@ -205,6 +207,7 @@ class ShillPolicy(MacPolicy):
         if len(derived) == 0:
             return
         conflicts = ensure_privmap(vp).merge(session.sid, derived)
+        self.kernel.label_mutation()
         session.merge_conflicts.extend(conflicts)
         session.granted_objects.append(vp)
 
@@ -283,6 +286,7 @@ class ShillPolicy(MacPolicy):
         # A pipe the session minted itself is fully usable by it.
         full = PrivSet.of(Priv.READ, Priv.WRITE, Priv.APPEND, Priv.STAT, Priv.PATH)
         ensure_privmap(pipe).merge(session.sid, full)
+        self.kernel.label_mutation()
         session.granted_objects.append(pipe)
 
     def pipe_check_read(self, proc: "Process", pipe: "Pipe") -> int:

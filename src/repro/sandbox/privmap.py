@@ -138,3 +138,5 @@ def drop_session_everywhere(sid: int, objects: Iterable) -> None:
         pm = privmap_of(obj)
         if pm is not None:
             pm.drop_session(sid)
+            if not pm.sessions():
+                obj.label.clear(POLICY_SLOT)

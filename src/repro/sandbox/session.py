@@ -20,7 +20,12 @@ from typing import TYPE_CHECKING, Optional
 from repro.errors import SandboxError
 from repro.sandbox.audit import AuditLog
 from repro.sandbox.privileges import PrivSet, SocketPerms
-from repro.sandbox.privmap import MergeConflict, ensure_privmap, privmap_of
+from repro.sandbox.privmap import (
+    POLICY_SLOT,
+    MergeConflict,
+    ensure_privmap,
+    privmap_of,
+)
 
 if TYPE_CHECKING:
     from repro.kernel.kernel import Kernel
@@ -205,6 +210,7 @@ class SessionManager:
                 )
         pm = ensure_privmap(obj)
         conflicts = pm.merge(session.sid, privs)
+        self.kernel.label_mutation()
         session.merge_conflicts.extend(conflicts)
         session.granted_objects.append(obj)
         session.log.grant(session.sid, _describe(self.kernel, obj), privs)
@@ -248,10 +254,18 @@ class SessionManager:
         if any(not child.dead for child in session.children):
             return
         session.dead = True
+        if session.granted_objects:
+            self.kernel.label_mutation()
         for obj in session.granted_objects:
             pm = privmap_of(obj)
             if pm is not None:
                 pm.drop_session(session.sid)
+                if not pm.sessions():
+                    # An empty privilege map is behaviourally identical
+                    # to an absent one; dropping the slot restores the
+                    # unlabelled state (and keeps post-run snapshot
+                    # deltas proportional to *surviving* grants).
+                    obj.label.clear(POLICY_SLOT)
         self._sessions.pop(session.sid, None)
         if session.parent is not None:
             self._maybe_cleanup(session.parent)

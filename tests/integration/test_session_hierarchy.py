@@ -144,4 +144,6 @@ class TestLifecycle:
         passwd = world.vfs.lookup(world.vfs.lookup(world.vfs.root, "etc"), "passwd")
         assert privmap_of(passwd).privs_for(s1.sid).has(Priv.READ)
         world.procs.reap(p1)
-        assert not privmap_of(passwd).privs_for(s1.sid).has(Priv.READ)
+        # Teardown drops the grant — and, with no surviving grants, the
+        # label slot itself, restoring the unlabelled state.
+        assert privmap_of(passwd) is None

@@ -201,3 +201,88 @@ def test_symlink_nodes(vfs: VFS):
     link = vfs.symlink(vfs.root, "l", "/target", 0, 0)
     assert link.is_symlink
     assert link.linktarget == "/target"
+
+
+# ---------------------------------------------------------------------------
+# lazy (copy-on-access) forking
+# ---------------------------------------------------------------------------
+
+
+def _tree(vfs: VFS):
+    """/dir/{a.txt,b.txt} plus /other/hard — a hard link to a.txt."""
+    d = vfs.create(vfs.root, "dir", VType.VDIR, 0o755, 0, 0)
+    a = vfs.create(d, "a.txt", VType.VREG, 0o644, 0, 0)
+    vfs.write_file(a, 0, b"alpha")
+    b = vfs.create(d, "b.txt", VType.VREG, 0o644, 0, 0)
+    vfs.write_file(b, 0, b"beta")
+    other = vfs.create(vfs.root, "other", VType.VDIR, 0o755, 0, 0)
+    vfs.link(a, other, "hard")
+    return d, a, b, other
+
+
+class TestLazyFork:
+    def test_subtrees_stay_shared_until_accessed(self, vfs: VFS):
+        d, a, _b, _other = _tree(vfs)
+        fork = vfs.fork()
+        # The fork's root entries still point into the template tree...
+        assert fork.root.entries_lazy
+        assert fork.root.entries["dir"] is d
+        # ...until a lookup materializes a private clone on demand.
+        fd = fork.lookup(fork.root, "dir")
+        assert fd is not d and fd.vid == d.vid
+        assert fork.root.entries["dir"] is fd
+        # One level down is again shared until touched.
+        assert fd.entries["a.txt"] is a
+
+    def test_fork_write_never_reaches_the_template(self, vfs: VFS):
+        d, a, _b, _other = _tree(vfs)
+        fork = vfs.fork()
+        fa = fork.lookup(fork.lookup(fork.root, "dir"), "a.txt")
+        fork.write_file(fa, 0, b"ALPHA")
+        assert vfs.read_file(a, 0, 10) == b"alpha"
+        assert fork.read_file(fa, 0, 10) == b"ALPHA"
+
+    def test_template_mutation_unshares_live_forks_first(self, vfs: VFS):
+        d, a, _b, _other = _tree(vfs)
+        fork = vfs.fork()
+        # Mutate the template while the fork has touched nothing.
+        vfs.write_file(a, 0, b"MUTATED")
+        vfs.unlink(d, "b.txt")
+        # The fork saw none of it: laziness is unobservable.
+        fd = fork.lookup(fork.root, "dir")
+        assert fork.read_file(fork.lookup(fd, "a.txt"), 0, 10) == b"alpha"
+        assert fork.contents(fd) == ["a.txt", "b.txt"]
+
+    def test_fork_of_fork_is_isolated_from_both_ancestors(self, vfs: VFS):
+        _tree(vfs)
+        child = vfs.fork()
+        grandchild = child.fork()
+        gdir = grandchild.lookup(grandchild.root, "dir")
+        grandchild.write_file(grandchild.lookup(gdir, "a.txt"), 0, b"GRAND")
+        cdir = child.lookup(child.root, "dir")
+        assert child.read_file(child.lookup(cdir, "a.txt"), 0, 10) == b"alpha"
+        tdir = vfs.lookup(vfs.root, "dir")
+        assert vfs.read_file(vfs.lookup(tdir, "a.txt"), 0, 10) == b"alpha"
+
+    def test_hard_links_converge_on_one_clone(self, vfs: VFS):
+        _tree(vfs)
+        fork = vfs.fork()
+        via_dir = fork.lookup(fork.lookup(fork.root, "dir"), "a.txt")
+        via_link = fork.lookup(fork.lookup(fork.root, "other"), "hard")
+        assert via_dir is via_link
+        assert via_dir.nlink == 2
+        fork.write_file(via_link, 0, b"LINKED")
+        assert fork.read_file(via_dir, 0, 10) == b"LINKED"
+
+    def test_materialize_all_cuts_every_template_reference(self, vfs: VFS):
+        d, a, b, other = _tree(vfs)
+        fork = vfs.fork()
+        fork._materialize_all()
+        template_ids = {id(v) for v in (d, a, b, other, vfs.root)}
+        stack = [fork.root]
+        while stack:
+            node = stack.pop()
+            assert id(node) not in template_ids
+            assert not node.entries_lazy
+            if node.entries:
+                stack.extend(node.entries.values())
