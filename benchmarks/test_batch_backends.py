@@ -1,22 +1,24 @@
 """Batch executors, measured: sequential vs thread vs process vs store
-vs remote.
+vs remote vs serve.
 
 The thread executor serialises interpreter work on the GIL, so it buys
 concurrency but not cores; the process executor ships a picklable kernel
 snapshot to each worker; the store executor boots workers from a
 persistent on-disk snapshot store instead of re-pickling per run; the
 remote executor shards jobs across *agent host* subprocesses over the
-wire protocol, each agent booting from its own store.  This file pins
-the claims the same way Figure 9 pins its rows:
+wire protocol, each agent booting from its own store; the serve
+executor reaches the same agents through a long-lived *gateway*
+subprocess the agents announce themselves to.  This file pins the
+claims the same way Figure 9 pins its rows:
 
 * **op-gated equivalence** — every executor executes the identical
   deterministic kernel work (summed per-job op counts equal) and
   returns byte-identical results (``RunResult.fingerprint()``), for the
   measured Find workload *and* for all four case-study worlds;
 * **reported wall-clock** — per-executor means land in the printed table
-  and in ``BENCH_fig9.json`` as the ``Batch-Find`` row (``remote`` is
-  the new column next to sequential / thread / process-parallel /
-  store);
+  and in ``BENCH_fig9.json`` as the ``Batch-Find`` row (``remote`` and
+  ``serve`` are the new columns next to sequential / thread /
+  process-parallel / store);
 * **the speedup criterion** — on a 2+-core runner the process backend
   must beat the thread backend by >= 1.5x (best-of-rounds, like the fork
   engine's 2x criterion); single-core machines report the ratio without
@@ -40,6 +42,7 @@ from repro.api import (
     RemoteExecutor,
     ScriptRegistry,
     SequentialExecutor,
+    ServeExecutor,
     SnapshotStore,
     StoreExecutor,
     ThreadExecutor,
@@ -50,6 +53,7 @@ from repro.bench.harness import Sample
 from repro.casestudies.findgrep import usr_src_world
 from repro.casestudies.probes import case_study_batches
 from repro.remote.agent import spawn_local_agent
+from repro.serve import spawn_local_gateway
 
 WORKERS = 2
 JOBS = 10
@@ -78,13 +82,14 @@ walk = fun(cur, out) {
 WALK_AMBIENT = "#lang shill/ambient\n" + 'require "walk.cap";\n' + \
     'src = open_dir("/usr/src");\n' + "walk(src, stdout);\n" * 6
 
-#: fig9-style cell names; "remote" is the new column.
+#: fig9-style cell names; "remote" and "serve" are the new columns.
 BACKEND_CELLS = {
     "sequential": "sequential",
     "thread": "thread",
     "process": "process-parallel",
     "store": "store",
     "remote": "remote",
+    "serve": "serve",
 }
 
 
@@ -96,7 +101,7 @@ def _store_root(tmp_path_factory) -> str:
         tmp_path_factory.mktemp("snapshot-store"))
 
 
-def _make_executor(backend: str, store_root: str, hosts=()):
+def _make_executor(backend: str, store_root: str, hosts=(), gateway=None):
     return {
         "sequential": lambda: SequentialExecutor(),
         "thread": lambda: ThreadExecutor(workers=WORKERS),
@@ -105,6 +110,9 @@ def _make_executor(backend: str, store_root: str, hosts=()):
                                        workers=WORKERS),
         "remote": lambda: RemoteExecutor(list(hosts),
                                          store=SnapshotStore(store_root)),
+        "serve": lambda: ServeExecutor(gateway,
+                                       store=SnapshotStore(store_root),
+                                       concurrency=WORKERS),
     }[backend]()
 
 
@@ -119,6 +127,22 @@ def remote_hosts(tmp_path_factory):
     for proc, _addr in agents:
         proc.kill()
     for proc, _addr in agents:
+        proc.wait(timeout=10)
+
+
+@pytest.fixture(scope="module")
+def serve_gateway(tmp_path_factory):
+    """One real gateway subprocess fronting two announced agents — the
+    smallest served fleet — shared by every serve cell in this module."""
+    root = tmp_path_factory.mktemp("serve")
+    gw_proc, gw = spawn_local_gateway(root / "gateway")
+    agents = [spawn_local_agent(root / f"agent{i}", announce=gw)
+              for i in range(AGENTS)]
+    procs = [gw_proc] + [proc for proc, _addr in agents]
+    yield gw
+    for proc in procs:
+        proc.kill()
+    for proc in procs:
         proc.wait(timeout=10)
 
 
@@ -139,7 +163,7 @@ def _sum_ops(results) -> dict[str, int]:
     return totals
 
 
-def _measure_backend(backend: str, store_root: str, hosts=(),
+def _measure_backend(backend: str, store_root: str, hosts=(), gateway=None,
                      repeats: int = REPEATS):
     """Time ``repeats`` batch runs; returns (Sample, fingerprint list)."""
     sample = Sample(BACKEND_CELLS[backend])
@@ -147,7 +171,7 @@ def _measure_backend(backend: str, store_root: str, hosts=(),
     for _ in range(repeats):
         clear_result_cache()
         batch = _build_batch()
-        with _make_executor(backend, store_root, hosts) as executor:
+        with _make_executor(backend, store_root, hosts, gateway) as executor:
             start = time.perf_counter()
             results = batch.run(executor=executor)
             sample.seconds.append(time.perf_counter() - start)
@@ -157,11 +181,12 @@ def _measure_backend(backend: str, store_root: str, hosts=(),
 
 
 @pytest.fixture(scope="module")
-def backend_samples(tmp_path_factory, remote_hosts):
+def backend_samples(tmp_path_factory, remote_hosts, serve_gateway):
     """One measured (Sample, fingerprints) pair per executor, shared by
     the equivalence and speedup tests so the workload runs once."""
     store_root = _store_root(tmp_path_factory)
-    measured = {b: _measure_backend(b, store_root, remote_hosts)
+    measured = {b: _measure_backend(b, store_root, remote_hosts,
+                                    serve_gateway)
                 for b in BACKEND_CELLS}
     cells = {}
     for backend, (sample, _prints) in measured.items():
@@ -241,21 +266,24 @@ CASE_STUDY_BATCHES = case_study_batches()
 
 @pytest.mark.parametrize("name", sorted(CASE_STUDY_BATCHES))
 def test_every_executor_agrees_on_case_study_worlds(name, tmp_path_factory,
-                                                    remote_hosts):
+                                                    remote_hosts,
+                                                    serve_gateway):
     """The acceptance criterion: all executors — sequential, thread,
-    process, store, remote (2 local agent hosts) — produce byte-identical
-    fingerprint lists for each of the paper's four case-study worlds."""
+    process, store, remote (2 local agent hosts), serve (a gateway over
+    2 announced agents) — produce byte-identical fingerprint lists for
+    each of the paper's four case-study worlds."""
     build = CASE_STUDY_BATCHES[name]
     store_root = _store_root(tmp_path_factory)
 
     def run(backend):
         clear_result_cache()
-        with _make_executor(backend, store_root, remote_hosts) as executor:
+        with _make_executor(backend, store_root, remote_hosts,
+                            serve_gateway) as executor:
             return build().run(executor=executor)
 
     baseline = run("sequential")
     assert all(r.ok for r in baseline), baseline[0].stderr
-    for backend in ("thread", "process", "store", "remote"):
+    for backend in ("thread", "process", "store", "remote", "serve"):
         assert [r.fingerprint() for r in run(backend)] == \
             [r.fingerprint() for r in baseline], f"{name}/{backend}"
 

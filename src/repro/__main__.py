@@ -55,6 +55,15 @@ Usage::
         `python -m repro batch ... --executor remote --hosts H1:P1,H2:P2`
         on the coordinator; snapshot blobs ship by digest and are
         fetched from the agent's own store when it is warm.
+
+    python -m repro serve --store DIR --port P [--rate R] [--policy P]
+        Serve a long-lived batch gateway over a dynamic agent fleet:
+        agents join with `python -m repro agent --announce HOST:PORT`
+        (and rejoin the same way after a restart), clients submit with
+        `python -m repro batch ... --executor serve --gateway HOST:PORT`
+        or a ServeExecutor.  The gateway owns admission control
+        (per-user rate limits, a bounded queue, typed BUSY/RETRY-AFTER
+        backpressure) and the scheduling policy.  See docs/serving.md.
 """
 
 from __future__ import annotations
@@ -73,7 +82,7 @@ from repro.api import (
     ScriptRegistry,
     SnapshotStore,
     World,
-    resolve_executor,
+    create_executor,
 )
 
 #: Exit status for engine/worker failures (script failures exit with the
@@ -136,9 +145,10 @@ def cmd_batch(args: argparse.Namespace) -> int:
     name = args.executor or args.backend
     if name is None:
         name = "thread" if args.parallel else "sequential"
-    if args.store is not None and name not in ("store", "remote"):
+    if args.store is not None and name not in ("store", "remote", "serve"):
         _hostsys.stderr.write(
-            "repro batch: --store only applies to --executor store/remote\n")
+            "repro batch: --store only applies to --executor "
+            "store/remote/serve\n")
         return 2
     hosts = [spec for spec in (args.hosts or "").split(",") if spec]
     if (hosts or args.policy is not None) and name != "remote":
@@ -150,8 +160,18 @@ def cmd_batch(args: argparse.Namespace) -> int:
             "repro batch: --executor remote needs --hosts HOST:PORT[,...] "
             "(start agents with `python -m repro agent`)\n")
         return 2
-    executor = resolve_executor(name, workers=args.workers, store=args.store,
-                                hosts=hosts, policy=args.policy)
+    if args.gateway is not None and name != "serve":
+        _hostsys.stderr.write(
+            "repro batch: --gateway only applies to --executor serve\n")
+        return 2
+    if name == "serve" and not args.gateway:
+        _hostsys.stderr.write(
+            "repro batch: --executor serve needs --gateway HOST:PORT "
+            "(start one with `python -m repro serve`)\n")
+        return 2
+    executor = create_executor(name, workers=args.workers, store=args.store,
+                               hosts=hosts, policy=args.policy,
+                               gateway=args.gateway)
     try:
         with executor:
             results = batch.run(executor=executor)
@@ -370,6 +390,9 @@ def main(argv: list[str] | None = None) -> int:
     batch_p.add_argument("--hosts", default=None, metavar="HOST:PORT[,...]",
                          help="agent addresses for --executor remote "
                               "(start them with `python -m repro agent`)")
+    batch_p.add_argument("--gateway", default=None, metavar="HOST:PORT",
+                         help="gateway address for --executor serve "
+                              "(start one with `python -m repro serve`)")
     from repro.remote.hostpool import SHARDING_POLICIES
 
     batch_p.add_argument("--policy", choices=list(SHARDING_POLICIES),
@@ -427,16 +450,24 @@ def main(argv: list[str] | None = None) -> int:
     store_gc.add_argument("--keep", type=int, default=None,
                           help="blobs to retain (default: the store's LRU cap)")
 
-    # `repro agent` owns its own argparse (it is its own process shape);
-    # everything after the subcommand word passes through untouched.
+    # `repro agent` / `repro serve` own their own argparse (each is its
+    # own process shape); everything after the subcommand word passes
+    # through untouched.
     sub.add_parser("agent", add_help=False,
                    help="serve one worker host of a sharded batch cluster")
+    sub.add_parser("serve", add_help=False,
+                   help="serve a long-lived batch gateway over a dynamic "
+                        "agent fleet")
     if argv is None:
         argv = _hostsys.argv[1:]
     if argv and argv[0] == "agent":
         from repro.remote.agent import serve
 
         return serve(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.serve import serve_main
+
+        return serve_main(argv[1:])
 
     args = parser.parse_args(argv)
     if args.command == "demo":

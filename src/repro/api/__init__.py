@@ -61,12 +61,22 @@ from repro.api.executors import (
     ProcessExecutor,
     RemoteExecutor,
     SequentialExecutor,
+    ServeExecutor,
     SnapshotStore,
     StoreExecutor,
     ThreadExecutor,
+    create_executor,
+    register_executor,
     resolve_executor,
 )
 from repro.api.registry import SCRIPT_SUFFIXES, ScriptRegistry
+from repro.api.scheduling import (
+    LeastLoaded,
+    RoundRobin,
+    SchedulingPolicy,
+    StoreWarmth,
+    resolve_policy,
+)
 from repro.api.results import OPS_KEYS, PROFILE_KEYS, RunResult, freeze_ops, freeze_profile
 from repro.api.sandboxes import Sandbox
 from repro.api.sessions import Session
@@ -97,10 +107,18 @@ __all__ = [
     "ProcessExecutor",
     "StoreExecutor",
     "RemoteExecutor",
+    "ServeExecutor",
     "SnapshotStore",
     "BoundedCache",
     "EXECUTOR_CHOICES",
+    "register_executor",
+    "create_executor",
     "resolve_executor",
+    "SchedulingPolicy",
+    "RoundRobin",
+    "LeastLoaded",
+    "StoreWarmth",
+    "resolve_policy",
     "RunResult",
     "ScriptRegistry",
     "FIXTURE_CHOICES",

@@ -33,7 +33,7 @@ submission order.  Three consumption shapes::
 
 The legacy ``backend="sequential"|"thread"|"process"`` strings (and the
 older ``parallel=`` boolean) keep working through the
-:func:`~repro.api.executors.resolve_executor` deprecation shim.
+executor registry (:func:`~repro.api.executors.create_executor`).
 
 Job failures are part of the contract: a script error (any
 :class:`~repro.errors.ReproError`) becomes a failed :class:`RunResult`
@@ -67,8 +67,8 @@ from repro.api.executors.base import (
     Executor,
     ExecutorJob,
     JobTemplate,
+    create_executor,
     execute_job,
-    resolve_executor,
 )
 from repro.api.registry import ScriptRegistry
 from repro.api.results import RunResult
@@ -273,7 +273,7 @@ class Batch:
                 DeprecationWarning, stacklevel=3)
         if backend is None:
             backend = "thread" if parallel else "sequential"
-        return resolve_executor(backend, workers=workers), True
+        return create_executor(backend, workers=workers), True
 
     @staticmethod
     def _merge_in_order(completions: "Iterator[tuple[int, BatchJob, RunResult]]",

@@ -1,7 +1,7 @@
 """repro.api.executors — pluggable execution strategies.
 
 The :class:`Executor` protocol (``submit``/``as_completed``/``map``/
-``close``) plus the five shipped strategies:
+``close``) plus the six shipped strategies:
 
 * :class:`SequentialExecutor` — the caller's thread; the reference;
 * :class:`ThreadExecutor` — a thread pool (concurrency, not cores);
@@ -11,11 +11,18 @@ The :class:`Executor` protocol (``submit``/``as_completed``/``map``/
   :class:`~repro.kernel.store.SnapshotStore` on disk;
 * :class:`RemoteExecutor` — jobs sharded across agent *hosts*
   (``python -m repro agent``) over the :mod:`repro.remote.wire`
-  protocol, with the snapshot store as the wire format.
+  protocol, with the snapshot store as the wire format;
+* :class:`ServeExecutor` — jobs through a long-lived ``repro serve``
+  gateway that owns the agent fleet and the admission story.
 
-``Batch`` and ``World.pool`` accept executor instances directly; the
-legacy ``backend=`` strings resolve through :func:`resolve_executor`.
-See ``docs/executors.md`` for how to author a new strategy.
+Strategies live in a **registry**: each module calls
+:func:`register_executor` at import, :func:`create_executor` constructs
+by name, and :data:`EXECUTOR_CHOICES` is a live view of the registered
+names — ``Batch``'s ``backend=`` strings and the CLI's ``--executor``
+flag both resolve through it, so registering your own strategy makes it
+usable everywhere at once.  The legacy :func:`resolve_executor` spelling
+survives as a deprecation shim.  See ``docs/executors.md`` for how to
+author a new strategy.
 """
 
 from repro.api.executors.base import (
@@ -27,13 +34,16 @@ from repro.api.executors.base import (
     ExecutorJob,
     JobHandle,
     JobTemplate,
+    create_executor,
     execute_job,
+    register_executor,
     resolve_executor,
     run_job,
 )
 from repro.api.executors.local import SequentialExecutor, ThreadExecutor
 from repro.api.executors.process import ProcessExecutor
 from repro.api.executors.remote import RemoteExecutor
+from repro.api.executors.serve import ServeExecutor
 from repro.api.executors.store import StoreBootMixin, StoreExecutor
 from repro.kernel.store import SnapshotStore
 
@@ -50,10 +60,13 @@ __all__ = [
     "StoreExecutor",
     "StoreBootMixin",
     "RemoteExecutor",
+    "ServeExecutor",
     "SnapshotStore",
     "EXECUTOR_CHOICES",
     "DEFAULT_WORKERS",
     "execute_job",
     "run_job",
+    "register_executor",
+    "create_executor",
     "resolve_executor",
 ]

@@ -9,7 +9,14 @@ from __future__ import annotations
 
 from concurrent.futures import Future, ThreadPoolExecutor
 
-from repro.api.executors.base import Executor, ExecutorJob, JobHandle, JobTemplate, run_job
+from repro.api.executors.base import (
+    Executor,
+    ExecutorJob,
+    JobHandle,
+    JobTemplate,
+    register_executor,
+    run_job,
+)
 
 
 class SequentialExecutor(Executor):
@@ -81,3 +88,7 @@ class ThreadExecutor(Executor):
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+
+
+register_executor("sequential", lambda workers=None, **_: SequentialExecutor(workers=workers))
+register_executor("thread", lambda workers=None, **_: ThreadExecutor(workers=workers))

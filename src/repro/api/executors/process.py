@@ -28,6 +28,7 @@ from repro.api.executors.base import (
     JobHandle,
     JobTemplate,
     portable_fixtures,
+    register_executor,
     run_job,
 )
 from repro.api.results import RunResult
@@ -181,3 +182,6 @@ class ProcessExecutor(Executor):
             self._pool.shutdown(wait=True)
             self._pool = None
             self._pool_token = None
+
+
+register_executor("process", lambda workers=None, **_: ProcessExecutor(workers=workers))

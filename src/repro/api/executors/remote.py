@@ -15,20 +15,24 @@ byte-identical to sequential ones (gated across all four case-study
 worlds in ``benchmarks/test_batch_backends.py``).
 
 Scheduling is delegated to a :class:`repro.remote.hostpool.HostPool`
-(round-robin or least-loaded).  Host death is survived, not hidden: a
-wire failure marks the host dead, the in-flight job retries on the
-survivors with the dead host excluded, and only when *no* hosts remain
-does the job fail — as a
-:class:`~repro.api.executors.base.BatchExecutionError` naming the job
-and every host it tried.  Agent-*reported* failures (an engine bug
-inside a job) are never retried: they are deterministic, and re-running
-them elsewhere would produce the same error with worse attribution.
+scored by a :class:`repro.api.scheduling.SchedulingPolicy` object
+(legacy policy strings still resolve, with a ``DeprecationWarning``).
+Host death is survived, not hidden: a wire failure marks the host dead
+(a health strike), the in-flight job retries on the survivors with the
+dead host excluded, and before declaring "no live hosts" the executor
+re-dials the dead ones — a restarted agent rejoins right there.  An
+agent that says a clean GOODBYE (SIGTERM drain) is *retired* instead:
+no strike, no panic, jobs simply route elsewhere.  Agent-*reported*
+failures (an engine bug inside a job) are never retried: they are
+deterministic, and re-running them elsewhere would produce the same
+error with worse attribution.
 """
 
 from __future__ import annotations
 
 import pickle
 import threading
+import time
 import traceback as _traceback
 from concurrent.futures import Future, ThreadPoolExecutor
 from pathlib import Path
@@ -42,8 +46,10 @@ from repro.api.executors.base import (
     JobHandle,
     JobTemplate,
     portable_fixtures,
+    register_executor,
 )
 from repro.api.executors.store import StoreBootMixin
+from repro.api.scheduling import SchedulingPolicy
 from repro.kernel.store import SnapshotStore
 from repro.remote.hostpool import HostPool, HostSpec, HostState
 from repro.remote.wire import WireError, template_key
@@ -57,10 +63,14 @@ class RemoteExecutor(StoreBootMixin, Executor):
     one per agent.  ``store`` roots the *coordinator's* local snapshot
     store (the template is snapshotted into it once; agents that miss
     fetch the blob over the wire and keep it in their own stores).
-    ``policy`` picks the sharding strategy (``"round-robin"`` or
-    ``"least-loaded"``); ``workers`` caps coordinator-side dispatch
-    concurrency and defaults to the host count, since each host carries
-    one lock-step connection.
+    ``policy`` is a :class:`~repro.api.scheduling.SchedulingPolicy`
+    object (default :class:`~repro.api.scheduling.RoundRobin`; legacy
+    strings resolve with a ``DeprecationWarning``).  ``concurrency`` is
+    how many jobs to run *per agent* at once — v2 agents multiplex
+    channel-tagged jobs on one connection; against a v1 agent the link
+    itself serialises, so the flag degrades gracefully.  ``workers``
+    caps coordinator-side dispatch threads and defaults to ``hosts ×
+    concurrency``.
 
     Example (a two-host "cluster" on one machine)::
 
@@ -85,20 +95,27 @@ class RemoteExecutor(StoreBootMixin, Executor):
 
     name = "remote"
 
+    #: How many BUSY (admission-control backpressure) responses one job
+    #: tolerates, sleeping the server-suggested ``retry_after`` between
+    #: attempts, before failing typed.
+    busy_retries = 60
+
     def __init__(self, hosts: "Iterable[HostSpec | str | tuple[str, int]]",
                  store: "SnapshotStore | Path | str | None" = None,
-                 policy: str = "round-robin",
-                 workers: "int | None" = None) -> None:
+                 policy: "SchedulingPolicy | str | None" = None,
+                 workers: "int | None" = None,
+                 concurrency: int = 1) -> None:
         self.hosts = HostPool(hosts, policy=policy)
-        super().__init__(workers or len(self.hosts))
+        self.concurrency = max(1, int(concurrency))
+        super().__init__(workers or len(self.hosts) * self.concurrency)
         self._init_store(store)
         #: "host:port" -> BootInfo of that host's last PREPARE, so tests
         #: and benchmarks can gate "a warm agent store boots with zero
         #: world-build kernel ops" per host.
         self.host_boots: dict[str, BootInfo] = {}
-        #: template token -> the wire-protocol template key SUBMITs name
-        #: (computed once per bound template, not per job).
-        self._wire_keys: dict[tuple, str] = {}
+        #: template token -> (wire template key, snapshot digest) —
+        #: computed once per bound template, not per job.
+        self._wire_keys: dict[tuple, tuple[str, str]] = {}
         self._dispatch: "ThreadPoolExecutor | None" = None
         self._dispatch_lock = threading.Lock()
 
@@ -130,14 +147,17 @@ class RemoteExecutor(StoreBootMixin, Executor):
         """Shard, prepare, run — retrying on fresh hosts as they die.
 
         The loop terminates: every failed attempt excludes its host for
-        this job *and* marks it dead for everyone, so each iteration
-        strictly shrinks the candidate set.
+        this job (and a crash marks it dead for everyone), so each
+        iteration strictly shrinks the candidate set; BUSY responses
+        spend a separate bounded retry budget.
         """
         tried: list[str] = []
         excluded: set[HostSpec] = set()
+        busy_budget = self.busy_retries
+        wire_key, _digest = self._wire_identity(template)
         while True:
             try:
-                host = self.hosts.pick(excluded=excluded)
+                host = self._pick(job, wire_key, excluded)
             except LookupError:
                 raise BatchExecutionError(
                     job.name, job.user or template.default_user,
@@ -146,11 +166,19 @@ class RemoteExecutor(StoreBootMixin, Executor):
                             + (f" (hosts tried: {', '.join(tried)})" if tried
                                else f" ({self.hosts.describe()})"))
             try:
-                with self.hosts.lease(host), host.lock:
-                    wire_key = self._ensure_prepared(host, template)
-                    reply = host.connection().request(
+                link = self.hosts.link_for(host)
+                self._ensure_prepared(host, link, template)
+                with self.hosts.lease(host):
+                    reply = link.request(
                         "SUBMIT", *self._encode(job, wire_key))
             except (WireError, OSError) as err:
+                if host.retired:
+                    # A clean GOODBYE raced this job: no strike (the
+                    # pool already marked the retirement) — just route
+                    # the job elsewhere.
+                    excluded.add(host.spec)
+                    tried.append(f"{host.spec} (retired)")
+                    continue
                 # The *host* failed (died mid-job, unreachable, spoke
                 # garbage) — take it out of rotation for everyone, and
                 # exclude it for *this* job so the retry can never land
@@ -159,7 +187,31 @@ class RemoteExecutor(StoreBootMixin, Executor):
                 excluded.add(host.spec)
                 tried.append(f"{host.spec} ({type(err).__name__}: {err})")
                 continue
+            if reply.type == "BUSY":
+                # Admission backpressure, not failure: the host stays in
+                # rotation; this job waits the server-suggested interval.
+                busy_budget -= 1
+                if busy_budget <= 0:
+                    raise BatchExecutionError(
+                        job.name, job.user or template.default_user, "",
+                        message=f"server busy: {self.busy_retries} "
+                                f"admission retries exhausted")
+                time.sleep(float(reply.fields.get("retry_after", 0.05)))
+                continue
             return self._decode(reply)
+
+    def _pick(self, job: ExecutorJob, wire_key: str,
+              excluded: "set[HostSpec]") -> HostState:
+        """Policy pick — with one twist: before giving up on an empty
+        ring, re-dial the dead hosts.  A restarted agent rejoins here."""
+        try:
+            return self.hosts.pick(excluded=excluded, job=job,
+                                   wire_key=wire_key)
+        except LookupError:
+            if not self.hosts.try_revive(excluded=excluded):
+                raise
+            return self.hosts.pick(excluded=excluded, job=job,
+                                   wire_key=wire_key)
 
     @staticmethod
     def _encode(job: ExecutorJob, wire_key: str) -> tuple[dict, bytes]:
@@ -185,44 +237,73 @@ class RemoteExecutor(StoreBootMixin, Executor):
 
     # -- host preparation --------------------------------------------------
 
-    def _ensure_prepared(self, host: HostState, template: JobTemplate) -> str:
+    def _wire_identity(self, template: JobTemplate) -> tuple[str, str]:
+        """The (wire template key, snapshot digest) naming ``template``
+        on the wire — computed once per bound template; the first call
+        snapshots the template into the coordinator's store."""
+        cached = self._wire_keys.get(template.token)
+        if cached is not None:
+            return cached
+        digest = self._snapshot_into_store(template)
+        wire_key = template_key(digest, template.scripts,
+                                template.default_user,
+                                template.install_shill)
+        self._wire_keys[template.token] = (wire_key, digest)
+        return wire_key, digest
+
+    def _ensure_prepared(self, host: HostState, link,
+                         template: JobTemplate) -> str:
         """PREPARE ``host`` for ``template`` once (per template
         signature): ship the snapshot digest; ship the bytes only if the
-        agent's own store misses.  Caller holds ``host.lock``.  Returns
-        the wire template key SUBMITs must name.
+        agent's own store misses.  Returns the wire template key SUBMITs
+        must name.  ``host.lock`` serialises concurrent preparers; the
+        link's ``converse`` keeps the NEED/BLOB exchange exclusive
+        against concurrent SUBMIT sends.
         """
-        digest = self._snapshot_into_store(template)
-        wire_key = self._wire_keys.get(template.token)
-        if wire_key is None:
-            wire_key = template_key(digest, template.scripts,
-                                    template.default_user,
-                                    template.install_shill)
-            self._wire_keys[template.token] = wire_key
+        wire_key, digest = self._wire_identity(template)
         if wire_key in host.prepared:
             return wire_key
-        conn = host.connection()
-        reply = conn.request("PREPARE", {
-            "snapshot": digest,
-            "scripts": [[name, source] for name, source in template.scripts],
-            "default_user": template.default_user,
-            "install_shill": template.install_shill,
-            "stats": dict(template.kernel.stats.snapshot()),
-        }, pickle.dumps(portable_fixtures(template.fixtures)))
-        while reply.type == "NEED":
-            # The agent's store misses: ship each blob it names, in the
-            # store's self-verifying export framing.  A delta snapshot
-            # makes this a short loop — the delta itself, then any base
-            # in its chain the agent's store lacks.
-            needed = reply.fields["snapshot"]
-            reply = conn.request("BLOB", {"snapshot": needed},
-                                 self.store.export_blob(needed))
-        reply.expect("READY")
-        host.prepared.add(wire_key)
-        self.host_boots[str(host.spec)] = BootInfo(
-            source=reply.fields.get("source", "unknown"), snapshot=digest,
-            build_ops=dict(reply.fields.get("build_ops", {})))
-        return wire_key
+        with host.lock:
+            if wire_key in host.prepared:
+                return wire_key
+            with link.converse() as conv:
+                reply = conv.request("PREPARE", {
+                    "snapshot": digest,
+                    "scripts": [[name, source]
+                                for name, source in template.scripts],
+                    "default_user": template.default_user,
+                    "install_shill": template.install_shill,
+                    "stats": dict(template.kernel.stats.snapshot()),
+                }, pickle.dumps(portable_fixtures(template.fixtures)))
+                while reply.type == "NEED":
+                    # The agent's store misses: ship each blob it names,
+                    # in the store's self-verifying export framing.  A
+                    # delta snapshot makes this a short loop — the delta
+                    # itself, then any base in its chain the agent's
+                    # store lacks.
+                    needed = reply.fields["snapshot"]
+                    reply = conv.request("BLOB", {"snapshot": needed},
+                                         self.store.export_blob(needed))
+            reply.expect("READY")
+            host.prepared.add(wire_key)
+            self.host_boots[str(host.spec)] = BootInfo(
+                source=reply.fields.get("source", "unknown"), snapshot=digest,
+                build_ops=dict(reply.fields.get("build_ops", {})))
+            return wire_key
 
     def __repr__(self) -> str:
         return (f"<RemoteExecutor {self.hosts!r} store={self.store.root} "
                 f"workers={self.workers}>")
+
+
+def _make_remote(workers=None, store=None, hosts=None, policy=None,
+                 concurrency=1, **_):
+    if not hosts:
+        raise ValueError("the remote executor needs hosts= (agent "
+                         "addresses, e.g. ['127.0.0.1:7001']); start "
+                         "agents with `python -m repro agent`")
+    return RemoteExecutor(hosts=hosts, store=store, workers=workers,
+                          policy=policy, concurrency=concurrency)
+
+
+register_executor("remote", _make_remote)

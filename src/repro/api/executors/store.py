@@ -30,7 +30,12 @@ from __future__ import annotations
 from pathlib import Path
 from typing import TYPE_CHECKING
 
-from repro.api.executors.base import BootInfo, JobTemplate, portable_fixtures
+from repro.api.executors.base import (
+    BootInfo,
+    JobTemplate,
+    portable_fixtures,
+    register_executor,
+)
 from repro.api.executors.process import ProcessExecutor, _store_worker_init
 from repro.kernel.store import SnapshotStore
 
@@ -235,3 +240,7 @@ class StoreExecutor(StoreBootMixin, ProcessExecutor):
 
     def __repr__(self) -> str:
         return f"<StoreExecutor workers={self.workers} store={self.store.root}>"
+
+
+register_executor("store", lambda workers=None, store=None, **_:
+                  StoreExecutor(store=store, workers=workers))

@@ -614,11 +614,11 @@ class WorldPool:
         process-family path (workers restore a snapshot and fork per
         call).  String-resolved executors are owned by this call and
         closed; supplied instances stay open for the caller."""
-        from repro.api.executors import ExecutorJob, JobTemplate, resolve_executor
+        from repro.api.executors import ExecutorJob, JobTemplate, create_executor
 
         owned = executor is None
         chosen = executor if executor is not None else \
-            resolve_executor(backend, workers=self._workers)
+            create_executor(backend, workers=self._workers)
         try:
             chosen.bind(JobTemplate.for_world(self.base))
             return chosen.map([

@@ -29,11 +29,14 @@ from __future__ import annotations
 import argparse
 import os
 import pickle
+import signal
 import socket
 import subprocess
 import sys
 import threading
+import time
 import traceback as _traceback
+from contextlib import contextmanager
 from pathlib import Path
 from typing import TYPE_CHECKING
 
@@ -44,6 +47,8 @@ from repro.remote.wire import (
     Message,
     WireClosed,
     WireError,
+    WireVersionError,
+    negotiate_version,
     template_key,
 )
 
@@ -85,6 +90,13 @@ class AgentServer:
         self._templates: dict[str, "JobTemplate"] = {}
         self._state_lock = threading.Lock()
         self._shutdown = threading.Event()
+        # Retirement bookkeeping: live connections get a GOODBYE on
+        # clean shutdown, and in-flight jobs are drained first.
+        self._connections: "set[Connection]" = set()
+        self._conn_lock = threading.Lock()
+        self._inflight = 0
+        self._inflight_cv = threading.Condition()
+        self.retiring = False
 
     # -- serving -----------------------------------------------------------
 
@@ -93,10 +105,11 @@ class AgentServer:
               f"store={self.store.root}", file=out or sys.stdout, flush=True)
 
     def serve_forever(self) -> None:
-        """Accept coordinators until :meth:`shutdown`; one thread per
-        connection (coordinators hold one connection each and speak
-        lock-step, so per-connection threads are all the concurrency an
-        agent needs — parallelism across jobs comes from N agents)."""
+        """Accept coordinators until :meth:`shutdown`; one reader thread
+        per connection.  On a v2 connection SUBMITs fan out to job
+        threads (replies carry the request's channel id), so one agent
+        runs N jobs concurrently on one connection; v1 peers get the
+        classic lock-step loop."""
         while not self._shutdown.is_set():
             try:
                 sock, _peer = self._listener.accept()
@@ -113,27 +126,87 @@ class AgentServer:
         except OSError:
             pass
 
+    def retire(self, timeout: float = 30.0) -> None:
+        """Clean shutdown (SIGTERM/SIGINT): stop taking new work, drain
+        in-flight jobs, and send GOODBYE on every live connection so
+        pools mark this host *retired* — drained, no health strike, no
+        re-shard panic — rather than dead.  A crash skips all of this,
+        which is exactly how the two become distinguishable."""
+        self.retiring = True
+        with self._inflight_cv:
+            self._inflight_cv.wait_for(lambda: self._inflight == 0,
+                                       timeout=timeout)
+        with self._conn_lock:
+            conns = list(self._connections)
+        for conn in conns:
+            try:
+                conn.send("GOODBYE", {"reason": "retiring", "pid": os.getpid()})
+            except WireError:
+                pass
+        self.shutdown()
+
+    def announce_to_gateway(self, gateway: str, *, retries: int = 50,
+                            delay: float = 0.2) -> None:
+        """Register with a gateway (``--announce HOST:PORT``): one
+        ANNOUNCE → WELCOME exchange on a short-lived connection; the
+        gateway dials back on the advertised address.  Retries cover an
+        agent and gateway racing to start (and an agent restarting
+        before its gateway notices the old incarnation died)."""
+        ghost, _, gport = gateway.rpartition(":")
+        last: "Exception | None" = None
+        for _ in range(retries):
+            try:
+                sock = socket.create_connection((ghost, int(gport)), timeout=5.0)
+                conn = Connection(sock)
+                try:
+                    conn.request("ANNOUNCE", {
+                        "host": self.address[0], "port": self.address[1],
+                        "store": str(self.store.root), "pid": os.getpid(),
+                        "version": WIRE_VERSION,
+                    }).expect("WELCOME")
+                finally:
+                    conn.close()
+                return
+            except (WireError, OSError) as err:
+                last = err
+                time.sleep(delay)
+        raise RuntimeError(f"cannot announce to gateway {gateway}: {last}")
+
     # -- one coordinator ---------------------------------------------------
 
     def _serve_connection(self, conn: Connection) -> None:
+        with self._conn_lock:
+            self._connections.add(conn)
         try:
             hello = conn.recv().expect("HELLO")
-            if hello.fields.get("version") != WIRE_VERSION:
-                conn.send("ERROR", {"error": f"wire version mismatch: agent "
-                                             f"speaks {WIRE_VERSION}"})
+            try:
+                effective = negotiate_version(hello.fields.get("version"),
+                                              hello.fields.get("min_version"))
+            except WireVersionError as err:
+                conn.send("ERROR", {"error": str(err)})
                 return
-            conn.send("HELLO", {"version": WIRE_VERSION, "pid": os.getpid(),
+            conn.version = effective
+            conn.send("HELLO", {"version": effective, "pid": os.getpid(),
                                 "store": str(self.store.root)})
             while True:
                 msg = conn.recv()
                 if msg.type == "GOODBYE":
                     return
                 if msg.type == "PREPARE":
-                    self._handle_prepare(conn, msg)
+                    # Inline in the reader: the peer holds its send gate
+                    # for the whole NEED/BLOB exchange, so the next
+                    # frames on the socket are the exchange's own.
+                    with self._track_inflight():
+                        self._handle_prepare(conn, msg)
                 elif msg.type == "SUBMIT":
-                    self._handle_submit(conn, msg)
+                    if effective >= 2 and "channel" in msg.fields:
+                        self._spawn_submit(conn, msg)
+                    else:
+                        with self._track_inflight():
+                            self._handle_submit(conn, msg)
                 else:
-                    conn.send("ERROR", {"error": f"unexpected {msg.type!r}"})
+                    self._reply(conn, msg,
+                                "ERROR", {"error": f"unexpected {msg.type!r}"})
                     return
         except WireClosed:
             return  # coordinator went away; nothing to clean up
@@ -143,7 +216,50 @@ class AgentServer:
             except WireError:
                 pass
         finally:
+            with self._conn_lock:
+                self._connections.discard(conn)
             conn.close()
+
+    @contextmanager
+    def _track_inflight(self):
+        with self._inflight_cv:
+            self._inflight += 1
+        try:
+            yield
+        finally:
+            with self._inflight_cv:
+                self._inflight -= 1
+                self._inflight_cv.notify_all()
+
+    def _spawn_submit(self, conn: Connection, msg: Message) -> None:
+        """Run one channel-tagged SUBMIT on its own thread (forks are
+        what isolate jobs, so concurrent jobs on one template are safe).
+        The in-flight count is taken *before* the thread starts so a
+        concurrent :meth:`retire` cannot observe a gap."""
+        with self._inflight_cv:
+            self._inflight += 1
+
+        def run() -> None:
+            try:
+                self._handle_submit(conn, msg)
+            except WireError:
+                pass  # the reader owns connection teardown
+            finally:
+                with self._inflight_cv:
+                    self._inflight -= 1
+                    self._inflight_cv.notify_all()
+
+        threading.Thread(target=run, daemon=True, name="agent-job").start()
+
+    @staticmethod
+    def _reply(conn: Connection, msg: Message, type_: str,
+               fields: "dict | None" = None, blob: bytes = b"") -> None:
+        """Send a reply to ``msg``, echoing its channel id (if any) so a
+        multiplexing peer can route it back to the right waiter."""
+        fields = dict(fields or {})
+        if "channel" in msg.fields:
+            fields["channel"] = msg.fields["channel"]
+        conn.send(type_, fields, blob)
 
     # -- PREPARE -----------------------------------------------------------
 
@@ -160,13 +276,13 @@ class AgentServer:
         with self._state_lock:
             cached = self._templates.get(key)
         if cached is not None:
-            conn.send("READY", {"source": "memory", "build_ops": {}})
+            self._reply(conn, msg, "READY", {"source": "memory", "build_ops": {}})
             return cached
 
         source = "store"
         payload = self.store.get(snapshot)
         if payload is None:
-            payload = self._fetch_blob(conn, snapshot)
+            payload = self._fetch_blob(conn, msg, snapshot)
             source = "wire"
         # A delta blob restores against its base chain; every link must
         # be in our store before restore, fetched the same way.
@@ -175,7 +291,7 @@ class AgentServer:
             base_digest = delta_base_digest(probe)
             probe = self.store.get(base_digest)
             if probe is None:
-                probe = self._fetch_blob(conn, base_digest)
+                probe = self._fetch_blob(conn, msg, base_digest)
                 source = "wire"
 
         with self._state_lock:
@@ -200,14 +316,14 @@ class AgentServer:
         # boot — the number the warm-store benchmark gates at zero.
         build_ops = KernelStats.delta(fields.get("stats", {}),
                                       kernel.stats.snapshot())
-        conn.send("READY", {"source": source, "build_ops": build_ops})
+        self._reply(conn, msg, "READY", {"source": source, "build_ops": build_ops})
         return template
 
-    def _fetch_blob(self, conn: Connection, digest: str) -> bytes:
+    def _fetch_blob(self, conn: Connection, msg: Message, digest: str) -> bytes:
         """NEED → BLOB: pull one named blob from the coordinator.  The
         export frame's digest is verified before the bytes are trusted,
         and the reply must carry exactly the blob we asked for."""
-        conn.send("NEED", {"snapshot": digest})
+        self._reply(conn, msg, "NEED", {"snapshot": digest})
         reply = conn.recv().expect("BLOB")
         imported = self.store.import_blob(reply.blob)
         if imported != digest:
@@ -244,7 +360,8 @@ class AgentServer:
         # machine when an executor is reused across worlds.
         template = self._templates.get(fields.get("template", ""))
         if template is None:
-            conn.send("ERROR", {"error": "SUBMIT names an unprepared template"})
+            self._reply(conn, msg,
+                        "ERROR", {"error": "SUBMIT names an unprepared template"})
             raise WireError("SUBMIT names an unprepared template")
         index, name, user = fields["index"], fields["name"], fields.get("user")
         try:
@@ -256,15 +373,15 @@ class AgentServer:
                 fn=pickle.loads(msg.blob) if fields.get("has_fn") else None,
             )
             result = run_job(template, job)
-            conn.send("RESULT", {"index": index, "status": "ok"},
-                      pickle.dumps(result))
+            self._reply(conn, msg, "RESULT", {"index": index, "status": "ok"},
+                        pickle.dumps(result))
         except BatchExecutionError as err:
-            conn.send("RESULT", {
+            self._reply(conn, msg, "RESULT", {
                 "index": index, "status": "error", "name": err.job_name,
                 "user": err.user, "traceback": err.traceback_text,
             })
         except Exception:
-            conn.send("RESULT", {
+            self._reply(conn, msg, "RESULT", {
                 "index": index, "status": "error", "name": name,
                 "user": user, "traceback": _traceback.format_exc(),
             })
@@ -284,13 +401,30 @@ def serve(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--chaos-exit-on", default=None, metavar="MARKER",
                         help="fault-injection hook: hard-exit when a submitted "
                              "script contains MARKER (host-death tests)")
+    parser.add_argument("--announce", default=None, metavar="HOST:PORT",
+                        help="announce this agent to a `repro serve` gateway "
+                             "(the gateway dials back; restart + re-announce "
+                             "is how an agent rejoins a fleet)")
     args = parser.parse_args(argv)
     server = AgentServer(store=args.store, host=args.host, port=args.port,
                          chaos_exit_on=args.chaos_exit_on)
+
+    def _retire(signum, frame):  # clean shutdown: drain, GOODBYE, exit 0
+        server.retire()
+        os._exit(0)
+
+    signal.signal(signal.SIGTERM, _retire)
+    signal.signal(signal.SIGINT, _retire)
+    # Gateway registration happens *before* the readiness line: callers
+    # waiting on "AGENT LISTENING" (spawn_local_agent, CI) may dispatch
+    # through the gateway the moment they see it, so printing it first
+    # would advertise a fleet member the gateway has never heard of.
+    if args.announce:
+        server.announce_to_gateway(args.announce)
     server.announce()
     try:
         server.serve_forever()
-    except KeyboardInterrupt:
+    except KeyboardInterrupt:  # pragma: no cover - SIGINT is handled above
         pass
     finally:
         server.shutdown()
@@ -298,7 +432,9 @@ def serve(argv: "list[str] | None" = None) -> int:
 
 
 def spawn_local_agent(store: "Path | str", *, host: str = "127.0.0.1",
-                      chaos_exit_on: "str | None" = None, timeout: float = 30.0,
+                      port: int = 0,
+                      chaos_exit_on: "str | None" = None,
+                      announce: "str | None" = None, timeout: float = 30.0,
                       ) -> "tuple[subprocess.Popen, str]":
     """Spawn one agent subprocess; returns ``(process, "host:port")``.
 
@@ -307,15 +443,19 @@ def spawn_local_agent(store: "Path | str", *, host: str = "127.0.0.1",
     ``PYTHONPATH``, waits for the ``AGENT LISTENING`` line, and hands
     back the discovered address.  The caller owns the process
     (``proc.kill()`` when done — or mid-batch, if that is the test).
+    Passing an explicit ``port`` re-binds a known address — how a
+    "restarted" agent reclaims its old identity in rejoin tests.
     """
     env = dict(os.environ)
     src_root = str(Path(__file__).resolve().parents[2])
     env["PYTHONPATH"] = src_root + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
     cmd = [sys.executable, "-m", "repro", "agent",
-           "--store", str(store), "--host", host, "--port", "0"]
+           "--store", str(store), "--host", host, "--port", str(port)]
     if chaos_exit_on:
         cmd += ["--chaos-exit-on", chaos_exit_on]
+    if announce:
+        cmd += ["--announce", announce]
     proc = subprocess.Popen(cmd, env=env, stdout=subprocess.PIPE, text=True)
     assert proc.stdout is not None
     # The announce line is the readiness barrier; a crash-on-boot agent

@@ -1,25 +1,35 @@
 """The coordinator's host registry: who is alive, who gets the next job.
 
 A :class:`HostPool` holds one :class:`HostState` per agent address and
-answers one question — *which live host should this job go to?* — under
-one of two sharding policies:
-
-* ``"round-robin"`` — rotate through live hosts in registration order;
-  fair and predictable when jobs are uniform;
-* ``"least-loaded"`` — pick the live host with the fewest in-flight
-  jobs (registration order breaks ties); better when job costs vary,
-  since a host stuck on a heavy job stops receiving new ones.
+answers one question — *which live host should this job go to?* — by
+scoring every candidate with a :class:`repro.api.scheduling
+.SchedulingPolicy` object (``score(host, job, telemetry) → weight``;
+highest wins, registration order breaks ties).  The built-ins are
+``RoundRobin``, ``LeastLoaded`` and ``StoreWarmth``; the legacy policy
+*strings* still resolve, with a ``DeprecationWarning``, via
+:func:`repro.api.scheduling.resolve_policy`.
 
 Health is observational, not probed: a host is healthy until a wire
 operation against it fails, at which point the executor calls
-:meth:`HostPool.mark_dead` and the pool stops offering it.  Jobs that
-were committed to a dead host retry on the survivors with the dead host
-*excluded* (the per-job ``excluded`` set passed to :meth:`pick`), so a
-flapping host cannot trap a job in a retry loop against itself; when
-every host is dead or excluded, :meth:`pick` raises ``LookupError`` and
-the executor surfaces a typed
+:meth:`HostPool.mark_dead` (a health *strike*) and the pool stops
+offering it.  Jobs that were committed to a dead host retry on the
+survivors with the dead host *excluded* (the per-job ``excluded`` set
+passed to :meth:`pick`), so a flapping host cannot trap a job in a
+retry loop against itself; when every host is dead or excluded,
+:meth:`pick` raises ``LookupError`` and the executor surfaces a typed
 :class:`~repro.api.executors.base.BatchExecutionError` naming the job
 and the hosts it tried.
+
+Dead is no longer forever.  Three ways back into rotation:
+
+* an agent that says a clean **GOODBYE** (SIGTERM drain) is marked
+  *retired* — out of rotation, but with no strike and no panic;
+* :meth:`HostPool.try_revive` re-dials dead hosts and resurrects any
+  whose agent answers the handshake again (restarted agents keep their
+  snapshot stores, so resurrection is warm);
+* a gateway admits hosts dynamically: :meth:`HostPool.add_host` admits
+  a brand-new address mid-flight, and re-announcing a known address
+  revives it (see :mod:`repro.serve`).
 """
 
 from __future__ import annotations
@@ -27,14 +37,25 @@ from __future__ import annotations
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
 
-from repro.remote.wire import Connection, connect
+from repro.remote.wire import WireError, open_link
 
-#: The sharding policies :class:`HostPool` (and therefore
-#: ``RemoteExecutor(policy=...)`` and the CLI's ``repro batch --policy``
-#: flag) accepts.
-SHARDING_POLICIES = ("round-robin", "least-loaded")
+if TYPE_CHECKING:
+    from repro.api.scheduling import SchedulingPolicy
+    from repro.remote.wire import ChannelMux, LockstepLink
+
+
+def __getattr__(name: str):
+    # Derived lazily so importing this module never triggers the
+    # repro.api package import (hostpool sits *below* repro.api in the
+    # layer map; repro.api.scheduling is a leaf module, but importing
+    # it executes the package __init__, which imports the executors,
+    # which import us).
+    if name == "SHARDING_POLICIES":
+        from repro.api.scheduling import LEGACY_POLICY_STRINGS
+        return tuple(LEGACY_POLICY_STRINGS)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)
@@ -69,47 +90,65 @@ class HostSpec:
 class HostState:
     """Per-host book-keeping the pool and executor share.
 
-    ``lock`` serialises the host's single lock-step connection;
+    ``link`` is the host's wire conversation — a
+    :class:`~repro.remote.wire.ChannelMux` against a v2 agent (N
+    concurrent jobs on one connection) or a
+    :class:`~repro.remote.wire.LockstepLink` against a v1 one;
     ``prepared`` records which template signatures this host has already
-    restored (so rebinding the same template costs nothing); ``inflight``
-    feeds the least-loaded policy.
+    restored (so rebinding the same template costs nothing);
+    ``inflight`` feeds load-aware policies; ``strikes`` counts crashes
+    (clean retirements don't strike).
     """
 
     def __init__(self, spec: HostSpec) -> None:
         self.spec = spec
         self.lock = threading.Lock()
-        self.conn: "Connection | None" = None
+        self.link: "LockstepLink | ChannelMux | None" = None
         self.alive = True
+        self.retired = False
+        self.strikes = 0
         self.inflight = 0
         self.jobs_done = 0
         self.prepared: set = set()
         self.last_error: "str | None" = None
 
-    def connection(self) -> Connection:
-        """The host's (lazily opened, handshaken) connection.  Callers
-        hold ``self.lock``; a connect failure propagates as
-        :class:`~repro.remote.wire.WireError` for the executor's retry
-        machinery."""
-        if self.conn is None:
-            self.conn, _hello = connect(self.spec.host, self.spec.port)
-        return self.conn
+    def open_link(self, on_goodbye=None) -> "LockstepLink | ChannelMux":
+        """The host's (lazily opened, handshaken) link.  A connect
+        failure propagates as :class:`~repro.remote.wire.WireError` for
+        the executor's retry machinery."""
+        with self.lock:
+            if self.link is None:
+                self.link, _hello = open_link(self.spec.host, self.spec.port,
+                                              on_goodbye=on_goodbye)
+            return self.link
 
     def __repr__(self) -> str:
-        state = "alive" if self.alive else f"dead ({self.last_error})"
+        if self.alive:
+            state = "alive"
+        elif self.retired:
+            state = "retired"
+        else:
+            state = f"dead ({self.last_error})"
         return f"<Host {self.spec} {state} inflight={self.inflight} done={self.jobs_done}>"
 
 
 class HostPool:
-    """The registry + sharding policy over a set of agent hosts."""
+    """The registry + scheduling policy over a set of agent hosts.
 
-    def __init__(self, hosts: "Iterable[HostSpec | str | tuple[str, int]]",
-                 policy: str = "round-robin") -> None:
-        if policy not in SHARDING_POLICIES:
-            raise ValueError(f"unknown sharding policy {policy!r}; "
-                             f"choices: {', '.join(SHARDING_POLICIES)}")
-        self.policy = policy
+    ``policy`` is a :class:`~repro.api.scheduling.SchedulingPolicy`
+    object (default :class:`~repro.api.scheduling.RoundRobin`); legacy
+    strings resolve with a ``DeprecationWarning``.  ``allow_empty``
+    lets a pool start with zero hosts — the gateway's mode, where
+    agents announce themselves in later.
+    """
+
+    def __init__(self, hosts: "Iterable[HostSpec | str | tuple[str, int]]" = (),
+                 policy: "SchedulingPolicy | str | None" = None,
+                 allow_empty: bool = False) -> None:
+        from repro.api.scheduling import resolve_policy
+        self.policy = resolve_policy(policy)
         self._hosts = [HostState(HostSpec.parse(spec)) for spec in hosts]
-        if not self._hosts:
+        if not self._hosts and not allow_empty:
             raise ValueError("a host pool needs at least one host")
         seen: set[str] = set()
         for host in self._hosts:
@@ -117,7 +156,7 @@ class HostPool:
                 raise ValueError(f"duplicate host {host.spec}")
             seen.add(str(host.spec))
         self._lock = threading.Lock()
-        self._rr_next = 0
+        self._rotation = 0
 
     def __len__(self) -> int:
         return len(self._hosts)
@@ -134,32 +173,53 @@ class HostPool:
 
     # -- sharding ----------------------------------------------------------
 
-    def pick(self, excluded: "Iterable[HostSpec]" = ()) -> HostState:
-        """The next host for one job, per policy, among live hosts not
-        in ``excluded``; raises ``LookupError`` when none qualify."""
-        shunned = {HostSpec.parse(e) if not isinstance(e, HostSpec) else e
-                   for e in excluded}
+    def pick(self, excluded: "Iterable[HostSpec]" = (), job: Any = None,
+             wire_key: "str | None" = None) -> HostState:
+        """The next host for one job: the policy's highest-scoring live
+        host not in ``excluded`` (registration order breaks ties);
+        raises ``LookupError`` when none qualify.  ``wire_key`` names
+        the job's template so warmth-aware policies can see which hosts
+        already hold it."""
+        shunned = self._parse_excluded(excluded)
         with self._lock:
-            candidates = [h for h in self._hosts
+            candidates = [(i, h) for i, h in enumerate(self._hosts)
                           if h.alive and h.spec not in shunned]
             if not candidates:
                 raise LookupError("no live hosts available")
-            if self.policy == "least-loaded":
-                return min(candidates, key=lambda h: h.inflight)
-            # round-robin over the *registered* ring so the rotation
-            # stays stable as hosts die and (future) hosts join.
-            for _ in range(len(self._hosts)):
-                host = self._hosts[self._rr_next % len(self._hosts)]
-                self._rr_next += 1
-                if host in candidates:
-                    return host
-            return candidates[0]
+            ring = len(self._hosts)
+
+            def telemetry(position: int, host: HostState) -> dict:
+                return {
+                    "ring_position": position,
+                    "ring_size": ring,
+                    "rotation": self._rotation,
+                    "inflight": host.inflight,
+                    "jobs_done": host.jobs_done,
+                    "warm": wire_key is not None and wire_key in host.prepared,
+                    "strikes": host.strikes,
+                    "retired": host.retired,
+                }
+
+            position, best = max(
+                candidates,
+                key=lambda pair: self.policy.score(pair[1], job,
+                                                   telemetry(*pair)))
+            # The rotation trails the last pick so ring-walking policies
+            # (RoundRobin) resume just past it, dead hosts skipped.
+            self._rotation = (position + 1) % ring
+            return best
+
+    @staticmethod
+    def _parse_excluded(excluded: "Iterable[HostSpec]") -> set:
+        return {HostSpec.parse(e) if not isinstance(e, HostSpec) else e
+                for e in excluded}
 
     @contextmanager
     def lease(self, host: HostState) -> Iterator[HostState]:
-        """Scope one job's occupancy of ``host`` (feeds least-loaded).
-        ``jobs_done`` counts only leases that completed — a host that
-        died mid-job must not be credited with the work it ate."""
+        """Scope one job's occupancy of ``host`` (feeds load-aware
+        policies).  ``jobs_done`` counts only leases that completed — a
+        host that died mid-job must not be credited with the work it
+        ate."""
         with self._lock:
             host.inflight += 1
         try:
@@ -172,38 +232,116 @@ class HostPool:
             host.inflight -= 1
             host.jobs_done += 1
 
+    # -- links -------------------------------------------------------------
+
+    def link_for(self, host: HostState) -> "LockstepLink | ChannelMux":
+        """Open (or reuse) the host's link; a clean GOODBYE from the
+        peer marks the host retired rather than dead."""
+        return host.open_link(
+            on_goodbye=lambda: self.mark_retired(host))
+
     # -- health ------------------------------------------------------------
 
     def mark_dead(self, host: HostState, error: "BaseException | str") -> None:
-        """Take ``host`` out of rotation and drop its connection.  The
-        pool never resurrects a host — agents are cheap; restart one and
-        build a fresh executor (or pool) to re-admit it."""
+        """Take ``host`` out of rotation with a health strike and drop
+        its link.  Not forever: :meth:`try_revive` (or a gateway
+        re-announce) brings a recovered agent back."""
         with self._lock:
             host.alive = False
+            host.retired = False
+            host.strikes += 1
             host.last_error = str(error)
-            conn, host.conn = host.conn, None
-        if conn is not None:
-            conn.close()
+            link, host.link = host.link, None
+        if link is not None:
+            link.close()
+
+    def mark_retired(self, host: HostState) -> None:
+        """Take ``host`` out of rotation *cleanly* — it said GOODBYE
+        (drained SIGTERM), so no strike and no panic; its jobs were
+        drained, not eaten."""
+        with self._lock:
+            host.alive = False
+            host.retired = True
+            host.last_error = "retired (clean GOODBYE)"
+            link, host.link = host.link, None
+        if link is not None:
+            link.close()
+
+    def revive(self, spec: "HostSpec | str | tuple[str, int]") -> HostState:
+        """Put a known host back into rotation (an agent restarted and
+        re-announced itself).  The restarted process lost its in-memory
+        templates — ``prepared`` resets so the next job re-PREPAREs —
+        but kept its snapshot store, so the re-PREPARE is warm."""
+        spec = HostSpec.parse(spec)
+        for host in self._hosts:
+            if host.spec == spec:
+                with self._lock:
+                    host.alive = True
+                    host.retired = False
+                    host.last_error = None
+                    host.prepared.clear()
+                    link, host.link = host.link, None
+                if link is not None:
+                    link.close()
+                return host
+        raise LookupError(f"no such host {spec}")
+
+    def add_host(self, spec: "HostSpec | str | tuple[str, int]") -> HostState:
+        """Admit ``spec`` into the pool: a brand-new address joins the
+        ring; a known one is revived (rejoin after restart)."""
+        spec = HostSpec.parse(spec)
+        if any(h.spec == spec for h in self._hosts):
+            return self.revive(spec)
+        host = HostState(spec)
+        with self._lock:
+            self._hosts.append(host)
+        return host
+
+    def try_revive(self, excluded: "Iterable[HostSpec]" = ()
+                   ) -> list[HostState]:
+        """Re-dial every dead host (skipping ``excluded``) and resurrect
+        the ones whose agent answers the handshake again.  Called by
+        executors as a last resort before declaring "no live hosts"."""
+        shunned = self._parse_excluded(excluded)
+        revived: list[HostState] = []
+        for host in self._hosts:
+            if host.alive or host.spec in shunned:
+                continue
+            try:
+                link, _hello = open_link(
+                    host.spec.host, host.spec.port, timeout=2.0,
+                    on_goodbye=lambda h=host: self.mark_retired(h))
+            except (WireError, OSError):
+                continue
+            with self._lock:
+                host.alive = True
+                host.retired = False
+                host.last_error = None
+                host.prepared.clear()
+                host.link = link
+            revived.append(host)
+        return revived
 
     def describe(self) -> str:
         """One line per host, for error messages and ``repr``."""
         return "; ".join(repr(h) for h in self._hosts)
 
     def close_all(self, farewell: bool = True) -> None:
-        """Close every connection (sending GOODBYE to live peers when
+        """Close every link (sending GOODBYE to live peers when
         ``farewell`` — best-effort; a dead peer is already gone)."""
         for host in self._hosts:
             with self._lock:
-                conn, host.conn = host.conn, None
-            if conn is None:
+                link, host.link = host.link, None
+            if link is None:
                 continue
             if farewell and host.alive:
                 try:
-                    conn.send("GOODBYE")
+                    link.goodbye()
                 except Exception:
                     pass
-            conn.close()
+            link.close()
 
     def __repr__(self) -> str:
         live = len(self.live())
-        return f"<HostPool {live}/{len(self._hosts)} live policy={self.policy!r}>"
+        return (f"<HostPool {live}/{len(self._hosts)} live "
+                f"policy={self.policy!r}>")

@@ -14,47 +14,78 @@ sees bytes it cannot represent.  Frames are capped at
 :data:`MAX_FRAME_BYTES` — a corrupt length prefix must fail fast, not
 allocate gigabytes.
 
-The conversation is strictly lock-step (one request, one reply, on one
-connection), which keeps both ends free of reordering logic; the
-coordinator gets parallelism from *many connections* (one per host),
-not from pipelining on one.
+Wire version 1 was strictly lock-step (one request, one reply, on one
+connection): the coordinator got parallelism from *many connections*
+(one per host), never from pipelining on one.  Version 2 keeps every
+frame and message of v1 and adds a **channel id**: a client may tag a
+request with ``"channel": N`` and the peer echoes the same channel on
+every frame of the reply, so N jobs can be in flight on one connection
+at once and replies may arrive in any order.  Frames without a channel
+keep v1's lock-step meaning, which is also the negotiated fallback when
+either peer can only speak v1.
 
 ::
 
     coordinator                               agent
     -----------                               -----
-    HELLO {version}                     ->
+    HELLO {version, min_version}        ->
                                         <-    HELLO {version, pid, store}
-    PREPARE {snapshot, scripts, ...}    ->
-                                        <-    READY {source, build_ops}
-                                              … or NEED {snapshot}, then:
-    BLOB {snapshot} + blob bytes        ->
-                                        <-    READY {source: "wire", ...}
-    SUBMIT {index, name, user} [+ fn]   ->
-                                        <-    RESULT {status} + result blob
+    PREPARE {snapshot, scripts, ch}     ->
+                                        <-    READY {source, build_ops, ch}
+                                              … or NEED {snapshot, ch}, then:
+    BLOB {snapshot, ch} + blob bytes    ->
+                                        <-    READY {source: "wire", ch}
+    SUBMIT {index, name, user, ch} [+fn]->    (N of these may interleave)
+    SUBMIT {index, name, user, ch'}     ->
+                                        <-    RESULT {status, ch'} + blob
+                                        <-    RESULT {status, ch} + blob
     GOODBYE                             ->    (agent closes)
+    (agent may also send GOODBYE first: a clean, drained shutdown)
 
-Version negotiation happens once, in HELLO: both sides send
-:data:`WIRE_VERSION` and a mismatch raises :class:`WireVersionError`
-(the agent also refuses with an ERROR frame so old coordinators get a
+Version negotiation happens once, in HELLO: the client sends the
+highest version it speaks (:data:`WIRE_VERSION`) and the lowest it will
+accept (:data:`MIN_WIRE_VERSION`); the server replies with the
+*effective* version — ``min(yours, theirs)`` — and both sides speak
+that.  A peer that answers with a version above ours, or that cannot
+meet either side's floor, raises :class:`WireVersionError` (the agent
+also refuses with an ERROR frame so mismatched coordinators get a
 readable diagnostic instead of a codec explosion).
+
+Two client-side conversation shapes wrap a handshaken connection:
+
+* :class:`LockstepLink` — v1 semantics behind a lock: one request/reply
+  at a time, multi-frame conversations hold the connection exclusively;
+* :class:`ChannelMux` — v2 pipelining: a background reader routes each
+  reply to the waiter that owns its channel, so any number of threads
+  can :meth:`~ChannelMux.request` concurrently; multi-frame
+  conversations (:meth:`~ChannelMux.converse`) briefly gate new sends
+  while in-flight replies continue to drain.
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
+import queue
 import socket
 import struct
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable
 
 from repro.errors import ReproError
 
 #: Bumped whenever frames or the message vocabulary change incompatibly.
-#: Both ends refuse to talk across a mismatch — a cluster is upgraded by
-#: restarting its agents, never by limping through a mixed protocol.
-WIRE_VERSION = 1
+#: Version 2 added channel-tagged frames (concurrent jobs on one
+#: connection); both ends negotiate down to the highest version both
+#: speak, and refuse to talk below :data:`MIN_WIRE_VERSION`.
+WIRE_VERSION = 2
+
+#: The oldest version this end still speaks (v1 = channel-less
+#: lock-step).  A peer that cannot reach this floor is refused.
+MIN_WIRE_VERSION = 1
 
 #: Hard cap on one frame (header + blob).  Snapshot blobs are hundreds
 #: of KiB; 256 MiB is comfortably above any real machine image while
@@ -131,6 +162,15 @@ class Connection:
 
     def __init__(self, sock: socket.socket) -> None:
         self._sock = sock
+        #: The negotiated wire version, stamped by the handshake helpers
+        #: (:func:`client_handshake` / the agent's HELLO handling);
+        #: pre-handshake connections assume the current version.
+        self.version = WIRE_VERSION
+        # Sends are serialised: with channels, worker threads reply on a
+        # shared connection, and two interleaved sendall()s would tear
+        # frames.  recv stays single-reader by construction (one reader
+        # loop per connection on both ends).
+        self._send_lock = threading.Lock()
         # TCP_NODELAY: frames are small request/reply pairs; Nagle would
         # add 40ms floors to every job round trip.
         try:
@@ -149,7 +189,8 @@ class Connection:
         if len(payload) + len(blob) > MAX_FRAME_BYTES:
             raise WireError(f"frame too large: {len(payload) + len(blob)} bytes")
         try:
-            self._sock.sendall(_HEAD.pack(len(payload), len(blob)) + payload + blob)
+            with self._send_lock:
+                self._sock.sendall(_HEAD.pack(len(payload), len(blob)) + payload + blob)
         except OSError as err:
             raise WireClosed(f"send failed: {err}") from err
 
@@ -204,21 +245,52 @@ class Connection:
         return b"".join(chunks)
 
 
-def client_handshake(conn: Connection) -> Message:
-    """The coordinator side of HELLO: send our version, check theirs."""
-    reply = conn.request("HELLO", {"version": WIRE_VERSION}).expect("HELLO")
-    peer = reply.fields.get("version")
-    if peer != WIRE_VERSION:
+def negotiate_version(peer_version: Any, peer_min: Any = None) -> int:
+    """The server side of version negotiation: the effective version for
+    a peer advertising ``peer_version`` (and optionally the floor it
+    will accept).  Raises :class:`WireVersionError` when no version
+    satisfies both ends — v1 peers (who advertise no floor) implicitly
+    require exactly their own version or below."""
+    try:
+        advertised = int(peer_version)
+    except (TypeError, ValueError):
+        raise WireVersionError(f"peer advertised no usable wire version "
+                               f"({peer_version!r})") from None
+    floor = advertised if peer_min is None else int(peer_min)
+    effective = min(WIRE_VERSION, advertised)
+    if effective < max(MIN_WIRE_VERSION, floor):
         raise WireVersionError(
-            f"agent speaks wire version {peer}, we speak {WIRE_VERSION} "
-            "(restart the older side)")
+            f"no common wire version: peer speaks {advertised} "
+            f"(floor {floor}), we speak {WIRE_VERSION} "
+            f"(floor {MIN_WIRE_VERSION}); restart the older side")
+    return effective
+
+
+def client_handshake(conn: Connection) -> Message:
+    """The coordinator side of HELLO: advertise the version range we
+    speak; the peer replies with the effective (negotiated) version.
+
+    The negotiated version is stamped on ``conn.version``.  A v1 peer
+    simply echoes ``1`` (it never saw ``min_version``) and the
+    connection proceeds channel-less and lock-step; a peer replying
+    *above* our version ignored negotiation and is refused.
+    """
+    reply = conn.request("HELLO", {"version": WIRE_VERSION,
+                                   "min_version": MIN_WIRE_VERSION}).expect("HELLO")
+    peer = reply.fields.get("version")
+    if not isinstance(peer, int) or peer > WIRE_VERSION or peer < MIN_WIRE_VERSION:
+        raise WireVersionError(
+            f"agent speaks wire version {peer}, we speak "
+            f"{MIN_WIRE_VERSION}..{WIRE_VERSION} (restart the older side)")
+    conn.version = peer
     return reply
 
 
 def connect(host: str, port: int, timeout: "float | None" = 10.0,
             ) -> tuple[Connection, Message]:
     """Open a handshaken connection to an agent; returns the connection
-    and the agent's HELLO (pid, store root — useful for diagnostics)."""
+    and the agent's HELLO (pid, store root — useful for diagnostics).
+    The negotiated wire version lands on ``connection.version``."""
     try:
         sock = socket.create_connection((host, port), timeout=timeout)
     except OSError as err:
@@ -233,3 +305,218 @@ def connect(host: str, port: int, timeout: "float | None" = 10.0,
         raise
     sock.settimeout(None)
     return conn, hello
+
+
+# ---------------------------------------------------------------------------
+# client-side conversation shapes: lock-step (v1) and channels (v2)
+# ---------------------------------------------------------------------------
+
+class _Conversation:
+    """One multi-frame exchange (PREPARE … NEED/BLOB … READY) bound to a
+    link.  ``send``/``recv`` speak on the conversation's channel (v2) or
+    on the raw connection (v1); the owning link guarantees exclusivity
+    for the conversation's duration."""
+
+    def __init__(self, send: "Callable[[str, dict | None, bytes], None]",
+                 recv: "Callable[[], Message]") -> None:
+        self._send = send
+        self._recv = recv
+
+    def send(self, type_: str, fields: "dict[str, Any] | None" = None,
+             blob: bytes = b"") -> None:
+        self._send(type_, fields, blob)
+
+    def recv(self) -> Message:
+        return self._recv()
+
+    def request(self, type_: str, fields: "dict[str, Any] | None" = None,
+                blob: bytes = b"") -> Message:
+        self.send(type_, fields, blob)
+        return self.recv()
+
+
+class LockstepLink:
+    """v1 semantics behind a lock: one exchange at a time.
+
+    The shape every caller codes against (``request`` / ``converse`` /
+    ``close``), implemented with plain mutual exclusion — the negotiated
+    fallback for peers that never learned channels, and the degenerate
+    case of :class:`ChannelMux` with one channel.
+    """
+
+    concurrency = 1
+
+    def __init__(self, conn: Connection,
+                 on_goodbye: "Callable[[], None] | None" = None) -> None:
+        self._conn = conn
+        self._on_goodbye = on_goodbye
+        self._lock = threading.RLock()
+
+    @property
+    def version(self) -> int:
+        return self._conn.version
+
+    def request(self, type_: str, fields: "dict[str, Any] | None" = None,
+                blob: bytes = b"") -> Message:
+        with self._lock:
+            reply = self._conn.request(type_, fields, blob)
+            if reply.type == "GOODBYE":
+                # The peer is retiring cleanly (drained SIGTERM); there
+                # is no reply to this exchange and never will be.
+                if self._on_goodbye is not None:
+                    self._on_goodbye()
+                raise WireClosed("peer retired (clean GOODBYE)")
+            return reply
+
+    @contextmanager
+    def converse(self):
+        """Exclusive use of the connection for a multi-frame exchange."""
+        with self._lock:
+            yield _Conversation(self._conn.send, self._conn.recv)
+
+    def goodbye(self) -> None:
+        """Tell the peer we are leaving cleanly (no reply expected)."""
+        self._conn.send("GOODBYE")
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+class ChannelMux:
+    """v2 pipelining: concurrent exchanges multiplexed on one connection.
+
+    A background reader routes every incoming frame to the waiter that
+    owns its ``channel``; any number of threads may :meth:`request`
+    concurrently.  :meth:`converse` runs a multi-frame exchange
+    (PREPARE's NEED/BLOB loop): it holds the *send* gate — no new
+    requests start while a conversation is mid-flight, so the peer can
+    service the exchange inline — but replies to already-sent requests
+    keep draining through the reader throughout.
+
+    An unsolicited, channel-less GOODBYE from the peer is a **clean
+    retirement** (a drained SIGTERM shutdown): ``on_goodbye`` fires once
+    and subsequent failures report the retirement instead of a crash.
+    """
+
+    def __init__(self, conn: Connection,
+                 on_goodbye: "Callable[[], None] | None" = None) -> None:
+        self._conn = conn
+        self._on_goodbye = on_goodbye
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._send_gate = threading.RLock()
+        self._waiters: "dict[int, queue.SimpleQueue]" = {}
+        self._dead: "WireError | None" = None
+        self.retired = False
+        self._reader = threading.Thread(target=self._read_loop, daemon=True,
+                                        name="wire-mux-reader")
+        self._reader.start()
+
+    @property
+    def version(self) -> int:
+        return self._conn.version
+
+    # -- exchanges ---------------------------------------------------------
+
+    def request(self, type_: str, fields: "dict[str, Any] | None" = None,
+                blob: bytes = b"") -> Message:
+        """One channel-tagged round trip, safe to call from any thread."""
+        channel, waiter = self._open_channel()
+        try:
+            with self._send_gate:
+                self._send_on(channel, type_, fields, blob)
+            return self._take(waiter)
+        finally:
+            self._close_channel(channel)
+
+    @contextmanager
+    def converse(self):
+        """A multi-frame exchange on one channel, exclusive on the send
+        side for its duration (in-flight replies still drain)."""
+        channel, waiter = self._open_channel()
+        try:
+            with self._send_gate:
+                yield _Conversation(
+                    lambda t, f=None, b=b"": self._send_on(channel, t, f, b),
+                    lambda: self._take(waiter))
+        finally:
+            self._close_channel(channel)
+
+    def goodbye(self) -> None:
+        """Tell the peer we are leaving cleanly (no reply expected)."""
+        with self._send_gate:
+            self._conn.send("GOODBYE")
+
+    def close(self) -> None:
+        self._conn.close()
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _open_channel(self) -> "tuple[int, queue.SimpleQueue]":
+        channel = next(self._ids)
+        waiter: queue.SimpleQueue = queue.SimpleQueue()
+        with self._lock:
+            if self._dead is not None:
+                raise self._dead
+            self._waiters[channel] = waiter
+        return channel, waiter
+
+    def _close_channel(self, channel: int) -> None:
+        with self._lock:
+            self._waiters.pop(channel, None)
+
+    def _send_on(self, channel: int, type_: str,
+                 fields: "dict[str, Any] | None", blob: bytes) -> None:
+        tagged = dict(fields or {})
+        tagged["channel"] = channel
+        try:
+            self._conn.send(type_, tagged, blob)
+        except WireError as err:
+            if self.retired:
+                raise WireClosed("peer retired (clean GOODBYE)") from err
+            raise
+
+    def _take(self, waiter: "queue.SimpleQueue") -> Message:
+        got = waiter.get()
+        if isinstance(got, BaseException):
+            raise got
+        return got
+
+    def _read_loop(self) -> None:
+        failure: WireError
+        try:
+            while True:
+                msg = self._conn.recv()
+                if msg.type == "GOODBYE" and "channel" not in msg.fields:
+                    self.retired = True
+                    if self._on_goodbye is not None:
+                        self._on_goodbye()
+                    continue  # the peer closes next; recv turns that into WireClosed
+                with self._lock:
+                    waiter = self._waiters.get(msg.fields.get("channel"))
+                if waiter is not None:
+                    waiter.put(msg)
+                # Unclaimed frames (a reply outliving its abandoned
+                # waiter) are dropped: the waiter is gone, nobody cares.
+        except WireError as err:
+            failure = err if not self.retired else WireClosed(
+                "peer retired (clean GOODBYE)")
+        except Exception as err:  # pragma: no cover - defensive
+            failure = WireError(f"mux reader died: {err}")
+        with self._lock:
+            self._dead = failure
+            waiters, self._waiters = list(self._waiters.values()), {}
+        for waiter in waiters:
+            waiter.put(failure)
+
+
+def open_link(host: str, port: int, timeout: "float | None" = 10.0,
+              on_goodbye: "Callable[[], None] | None" = None,
+              ) -> "tuple[LockstepLink | ChannelMux, Message]":
+    """Connect, handshake, and wrap the connection in the conversation
+    shape the negotiated version supports: a :class:`ChannelMux` for v2
+    peers, a :class:`LockstepLink` for v1."""
+    conn, hello = connect(host, port, timeout=timeout)
+    if conn.version >= 2:
+        return ChannelMux(conn, on_goodbye=on_goodbye), hello
+    return LockstepLink(conn, on_goodbye=on_goodbye), hello

@@ -1,0 +1,69 @@
+"""Client-side conveniences for the gateway: spawn one locally.
+
+The serving side lives in :mod:`repro.serve.gateway`; the *client* side
+of the protocol is just :class:`~repro.api.executors.serve
+.ServeExecutor` (the gateway speaks the agent wire protocol, so the
+executor needs nothing gateway-specific beyond an address).  What tests,
+benchmarks and the CI smoke step do need is a way to stand a real
+gateway up as a subprocess and learn its ephemeral port — the exact
+shape :func:`repro.remote.agent.spawn_local_agent` already has for
+agents.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+
+def spawn_local_gateway(store: "Path | str", *, host: str = "127.0.0.1",
+                        policy: "str | None" = None, concurrency: int = 4,
+                        rate: "float | None" = None,
+                        burst: "float | None" = None,
+                        max_pending: "int | None" = None,
+                        request_log: "Path | str | None" = None,
+                        ) -> "tuple[subprocess.Popen, str]":
+    """Spawn one gateway subprocess; returns ``(process, "host:port")``.
+
+    Runs ``python -m repro serve --port 0`` with ``src`` on
+    ``PYTHONPATH``, waits for the ``GATEWAY LISTENING`` readiness line,
+    and hands back the discovered address — ready to be passed as
+    ``--announce`` to agents and as ``gateway=`` to a
+    :class:`~repro.api.executors.serve.ServeExecutor`.  The caller owns
+    the process (``proc.kill()``, or ``proc.terminate()`` for a clean
+    stop).
+    """
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = src_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    cmd = [sys.executable, "-m", "repro", "serve",
+           "--store", str(store), "--host", host, "--port", "0",
+           "--concurrency", str(concurrency)]
+    if policy:
+        cmd += ["--policy", policy]
+    if rate is not None:
+        cmd += ["--rate", str(rate)]
+    if burst is not None:
+        cmd += ["--burst", str(burst)]
+    if max_pending is not None:
+        cmd += ["--max-pending", str(max_pending)]
+    if request_log is not None:
+        cmd += ["--request-log", str(request_log)]
+    proc = subprocess.Popen(cmd, env=env, stdout=subprocess.PIPE, text=True)
+    assert proc.stdout is not None
+    # The readiness line is the startup barrier; a crash-on-boot gateway
+    # hits EOF instead and is reported with its exit status.
+    line = proc.stdout.readline()
+    if "GATEWAY LISTENING" not in line:
+        proc.kill()
+        raise RuntimeError(
+            f"gateway failed to start (exit {proc.poll()}): {line!r}")
+    parts = dict(item.split("=", 1) for item in line.split()[2:])
+    # Drain stdout in the background so a chatty gateway never blocks on
+    # a full pipe.
+    threading.Thread(target=proc.stdout.read, daemon=True).start()
+    return proc, f"{parts['host']}:{parts['port']}"

@@ -1,0 +1,545 @@
+"""The gateway: one long-lived front door over a dynamic agent fleet.
+
+``python -m repro serve`` starts an asyncio server that speaks the
+agent wire protocol (:mod:`repro.remote.wire`) on both faces:
+
+* **southbound**, it is a coordinator: it owns a
+  :class:`~repro.remote.hostpool.HostPool` of agents, scores them with
+  a :class:`~repro.api.scheduling.SchedulingPolicy`, PREPAREs each
+  agent from its own snapshot store, and relays SUBMITs over ordinary
+  sync links (a thread pool keeps the event loop unblocked);
+* **northbound**, it *is* an agent, as far as any client can tell: it
+  answers HELLO with version negotiation, services PREPARE (pulling
+  missed blobs — delta chains included — into its own store exactly
+  like an agent would), and replies RESULT frames channel-tagged, so
+  :class:`~repro.api.executors.serve.ServeExecutor` is just a
+  :class:`~repro.api.executors.remote.RemoteExecutor` pointed at one
+  very large host.
+
+What the gateway adds over a static fleet:
+
+* **dynamic membership** — agents dial in with one ``ANNOUNCE`` frame
+  (``python -m repro agent --announce HOST:PORT``) and the gateway
+  dials back; a known address re-announcing is a *rejoin* (restarted
+  agents kept their stores, so the re-PREPARE is warm), and before
+  declaring "no live agents" the gateway re-dials its dead ones;
+* **admission control** — every SUBMIT passes the
+  :class:`~repro.serve.admission.AdmissionController` (per-user token
+  buckets + a global pending bound); refusals are typed ``BUSY
+  {retry_after}`` frames, never silent drops;
+* **a request log** — one JSON line per admission/dispatch/health
+  event (``--request-log``), which is also how tests assert that a
+  mid-batch agent restart really was survived.
+
+Failure taxonomy, preserved end to end: an agent *crash* strikes the
+host and the job retries on the survivors; a clean agent GOODBYE
+retires the host without a strike; a *deterministic* job failure comes
+back as ``RESULT {status: "error"}`` with the agent's attribution and
+is never retried; fleet exhaustion is reported the same way — the
+gateway never answers a SUBMIT with a connection-killing ERROR frame.
+
+On startup the gateway prints one machine-readable line::
+
+    GATEWAY LISTENING host=127.0.0.1 port=44501 store=/path/to/store
+
+so callers that spawn it with ``--port 0`` (tests, CI,
+:func:`repro.serve.client.spawn_local_gateway`) can discover the port.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import collections
+import json
+import os
+import signal
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Any
+
+from repro.kernel.serialize import delta_base_digest, is_delta
+from repro.kernel.store import SnapshotStore
+from repro.remote.hostpool import HostPool, HostSpec, HostState
+from repro.remote.wire import (
+    _HEAD,
+    MAX_FRAME_BYTES,
+    Message,
+    WireClosed,
+    WireError,
+    WireVersionError,
+    negotiate_version,
+    template_key,
+)
+
+
+class Gateway:
+    """The serving half of one ``repro serve`` process.
+
+    ``store`` roots the gateway's own snapshot store (templates land
+    here once per client and fan out to agents from it); ``hosts``
+    seeds the fleet with static agent addresses (usually empty — agents
+    announce themselves); ``policy`` is a
+    :class:`~repro.api.scheduling.SchedulingPolicy` object or legacy
+    string; ``concurrency`` caps jobs in flight *per agent*; ``rate`` /
+    ``burst`` / ``max_pending`` configure admission control
+    (:class:`~repro.serve.admission.AdmissionController`);
+    ``request_log`` appends one JSON line per gateway event to a file.
+    """
+
+    def __init__(self, store: "SnapshotStore | Path | str | None" = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 hosts: "tuple | list" = (),
+                 policy: Any = None,
+                 concurrency: int = 4,
+                 rate: "float | None" = None,
+                 burst: "float | None" = None,
+                 max_pending: int = 256,
+                 request_log: "Path | str | None" = None,
+                 dispatch_workers: int = 16) -> None:
+        from repro.serve.admission import AdmissionController
+
+        self.store = store if isinstance(store, SnapshotStore) else SnapshotStore(store)
+        self._bind = (host, port)
+        self.address: "tuple[str, int] | None" = None
+        self.pool = HostPool(hosts, policy=policy, allow_empty=True)
+        self.concurrency = max(1, int(concurrency))
+        self.admission = AdmissionController(rate=rate, burst=burst,
+                                             max_pending=max_pending)
+        #: wire template key -> (PREPARE fields, fixtures blob), exactly
+        #: as a client shipped them — relayed verbatim to agents that
+        #: miss, so both hops compute the same template identity.
+        self._templates: "dict[str, tuple[dict, bytes]]" = {}
+        self._templates_lock = threading.Lock()
+        # Agent dispatch runs on sync links in a thread pool; per-host
+        # semaphores enforce the per-agent concurrency cap.
+        self._dispatch = ThreadPoolExecutor(max_workers=dispatch_workers,
+                                            thread_name_prefix="gateway-dispatch")
+        self._host_slots: "dict[HostSpec, threading.Semaphore]" = {}
+        self._slots_lock = threading.Lock()
+        # The request log: a bounded in-memory tail (diagnostics, tests)
+        # plus an optional append-only JSONL file.
+        self.events: "collections.deque[dict]" = collections.deque(maxlen=10_000)
+        self._log_path = Path(request_log) if request_log else None
+        self._log_lock = threading.Lock()
+        self._tasks: "set[asyncio.Task]" = set()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def announce(self, out=None) -> None:
+        assert self.address is not None, "announce() before start()"
+        print(f"GATEWAY LISTENING host={self.address[0]} "
+              f"port={self.address[1]} store={self.store.root}",
+              file=out or sys.stdout, flush=True)
+
+    async def start(self) -> "asyncio.base_events.Server":
+        server = await asyncio.start_server(self._handle_conn, *self._bind)
+        self.address = server.sockets[0].getsockname()[:2]
+        self._log("listening", host=self.address[0], port=self.address[1],
+                  store=str(self.store.root))
+        return server
+
+    async def run(self) -> None:
+        """Start, announce, and serve until SIGTERM/SIGINT."""
+        server = await self.start()
+        self.announce()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-main thread / platform without signal support
+        try:
+            await stop.wait()
+        finally:
+            self._log("stopping", pid=os.getpid())
+            server.close()
+            await server.wait_closed()
+            self.close()
+
+    def close(self) -> None:
+        self._dispatch.shutdown(wait=False)
+        self.pool.close_all()
+
+    # -- frames over asyncio streams ---------------------------------------
+
+    @staticmethod
+    async def _read_frame(reader: asyncio.StreamReader) -> "Message | None":
+        """One frame, or ``None`` when the peer went away (cleanly or
+        not — a gone client needs cleanup either way)."""
+        try:
+            head = await reader.readexactly(_HEAD.size)
+            header_len, blob_len = _HEAD.unpack(head)
+            if header_len + blob_len > MAX_FRAME_BYTES:
+                raise WireError(f"frame too large: {header_len + blob_len} "
+                                "bytes (corrupt length prefix?)")
+            payload = await reader.readexactly(header_len)
+            blob = await reader.readexactly(blob_len) if blob_len else b""
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return None
+        try:
+            header = json.loads(payload.decode())
+            type_ = header.pop("type")
+        except (ValueError, KeyError) as err:
+            raise WireError(f"bad frame header: {err}") from err
+        return Message(type_, header, blob)
+
+    class _Session:
+        """One client connection's write side: a framed, drain-serialised
+        sender shared by the session loop and its SUBMIT tasks."""
+
+        def __init__(self, writer: asyncio.StreamWriter) -> None:
+            self.writer = writer
+            self.lock = asyncio.Lock()
+
+        async def send(self, type_: str, fields: "dict | None" = None,
+                       blob: bytes = b"") -> None:
+            header = dict(fields or {})
+            header["type"] = type_
+            payload = json.dumps(header, separators=(",", ":"),
+                                 sort_keys=True).encode()
+            async with self.lock:
+                self.writer.write(_HEAD.pack(len(payload), len(blob))
+                                  + payload + blob)
+                await self.writer.drain()
+
+    @staticmethod
+    def _echo(msg: Message, fields: "dict | None" = None) -> dict:
+        """Reply fields for ``msg``, echoing its channel id (if any) so
+        a multiplexing client routes the reply to the right waiter."""
+        fields = dict(fields or {})
+        if "channel" in msg.fields:
+            fields["channel"] = msg.fields["channel"]
+        return fields
+
+    # -- connections -------------------------------------------------------
+
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        session = self._Session(writer)
+        try:
+            first = await self._read_frame(reader)
+            if first is None:
+                return
+            if first.type == "ANNOUNCE":
+                await self._handle_announce(session, first)
+            elif first.type == "HELLO":
+                await self._client_loop(session, reader, first)
+            else:
+                await session.send("ERROR", {
+                    "error": f"expected HELLO or ANNOUNCE, got {first.type!r}"})
+        except (WireError, OSError):
+            pass  # a half-broken peer gets dropped, not a traceback
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, ConnectionError):  # pragma: no cover
+                pass
+
+    async def _handle_announce(self, session: "Gateway._Session",
+                               msg: Message) -> None:
+        """An agent dialed in to join the fleet; the gateway dials back
+        on the advertised address when jobs need it."""
+        spec = HostSpec(str(msg.fields["host"]), int(msg.fields["port"]))
+        rejoin = any(h.spec == spec for h in self.pool.hosts)
+        self.pool.add_host(spec)
+        self._log("rejoin" if rejoin else "announce", host=str(spec),
+                  pid=msg.fields.get("pid"), store=msg.fields.get("store"))
+        await session.send("WELCOME", {"pid": os.getpid(),
+                                       "fleet": len(self.pool)})
+
+    # -- one client --------------------------------------------------------
+
+    async def _client_loop(self, session: "Gateway._Session",
+                           reader: asyncio.StreamReader,
+                           hello: Message) -> None:
+        try:
+            effective = negotiate_version(hello.fields.get("version"),
+                                          hello.fields.get("min_version"))
+        except WireVersionError as err:
+            await session.send("ERROR", {"error": str(err)})
+            return
+        await session.send("HELLO", {"version": effective, "pid": os.getpid(),
+                                     "store": str(self.store.root)})
+        while True:
+            msg = await self._read_frame(reader)
+            if msg is None or msg.type == "GOODBYE":
+                return
+            if msg.type == "PREPARE":
+                # Inline: the client holds its send gate for the whole
+                # NEED/BLOB exchange, so the next frames on this socket
+                # are the exchange's own (RESULT writes still interleave
+                # safely — the session lock serialises the write side).
+                await self._handle_prepare(session, reader, msg)
+            elif msg.type == "SUBMIT":
+                task = asyncio.ensure_future(
+                    self._handle_submit(session, msg))
+                self._tasks.add(task)
+                task.add_done_callback(self._tasks.discard)
+            else:
+                await session.send("ERROR", self._echo(
+                    msg, {"error": f"unexpected {msg.type!r}"}))
+                return
+
+    async def _handle_prepare(self, session: "Gateway._Session",
+                              reader: asyncio.StreamReader,
+                              msg: Message) -> None:
+        """Take custody of one template: pull every blob our store
+        misses (the delta chain included, exactly like an agent), keep
+        the PREPARE ingredients for relaying, reply READY."""
+        fields = msg.fields
+        snapshot = fields["snapshot"]
+        wire_key = template_key(snapshot, fields.get("scripts", []),
+                                fields["default_user"],
+                                fields.get("install_shill", True))
+        with self._templates_lock:
+            known = wire_key in self._templates
+        source = "memory" if known else "store"
+        payload = self.store.get(snapshot)
+        if payload is None:
+            payload = await self._pull_blob(session, reader, msg, snapshot)
+            source = "wire"
+        probe = payload
+        while is_delta(probe):
+            base = delta_base_digest(probe)
+            probe = self.store.get(base)
+            if probe is None:
+                probe = await self._pull_blob(session, reader, msg, base)
+                source = "wire"
+        relay = {k: v for k, v in fields.items() if k != "channel"}
+        with self._templates_lock:
+            self._templates[wire_key] = (relay, msg.blob)
+        self._log("template", key=wire_key[:16], snapshot=snapshot[:16],
+                  source=source)
+        # build_ops is empty by construction: the gateway relays, it
+        # never boots a kernel — agents report their own boot work.
+        await session.send("READY", self._echo(
+            msg, {"source": source, "build_ops": {}}))
+
+    async def _pull_blob(self, session: "Gateway._Session",
+                         reader: asyncio.StreamReader, msg: Message,
+                         digest: str) -> bytes:
+        await session.send("NEED", self._echo(msg, {"snapshot": digest}))
+        reply = await self._read_frame(reader)
+        if reply is None:
+            raise WireClosed("client vanished mid-PREPARE")
+        reply.expect("BLOB")
+        imported = self.store.import_blob(reply.blob)
+        if imported != digest:
+            raise WireError(f"BLOB carried {imported[:12]}…, "
+                            f"NEED named {digest[:12]}…")
+        return self.store.load(digest)
+
+    # -- SUBMIT: admission, then relay -------------------------------------
+
+    async def _handle_submit(self, session: "Gateway._Session",
+                             msg: Message) -> None:
+        fields = msg.fields
+        user = fields.get("requester") or fields.get("user") or "anonymous"
+        wait = self.admission.admit(user)
+        if wait is not None:
+            self._log("busy", user=user, name=fields.get("name"),
+                      retry_after=round(wait, 4),
+                      pending=self.admission.pending)
+            await self._safe_send(session, "BUSY", self._echo(
+                msg, {"retry_after": round(wait, 4)}))
+            return
+        try:
+            loop = asyncio.get_running_loop()
+            reply_fields, blob = await loop.run_in_executor(
+                self._dispatch, self._dispatch_job, dict(fields), msg.blob)
+        finally:
+            self.admission.release()
+        await self._safe_send(session, "RESULT", self._echo(msg, reply_fields),
+                              blob)
+
+    async def _safe_send(self, session: "Gateway._Session", type_: str,
+                         fields: dict, blob: bytes = b"") -> None:
+        """A reply to a client that may already be gone — which is its
+        problem, not the fleet's; the job result is simply dropped."""
+        try:
+            await session.send(type_, fields, blob)
+        except (OSError, ConnectionError, RuntimeError):
+            self._log("client_gone", name=fields.get("name"))
+
+    def _dispatch_job(self, fields: dict, blob: bytes
+                      ) -> "tuple[dict, bytes]":
+        """Relay one SUBMIT to an agent (sync; runs on the dispatch
+        pool).  Mirrors ``RemoteExecutor._run_remote``'s health
+        taxonomy: crash → strike + retry on survivors, clean GOODBYE →
+        retire + retry, exhaustion → an error RESULT (never a dead
+        connection)."""
+        index = fields.get("index")
+        name, user = fields.get("name"), fields.get("user")
+        wire_key = fields.get("template", "")
+        with self._templates_lock:
+            have_template = wire_key in self._templates
+        if not have_template:
+            return {"index": index, "status": "error", "name": name,
+                    "user": user,
+                    "traceback": "gateway: SUBMIT names a template no "
+                                 "client has PREPAREd here (gateway "
+                                 "restarted? re-open the executor)"}, b""
+        relay = {k: v for k, v in fields.items()
+                 if k not in ("channel", "requester")}
+        tried: list[str] = []
+        excluded: "set[HostSpec]" = set()
+        while True:
+            try:
+                host = self._pick(fields, wire_key, excluded)
+            except LookupError:
+                self._log("exhausted", name=name, tried=tried)
+                detail = (f" (agents tried: {', '.join(tried)})" if tried
+                          else f" ({self.pool.describe() or 'fleet is empty'})")
+                return {"index": index, "status": "error", "name": name,
+                        "user": user,
+                        "traceback": "gateway: no live agents left"
+                                     + detail}, b""
+            with self._slot(host.spec):
+                try:
+                    link = self.pool.link_for(host)
+                    self._ensure_agent_prepared(host, link, wire_key)
+                    with self.pool.lease(host):
+                        self._log("dispatch", name=name, user=user,
+                                  host=str(host.spec))
+                        reply = link.request("SUBMIT", relay, blob)
+                    reply.expect("RESULT")
+                except (WireError, OSError) as err:
+                    if host.retired:
+                        self._log("retired", host=str(host.spec), name=name)
+                        excluded.add(host.spec)
+                        tried.append(f"{host.spec} (retired)")
+                        continue
+                    self.pool.mark_dead(host, err)
+                    self._log("dead", host=str(host.spec), name=name,
+                              error=str(err))
+                    excluded.add(host.spec)
+                    tried.append(f"{host.spec} ({type(err).__name__})")
+                    continue
+            out = {k: v for k, v in reply.fields.items() if k != "channel"}
+            self._log("result", name=name, host=str(host.spec),
+                      status=out.get("status", "ok"))
+            return out, reply.blob
+
+    def _pick(self, fields: dict, wire_key: str,
+              excluded: "set[HostSpec]") -> HostState:
+        """Policy pick; before giving up on an empty ring, re-dial dead
+        agents — a restarted agent that never re-announced (or whose
+        ANNOUNCE is still in flight) rejoins here."""
+        try:
+            return self.pool.pick(excluded=excluded, job=fields,
+                                  wire_key=wire_key)
+        except LookupError:
+            revived = self.pool.try_revive(excluded=excluded)
+            if not revived:
+                raise
+            self._log("revived", hosts=[str(h.spec) for h in revived])
+            return self.pool.pick(excluded=excluded, job=fields,
+                                  wire_key=wire_key)
+
+    def _slot(self, spec: HostSpec) -> threading.Semaphore:
+        with self._slots_lock:
+            sem = self._host_slots.get(spec)
+            if sem is None:
+                sem = self._host_slots[spec] = threading.Semaphore(
+                    self.concurrency)
+            return sem
+
+    def _ensure_agent_prepared(self, host: HostState, link,
+                               wire_key: str) -> None:
+        """Relay PREPARE (and any NEED/BLOB pulls, served from the
+        gateway's store) to one agent, once per template."""
+        if wire_key in host.prepared:
+            return
+        with self._templates_lock:
+            prepare_fields, fixtures = self._templates[wire_key]
+        with host.lock:
+            if wire_key in host.prepared:
+                return
+            with link.converse() as conv:
+                reply = conv.request("PREPARE", prepare_fields, fixtures)
+                while reply.type == "NEED":
+                    needed = reply.fields["snapshot"]
+                    reply = conv.request("BLOB", {"snapshot": needed},
+                                         self.store.export_blob(needed))
+            reply.expect("READY")
+            host.prepared.add(wire_key)
+            self._log("prepared", host=str(host.spec), key=wire_key[:16],
+                      source=reply.fields.get("source"))
+
+    # -- the request log ---------------------------------------------------
+
+    def _log(self, event: str, **fields: Any) -> None:
+        record = {"ts": round(time.time(), 3), "event": event, **fields}
+        with self._log_lock:
+            self.events.append(record)
+            if self._log_path is not None:
+                with self._log_path.open("a") as fh:
+                    fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def __repr__(self) -> str:
+        where = (f"{self.address[0]}:{self.address[1]}" if self.address
+                 else "unbound")
+        return (f"<Gateway {where} fleet={len(self.pool)} "
+                f"{self.admission!r}>")
+
+
+def serve_main(argv: "list[str] | None" = None) -> int:
+    """The ``python -m repro serve`` entrypoint."""
+    from repro.api.scheduling import LEGACY_POLICY_STRINGS
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="serve a long-lived batch gateway over a dynamic "
+                    "agent fleet (agents join with "
+                    "`python -m repro agent --announce HOST:PORT`)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="gateway snapshot store root (default: "
+                             "$REPRO_STORE, else the user cache dir)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="listen port (0 = ephemeral, reported on stdout)")
+    parser.add_argument("--hosts", default=None, metavar="HOST:PORT[,...]",
+                        help="seed the fleet with static agent addresses "
+                             "(agents may also announce themselves)")
+    parser.add_argument("--policy", choices=list(LEGACY_POLICY_STRINGS),
+                        default=None,
+                        help="scheduling policy for the fleet "
+                             "(default: round-robin)")
+    parser.add_argument("--concurrency", type=int, default=4,
+                        help="jobs in flight per agent (default: 4)")
+    parser.add_argument("--rate", type=float, default=None,
+                        help="per-user admission rate, requests/second "
+                             "(default: unlimited)")
+    parser.add_argument("--burst", type=float, default=None,
+                        help="per-user burst allowance (default: max(1, rate))")
+    parser.add_argument("--max-pending", type=int, default=256,
+                        help="global bound on admitted-but-unfinished jobs "
+                             "(default: 256)")
+    parser.add_argument("--request-log", default=None, metavar="FILE",
+                        help="append one JSON line per gateway event "
+                             "(admissions, dispatches, agent health)")
+    args = parser.parse_args(argv)
+    # The CLI's policy strings are its native interface, not the
+    # deprecated API spelling — resolve them without a warning.
+    policy = LEGACY_POLICY_STRINGS[args.policy]() if args.policy else None
+    gateway = Gateway(
+        store=args.store, host=args.host, port=args.port,
+        hosts=[spec for spec in (args.hosts or "").split(",") if spec],
+        policy=policy, concurrency=args.concurrency, rate=args.rate,
+        burst=args.burst, max_pending=args.max_pending,
+        request_log=args.request_log)
+    try:
+        asyncio.run(gateway.run())
+    except KeyboardInterrupt:  # pragma: no cover - handled via signal
+        pass
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via `-m repro serve`
+    raise SystemExit(serve_main())

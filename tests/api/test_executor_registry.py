@@ -1,0 +1,133 @@
+"""The executor registry: register once, usable everywhere at once.
+
+The api_redesign promise: ``register_executor(name, factory)`` makes a
+strategy constructible by ``create_executor``, visible in
+``EXECUTOR_CHOICES``, and therefore valid as a ``Batch`` backend string
+— with the legacy ``resolve_executor`` spelling surviving as a
+one-warning deprecation shim.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.api import (
+    EXECUTOR_CHOICES,
+    Batch,
+    SequentialExecutor,
+    World,
+    create_executor,
+    register_executor,
+    resolve_executor,
+)
+from repro.api.executors.base import _EXECUTOR_REGISTRY
+
+HELLO = '#lang shill/ambient\nappend(stdout, "hello\\n");\n'
+
+
+@pytest.fixture
+def scratch_registry():
+    """Let a test register names and forget them afterwards."""
+    before = dict(_EXECUTOR_REGISTRY)
+    yield
+    _EXECUTOR_REGISTRY.clear()
+    _EXECUTOR_REGISTRY.update(before)
+
+
+class TestRegistry:
+    def test_builtins_are_registered_in_order(self):
+        assert list(EXECUTOR_CHOICES)[:4] == ["sequential", "thread",
+                                              "process", "store"]
+        assert "remote" in EXECUTOR_CHOICES
+        assert "serve" in EXECUTOR_CHOICES
+
+    def test_choices_is_a_live_view(self, scratch_registry):
+        assert "toy" not in EXECUTOR_CHOICES
+        register_executor("toy", lambda **_: SequentialExecutor())
+        assert "toy" in EXECUTOR_CHOICES
+        assert "toy" in tuple(EXECUTOR_CHOICES)
+        assert EXECUTOR_CHOICES[-1] == "toy"
+
+    def test_create_executor_forwards_options(self):
+        executor = create_executor("thread", workers=2)
+        assert executor.name == "thread" and executor.workers == 2
+        executor.close()
+
+    def test_create_executor_emits_no_warnings(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            create_executor("sequential").close()
+
+    def test_unknown_name_lists_the_choices(self):
+        with pytest.raises(ValueError, match="sequential.*thread"):
+            create_executor("nonesuch")
+
+    def test_names_must_be_nonempty_strings(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            register_executor("", lambda **_: None)
+
+    def test_factories_must_be_callable(self):
+        with pytest.raises(TypeError, match="not callable"):
+            register_executor("broken", None)
+
+
+class TestEndToEnd:
+    def test_registered_executor_works_as_a_batch_backend(
+            self, scratch_registry):
+        """The whole point: a third-party strategy, registered once,
+        reachable through Batch's plain backend= string."""
+        built = []
+
+        class CountingExecutor(SequentialExecutor):
+            name = "counting"
+
+        def factory(workers=None, **_):
+            executor = CountingExecutor(workers=workers)
+            built.append(executor)
+            return executor
+
+        register_executor("counting", factory)
+        world = World().for_user("alice").with_jpeg_samples()
+        [result] = Batch(world, cache=False).add(HELLO).run(backend="counting")
+        assert result.stdout == "hello\n"
+        assert len(built) == 1 and isinstance(built[0], CountingExecutor)
+
+    def test_reregistering_a_name_replaces_it(self, scratch_registry):
+        register_executor("toy", lambda **_: SequentialExecutor(workers=1))
+        register_executor("toy", lambda **_: SequentialExecutor(workers=7))
+        executor = create_executor("toy")
+        assert executor.workers == 7
+        executor.close()
+
+
+class TestDeprecationShim:
+    def test_resolve_executor_warns_exactly_once(self):
+        with warnings.catch_warnings(record=True) as seen:
+            warnings.simplefilter("always")
+            executor = resolve_executor("sequential")
+        executor.close()
+        deprecations = [w for w in seen
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "create_executor" in str(deprecations[0].message)
+
+    def test_resolve_executor_still_constructs_correctly(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            executor = resolve_executor("thread", workers=3)
+        assert executor.name == "thread" and executor.workers == 3
+        executor.close()
+
+    def test_batch_default_path_does_not_warn(self):
+        """Batch.run() and backend= strings ride the non-deprecated
+        create_executor path — no warning for users who never typed
+        resolve_executor."""
+        world = World().for_user("alice").with_jpeg_samples()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            [result] = Batch(world, cache=False).add(HELLO).run()
+            [result2] = Batch(world, cache=False).add(HELLO) \
+                .run(backend="thread")
+        assert result.stdout == result2.stdout == "hello\n"

@@ -118,7 +118,8 @@ def test_the_primary_surface_carries_examples():
     expected = {"World", "Session", "Sandbox", "Batch", "RunResult",
                 "ScriptRegistry", "BoundedCache", "SequentialExecutor",
                 "ThreadExecutor", "ProcessExecutor", "StoreExecutor",
-                "RemoteExecutor", "resolve_executor"}
+                "RemoteExecutor", "ServeExecutor", "resolve_executor",
+                "create_executor", "register_executor"}
     assert expected <= documented, (
         f"missing Example:: blocks on: {sorted(expected - documented)}")
 

@@ -1,9 +1,10 @@
-"""HostPool: parsing, sharding policies, health, and exclusion."""
+"""HostPool: parsing, scheduling policies, health, and exclusion."""
 
 from __future__ import annotations
 
 import pytest
 
+from repro.api.scheduling import LeastLoaded, RoundRobin, StoreWarmth
 from repro.remote.hostpool import SHARDING_POLICIES, HostPool, HostSpec
 
 
@@ -27,34 +28,67 @@ class TestHostSpec:
             HostSpec.parse(bad)
 
 
-def _pool(n=3, policy="round-robin"):
+def _pool(n=3, policy=None):
     return HostPool([f"127.0.0.1:{7000 + i}" for i in range(n)], policy=policy)
 
 
 class TestPolicies:
     def test_round_robin_rotates(self):
-        pool = _pool(3)
+        pool = _pool(3)  # RoundRobin is the default policy
         picks = [pool.pick().spec.port for _ in range(6)]
         assert picks == [7000, 7001, 7002, 7000, 7001, 7002]
 
     def test_least_loaded_prefers_idle_host(self):
-        pool = _pool(2, policy="least-loaded")
+        pool = _pool(2, policy=LeastLoaded())
         first = pool.pick()
         with pool.lease(first):
             assert pool.pick() is not first
         # lease released: registration order breaks the tie again
         assert pool.pick() is first
 
+    def test_store_warmth_prefers_prepared_host(self):
+        pool = _pool(2, policy=StoreWarmth())
+        pool.hosts[1].prepared.add("key-1")
+        # warmth only counts for the template the job actually needs
+        assert pool.pick(wire_key="key-1").spec.port == 7001
+        assert pool.pick(wire_key="other").spec.port == 7000
+
+    def test_policy_strings_resolve_with_one_deprecation_warning(self):
+        with pytest.warns(DeprecationWarning, match="policy strings") as seen:
+            pool = _pool(2, policy="least-loaded")
+        assert len(seen) == 1
+        assert isinstance(pool.policy, LeastLoaded)
+
+    def test_custom_policy_object_is_consulted(self):
+        class Pinned:
+            def score(self, host, job, telemetry):
+                return 1.0 if host.spec.port == 7002 else 0.0
+
+        pool = _pool(3, policy=Pinned())
+        assert {pool.pick().spec.port for _ in range(4)} == {7002}
+
     def test_unknown_policy_rejected(self):
         with pytest.raises(ValueError, match="unknown sharding policy"):
             _pool(policy="random")
-        assert set(SHARDING_POLICIES) == {"round-robin", "least-loaded"}
+        assert set(SHARDING_POLICIES) == {"round-robin", "least-loaded",
+                                          "store-warmth"}
+
+    def test_policy_without_score_rejected(self):
+        with pytest.raises(TypeError, match="SchedulingPolicy"):
+            _pool(policy=object())
 
     def test_empty_and_duplicate_pools_rejected(self):
         with pytest.raises(ValueError, match="at least one"):
             HostPool([])
         with pytest.raises(ValueError, match="duplicate"):
             HostPool(["h:1", "h:1"])
+
+    def test_allow_empty_pools_admit_hosts_later(self):
+        pool = HostPool([], allow_empty=True)
+        with pytest.raises(LookupError):
+            pool.pick()
+        pool.add_host("127.0.0.1:7009")
+        assert pool.pick().spec.port == 7009
 
 
 class TestHealth:
@@ -87,3 +121,31 @@ class TestHealth:
             assert host.inflight == 1
         assert host.inflight == 0
         assert host.jobs_done == 1
+
+    def test_dead_strikes_but_retired_does_not(self):
+        pool = _pool(2)
+        crashed, polite = pool.hosts
+        pool.mark_dead(crashed, "socket reset")
+        pool.mark_retired(polite)
+        assert crashed.strikes == 1 and not crashed.retired
+        assert polite.strikes == 0 and polite.retired
+        assert pool.live() == []
+
+    def test_revive_rejoins_and_forgets_prepared_templates(self):
+        pool = _pool(2)
+        victim = pool.hosts[0]
+        victim.prepared.add("tmpl")
+        pool.mark_dead(victim, "crash")
+        pool.revive(victim.spec)
+        assert victim.alive and not victim.retired
+        assert victim.prepared == set()       # restarted agents re-PREPARE
+        assert victim.strikes == 1            # history survives the revival
+        assert victim in [pool.pick() for _ in range(2)]
+
+    def test_add_host_admits_new_and_revives_known(self):
+        pool = _pool(1)
+        joined = pool.add_host("127.0.0.1:7050")
+        assert len(pool) == 2 and joined.alive
+        pool.mark_dead(joined, "gone")
+        assert pool.add_host("127.0.0.1:7050") is joined
+        assert joined.alive

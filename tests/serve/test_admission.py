@@ -1,0 +1,211 @@
+"""AdmissionController units: every gate, zero sleeps (fake clock)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import AdmissionController
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestRateLimit:
+    def test_unlimited_by_default(self):
+        gate = AdmissionController()
+        assert all(gate.admit("anyone") is None for _ in range(100))
+
+    def test_burst_then_refusal_with_retry_hint(self):
+        clock = FakeClock()
+        gate = AdmissionController(rate=1.0, burst=2, clock=clock)
+        assert gate.admit("alice") is None
+        assert gate.admit("alice") is None
+        wait = gate.admit("alice")
+        assert wait == pytest.approx(1.0)  # one token refills in 1s at 1/s
+
+    def test_tokens_refill_with_time(self):
+        clock = FakeClock()
+        gate = AdmissionController(rate=2.0, burst=1, clock=clock)
+        assert gate.admit("alice") is None
+        assert gate.admit("alice") is not None
+        clock.advance(0.5)  # 2/s * 0.5s = one token back
+        assert gate.admit("alice") is None
+
+    def test_users_have_independent_buckets(self):
+        clock = FakeClock()
+        gate = AdmissionController(rate=1.0, burst=1, clock=clock)
+        assert gate.admit("alice") is None
+        assert gate.admit("alice") is not None  # alice is out of tokens
+        assert gate.admit("bob") is None        # bob is not
+
+    def test_refused_requests_spend_no_token(self):
+        clock = FakeClock()
+        gate = AdmissionController(rate=1.0, burst=1, clock=clock)
+        assert gate.admit("alice") is None
+        for _ in range(5):
+            assert gate.admit("alice") is not None
+        clock.advance(1.0)
+        # Refusals didn't dig the bucket deeper: one second = one token.
+        assert gate.admit("alice") is None
+
+    def test_rate_must_be_positive(self):
+        with pytest.raises(ValueError, match="rate"):
+            AdmissionController(rate=0)
+        with pytest.raises(ValueError, match="rate"):
+            AdmissionController(rate=-1.0)
+
+
+class TestQueueBound:
+    def test_pending_bound_refuses_with_hint(self):
+        gate = AdmissionController(max_pending=2)
+        assert gate.admit() is None
+        assert gate.admit() is None
+        wait = gate.admit()
+        assert wait is not None and wait > 0
+
+    def test_release_reopens_the_gate(self):
+        gate = AdmissionController(max_pending=1)
+        assert gate.admit() is None
+        assert gate.admit() is not None
+        gate.release()
+        assert gate.admit() is None
+
+    def test_pending_counter_tracks_admissions(self):
+        gate = AdmissionController(max_pending=10)
+        for expected in range(1, 4):
+            gate.admit()
+            assert gate.pending == expected
+        gate.release()
+        assert gate.pending == 2
+
+    def test_queue_refusal_spends_no_token(self):
+        clock = FakeClock()
+        gate = AdmissionController(rate=10.0, burst=1, max_pending=1,
+                                   clock=clock)
+        assert gate.admit("alice") is None       # takes the slot + a token
+        assert gate.admit("alice") is not None   # queue-bound refusal
+        gate.release()
+        clock.advance(0.1)                       # exactly one token back
+        # One refill suffices: the queue refusal spent nothing.
+        assert gate.admit("alice") is None
+
+    def test_max_pending_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_pending"):
+            AdmissionController(max_pending=0)
+
+
+class TestBusyPropagation:
+    """The BUSY frame round trip: a rate-limited gateway answers BUSY
+    with the admission controller's hint, and the executor-side client
+    waits it out (bounded retries) instead of failing."""
+
+    def test_executor_retries_busy_then_succeeds(self, tmp_path):
+        """Drive RemoteExecutor's BUSY path against a scripted peer:
+        two BUSY frames, then a real RESULT."""
+        import pickle
+        import socket
+        import threading
+
+        from repro.remote.wire import WIRE_VERSION, Connection
+
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        def peer():
+            sock, _ = listener.accept()
+            conn = Connection(sock)
+            hello = conn.recv()
+            conn.send("HELLO", {"version": min(WIRE_VERSION,
+                                               hello.fields["version"]),
+                                "pid": 1, "store": "x"})
+            busy_left = 2
+            while True:
+                msg = conn.recv()
+                if msg.type == "GOODBYE":
+                    return
+                ch = {"channel": msg.fields["channel"]} \
+                    if "channel" in msg.fields else {}
+                if msg.type == "PREPARE":
+                    conn.send("READY", {**ch, "source": "memory",
+                                        "build_ops": {}})
+                elif msg.type == "SUBMIT":
+                    if busy_left:
+                        busy_left -= 1
+                        conn.send("BUSY", {**ch, "retry_after": 0.01})
+                    else:
+                        conn.send("RESULT", {**ch, "status": "ok",
+                                             "index": msg.fields["index"]},
+                                  pickle.dumps("done"))
+
+        thread = threading.Thread(target=peer, daemon=True)
+        thread.start()
+
+        from repro.api import RemoteExecutor, World
+        from repro.api.executors.base import ExecutorJob, JobTemplate
+
+        world = World().for_user("alice").with_jpeg_samples().boot()
+        with RemoteExecutor([f"127.0.0.1:{port}"],
+                            store=tmp_path / "c") as executor:
+            executor.bind(JobTemplate.for_world(world))
+            handle = executor.submit(ExecutorJob(
+                index=0, name="j0", source="#lang shill/ambient\n"))
+            assert handle.result() == "done"
+
+    def test_busy_budget_exhaustion_is_typed(self, tmp_path):
+        """A peer that never stops saying BUSY exhausts the bounded
+        retry budget and fails with attribution, not a hang."""
+        import socket
+        import threading
+
+        from repro.api.executors.base import BatchExecutionError
+        from repro.remote.wire import WIRE_VERSION, Connection
+
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        def peer():
+            sock, _ = listener.accept()
+            conn = Connection(sock)
+            hello = conn.recv()
+            conn.send("HELLO", {"version": min(WIRE_VERSION,
+                                               hello.fields["version"]),
+                                "pid": 1, "store": "x"})
+            while True:
+                msg = conn.recv()
+                if msg.type == "GOODBYE":
+                    return
+                ch = {"channel": msg.fields["channel"]} \
+                    if "channel" in msg.fields else {}
+                if msg.type == "PREPARE":
+                    conn.send("READY", {**ch, "source": "memory",
+                                        "build_ops": {}})
+                else:
+                    conn.send("BUSY", {**ch, "retry_after": 0.001})
+
+        thread = threading.Thread(target=peer, daemon=True)
+        thread.start()
+
+        from repro.api import RemoteExecutor, World
+        from repro.api.executors.base import ExecutorJob, JobTemplate
+
+        world = World().for_user("alice").with_jpeg_samples().boot()
+        with RemoteExecutor([f"127.0.0.1:{port}"],
+                            store=tmp_path / "c") as executor:
+            executor.busy_retries = 3
+            executor.bind(JobTemplate.for_world(world))
+            handle = executor.submit(ExecutorJob(
+                index=0, name="j0", source="#lang shill/ambient\n"))
+            with pytest.raises(BatchExecutionError, match="admission retries"):
+                handle.result()
