@@ -1,0 +1,125 @@
+"""The dependency-aware result cache, measured: a repeat query on a
+mutated-but-disjoint world answers with **zero** kernel ops.
+
+The analyzer (:mod:`repro.analysis.deps`) promises build-system early
+cutoff for sandboxed runs: after a world mutation, a cached result
+survives iff its static footprint provably cannot intersect the
+mutation's write set.  This file pins the payoff op-count-gated as a
+``Cached-Run`` row next to the Figure 9 cells:
+
+* ``first-run`` — the walk query against a fresh world forks and
+  executes; its ``ops`` are the run's own deterministic kernel op
+  counts (``RunResult.ops``), all nonzero where a real run's must be;
+* ``cached-hit`` — the world is then mutated with a **disjoint**
+  administrative patch (:meth:`World.patch_file` — no process spawn, so
+  the write set is exactly the patched path), and the identical query
+  runs again: the verdict probe proves the footprint disjoint, the
+  batch serves the cached result, and the measured op delta on the live
+  kernel is **zero in every column** — early cutoff, end to end.
+
+Both cells land in ``BENCH_fig9.json`` and are gated by
+``benchmarks/check_baseline_ops.py``; the cached-hit row is pinned at
+zero, so a single stray vnode op fails CI.  The gateway leg of the same
+claim (a repeat SUBMIT answered from the per-user result cache without
+an agent dispatch) is asserted from the request log in the serve-smoke
+CI job and in ``tests/serve/test_gateway.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import record_cell, record_row
+from repro.api import Batch, World, clear_boot_cache, clear_result_cache
+from repro.bench.harness import Sample
+
+WALK_AMBIENT = """\
+#lang shill/ambient
+docs = open_dir("~/Documents");
+entries = contents(docs);
+append(stdout, path(docs) + "\\n");
+"""
+
+#: Provably disjoint from the walk footprint (~/Documents + <stdout>).
+DISJOINT_PATCH = "/tmp/cached-run-unrelated.txt"
+
+
+@pytest.fixture(scope="module")
+def cached_run_cells():
+    """Measure both cells once; record the Cached-Run row."""
+    clear_boot_cache()
+    clear_result_cache()
+    world = World().for_user("alice").with_jpeg_samples()
+
+    first_batch = Batch(world).add(WALK_AMBIENT, name="walk")
+    start = time.perf_counter()
+    [first_result] = first_batch.run()
+    first_seconds = time.perf_counter() - start
+
+    world.patch_file(DISJOINT_PATCH, b"mutated, but disjoint")
+    hit_batch = Batch(world).add(WALK_AMBIENT, name="walk")
+    before = world.kernel.stats.snapshot()
+    start = time.perf_counter()
+    [hit_result] = hit_batch.run()
+    hit_seconds = time.perf_counter() - start
+    after = world.kernel.stats.snapshot()
+
+    first = Sample("first-run")
+    first.seconds.append(first_seconds)
+    first.ops.append(dict(first_result.ops))
+    hit = Sample("cached-hit")
+    hit.seconds.append(hit_seconds)
+    hit.ops.append(world.kernel.stats.delta(before, after))
+    record_cell("Cached-Run", "first-run", first)
+    record_cell("Cached-Run", "cached-hit", hit)
+    report = hit_batch.cache_report
+    record_row(
+        f"{'Cached-Run':12s}first-run={first_seconds * 1000:8.2f}ms "
+        f"({sum(first_result.ops.values())} run ops)  "
+        f"cached-hit={hit_seconds * 1000:8.2f}ms "
+        f"({sum(hit.op_counts.values())} kernel ops)  "
+        f"[verdict={hit_batch.verdicts.get(0)}, "
+        f"hits={report['hits']}, misses={report['misses']}]"
+    )
+    return first_batch, first_result, hit_batch, hit_result, hit.op_counts
+
+
+def test_first_run_does_real_work(cached_run_cells):
+    first_batch, first_result, _hit_batch, _hit_result, _ops = cached_run_cells
+    assert first_batch.verdicts.get(0) == "miss"
+    assert sum(first_result.ops.values()) > 0, (
+        "the first run must show the query's real kernel op cost")
+
+
+def test_cached_hit_answers_with_zero_kernel_ops(cached_run_cells):
+    """The acceptance criterion, op-count gated: the repeat query on the
+    mutated-but-disjoint world is served from the cache — VALID verdict,
+    no fork, and not one kernel op on the live world."""
+    _first_batch, _first_result, hit_batch, _hit_result, ops = cached_run_cells
+    assert hit_batch.verdicts.get(0) == "hit"
+    assert hit_batch.stats["forks"] == 0
+    nonzero = {key: value for key, value in ops.items() if value}
+    assert nonzero == {}, (
+        f"cached-hit performed kernel work it must not: {nonzero}")
+
+
+def test_cached_hit_is_byte_identical(cached_run_cells):
+    _first_batch, first_result, _hit_batch, hit_result, _ops = cached_run_cells
+    assert hit_result.fingerprint() == first_result.fingerprint()
+
+
+def test_intersecting_patch_would_have_invalidated():
+    """Control cell (not recorded): the same repeat query after an
+    *intersecting* patch re-runs — the zero above is earned by the
+    decision procedure, not by a cache that never invalidates."""
+    clear_result_cache()
+    world = World().for_user("alice").with_jpeg_samples()
+    Batch(world).add(WALK_AMBIENT, name="walk").run()
+    world.patch_file("/home/alice/Documents/extra.jpg", b"intersecting")
+    batch = Batch(world).add(WALK_AMBIENT, name="walk")
+    batch.run()
+    assert batch.verdicts[0] == \
+        "invalidated-by:/home/alice/Documents/extra.jpg"
+    assert batch.stats["cache_hits"] == 0

@@ -190,6 +190,21 @@ def cmd_batch(args: argparse.Namespace) -> int:
 
     if args.verbose:
         _hostsys.stderr.write(_boot_note(executor) + "\n")
+        # Per-job cache verdicts (same vocabulary the gateway's JSONL
+        # request log uses): hit / miss / invalidated-by:<prefix> /
+        # uncacheable:<flag>.
+        verdicts = batch.verdicts
+        for index, job in enumerate(batch.jobs):
+            verdict = verdicts.get(index, "miss")
+            _hostsys.stderr.write(
+                f"repro batch: {job.name}: cache {verdict}\n")
+        report = batch.cache_report
+        _hostsys.stderr.write(
+            f"repro batch: cache report: {report['hits']} hits, "
+            f"{report['misses']} misses, {report['invalidated']} "
+            f"invalidated, {report['uncacheable']} uncacheable\n")
+        for event in batch.audit_events:
+            _hostsys.stderr.write(f"repro batch: audit: {event}\n")
     if args.json:
         print(json.dumps([
             {

@@ -18,8 +18,24 @@ Entry points:
 * :class:`RuleSet` / :class:`FakeRuleSet` — pluggable rules.
 * :class:`LintRejection` / :func:`gate_jobs` — pre-dispatch gating for
   :class:`repro.api.Batch`.
+* :func:`may_depend` / :class:`WorldDelta` / :class:`Verdict` — the
+  dependency-aware cache-invalidation decision procedure
+  (:mod:`repro.analysis.deps`).
 """
 
+from repro.analysis.deps import (
+    INVALID,
+    UNKNOWN,
+    VALID,
+    Verdict,
+    WorldDelta,
+    may_depend,
+    prefixes_intersect,
+    soundness_escapes,
+    world_delta_between,
+    world_delta_of,
+    world_delta_from_snapshot,
+)
 from repro.analysis.footprint import (
     Diagnostic,
     ExportFootprint,
@@ -65,4 +81,15 @@ __all__ = [
     "LintRule",
     "RULE_CATALOG",
     "RuleSet",
+    "VALID",
+    "INVALID",
+    "UNKNOWN",
+    "Verdict",
+    "WorldDelta",
+    "may_depend",
+    "prefixes_intersect",
+    "soundness_escapes",
+    "world_delta_between",
+    "world_delta_of",
+    "world_delta_from_snapshot",
 ]

@@ -343,6 +343,94 @@ class SyntaxErrorRule(_Rule):
                              blame=f"script {analysis.name!r}")
 
 
+class UncacheableFootprintRule(_Rule):
+    """SH010: the script's footprint carries a flag that makes its
+    results **uncacheable** — the dependency analyzer
+    (:func:`repro.analysis.may_depend`) can never prove a cached result
+    reusable across a world mutation, so every repeat run re-executes.
+    Each diagnostic names the flag (mirroring the analyzer's
+    ``uncacheable:<flag>`` blame strings).  Off by default: most shipped
+    case studies exercise network/wallet/escape authority deliberately;
+    enable it (``severities={"SH010": "warning"}``) for corpora that
+    are expected to stay cache-friendly."""
+
+    code = "SH010"
+    title = "footprint is uncacheable (results never provably reusable)"
+    default_severity = "off"
+
+    def check(self, analysis: ModuleAnalysis) -> Iterable[Diagnostic]:
+        fp = analysis.footprint
+        if fp is None:
+            return
+        blame = f"script {analysis.name!r}"
+        if fp.network:
+            yield self._diag(analysis, "uncacheable footprint: ambient "
+                             "network use", A.NO_SPAN, blame=blame)
+        if fp.wallet:
+            yield self._diag(analysis, "uncacheable footprint: wallet "
+                             "authority", A.NO_SPAN, blame=blame)
+        if any(p == "<dynamic>" for p in (*fp.reads, *fp.writes, *fp.executes)):
+            yield self._diag(analysis, "uncacheable footprint: a path "
+                             "prefix is dynamic (not statically bounded)",
+                             A.NO_SPAN, blame=blame)
+        for export in fp.exports:
+            for param in export.params:
+                for flag, on in (("network", param.network),
+                                 ("wallet", param.wallet),
+                                 ("escape", param.escapes)):
+                    if on:
+                        yield self._diag(
+                            analysis,
+                            f"uncacheable footprint: parameter "
+                            f"{param.name!r} of {export.name!r} carries "
+                            f"{flag} authority",
+                            A.NO_SPAN,
+                            blame=f"contract of {export.name!r}",
+                            param=param.name)
+
+
+class StaleFootprintRule(_Rule):
+    """SH011: the static footprint claims a path prefix no **recorded**
+    run ever touched — the contract is wider than observed behavior
+    (stale authority that also widens cache invalidation).  The rule is
+    data-driven: construct it with ``recordings`` mapping script names
+    to their runs' recorded touched sets
+    (:attr:`RunResult.touched <repro.api.RunResult.touched>`); the
+    default instance carries none and is inert."""
+
+    code = "SH011"
+    title = "footprint wider than recorded behavior (stale contract)"
+    default_severity = "off"
+
+    _KINDS = (("read", "reads"), ("write", "writes"), ("execute", "executes"))
+
+    def __init__(self, recordings: "Mapping[str, Iterable[tuple[str, str]]] | None" = None) -> None:
+        self.recordings = dict(recordings or {})
+
+    def check(self, analysis: ModuleAnalysis) -> Iterable[Diagnostic]:
+        from repro.analysis.deps import prefixes_intersect
+
+        recorded = self.recordings.get(analysis.name)
+        if recorded is None or analysis.footprint is None:
+            return
+        touched = list(recorded)
+        for kind, attr in self._KINDS:
+            for prefix in getattr(analysis.footprint, attr):
+                # "~"-prefixes need a home to compare against absolute
+                # recorded paths; sentinels are never recorded.
+                if prefix.startswith(("~", "<")):
+                    continue
+                if not any(k == kind and prefixes_intersect(prefix, path)
+                           for k, path in touched):
+                    yield self._diag(
+                        analysis,
+                        f"static footprint claims {kind} authority over "
+                        f"{prefix!r}, but no recorded run touched it — "
+                        f"stale contract",
+                        A.NO_SPAN,
+                        blame=f"script {analysis.name!r}")
+
+
 #: The shipped rules, in code order.
 DEFAULT_RULES: tuple[LintRule, ...] = (
     OverPrivilegeRule(),
@@ -354,6 +442,8 @@ DEFAULT_RULES: tuple[LintRule, ...] = (
     WalletGrantRule(),
     UnresolvedRequireRule(),
     SyntaxErrorRule(),
+    UncacheableFootprintRule(),
+    StaleFootprintRule(),
 )
 
 #: code -> (title, default severity); the docs and CLI render this.

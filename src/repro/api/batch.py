@@ -46,9 +46,21 @@ job that failed, with the original traceback text preserved, through
 Results are additionally served from a result cache keyed on (world
 digest, script source, user, registered scripts) — the world is
 deterministic, so an identical job against an identical image must
-produce an identical result.  The cache only engages while the base
-world is :attr:`~repro.api.World.pristine`.  By default every batch in
-the process shares one module-level cache; pass
+produce an identical result.  While the base world is
+:attr:`~repro.api.World.pristine` a hit is unconditional.  A world
+mutated *after* boot (``patch_file``, post-boot writes) no longer drops
+the cache wholesale: the batch computes the **world delta** against the
+boot template and asks the dependency analyzer
+(:func:`repro.analysis.may_depend`) whether the job's statically
+inferred footprint can intersect it.  A VALID verdict serves the cached
+result with zero kernel ops; INVALID and UNKNOWN verdicts re-execute
+(and record per-job blame, see :attr:`Batch.verdicts`).  Serving a
+stale entry is additionally gated on soundness: the entry carries the
+original run's recorded touched paths, and if any escaped the static
+footprint the entry is invalidated conservatively and an audit event is
+recorded (:attr:`Batch.audit_events`).  Mutated-world results are never
+written back under the template digest.  By default every batch in the
+process shares one module-level cache; pass
 ``Batch(result_cache=BoundedCache(...))`` to isolate a batch (tests, or
 coordinators that must not share state).  Cached jobs are never
 dispatched to executors, and executor results are merged back in.
@@ -91,8 +103,11 @@ __all__ = [
 #: :data:`repro.api.executors.EXECUTOR_CHOICES`.
 BATCH_BACKENDS = ("sequential", "thread", "process")
 
-#: The default, module-level result cache: a bounded FIFO of frozen
-#: results shared by every Batch that is not given its own cache.  Old
+#: The default, module-level result cache: a bounded FIFO shared by
+#: every Batch that is not given its own cache.  Each entry is a
+#: ``(result, touched)`` pair — the frozen :class:`RunResult` with its
+#: ``touched`` field stripped, alongside the recorded touched paths the
+#: dependency analyzer's soundness gate needs at probe time.  Old
 #: entries are evicted so a long-lived process sweeping many distinct
 #: jobs cannot grow without limit (a re-run after eviction just
 #: recomputes deterministically).
@@ -183,6 +198,13 @@ class Batch:
         self._jobs: list[BatchJob] = []
         self._stats = {"jobs": 0, "cache_hits": 0, "forks": 0}
         self._stats_lock = threading.Lock()
+        # Dependency-aware invalidation bookkeeping (last run): per-job
+        # verdict strings, verdict tallies, and soundness audit events.
+        self._verdicts: dict[int, str] = {}
+        self._verdict_counts = {"hits": 0, "misses": 0,
+                                "invalidated": 0, "uncacheable": 0}
+        self._audit: list[str] = []
+        self._footprints: dict[str, Any] = {}
 
     # -- queueing ----------------------------------------------------------
 
@@ -205,6 +227,31 @@ class Batch:
         hits, and world forks taken."""
         with self._stats_lock:
             return dict(self._stats)
+
+    @property
+    def verdicts(self) -> dict[int, str]:
+        """Per-job cache verdicts of the **last** run, by submission
+        index: ``"hit"``, ``"miss"``, ``"invalidated-by:<prefix>"``, or
+        ``"uncacheable:<flag>"``.  Jobs that never had a cache key (the
+        world is undigestible, or ``cache=False``) are absent."""
+        with self._stats_lock:
+            return dict(self._verdicts)
+
+    @property
+    def cache_report(self) -> dict[str, int]:
+        """Verdict tallies across every run so far — the
+        cache-effectiveness summary (``hits`` / ``misses`` /
+        ``invalidated`` / ``uncacheable``)."""
+        with self._stats_lock:
+            return dict(self._verdict_counts)
+
+    @property
+    def audit_events(self) -> tuple[str, ...]:
+        """Soundness-gate audit trail: one event per cached entry whose
+        recorded touched paths escaped the job's static footprint (the
+        entry was invalidated conservatively)."""
+        with self._stats_lock:
+            return tuple(self._audit)
 
     # -- running -----------------------------------------------------------
 
@@ -302,6 +349,13 @@ class Batch:
             template = JobTemplate.for_world(self.world, self._scripts_sig)
             chosen.bind(template)
 
+            pristine = self.world.pristine
+            with self._stats_lock:
+                self._verdicts = {}
+            # The world delta against the boot template, computed lazily
+            # once per run and shared by every probe.
+            delta_cell: list = []
+
             # Identically-keyed queued jobs dispatch once: later
             # duplicates ride on the representative's result, matching
             # the cache-hit semantics of a fully sequential run.
@@ -310,17 +364,34 @@ class Batch:
             duplicates: dict[int, list[int]] = {}
             for index, job in enumerate(self._jobs):
                 key = self._cache_key(job)
-                cached = self._result_cache.get(key) if key is not None else None
-                if cached is not None:
+                entry = self._result_cache.get(key) if key is not None else None
+                if entry is not None and not pristine:
+                    # The base world drifted from what the digest
+                    # describes — the cached entry survives only if the
+                    # dependency analyzer proves the job could not have
+                    # observed the drift.
+                    verdict = self._probe(job, entry, delta_cell)
+                    if not verdict.valid:
+                        self._note_verdict(index, verdict.blame[0]
+                                           if verdict.blame else verdict.state)
+                        entry = None
+                if entry is not None:
                     self._bump("jobs", "cache_hits")
-                    yield index, job, self._annotate(cached, index, lint_reports)
+                    self._note_verdict(index, "hit")
+                    yield index, job, self._annotate(entry[0], index, lint_reports)
                 elif key is not None and key in representative:
                     self._bump("jobs", "cache_hits")
+                    if index not in self._verdicts:
+                        self._note_verdict(index, "hit")
                     duplicates.setdefault(representative[key], []).append(index)
                 else:
                     if key is not None:
                         representative[key] = index
-                    pending.append((index, job, key))
+                        if index not in self._verdicts:
+                            self._note_verdict(index, "miss")
+                    # Results computed on a drifted world must never be
+                    # stored under the template digest.
+                    pending.append((index, job, key if pristine else None))
 
             by_handle = {}
             for index, job, key in pending:
@@ -380,14 +451,21 @@ class Batch:
         if key is not None:
             # put has setdefault semantics: under parallel duplicate
             # jobs, the first result wins everywhere (they are
-            # fingerprint-identical anyway).
-            result = self._result_cache.put(key, result)
+            # fingerprint-identical anyway).  Entries are (result,
+            # touched) pairs: touched is stripped from the stored
+            # result but kept alongside for the soundness gate.
+            stored, _touched = self._result_cache.put(
+                key, (replace(result, touched=()), result.touched))
+            result = stored
         return result
 
     def _cache_key(self, job: BatchJob) -> tuple | None:
-        """(world digest, scripts, source, user) — only while the base
-        world is pristine, i.e. the digest still describes its state."""
-        if not self._cache_enabled or not self.world.pristine:
+        """(world digest, scripts, source, user) — for digestible,
+        cache-enabled worlds.  Whether an entry under this key may be
+        *served* is decided at classification time: unconditionally
+        while the world is pristine, by :func:`repro.analysis.may_depend`
+        once it has drifted."""
+        if not self._cache_enabled or self.world.digest is None:
             return None
         return (
             self.world.digest,
@@ -395,6 +473,66 @@ class Batch:
             job.source,
             job.user or self.world.default_user,
         )
+
+    def _probe(self, job: BatchJob, entry: tuple, delta_cell: list):
+        """Decide whether a cached entry survives the base world's
+        post-boot drift: static footprint × world delta, then the
+        soundness gate (``static ⊇ recorded touched``) on the entry."""
+        from repro.analysis.deps import (
+            INVALID,
+            Verdict,
+            may_depend,
+            soundness_escapes,
+            world_delta_of,
+        )
+
+        if not delta_cell:
+            delta_cell.append(world_delta_of(self.world))
+        footprint = self._footprint_of(job)
+        home = self._home_of(job.user)
+        verdict = may_depend(footprint, delta_cell[0], home=home)
+        if verdict.valid:
+            escapes = soundness_escapes(footprint, entry[1], home=home)
+            if escapes:
+                with self._stats_lock:
+                    self._audit.append(
+                        f"soundness: recorded touches escaped the static "
+                        f"footprint of {job.name!r}: " + ", ".join(escapes))
+                return Verdict(INVALID, tuple(
+                    f"invalidated-by:escape:{esc}" for esc in escapes))
+        return verdict
+
+    def _footprint_of(self, job: BatchJob):
+        """The job's statically inferred footprint, memoized per source;
+        ``None`` (→ UNKNOWN verdict) when inference errored or left
+        names unresolved."""
+        if job.source not in self._footprints:
+            from repro.analysis.infer import analyze_source
+
+            analysis = analyze_source(job.name, job.source,
+                                      registry=self._scripts)
+            self._footprints[job.source] = (
+                None if analysis.error is not None or analysis.unresolved
+                else analysis.footprint)
+        return self._footprints[job.source]
+
+    def _home_of(self, user: str | None) -> str | None:
+        """The job user's home, for ``~``-prefix expansion in footprints."""
+        assert self.world.kernel is not None
+        try:
+            return self.world.kernel.users.lookup(
+                user or self.world.default_user).home
+        except KeyError:
+            return None
+
+    def _note_verdict(self, index: int, verdict: str) -> None:
+        bucket = ("hits" if verdict == "hit"
+                  else "invalidated" if verdict.startswith("invalidated")
+                  else "uncacheable" if verdict.startswith("uncacheable")
+                  else "misses")
+        with self._stats_lock:
+            self._verdicts[index] = verdict
+            self._verdict_counts[bucket] += 1
 
     def _bump(self, *keys: str) -> None:
         with self._stats_lock:

@@ -93,6 +93,14 @@ class RunResult:
       with ``lint="warn"``/``"strict"``; ``None`` otherwise.  Advisory
       metadata, not an observable of the run: excluded from
       :meth:`fingerprint` and never stored in the result cache.
+    * ``touched`` — the recorded dynamic footprint: sorted, deduplicated
+      ``(kind, path)`` pairs (kind is ``"read"``/``"write"``/``"execute"``)
+      for every final-op MAC check the run passed.  Like ``footprint``
+      it is diagnostic metadata, not an observable: excluded from
+      :meth:`fingerprint` and stripped before a result enters the cache.
+      The dependency analyzer (:mod:`repro.analysis.deps`) gates the
+      static footprint against it — ``static ⊇ touched`` — before a
+      cached result may survive a world mutation.
 
     Example::
 
@@ -119,6 +127,7 @@ class RunResult:
     value: Any = None
     traceback: str = ""
     footprint: Any = None
+    touched: tuple = ()
 
     def __reduce__(self):
         """Results cross process boundaries (the batch engine's process

@@ -248,7 +248,7 @@ class Session:
         finally:
             self._runtime.profile["total"] += time.perf_counter() - t0
 
-    def _marks(self) -> tuple[int, int, dict[str, float], int, dict[str, int]]:
+    def _marks(self) -> tuple[int, int, dict[str, float], int, dict[str, int], int]:
         rt = self._runtime
         return (
             len(rt.tty.output),
@@ -256,12 +256,13 @@ class Session:
             dict(rt.profile),
             self._watermark(),
             dict(self._ops_acc),
+            len(rt.kernel._touched),
         )
 
-    def _result_since(self, marks: tuple[int, int, dict[str, float], int, dict[str, int]],
+    def _result_since(self, marks: tuple[int, int, dict[str, float], int, dict[str, int], int],
                       value: Any) -> RunResult:
         rt = self._runtime
-        out0, err0, profile0, mark0, ops0 = marks
+        out0, err0, profile0, mark0, ops0, touched0 = marks
         sessions = self._sandbox_sessions_since(mark0)
         # Per-run breakdown: sandbox setup/exec and total are deltas over
         # this run; startup is the session's construction cost (a per-
@@ -286,6 +287,7 @@ class Session:
             denials=self._denials_for(sessions),
             auto_granted=self._auto_grants_for(sessions),
             value=value,
+            touched=tuple(sorted(set(rt.kernel._touched[touched0:]))),
         )
 
     def _watermark(self) -> int:

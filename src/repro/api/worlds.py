@@ -468,6 +468,27 @@ class World:
             data = data.encode()
         self.syscalls().write_whole(path, data)
 
+    def patch_file(self, path: str, data: bytes | str, mode: int = 0o644,
+                   owner: str | None = None) -> None:
+        """Mutate the booted world as an administrative patch — no process.
+
+        :meth:`write_file` goes through a syscall interface, which spawns
+        a backing process on first use; that advances the kernel's pid
+        watermark, and watermark drift is an observable the dependency
+        analyzer (:mod:`repro.analysis.deps`) must treat as invalidating
+        *everything*.  ``patch_file`` writes through the world builder
+        instead: the only state it moves is ``vfs.generation`` plus the
+        touched vnodes, so the world delta against the boot template is
+        exactly ``{path}`` — and cached results whose footprints are
+        disjoint from it survive (:func:`repro.analysis.may_depend`
+        returns VALID)."""
+        if isinstance(data, str):
+            data = data.encode()
+        self.boot()
+        assert self.kernel is not None
+        uid, gid = self._owner_ids(self.kernel, owner)
+        WorldBuilder(self.kernel).write_file(path, data, mode=mode, uid=uid, gid=gid)
+
     # -- helpers -----------------------------------------------------------
 
     def _add_step(self, key: str | None, step: Callable[["Kernel"], Any],

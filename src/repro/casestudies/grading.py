@@ -78,8 +78,7 @@ provide grade :
    submissions : is_dir && readonly,
    tests : is_dir && readonly,
    working : dir(+lookup, +path, +stat, +create-dir with full_privs),
-   grades : dir(+lookup, +path, +stat,
-                +create-file with {+append, +stat, +path}),
+   grades : dir(+create-file with {+append, +stat, +path}),
    tmp : dir(+lookup, +path, +stat, +create-file with full_privs)} -> is_num;
 
 # Grade every submission; each student is compiled and run with

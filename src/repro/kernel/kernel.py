@@ -166,6 +166,11 @@ class Kernel:
         # syscall interfaces are constructed per call.
         self._resolve_cache: dict = {}
         self._resolve_stamp: tuple | None = None
+        # Touched-path recording (runtime-only, like the dcache): every
+        # successful final-op MAC check appends ("read"/"write"/"execute",
+        # path).  Sessions slice it into RunResult.touched; the dependency
+        # analyzer (repro.analysis.deps) gates static footprints against it.
+        self._touched: list = []
 
     @property
     def interpose_devices(self) -> bool:
@@ -241,11 +246,16 @@ class Kernel:
         new.boot_time = time.monotonic()
         new._resolve_cache = {}
         new._resolve_stamp = None
+        new._touched = []
         # Every loaded policy crosses the fork, in registration order
         # (restrictive composition is order-sensitive for audit output).
         for policy in self.mac.policies:
             new.mac.register(policy.fork_for(new))
         new.mac.mutations = self.mac.mutations
+        # Carry the label epoch too: a fork is epoch-identical to its
+        # template, and the dependency analyzer diffs the two epochs to
+        # detect label mutations since the fork.
+        new.mac.label_epoch = self.mac.label_epoch
         return new
 
     # ------------------------------------------------------------------
@@ -290,6 +300,7 @@ class Kernel:
         self.boot_time = time.monotonic()
         self._resolve_cache = {}
         self._resolve_stamp = None
+        self._touched = []
 
     # ------------------------------------------------------------------
     # policy management
@@ -405,6 +416,11 @@ class Kernel:
         if not dac_check(sys.proc.cred, mode=vp.mode, uid=vp.uid, gid=vp.gid, want=X_OK):
             raise SysError(errno_.EACCES, "dac: exec")
         self.mac.check("vnode_check_exec", sys.proc, vp)
+        # exec bypasses SyscallInterface._mac, so record its touch here.
+        try:
+            self._touched.append(("execute", self.vfs.path_of(vp)))
+        except SysError:
+            self._touched.append(("execute", "<detached>"))
 
     def _hydrate_image(self, vp: Vnode) -> None:
         """Derive (program, needed) from a pseudo-ELF header in the file

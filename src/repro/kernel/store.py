@@ -299,15 +299,53 @@ class SnapshotStore:
         return sorted(paths, key=lambda p: (p.stat().st_mtime, p.name))
 
     def _evict(self, limit: "int | None" = None) -> list[str]:
+        """Drop stalest blobs over ``limit`` — but never a blob some
+        *live* delta frame's chain is based on (evicting the base would
+        turn every restore through that delta into a
+        :class:`~repro.kernel.serialize.SnapshotError`).  The pin set is
+        recomputed after each eviction, so once a delta itself goes its
+        base becomes evictable; when everything over the cap is pinned
+        the store stays over cap rather than orphan a chain."""
         limit = self.max_blobs if limit is None else limit
-        paths = self._blob_paths_stalest_first()
         evicted: list[str] = []
-        while len(paths) > limit:
-            victim = paths.pop(0)
+        while True:
+            paths = self._blob_paths_stalest_first()
+            if len(paths) <= limit:
+                break
+            pinned = self._chain_bases(paths)
+            victim = next(
+                (p for p in paths
+                 if p.name[: -len(_BLOB_SUFFIX)] not in pinned), None)
+            if victim is None:
+                break
             victim.unlink(missing_ok=True)
             evicted.append(victim.name[: -len(_BLOB_SUFFIX)])
             self.stats["evictions"] += 1
         return evicted
+
+    def _chain_bases(self, paths: "list[Path]") -> set[str]:
+        """Every digest some live delta blob directly references.  Each
+        link of a longer chain is itself a live delta pinning *its*
+        base, so direct references cover chains transitively.  Only the
+        72-byte frame header is read per blob — no op counters, no
+        payload decode."""
+        from repro.kernel.serialize import delta_base_digest, is_delta
+
+        # magic(6) + version(1) + kind(1) + the base digest hex.
+        head_len = 8 + _DIGEST_HEX_LEN
+        pinned: set[str] = set()
+        for path in paths:
+            try:
+                with path.open("rb") as fh:
+                    head = fh.read(head_len)
+            except OSError:
+                continue
+            try:
+                if is_delta(head):
+                    pinned.add(delta_base_digest(head))
+            except SnapshotError:
+                continue
+        return pinned
 
     def _atomic_write(self, path: Path, payload: bytes) -> None:
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")

@@ -41,6 +41,29 @@ if TYPE_CHECKING:
 
 SYMLOOP_MAX = 32
 
+# Final-op MAC hooks whose first argument is the vnode (or, for the
+# namespace mutators, the parent directory) a run observably touched.
+# Traversal hooks (vnode_check_lookup) are deliberately absent: the paths
+# a walk crosses are captured by the read/readlink checks that actually
+# observe data.  SyscallInterface._mac appends (kind, path) for these to
+# Kernel._touched after the check succeeds; sessions slice that log into
+# RunResult.touched and repro.analysis.deps gates static footprints on it.
+_TOUCH_HOOKS = {
+    "vnode_check_read": "read",
+    "vnode_check_readdir": "read",
+    "vnode_check_readlink": "read",
+    "vnode_check_write": "write",
+    "vnode_check_truncate": "write",
+    "vnode_check_setmode": "write",
+    "vnode_check_setowner": "write",
+    "vnode_check_setutimes": "write",
+    "vnode_check_create": "write",
+    "vnode_check_unlink": "write",
+    "vnode_check_link": "write",
+    "vnode_check_rename_from": "write",
+    "vnode_check_rename_to": "write",
+}
+
 O_RDONLY = OpenFlags.O_RDONLY
 O_WRONLY = OpenFlags.O_WRONLY
 O_RDWR = OpenFlags.O_RDWR
@@ -99,6 +122,15 @@ class SyscallInterface:
 
     def _mac(self, hook: str, *args) -> None:
         self.kernel.mac.check(hook, self.proc, *args)
+        kind = _TOUCH_HOOKS.get(hook)
+        if kind is not None and args and isinstance(args[0], Vnode):
+            # Record only allowed operations: a denial is not a touch.
+            # path_of is a pure name-cache walk — no op counters move.
+            try:
+                path = self.kernel.vfs.path_of(args[0])
+            except SysError:
+                path = "<detached>"
+            self.kernel._touched.append((kind, path))
 
     def _post(self, hook: str, *args) -> None:
         self.kernel.mac.post(hook, self.proc, *args)

@@ -25,6 +25,7 @@ def spawn_local_gateway(store: "Path | str", *, host: str = "127.0.0.1",
                         burst: "float | None" = None,
                         max_pending: "int | None" = None,
                         request_log: "Path | str | None" = None,
+                        result_cache: "int | None" = None,
                         ) -> "tuple[subprocess.Popen, str]":
     """Spawn one gateway subprocess; returns ``(process, "host:port")``.
 
@@ -53,6 +54,8 @@ def spawn_local_gateway(store: "Path | str", *, host: str = "127.0.0.1",
         cmd += ["--max-pending", str(max_pending)]
     if request_log is not None:
         cmd += ["--request-log", str(request_log)]
+    if result_cache is not None:
+        cmd += ["--result-cache", str(result_cache)]
     proc = subprocess.Popen(cmd, env=env, stdout=subprocess.PIPE, text=True)
     assert proc.stdout is not None
     # The readiness line is the startup barrier; a crash-on-boot gateway

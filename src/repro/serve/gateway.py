@@ -87,7 +87,9 @@ class Gateway:
     string; ``concurrency`` caps jobs in flight *per agent*; ``rate`` /
     ``burst`` / ``max_pending`` configure admission control
     (:class:`~repro.serve.admission.AdmissionController`);
-    ``request_log`` appends one JSON line per gateway event to a file.
+    ``request_log`` appends one JSON line per gateway event to a file;
+    ``result_cache`` bounds the per-user result cache (entries; 0
+    disables it).
     """
 
     def __init__(self, store: "SnapshotStore | Path | str | None" = None,
@@ -99,7 +101,9 @@ class Gateway:
                  burst: "float | None" = None,
                  max_pending: int = 256,
                  request_log: "Path | str | None" = None,
-                 dispatch_workers: int = 16) -> None:
+                 dispatch_workers: int = 16,
+                 result_cache: int = 1024) -> None:
+        from repro.api.caching import BoundedCache
         from repro.serve.admission import AdmissionController
 
         self.store = store if isinstance(store, SnapshotStore) else SnapshotStore(store)
@@ -120,6 +124,12 @@ class Gateway:
                                             thread_name_prefix="gateway-dispatch")
         self._host_slots: "dict[HostSpec, threading.Semaphore]" = {}
         self._slots_lock = threading.Lock()
+        # The per-user result cache: (requester, template, user, source)
+        # -> the RESULT frame verbatim.  Jobs on one template are
+        # deterministic, so a repeat SUBMIT answers from here without
+        # admission control, dispatch, or a single agent kernel op.
+        self._result_cache = (BoundedCache(result_cache, lru=True)
+                              if result_cache > 0 else None)
         # The request log: a bounded in-memory tail (diagnostics, tests)
         # plus an optional append-only JSONL file.
         self.events: "collections.deque[dict]" = collections.deque(maxlen=10_000)
@@ -341,6 +351,20 @@ class Gateway:
                              msg: Message) -> None:
         fields = msg.fields
         user = fields.get("requester") or fields.get("user") or "anonymous"
+        cached = self._cache_lookup(fields)
+        if cached is not None:
+            # A cache hit is exempt from admission control: it consumes
+            # no agent slot and no dispatch worker, so throttling it
+            # would only turn free answers into BUSY frames.
+            reply_fields, blob = cached
+            reply_fields = dict(reply_fields)
+            reply_fields["index"] = fields.get("index")
+            self._log("cache_hit", user=user, name=fields.get("name"),
+                      verdict="hit",
+                      template=str(fields.get("template", ""))[:16])
+            await self._safe_send(session, "RESULT",
+                                  self._echo(msg, reply_fields), blob)
+            return
         wait = self.admission.admit(user)
         if wait is not None:
             self._log("busy", user=user, name=fields.get("name"),
@@ -355,8 +379,32 @@ class Gateway:
                 self._dispatch, self._dispatch_job, dict(fields), msg.blob)
         finally:
             self.admission.release()
+        self._cache_store(fields, reply_fields, blob)
         await self._safe_send(session, "RESULT", self._echo(msg, reply_fields),
                               blob)
+
+    def _cache_key(self, fields: dict) -> "tuple | None":
+        """Per-user cache key, or None for uncacheable SUBMITs: callable
+        jobs (their pickled fn is opaque) and sourceless frames."""
+        if (self._result_cache is None or fields.get("has_fn")
+                or fields.get("source") is None):
+            return None
+        return (fields.get("requester") or fields.get("user") or "anonymous",
+                fields.get("template", ""), fields.get("user"),
+                fields.get("source"))
+
+    def _cache_lookup(self, fields: dict) -> "tuple[dict, bytes] | None":
+        key = self._cache_key(fields)
+        return self._result_cache.get(key) if key is not None else None
+
+    def _cache_store(self, fields: dict, reply_fields: dict,
+                     blob: bytes) -> None:
+        """Keep a successful RESULT for replay; errors (crashed fleets,
+        unknown templates) must re-dispatch, never replay."""
+        key = self._cache_key(fields)
+        if key is None or reply_fields.get("status") == "error":
+            return
+        self._result_cache.put(key, (dict(reply_fields), blob))
 
     async def _safe_send(self, session: "Gateway._Session", type_: str,
                          fields: dict, blob: bytes = b"") -> None:
@@ -406,7 +454,7 @@ class Gateway:
                     self._ensure_agent_prepared(host, link, wire_key)
                     with self.pool.lease(host):
                         self._log("dispatch", name=name, user=user,
-                                  host=str(host.spec))
+                                  verdict="miss", host=str(host.spec))
                         reply = link.request("SUBMIT", relay, blob)
                     reply.expect("RESULT")
                 except (WireError, OSError) as err:
@@ -524,6 +572,11 @@ def serve_main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--request-log", default=None, metavar="FILE",
                         help="append one JSON line per gateway event "
                              "(admissions, dispatches, agent health)")
+    parser.add_argument("--result-cache", type=int, default=1024,
+                        metavar="N",
+                        help="per-user result cache entries; repeat "
+                             "SUBMITs answer without dispatch "
+                             "(default: 1024, 0 disables)")
     args = parser.parse_args(argv)
     # The CLI's policy strings are its native interface, not the
     # deprecated API spelling — resolve them without a warning.
@@ -533,7 +586,7 @@ def serve_main(argv: "list[str] | None" = None) -> int:
         hosts=[spec for spec in (args.hosts or "").split(",") if spec],
         policy=policy, concurrency=args.concurrency, rate=args.rate,
         burst=args.burst, max_pending=args.max_pending,
-        request_log=args.request_log)
+        request_log=args.request_log, result_cache=args.result_cache)
     try:
         asyncio.run(gateway.run())
     except KeyboardInterrupt:  # pragma: no cover - handled via signal

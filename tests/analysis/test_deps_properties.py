@@ -1,0 +1,95 @@
+"""The cache-validity theorem, property-checked end to end.
+
+``may_depend`` advertises: **VALID ⇒ the cached result is byte-identical
+to a fresh re-run against the mutated world**.  Hypothesis drives the
+theorem over a family of world mutations — some disjoint from the probe
+script's static footprint, some intersecting it, some drifting machine
+state — and every example checks both directions:
+
+* VALID   → the batch serves the cached result (no fork), and its
+  fingerprint equals a from-scratch run on an identically mutated world;
+* INVALID → the batch re-runs, and the recomputed result *still* equals
+  the from-scratch run (determinism), while the verdict carries blame.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import analyze_source, may_depend, world_delta_of
+from repro.api import Batch, World, clear_result_cache
+
+WALK_AMBIENT = """\
+#lang shill/ambient
+docs = open_dir("~/Documents");
+entries = contents(docs);
+append(stdout, path(docs) + "\\n");
+"""
+
+#: (path, payload) world patches: half provably disjoint from the walk
+#: script's footprint (~/Documents + <stdout>), half intersecting it.
+MUTATIONS = (
+    ("/tmp/scratch.txt", b"disjoint"),
+    ("/srv/depot/log.txt", b"disjoint tree"),
+    ("/home/bob/inbox.txt", b"other user"),
+    ("/home/alice/notes.txt", b"same home, sibling of Documents"),
+    ("/home/alice/Documents/extra.jpg", b"intersecting"),
+    ("/home/alice/Documents/deep/nested.txt", b"intersecting subtree"),
+)
+
+
+def _world() -> World:
+    return World().for_user("alice").with_jpeg_samples()
+
+
+def _fresh_fingerprint(path: str, payload: bytes) -> bytes:
+    """A from-scratch (cache-free) run against an identically mutated
+    world — the ground truth every served result must match."""
+    world = _world()
+    world.patch_file(path, payload)
+    [result] = Batch(world, cache=False).add(WALK_AMBIENT, name="walk").run()
+    return result.fingerprint()
+
+
+@settings(max_examples=len(MUTATIONS), deadline=None)
+@given(st.sampled_from(MUTATIONS))
+def test_valid_verdicts_serve_byte_identical_results(mutation):
+    path, payload = mutation
+    clear_result_cache()
+    world = _world()
+    Batch(world).add(WALK_AMBIENT, name="walk").run()
+
+    world.patch_file(path, payload)
+    footprint = analyze_source("walk", WALK_AMBIENT).footprint
+    verdict = may_depend(footprint, world_delta_of(world), home="/home/alice")
+
+    batch = Batch(world).add(WALK_AMBIENT, name="walk")
+    [served] = batch.run()
+    assert served.fingerprint() == _fresh_fingerprint(path, payload)
+
+    if verdict.valid:
+        assert batch.verdicts[0] == "hit"
+        assert batch.stats == {"jobs": 1, "cache_hits": 1, "forks": 0}
+    else:
+        assert verdict.blame
+        assert batch.verdicts[0] == verdict.blame[0]
+        assert batch.stats["cache_hits"] == 0
+
+
+@settings(max_examples=len(MUTATIONS), deadline=None)
+@given(st.sampled_from(MUTATIONS))
+def test_decision_procedure_matches_path_intersection(mutation):
+    """The verdict agrees with plain prefix arithmetic on this family:
+    a patch under /home/alice/Documents invalidates, anything else
+    (disjoint by construction) stays VALID."""
+    path, payload = mutation
+    world = _world()
+    world.boot()
+    world.patch_file(path, payload)
+    footprint = analyze_source("walk", WALK_AMBIENT).footprint
+    verdict = may_depend(footprint, world_delta_of(world), home="/home/alice")
+    if path.startswith("/home/alice/Documents/"):
+        assert verdict.state == "invalid"
+        assert any(blame.startswith("invalidated-by:") for blame in verdict.blame)
+    else:
+        assert verdict.valid

@@ -266,6 +266,108 @@ def test_sh009_reports_syntax_errors_as_diagnostics():
 
 
 # ---------------------------------------------------------------------------
+# SH010: uncacheable footprint (names the flag forcing UNKNOWN)
+# ---------------------------------------------------------------------------
+
+SH010_ON = RuleSet(severities={"SH010": "warning"})
+
+WALLET_CAP = """\
+#lang shill/cap
+require shill/native;
+provide launch : {w : native_wallet} -> is_num;
+launch = fun(w) { prog = pkg_native("true", w); prog([]); }
+"""
+
+
+def test_sh010_is_off_by_default():
+    assert not [d for d in lint_source("w.cap", WALLET_CAP).diagnostics
+                if d.code == "SH010"]
+
+
+def test_sh010_names_the_param_flag_when_enabled():
+    report = lint_source("w.cap", WALLET_CAP, rules=SH010_ON)
+    diags = [d for d in report.diagnostics if d.code == "SH010"]
+    assert diags, codes(report)
+    [diag] = [d for d in diags if d.param == "w"]
+    assert "wallet authority" in diag.message
+    assert diag.blame == "contract of 'launch'"
+
+
+def test_sh010_flags_ambient_network_use():
+    report = lint_source("net.ambient", """\
+#lang shill/ambient
+sock = create_socket(socket_factory);
+""", rules=SH010_ON)
+    diags = [d for d in report.diagnostics if d.code == "SH010"]
+    assert any("network" in d.message for d in diags)
+
+
+def test_sh010_silent_on_a_cacheable_script():
+    report = lint_source("walk.ambient", """\
+#lang shill/ambient
+docs = open_dir("/home/alice/Documents");
+entries = contents(docs);
+""", rules=SH010_ON)
+    assert not [d for d in report.diagnostics if d.code == "SH010"]
+
+
+# ---------------------------------------------------------------------------
+# SH011: footprint wider than recorded behavior (stale contract)
+# ---------------------------------------------------------------------------
+
+WALK_TWO_DIRS = """\
+#lang shill/ambient
+docs = open_dir("/home/alice/Documents");
+pics = open_dir("/home/alice/Pictures");
+entries = contents(docs);
+more = contents(pics);
+"""
+
+
+def _sh011(recordings):
+    from repro.analysis.rules import StaleFootprintRule
+
+    return RuleSet(rules=(StaleFootprintRule(recordings),),
+                   severities={"SH011": "warning"})
+
+
+def test_sh011_flags_prefixes_no_recorded_run_touched():
+    rules = _sh011({"walk.ambient": [("read", "/home/alice/Documents/a.jpg")]})
+    report = lint_source("walk.ambient", WALK_TWO_DIRS, rules=rules)
+    [diag] = report.diagnostics
+    assert diag.code == "SH011"
+    assert "'/home/alice/Pictures'" in diag.message
+    assert "stale contract" in diag.message
+
+
+def test_sh011_silent_when_recordings_cover_the_footprint():
+    rules = _sh011({"walk.ambient": [
+        ("read", "/home/alice/Documents/a.jpg"),
+        ("read", "/home/alice/Pictures"),
+    ]})
+    report = lint_source("walk.ambient", WALK_TWO_DIRS, rules=rules)
+    assert report.clean
+
+
+def test_sh011_kind_must_match_not_just_the_path():
+    # A recorded *read* under a prefix does not witness *write* authority.
+    rules = _sh011({"note.ambient": [("read", "/tmp/notes.txt")]})
+    report = lint_source("note.ambient", """\
+#lang shill/ambient
+out = open_file("/tmp/notes.txt");
+append(out, "x");
+""", rules=rules)
+    assert any(d.code == "SH011" and "write" in d.message
+               for d in report.diagnostics)
+
+
+def test_sh011_inert_without_recordings():
+    report = lint_source("walk.ambient", WALK_TWO_DIRS,
+                         rules=_sh011({}))
+    assert report.clean
+
+
+# ---------------------------------------------------------------------------
 # the engine: severity config, catalog, FakeRuleSet
 # ---------------------------------------------------------------------------
 
@@ -285,8 +387,11 @@ def test_ruleset_rejects_unknown_severity():
 
 
 def test_rule_catalog_matches_shipped_rules():
-    assert list(RULE_CATALOG) == [f"SH00{i}" for i in range(1, 10)]
-    assert all(sev in ("error", "warning") for _, sev in RULE_CATALOG.values())
+    assert list(RULE_CATALOG) == (
+        [f"SH00{i}" for i in range(1, 10)] + ["SH010", "SH011"])
+    # SH010/SH011 are opt-in (cacheability advisories), hence "off".
+    assert all(sev in ("error", "warning", "off")
+               for _, sev in RULE_CATALOG.values())
 
 
 def test_fake_ruleset_records_analyses_and_returns_canned_output():

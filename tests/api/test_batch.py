@@ -184,12 +184,16 @@ class TestResultCache:
         assert batch.run() == second
         assert batch.stats["cache_hits"] == 1
 
-    def test_mutated_world_bypasses_the_cache(self):
+    def test_mutated_world_results_never_enter_the_cache(self):
         world = _jpeg_world().boot()
         world.write_file("/tmp/dirty", b"x")
         batch = Batch(world).add(WALK_AMBIENT).add(WALK_AMBIENT)
         batch.run()
-        assert batch.stats["cache_hits"] == 0
+        # Identical queued jobs still dedup within the batch (they fork
+        # the same drifted kernel), but nothing lands in the shared
+        # cache: the results no longer describe the template digest.
+        assert batch.stats["cache_hits"] == 1
+        assert result_cache_size() == 0
 
     def test_cache_distinguishes_users_scripts_and_worlds(self):
         registry = ScriptRegistry().add("find_jpg.cap", FIND_JPG_CAP)
@@ -209,3 +213,102 @@ class TestResultCache:
         batch.run()
         assert batch.stats == {"jobs": 2, "cache_hits": 0, "forks": 2}
         assert result_cache_size() == 0
+
+
+class TestDependencyAwareCache:
+    """The dependency-aware verdict probe: cached results survive world
+    mutations that provably cannot intersect their static footprint."""
+
+    def test_disjoint_patch_serves_from_cache_with_zero_kernel_ops(self):
+        world = _jpeg_world()
+        [first] = Batch(world).add(WALK_AMBIENT, name="walk").run()
+        world.patch_file("/tmp/unrelated.txt", b"disjoint mutation")
+        assert not world.pristine
+        batch = Batch(world).add(WALK_AMBIENT, name="walk")
+        before = world.kernel.stats.snapshot()
+        [second] = batch.run()
+        after = world.kernel.stats.snapshot()
+        assert batch.verdicts == {0: "hit"}
+        assert batch.stats["cache_hits"] == 1
+        assert second.fingerprint() == first.fingerprint()
+        # The whole answer came from the cache: no fork, and not one
+        # kernel op moved on the live world.
+        assert batch.stats["forks"] == 0
+        nonzero = {k: v
+                   for k, v in world.kernel.stats.delta(before, after).items()
+                   if v}
+        assert nonzero == {}
+
+    def test_intersecting_patch_invalidates_with_blame(self):
+        world = _jpeg_world()
+        Batch(world).add(WALK_AMBIENT, name="walk").run()
+        world.patch_file("/home/alice/Documents/extra.jpg", b"jpegdata")
+        batch = Batch(world).add(WALK_AMBIENT, name="walk")
+        batch.run()
+        assert batch.verdicts[0] == \
+            "invalidated-by:/home/alice/Documents/extra.jpg"
+        assert batch.stats["cache_hits"] == 0
+        assert batch.cache_report["invalidated"] == 1
+
+    def test_invalidated_result_reflects_the_mutation(self):
+        registry = ScriptRegistry().add("find_jpg.cap", FIND_JPG_CAP)
+        world = _jpeg_world()
+        [first] = (Batch(world, scripts=registry)
+                   .add(FIND_JPG_AMBIENT, name="find").run())
+        world.patch_file("/home/alice/Documents/extra.jpg", b"jpegdata")
+        [second] = (Batch(world, scripts=registry)
+                    .add(FIND_JPG_AMBIENT, name="find").run())
+        assert "extra.jpg" not in first.stdout
+        assert "extra.jpg" in second.stdout
+
+    def test_process_spawning_mutation_invalidates_as_drift(self):
+        world = _jpeg_world()
+        Batch(world).add(WALK_AMBIENT, name="walk").run()
+        world.write_file("/tmp/unrelated.txt", b"x")  # spawns a process
+        batch = Batch(world).add(WALK_AMBIENT, name="walk")
+        batch.run()
+        assert batch.verdicts[0].startswith("invalidated-by:")
+        assert batch.stats["cache_hits"] == 0
+
+    def test_unresolved_require_is_uncacheable(self):
+        world = _jpeg_world()
+        source = 'require "nowhere.cap";\n'
+        ambient = "#lang shill/ambient\n" + source
+        Batch(world).add(ambient, name="mystery").run()
+        world.patch_file("/tmp/unrelated.txt", b"x")
+        batch = Batch(world).add(ambient, name="mystery")
+        batch.run()
+        assert batch.verdicts[0].startswith("uncacheable:")
+        assert batch.cache_report["uncacheable"] == 1
+
+    def test_soundness_escape_invalidates_and_audits(self):
+        from repro.api import batch as batch_mod
+
+        world = _jpeg_world()
+        [_] = Batch(world).add(WALK_AMBIENT, name="walk").run()
+        # Forge an under-declared contract: tamper with the recorded
+        # touched set so one touch falls outside the static footprint.
+        [(key, (stored, _touched))] = list(batch_mod._RESULT_CACHE._data.items())
+        batch_mod._RESULT_CACHE._data[key] = (stored, (("read", "/etc/passwd"),))
+        world.patch_file("/tmp/unrelated.txt", b"disjoint mutation")
+        batch = Batch(world).add(WALK_AMBIENT, name="walk")
+        batch.run()
+        assert batch.verdicts[0] == "invalidated-by:escape:read:/etc/passwd"
+        assert batch.stats["cache_hits"] == 0
+        [event] = batch.audit_events
+        assert "escaped the static footprint" in event and "walk" in event
+
+    def test_verdicts_identical_across_executors(self):
+        fingerprints = {}
+        verdicts = {}
+        for name in ("sequential", "thread", "process"):
+            clear_result_cache()
+            world = _jpeg_world()
+            Batch(world).add(WALK_AMBIENT, name="walk").run(backend=name)
+            world.patch_file("/tmp/unrelated.txt", b"disjoint mutation")
+            batch = Batch(world).add(WALK_AMBIENT, name="walk")
+            [result] = batch.run(backend=name)
+            verdicts[name] = batch.verdicts[0]
+            fingerprints[name] = result.fingerprint()
+        assert set(verdicts.values()) == {"hit"}
+        assert len(set(fingerprints.values())) == 1

@@ -80,6 +80,18 @@ def test_batch_executor_flag(tmp_path, capsys):
     assert "2 jobs" in out
 
 
+def test_batch_verbose_reports_cache_verdicts(tmp_path, capsys):
+    from repro.api import clear_result_cache
+
+    clear_result_cache()
+    script = _walk_script(tmp_path)
+    assert main(["batch", script, script, "--verbose"]) == 0
+    err = capsys.readouterr().err
+    assert "walk.ambient: cache miss" in err
+    assert "walk.ambient: cache hit" in err
+    assert "cache report: 1 hits, 1 misses, 0 invalidated, 0 uncacheable" in err
+
+
 def test_batch_store_executor_populates_and_reuses_the_store(tmp_path, capsys):
     from repro.api import SnapshotStore, clear_boot_cache
 

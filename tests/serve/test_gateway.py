@@ -234,6 +234,72 @@ class TestAdmission:
         assert all(e["retry_after"] > 0 for e in busy)
 
 
+class TestGatewayCache:
+    def test_repeat_submit_served_from_gateway_cache(self, fleet, tmp_path):
+        """A repeat job answers from the gateway's per-user result
+        cache: the request log shows the hit, no second dispatch
+        reaches an agent, and the replayed result is byte-identical."""
+        gw, _agents, log = fleet(agents=1)
+        with ServeExecutor(gw, store=tmp_path / "client",
+                           user="alice") as executor:
+            clear_result_cache()  # client-side: every SUBMIT must go out
+            [first] = _batch(1).run(executor=executor)
+            clear_result_cache()
+            [second] = _batch(1).run(executor=executor)
+        assert second.fingerprint() == first.fingerprint()
+        hits = [e for e in _events(log) if e["event"] == "cache_hit"]
+        assert len(hits) == 1
+        assert hits[0]["user"] == "alice" and hits[0]["verdict"] == "hit"
+        dispatches = [e for e in _events(log) if e["event"] == "dispatch"]
+        assert len(dispatches) == 1
+        assert dispatches[0]["verdict"] == "miss"
+
+    def test_cache_hits_are_admission_exempt(self, fleet, tmp_path):
+        """Replays are free: after the first (admitted) run, a tight
+        rate limit never turns repeat jobs into BUSY frames."""
+        gw, _agents, log = fleet(agents=1, rate=1.0, burst=1)
+        with ServeExecutor(gw, store=tmp_path / "client",
+                           user="alice") as executor:
+            clear_result_cache()
+            _batch(1).run(executor=executor)
+            for _ in range(5):
+                clear_result_cache()
+                [result] = _batch(1).run(executor=executor)
+                assert result.ok
+        events = _events(log)
+        assert len([e for e in events if e["event"] == "cache_hit"]) == 5
+        # One admitted dispatch; the replays never touched admission.
+        assert [e for e in events if e["event"] == "busy"] == []
+
+    def test_result_cache_zero_disables_replay(self, fleet, tmp_path):
+        gw, _agents, log = fleet(agents=1, result_cache=0)
+        with ServeExecutor(gw, store=tmp_path / "client",
+                           user="alice") as executor:
+            clear_result_cache()
+            _batch(1).run(executor=executor)
+            clear_result_cache()
+            _batch(1).run(executor=executor)
+        events = _events(log)
+        assert [e for e in events if e["event"] == "cache_hit"] == []
+        assert len([e for e in events if e["event"] == "dispatch"]) == 2
+
+    def test_cached_replies_carry_each_submits_own_index(self, fleet,
+                                                         tmp_path):
+        """Identical jobs at different batch indices: replayed RESULT
+        frames must echo the *current* SUBMIT's index, or the client
+        would misfile the reply."""
+        gw, _agents, _log = fleet(agents=1)
+        with ServeExecutor(gw, store=tmp_path / "client",
+                           user="alice") as executor:
+            clear_result_cache()
+            _batch(1).run(executor=executor)  # warm the gateway cache
+            clear_result_cache()
+            results = _batch(4).run(executor=executor)
+        assert len(results) == 4
+        assert len({r.fingerprint() for r in results}) == 1
+        assert all(r.ok for r in results)
+
+
 class TestCli:
     def test_batch_executor_serve_requires_gateway(self, capsys):
         from repro.__main__ import main
