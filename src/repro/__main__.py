@@ -339,6 +339,31 @@ def cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    # Imported here: the fuzzer pulls in hypothesis, which the other
+    # subcommands do not need at startup.
+    from repro.fuzz import run_fuzz
+
+    checked = [0]
+
+    def on_example(_scenario) -> None:
+        checked[0] += 1
+        if args.verbose:
+            _hostsys.stderr.write(f"repro fuzz: scenario {checked[0]}/{args.runs}\n")
+
+    report = run_fuzz(runs=args.runs, seed=args.seed, on_example=on_example)
+    if report.ok:
+        print(f"repro fuzz: ok — {report.runs} scenario(s) @ seed {report.seed}, "
+              "4 invariants each")
+        return 0
+    _hostsys.stderr.write(f"repro fuzz: FAILED — {report.failure}\n")
+    if report.falsifying is not None:
+        path = report.write_falsifying(args.artifact)
+        _hostsys.stderr.write(
+            f"repro fuzz: shrunk falsifying example written to {path}\n")
+    return 1
+
+
 _DEMO_FIND_JPG = """\
 #lang shill/cap
 provide find_jpg :
@@ -456,6 +481,21 @@ def main(argv: list[str] | None = None) -> int:
     prof_p.add_argument("--list", action="store_true",
                         help="list profileable cells and exit")
 
+    fuzz_p = sub.add_parser(
+        "fuzz", help="property-based cross-check of the sandbox invariants "
+                     "over generated (world, policy, script) scenarios")
+    fuzz_p.add_argument("--runs", type=int, default=50,
+                        help="number of generated scenarios (default: 50)")
+    fuzz_p.add_argument("--seed", type=int, default=0,
+                        help="generation seed — same (runs, seed) checks the "
+                             "same scenarios everywhere (default: 0)")
+    fuzz_p.add_argument("--artifact", default="fuzz-falsifying.json",
+                        metavar="PATH",
+                        help="where to write the shrunk falsifying example "
+                             "on failure (default: fuzz-falsifying.json)")
+    fuzz_p.add_argument("--verbose", action="store_true",
+                        help="progress line per scenario on stderr")
+
     store_p = sub.add_parser("store", help="inspect/evict the persistent snapshot store")
     store_sub = store_p.add_subparsers(dest="store_command", required=True)
     store_ls = store_sub.add_parser("ls", help="list stored snapshot blobs")
@@ -499,6 +539,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_bench(args)
     if args.command == "store":
         return cmd_store(args)
+    if args.command == "fuzz":
+        return cmd_fuzz(args)
     parser.error("unknown command")
     return 2
 

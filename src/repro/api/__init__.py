@@ -80,6 +80,14 @@ from repro.api.scheduling import (
 from repro.api.results import OPS_KEYS, PROFILE_KEYS, RunResult, freeze_ops, freeze_profile
 from repro.api.sandboxes import Sandbox
 from repro.api.sessions import Session
+from repro.policy import (
+    CapabilityEngine,
+    Decision,
+    FakePolicyEngine,
+    PolicyEngine,
+    PolicyRequest,
+    RuleEngine,
+)
 from repro.api.worlds import (
     FIXTURE_CHOICES,
     World,
@@ -120,6 +128,12 @@ __all__ = [
     "StoreWarmth",
     "resolve_policy",
     "RunResult",
+    "PolicyEngine",
+    "PolicyRequest",
+    "Decision",
+    "RuleEngine",
+    "FakePolicyEngine",
+    "CapabilityEngine",
     "ScriptRegistry",
     "FIXTURE_CHOICES",
     "PROFILE_KEYS",

@@ -44,12 +44,16 @@ class Sandbox:
         user: str = "root",
         debug: bool = False,
         cwd: str = "/",
+        engine=None,
     ) -> None:
         self.kernel = kernel
         self.policy = policy
         self.user = user
         self.debug = debug
         self.cwd = cwd
+        # Per-sandbox repro.policy.PolicyEngine bound to every session
+        # this Sandbox's exec() creates.
+        self.engine = engine
 
     def exec(self, argv: list[str], *, stdin: bytes = b"") -> RunResult:
         """Run ``argv`` in a sandbox configured from the policy file."""
@@ -68,7 +72,7 @@ class Sandbox:
         raw = run_with_policy(
             self.kernel, self.user, self.policy, list(argv),
             debug=self.debug, stdin=in_r, stdout=out_w, stderr=err_w,
-            cwd=self.cwd,
+            cwd=self.cwd, engine=self.engine,
         )
         return RunResult(
             stdout=bytes(out_r.pipe.buffer).decode(errors="replace"),

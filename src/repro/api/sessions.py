@@ -69,6 +69,7 @@ class Session:
         user: str | None = None,
         cwd: str | None = None,
         scripts: "Mapping[str, str] | ScriptRegistry | None" = None,
+        engine: Any = None,
     ) -> None:
         from repro.api.worlds import World
 
@@ -82,8 +83,12 @@ class Session:
             scripts = scripts.as_dict()
         self.user = user
         self.cwd = cwd or kernel.users.lookup(user).home
+        # engine binds a per-session repro.policy.PolicyEngine to every
+        # sandbox this session's scripts create (overriding any
+        # kernel-wide Kernel.policy_engine for those checks).
         self._runtime = ShillRuntime(kernel, user=user, cwd=self.cwd,
-                                     scripts=dict(scripts or {}))
+                                     scripts=dict(scripts or {}),
+                                     engine=engine)
         # Ops driven through *this* session.  Several Sessions may share
         # one kernel, whose counters are global — so, like the audit
         # trail (_owned_sids), op counts are accumulated per entry point
@@ -163,7 +168,7 @@ class Session:
         from repro.api.sandboxes import Sandbox
 
         return Sandbox(self.kernel, policy, user=self.user, debug=debug,
-                       cwd=cwd or self.cwd)
+                       cwd=cwd or self.cwd, engine=self._runtime.engine)
 
     # -- observation -------------------------------------------------------
 

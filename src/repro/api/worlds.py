@@ -38,6 +38,7 @@ from repro.world import (
     add_grading_fixture,
     add_jpeg_samples,
     add_usr_src,
+    add_vcs_repo,
     add_web_content,
     build_world,
 )
@@ -49,7 +50,7 @@ if TYPE_CHECKING:
     from repro.kernel.syscalls import SyscallInterface
 
 #: ``--fixture`` spellings accepted by :meth:`World.with_fixture`.
-FIXTURE_CHOICES = ("none", "jpeg", "grading", "usr-src", "web", "emacs")
+FIXTURE_CHOICES = ("none", "jpeg", "grading", "usr-src", "web", "emacs", "vcs")
 
 #: Booted template kernels keyed by config digest.  Templates are never
 #: handed out directly — every boot and fork takes an isolated copy — so
@@ -184,6 +185,13 @@ class World:
         return self._add_step("emacs_mirror", lambda kernel: add_emacs_mirror(kernel, tarball),
                               f"emacs:{blob}")
 
+    def with_vcs_repo(self, **kwargs: Any) -> "World":
+        """A git-like repository (worktree + ``.vcs`` metadata) plus an
+        out-of-tree secret — the vcs case study's world (see
+        :func:`repro.world.add_vcs_repo` for knobs)."""
+        return self._add_step("vcs_repo", lambda kernel: add_vcs_repo(kernel, **kwargs),
+                              f"vcs:{sorted(kwargs.items())!r}")
+
     def with_fixture(self, name: str, **kwargs: Any) -> "World":
         """String-keyed fixture selection (the CLI's ``--fixture``).
         ``"none"`` is explicitly a no-op."""
@@ -196,6 +204,7 @@ class World:
             "usr-src": self.with_usr_src,
             "web": self.with_web_content,
             "emacs": self.with_emacs_mirror,
+            "vcs": self.with_vcs_repo,
         }
         if name not in dispatch:
             raise ValueError(f"unknown fixture {name!r}; choices: {', '.join(FIXTURE_CHOICES)}")
@@ -227,6 +236,54 @@ class World:
             kernel.syscalls(kernel.spawn_process("root", "/")).symlink(target, link)
 
         return self._add_step(None, step, f"symlink:{target}:{link}")
+
+    def with_policy_rules(self, rules: Any, *, default: str = "defer",
+                          name: str | None = None) -> "World":
+        """Install a declarative :class:`repro.policy.RuleEngine` as the
+        booted kernel's policy engine.
+
+        ``rules`` is a rule list / policy spec dict (see
+        :mod:`repro.policy.rules`), JSON text, or an already-built
+        :class:`~repro.policy.RuleEngine`.  Because rule engines are pure
+        data with a stable digest, the configuration stays digestible —
+        the world keeps its boot cache, result cache, and snapshot-store
+        eligibility, and two worlds differing only in rules get
+        *different* digests (which is what keeps per-tenant result
+        caches from crossing policy boundaries).
+        """
+        from repro.policy.rules import RuleEngine
+
+        if isinstance(rules, RuleEngine):
+            engine = rules
+        elif isinstance(rules, str):
+            engine = RuleEngine.from_json(rules)
+        elif isinstance(rules, dict):
+            engine = RuleEngine.from_spec(rules)
+        else:
+            engine = RuleEngine(rules, default=default, name=name)
+
+        def step(kernel: "Kernel") -> None:
+            kernel.policy_engine = engine
+
+        return self._add_step(None, step, f"policy-rules:{engine.digest()}")
+
+    def with_policy_engine(self, engine: Any, *, key: str | None = None) -> "World":
+        """Install an arbitrary :class:`repro.policy.PolicyEngine` as the
+        booted kernel's policy engine.
+
+        Like :meth:`with_setup`, arbitrary code has no digest: unless the
+        engine reports one (``engine.digest()``) or you supply ``key``
+        (the same equal-keys-mean-equal-worlds promise), the world
+        becomes uncacheable — which is exactly right for a stateful
+        test double like :class:`~repro.policy.FakePolicyEngine`.
+        """
+
+        def step(kernel: "Kernel") -> None:
+            kernel.policy_engine = engine
+
+        stamp = key or engine.digest()
+        descriptor = None if stamp is None else f"policy-engine:{stamp}"
+        return self._add_step(None, step, descriptor)
 
     def with_setup(self, fn: Callable[["Kernel"], Any], key: str | None = None) -> "World":
         """Escape hatch: run ``fn(kernel)`` during boot.
@@ -433,17 +490,19 @@ class World:
         user: str | None = None,
         cwd: str | None = None,
         scripts: "Mapping[str, str] | ScriptRegistry | None" = None,
+        engine: Any = None,
     ) -> Session:
         self.boot()
         return Session(self.kernel, user=user or self._default_user,
-                       cwd=cwd, scripts=scripts)
+                       cwd=cwd, scripts=scripts, engine=engine)
 
     def sandbox(self, policy: str, *, user: str | None = None,
-                debug: bool = False, cwd: str = "/") -> Sandbox:
+                debug: bool = False, cwd: str = "/",
+                engine: Any = None) -> Sandbox:
         self.boot()
         assert self.kernel is not None
         return Sandbox(self.kernel, policy, user=user or self._default_user,
-                       debug=debug, cwd=cwd)
+                       debug=debug, cwd=cwd, engine=engine)
 
     def syscalls(self, user: str | None = None, cwd: str | None = None) -> "SyscallInterface":
         """An ambient (unsandboxed) syscall interface for inspecting or

@@ -32,12 +32,35 @@ from repro.kernel.fdesc import OpenFile
 from repro.kernel.pipes import PipeEnd, make_pipe
 from repro.kernel.syscalls import O_RDONLY
 from repro.kernel.vfs import Vnode, VType
+from repro.policy.engine import Decision, PolicyRequest
 from repro.sandbox.privileges import Priv, PrivSet, SocketPerms
 
 if TYPE_CHECKING:
     from repro.kernel.syscalls import SyscallInterface
 
 SYSTEM_BLAME = "the system"
+
+
+def _language_engine(sys: "SyscallInterface"):
+    """The non-passive policy engine governing language-level privilege
+    checks on this runtime's kernel, or None (the fast path: plain
+    capability semantics, byte-identical to the pre-engine code)."""
+    engine = sys.kernel.policy_engine
+    if engine is None or engine.passive:
+        return None
+    return engine
+
+
+def _language_request(sys: "SyscallInterface", op: str, target: str, priv,
+                      held: frozenset = frozenset()):
+    return PolicyRequest(
+        domain="language",
+        operation=op,
+        target=target,
+        priv=f"+{priv.value}",
+        user=sys.proc.cred.username,
+        held=held,
+    )
 
 
 class Capability:
@@ -97,6 +120,19 @@ class FsCap(Capability):
     # -- privilege machinery -------------------------------------------------------
 
     def _need(self, priv: Priv, op: str) -> None:
+        engine = _language_engine(self._sys)
+        if engine is not None:
+            decision = engine.pre_check(_language_request(
+                self._sys, op, self.try_path(), priv,
+                held=frozenset(f"+{p.value}" for p in self.privs)))
+            if decision is Decision.ALLOW:
+                return
+            if decision is Decision.DENY:
+                raise ContractViolation(
+                    blame=f"policy-engine:{engine.name}",
+                    contract=repr(self.privs),
+                    detail=f"operation {op!r} denied by policy engine on {self.describe()}",
+                )
         if not self.privs.has(priv):
             raise ContractViolation(
                 blame=self.blame,
@@ -317,6 +353,18 @@ class SocketCap(Capability):
         self.perms = perms
 
     def _need(self, priv) -> None:
+        engine = _language_engine(self._sys)
+        if engine is not None:
+            decision = engine.pre_check(_language_request(
+                self._sys, f"socket-{priv.value}", "<socket>", priv))
+            if decision is Decision.ALLOW:
+                return
+            if decision is Decision.DENY:
+                raise ContractViolation(
+                    blame=f"policy-engine:{engine.name}",
+                    contract=repr(self.perms),
+                    detail=f"socket operation +{priv.value} denied by policy engine",
+                )
         if not self.perms.has(priv):
             raise ContractViolation(
                 blame=SYSTEM_BLAME,

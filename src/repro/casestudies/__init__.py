@@ -1,6 +1,6 @@
 """The paper's four case studies (section 4.1), as SHILL scripts plus
-Python drivers."""
+Python drivers — plus the git-like VCS extension study."""
 
-from repro.casestudies import apache, findgrep, grading, package_mgmt
+from repro.casestudies import apache, findgrep, grading, package_mgmt, vcs
 
-__all__ = ["grading", "package_mgmt", "apache", "findgrep"]
+__all__ = ["grading", "package_mgmt", "apache", "findgrep", "vcs"]

@@ -1,0 +1,47 @@
+"""repro.fuzz — property-based scenario fuzzing of the sandbox invariants.
+
+In the spirit of model-checking SDN controllers with generated network
+events, the repo's determinism makes generated-scenario invariant
+checking cheap: :mod:`repro.fuzz.strategies` synthesizes
+(world, policy, script) triples — worlds from composable fixture
+builders (including the git-like VCS case study), policies from the
+declarative :class:`repro.policy.RuleEngine` rule format, scripts as
+sandbox commands plus straight-line ambient programs — and
+:mod:`repro.fuzz.invariants` cross-checks every triple against the
+system-level properties everything else relies on:
+
+1. **Containment** — sandboxed behavior ⊆ ambient behavior: a command
+   that succeeds inside a sandbox must succeed with full ambient
+   authority from identical world state (and produce the same bytes).
+2. **Denials are audited** — every MAC denial during a sandboxed run
+   has a matching audit-log denial record.
+3. **Executor equivalence** — one batch of generated ambient jobs
+   yields byte-identical result fingerprints on the sequential, thread,
+   and snapshot-store executors.
+4. **Footprint soundness** — the statically inferred capability
+   footprint covers every path the run actually touched
+   (``static ⊇ touched``).
+
+Entry points: :func:`repro.fuzz.run_fuzz` (used by ``repro fuzz
+--runs N --seed S``) and the hypothesis strategies themselves for
+direct use in tests (see ``tests/fuzz/``).
+"""
+
+from repro.fuzz.invariants import InvariantViolation, check_scenario
+from repro.fuzz.runner import FuzzReport, run_fuzz
+from repro.fuzz.scenarios import PolicySpec, RuleSpec, Scenario, WorldSpec
+from repro.fuzz.strategies import policy_specs, scenarios, world_specs
+
+__all__ = [
+    "FuzzReport",
+    "InvariantViolation",
+    "PolicySpec",
+    "RuleSpec",
+    "Scenario",
+    "WorldSpec",
+    "check_scenario",
+    "policy_specs",
+    "run_fuzz",
+    "scenarios",
+    "world_specs",
+]

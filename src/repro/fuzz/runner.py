@@ -1,0 +1,89 @@
+"""The fuzz driver: N hypothesis-generated scenarios, one report.
+
+Deterministic by construction — a fixed ``seed`` pins the generation
+sequence (and the example database is disabled, so no state leaks
+between runs or machines).  The same (runs, seed) pair therefore checks
+the same scenarios everywhere: locally, in tests, and in the CI
+``fuzz-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.fuzz.invariants import check_scenario
+from repro.fuzz.scenarios import Scenario
+from repro.fuzz.strategies import scenarios
+
+
+@dataclass
+class FuzzReport:
+    """What one fuzz run did.
+
+    ``ok`` is False when a scenario broke an invariant; ``falsifying``
+    then holds the *shrunk* triple (JSON, :meth:`Scenario.describe`
+    shape) and ``failure`` the violation text.
+    """
+
+    runs: int
+    seed: int
+    ok: bool
+    failure: Optional[str] = None
+    falsifying: Optional[dict] = None
+
+    def write_falsifying(self, path: "str | pathlib.Path") -> pathlib.Path:
+        """Dump the falsifying example as JSON (the CI artifact)."""
+        path = pathlib.Path(path)
+        path.write_text(json.dumps(self.falsifying, indent=2, sort_keys=True) + "\n")
+        return path
+
+
+def run_fuzz(runs: int = 50, seed: int = 0,
+             on_example: Optional[Callable[[Scenario], None]] = None) -> FuzzReport:
+    """Generate ``runs`` scenarios from ``seed`` and cross-check each
+    against the sandbox invariants.
+
+    ``on_example`` (optional) observes every generated scenario before
+    it is checked — the CLI uses it for progress output.
+    """
+    from hypothesis import HealthCheck, Phase, given
+    from hypothesis import seed as hypothesis_seed
+    from hypothesis import settings
+
+    last: list[Scenario] = [None]  # type: ignore[list-item]
+
+    @hypothesis_seed(seed)
+    @settings(
+        max_examples=runs,
+        database=None,
+        deadline=None,
+        derandomize=False,
+        suppress_health_check=list(HealthCheck),
+        # generate + shrink only: `explain` would re-run extra examples
+        # after shrinking, leaving `last` pointing at a non-falsifying
+        # scenario.
+        phases=(Phase.generate, Phase.shrink),
+        print_blob=False,
+    )
+    @given(scenarios())
+    def property(scenario: Scenario) -> None:
+        last[0] = scenario
+        if on_example is not None:
+            on_example(scenario)
+        check_scenario(scenario)
+
+    try:
+        property()
+    except Exception as err:  # the minimal falsifying example, post-shrink
+        scenario = last[0]
+        return FuzzReport(
+            runs=runs,
+            seed=seed,
+            ok=False,
+            failure=f"{type(err).__name__}: {err}",
+            falsifying=None if scenario is None else scenario.describe(),
+        )
+    return FuzzReport(runs=runs, seed=seed, ok=True)

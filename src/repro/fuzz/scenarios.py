@@ -1,0 +1,239 @@
+"""Scenario model: one generated (world, policy, script) triple.
+
+Everything here is plain frozen data with a JSON :meth:`Scenario.describe`
+— a falsifying example must survive being printed, uploaded as a CI
+artifact, and pasted back into a regression test (``tests/fuzz/``).
+
+The world side reuses the composable :class:`repro.api.World` builders,
+so specs stay declarative and repeated boots of one spec hit the boot
+cache and fork instead of rebuilding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: Fixtures scenarios draw worlds from, with the user each runs as.
+FIXTURE_USERS = {
+    "none": "alice",
+    "jpeg": "alice",
+    "vcs": "alice",
+    "grading": "tester",
+}
+
+#: Where generated extra files live (under the scenario user's home).
+FUZZ_DIR = "fuzz"
+
+
+def _home(user: str) -> str:
+    return f"/home/{user}"
+
+
+# ---------------------------------------------------------------------------
+# worlds
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorldSpec:
+    """A declarative world: a named fixture plus generated extra files."""
+
+    fixture: str = "none"
+    extra_files: tuple[tuple[str, str], ...] = ()
+
+    @property
+    def user(self) -> str:
+        return FIXTURE_USERS[self.fixture]
+
+    @property
+    def home(self) -> str:
+        return _home(self.user)
+
+    def build(self):
+        """A :class:`repro.api.World` for this spec (fully digestible, so
+        every build boots through the shared boot-image cache)."""
+        from repro.api import World
+
+        world = World().for_user(self.user)
+        if self.fixture != "none":
+            world = world.with_fixture(self.fixture)
+        if self.extra_files:
+            world = world.with_dir(f"{self.home}/{FUZZ_DIR}", owner=self.user)
+            for name, content in self.extra_files:
+                world = world.with_file(f"{self.home}/{FUZZ_DIR}/{name}", content,
+                                        owner=self.user)
+        return world
+
+    # -- path alphabets ----------------------------------------------------
+
+    def file_paths(self) -> tuple[str, ...]:
+        """Existing regular files scenarios may read or append to."""
+        home = self.home
+        paths = [f"{home}/{FUZZ_DIR}/{name}" for name, _ in self.extra_files]
+        if self.fixture == "jpeg":
+            paths += [f"{home}/Documents/dog.jpg", f"{home}/Documents/notes.txt"]
+        elif self.fixture == "vcs":
+            paths += [f"{home}/project/README", f"{home}/project/src/mod0.c",
+                      f"{home}/project/.vcs/log", f"{home}/secrets/deploy_token"]
+        elif self.fixture == "grading":
+            paths += [f"{home}/tests/test0.in",
+                      f"{home}/submissions/student00/main.ml"]
+        return tuple(paths)
+
+    def dir_paths(self) -> tuple[str, ...]:
+        """Existing directories scenarios may list."""
+        home = self.home
+        paths = [home, "/tmp"]
+        if self.extra_files:
+            paths.append(f"{home}/{FUZZ_DIR}")
+        if self.fixture == "jpeg":
+            paths.append(f"{home}/Documents")
+        elif self.fixture == "vcs":
+            paths += [f"{home}/project", f"{home}/project/src", f"{home}/secrets"]
+        elif self.fixture == "grading":
+            paths += [f"{home}/submissions", f"{home}/tests"]
+        return tuple(paths)
+
+    def missing_path(self) -> str:
+        """A path that exists in no scenario world — the "policy grants a
+        nonexistent path" edge case."""
+        return f"{self.home}/does-not-exist.txt"
+
+    def policy_paths(self) -> tuple[str, ...]:
+        """Targets policies may name: everything interesting, existing or
+        not, plus the binaries sandboxed commands need."""
+        return self.file_paths() + self.dir_paths() + (
+            self.missing_path(), "/bin", "/lib")
+
+    def to_json(self) -> dict:
+        return {"fixture": self.fixture, "extra_files": [list(p) for p in self.extra_files]}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "WorldSpec":
+        return cls(fixture=data["fixture"],
+                   extra_files=tuple((n, c) for n, c in data["extra_files"]))
+
+
+# ---------------------------------------------------------------------------
+# policies
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """One declarative rule, as frozen generator-friendly data."""
+
+    effect: str = "deny"
+    operations: Optional[tuple[str, ...]] = None
+    paths: Optional[tuple[str, ...]] = None
+    users: Optional[tuple[str, ...]] = None
+
+    def to_json(self) -> dict:
+        out: dict[str, Any] = {"effect": self.effect}
+        for key in ("operations", "paths", "users"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = list(value)
+        return out
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """A declarative policy: rules plus the engine default."""
+
+    rules: tuple[RuleSpec, ...] = ()
+    default: str = "defer"
+
+    def engine(self):
+        from repro.policy.rules import RuleEngine
+
+        return RuleEngine([rule.to_json() for rule in self.rules],
+                          default=self.default, name="fuzz-policy")
+
+    def to_json(self) -> dict:
+        return {"default": self.default, "rules": [r.to_json() for r in self.rules]}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "PolicySpec":
+        rules = tuple(
+            RuleSpec(
+                effect=r["effect"],
+                operations=tuple(r["operations"]) if "operations" in r else None,
+                paths=tuple(r["paths"]) if "paths" in r else None,
+                users=tuple(r["users"]) if "users" in r else None,
+            )
+            for r in data["rules"]
+        )
+        return cls(rules=rules, default=data["default"])
+
+
+# ---------------------------------------------------------------------------
+# the triple
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One (world, policy, script) triple.
+
+    ``commands`` are sandboxed-vs-ambient argv runs (the containment and
+    audit invariants); ``ambient_ops`` render into one straight-line
+    ambient script (the executor-equivalence and footprint invariants).
+    """
+
+    world: WorldSpec = field(default_factory=WorldSpec)
+    policy: Optional[PolicySpec] = None
+    commands: tuple[tuple[str, ...], ...] = ()
+    ambient_ops: tuple[tuple[str, str], ...] = ()
+
+    def build_world(self):
+        """The world including its policy engine (policies ride in the
+        world digest, so distinct policies never share cached results)."""
+        world = self.world.build()
+        if self.policy is not None:
+            world = world.with_policy_rules([r.to_json() for r in self.policy.rules],
+                                            default=self.policy.default)
+        return world
+
+    def ambient_script(self) -> str:
+        """Render ``ambient_ops`` into one deterministic ambient script."""
+        lines = ["#lang shill/ambient"]
+        for i, (op, target) in enumerate(self.ambient_ops):
+            if op == "list":
+                lines.append(f'd{i} = open_dir("{target}");')
+                lines.append(f'append(stdout, to_string(length(contents(d{i}))) + "\\n");')
+            elif op == "path":
+                lines.append(f'd{i} = open_dir("{target}");')
+                lines.append(f'append(stdout, path(d{i}) + "\\n");')
+            elif op == "read":
+                lines.append(f'f{i} = open_file("{target}");')
+                lines.append(f'append(stdout, read(f{i}));')
+            elif op == "append":
+                lines.append(f'f{i} = open_file("{target}");')
+                lines.append(f'append(f{i}, "fuzz{i}\\n");')
+            else:  # pragma: no cover - generator and renderer move together
+                raise ValueError(f"unknown ambient op {op!r}")
+        lines.append('append(stdout, "done\\n");')
+        return "\n".join(lines) + "\n"
+
+    def describe(self) -> dict:
+        """The whole triple as JSON — the falsifying-example artifact."""
+        return {
+            "world": self.world.to_json(),
+            "policy": None if self.policy is None else self.policy.to_json(),
+            "commands": [list(c) for c in self.commands],
+            "ambient_ops": [list(o) for o in self.ambient_ops],
+            "ambient_script": self.ambient_script(),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Scenario":
+        """Rebuild a scenario from :meth:`describe` output (regression
+        corpus entries are stored this way)."""
+        return cls(
+            world=WorldSpec.from_json(data["world"]),
+            policy=None if data["policy"] is None else PolicySpec.from_json(data["policy"]),
+            commands=tuple(tuple(c) for c in data["commands"]),
+            ambient_ops=tuple((op, target) for op, target in data["ambient_ops"]),
+        )

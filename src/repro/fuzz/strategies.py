@@ -1,0 +1,101 @@
+"""Hypothesis strategies for (world, policy, script) triples.
+
+The strategies draw every path from the world spec's own alphabet
+(:meth:`WorldSpec.policy_paths` and friends), so generated policies and
+scripts always talk about the world they run against — including its
+deliberately nonexistent path, the "policy grants a path that doesn't
+exist" edge case.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.fuzz.scenarios import FIXTURE_USERS, PolicySpec, RuleSpec, Scenario, WorldSpec
+
+#: Operations policy rules may name (a subset of what check sites emit,
+#: plus globs — unknown names are legal and simply never match).
+RULE_OPERATIONS = ("read", "write", "append", "stat", "readdir", "exec",
+                   "lookup *", "create *", "*")
+
+
+def world_specs() -> st.SearchStrategy[WorldSpec]:
+    extra = st.lists(
+        st.tuples(
+            st.sampled_from(("f0.txt", "f1.txt", "notes.md")),
+            st.sampled_from(("alpha\n", "beta beta\n", "")),
+        ),
+        max_size=2,
+        unique_by=lambda pair: pair[0],
+    )
+    return st.builds(
+        WorldSpec,
+        fixture=st.sampled_from(tuple(FIXTURE_USERS)),
+        extra_files=extra.map(tuple),
+    )
+
+
+def _rule_specs(world: WorldSpec) -> st.SearchStrategy[RuleSpec]:
+    maybe_paths = st.one_of(
+        st.none(),
+        st.lists(st.sampled_from(world.policy_paths()), min_size=1, max_size=2,
+                 unique=True).map(tuple),
+    )
+    maybe_ops = st.one_of(
+        st.none(),
+        st.lists(st.sampled_from(RULE_OPERATIONS), min_size=1, max_size=2,
+                 unique=True).map(tuple),
+    )
+    maybe_users = st.sampled_from((None, (world.user,), ("nobody",)))
+    return st.builds(
+        RuleSpec,
+        effect=st.sampled_from(("allow", "deny")),
+        operations=maybe_ops,
+        paths=maybe_paths,
+        users=maybe_users,
+    )
+
+
+def policy_specs(world: WorldSpec) -> st.SearchStrategy[PolicySpec]:
+    """Declarative policies over ``world``'s path alphabet (including the
+    empty policy and deny-by-default)."""
+    return st.builds(
+        PolicySpec,
+        rules=st.lists(_rule_specs(world), max_size=3).map(tuple),
+        default=st.sampled_from(("defer", "defer", "allow", "deny")),
+    )
+
+
+def _commands(world: WorldSpec) -> st.SearchStrategy[tuple[tuple[str, ...], ...]]:
+    home = world.home
+    menu: list[tuple[str, ...]] = [("/bin/echo", "fuzz")]
+    menu += [("/bin/cat", path) for path in world.file_paths()]
+    menu += [("/bin/ls", path) for path in world.dir_paths()]
+    menu += [
+        ("/bin/cat", world.missing_path()),
+        ("/bin/touch", f"{home}/touched.txt"),
+        ("/bin/mkdir", f"{home}/newdir"),
+    ]
+    return st.lists(st.sampled_from(menu), min_size=1, max_size=2).map(tuple)
+
+
+def _ambient_ops(world: WorldSpec) -> st.SearchStrategy[tuple[tuple[str, str], ...]]:
+    menu: list[tuple[str, str]] = []
+    menu += [("list", path) for path in world.dir_paths()]
+    menu += [("path", path) for path in world.dir_paths()]
+    menu += [("read", path) for path in world.file_paths()]
+    menu += [("append", path) for path in world.file_paths()]
+    return st.lists(st.sampled_from(menu), max_size=3).map(tuple)
+
+
+@st.composite
+def scenarios(draw) -> Scenario:
+    """Full (world, policy, script) triples."""
+    world = draw(world_specs())
+    policy = draw(st.one_of(st.none(), policy_specs(world)))
+    return Scenario(
+        world=world,
+        policy=policy,
+        commands=draw(_commands(world)),
+        ambient_ops=draw(_ambient_ops(world)),
+    )

@@ -34,6 +34,7 @@ from repro.kernel.sysctl import SysctlTree
 from repro.kernel.vfs import VFS, Vnode
 
 if TYPE_CHECKING:
+    from repro.policy.engine import PolicyEngine
     from repro.programs.base import Program
     from repro.sandbox.policy import ShillPolicy
 
@@ -256,6 +257,8 @@ class Kernel:
         # template, and the dependency analyzer diffs the two epochs to
         # detect label mutations since the fork.
         new.mac.label_epoch = self.mac.label_epoch
+        if self.mac.engine is not None:
+            new.mac.engine = self.mac.engine.fork_for(new)
         return new
 
     # ------------------------------------------------------------------
@@ -306,14 +309,36 @@ class Kernel:
     # policy management
     # ------------------------------------------------------------------
 
-    def label_mutation(self) -> None:
+    def label_mutation(self, sid: int | None = None) -> None:
         """Record that a MAC label (or the privilege map stored in one)
         changed: bumps the label epoch so the resolved-path dcache drops
         cached walks, and forces lazy forks to materialize first — label
         objects on still-shared vnodes are shared with the template, so
-        a mutation must not be observable across the fork boundary."""
+        a mutation must not be observable across the fork boundary.
+
+        ``sid`` attributes the mutation to the sandbox session whose
+        action caused it (grants, auto-grants, propagation, teardown
+        revocation), so audit consumers can tell *who* moved the label
+        epoch; None means no session context (e.g. ambient chmod)."""
         self.mac.bump_label_epoch()
+        self.mac.last_label_sid = sid
         self.vfs._unshare_forks()
+
+    @property
+    def policy_engine(self) -> "PolicyEngine | None":
+        """The kernel-wide policy engine (see :mod:`repro.policy`), or
+        None for pure SHILL capability semantics.  Lives on the MAC
+        framework so it crosses forks and snapshots with the policy set."""
+        return self.mac.engine
+
+    @policy_engine.setter
+    def policy_engine(self, engine: "PolicyEngine | None") -> None:
+        if engine is self.mac.engine:
+            return
+        self.mac.engine = engine
+        # An engine swap is a configuration change: future runs may be
+        # judged differently, so the machine is no longer pristine.
+        self._epoch += 1
 
     def install_shill_module(self) -> "ShillPolicy":
         """Load the SHILL kernel module (the MAC policy).  Idempotent."""

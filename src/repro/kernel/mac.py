@@ -29,6 +29,8 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import SysError
+from repro.kernel import errno_
+from repro.policy.engine import Decision, PolicyEngine, PolicyRequest
 
 if TYPE_CHECKING:
     from repro.kernel.proc import Process
@@ -195,6 +197,18 @@ class MacPolicy:
 class MacFramework:
     """Registry of policies plus the check/post dispatch machinery."""
 
+    # Class-level defaults (not set in __init__) so snapshot blobs
+    # pickled before these fields existed still restore cleanly.
+    #
+    #: kernel-wide policy engine (see :mod:`repro.policy`).  ``None`` —
+    #: the default — means pure capability semantics, byte-identical to
+    #: the pre-engine framework.  Set via ``Kernel.policy_engine``.
+    engine: PolicyEngine | None = None
+    #: sid of the session whose action caused the most recent label
+    #: mutation (None when the mutation had no session context) — audit
+    #: attribution for label-epoch bumps.
+    last_label_sid: int | None = None
+
     def __init__(self) -> None:
         self._policies: list[MacPolicy] = []
         # Optional stats sink (set by the Kernel) with integer attributes
@@ -241,10 +255,40 @@ class MacFramework:
 
         Raises :class:`SysError` with the first non-zero errno returned.
         Restrictive composition: all policies must allow.
+
+        A non-passive kernel-wide engine is consulted first with a
+        ``mac``-domain request: ALLOW skips policy dispatch entirely,
+        DENY raises before any policy runs, DEFER dispatches normally
+        (and the outcome is reported to ``post_check``).  Framework-level
+        requests carry no session context — sid is 0 and denials here
+        produce no session audit record, which is why data-driven rules
+        only reach this domain when they name it explicitly.
         """
         if self.stats is not None:
             self.stats.mac_checks += 1
             self.stats.mac_hooks[hook] += 1
+        engine = self.engine
+        if engine is not None and not engine.passive:
+            proc = args[0] if args else None
+            user = getattr(getattr(proc, "cred", None), "username", "") or ""
+            request = PolicyRequest(domain="mac", operation=hook, target="", user=user)
+            decision = engine.pre_check(request)
+            if decision is Decision.ALLOW:
+                return
+            if decision is Decision.DENY:
+                if self.stats is not None:
+                    self.stats.mac_denials += 1
+                raise SysError(errno_.EACCES, f"mac:engine:{engine.name}:{hook}")
+            try:
+                self._dispatch(hook, args)
+            except SysError:
+                engine.post_check(request, False)
+                raise
+            engine.post_check(request, True)
+            return
+        self._dispatch(hook, args)
+
+    def _dispatch(self, hook: str, args: tuple) -> None:
         for policy in self._policies:
             error = getattr(policy, hook)(*args)
             if error:

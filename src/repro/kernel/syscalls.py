@@ -174,7 +174,15 @@ class SyscallInterface:
         kernel = self.kernel
         cache_key = None
         if _depth == 0 and self.proc.session is None and kernel.vfs.dcache_enabled:
-            stamp = (kernel.vfs.generation, kernel.mac.label_epoch, kernel.mac.mutations)
+            # The engine component folds policy-engine swaps *and* engine
+            # reconfiguration (FakePolicyEngine.set bumps ``mutations``)
+            # into the stamp: cached walks must be re-judged when future
+            # decisions can differ.  id() is fine — the cache is
+            # runtime-only and never outlives the engine object.
+            engine = kernel.mac.engine
+            engine_stamp = None if engine is None else (id(engine), engine.mutations)
+            stamp = (kernel.vfs.generation, kernel.mac.label_epoch,
+                     kernel.mac.mutations, engine_stamp)
             if kernel._resolve_stamp != stamp:
                 kernel._resolve_cache.clear()
                 kernel._resolve_stamp = stamp

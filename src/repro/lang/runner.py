@@ -79,9 +79,13 @@ class ShillRuntime:
         user: str = "root",
         cwd: str = "/",
         scripts: dict[str, str] | None = None,
+        engine=None,
     ) -> None:
         t0 = time.perf_counter()
         self.kernel = kernel
+        # Per-runtime policy engine (see repro.policy): bound to every
+        # sandbox session this runtime's exec builtin creates.
+        self.engine = engine
         self.proc = kernel.spawn_process(user, cwd)
         self.sys = kernel.syscalls(self.proc)
         self.interp = Interp(self)
@@ -244,7 +248,7 @@ class ShillRuntime:
         setup_started = time.perf_counter()
         policy = self.kernel.install_shill_module()
         child = self.kernel.procs.fork(self.proc)
-        session = policy.sessions.shill_init(child, debug=debug)
+        session = policy.sessions.shill_init(child, debug=debug, engine=self.engine)
 
         argv = list(argv)
         grant_list: list[Any] = [execcap]

@@ -1,0 +1,37 @@
+"""Pluggable policy engines: SHILL's access-control decisions as data.
+
+The protocol lives in :mod:`repro.policy.engine` (PolicyEngine,
+PolicyRequest, Decision, DecisionRecord), the declarative data-driven
+implementation in :mod:`repro.policy.rules` (RuleEngine — JSON rules,
+first match wins), and the test double in :mod:`repro.policy.fakes`
+(FakePolicyEngine — explicit override table).
+
+See ``docs/policy.md`` for the executable tour.
+"""
+
+from repro.policy.engine import (
+    DOMAINS,
+    CapabilityEngine,
+    Decision,
+    DecisionRecord,
+    PolicyEngine,
+    PolicyRequest,
+    engine_for,
+)
+from repro.policy.fakes import FakePolicyEngine
+from repro.policy.rules import DEFAULT_DOMAINS, Rule, RuleEngine, RuleError
+
+__all__ = [
+    "DOMAINS",
+    "DEFAULT_DOMAINS",
+    "CapabilityEngine",
+    "Decision",
+    "DecisionRecord",
+    "FakePolicyEngine",
+    "PolicyEngine",
+    "PolicyRequest",
+    "Rule",
+    "RuleEngine",
+    "RuleError",
+    "engine_for",
+]

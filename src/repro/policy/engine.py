@@ -1,0 +1,207 @@
+"""The pluggable policy-engine protocol.
+
+SHILL's value is the policy layer, but until this module the MAC and
+capability decisions were hard-wired: :class:`repro.sandbox.policy.
+ShillPolicy` consulted privilege maps directly, and the language layer
+(:mod:`repro.capability.caps`) consulted privilege sets directly.  A
+:class:`PolicyEngine` slots *in front of* those decisions: every check
+site first asks the engine, which may
+
+* **ALLOW** — override a would-be denial (the operation proceeds, and
+  the override is audited),
+* **DENY** — revoke an operation the capability semantics would have
+  allowed (the denial is audited like any other), or
+* **DEFER** — fall through to the unmodified SHILL capability
+  semantics.
+
+The default (no engine, or :class:`CapabilityEngine`) defers everything,
+so a kernel without an engine behaves **byte-identically** to the
+hard-wired code: same audit lines, same op counts, same fingerprints.
+
+Decision sites and their request *domains*:
+
+===========  ==============================================  ==========
+domain       decision site                                    denial
+===========  ==============================================  ==========
+``vnode``    :meth:`ShillPolicy._require` on a vnode          audited
+``pipe``     :meth:`ShillPolicy._require` on a pipe           audited
+``socket``   :meth:`ShillPolicy._require_sock`                audited
+``system``   :meth:`ShillPolicy._deny_sandboxed` (Figure 7)   audited
+``language``  capability-value privilege checks               contract
+             (:class:`repro.capability.caps.FsCap`)           violation
+``mac``      :meth:`repro.kernel.mac.MacFramework.check`      raw errno
+             (raw framework hooks, *no* session context)
+===========  ==============================================  ==========
+
+Engines are consulted through two hooks (the pre/post shape of the
+snippet-idiom Policy ABC): :meth:`PolicyEngine.pre_check` decides,
+:meth:`PolicyEngine.post_check` observes the final outcome.  Every
+non-DEFER decision is retained as a :class:`DecisionRecord` on the
+engine (``engine.records``) for inspection — the approval/audit trail.
+
+Engine placement: a kernel-wide engine lives at
+``kernel.policy_engine`` (declaratively: :meth:`repro.api.World.
+with_policy_rules`); a per-sandbox-session engine at
+``session.engine`` overrides it (:class:`repro.api.Sandbox` and
+:class:`repro.api.Session` accept ``engine=``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Optional
+
+#: The request domains engines can be consulted in.
+DOMAINS = ("vnode", "pipe", "socket", "proc", "system", "language", "mac")
+
+
+class Decision(enum.Enum):
+    """An engine's answer for one :class:`PolicyRequest`."""
+
+    ALLOW = "allow"
+    DENY = "deny"
+    DEFER = "defer"
+
+
+@dataclass(frozen=True)
+class PolicyRequest:
+    """One access-control question, as the engine sees it.
+
+    ``target`` is the stable audit description of the object (a path for
+    vnodes — the same string audit lines use).  ``held`` is the set of
+    privilege names the subject's session currently holds on the target
+    (empty outside the SHILL privilege domains).  ``sid`` is 0 for
+    requests with no sandbox session (framework-level ``mac`` requests).
+    """
+
+    domain: str
+    operation: str
+    target: str
+    priv: str = ""
+    sid: int = 0
+    user: str = ""
+    held: frozenset = frozenset()
+
+    def describe(self) -> str:
+        who = f"session {self.sid}" if self.sid else (self.user or "?")
+        return f"[{self.domain}] {who}: {self.operation} {self.priv} on {self.target}"
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One non-DEFER engine decision, retained for inspection."""
+
+    request: PolicyRequest
+    decision: Decision
+    engine: str
+    rule: str = ""
+
+    def format(self) -> str:
+        via = f" via {self.rule}" if self.rule else ""
+        return f"{self.decision.value:5s} {self.request.describe()} ({self.engine}{via})"
+
+
+class PolicyEngine:
+    """Base engine: defers everything (pure SHILL capability semantics).
+
+    Subclasses override :meth:`pre_check` (and optionally
+    :meth:`post_check`).  The class is deliberately *not* abstract — the
+    base is the identity engine, exactly like
+    :class:`repro.kernel.mac.MacPolicy`'s every-hook-allows base.
+
+    Two attributes shape how check sites treat an engine:
+
+    * ``passive`` — ``True`` promises :meth:`pre_check` always defers
+      and :meth:`post_check` is a no-op, letting the hot path skip
+      request construction entirely (target descriptions cost a VFS
+      name-cache walk).  Any engine that decides or observes must set
+      it ``False``.
+    * ``mutations`` — bump whenever the engine's *future decisions*
+      may differ (rule edits, default flips).  The syscall layer folds
+      it into the resolved-path dcache stamp so cached walks are
+      re-judged after an engine change.
+    """
+
+    name = "policy-engine"
+    passive = True
+
+    def __init__(self) -> None:
+        self.records: list[DecisionRecord] = []
+        self.mutations = 0
+
+    # -- the decision hooks ------------------------------------------------
+
+    def pre_check(self, request: PolicyRequest) -> Decision:
+        """Decide ``request``; DEFER falls through to capability
+        semantics.  Called only on non-passive engines."""
+        return Decision.DEFER
+
+    def post_check(self, request: PolicyRequest, allowed: bool) -> None:
+        """Observe the final outcome (after capability semantics ran,
+        when the engine deferred).  Called only on non-passive engines."""
+
+    # -- plumbing ----------------------------------------------------------
+
+    def record(self, request: PolicyRequest, decision: Decision,
+               rule: str = "") -> None:
+        """Retain a non-DEFER decision on the engine's approval trail."""
+        self.records.append(DecisionRecord(request, decision, self.name, rule))
+
+    def fork_for(self, kernel: Any) -> "PolicyEngine":
+        """The engine instance for a forked kernel.  Sharing ``self`` is
+        right for engines whose decisions are pure functions of the
+        request (rules); stateful engines override."""
+        return self
+
+    def digest(self) -> Optional[str]:
+        """A stable content hash, or None when the engine's decisions
+        cannot be named by data (arbitrary code).  Digestible engines
+        keep the worlds that install them boot-cacheable."""
+        return None
+
+    def describe(self) -> dict:
+        """A JSON-serializable snapshot, for logs and wire frames."""
+        return {"engine": self.name, "passive": self.passive}
+
+    def __getstate__(self) -> dict:
+        # The decision trail is runtime observability, like the dcache:
+        # it never crosses a snapshot (equal machines must produce equal
+        # snapshot bytes regardless of what either one was asked).
+        state = dict(self.__dict__)
+        state["records"] = []
+        return state
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class CapabilityEngine(PolicyEngine):
+    """The explicit spelling of the default: defer every request to the
+    SHILL capability semantics.  Installing it changes nothing — it
+    exists so "no engine" has a value and a name.
+
+    Example::
+
+        from repro.policy import CapabilityEngine, Decision, PolicyRequest
+
+        engine = CapabilityEngine()
+        req = PolicyRequest(domain="vnode", operation="read", target="/etc/passwd")
+        assert engine.pre_check(req) is Decision.DEFER
+    """
+
+    name = "capability"
+    passive = True
+
+    def digest(self) -> str:
+        return "capability"
+
+
+def engine_for(session: Any, kernel: Any) -> Optional[PolicyEngine]:
+    """The engine governing ``session``'s checks: the session's own, or
+    the kernel-wide one.  Returns None when neither is set (the common
+    fast path — byte-identical legacy behavior)."""
+    engine = getattr(session, "engine", None)
+    if engine is not None:
+        return engine
+    return kernel.policy_engine

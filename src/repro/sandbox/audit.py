@@ -44,7 +44,7 @@ def describe_object(kernel: "Kernel", obj: Any) -> str:
 @dataclass(frozen=True)
 class AuditEntry:
     sid: int
-    kind: str  # "grant" | "deny" | "auto-grant"
+    kind: str  # "grant" | "deny" | "auto-grant" | "engine-allow" | "revoke"
     operation: str
     target: str
     detail: str
@@ -77,11 +77,31 @@ class AuditLog:
         name = priv if isinstance(priv, str) else f"+{priv.value}"
         self.entries.append(AuditEntry(sid, "auto-grant", operation, target, f"granted {name}"))
 
+    def engine_allow(self, sid: int, operation: str, target: str, detail: str) -> None:
+        """A policy engine allowed an operation capability semantics
+        would have denied.  A distinct kind — not "auto-grant" — because
+        no privilege was granted (the override is per-request), and so
+        the denials/auto_grants fingerprint surfaces stay unchanged for
+        engine-free runs."""
+        self.entries.append(AuditEntry(sid, "engine-allow", operation, target, detail))
+
+    def revoke(self, sid: int, target: str, detail: str) -> None:
+        """Session teardown dropped this session's grants on ``target``
+        (attributed to the dying session, not lost — the label-epoch
+        bump this causes names the same sid)."""
+        self.entries.append(AuditEntry(sid, "revoke", "teardown", target, detail))
+
     def denials(self) -> list[AuditEntry]:
         return [e for e in self.entries if e.kind == "deny"]
 
     def auto_grants(self) -> list[AuditEntry]:
         return [e for e in self.entries if e.kind == "auto-grant"]
+
+    def engine_allows(self) -> list[AuditEntry]:
+        return [e for e in self.entries if e.kind == "engine-allow"]
+
+    def revocations(self) -> list[AuditEntry]:
+        return [e for e in self.entries if e.kind == "revoke"]
 
     def format(self) -> str:
         return "\n".join(entry.format() for entry in self.entries)

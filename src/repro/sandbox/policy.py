@@ -37,6 +37,7 @@ from repro.kernel import errno_
 from repro.kernel.mac import MacPolicy
 from repro.kernel.sockets import AddressFamily
 from repro.kernel.vfs import VType, Vnode
+from repro.policy.engine import Decision, PolicyRequest, engine_for
 from repro.sandbox.privileges import Priv, PrivSet, SockPriv
 from repro.sandbox.privmap import ensure_privmap, privmap_of
 from repro.sandbox.session import Session, SessionManager
@@ -102,20 +103,56 @@ class ShillPolicy(MacPolicy):
         return describe_object(self.kernel, obj)
 
     def _require(self, proc: "Process", obj: Any, priv: Priv, operation: str) -> int:
-        """Core check: does the subject's session hold ``priv`` on ``obj``?"""
+        """Core check: does the subject's session hold ``priv`` on ``obj``?
+
+        A non-passive policy engine (per-session, else kernel-wide) is
+        consulted first: ALLOW overrides a would-be denial (audited as
+        ``engine-allow``), DENY revokes the operation (audited as a
+        normal denial with engine attribution), DEFER falls through to
+        the privilege map — the unmodified capability semantics.
+        """
         session = self._effective_session(proc)
         if session is None:
             return 0
         pm = privmap_of(obj)
         privs = pm.privs_for(session.sid) if pm is not None else PrivSet.empty()
+        engine = engine_for(session, self.kernel)
+        request = None
+        if engine is not None and not engine.passive:
+            request = PolicyRequest(
+                domain="vnode" if isinstance(obj, Vnode) else "pipe",
+                operation=operation,
+                target=self._describe(obj),
+                priv=f"+{priv.value}",
+                sid=session.sid,
+                user=proc.cred.username,
+                held=frozenset(f"+{p.value}" for p in privs),
+            )
+            decision = engine.pre_check(request)
+            if decision is Decision.ALLOW:
+                if not privs.has(priv):
+                    session.log.engine_allow(
+                        session.sid, operation, request.target,
+                        f"+{priv.value} allowed by {engine.name}")
+                return 0
+            if decision is Decision.DENY:
+                session.log.deny(session.sid, operation, request.target,
+                                 f"+{priv.value} (denied by {engine.name})")
+                return errno_.EACCES
         if privs.has(priv):
+            if request is not None:
+                engine.post_check(request, True)
             return 0
         if session.debug:
             ensure_privmap(obj).merge(session.sid, PrivSet.of(priv))
-            self.kernel.label_mutation()
+            self.kernel.label_mutation(session.sid)
             session.log.auto_grant(session.sid, operation, self._describe(obj), priv)
+            if request is not None:
+                engine.post_check(request, True)
             return 0
         session.log.deny(session.sid, operation, self._describe(obj), priv)
+        if request is not None:
+            engine.post_check(request, False)
         return errno_.EACCES
 
     def _require_all(self, proc: "Process", obj: Any, privs: tuple[Priv, ...], operation: str) -> int:
@@ -131,6 +168,20 @@ class ShillPolicy(MacPolicy):
             return 0
         # These operations are not capability-gated: they are denied in
         # every sandbox (Figure 7), so debug mode does not auto-grant.
+        # Only an explicit engine ALLOW can override the blanket denial.
+        engine = engine_for(session, self.kernel)
+        if engine is not None and not engine.passive:
+            request = PolicyRequest(domain="system", operation=operation,
+                                    target=target, sid=session.sid,
+                                    user=proc.cred.username)
+            decision = engine.pre_check(request)
+            if decision is Decision.ALLOW:
+                session.log.engine_allow(
+                    session.sid, operation, target,
+                    f"allowed by {engine.name} (denied in sandboxes by default)")
+                return 0
+            # DENY and DEFER converge here: the sandbox denies anyway.
+            engine.post_check(request, False)
         session.log.deny(session.sid, operation, target, "(denied in sandboxes)")
         return errno_.EACCES
 
@@ -161,7 +212,7 @@ class ShillPolicy(MacPolicy):
         if len(derived) == 0:
             return
         conflicts = ensure_privmap(vp).merge(session.sid, derived)
-        self.kernel.label_mutation()
+        self.kernel.label_mutation(session.sid)
         session.merge_conflicts.extend(conflicts)
         session.granted_objects.append(vp)
 
@@ -207,7 +258,7 @@ class ShillPolicy(MacPolicy):
         if len(derived) == 0:
             return
         conflicts = ensure_privmap(vp).merge(session.sid, derived)
-        self.kernel.label_mutation()
+        self.kernel.label_mutation(session.sid)
         session.merge_conflicts.extend(conflicts)
         session.granted_objects.append(vp)
 
@@ -286,7 +337,7 @@ class ShillPolicy(MacPolicy):
         # A pipe the session minted itself is fully usable by it.
         full = PrivSet.of(Priv.READ, Priv.WRITE, Priv.APPEND, Priv.STAT, Priv.PATH)
         ensure_privmap(pipe).merge(session.sid, full)
-        self.kernel.label_mutation()
+        self.kernel.label_mutation(session.sid)
         session.granted_objects.append(pipe)
 
     def pipe_check_read(self, proc: "Process", pipe: "Pipe") -> int:
@@ -307,8 +358,29 @@ class ShillPolicy(MacPolicy):
         if session is None:
             return 0
         perms = session.socket_perms
+        engine = engine_for(session, self.kernel)
+        request = None
+        if engine is not None and not engine.passive:
+            request = PolicyRequest(domain="socket", operation=operation,
+                                    target="<socket>", priv=f"+{priv.value}",
+                                    sid=session.sid, user=proc.cred.username)
+            decision = engine.pre_check(request)
+            if decision is Decision.ALLOW:
+                if perms is None or not perms.has(priv):
+                    session.log.engine_allow(
+                        session.sid, operation, "<socket>",
+                        f"+{priv.value} allowed by {engine.name}")
+                return 0
+            if decision is Decision.DENY:
+                session.log.deny(session.sid, operation, "<socket>",
+                                 f"+{priv.value} (denied by {engine.name})")
+                return errno_.EACCES
         if perms is not None and perms.has(priv):
+            if request is not None:
+                engine.post_check(request, True)
             return 0
+        if request is not None:
+            engine.post_check(request, session.debug)
         if session.debug:
             from repro.sandbox.privileges import SocketPerms
 
@@ -330,9 +402,10 @@ class ShillPolicy(MacPolicy):
         error = self._require_sock(proc, SockPriv.CREATE, "socket-create")
         if error:
             return error
+        # perms is None only when an engine ALLOW overrode a session with
+        # no socket factory — the override carries no conn-type refinement.
         perms = session.socket_perms
-        assert perms is not None
-        if not perms.allows_conn(domain, stype):
+        if perms is not None and not perms.allows_conn(domain, stype):
             session.log.deny(session.sid, "socket-create", f"<af {domain}>", "(conn type)")
             return errno_.EACCES
         return 0
@@ -364,7 +437,24 @@ class ShillPolicy(MacPolicy):
         if session is None:
             return 0
         target_session = target.session
-        if target_session is not None and target_session.is_descendant_of(session):
+        ok = target_session is not None and target_session.is_descendant_of(session)
+        engine = engine_for(session, self.kernel)
+        if engine is not None and not engine.passive:
+            request = PolicyRequest(domain="proc", operation=operation,
+                                    target=f"<pid {target.pid}>",
+                                    sid=session.sid, user=proc.cred.username)
+            decision = engine.pre_check(request)
+            if decision is Decision.ALLOW:
+                if not ok:
+                    session.log.engine_allow(session.sid, operation, request.target,
+                                             f"allowed by {engine.name}")
+                return 0
+            if decision is Decision.DENY:
+                session.log.deny(session.sid, operation, request.target,
+                                 f"(denied by {engine.name})")
+                return errno_.EACCES
+            engine.post_check(request, ok)
+        if ok:
             return 0
         session.log.deny(session.sid, operation, f"<pid {target.pid}>", "(outside session)")
         return errno_.EACCES

@@ -35,6 +35,12 @@ if TYPE_CHECKING:
 class Session:
     """One sandbox session."""
 
+    #: Optional per-session policy engine (see :mod:`repro.policy`):
+    #: overrides the kernel-wide ``Kernel.policy_engine`` for checks
+    #: attributed to this session.  Class default so sessions restored
+    #: from older pickles behave like engine-less ones.
+    engine = None
+
     def __init__(
         self,
         sid: int,
@@ -105,16 +111,26 @@ class SessionManager:
     # lifecycle syscalls
     # ------------------------------------------------------------------
 
-    def shill_init(self, proc: "Process", debug: bool = False) -> Session:
+    def shill_init(self, proc: "Process", debug: bool = False,
+                   engine=None) -> Session:
         """Create a new session and associate the calling process with it.
 
         If the process is already sandboxed, the new session becomes a
         *child* of its current session — the paper's mechanism for
         SHILL-aware executables to "further attenuate their privileges".
+
+        ``engine`` binds a per-session policy engine (see
+        :mod:`repro.policy`); child sessions inherit the parent's engine
+        unless given their own, so one engine governs a whole sandbox
+        tree.
         """
         parent = proc.session
         self.last_sid += 1
         session = Session(self.last_sid, parent, self, debug=debug)
+        if engine is not None:
+            session.engine = engine
+        elif parent is not None and parent.engine is not None:
+            session.engine = parent.engine
         self._sessions[session.sid] = session
         self._audit[session.sid] = AuditRecord(session.sid, session.log)
         if parent is not None:
@@ -210,7 +226,7 @@ class SessionManager:
                 )
         pm = ensure_privmap(obj)
         conflicts = pm.merge(session.sid, privs)
-        self.kernel.label_mutation()
+        self.kernel.label_mutation(session.sid)
         session.merge_conflicts.extend(conflicts)
         session.granted_objects.append(obj)
         session.log.grant(session.sid, _describe(self.kernel, obj), privs)
@@ -255,11 +271,19 @@ class SessionManager:
             return
         session.dead = True
         if session.granted_objects:
-            self.kernel.label_mutation()
+            # Attribute the teardown's label-epoch bump to the dying
+            # session: revocation is *its* effect, and audit consumers
+            # (mac.last_label_sid, the revoke entries below) must name
+            # it rather than losing the originating sid.
+            self.kernel.label_mutation(session.sid)
         for obj in session.granted_objects:
             pm = privmap_of(obj)
             if pm is not None:
+                dropped = pm.privs_for(session.sid)
                 pm.drop_session(session.sid)
+                if len(dropped):
+                    session.log.revoke(session.sid, _describe(self.kernel, obj),
+                                       f"dropped {dropped!r}")
                 if not pm.sessions():
                     # An empty privilege map is behaviourally identical
                     # to an absent one; dropping the slot restores the

@@ -155,6 +155,7 @@ def run_with_policy(
     stdout=None,
     stderr=None,
     cwd: str = "/",
+    engine=None,
 ) -> RunResult:
     """Run ``argv`` in a sandbox configured from ``policy_text``.
 
@@ -162,6 +163,10 @@ def run_with_policy(
     pipe ends) wired to descriptors 0/1/2.  Returns the exit status, the
     session's audit log, and — in debug mode — the privileges that had to
     be auto-granted (the starting point for writing a tighter policy).
+
+    ``engine`` binds a per-session :class:`repro.policy.PolicyEngine` to
+    the sandbox session (overriding any kernel-wide engine for its
+    checks).
     """
     if not argv:
         raise ValueError("argv must name a program")
@@ -186,7 +191,7 @@ def run_with_policy(
 
     child = kernel.procs.fork(launcher)
     _wire_stdio(kernel, child, stdin, stdout, stderr)
-    session = shill.sessions.shill_init(child, debug=debug)
+    session = shill.sessions.shill_init(child, debug=debug, engine=engine)
     for obj, privs in resolved:
         shill.sessions.grant(session, obj, privs)
     # The tool always authorizes the command image itself (exec + the

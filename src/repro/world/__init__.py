@@ -9,6 +9,7 @@ from repro.world.fixtures import (
     add_grading_fixture,
     add_jpeg_samples,
     add_usr_src,
+    add_vcs_repo,
     add_web_content,
     emacs_tarball,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "add_grading_fixture",
     "add_emacs_mirror",
     "add_usr_src",
+    "add_vcs_repo",
     "add_web_content",
     "add_jpeg_samples",
     "emacs_tarball",

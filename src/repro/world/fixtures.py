@@ -186,6 +186,54 @@ def add_web_content(kernel: Kernel, file_kb: int = 512, small_files: int = 8) ->
 
 
 # ---------------------------------------------------------------------------
+# vcs repository (policy/fuzz case study)
+# ---------------------------------------------------------------------------
+
+
+def add_vcs_repo(
+    kernel: Kernel,
+    owner: str = "alice",
+    files: int = 4,
+    history: int = 2,
+) -> dict[str, str]:
+    """A git-like repository plus a secret *outside* the worktree.
+
+    ``~/project`` holds a worktree (``README``, ``src/mod*.c``) and a
+    ``.vcs`` metadata directory (``objects/`` snapshots, an append-only
+    ``log``, and ``HEAD``), pre-seeded with ``history`` commits.  The
+    deploy token under ``~/secrets`` is the natural exfiltration target
+    the vcs case study's contracts (and declarative policies) must stop.
+    """
+    builder = WorldBuilder(kernel)
+    cred = kernel.users.lookup(owner)
+    base = f"{cred.home}/project"
+    paths = {
+        "project": base,
+        "src": f"{base}/src",
+        "readme": f"{base}/README",
+        "vcs": f"{base}/.vcs",
+        "objects": f"{base}/.vcs/objects",
+        "log": f"{base}/.vcs/log",
+        "head": f"{base}/.vcs/HEAD",
+        "secrets": f"{cred.home}/secrets",
+        "token": f"{cred.home}/secrets/deploy_token",
+    }
+    for key in ("project", "src", "vcs", "objects", "secrets"):
+        builder.ensure_dir(paths[key], uid=cred.uid, gid=cred.gid)
+    builder.write_file(paths["readme"], b"vcs demo project\n", uid=cred.uid, gid=cred.gid)
+    for i in range(files):
+        body = f"/* module {i} */\nint mod_{i}(void) {{ return {i}; }}\n"
+        builder.write_file(f"{paths['src']}/mod{i}.c", body.encode(),
+                           uid=cred.uid, gid=cred.gid)
+    log_lines = "".join(f"commit {c + 1} seed-commit-{c + 1}\n" for c in range(history))
+    builder.write_file(paths["log"], log_lines.encode(), uid=cred.uid, gid=cred.gid)
+    builder.write_file(paths["head"], f"{history}\n".encode(), uid=cred.uid, gid=cred.gid)
+    builder.write_file(paths["token"], b"hunter2-deploy-token\n",
+                       uid=cred.uid, gid=cred.gid, mode=0o600)
+    return paths
+
+
+# ---------------------------------------------------------------------------
 # jpeg sample (quickstart)
 # ---------------------------------------------------------------------------
 

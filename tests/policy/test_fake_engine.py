@@ -1,0 +1,97 @@
+"""FakePolicyEngine: the override table, defaults, and recording."""
+
+from __future__ import annotations
+
+from repro.policy import Decision, FakePolicyEngine, PolicyRequest
+
+
+def _req(**kw) -> PolicyRequest:
+    base = dict(domain="vnode", operation="write", target="/tmp/x",
+                priv="+write", sid=1, user="alice")
+    base.update(kw)
+    return PolicyRequest(**base)
+
+
+class TestOverrides:
+    def test_fresh_fake_defers_and_records_the_request(self):
+        engine = FakePolicyEngine()
+        req = _req()
+        assert engine.pre_check(req) is Decision.DEFER
+        assert engine.requests == [req]
+        assert engine.records == []  # DEFER is not a decision
+
+    def test_set_pins_a_decision(self):
+        engine = FakePolicyEngine().set(domain="vnode", priv="+write",
+                                        decision=Decision.DENY)
+        assert engine.pre_check(_req()) is Decision.DENY
+        assert engine.pre_check(_req(priv="+read")) is Decision.DEFER
+        [rec] = engine.records
+        assert rec.rule == "override"
+
+    def test_most_specific_override_wins(self):
+        engine = (FakePolicyEngine()
+                  .set(domain="vnode", decision=Decision.ALLOW)
+                  .set(domain="vnode", target="/tmp/x", priv="+write",
+                       decision=Decision.DENY))
+        assert engine.pre_check(_req()) is Decision.DENY
+        assert engine.pre_check(_req(target="/tmp/y")) is Decision.ALLOW
+
+    def test_later_override_refines_earlier_at_equal_specificity(self):
+        engine = (FakePolicyEngine()
+                  .set(domain="vnode", decision=Decision.DENY)
+                  .set(domain="vnode", decision=Decision.ALLOW))
+        assert engine.pre_check(_req()) is Decision.ALLOW
+
+    def test_decision_accepts_the_string_spelling(self):
+        engine = FakePolicyEngine().set(domain="vnode", decision="allow")
+        assert engine.pre_check(_req()) is Decision.ALLOW
+
+
+class TestDefaults:
+    def test_deny_by_default_is_allow_list_mode(self):
+        engine = (FakePolicyEngine().deny_by_default()
+                  .set(target="/tmp/x", decision=Decision.ALLOW))
+        assert engine.pre_check(_req(target="/tmp/x")) is Decision.ALLOW
+        assert engine.pre_check(_req(target="/tmp/other")) is Decision.DENY
+
+    def test_allow_by_default_is_deny_list_mode(self):
+        engine = (FakePolicyEngine().allow_by_default()
+                  .set(target="/tmp/x", decision=Decision.DENY))
+        assert engine.pre_check(_req(target="/tmp/x")) is Decision.DENY
+        assert engine.pre_check(_req(target="/tmp/other")) is Decision.ALLOW
+
+    def test_reset_restores_pure_defer(self):
+        engine = FakePolicyEngine().deny_by_default().set(decision=Decision.DENY)
+        engine.pre_check(_req())
+        engine.reset()
+        assert engine.pre_check(_req()) is Decision.DEFER
+        assert len(engine.requests) == 1  # only the post-reset request
+
+
+class TestObservability:
+    def test_every_configuration_change_bumps_mutations(self):
+        """The dcache folds `mutations` into its stamp; a fake that
+        reconfigures silently would leave stale cached walks behind."""
+        engine = FakePolicyEngine()
+        assert engine.mutations == 0
+        engine.set(decision=Decision.DENY)
+        engine.deny_by_default()
+        engine.allow_by_default()
+        engine.reset()
+        assert engine.mutations == 4
+
+    def test_post_check_lands_in_observed(self):
+        engine = FakePolicyEngine()
+        req = _req()
+        engine.post_check(req, True)
+        engine.post_check(req, False)
+        assert engine.observed == [(req, True), (req, False)]
+
+    def test_asked_filters_by_domain_and_operation(self):
+        engine = FakePolicyEngine()
+        engine.pre_check(_req(domain="vnode", operation="read"))
+        engine.pre_check(_req(domain="language", operation="read"))
+        engine.pre_check(_req(domain="vnode", operation="write"))
+        assert len(engine.asked(domain="vnode")) == 2
+        assert len(engine.asked(domain="vnode", operation="read")) == 1
+        assert len(engine.asked()) == 3

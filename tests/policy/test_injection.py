@@ -1,0 +1,177 @@
+"""Engine injection end-to-end: World/Sandbox wiring, RunResult audit
+records, declarative flips, and teardown attribution."""
+
+from __future__ import annotations
+
+from repro.api import World
+from repro.api.sandboxes import Sandbox
+from repro.policy import Decision, FakePolicyEngine
+
+#: A tight shill-run policy that lets /bin/cat read exactly one file.
+CAT_POLICY = (
+    "/ : +lookup with {}\n"
+    "/home : +lookup with {}\n"
+    "/lib : +lookup, +read, +stat, +path\n"
+    "/libexec : +lookup, +read, +stat, +path\n"
+    "/home/alice : +lookup with {}\n"
+    "/home/alice/Documents : +lookup, +stat\n"
+    "/home/alice/Documents/notes.txt : +read, +stat, +path\n"
+)
+TARGET = "/home/alice/Documents/notes.txt"
+ARGV = ["/bin/cat", TARGET]
+
+
+def _jpeg_world() -> World:
+    return World().for_user("alice").with_jpeg_samples()
+
+
+def _exec(world, engine=None):
+    booted = world.boot()
+    sandbox = Sandbox(booted.kernel, CAT_POLICY, user="alice",
+                      cwd="/home/alice", engine=engine)
+    return booted.kernel, sandbox.exec(ARGV)
+
+
+class TestDeclarativeFlips:
+    def test_baseline_grant_succeeds_without_any_engine(self):
+        _, result = _exec(_jpeg_world())
+        assert result.status == 0
+        assert result.stdout == "not a jpeg"
+        assert not result.denials
+
+    def test_deny_rule_revokes_a_granted_read(self):
+        """A declarative rule flips an allowed read to a denial with
+        zero changes to the shill-run policy — and the denial is an
+        ordinary audited MAC denial in the RunResult."""
+        world = _jpeg_world().with_policy_rules([
+            {"name": "no-docs", "effect": "deny", "operations": ["read"],
+             "paths": ["/home/alice/Documents"]},
+        ])
+        booted = world.boot()
+        kernel = booted.kernel
+        before = len(kernel.policy_engine.records)
+        result = Sandbox(kernel, CAT_POLICY, user="alice",
+                         cwd="/home/alice").exec(ARGV)
+        assert result.status != 0
+        [denial] = result.denials
+        assert denial.target == TARGET
+        assert "denied by rules" in denial.detail
+        # The audited denial and the kernel's MAC denial count agree.
+        assert result.ops["mac_denials"] == 1
+        # The engine retained its own decision trail, attributed by rule.
+        assert [(r.rule, r.decision)
+                for r in kernel.policy_engine.records[before:]] \
+            == [("no-docs", Decision.DENY)]
+
+    def test_allow_rule_overrides_a_default_denial(self):
+        """The reverse flip: the VCS deploy token is unreachable under
+        an empty shill-run policy, and a kernel-wide allow default
+        flips the same command to a success — audited as engine-allow
+        entries, not silent."""
+        from repro.casestudies.vcs import read_token_sandboxed, vcs_world
+
+        denied = read_token_sandboxed(vcs_world().boot())
+        assert denied.status != 0 and denied.denials
+
+        flipped_world = vcs_world().with_policy_rules([], default="allow").boot()
+        flipped = read_token_sandboxed(flipped_world)
+        assert flipped.status == 0
+        assert flipped.stdout == "hunter2-deploy-token\n"
+        assert not flipped.denials
+        records = flipped_world.kernel.shill_policy().sessions.audit_records()
+        allows = [e for rec in records for e in rec.log.engine_allows()]
+        assert allows, "engine overrides must leave an audit trail"
+        assert all(e.kind == "engine-allow" for e in allows)
+
+
+class TestFakeEngineInjection:
+    def test_sandbox_engine_sees_the_request_stream(self):
+        """A deferring fake changes nothing but records every question
+        the sandbox asked — the observability seam for tests."""
+        fake = FakePolicyEngine()
+        _, result = _exec(_jpeg_world(), engine=fake)
+        assert result.status == 0
+        assert fake.requests and fake.observed
+        assert {req.domain for req in fake.requests} == {"vnode", "pipe"}
+        reads = fake.asked(domain="vnode", operation="read")
+        assert any(req.target == TARGET for req in reads)
+        # post_check observed every deferred outcome.
+        assert len(fake.observed) == len(fake.requests)
+
+    def test_fake_denial_lands_in_run_result_audit(self):
+        fake = FakePolicyEngine().set(domain="vnode", operation="read",
+                                      target=TARGET, decision=Decision.DENY)
+        _, result = _exec(_jpeg_world(), engine=fake)
+        assert result.status != 0
+        [denial] = result.denials
+        assert denial.target == TARGET and "denied by fake" in denial.detail
+
+    def test_session_engine_overrides_kernel_wide(self):
+        """A per-sandbox fake wins over a kernel-wide deny rule: the
+        run succeeds and the kernel engine is never consulted."""
+        world = _jpeg_world().with_policy_rules([
+            {"name": "no-docs", "effect": "deny", "operations": ["read"],
+             "paths": ["/home/alice/Documents"]},
+        ])
+        booted = world.boot()
+        kernel = booted.kernel
+        # Digest-equal worlds share boot images (and thus engine
+        # instances): compare against the trail as of this boot, not [].
+        before = len(kernel.policy_engine.records)
+        fake = FakePolicyEngine()
+        result = Sandbox(kernel, CAT_POLICY, user="alice",
+                         cwd="/home/alice", engine=fake).exec(ARGV)
+        assert result.status == 0
+        assert fake.requests
+        assert len(kernel.policy_engine.records) == before
+
+
+class TestDefaultIsByteIdentical:
+    def test_no_engine_and_identity_engines_fingerprint_identically(self):
+        """Installing no engine, the base deferring engine, or the
+        explicit CapabilityEngine must be observationally equivalent —
+        same bytes, same op counts, same fingerprint."""
+        from repro.policy import CapabilityEngine, PolicyEngine
+
+        prints = []
+        for engine in (None, PolicyEngine(), CapabilityEngine()):
+            _, result = _exec(_jpeg_world(), engine=engine)
+            prints.append(result.fingerprint())
+        assert len(set(prints)) == 1
+
+
+class TestTeardownAttribution:
+    def test_revocations_name_the_dying_session(self):
+        """Regression: teardown revoke entries (and the label-epoch
+        bump) are attributed to the session being torn down, not lost
+        as session-less mutations."""
+        world = _jpeg_world().boot()
+        kernel = world.kernel
+        result = Sandbox(kernel, CAT_POLICY, user="alice",
+                         cwd="/home/alice").exec(ARGV)
+        assert result.status == 0
+        records = kernel.shill_policy().sessions.audit_records()
+        revokes = [(rec.sid, e) for rec in records
+                   for e in rec.log.revocations()]
+        assert revokes, "teardown must log its revocations"
+        # Every revoke entry carries the sid of the session whose log
+        # holds it — the dying session, never 0 or a sibling.
+        assert all(e.sid == sid for sid, e in revokes)
+        granted = {e.target for _, e in revokes}
+        assert TARGET in granted and "/bin/cat" in granted
+
+    def test_label_epoch_bump_names_the_causing_session(self):
+        """The MAC framework's last_label_sid tracks teardown: after
+        each sandbox dies, it names that session's sid."""
+        world = _jpeg_world().boot()
+        kernel = world.kernel
+        first = Sandbox(kernel, CAT_POLICY, user="alice", cwd="/home/alice")
+        assert first.exec(ARGV).status == 0
+        sid_after_first = kernel.mac.last_label_sid
+        second = Sandbox(kernel, CAT_POLICY, user="alice", cwd="/home/alice")
+        assert second.exec(ARGV).status == 0
+        sid_after_second = kernel.mac.last_label_sid
+        assert sid_after_first is not None
+        assert sid_after_second == sid_after_first + 1
+        live = kernel.shill_policy().sessions.live_sessions()
+        assert live == [], "both sandbox sessions must be torn down"

@@ -1,0 +1,118 @@
+"""RuleEngine: declarative matching, defaults, and data round-trips."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.policy import Decision, PolicyRequest, RuleEngine
+from repro.policy.rules import DEFAULT_DOMAINS, RuleError
+
+
+def _req(**kw) -> PolicyRequest:
+    base = dict(domain="vnode", operation="read", target="/home/alice/x",
+                priv="+read", sid=3, user="alice")
+    base.update(kw)
+    return PolicyRequest(**base)
+
+
+class TestMatching:
+    def test_first_matching_rule_wins(self):
+        engine = RuleEngine([
+            {"name": "first", "effect": "deny", "paths": ["/home/alice"]},
+            {"name": "second", "effect": "allow", "paths": ["/home/alice"]},
+        ])
+        assert engine.pre_check(_req()) is Decision.DENY
+        assert engine.records[-1].rule == "first"
+
+    def test_unmatched_request_defers(self):
+        engine = RuleEngine([{"effect": "deny", "paths": ["/etc"]}])
+        assert engine.pre_check(_req()) is Decision.DEFER
+        assert engine.records == []
+
+    def test_paths_are_prefix_matched_on_components(self):
+        engine = RuleEngine([{"effect": "deny", "paths": ["/home/alice/se"]}])
+        # "/home/alice/secrets" is NOT under the prefix "/home/alice/se"
+        # — prefixes are path components, not string prefixes.
+        assert engine.pre_check(_req(target="/home/alice/secrets")) is Decision.DEFER
+        assert engine.pre_check(_req(target="/home/alice/se/x")) is Decision.DENY
+        assert engine.pre_check(_req(target="/home/alice/se")) is Decision.DENY
+
+    def test_operations_are_fnmatch_globs(self):
+        engine = RuleEngine([{"effect": "deny", "operations": ["lookup *"]}])
+        assert engine.pre_check(_req(operation="lookup 'secrets'")) is Decision.DENY
+        assert engine.pre_check(_req(operation="read")) is Decision.DEFER
+
+    def test_users_and_privs_filter(self):
+        engine = RuleEngine([
+            {"effect": "deny", "users": ["bob"], "privs": ["+write"]},
+        ])
+        assert engine.pre_check(_req(user="bob", priv="+write")) is Decision.DENY
+        assert engine.pre_check(_req(user="bob", priv="+read")) is Decision.DEFER
+        assert engine.pre_check(_req(user="alice", priv="+write")) is Decision.DEFER
+
+    def test_rules_skip_mac_domain_unless_named(self):
+        """Framework-level mac hooks have no session audit trail; rules
+        must opt in to them explicitly."""
+        blanket = RuleEngine([{"effect": "deny"}])
+        assert blanket.pre_check(_req(domain="mac", sid=0)) is Decision.DEFER
+        optin = RuleEngine([{"effect": "deny", "domains": ["mac"]}])
+        assert optin.pre_check(_req(domain="mac", sid=0)) is Decision.DENY
+
+    def test_default_answers_unmatched_but_never_mac(self):
+        """The engine default is scoped exactly like default-domain
+        rules: a deny default can never produce an unaudited
+        framework-level denial."""
+        engine = RuleEngine([], default="deny")
+        for domain in sorted(DEFAULT_DOMAINS):
+            assert engine.pre_check(_req(domain=domain)) is Decision.DENY, domain
+        assert engine.pre_check(_req(domain="mac", sid=0)) is Decision.DEFER
+        assert engine.records[-1].rule == "default-deny"
+
+
+class TestData:
+    def test_spec_round_trip(self):
+        engine = RuleEngine(
+            [{"name": "no-secrets", "effect": "deny",
+              "paths": ["/home/alice/secrets"], "operations": ["read"]}],
+            default="allow", name="tenant-a")
+        clone = RuleEngine.from_spec(engine.to_spec())
+        assert clone.to_spec() == engine.to_spec()
+        assert clone.digest() == engine.digest()
+
+    def test_json_round_trip_and_bare_list(self):
+        engine = RuleEngine.from_json('[{"effect": "deny", "paths": ["/etc"]}]')
+        assert engine.pre_check(_req(target="/etc/passwd")) is Decision.DENY
+        assert RuleEngine.from_json(engine.to_json()).digest() == engine.digest()
+
+    def test_equal_rules_equal_digest_distinct_rules_distinct(self):
+        a = RuleEngine([{"effect": "deny", "paths": ["/etc"]}])
+        b = RuleEngine([{"effect": "deny", "paths": ["/etc"]}])
+        c = RuleEngine([{"effect": "deny", "paths": ["/tmp"]}])
+        assert a.digest() == b.digest() != c.digest()
+
+    def test_engine_is_immutable_and_picklable(self):
+        engine = RuleEngine([{"effect": "deny", "paths": ["/etc"]}])
+        engine.pre_check(_req(target="/etc/passwd"))
+        assert engine.mutations == 0
+        clone = pickle.loads(pickle.dumps(engine))
+        assert clone.digest() == engine.digest()
+        assert clone.records == []
+
+    @pytest.mark.parametrize("bad", [
+        [{"paths": ["/etc"]}],                       # missing effect
+        [{"effect": "maybe"}],                       # unknown effect
+        [{"effect": "deny", "domains": ["nope"]}],   # unknown domain
+        [{"effect": "deny", "paths": "/etc"}],       # string, not list
+        [{"effect": "deny", "color": "red"}],        # unknown field
+    ])
+    def test_malformed_rules_are_rejected(self, bad):
+        with pytest.raises(RuleError):
+            RuleEngine(bad)
+
+    def test_malformed_default_and_json_rejected(self):
+        with pytest.raises(RuleError):
+            RuleEngine([], default="sometimes")
+        with pytest.raises(RuleError):
+            RuleEngine.from_json("{not json")

@@ -300,6 +300,63 @@ class TestGatewayCache:
         assert all(r.ok for r in results)
 
 
+class TestPolicyIsolation:
+    """Two gateway users, one fleet, different declarative policies."""
+
+    FREEZE_DOCS = [{"name": "freeze-docs", "effect": "deny",
+                    "operations": ["contents"],
+                    "paths": ["/home/alice/Documents"]}]
+
+    def _policied_batch(self, rules) -> Batch:
+        world = _jpeg_world()
+        if rules is not None:
+            world = world.with_policy_rules(rules)
+        batch = Batch(world, cache=False)
+        batch.add(WALK_AMBIENT, name="walk")
+        return batch
+
+    def test_different_policies_yield_different_denials(self, fleet, tmp_path):
+        """The same script under each tenant's own policy world: the
+        frozen tenant's job fails on the policy denial, the open
+        tenant's succeeds — through one shared gateway and fleet."""
+        gw, _agents, _log = fleet(agents=1)
+        with ServeExecutor(gw, store=tmp_path / "a",
+                           user="alice") as executor:
+            clear_result_cache()
+            [frozen] = self._policied_batch(self.FREEZE_DOCS).run(executor=executor)
+        with ServeExecutor(gw, store=tmp_path / "b", user="bob") as executor:
+            clear_result_cache()
+            [open_] = self._policied_batch(None).run(executor=executor)
+        assert not frozen.ok and open_.ok
+        assert "policy-engine:rules" in frozen.stderr
+        assert "/home/alice/Documents" in open_.stdout
+        assert frozen.fingerprint() != open_.fingerprint()
+
+    def test_result_cache_never_crosses_the_policy_boundary(self, fleet,
+                                                            tmp_path):
+        """One tenant's cached result must not answer the other tenant's
+        submit of the same script: the policy rides in the world digest,
+        so each policy world dispatches once and replays only itself."""
+        gw, _agents, log = fleet(agents=1)
+        with ServeExecutor(gw, store=tmp_path / "a",
+                           user="alice") as executor:
+            clear_result_cache()
+            self._policied_batch(self.FREEZE_DOCS).run(executor=executor)
+            clear_result_cache()
+            [replayed] = self._policied_batch(self.FREEZE_DOCS).run(executor=executor)
+        with ServeExecutor(gw, store=tmp_path / "b", user="bob") as executor:
+            clear_result_cache()
+            [fresh] = self._policied_batch(None).run(executor=executor)
+        assert not replayed.ok and fresh.ok
+        events = _events(log)
+        hits = [e for e in events if e["event"] == "cache_hit"]
+        dispatches = [e for e in events if e["event"] == "dispatch"]
+        # Alice's repeat replayed from her cache entry; Bob's first
+        # submit of the "same" script was a miss, never Alice's bytes.
+        assert [e["user"] for e in hits] == ["alice"]
+        assert len(dispatches) == 2
+
+
 class TestCli:
     def test_batch_executor_serve_requires_gateway(self, capsys):
         from repro.__main__ import main
